@@ -1,0 +1,132 @@
+//! Criterion microbenchmarks backing the paper's complexity claims:
+//! §III-C (selection: aggregation, clustering, greedy gains) and §IV-C
+//! (view generation: score precomputation, per-epoch sampling), plus the
+//! GCN forward/backward kernels everything sits on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use e2gcl::prelude::*;
+use e2gcl_graph::{norm, ppr};
+use e2gcl_nn::GcnEncoder;
+use e2gcl_selector::coreset::CoresetObjective;
+use e2gcl_selector::greedy::{GreedyConfig, GreedySelector};
+use e2gcl_selector::kmeans::kmeans;
+use e2gcl_selector::NodeSelector;
+use e2gcl_views::{ViewConfig, ViewGenerator};
+use std::hint::black_box;
+
+fn data(scale: f64) -> NodeDataset {
+    NodeDataset::generate(&spec("cora-sim"), scale, 7)
+}
+
+fn bench_spmm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spmm");
+    for scale in [0.25f64, 0.5] {
+        let d = data(scale);
+        let adj = norm::normalized_adjacency(&d.graph);
+        group.bench_with_input(
+            BenchmarkId::new("a_n_times_x", d.num_nodes()),
+            &d,
+            |b, d| b.iter(|| black_box(adj.spmm(&d.features))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_raw_aggregate(c: &mut Criterion) {
+    let d = data(0.5);
+    c.bench_function("raw_aggregate_l2", |b| {
+        b.iter(|| black_box(norm::raw_aggregate(&d.graph, &d.features, 2)))
+    });
+}
+
+fn bench_kmeans(c: &mut Criterion) {
+    let d = data(0.5);
+    let repr = norm::raw_aggregate(&d.graph, &d.features, 2);
+    c.bench_function("kmeans_60_clusters", |b| {
+        b.iter(|| black_box(kmeans(&repr, 60, 10, &mut SeedRng::new(0))))
+    });
+}
+
+fn bench_greedy_selection(c: &mut Criterion) {
+    let d = data(0.25);
+    let sel = GreedySelector::new(GreedyConfig {
+        num_clusters: 30,
+        sample_size: 100,
+        ..Default::default()
+    });
+    let budget = d.num_nodes() / 10;
+    c.bench_function("alg2_greedy_select_10pct", |b| {
+        b.iter(|| black_box(sel.select(&d.graph, &d.features, budget, &mut SeedRng::new(0))))
+    });
+}
+
+fn bench_marginal_gain(c: &mut Criterion) {
+    let d = data(0.5);
+    let repr = norm::raw_aggregate(&d.graph, &d.features, 2);
+    let clustering = kmeans(&repr, 60, 10, &mut SeedRng::new(0));
+    let mut obj = CoresetObjective::new(&repr, &clustering);
+    for v in 0..20 {
+        obj.add(v * 7);
+    }
+    c.bench_function("alg2_single_marginal_gain", |b| {
+        let mut v = 0usize;
+        b.iter(|| {
+            v = (v + 13) % repr.rows();
+            black_box(obj.gain(v))
+        })
+    });
+}
+
+fn bench_view_generation(c: &mut Criterion) {
+    let d = data(0.5);
+    let mut rng = SeedRng::new(0);
+    c.bench_function("alg3_precompute_scores", |b| {
+        b.iter(|| {
+            black_box(ViewGenerator::new(
+                &d.graph,
+                &d.features,
+                ViewConfig::default(),
+                &mut rng,
+            ))
+        })
+    });
+    let generator = ViewGenerator::new(&d.graph, &d.features, ViewConfig::default(), &mut rng);
+    c.bench_function("alg3_sample_global_view", |b| {
+        b.iter(|| black_box(generator.sample_global_view(1.0, 0.6, &mut rng)))
+    });
+    c.bench_function("alg3_sample_ego_view", |b| {
+        let mut v = 0usize;
+        b.iter(|| {
+            v = (v + 1) % d.num_nodes();
+            black_box(generator.sample_ego_view(v, 1.0, 0.6, &mut rng))
+        })
+    });
+}
+
+fn bench_ppr_diffusion(c: &mut Criterion) {
+    let d = data(0.25);
+    c.bench_function("ppr_diffusion_graph", |b| {
+        b.iter(|| black_box(ppr::ppr_diffusion_graph(&d.graph, 0.2, 1e-3, 16)))
+    });
+}
+
+fn bench_gcn(c: &mut Criterion) {
+    let d = data(0.5);
+    let adj = norm::normalized_adjacency(&d.graph);
+    let enc = GcnEncoder::new(&[d.features.cols(), 64, 32], &mut SeedRng::new(0));
+    c.bench_function("gcn_forward", |b| {
+        b.iter(|| black_box(enc.forward(&adj, &d.features)))
+    });
+    let (h, cache) = enc.forward(&adj, &d.features);
+    c.bench_function("gcn_backward", |b| {
+        b.iter(|| black_box(enc.backward(&adj, &cache, &h)))
+    });
+}
+
+criterion_group! {
+    name = substrates;
+    config = Criterion::default().sample_size(10);
+    targets = bench_spmm, bench_raw_aggregate, bench_kmeans, bench_greedy_selection,
+              bench_marginal_gain, bench_view_generation, bench_ppr_diffusion, bench_gcn
+}
+criterion_main!(substrates);

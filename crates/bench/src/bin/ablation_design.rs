@@ -1,0 +1,137 @@
+//! Design-choice ablations beyond the paper's own (DESIGN.md §6):
+//!
+//! 1. sampling-based greedy (Alg. 2) vs exhaustive greedy (`n_s = n`) —
+//!    objective quality vs selection cost;
+//! 2. cluster-relaxed objective (Eq. 13/14) vs the exact k-medoid objective
+//!    (Eq. 12) greedily optimised on a small graph;
+//! 3. Eq. (5) margin loss vs InfoNCE inside the same E²GCL stack;
+//! 4. edge-score recipe: centrality-only vs similarity-only vs combined.
+//!
+//! ```sh
+//! cargo run -p e2gcl-bench --bin ablation_design --release -- --profile quick
+//! ```
+
+use e2gcl::pipeline::run_node_classification;
+use e2gcl::prelude::*;
+use e2gcl_bench::{report, Profile};
+use e2gcl_graph::norm;
+use e2gcl_linalg::ops;
+use e2gcl_selector::coreset::exact_kmedoid_objective;
+use e2gcl_selector::greedy::{GreedyConfig, GreedySelector};
+use e2gcl_selector::NodeSelector;
+use e2gcl_views::scores::EdgeRecipe;
+use std::time::Instant;
+
+fn main() {
+    let profile = Profile::from_args();
+    println!("Design-choice ablations (profile: {})", profile.name);
+    let data = profile.dataset("cora-sim", 800);
+    let cfg = profile.train_config();
+
+    // ---- 1. sampling vs exhaustive greedy --------------------------------
+    println!("\n--- Alg. 2 sampling trick: n_s vs objective & time ---");
+    let repr = norm::raw_aggregate(&data.graph, &data.features, 2);
+    let budget = data.num_nodes() / 10;
+    println!("{:>12} {:>16} {:>12}", "n_s", "Eq.(12) cost", "select s");
+    for n_s in [8usize, 32, 128, data.num_nodes()] {
+        let sel = GreedySelector::new(GreedyConfig {
+            sample_size: n_s,
+            ..Default::default()
+        });
+        let t0 = Instant::now();
+        let s = sel.select(&data.graph, &data.features, budget, &mut SeedRng::new(0));
+        let secs = t0.elapsed().as_secs_f64();
+        let cost = exact_kmedoid_objective(&repr, &s.nodes);
+        println!("{n_s:>12} {cost:>16.2} {secs:>12.3}");
+    }
+
+    // ---- 2. relaxed vs exact greedy objective ----------------------------
+    println!("\n--- Eq. (13) relaxation vs exact Eq. (12) greedy (small graph) ---");
+    let small = NodeDataset::generate(&spec("cora-sim"), 0.08, 801);
+    let srepr = norm::raw_aggregate(&small.graph, &small.features, 2);
+    let sbudget = small.num_nodes() / 10;
+    // Exact greedy: each step picks the node minimising the true objective.
+    let t0 = Instant::now();
+    let mut exact_sel: Vec<usize> = Vec::new();
+    for _ in 0..sbudget {
+        let mut best = (usize::MAX, f64::INFINITY);
+        for v in 0..small.num_nodes() {
+            if exact_sel.contains(&v) {
+                continue;
+            }
+            let mut trial = exact_sel.clone();
+            trial.push(v);
+            let c = exact_kmedoid_objective(&srepr, &trial);
+            if c < best.1 {
+                best = (v, c);
+            }
+        }
+        exact_sel.push(best.0);
+    }
+    let exact_secs = t0.elapsed().as_secs_f64();
+    let exact_cost = exact_kmedoid_objective(&srepr, &exact_sel);
+    let t0 = Instant::now();
+    let relaxed = GreedySelector::default().select(
+        &small.graph,
+        &small.features,
+        sbudget,
+        &mut SeedRng::new(1),
+    );
+    let relaxed_secs = t0.elapsed().as_secs_f64();
+    let relaxed_cost = exact_kmedoid_objective(&srepr, &relaxed.nodes);
+    println!(
+        "exact greedy:   cost {exact_cost:.2} in {exact_secs:.3}s\n\
+         relaxed greedy: cost {relaxed_cost:.2} in {relaxed_secs:.3}s \
+         (+{:.1}% cost, {:.0}x faster)",
+        100.0 * (relaxed_cost / exact_cost - 1.0),
+        exact_secs / relaxed_secs.max(1e-9)
+    );
+
+    // ---- 3. margin loss vs InfoNCE ---------------------------------------
+    println!("\n--- Eq. (5) margin loss vs InfoNCE inside E2GCL ---");
+    for (label, loss) in [("Eq.(5) margin", LossKind::Margin), ("InfoNCE", LossKind::InfoNce)] {
+        let model = E2gclModel::new(E2gclConfig { loss, ..Default::default() });
+        let run = run_node_classification(&model, &data, &cfg, profile.runs, 0);
+        println!("{label:<16} {:.2} ± {:.2} %", 100.0 * run.mean, 100.0 * run.std);
+    }
+
+    // ---- 4. edge-score recipe ---------------------------------------------
+    println!("\n--- edge-score recipe (w^e ingredients) ---");
+    let mut results = Vec::new();
+    for (label, recipe) in [
+        ("centrality-only", EdgeRecipe::CentralityOnly),
+        ("similarity-only", EdgeRecipe::SimilarityOnly),
+        ("combined (paper)", EdgeRecipe::Combined),
+    ] {
+        let model = E2gclModel::new(E2gclConfig {
+            view: e2gcl_views::ViewConfig { edge_recipe: recipe, ..Default::default() },
+            ..Default::default()
+        });
+        let run = run_node_classification(&model, &data, &cfg, profile.runs, 0);
+        println!("{label:<18} {:.2} ± {:.2} %", 100.0 * run.mean, 100.0 * run.std);
+        results.push((label.to_string(), run.mean));
+    }
+    report::write_json("ablation_design", &results);
+
+    // Context: average intra-class feature distance drives the similarity
+    // term's usefulness.
+    let labels = &data.labels;
+    let mut intra = 0.0f64;
+    let mut inter = 0.0f64;
+    let (mut ci, mut cj) = (0usize, 0usize);
+    for (u, v) in data.graph.edges() {
+        let d = f64::from(ops::dist(data.features.row(u), data.features.row(v)));
+        if labels[u] == labels[v] {
+            intra += d;
+            ci += 1;
+        } else {
+            inter += d;
+            cj += 1;
+        }
+    }
+    println!(
+        "\n(context: mean edge feature distance intra-class {:.3} vs inter-class {:.3})",
+        intra / ci.max(1) as f64,
+        inter / cj.max(1) as f64
+    );
+}

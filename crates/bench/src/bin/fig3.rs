@@ -1,0 +1,74 @@
+//! Fig. 3: accuracy-vs-training-time curves on Cora and Citeseer for E²GCL
+//! and the strongest baselines. Total time includes selection and view
+//! generation; the E²GCL curve should rise faster and plateau higher.
+//!
+//! ```sh
+//! cargo run -p e2gcl-bench --bin fig3 --release -- --profile quick
+//! ```
+
+use e2gcl::pipeline::accuracy_time_curve;
+use e2gcl::prelude::*;
+use e2gcl_bench::{registry, report, Profile};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Curve {
+    model: String,
+    dataset: String,
+    points: Vec<(f64, f32)>,
+}
+
+fn main() {
+    let profile = Profile::from_args();
+    println!("Fig. 3 reproduction — accuracy-time curves (profile: {})", profile.name);
+    let models = {
+        let mut m = registry::strong_baseline_names();
+        m.push("E2GCL");
+        m
+    };
+    let mut json = Vec::new();
+    for dname in ["cora-sim", "citeseer-sim"] {
+        let data = profile.dataset(dname, 400);
+        println!("\n--- {dname} ({} nodes) ---", data.num_nodes());
+        let cfg = TrainConfig {
+            checkpoint_every: Some((profile.epochs / 8).max(1)),
+            ..profile.train_config()
+        };
+        for model_name in &models {
+            let model = registry::model(model_name);
+            let curve = accuracy_time_curve(model.as_ref(), &data, &cfg, 1);
+            print!("{model_name:<8}");
+            for (t, a) in &curve {
+                print!(" ({t:.2}s,{:.1}%)", 100.0 * a);
+            }
+            println!();
+            json.push(Curve {
+                model: model_name.to_string(),
+                dataset: dname.to_string(),
+                points: curve,
+            });
+        }
+        // Shape: at its own final time, E2GCL should be at or above every
+        // baseline's accuracy at a comparable or later time.
+        let e2gcl_final = json
+            .iter()
+            .filter(|c| c.dataset == dname && c.model == "E2GCL")
+            .filter_map(|c| c.points.last())
+            .map(|&(t, a)| (t, a))
+            .next();
+        if let Some((t_e, a_e)) = e2gcl_final {
+            let best_baseline = json
+                .iter()
+                .filter(|c| c.dataset == dname && c.model != "E2GCL")
+                .filter_map(|c| c.points.last())
+                .map(|&(_, a)| a)
+                .fold(f32::NEG_INFINITY, f32::max);
+            println!(
+                "[shape] {dname}: E2GCL final {:.2}% at {t_e:.2}s vs best baseline final {:.2}%",
+                100.0 * a_e,
+                100.0 * best_baseline
+            );
+        }
+    }
+    report::write_json("fig3", &json);
+}

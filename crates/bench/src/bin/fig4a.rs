@@ -1,0 +1,51 @@
+//! Fig. 4(a): node-budget sweep — accuracy as the budget ratio r shrinks
+//! from 1 to 2^-10 on the five small datasets. The paper's shape: a plateau
+//! near the all-nodes accuracy followed by a drop, with the dense co-product
+//! graphs (Photo, Computers) dropping hardest.
+//!
+//! ```sh
+//! cargo run -p e2gcl-bench --bin fig4a --release -- --profile quick
+//! ```
+
+use e2gcl::pipeline::run_node_classification;
+use e2gcl::prelude::*;
+use e2gcl_bench::{reference, report, Profile};
+
+fn main() {
+    let profile = Profile::from_args();
+    println!("Fig. 4(a) reproduction — node budget sweep (profile: {})", profile.name);
+    let ratios: Vec<f64> = if profile.name == "paper" {
+        (0..=10).map(|i| 1.0 / f64::powi(2.0, i)).collect()
+    } else {
+        vec![1.0, 0.25, 1.0 / 16.0, 1.0 / 64.0, 1.0 / 256.0, 1.0 / 1024.0]
+    };
+    let cfg = profile.train_config();
+    let mut points: Vec<(f64, Vec<f32>)> = Vec::new();
+    let datasets: Vec<NodeDataset> = reference::SMALL_DATASETS
+        .iter()
+        .map(|n| profile.dataset(n, 500))
+        .collect();
+    for &r in &ratios {
+        let mut row = Vec::new();
+        for data in &datasets {
+            let model = E2gclModel::new(E2gclConfig { node_ratio: r, ..Default::default() });
+            let run = run_node_classification(&model, data, &cfg, profile.runs.min(2), 0);
+            row.push(100.0 * run.mean);
+        }
+        eprintln!("  done: r = {r}");
+        points.push((r, row));
+    }
+    report::print_series(
+        "Fig. 4(a): accuracy % vs node ratio r",
+        "r",
+        &reference::SMALL_DATASETS,
+        &points,
+    );
+    // Shape check: accuracy at the largest ratio beats the smallest.
+    for (di, name) in reference::SMALL_DATASETS.iter().enumerate() {
+        let first = points.first().unwrap().1[di];
+        let last = points.last().unwrap().1[di];
+        println!("[shape] {name}: r=1 gives {first:.2}%, r={:.4} gives {last:.2}%", ratios.last().unwrap());
+    }
+    report::write_json("fig4a", &points);
+}

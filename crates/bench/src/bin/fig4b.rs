@@ -1,0 +1,60 @@
+//! Fig. 4(b): cluster-number sweep — normalised accuracy, selection time and
+//! total time as n_c varies, on Computers and Arxiv. The paper's shape:
+//! selection time rises with n_c while accuracy and total time barely move.
+//!
+//! ```sh
+//! cargo run -p e2gcl-bench --bin fig4b --release -- --profile quick
+//! ```
+
+use e2gcl::pipeline::run_node_classification;
+use e2gcl::prelude::*;
+use e2gcl_bench::{report, Profile};
+use e2gcl_selector::greedy::GreedyConfig;
+
+fn main() {
+    let profile = Profile::from_args();
+    println!("Fig. 4(b) reproduction — cluster-number sweep (profile: {})", profile.name);
+    let cluster_counts = [30usize, 60, 90, 120, 180];
+    let cfg = profile.train_config();
+    let datasets =
+        [profile.dataset("computers-sim", 501), profile.large_dataset("arxiv-sim", 502)];
+    for data in &datasets {
+        println!("\n--- {} ({} nodes) ---", data.name, data.num_nodes());
+        let mut raw: Vec<(usize, f32, f64, f64)> = Vec::new();
+        for &nc in &cluster_counts {
+            let model = E2gclModel::new(E2gclConfig {
+                selector: SelectorKind::Greedy(GreedyConfig {
+                    num_clusters: nc,
+                    sample_size: 300,
+                    ..Default::default()
+                }),
+                ..Default::default()
+            });
+            let run = run_node_classification(&model, data, &cfg, 1, 0);
+            raw.push((nc, run.mean, run.selection_secs, run.total_secs));
+            eprintln!("  done: n_c = {nc}");
+        }
+        // Normalise by the first variant, as the paper does.
+        let base = raw[0];
+        let points: Vec<(f64, Vec<f32>)> = raw
+            .iter()
+            .map(|&(nc, acc, st, tt)| {
+                (
+                    nc as f64,
+                    vec![
+                        acc / base.1,
+                        (st / base.2.max(1e-9)) as f32,
+                        (tt / base.3.max(1e-9)) as f32,
+                    ],
+                )
+            })
+            .collect();
+        report::print_series(
+            &format!("Fig. 4(b) on {}: normalised vs n_c", data.name),
+            "n_c",
+            &["accuracy", "selection", "total"],
+            &points,
+        );
+        report::write_json(&format!("fig4b-{}", data.name), &points);
+    }
+}

@@ -1,0 +1,63 @@
+//! Fig. 4(c): sampled-candidate sweep — normalised accuracy, selection time
+//! and total time as n_s varies. The paper's shape: selection time grows
+//! with n_s, accuracy rises then stabilises, total time barely moves.
+//!
+//! ```sh
+//! cargo run -p e2gcl-bench --bin fig4c --release -- --profile quick
+//! ```
+
+use e2gcl::pipeline::run_node_classification;
+use e2gcl::prelude::*;
+use e2gcl_bench::{report, Profile};
+use e2gcl_selector::greedy::GreedyConfig;
+
+fn main() {
+    let profile = Profile::from_args();
+    println!("Fig. 4(c) reproduction — sample-count sweep (profile: {})", profile.name);
+    let sample_sizes: Vec<usize> = if profile.name == "paper" {
+        (1..=10).map(|i| 100 * i).collect()
+    } else {
+        vec![25, 100, 300, 600, 1000]
+    };
+    let cfg = profile.train_config();
+    let datasets =
+        [profile.dataset("computers-sim", 503), profile.large_dataset("arxiv-sim", 504)];
+    for data in &datasets {
+        println!("\n--- {} ({} nodes) ---", data.name, data.num_nodes());
+        let mut raw: Vec<(usize, f32, f64, f64)> = Vec::new();
+        for &ns in &sample_sizes {
+            let model = E2gclModel::new(E2gclConfig {
+                selector: SelectorKind::Greedy(GreedyConfig {
+                    num_clusters: 120,
+                    sample_size: ns,
+                    ..Default::default()
+                }),
+                ..Default::default()
+            });
+            let run = run_node_classification(&model, data, &cfg, 1, 0);
+            raw.push((ns, run.mean, run.selection_secs, run.total_secs));
+            eprintln!("  done: n_s = {ns}");
+        }
+        let base = raw[0];
+        let points: Vec<(f64, Vec<f32>)> = raw
+            .iter()
+            .map(|&(ns, acc, st, tt)| {
+                (
+                    ns as f64,
+                    vec![
+                        acc / base.1,
+                        (st / base.2.max(1e-9)) as f32,
+                        (tt / base.3.max(1e-9)) as f32,
+                    ],
+                )
+            })
+            .collect();
+        report::print_series(
+            &format!("Fig. 4(c) on {}: normalised vs n_s", data.name),
+            "n_s",
+            &["accuracy", "selection", "total"],
+            &points,
+        );
+        report::write_json(&format!("fig4c-{}", data.name), &points);
+    }
+}

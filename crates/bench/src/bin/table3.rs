@@ -1,0 +1,77 @@
+//! Table III: dataset statistics — the paper's numbers next to our analogs'
+//! measured statistics (at the chosen profile's scale).
+//!
+//! ```sh
+//! cargo run -p e2gcl-bench --bin table3 --release -- --profile quick
+//! ```
+
+use e2gcl::prelude::*;
+use e2gcl_bench::Profile;
+use e2gcl_datasets::registry::all_node_specs;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    name: String,
+    paper_nodes: usize,
+    paper_edges: usize,
+    paper_avg_degree: f64,
+    paper_features: usize,
+    paper_classes: usize,
+    sim_nodes: usize,
+    sim_edges: usize,
+    sim_avg_degree: f64,
+    sim_features: usize,
+    sim_classes: usize,
+    sim_homophily: f64,
+}
+
+fn main() {
+    let profile = Profile::from_args();
+    println!("Table III reproduction — dataset statistics (profile: {})", profile.name);
+    println!(
+        "{:<14} {:>10} {:>12} {:>8} {:>9} {:>7}  |  {:>9} {:>11} {:>8} {:>9} {:>7} {:>6}",
+        "dataset", "nodes", "edges", "degree", "features", "classes", "sim nodes",
+        "sim edges", "degree", "features", "classes", "homo",
+    );
+    let mut rows = Vec::new();
+    for spec in all_node_specs() {
+        let scale = if spec.name.contains("arxiv") || spec.name.contains("products") {
+            profile.large_scale
+        } else {
+            profile.scale
+        };
+        let d = NodeDataset::generate(&spec, scale, 0);
+        let row = Row {
+            name: spec.name.to_string(),
+            paper_nodes: spec.paper_nodes,
+            paper_edges: spec.paper_edges,
+            paper_avg_degree: spec.paper_avg_degree,
+            paper_features: spec.paper_features,
+            paper_classes: spec.paper_classes,
+            sim_nodes: d.num_nodes(),
+            sim_edges: d.graph.num_edges(),
+            sim_avg_degree: d.graph.avg_degree(),
+            sim_features: d.feature_dim(),
+            sim_classes: d.num_classes,
+            sim_homophily: d.edge_homophily(),
+        };
+        println!(
+            "{:<14} {:>10} {:>12} {:>8.2} {:>9} {:>7}  |  {:>9} {:>11} {:>8.2} {:>9} {:>7} {:>6.2}",
+            row.name,
+            row.paper_nodes,
+            row.paper_edges,
+            row.paper_avg_degree,
+            row.paper_features,
+            row.paper_classes,
+            row.sim_nodes,
+            row.sim_edges,
+            row.sim_avg_degree,
+            row.sim_features,
+            row.sim_classes,
+            row.sim_homophily,
+        );
+        rows.push(row);
+    }
+    e2gcl_bench::report::write_json("table3", &rows);
+}

@@ -1,0 +1,101 @@
+//! Table IV: node-classification accuracy of every model on the five small
+//! datasets, measured vs the paper's reported values.
+//!
+//! ```sh
+//! cargo run -p e2gcl-bench --bin table4 --release -- --profile quick
+//! ```
+
+use e2gcl::pipeline::run_node_classification;
+use e2gcl::{eval, prelude::*};
+use e2gcl_bench::report::{print_table, write_json, Cell};
+use e2gcl_bench::{reference, registry, Profile};
+use e2gcl_linalg::stats;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Entry {
+    model: String,
+    dataset: String,
+    mean: f32,
+    std: f32,
+    paper: f32,
+}
+
+fn main() {
+    let profile = Profile::from_args();
+    println!(
+        "Table IV reproduction — node classification (profile: {}, scale {}, {} epochs, {} runs)",
+        profile.name, profile.scale, profile.epochs, profile.runs
+    );
+    let datasets: Vec<NodeDataset> = reference::SMALL_DATASETS
+        .iter()
+        .map(|n| profile.dataset(n, 100))
+        .collect();
+    let paper_rows = reference::table4();
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+
+    for (model_name, paper_vals) in &paper_rows {
+        let mut cells = Vec::new();
+        for (di, data) in datasets.iter().enumerate() {
+            let (mean, std) = match *model_name {
+                "MLP" => {
+                    let accs: Vec<f32> = (0..profile.runs)
+                        .map(|r| {
+                            eval::supervised_mlp_accuracy(
+                                &data.features,
+                                &data.labels,
+                                data.num_classes,
+                                &profile.train_config(),
+                                r as u64,
+                            )
+                        })
+                        .collect();
+                    stats::mean_std(&accs)
+                }
+                "GCN" => {
+                    let accs: Vec<f32> = (0..profile.runs)
+                        .map(|r| {
+                            eval::supervised_gcn_accuracy(
+                                &data.graph,
+                                &data.features,
+                                &data.labels,
+                                data.num_classes,
+                                &profile.train_config(),
+                                r as u64,
+                            )
+                        })
+                        .collect();
+                    stats::mean_std(&accs)
+                }
+                name => {
+                    let model = registry::model(name);
+                    let cfg = if registry::is_walk_model(name) {
+                        profile.walk_config()
+                    } else {
+                        profile.train_config()
+                    };
+                    let run =
+                        run_node_classification(model.as_ref(), data, &cfg, profile.runs, 0);
+                    (run.mean, run.std)
+                }
+            };
+            cells.push(Cell::vs(100.0 * mean, 100.0 * std, paper_vals[di]));
+            json.push(Entry {
+                model: model_name.to_string(),
+                dataset: data.name.clone(),
+                mean: 100.0 * mean,
+                std: 100.0 * std,
+                paper: paper_vals[di],
+            });
+            eprintln!("  done: {model_name} on {}", data.name);
+        }
+        rows.push((model_name.to_string(), cells));
+    }
+    print_table(
+        "Table IV: accuracy % — measured (paper)",
+        &reference::SMALL_DATASETS,
+        &rows,
+    );
+    write_json("table4", &json);
+}

@@ -1,0 +1,46 @@
+//! Table VI: framework ablation — node set {All, Selected} × view strategy
+//! {Uniform, Importance}.
+//!
+//! ```sh
+//! cargo run -p e2gcl-bench --bin table6 --release -- --profile quick
+//! ```
+
+use e2gcl::prelude::*;
+use e2gcl_bench::{e2gcl_ablation_table, reference, Profile};
+
+fn main() {
+    let profile = Profile::from_args();
+    println!("Table VI reproduction — framework ablation (profile: {})", profile.name);
+    let variants = vec![
+        (
+            "E2GCL_{A,U}".to_string(),
+            E2gclModel::new(E2gclConfig {
+                selector: SelectorKind::All,
+                strategy: ViewStrategy::Uniform,
+                ..Default::default()
+            }),
+        ),
+        (
+            "E2GCL_{S,U}".to_string(),
+            E2gclModel::new(E2gclConfig {
+                strategy: ViewStrategy::Uniform,
+                ..Default::default()
+            }),
+        ),
+        (
+            "E2GCL_{A,I}".to_string(),
+            E2gclModel::new(E2gclConfig {
+                selector: SelectorKind::All,
+                ..Default::default()
+            }),
+        ),
+        ("E2GCL_{S,I}".to_string(), E2gclModel::default()),
+    ];
+    e2gcl_ablation_table(
+        &profile,
+        "Table VI: framework ablation, accuracy % — measured (paper)",
+        &variants,
+        &reference::table6(),
+        "table6",
+    );
+}

@@ -1,0 +1,30 @@
+//! Table VIII: view-generator ablation — uniform vs edge-aware vs
+//! feature-aware vs both (the paper's \F\S, \S, \F, full rows).
+//!
+//! ```sh
+//! cargo run -p e2gcl-bench --bin table8 --release -- --profile quick
+//! ```
+
+use e2gcl::prelude::*;
+use e2gcl_bench::{e2gcl_ablation_table, reference, Profile};
+
+fn main() {
+    let profile = Profile::from_args();
+    println!("Table VIII reproduction — view-generator ablation (profile: {})", profile.name);
+    let with = |strategy: ViewStrategy| {
+        E2gclModel::new(E2gclConfig { strategy, ..Default::default() })
+    };
+    let variants = vec![
+        ("E2GCL\\F\\S".to_string(), with(ViewStrategy::Uniform)),
+        ("E2GCL\\S".to_string(), with(ViewStrategy::UniformEdges)),
+        ("E2GCL\\F".to_string(), with(ViewStrategy::UniformFeatures)),
+        ("E2GCL".to_string(), with(ViewStrategy::Importance)),
+    ];
+    e2gcl_ablation_table(
+        &profile,
+        "Table VIII: view-generator ablation, accuracy % — measured (paper)",
+        &variants,
+        &reference::table8(),
+        "table8",
+    );
+}

@@ -1,0 +1,82 @@
+//! Table IX: link prediction (Photo / Computers / CS analogs) and graph
+//! classification (NCI1 / PTC_MR / PROTEINS analogs) for the strongest
+//! contrastive models and E²GCL.
+//!
+//! ```sh
+//! cargo run -p e2gcl-bench --bin table9 --release -- --profile quick
+//! ```
+
+use e2gcl::pipeline::run_graph_classification;
+use e2gcl::{eval, prelude::*};
+use e2gcl_bench::report::{print_table, write_json, Cell};
+use e2gcl_bench::{reference, registry, Profile};
+use e2gcl_datasets::graph_dataset::{graph_spec, GraphDataset};
+use e2gcl_datasets::split::EdgeSplit;
+use e2gcl_linalg::stats;
+
+const LP_DATASETS: [&str; 3] = ["photo-sim", "computers-sim", "cs-sim"];
+const GC_DATASETS: [&str; 3] = ["nci1-sim", "ptcmr-sim", "proteins-sim"];
+
+fn main() {
+    let profile = Profile::from_args();
+    println!(
+        "Table IX reproduction — link prediction + graph classification (profile: {})",
+        profile.name
+    );
+    let cfg = profile.train_config();
+
+    // Link-prediction splits, shared across models for comparability.
+    let lp_data: Vec<(NodeDataset, EdgeSplit)> = LP_DATASETS
+        .iter()
+        .enumerate()
+        .map(|(i, name)| {
+            let d = profile.dataset(name, 600 + i as u64);
+            let split = EdgeSplit::random(&d.graph, &mut SeedRng::new(42 + i as u64));
+            (d, split)
+        })
+        .collect();
+    let gc_data: Vec<GraphDataset> = GC_DATASETS
+        .iter()
+        .enumerate()
+        .map(|(i, name)| {
+            GraphDataset::generate(&graph_spec(name), profile.scale.min(0.5), 700 + i as u64)
+        })
+        .collect();
+
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for (model_name, paper_lp, paper_gc) in reference::table9() {
+        let model = registry::model(model_name);
+        let mut cells = Vec::new();
+        // --- link prediction ---
+        for (i, (d, split)) in lp_data.iter().enumerate() {
+            let accs: Vec<f32> = (0..profile.runs)
+                .map(|r| {
+                    let mut rng = SeedRng::new(r as u64);
+                    let out =
+                        model.pretrain(&split.train_graph, &d.features, &cfg, &mut rng);
+                    eval::link_prediction_accuracy(&out.embeddings, split, r as u64)
+                })
+                .collect();
+            let (mean, std) = stats::mean_std(&accs);
+            cells.push(Cell::vs(100.0 * mean, 100.0 * std, paper_lp[i]));
+            json.push((model_name, format!("lp/{}", d.name), 100.0 * mean, paper_lp[i]));
+            eprintln!("  done: {model_name} link prediction on {}", d.name);
+        }
+        // --- graph classification ---
+        for (i, data) in gc_data.iter().enumerate() {
+            let (mean, std) =
+                run_graph_classification(model.as_ref(), data, &cfg, profile.runs, 0);
+            cells.push(Cell::vs(100.0 * mean, 100.0 * std, paper_gc[i]));
+            json.push((model_name, format!("gc/{}", data.name), 100.0 * mean, paper_gc[i]));
+            eprintln!("  done: {model_name} graph classification on {}", data.name);
+        }
+        rows.push((model_name.to_string(), cells));
+    }
+    print_table(
+        "Table IX: link prediction | graph classification, accuracy % — measured (paper)",
+        &["lp:photo", "lp:computers", "lp:cs", "gc:nci1", "gc:ptcmr", "gc:proteins"],
+        &rows,
+    );
+    write_json("table9", &json);
+}

@@ -1,0 +1,93 @@
+//! Appendix-B4-style visualisation of the selected coreset: project the raw
+//! aggregates `R = A_n^L X` to 2-D with PCA and render an ASCII density map
+//! of all nodes with the selected nodes overlaid — the textual equivalent of
+//! the technique report's t-SNE scatter (selected nodes should cover every
+//! region of the cloud, not just the dense core).
+//!
+//! ```sh
+//! cargo run -p e2gcl-bench --bin visualize_selection --release
+//! ```
+
+use e2gcl::prelude::*;
+use e2gcl_bench::Profile;
+use e2gcl_graph::norm;
+use e2gcl_linalg::pca;
+use e2gcl_selector::baselines::RandomSelector;
+use e2gcl_selector::greedy::GreedySelector;
+use e2gcl_selector::NodeSelector;
+
+const W: usize = 64;
+const H: usize = 24;
+
+fn render(title: &str, proj: &Matrix, selected: &[usize]) {
+    let xs: Vec<f32> = (0..proj.rows()).map(|v| proj.get(v, 0)).collect();
+    let ys: Vec<f32> = (0..proj.rows()).map(|v| proj.get(v, 1)).collect();
+    let (x_lo, x_hi) = (
+        xs.iter().cloned().fold(f32::INFINITY, f32::min),
+        xs.iter().cloned().fold(f32::NEG_INFINITY, f32::max),
+    );
+    let (y_lo, y_hi) = (
+        ys.iter().cloned().fold(f32::INFINITY, f32::min),
+        ys.iter().cloned().fold(f32::NEG_INFINITY, f32::max),
+    );
+    let cell = |x: f32, y: f32| -> (usize, usize) {
+        let cx = (((x - x_lo) / (x_hi - x_lo).max(1e-9)) * (W as f32 - 1.0)) as usize;
+        let cy = (((y - y_lo) / (y_hi - y_lo).max(1e-9)) * (H as f32 - 1.0)) as usize;
+        (cx.min(W - 1), cy.min(H - 1))
+    };
+    let mut grid = vec![[0usize; 2]; W * H]; // [population, selected]
+    for v in 0..proj.rows() {
+        let (cx, cy) = cell(xs[v], ys[v]);
+        grid[cy * W + cx][0] += 1;
+    }
+    for &v in selected {
+        let (cx, cy) = cell(xs[v], ys[v]);
+        grid[cy * W + cx][1] += 1;
+    }
+    println!("\n{title}  ('.'/':'/'+' node density, '#' contains selected)");
+    for row in 0..H {
+        let mut line = String::with_capacity(W);
+        for col in 0..W {
+            let [pop, sel] = grid[row * W + col];
+            line.push(match (pop, sel) {
+                (_, s) if s > 0 => '#',
+                (0, _) => ' ',
+                (1..=2, _) => '.',
+                (3..=6, _) => ':',
+                _ => '+',
+            });
+        }
+        println!("  {line}");
+    }
+    // Coverage metric: fraction of populated cells containing a selection.
+    let populated = grid.iter().filter(|c| c[0] > 0).count();
+    let covered = grid.iter().filter(|c| c[0] > 0 && c[1] > 0).count();
+    println!(
+        "  coverage: {covered}/{populated} populated cells contain a selected node ({:.1}%)",
+        100.0 * covered as f64 / populated.max(1) as f64
+    );
+}
+
+fn main() {
+    let profile = Profile::from_args();
+    let data = profile.dataset("cora-sim", 900);
+    println!(
+        "selection visualisation on {} ({} nodes), budget r = 0.1",
+        data.name,
+        data.num_nodes()
+    );
+    let repr = norm::raw_aggregate(&data.graph, &data.features, 2);
+    let mut rng = SeedRng::new(0);
+    let proj = pca::pca_project(&repr, 2, 50, &mut rng);
+    let budget = data.num_nodes() / 10;
+    let ours = GreedySelector::default().select(
+        &data.graph,
+        &data.features,
+        budget,
+        &mut SeedRng::new(1),
+    );
+    let random =
+        RandomSelector.select(&data.graph, &data.features, budget, &mut SeedRng::new(1));
+    render("Alg. 2 greedy coreset", &proj, &ours.nodes);
+    render("Random selection (same budget)", &proj, &random.nodes);
+}

@@ -1,0 +1,170 @@
+//! Shared harness for the table/figure reproduction binaries.
+//!
+//! Every `src/bin/tableN.rs` / `src/bin/figN.rs` binary uses this crate for:
+//! * [`Profile`] — `--profile quick|paper` run sizing (dataset scale,
+//!   epochs, repetition counts);
+//! * [`registry`] — the model zoo keyed by the names the paper's tables use;
+//! * [`mod@reference`] — the paper-reported values, printed side by side
+//!   with our measurements (`EXPERIMENTS.md` records the comparison);
+//! * [`report`] — aligned-table printing and JSON result emission.
+
+pub mod reference;
+pub mod registry;
+pub mod report;
+
+use e2gcl::prelude::*;
+
+/// Sizing of a reproduction run.
+#[derive(Clone, Debug)]
+pub struct Profile {
+    /// `"quick"` or `"paper"`.
+    pub name: String,
+    /// Scale applied to the five small datasets.
+    pub scale: f64,
+    /// Scale applied to arxiv-sim / products-sim (Table V).
+    pub large_scale: f64,
+    /// Pre-training epochs.
+    pub epochs: usize,
+    /// Repetitions (pre-train + split) per cell.
+    pub runs: usize,
+}
+
+impl Profile {
+    /// The fast smoke profile (used for the recorded bench outputs).
+    pub fn quick() -> Profile {
+        Profile { name: "quick".into(), scale: 0.25, large_scale: 0.15, epochs: 15, runs: 2 }
+    }
+
+    /// The full protocol (paper-sized graphs, 10 repetitions).
+    pub fn paper() -> Profile {
+        Profile { name: "paper".into(), scale: 1.0, large_scale: 1.0, epochs: 60, runs: 10 }
+    }
+
+    /// Parses `--profile quick|paper` (default quick) from process args.
+    pub fn from_args() -> Profile {
+        let args: Vec<String> = std::env::args().collect();
+        let mut profile = Profile::quick();
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--profile" if i + 1 < args.len() => {
+                    profile = match args[i + 1].as_str() {
+                        "paper" => Profile::paper(),
+                        "quick" => Profile::quick(),
+                        other => {
+                            eprintln!("unknown profile '{other}', using quick");
+                            Profile::quick()
+                        }
+                    };
+                    i += 2;
+                }
+                "--scale" if i + 1 < args.len() => {
+                    profile.scale = args[i + 1].parse().expect("--scale takes a float");
+                    i += 2;
+                }
+                "--runs" if i + 1 < args.len() => {
+                    profile.runs = args[i + 1].parse().expect("--runs takes an int");
+                    i += 2;
+                }
+                "--epochs" if i + 1 < args.len() => {
+                    profile.epochs = args[i + 1].parse().expect("--epochs takes an int");
+                    i += 2;
+                }
+                "--bench" => i += 1, // passed by `cargo bench` harness invocations
+                other => {
+                    eprintln!("ignoring unknown argument '{other}'");
+                    i += 1;
+                }
+            }
+        }
+        profile
+    }
+
+    /// The shared training configuration for this profile.
+    pub fn train_config(&self) -> TrainConfig {
+        TrainConfig { epochs: self.epochs, ..TrainConfig::default() }
+    }
+
+    /// Walk models (DeepWalk / Node2Vec) do far more work per "epoch"; the
+    /// convention is a handful of passes.
+    pub fn walk_config(&self) -> TrainConfig {
+        TrainConfig { epochs: (self.epochs / 8).max(2), ..TrainConfig::default() }
+    }
+
+    /// Generates one of the five small datasets at this profile's scale.
+    pub fn dataset(&self, name: &str, seed: u64) -> NodeDataset {
+        NodeDataset::generate(&spec(name), self.scale, seed)
+    }
+
+    /// Generates one of the two large datasets (Table V) at this profile's
+    /// large-graph scale.
+    pub fn large_dataset(&self, name: &str, seed: u64) -> NodeDataset {
+        NodeDataset::generate(&spec(name), self.large_scale, seed)
+    }
+}
+
+/// Shared driver for the E²GCL ablation tables (VI, VII, VIII): runs each
+/// variant over the five small datasets and prints measured-vs-paper cells.
+pub fn e2gcl_ablation_table(
+    profile: &Profile,
+    title: &str,
+    variants: &[(String, E2gclModel)],
+    paper: &[(&str, [f32; 5])],
+    json_name: &str,
+) {
+    use e2gcl::pipeline::run_node_classification;
+    assert_eq!(variants.len(), paper.len(), "variant/paper row mismatch");
+    let datasets: Vec<NodeDataset> = reference::SMALL_DATASETS
+        .iter()
+        .map(|n| profile.dataset(n, 100))
+        .collect();
+    let cfg = profile.train_config();
+    let mut rows = Vec::new();
+    let mut json: Vec<(String, String, f32, f32, f32)> = Vec::new();
+    for ((name, model), (_, paper_vals)) in variants.iter().zip(paper) {
+        let mut cells = Vec::new();
+        for (di, data) in datasets.iter().enumerate() {
+            let run = run_node_classification(model, data, &cfg, profile.runs, 0);
+            cells.push(report::Cell::vs(100.0 * run.mean, 100.0 * run.std, paper_vals[di]));
+            json.push((
+                name.clone(),
+                data.name.clone(),
+                100.0 * run.mean,
+                100.0 * run.std,
+                paper_vals[di],
+            ));
+            eprintln!("  done: {name} on {}", data.name);
+        }
+        rows.push((name.clone(), cells));
+    }
+    report::print_table(title, &reference::SMALL_DATASETS, &rows);
+    report::write_json(json_name, &json);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_differ() {
+        let q = Profile::quick();
+        let p = Profile::paper();
+        assert!(q.scale < p.scale);
+        assert!(q.runs < p.runs);
+        assert!(q.epochs < p.epochs);
+    }
+
+    #[test]
+    fn walk_config_reduces_epochs() {
+        let p = Profile::paper();
+        assert!(p.walk_config().epochs < p.train_config().epochs);
+        assert!(Profile::quick().walk_config().epochs >= 2);
+    }
+
+    #[test]
+    fn dataset_scaling_applies() {
+        let q = Profile::quick();
+        let d = q.dataset("cora-sim", 0);
+        assert!((d.num_nodes() as f64 - 2708.0 * q.scale).abs() < 2.0);
+    }
+}

@@ -1,0 +1,78 @@
+//! Model zoo keyed by the names the paper's tables use.
+
+use e2gcl::models::adgcl::AdgclModel;
+use e2gcl::models::bgrl::{AfgrlModel, BgrlModel};
+use e2gcl::models::dgi::DgiModel;
+use e2gcl::models::gae::{GaeModel, VgaeModel};
+use e2gcl::models::grace::GraceModel;
+use e2gcl::models::mvgrl::MvgrlModel;
+use e2gcl::models::walks::WalkModel;
+use e2gcl::prelude::*;
+
+/// Instantiates a contrastive model by its table name.
+///
+/// # Panics
+/// Panics on an unknown name; see [`table4_contrastive_names`].
+pub fn model(name: &str) -> Box<dyn ContrastiveModel> {
+    match name {
+        "E2GCL" => Box::new(E2gclModel::default()),
+        "GRACE" => Box::new(GraceModel::grace()),
+        "GCA" => Box::new(GraceModel::gca()),
+        "MVGRL" => Box::new(MvgrlModel::default()),
+        "BGRL" => Box::new(BgrlModel::default()),
+        "AFGRL" => Box::new(AfgrlModel::default()),
+        "DGI" => Box::new(DgiModel),
+        "GAE" => Box::new(GaeModel),
+        "VGAE" => Box::new(VgaeModel::default()),
+        "ADGCL" => Box::new(AdgclModel::default()),
+        "DW" => Box::new(WalkModel::deepwalk()),
+        "N2V" => Box::new(WalkModel::node2vec()),
+        other => panic!("unknown model '{other}'"),
+    }
+}
+
+/// True if this model is a random-walk method (gets the reduced-epoch
+/// config; see `Profile::walk_config`).
+pub fn is_walk_model(name: &str) -> bool {
+    matches!(name, "DW" | "N2V")
+}
+
+/// The self-supervised rows of Table IV, top to bottom.
+pub fn table4_contrastive_names() -> Vec<&'static str> {
+    vec![
+        "DW", "N2V", "GAE", "VGAE", "DGI", "BGRL", "AFGRL", "MVGRL", "GRACE", "GCA", "E2GCL",
+    ]
+}
+
+/// The strongest baselines used in Fig. 3 / Table V / Table IX comparisons.
+pub fn strong_baseline_names() -> Vec<&'static str> {
+    vec!["AFGRL", "BGRL", "MVGRL", "GRACE", "GCA"]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_registered_name_constructs() {
+        for n in table4_contrastive_names() {
+            let m = model(n);
+            // Registry name must match the table name the paper prints
+            // (walk models use the paper's abbreviations).
+            match n {
+                "DW" => assert_eq!(m.name(), "DeepWalk"),
+                "N2V" => assert_eq!(m.name(), "Node2Vec"),
+                other => assert_eq!(m.name(), other),
+            }
+        }
+        for n in strong_baseline_names() {
+            let _ = model(n);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown model")]
+    fn unknown_model_panics() {
+        let _ = model("GPT");
+    }
+}

@@ -1,0 +1,116 @@
+//! Output helpers: aligned comparison tables + JSON result files.
+
+use serde::Serialize;
+use std::io::Write;
+
+/// One measured cell next to its paper reference.
+#[derive(Clone, Debug, Serialize)]
+pub struct Cell {
+    /// Our measured mean (%) or value.
+    pub measured: f32,
+    /// Our measured std, if applicable.
+    pub std: Option<f32>,
+    /// The paper's reported value, if applicable.
+    pub paper: Option<f32>,
+}
+
+impl Cell {
+    /// A measured-only cell.
+    pub fn measured(measured: f32) -> Cell {
+        Cell { measured, std: None, paper: None }
+    }
+
+    /// Measured ± std against a paper value.
+    pub fn vs(measured: f32, std: f32, paper: f32) -> Cell {
+        Cell { measured, std: Some(std), paper: Some(paper) }
+    }
+
+    fn render(&self) -> String {
+        let mut s = match self.std {
+            Some(std) => format!("{:5.2}±{:4.2}", self.measured, std),
+            None => format!("{:8.2}", self.measured),
+        };
+        if let Some(p) = self.paper {
+            s.push_str(&format!(" ({p:5.2})"));
+        }
+        s
+    }
+}
+
+/// Prints an aligned table: one row per model, one column per dataset.
+/// Paper values appear in parentheses.
+pub fn print_table(title: &str, columns: &[&str], rows: &[(String, Vec<Cell>)]) {
+    println!("\n=== {title} ===");
+    print!("{:<14}", "");
+    for c in columns {
+        print!("{c:>20}");
+    }
+    println!();
+    for (name, cells) in rows {
+        print!("{name:<14}");
+        for cell in cells {
+            print!("{:>20}", cell.render());
+        }
+        println!();
+    }
+    println!("(parenthesised values are the paper's; see EXPERIMENTS.md)");
+}
+
+/// Prints an `(x, series...)` block — the textual form of a figure.
+pub fn print_series(title: &str, x_label: &str, series_names: &[&str], points: &[(f64, Vec<f32>)]) {
+    println!("\n=== {title} ===");
+    print!("{x_label:>12}");
+    for s in series_names {
+        print!("{s:>14}");
+    }
+    println!();
+    for (x, ys) in points {
+        print!("{x:>12.4}");
+        for y in ys {
+            print!("{y:>14.4}");
+        }
+        println!();
+    }
+}
+
+/// Writes any serialisable result to `target/bench-results/<name>.json` so
+/// downstream tooling can re-plot without re-running.
+pub fn write_json<T: Serialize>(name: &str, value: &T) {
+    let dir = std::path::Path::new("target/bench-results");
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    if let Ok(mut f) = std::fs::File::create(&path) {
+        let _ = f.write_all(
+            serde_json::to_string_pretty(value).unwrap_or_default().as_bytes(),
+        );
+        println!("[results written to {}]", path.display());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_rendering() {
+        assert_eq!(Cell::measured(81.5).render(), "   81.50");
+        let c = Cell::vs(81.53, 0.42, 84.06);
+        assert!(c.render().contains("81.53"));
+        assert!(c.render().contains("84.06"));
+    }
+
+    #[test]
+    fn write_json_roundtrip() {
+        #[derive(Serialize)]
+        struct T {
+            a: u32,
+        }
+        write_json("unit-test", &T { a: 3 });
+        let s = std::fs::read_to_string("target/bench-results/unit-test.json");
+        if let Ok(s) = s {
+            assert!(s.contains("\"a\": 3"));
+        }
+    }
+}

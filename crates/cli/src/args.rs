@@ -1,0 +1,68 @@
+//! Minimal `--flag value` argument parsing (no external dependencies).
+
+use std::collections::HashMap;
+
+/// Parsed `--key value` pairs.
+pub struct Args {
+    values: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parses a flat `--key value` list; unknown positional arguments abort.
+    pub fn parse(argv: &[String]) -> Result<Args, String> {
+        let mut values = HashMap::new();
+        let mut i = 0;
+        while i < argv.len() {
+            let key = &argv[i];
+            if let Some(name) = key.strip_prefix("--") {
+                let value = argv
+                    .get(i + 1)
+                    .ok_or_else(|| format!("--{name} expects a value"))?;
+                values.insert(name.to_string(), value.clone());
+                i += 2;
+            } else {
+                return Err(format!("unexpected argument '{key}'"));
+            }
+        }
+        Ok(Args { values })
+    }
+
+    /// String option with default.
+    pub fn get(&self, key: &str, default: &str) -> String {
+        self.values.get(key).cloned().unwrap_or_else(|| default.to_string())
+    }
+
+    /// Parsed numeric/typed option with default.
+    pub fn get_parse<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.values.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("invalid value '{v}' for --{key}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_pairs_with_defaults() {
+        let a = Args::parse(&argv(&["--dataset", "cora-sim", "--epochs", "5"])).unwrap();
+        assert_eq!(a.get("dataset", "x"), "cora-sim");
+        assert_eq!(a.get("missing", "fallback"), "fallback");
+        assert_eq!(a.get_parse("epochs", 0usize).unwrap(), 5);
+        assert_eq!(a.get_parse("seed", 7u64).unwrap(), 7);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(Args::parse(&argv(&["positional"])).is_err());
+        assert!(Args::parse(&argv(&["--flag"])).is_err());
+        let a = Args::parse(&argv(&["--epochs", "abc"])).unwrap();
+        assert!(a.get_parse("epochs", 0usize).is_err());
+    }
+}

@@ -1,0 +1,310 @@
+//! CLI subcommand implementations.
+
+use crate::args::Args;
+use e2gcl::models::adgcl::AdgclModel;
+use e2gcl::models::bgrl::{AfgrlModel, BgrlModel};
+use e2gcl::models::dgi::DgiModel;
+use e2gcl::models::gae::{GaeModel, VgaeModel};
+use e2gcl::models::grace::GraceModel;
+use e2gcl::models::mvgrl::MvgrlModel;
+use e2gcl::models::walks::WalkModel;
+use e2gcl::prelude::*;
+use e2gcl_datasets::registry;
+use e2gcl_selector::greedy::GreedySelector;
+use e2gcl_selector::NodeSelector;
+use e2gcl_views::{ViewConfig, ViewGenerator};
+use serde::Serialize;
+
+/// `e2gcl datasets`
+pub fn datasets() -> i32 {
+    println!(
+        "{:<14} {:>9} {:>12} {:>8} {:>9} {:>8}   stands in for",
+        "name", "nodes", "edges", "degree", "features", "classes"
+    );
+    for s in registry::all_node_specs() {
+        println!(
+            "{:<14} {:>9} {:>12} {:>8.2} {:>9} {:>8}   {}",
+            s.name,
+            s.sim_nodes,
+            "(generated)",
+            s.sim_avg_degree,
+            s.sim_features,
+            s.sim_classes,
+            s.paper_name
+        );
+    }
+    println!(
+        "\ngraph-classification analogs: nci1-sim, ptcmr-sim, proteins-sim\n\
+         (all generated on demand; use --scale to shrink)"
+    );
+    0
+}
+
+fn build_model(name: &str) -> Result<Box<dyn ContrastiveModel>, String> {
+    Ok(match name {
+        "E2GCL" => Box::new(E2gclModel::default()) as Box<dyn ContrastiveModel>,
+        "GRACE" => Box::new(GraceModel::grace()),
+        "GCA" => Box::new(GraceModel::gca()),
+        "MVGRL" => Box::new(MvgrlModel::default()),
+        "BGRL" => Box::new(BgrlModel::default()),
+        "AFGRL" => Box::new(AfgrlModel::default()),
+        "DGI" => Box::new(DgiModel),
+        "GAE" => Box::new(GaeModel),
+        "VGAE" => Box::new(VgaeModel::default()),
+        "ADGCL" => Box::new(AdgclModel::default()),
+        "DW" => Box::new(WalkModel::deepwalk()),
+        "N2V" => Box::new(WalkModel::node2vec()),
+        other => return Err(format!("unknown model '{other}'")),
+    })
+}
+
+struct Common {
+    data: NodeDataset,
+    model: Box<dyn ContrastiveModel>,
+    cfg: TrainConfig,
+    seed: u64,
+}
+
+fn common(args: &Args) -> Result<Common, String> {
+    let dataset = args.get("dataset", "cora-sim");
+    let scale: f64 = args.get_parse("scale", 0.25)?;
+    let seed: u64 = args.get_parse("seed", 0)?;
+    let epochs: usize = args.get_parse("epochs", 30)?;
+    let data = NodeDataset::generate(&spec(&dataset), scale, seed);
+    let model = build_model(&args.get("model", "E2GCL"))?;
+    let cfg = TrainConfig { epochs, ..TrainConfig::default() };
+    Ok(Common { data, model, cfg, seed })
+}
+
+fn run_or_usage(result: Result<i32, String>) -> i32 {
+    match result {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("error: {e}");
+            2
+        }
+    }
+}
+
+/// `e2gcl pretrain`
+pub fn pretrain(argv: &[String]) -> i32 {
+    run_or_usage((|| {
+        let args = Args::parse(argv)?;
+        let c = common(&args)?;
+        let out_path = args.get("out", "embeddings.json");
+        eprintln!(
+            "pre-training {} on {} ({} nodes, {} edges)...",
+            c.model.name(),
+            c.data.name,
+            c.data.num_nodes(),
+            c.data.graph.num_edges()
+        );
+        let out = c.model.pretrain(
+            &c.data.graph,
+            &c.data.features,
+            &c.cfg,
+            &mut SeedRng::new(c.seed),
+        );
+        #[derive(Serialize)]
+        struct Dump {
+            model: String,
+            dataset: String,
+            seed: u64,
+            epochs: usize,
+            total_secs: f64,
+            embedding_dim: usize,
+            embeddings: Vec<Vec<f32>>,
+        }
+        let dump = Dump {
+            model: c.model.name(),
+            dataset: c.data.name.clone(),
+            seed: c.seed,
+            epochs: c.cfg.epochs,
+            total_secs: out.total_time.as_secs_f64(),
+            embedding_dim: out.embeddings.cols(),
+            embeddings: (0..out.embeddings.rows())
+                .map(|v| out.embeddings.row(v).to_vec())
+                .collect(),
+        };
+        std::fs::write(
+            &out_path,
+            serde_json::to_string(&dump).map_err(|e| e.to_string())?,
+        )
+        .map_err(|e| format!("writing {out_path}: {e}"))?;
+        println!(
+            "wrote {} embeddings ({} dims) to {out_path} in {:.2}s",
+            dump.embeddings.len(),
+            dump.embedding_dim,
+            dump.total_secs
+        );
+        Ok(0)
+    })())
+}
+
+/// `e2gcl evaluate`
+pub fn evaluate(argv: &[String]) -> i32 {
+    run_or_usage((|| {
+        let args = Args::parse(argv)?;
+        let c = common(&args)?;
+        let runs: usize = args.get_parse("runs", 5)?;
+        let run = e2gcl::pipeline::run_node_classification(
+            c.model.as_ref(),
+            &c.data,
+            &c.cfg,
+            runs,
+            c.seed,
+        );
+        println!(
+            "{} on {}: {:.2} ± {:.2} % over {} runs \
+             (selection {:.2}s, total {:.2}s per run)",
+            run.model,
+            run.dataset,
+            100.0 * run.mean,
+            100.0 * run.std,
+            runs,
+            run.selection_secs,
+            run.total_secs
+        );
+        Ok(0)
+    })())
+}
+
+/// `e2gcl select`
+pub fn select(argv: &[String]) -> i32 {
+    run_or_usage((|| {
+        let args = Args::parse(argv)?;
+        let c = common(&args)?;
+        let ratio: f64 = args.get_parse("ratio", 0.4)?;
+        let budget = ((c.data.num_nodes() as f64) * ratio).round() as usize;
+        let t0 = std::time::Instant::now();
+        let sel = GreedySelector::default().select(
+            &c.data.graph,
+            &c.data.features,
+            budget,
+            &mut SeedRng::new(c.seed),
+        );
+        let secs = t0.elapsed().as_secs_f64();
+        let mut per_class = vec![0usize; c.data.num_classes];
+        for &v in &sel.nodes {
+            per_class[c.data.labels[v]] += 1;
+        }
+        println!(
+            "selected {} / {} nodes (r = {ratio}) in {secs:.3}s",
+            sel.nodes.len(),
+            c.data.num_nodes()
+        );
+        println!("per-class counts: {per_class:?}");
+        let max_w = sel.weights.iter().cloned().fold(0.0f32, f32::max);
+        println!(
+            "λ weights: sum {:.0}, max {max_w:.0}",
+            sel.weights.iter().sum::<f32>()
+        );
+        println!("first 20 selected: {:?}", &sel.nodes[..sel.nodes.len().min(20)]);
+        Ok(0)
+    })())
+}
+
+/// `e2gcl linkpred`
+pub fn linkpred(argv: &[String]) -> i32 {
+    run_or_usage((|| {
+        let args = Args::parse(argv)?;
+        let c = common(&args)?;
+        let mut rng = SeedRng::new(c.seed);
+        let split =
+            e2gcl_datasets::split::EdgeSplit::random(&c.data.graph, &mut rng.fork("split"));
+        eprintln!(
+            "pre-training {} on the training graph ({} of {} edges kept)...",
+            c.model.name(),
+            split.train_pos.len(),
+            c.data.graph.num_edges()
+        );
+        let out = c.model.pretrain(&split.train_graph, &c.data.features, &c.cfg, &mut rng);
+        let acc = e2gcl::eval::link_prediction_accuracy(&out.embeddings, &split, c.seed);
+        println!(
+            "{} on {}: link-prediction accuracy {:.2} % ({} test edges)",
+            c.model.name(),
+            c.data.name,
+            100.0 * acc,
+            split.test_pos.len()
+        );
+        Ok(0)
+    })())
+}
+
+/// `e2gcl graphcls`
+pub fn graphcls(argv: &[String]) -> i32 {
+    run_or_usage((|| {
+        let args = Args::parse(argv)?;
+        let dataset = args.get("dataset", "nci1-sim");
+        let scale: f64 = args.get_parse("scale", 0.25)?;
+        let seed: u64 = args.get_parse("seed", 0)?;
+        let epochs: usize = args.get_parse("epochs", 30)?;
+        let runs: usize = args.get_parse("runs", 3)?;
+        let data = e2gcl_datasets::GraphDataset::generate(
+            &e2gcl_datasets::graph_dataset::graph_spec(&dataset),
+            scale,
+            seed,
+        );
+        let model = build_model(&args.get("model", "E2GCL"))?;
+        let cfg = TrainConfig { epochs, ..TrainConfig::default() };
+        let (mean, std) = e2gcl::pipeline::run_graph_classification(
+            model.as_ref(),
+            &data,
+            &cfg,
+            runs,
+            seed,
+        );
+        println!(
+            "{} on {} ({} graphs): {:.2} ± {:.2} %",
+            model.name(),
+            data.name,
+            data.len(),
+            100.0 * mean,
+            100.0 * std
+        );
+        Ok(0)
+    })())
+}
+
+/// `e2gcl view`
+pub fn view(argv: &[String]) -> i32 {
+    run_or_usage((|| {
+        let args = Args::parse(argv)?;
+        let c = common(&args)?;
+        let node: usize = args.get_parse("node", 0)?;
+        let tau: f32 = args.get_parse("tau", 1.0)?;
+        let eta: f32 = args.get_parse("eta", 0.6)?;
+        if node >= c.data.num_nodes() {
+            return Err(format!(
+                "--node {node} out of range (dataset has {} nodes)",
+                c.data.num_nodes()
+            ));
+        }
+        let generator = ViewGenerator::new(
+            &c.data.graph,
+            &c.data.features,
+            ViewConfig::default(),
+            &mut SeedRng::new(c.seed),
+        );
+        let v = generator.sample_ego_view(node, tau, eta, &mut SeedRng::new(c.seed ^ 1));
+        println!(
+            "ego view of node {node} (τ = {tau}, η = {eta}): {} nodes, {} edges",
+            v.nodes.len(),
+            v.graph.num_edges()
+        );
+        println!("member nodes: {:?}", v.nodes);
+        let changed = (0..v.nodes.len())
+            .map(|local| {
+                let global = v.nodes[local];
+                v.features
+                    .row(local)
+                    .iter()
+                    .zip(c.data.features.row(global))
+                    .filter(|(a, b)| (**a - **b).abs() > 1e-9)
+                    .count()
+            })
+            .sum::<usize>();
+        println!("perturbed feature entries: {changed}");
+        Ok(0)
+    })())
+}

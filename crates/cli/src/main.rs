@@ -1,0 +1,79 @@
+//! `e2gcl` — command-line interface for the E²GCL reproduction.
+//!
+//! ```text
+//! e2gcl datasets                               list the dataset analogs
+//! e2gcl pretrain  --dataset cora-sim [...]     pre-train, save embeddings
+//! e2gcl evaluate  --dataset cora-sim [...]     pre-train + linear probe
+//! e2gcl select    --dataset cora-sim [...]     run the Alg. 2 selector
+//! e2gcl view      --dataset cora-sim --node 5  sample an Alg. 3 ego view
+//! ```
+
+mod args;
+mod commands;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let code = match argv.first().map(String::as_str) {
+        Some("datasets") => commands::datasets(),
+        Some("pretrain") => commands::pretrain(&argv[1..]),
+        Some("evaluate") => commands::evaluate(&argv[1..]),
+        Some("select") => commands::select(&argv[1..]),
+        Some("view") => commands::view(&argv[1..]),
+        Some("linkpred") => commands::linkpred(&argv[1..]),
+        Some("graphcls") => commands::graphcls(&argv[1..]),
+        Some("help") | Some("--help") | Some("-h") | None => {
+            print_usage();
+            0
+        }
+        Some(other) => {
+            eprintln!("unknown command '{other}'\n");
+            print_usage();
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn print_usage() {
+    println!(
+        "e2gcl — Efficient and Expressive Contrastive Learning on GNNs (ICDE 2024 reproduction)
+
+USAGE:
+    e2gcl <command> [options]
+
+COMMANDS:
+    datasets    list available dataset analogs and their statistics
+    pretrain    pre-train a model and write node embeddings to JSON
+    evaluate    pre-train + evaluate with the paper's linear-probe protocol
+    select      run the Alg. 2 representative-node selector
+    view        sample one Alg. 3 positive ego view for a node
+    linkpred    pre-train on training edges, evaluate link prediction
+    graphcls    pre-train on a multi-graph collection, classify graphs
+    help        show this message
+
+COMMON OPTIONS:
+    --dataset <name>     dataset analog (default cora-sim; see `e2gcl datasets`)
+    --scale <f64>        fraction of the analog's full size (default 0.25)
+    --model <name>       E2GCL | GRACE | GCA | MVGRL | BGRL | AFGRL | DGI |
+                         GAE | VGAE | ADGCL | DW | N2V      (default E2GCL)
+    --epochs <n>         pre-training epochs (default 30)
+    --seed <u64>         RNG seed (default 0)
+
+PRETRAIN:
+    --out <path>         output JSON path (default embeddings.json)
+
+EVALUATE:
+    --runs <n>           probe repetitions (default 5)
+
+SELECT:
+    --ratio <f64>        node budget ratio r (default 0.4)
+
+VIEW:
+    --node <n>           target node id (default 0)
+    --tau <f32>          neighbour sampling ratio (default 1.0)
+    --eta <f32>          feature perturbation scale (default 0.6)
+
+GRAPHCLS:
+    --dataset <name>     nci1-sim | ptcmr-sim | proteins-sim (default nci1-sim)"
+    );
+}

@@ -1,0 +1,27 @@
+//! Synthetic analogs of the paper's benchmark datasets.
+//!
+//! The paper evaluates on Cora, Citeseer, Photo, Computers, CS, Arxiv and
+//! Products (node classification, Table III), Photo/Computers/CS (link
+//! prediction) and NCI1/PTC_MR/PROTEINS (graph classification, Table IX).
+//! Those datasets are not available offline, so this crate generates
+//! *analogs*: degree-corrected stochastic-block-model graphs with
+//! class-correlated sparse binary features whose headline statistics match
+//! (a scaled version of) Table III. See `DESIGN.md` §1 for why this
+//! substitution preserves the paper's comparisons.
+//!
+//! Entry points:
+//! * [`registry::spec`] / [`registry::all_node_specs`] — the named analogs;
+//! * [`NodeDataset::generate`] — materialise an analog at a given scale/seed;
+//! * [`GraphDataset`] — multi-graph collections for graph classification;
+//! * [`split`] — node, edge (link-prediction) and graph splits.
+
+pub mod graph_dataset;
+pub mod node_dataset;
+pub mod registry;
+pub mod split;
+pub mod synth;
+
+pub use graph_dataset::GraphDataset;
+pub use node_dataset::NodeDataset;
+pub use registry::{spec, DatasetSpec};
+pub use split::{EdgeSplit, NodeSplit};

@@ -1,0 +1,188 @@
+//! Train/validation/test splits for nodes, edges, and graphs.
+
+use e2gcl_graph::CsrGraph;
+use e2gcl_linalg::SeedRng;
+
+/// A node split (`§V-A2`: 10% train / 10% val / 80% test by default).
+#[derive(Clone, Debug)]
+pub struct NodeSplit {
+    /// Training node indices.
+    pub train: Vec<usize>,
+    /// Validation node indices.
+    pub val: Vec<usize>,
+    /// Test node indices.
+    pub test: Vec<usize>,
+}
+
+impl NodeSplit {
+    /// Random split of `n` nodes into `train_frac` / `val_frac` / remainder.
+    pub fn random(n: usize, train_frac: f64, val_frac: f64, rng: &mut SeedRng) -> NodeSplit {
+        assert!(train_frac + val_frac <= 1.0);
+        let mut idx: Vec<usize> = (0..n).collect();
+        rng.shuffle(&mut idx);
+        let n_train = ((n as f64) * train_frac).round() as usize;
+        let n_val = ((n as f64) * val_frac).round() as usize;
+        let train = idx[..n_train].to_vec();
+        let val = idx[n_train..n_train + n_val].to_vec();
+        let test = idx[n_train + n_val..].to_vec();
+        NodeSplit { train, val, test }
+    }
+
+    /// The paper's evaluation split: 10/10/80.
+    pub fn paper(n: usize, rng: &mut SeedRng) -> NodeSplit {
+        Self::random(n, 0.10, 0.10, rng)
+    }
+}
+
+/// A link-prediction split (`§V-E1`: 70% train / 10% val / 20% test edges,
+/// with equal-size sampled negatives, and a *training graph* that excludes
+/// held-out edges to avoid leakage).
+#[derive(Clone, Debug)]
+pub struct EdgeSplit {
+    /// Graph containing only training edges (pre-training happens here).
+    pub train_graph: CsrGraph,
+    /// Positive training edges.
+    pub train_pos: Vec<(usize, usize)>,
+    /// Positive validation edges.
+    pub val_pos: Vec<(usize, usize)>,
+    /// Positive test edges.
+    pub test_pos: Vec<(usize, usize)>,
+    /// Negative validation pairs (non-edges).
+    pub val_neg: Vec<(usize, usize)>,
+    /// Negative test pairs (non-edges).
+    pub test_neg: Vec<(usize, usize)>,
+}
+
+impl EdgeSplit {
+    /// Splits `g`'s edges 70/10/20 and samples matching negatives.
+    pub fn random(g: &CsrGraph, rng: &mut SeedRng) -> EdgeSplit {
+        let mut edges: Vec<(usize, usize)> = g.edges().collect();
+        rng.shuffle(&mut edges);
+        let n = edges.len();
+        let n_train = (n as f64 * 0.7).round() as usize;
+        let n_val = (n as f64 * 0.1).round() as usize;
+        let train_pos = edges[..n_train].to_vec();
+        let val_pos = edges[n_train..n_train + n_val].to_vec();
+        let test_pos = edges[n_train + n_val..].to_vec();
+        let train_graph = CsrGraph::from_edges(g.num_nodes(), &train_pos);
+        let val_neg = sample_non_edges(g, val_pos.len(), rng);
+        let test_neg = sample_non_edges(g, test_pos.len(), rng);
+        EdgeSplit { train_graph, train_pos, val_pos, test_pos, val_neg, test_neg }
+    }
+}
+
+/// Samples `k` distinct node pairs that are not edges of `g` (and not
+/// self-pairs).
+pub fn sample_non_edges(g: &CsrGraph, k: usize, rng: &mut SeedRng) -> Vec<(usize, usize)> {
+    let n = g.num_nodes();
+    assert!(n >= 2, "need at least two nodes to sample non-edges");
+    let mut seen = std::collections::HashSet::with_capacity(k * 2);
+    let mut out = Vec::with_capacity(k);
+    let mut attempts = 0usize;
+    let max_attempts = k.saturating_mul(200).max(10_000);
+    while out.len() < k && attempts < max_attempts {
+        attempts += 1;
+        let u = rng.below(n);
+        let v = rng.below(n);
+        let (a, b) = if u < v { (u, v) } else { (v, u) };
+        if a == b || g.has_edge(a, b) || !seen.insert((a, b)) {
+            continue;
+        }
+        out.push((a, b));
+    }
+    out
+}
+
+/// A graph-level split for graph classification (70/10/20).
+#[derive(Clone, Debug)]
+pub struct GraphSplit {
+    /// Training graph indices.
+    pub train: Vec<usize>,
+    /// Validation graph indices.
+    pub val: Vec<usize>,
+    /// Test graph indices.
+    pub test: Vec<usize>,
+}
+
+impl GraphSplit {
+    /// Random 70/10/20 split of `n` graphs.
+    pub fn random(n: usize, rng: &mut SeedRng) -> GraphSplit {
+        let s = NodeSplit::random(n, 0.7, 0.1, rng);
+        GraphSplit { train: s.train, val: s.val, test: s.test }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_split_partitions() {
+        let mut rng = SeedRng::new(0);
+        let s = NodeSplit::paper(1000, &mut rng);
+        assert_eq!(s.train.len(), 100);
+        assert_eq!(s.val.len(), 100);
+        assert_eq!(s.test.len(), 800);
+        let mut all: Vec<usize> =
+            s.train.iter().chain(&s.val).chain(&s.test).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn edge_split_no_leakage() {
+        let mut rng = SeedRng::new(1);
+        let mut edges = Vec::new();
+        for u in 0..50usize {
+            edges.push((u, (u + 1) % 50));
+            edges.push((u, (u + 7) % 50));
+        }
+        let g = CsrGraph::from_edges(50, &edges);
+        let s = EdgeSplit::random(&g, &mut rng);
+        // Held-out positives must be absent from the training graph.
+        for &(u, v) in s.val_pos.iter().chain(&s.test_pos) {
+            assert!(!s.train_graph.has_edge(u, v), "leaked edge ({u},{v})");
+        }
+        for &(u, v) in &s.train_pos {
+            assert!(s.train_graph.has_edge(u, v));
+        }
+        let total = s.train_pos.len() + s.val_pos.len() + s.test_pos.len();
+        assert_eq!(total, g.num_edges());
+    }
+
+    #[test]
+    fn negatives_are_non_edges() {
+        let mut rng = SeedRng::new(2);
+        let g = CsrGraph::from_edges(20, &[(0, 1), (1, 2), (2, 3)]);
+        let negs = sample_non_edges(&g, 30, &mut rng);
+        assert_eq!(negs.len(), 30);
+        for &(u, v) in &negs {
+            assert!(u < v);
+            assert!(!g.has_edge(u, v));
+        }
+        // Distinct pairs.
+        let set: std::collections::HashSet<_> = negs.iter().collect();
+        assert_eq!(set.len(), negs.len());
+    }
+
+    #[test]
+    fn non_edge_sampling_saturates_gracefully() {
+        // Complete graph on 4 nodes: no non-edges exist at all.
+        let g = CsrGraph::from_edges(
+            4,
+            &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)],
+        );
+        let mut rng = SeedRng::new(3);
+        let negs = sample_non_edges(&g, 5, &mut rng);
+        assert!(negs.is_empty());
+    }
+
+    #[test]
+    fn graph_split_fractions() {
+        let mut rng = SeedRng::new(4);
+        let s = GraphSplit::random(100, &mut rng);
+        assert_eq!(s.train.len(), 70);
+        assert_eq!(s.val.len(), 10);
+        assert_eq!(s.test.len(), 20);
+    }
+}

@@ -1,0 +1,65 @@
+//! Shared training hyperparameters.
+
+use serde::{Deserialize, Serialize};
+
+/// Hyperparameters common to every contrastive model.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// Pre-training epochs `T` (Alg. 1).
+    pub epochs: usize,
+    /// Anchor batch size (the paper uses 500 for all approaches).
+    pub batch_size: usize,
+    /// Encoder learning rate.
+    pub lr: f32,
+    /// Decoupled weight decay.
+    pub weight_decay: f32,
+    /// Hidden width of the 2-layer GCN encoder.
+    pub hidden_dim: usize,
+    /// Output embedding dimension.
+    pub embed_dim: usize,
+    /// If set, record an embedding checkpoint every this many epochs (used
+    /// by the Fig. 3 accuracy-vs-time curves).
+    pub checkpoint_every: Option<usize>,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self {
+            epochs: 30,
+            batch_size: 500,
+            lr: 1e-2,
+            weight_decay: 1e-5,
+            hidden_dim: 128,
+            embed_dim: 64,
+            checkpoint_every: None,
+        }
+    }
+}
+
+impl TrainConfig {
+    /// Encoder layer dimensions for input width `d_x`.
+    pub fn encoder_dims(&self, d_x: usize) -> Vec<usize> {
+        vec![d_x, self.hidden_dim, self.embed_dim]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = TrainConfig::default();
+        assert!(c.epochs > 0);
+        assert_eq!(c.batch_size, 500);
+        assert_eq!(c.encoder_dims(100), vec![100, 128, 64]);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let c = TrainConfig { epochs: 7, ..Default::default() };
+        let json = serde_json::to_string(&c).unwrap();
+        let back: TrainConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.epochs, 7);
+    }
+}

@@ -1,0 +1,150 @@
+//! Classification metrics beyond plain accuracy.
+//!
+//! The paper reports accuracy; a library release also needs macro-F1 (the
+//! class-imbalanced analogs make it informative) and confusion matrices for
+//! error analysis.
+
+/// A `k x k` confusion matrix: `counts[true][pred]`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    counts: Vec<Vec<usize>>,
+}
+
+impl ConfusionMatrix {
+    /// Builds from parallel true/predicted label slices.
+    pub fn from_predictions(truth: &[usize], preds: &[usize], num_classes: usize) -> Self {
+        assert_eq!(truth.len(), preds.len());
+        let mut counts = vec![vec![0usize; num_classes]; num_classes];
+        for (&t, &p) in truth.iter().zip(preds) {
+            assert!(t < num_classes && p < num_classes, "label out of range");
+            counts[t][p] += 1;
+        }
+        Self { counts }
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// `counts[true][pred]`.
+    pub fn get(&self, truth: usize, pred: usize) -> usize {
+        self.counts[truth][pred]
+    }
+
+    /// Overall accuracy.
+    pub fn accuracy(&self) -> f32 {
+        let correct: usize = (0..self.num_classes()).map(|c| self.counts[c][c]).sum();
+        let total: usize = self.counts.iter().flatten().sum();
+        if total == 0 {
+            0.0
+        } else {
+            correct as f32 / total as f32
+        }
+    }
+
+    /// Per-class precision (0 when the class is never predicted).
+    pub fn precision(&self, class: usize) -> f32 {
+        let predicted: usize = (0..self.num_classes()).map(|t| self.counts[t][class]).sum();
+        if predicted == 0 {
+            0.0
+        } else {
+            self.counts[class][class] as f32 / predicted as f32
+        }
+    }
+
+    /// Per-class recall (0 when the class has no true members).
+    pub fn recall(&self, class: usize) -> f32 {
+        let actual: usize = self.counts[class].iter().sum();
+        if actual == 0 {
+            0.0
+        } else {
+            self.counts[class][class] as f32 / actual as f32
+        }
+    }
+
+    /// Per-class F1.
+    pub fn f1(&self, class: usize) -> f32 {
+        let p = self.precision(class);
+        let r = self.recall(class);
+        if p + r < 1e-12 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Macro-F1: unweighted mean of per-class F1 over classes that occur
+    /// (either as truth or prediction).
+    pub fn macro_f1(&self) -> f32 {
+        let present: Vec<usize> = (0..self.num_classes())
+            .filter(|&c| {
+                self.counts[c].iter().sum::<usize>() > 0
+                    || (0..self.num_classes()).any(|t| self.counts[t][c] > 0)
+            })
+            .collect();
+        if present.is_empty() {
+            return 0.0;
+        }
+        present.iter().map(|&c| self.f1(c)).sum::<f32>() / present.len() as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions() {
+        let truth = [0usize, 1, 2, 0, 1, 2];
+        let cm = ConfusionMatrix::from_predictions(&truth, &truth, 3);
+        assert_eq!(cm.accuracy(), 1.0);
+        assert_eq!(cm.macro_f1(), 1.0);
+        for c in 0..3 {
+            assert_eq!(cm.precision(c), 1.0);
+            assert_eq!(cm.recall(c), 1.0);
+        }
+    }
+
+    #[test]
+    fn known_confusion() {
+        // truth:  0 0 1 1
+        // preds:  0 1 1 1
+        let cm = ConfusionMatrix::from_predictions(&[0, 0, 1, 1], &[0, 1, 1, 1], 2);
+        assert_eq!(cm.get(0, 0), 1);
+        assert_eq!(cm.get(0, 1), 1);
+        assert_eq!(cm.get(1, 1), 2);
+        assert!((cm.accuracy() - 0.75).abs() < 1e-6);
+        assert!((cm.precision(0) - 1.0).abs() < 1e-6);
+        assert!((cm.recall(0) - 0.5).abs() < 1e-6);
+        assert!((cm.f1(0) - 2.0 / 3.0).abs() < 1e-6);
+        assert!((cm.precision(1) - 2.0 / 3.0).abs() < 1e-6);
+        assert!((cm.recall(1) - 1.0).abs() < 1e-6);
+        assert!((cm.f1(1) - 0.8).abs() < 1e-6);
+        assert!((cm.macro_f1() - (2.0 / 3.0 + 0.8) / 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn macro_f1_punishes_minority_failure() {
+        // 9 of class 0 correct, 1 of class 1 always wrong.
+        let truth: Vec<usize> = (0..10).map(|i| usize::from(i == 9)).collect();
+        let preds = vec![0usize; 10];
+        let cm = ConfusionMatrix::from_predictions(&truth, &preds, 2);
+        assert!(cm.accuracy() > 0.89);
+        assert!(cm.macro_f1() < 0.5, "macro-F1 {}", cm.macro_f1());
+    }
+
+    #[test]
+    fn absent_class_ignored_in_macro() {
+        // 3 classes declared, class 2 never appears anywhere.
+        let cm = ConfusionMatrix::from_predictions(&[0, 1], &[0, 1], 3);
+        assert_eq!(cm.macro_f1(), 1.0);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let cm = ConfusionMatrix::from_predictions(&[], &[], 2);
+        assert_eq!(cm.accuracy(), 0.0);
+        assert_eq!(cm.macro_f1(), 0.0);
+    }
+}

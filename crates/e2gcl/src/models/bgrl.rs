@@ -1,0 +1,260 @@
+//! BGRL (Thakoor et al. 2021) and AFGRL (Lee et al. 2022).
+//!
+//! Both are negative-free bootstrap learners: an online GCN + predictor is
+//! trained to match an EMA *target* encoder, which never receives
+//! gradients. BGRL feeds the two branches different corrupted views; AFGRL
+//! is augmentation-free — both branches see the original graph and each
+//! node's bootstrap target is the mean target-embedding of its *adaptive
+//! positives* (neighbours that are also nearest neighbours in target
+//! embedding space), which is the mechanism AFGRL contributes.
+
+use crate::config::TrainConfig;
+use crate::models::{ContrastiveModel, PretrainResult};
+use e2gcl_graph::{norm, CsrGraph};
+use e2gcl_linalg::{ops, Matrix, SeedRng};
+use e2gcl_nn::{ema, loss, optim::Optimizer, Adam, GcnEncoder, Mlp};
+use e2gcl_views::uniform;
+use std::time::Instant;
+
+/// Shared configuration of the bootstrap models.
+#[derive(Clone, Debug)]
+pub struct BgrlConfig {
+    /// Edge-drop probability per view (BGRL only).
+    pub drop_edge: (f32, f32),
+    /// Feature-mask probability per view (BGRL only).
+    pub mask_feat: (f32, f32),
+    /// Base EMA decay of the target network.
+    pub ema_decay: f32,
+    /// AFGRL: how many nearest target-space neighbours qualify as positives.
+    pub knn: usize,
+}
+
+impl Default for BgrlConfig {
+    fn default() -> Self {
+        Self { drop_edge: (0.2, 0.4), mask_feat: (0.2, 0.3), ema_decay: 0.99, knn: 8 }
+    }
+}
+
+/// The BGRL model.
+#[derive(Clone, Debug, Default)]
+pub struct BgrlModel {
+    /// Model configuration.
+    pub config: BgrlConfig,
+}
+
+/// The AFGRL model (augmentation-free bootstrap).
+#[derive(Clone, Debug, Default)]
+pub struct AfgrlModel {
+    /// Model configuration.
+    pub config: BgrlConfig,
+}
+
+/// One bootstrap branch step: predict targets from online embeddings,
+/// returning `(loss, dH_online, predictor grads applied in place)`.
+fn bootstrap_step(
+    predictor: &mut Mlp,
+    h_online: &Matrix,
+    target: &Matrix,
+    lr: f32,
+) -> (f32, Matrix) {
+    let (pred, cache) = predictor.forward(h_online);
+    let (l, d_pred) = loss::cosine_bootstrap(&pred, target);
+    let grads = predictor.backward(&cache, &d_pred);
+    let dh = grads.dx.clone();
+    predictor.step(&grads, lr, 0.0);
+    (l, dh)
+}
+
+impl ContrastiveModel for BgrlModel {
+    fn name(&self) -> String {
+        "BGRL".to_string()
+    }
+
+    fn pretrain(
+        &self,
+        g: &CsrGraph,
+        x: &Matrix,
+        cfg: &TrainConfig,
+        rng: &mut SeedRng,
+    ) -> PretrainResult {
+        let start = Instant::now();
+        let adj_orig = norm::normalized_adjacency(g);
+        let dims = cfg.encoder_dims(x.cols());
+        let mut online = GcnEncoder::new(&dims, &mut rng.fork("online"));
+        let mut target = online.clone();
+        let mut predictor =
+            Mlp::new(cfg.embed_dim, cfg.embed_dim * 2, cfg.embed_dim, &mut rng.fork("pred"));
+        let mut opt = Adam::with_weight_decay(cfg.lr, cfg.weight_decay);
+        let mut train_rng = rng.fork("train");
+        let mut loss_curve = Vec::with_capacity(cfg.epochs);
+        let mut checkpoints = Vec::new();
+        for epoch in 0..cfg.epochs {
+            let g1 = uniform::drop_edges_uniform(g, self.config.drop_edge.0, &mut train_rng);
+            let g2 = uniform::drop_edges_uniform(g, self.config.drop_edge.1, &mut train_rng);
+            let x1 = uniform::mask_feature_dims(x, self.config.mask_feat.0, &mut train_rng);
+            let x2 = uniform::mask_feature_dims(x, self.config.mask_feat.1, &mut train_rng);
+            let a1 = norm::normalized_adjacency(&g1);
+            let a2 = norm::normalized_adjacency(&g2);
+            let (h1, c1) = online.forward(&a1, &x1);
+            let (h2, c2) = online.forward(&a2, &x2);
+            let t1 = target.embed(&a1, &x1);
+            let t2 = target.embed(&a2, &x2);
+            // Symmetric bootstrap: predict the other branch's target.
+            let (la, d_h1) = bootstrap_step(&mut predictor, &h1, &t2, cfg.lr);
+            let (lb, d_h2) = bootstrap_step(&mut predictor, &h2, &t1, cfg.lr);
+            loss_curve.push(0.5 * (la + lb));
+            let mut acc = None;
+            GcnEncoder::accumulate(&mut acc, online.backward(&a1, &c1, &d_h1), 1.0);
+            GcnEncoder::accumulate(&mut acc, online.backward(&a2, &c2, &d_h2), 1.0);
+            opt.step(online.params_mut(), &acc.unwrap());
+            let decay = ema::annealed_decay(self.config.ema_decay, epoch, cfg.epochs);
+            ema::ema_update(target.params_mut(), online.params(), decay);
+            if let Some(every) = cfg.checkpoint_every {
+                if (epoch + 1) % every == 0 || epoch + 1 == cfg.epochs {
+                    checkpoints
+                        .push((start.elapsed().as_secs_f64(), online.embed(&adj_orig, x)));
+                }
+            }
+        }
+        PretrainResult {
+            embeddings: online.embed(&adj_orig, x),
+            selection_time: std::time::Duration::ZERO,
+            total_time: start.elapsed(),
+            checkpoints,
+            loss_curve,
+        }
+    }
+}
+
+/// AFGRL positives: neighbours of `v` ranked by cosine similarity in target
+/// space, top `knn` kept. Falls back to `v` itself for isolated nodes.
+fn afgrl_positive_targets(g: &CsrGraph, target_h: &Matrix, knn: usize) -> Matrix {
+    let n = g.num_nodes();
+    let d = target_h.cols();
+    let mut out = Matrix::zeros(n, d);
+    for v in 0..n {
+        let mut scored: Vec<(f32, usize)> = g
+            .neighbors(v)
+            .iter()
+            .map(|&u| {
+                let u = u as usize;
+                (ops::cosine(target_h.row(v), target_h.row(u)), u)
+            })
+            .collect();
+        scored.sort_unstable_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+        scored.truncate(knn.max(1));
+        if scored.is_empty() {
+            out.set_row(v, target_h.row(v));
+            continue;
+        }
+        let inv = 1.0 / scored.len() as f32;
+        let row = out.row_mut(v);
+        for &(_, u) in &scored {
+            ops::axpy_slice(row, inv, target_h.row(u));
+        }
+    }
+    out
+}
+
+impl ContrastiveModel for AfgrlModel {
+    fn name(&self) -> String {
+        "AFGRL".to_string()
+    }
+
+    fn pretrain(
+        &self,
+        g: &CsrGraph,
+        x: &Matrix,
+        cfg: &TrainConfig,
+        rng: &mut SeedRng,
+    ) -> PretrainResult {
+        let start = Instant::now();
+        let adj = norm::normalized_adjacency(g);
+        let dims = cfg.encoder_dims(x.cols());
+        let mut online = GcnEncoder::new(&dims, &mut rng.fork("online"));
+        let mut target = online.clone();
+        let mut predictor =
+            Mlp::new(cfg.embed_dim, cfg.embed_dim * 2, cfg.embed_dim, &mut rng.fork("pred"));
+        let mut opt = Adam::with_weight_decay(cfg.lr, cfg.weight_decay);
+        let mut loss_curve = Vec::with_capacity(cfg.epochs);
+        let mut checkpoints = Vec::new();
+        for epoch in 0..cfg.epochs {
+            let (h, cache) = online.forward(&adj, x);
+            let t = target.embed(&adj, x);
+            let positives = afgrl_positive_targets(g, &t, self.config.knn);
+            let (l, d_h) = bootstrap_step(&mut predictor, &h, &positives, cfg.lr);
+            loss_curve.push(l);
+            let grads = online.backward(&adj, &cache, &d_h);
+            opt.step(online.params_mut(), &grads);
+            let decay = ema::annealed_decay(self.config.ema_decay, epoch, cfg.epochs);
+            ema::ema_update(target.params_mut(), online.params(), decay);
+            if let Some(every) = cfg.checkpoint_every {
+                if (epoch + 1) % every == 0 || epoch + 1 == cfg.epochs {
+                    checkpoints.push((start.elapsed().as_secs_f64(), online.embed(&adj, x)));
+                }
+            }
+        }
+        PretrainResult {
+            embeddings: online.embed(&adj, x),
+            selection_time: std::time::Duration::ZERO,
+            total_time: start.elapsed(),
+            checkpoints,
+            loss_curve,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use e2gcl_datasets::{spec, NodeDataset};
+
+    fn tiny() -> (NodeDataset, TrainConfig) {
+        (
+            NodeDataset::generate(&spec("cora-sim"), 0.05, 0),
+            TrainConfig { epochs: 10, ..Default::default() },
+        )
+    }
+
+    #[test]
+    fn bgrl_trains_without_nans() {
+        let (d, cfg) = tiny();
+        let out =
+            BgrlModel::default().pretrain(&d.graph, &d.features, &cfg, &mut SeedRng::new(0));
+        assert!(!out.embeddings.has_non_finite());
+        assert_eq!(out.loss_curve.len(), 10);
+        // Bootstrap loss is bounded in [0, 4].
+        assert!(out.loss_curve.iter().all(|&l| (0.0..=4.0).contains(&l)));
+    }
+
+    #[test]
+    fn afgrl_trains_without_nans() {
+        let (d, cfg) = tiny();
+        let out =
+            AfgrlModel::default().pretrain(&d.graph, &d.features, &cfg, &mut SeedRng::new(1));
+        assert!(!out.embeddings.has_non_finite());
+    }
+
+    #[test]
+    fn afgrl_positives_prefer_similar_neighbors() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (0, 2), (0, 3)]);
+        let t = Matrix::from_rows(&[
+            &[1.0, 0.0],
+            &[0.9, 0.1],  // most similar to node 0
+            &[0.0, 1.0],  // orthogonal
+            &[-1.0, 0.0], // opposite
+        ]);
+        let pos = afgrl_positive_targets(&g, &t, 1);
+        // Node 0's positive should be node 1's embedding.
+        assert_eq!(pos.row(0), t.row(1));
+    }
+
+    #[test]
+    fn afgrl_isolated_node_self_target() {
+        let g = CsrGraph::from_edges(2, &[]);
+        let t = Matrix::from_rows(&[&[0.5, 0.5], &[1.0, -1.0]]);
+        let pos = afgrl_positive_targets(&g, &t, 3);
+        assert_eq!(pos.row(0), t.row(0));
+        assert_eq!(pos.row(1), t.row(1));
+    }
+}

@@ -1,0 +1,739 @@
+//! The E²GCL model: coreset selection + importance-aware views + Eq. (5)
+//! contrastive training (the full Alg. 1 / Alg. 2 / Alg. 3 stack).
+
+use crate::config::TrainConfig;
+use crate::models::{sample_negative_indices, ContrastiveModel, PretrainResult};
+use e2gcl_graph::{norm, CsrGraph};
+use e2gcl_linalg::{Matrix, SeedRng};
+use e2gcl_nn::sage::{SageCache, SageEncoder};
+use e2gcl_nn::sgc::{SgcCache, SgcEncoder};
+use e2gcl_nn::{gcn::GcnCache, loss, optim::Optimizer, Adam, GcnEncoder};
+use e2gcl_graph::SparseMatrix;
+use e2gcl_selector::baselines::{
+    DegreeSelector, GrainSelector, KCenterGreedy, KMeansSelector, RandomSelector,
+};
+use e2gcl_selector::greedy::{GreedyConfig, GreedySelector};
+use e2gcl_selector::{NodeSelector, Selection};
+use e2gcl_views::{ViewConfig, ViewGenerator};
+use std::time::Instant;
+
+/// Which node-selection strategy to use (Table VII rows; `All` disables
+/// selection entirely — the `E²GCL_{A,·}` ablations).
+#[derive(Clone, Debug)]
+pub enum SelectorKind {
+    /// Alg. 2 (the paper's selector).
+    Greedy(GreedyConfig),
+    /// Uniform random.
+    Random,
+    /// Log-degree-weighted sampling.
+    Degree,
+    /// 10-way KMeans + even share.
+    KMeans,
+    /// K-Center-Greedy.
+    Kcg,
+    /// Grain-style influence maximisation.
+    Grain,
+    /// Train on every node (no selection).
+    All,
+}
+
+/// How positive views are realised during training.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ViewMode {
+    /// One full-graph view pair per epoch; anchors read their rows out of a
+    /// shared forward pass (the batched form — see `views::sampler` docs).
+    GlobalBatched,
+    /// The literal Alg. 3: two fresh ego views per anchor per batch, each
+    /// encoded separately. Orders of magnitude slower; used to validate the
+    /// batched form and for faithfulness experiments on small graphs.
+    PerNodeEgo,
+}
+
+/// Which encoder family E²GCL trains (§IV-C Remarks: the view generator is
+/// encoder-agnostic, so any GNN slots in).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EncoderKind {
+    /// The Eq. (1) GCN (the paper's default).
+    Gcn,
+    /// SGC — `A_n^L X W`, the Theorem-1 relaxation as an actual encoder.
+    Sgc,
+    /// GraphSAGE-mean — separate self/neighbour transforms.
+    Sage,
+}
+
+/// Uniform facade over the supported encoders.
+enum Encoder {
+    Gcn(GcnEncoder),
+    Sgc(SgcEncoder),
+    Sage(SageEncoder),
+}
+
+enum EncoderCache {
+    Gcn(GcnCache),
+    Sgc(SgcCache),
+    Sage(SageCache),
+}
+
+impl Encoder {
+    fn new(kind: EncoderKind, d_x: usize, cfg: &TrainConfig, rng: &mut SeedRng) -> Encoder {
+        match kind {
+            EncoderKind::Gcn => Encoder::Gcn(GcnEncoder::new(&cfg.encoder_dims(d_x), rng)),
+            EncoderKind::Sgc => {
+                Encoder::Sgc(SgcEncoder::new(d_x, cfg.embed_dim, 2, rng))
+            }
+            EncoderKind::Sage => {
+                Encoder::Sage(SageEncoder::new(&cfg.encoder_dims(d_x), rng))
+            }
+        }
+    }
+
+    /// The adjacency operator this encoder family aggregates with:
+    /// symmetric GCN normalisation for GCN/SGC, row-stochastic mean for
+    /// SAGE.
+    fn adjacency(&self, g: &CsrGraph) -> SparseMatrix {
+        match self {
+            Encoder::Gcn(_) | Encoder::Sgc(_) => norm::normalized_adjacency(g),
+            Encoder::Sage(_) => norm::row_normalized_adjacency(g),
+        }
+    }
+
+    fn forward(&self, adj: &SparseMatrix, x: &Matrix) -> (Matrix, EncoderCache) {
+        match self {
+            Encoder::Gcn(e) => {
+                let (h, c) = e.forward(adj, x);
+                (h, EncoderCache::Gcn(c))
+            }
+            Encoder::Sgc(e) => {
+                let (h, c) = e.forward(adj, x);
+                (h, EncoderCache::Sgc(c))
+            }
+            Encoder::Sage(e) => {
+                let (h, c) = e.forward(adj, x);
+                (h, EncoderCache::Sage(c))
+            }
+        }
+    }
+
+    fn embed(&self, adj: &SparseMatrix, x: &Matrix) -> Matrix {
+        match self {
+            Encoder::Gcn(e) => e.embed(adj, x),
+            Encoder::Sgc(e) => e.embed(adj, x),
+            Encoder::Sage(e) => e.embed(adj, x),
+        }
+    }
+
+    fn backward(&self, adj: &SparseMatrix, cache: &EncoderCache, d: &Matrix) -> Vec<Matrix> {
+        match (self, cache) {
+            (Encoder::Gcn(e), EncoderCache::Gcn(c)) => e.backward(adj, c, d),
+            (Encoder::Sgc(e), EncoderCache::Sgc(c)) => e.backward(c, d),
+            (Encoder::Sage(e), EncoderCache::Sage(c)) => e.backward(adj, c, d),
+            _ => unreachable!("encoder/cache kind mismatch"),
+        }
+    }
+
+    fn params_mut(&mut self) -> &mut [Matrix] {
+        match self {
+            Encoder::Gcn(e) => e.params_mut(),
+            Encoder::Sgc(e) => e.params_mut(),
+            Encoder::Sage(e) => e.params_mut(),
+        }
+    }
+}
+
+/// Which contrastive objective E²GCL trains with (DESIGN.md §6 ablation:
+/// the paper's Eq. (5) margin loss vs GRACE-style InfoNCE on the same
+/// selected anchors and views).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LossKind {
+    /// The paper's Eq. (5) Euclidean margin loss.
+    Margin,
+    /// Symmetric InfoNCE (NT-Xent) at temperature 0.5.
+    InfoNce,
+}
+
+/// Which view-generation strategy to use (Table VI/VIII variants).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ViewStrategy {
+    /// Edge-aware + feature-aware (the paper's generator).
+    Importance,
+    /// Both uniform (`E²GCL\F\S`).
+    Uniform,
+    /// Edges uniform, features aware (`E²GCL\S`).
+    UniformEdges,
+    /// Features uniform, edges aware (`E²GCL\F`).
+    UniformFeatures,
+}
+
+/// Full E²GCL configuration.
+#[derive(Clone, Debug)]
+pub struct E2gclConfig {
+    /// Node budget ratio `r` (`k = r·|V|`).
+    pub node_ratio: f64,
+    /// Selection strategy.
+    pub selector: SelectorKind,
+    /// View-generation strategy.
+    pub strategy: ViewStrategy,
+    /// Base view-generator parameters (β, candidate cap, L).
+    pub view: ViewConfig,
+    /// Neighbour ratio `τ̂` of the first view.
+    pub tau_hat: f32,
+    /// Neighbour ratio `τ̃` of the second view.
+    pub tau_tilde: f32,
+    /// Perturbation scale `η̂` of the first view.
+    pub eta_hat: f32,
+    /// Perturbation scale `η̃` of the second view.
+    pub eta_tilde: f32,
+    /// Negative samples per anchor (`|Neg_v|`).
+    pub negatives: usize,
+    /// Margin of the Eq. (5) loss.
+    pub margin: f32,
+    /// L2-normalise embeddings inside the loss. Distances then live on the
+    /// unit sphere (max 2), so one margin works across datasets of very
+    /// different feature scales and class counts.
+    pub normalize: bool,
+    /// Contrastive objective (margin vs InfoNCE ablation).
+    pub loss: LossKind,
+    /// Encoder family (GCN vs SGC — the §IV-C encoder-agnosticism demo).
+    pub encoder: EncoderKind,
+    /// Batched full-graph views vs literal per-node ego views.
+    pub view_mode: ViewMode,
+}
+
+impl Default for E2gclConfig {
+    fn default() -> Self {
+        Self {
+            node_ratio: 0.4,
+            selector: SelectorKind::Greedy(GreedyConfig::default()),
+            strategy: ViewStrategy::Importance,
+            view: ViewConfig::default(),
+            tau_hat: 1.0,
+            tau_tilde: 0.8,
+            eta_hat: 0.6,
+            eta_tilde: 0.8,
+            negatives: 5,
+            margin: 1.0,
+            normalize: true,
+            loss: LossKind::Margin,
+            encoder: EncoderKind::Gcn,
+            view_mode: ViewMode::GlobalBatched,
+        }
+    }
+}
+
+/// The E²GCL contrastive learner.
+#[derive(Clone, Debug, Default)]
+pub struct E2gclModel {
+    /// Model configuration.
+    pub config: E2gclConfig,
+}
+
+impl E2gclModel {
+    /// Model with explicit configuration.
+    pub fn new(config: E2gclConfig) -> Self {
+        Self { config }
+    }
+
+    /// Runs the configured node selector (Alg. 1 line 3 prerequisite).
+    pub fn select_nodes(
+        &self,
+        g: &CsrGraph,
+        x: &Matrix,
+        rng: &mut SeedRng,
+    ) -> Selection {
+        let n = g.num_nodes();
+        let budget = ((n as f64) * self.config.node_ratio).round().max(1.0) as usize;
+        match &self.config.selector {
+            SelectorKind::Greedy(cfg) => {
+                GreedySelector::new(cfg.clone()).select(g, x, budget, rng)
+            }
+            SelectorKind::Random => RandomSelector.select(g, x, budget, rng),
+            SelectorKind::Degree => DegreeSelector.select(g, x, budget, rng),
+            SelectorKind::KMeans => KMeansSelector::default().select(g, x, budget, rng),
+            SelectorKind::Kcg => KCenterGreedy.select(g, x, budget, rng),
+            SelectorKind::Grain => GrainSelector::default().select(g, x, budget, rng),
+            SelectorKind::All => Selection {
+                nodes: (0..n).collect(),
+                weights: vec![1.0; n],
+            },
+        }
+    }
+
+    fn view_config(&self) -> ViewConfig {
+        let mut view = self.config.view.clone();
+        match self.config.strategy {
+            ViewStrategy::Importance => {
+                view.edge_aware = true;
+                view.feature_aware = true;
+            }
+            ViewStrategy::Uniform => {
+                view.edge_aware = false;
+                view.feature_aware = false;
+            }
+            ViewStrategy::UniformEdges => {
+                view.edge_aware = false;
+                view.feature_aware = true;
+            }
+            ViewStrategy::UniformFeatures => {
+                view.edge_aware = true;
+                view.feature_aware = false;
+            }
+        }
+        view
+    }
+}
+
+
+impl E2gclModel {
+    /// The literal Alg. 3 training loop: every anchor gets two freshly
+    /// sampled ego views per epoch, each encoded independently, and the
+    /// Eq. (5) loss compares the *centre* representations. Quadratically
+    /// more encoder work than the batched form — small graphs only.
+    fn pretrain_per_node(
+        &self,
+        g: &CsrGraph,
+        x: &Matrix,
+        cfg: &TrainConfig,
+        rng: &mut SeedRng,
+    ) -> PretrainResult {
+        let start = Instant::now();
+        let selection = self.select_nodes(g, x, &mut rng.fork("selector"));
+        let selection_time = start.elapsed();
+        let generator =
+            ViewGenerator::new(g, x, self.view_config(), &mut rng.fork("views"));
+        let mut encoder =
+            Encoder::new(self.config.encoder, x.cols(), cfg, &mut rng.fork("init"));
+        let adj_orig = encoder.adjacency(g);
+        let mut opt = Adam::with_weight_decay(cfg.lr, cfg.weight_decay);
+        let mut loss_curve = Vec::with_capacity(cfg.epochs);
+        let mut train_rng = rng.fork("train");
+        let anchors = &selection.nodes;
+        let weights = &selection.weights;
+        for _epoch in 0..cfg.epochs {
+            if anchors.is_empty() {
+                break;
+            }
+            let bsz = cfg.batch_size.min(anchors.len());
+            let batch: Vec<usize> = (0..bsz)
+                .map(|_| anchors[train_rng.weighted_index(weights)])
+                .collect();
+            // Encode each anchor's two ego views; remember everything the
+            // backward pass needs.
+            let mut hb1 = Matrix::zeros(bsz, cfg.embed_dim);
+            let mut hb2 = Matrix::zeros(bsz, cfg.embed_dim);
+            let mut ctx = Vec::with_capacity(bsz);
+            for (i, &v) in batch.iter().enumerate() {
+                let va = generator.sample_ego_view(
+                    v,
+                    self.config.tau_hat,
+                    self.config.eta_hat,
+                    &mut train_rng,
+                );
+                let vb = generator.sample_ego_view(
+                    v,
+                    self.config.tau_tilde,
+                    self.config.eta_tilde,
+                    &mut train_rng,
+                );
+                let aa = encoder.adjacency(&va.graph);
+                let ab = encoder.adjacency(&vb.graph);
+                let (ha, ca) = encoder.forward(&aa, &va.features);
+                let (hb, cb) = encoder.forward(&ab, &vb.features);
+                hb1.set_row(i, ha.row(va.center));
+                hb2.set_row(i, hb.row(vb.center));
+                ctx.push((va, aa, ca, ha.rows(), vb, ab, cb, hb.rows()));
+            }
+            let negatives: Vec<Vec<usize>> = (0..bsz)
+                .map(|i| {
+                    sample_negative_indices(bsz, i, self.config.negatives, &mut train_rng)
+                })
+                .collect();
+            let (d1, d2, batch_loss) = if self.config.normalize {
+                let (u1, n1) = loss::normalize_rows(&hb1);
+                let (u2, n2) = loss::normalize_rows(&hb2);
+                let out =
+                    loss::margin_contrastive(&u1, &u2, &u2, &negatives, self.config.margin);
+                let mut du2 = out.d_tilde;
+                du2.add_assign(&out.d_neg);
+                (
+                    loss::normalize_backward(&u1, &n1, &out.d_hat),
+                    loss::normalize_backward(&u2, &n2, &du2),
+                    out.loss,
+                )
+            } else {
+                let out = loss::margin_contrastive(
+                    &hb1,
+                    &hb2,
+                    &hb2,
+                    &negatives,
+                    self.config.margin,
+                );
+                let mut du2 = out.d_tilde;
+                du2.add_assign(&out.d_neg);
+                (out.d_hat, du2, out.loss)
+            };
+            loss_curve.push(batch_loss);
+            // Backprop each ego view with a one-hot centre-row gradient.
+            let mut acc: Option<Vec<Matrix>> = None;
+            for (i, (va, aa, ca, na, vb, ab, cb, nb)) in ctx.iter().enumerate() {
+                let mut da = Matrix::zeros(*na, cfg.embed_dim);
+                da.set_row(va.center, d1.row(i));
+                GcnEncoder::accumulate(&mut acc, encoder.backward(aa, ca, &da), 1.0);
+                let mut db = Matrix::zeros(*nb, cfg.embed_dim);
+                db.set_row(vb.center, d2.row(i));
+                GcnEncoder::accumulate(&mut acc, encoder.backward(ab, cb, &db), 1.0);
+            }
+            opt.step(encoder.params_mut(), &acc.unwrap());
+        }
+        PretrainResult {
+            embeddings: encoder.embed(&adj_orig, x),
+            selection_time,
+            total_time: start.elapsed(),
+            checkpoints: Vec::new(),
+            loss_curve,
+        }
+    }
+}
+
+impl ContrastiveModel for E2gclModel {
+    fn name(&self) -> String {
+        "E2GCL".to_string()
+    }
+
+    fn pretrain(
+        &self,
+        g: &CsrGraph,
+        x: &Matrix,
+        cfg: &TrainConfig,
+        rng: &mut SeedRng,
+    ) -> PretrainResult {
+        if self.config.view_mode == ViewMode::PerNodeEgo {
+            return self.pretrain_per_node(g, x, cfg, rng);
+        }
+        let start = Instant::now();
+        // ---- Node selection (Alg. 2) ----
+        let selection = self.select_nodes(g, x, &mut rng.fork("selector"));
+        let selection_time = start.elapsed();
+        // ---- View generator setup (Alg. 3 precomputation) ----
+        let generator =
+            ViewGenerator::new(g, x, self.view_config(), &mut rng.fork("views"));
+        // ---- Encoder + optimiser ----
+        let mut encoder =
+            Encoder::new(self.config.encoder, x.cols(), cfg, &mut rng.fork("init"));
+        let adj_orig = encoder.adjacency(g);
+        let mut opt = Adam::with_weight_decay(cfg.lr, cfg.weight_decay);
+        let mut loss_curve = Vec::with_capacity(cfg.epochs);
+        let mut checkpoints = Vec::new();
+        let mut train_rng = rng.fork("train");
+        let anchors = &selection.nodes;
+        let weights = &selection.weights;
+        for epoch in 0..cfg.epochs {
+            if anchors.is_empty() {
+                break;
+            }
+            // Two diverse positive views per epoch (Alg. 1 line 3-4).
+            let (g1, x1) = generator.sample_global_view(
+                self.config.tau_hat,
+                self.config.eta_hat,
+                &mut train_rng,
+            );
+            let (g2, x2) = generator.sample_global_view(
+                self.config.tau_tilde,
+                self.config.eta_tilde,
+                &mut train_rng,
+            );
+            let a1 = encoder.adjacency(&g1);
+            let a2 = encoder.adjacency(&g2);
+            let (h1, c1) = encoder.forward(&a1, &x1);
+            let (h2, c2) = encoder.forward(&a2, &x2);
+            let mut d_h1 = Matrix::zeros(h1.rows(), h1.cols());
+            let mut d_h2 = Matrix::zeros(h2.rows(), h2.cols());
+            // λ-weighted anchor batches: sampling anchors ∝ λ reproduces the
+            // Eq. (8) weighting in expectation while keeping the per-batch
+            // loss unweighted.
+            let num_batches = anchors.len().div_ceil(cfg.batch_size).max(1);
+            let mut epoch_loss = 0.0f32;
+            for _ in 0..num_batches {
+                let bsz = cfg.batch_size.min(anchors.len());
+                let batch: Vec<usize> = (0..bsz)
+                    .map(|_| anchors[train_rng.weighted_index(weights)])
+                    .collect();
+                let hb1 = h1.select_rows(&batch);
+                let hb2 = h2.select_rows(&batch);
+                let negatives: Vec<Vec<usize>> = (0..bsz)
+                    .map(|i| {
+                        sample_negative_indices(
+                            bsz,
+                            i,
+                            self.config.negatives,
+                            &mut train_rng,
+                        )
+                    })
+                    .collect();
+                // Optionally compute the loss on the unit sphere, then pull
+                // gradients back through the normalisation Jacobian.
+                let (d_hat, d_tilde_and_neg, batch_loss) = if self.config.loss
+                    == LossKind::InfoNce
+                {
+                    let out = loss::info_nce(&hb1, &hb2, 0.5);
+                    (out.d_z1, out.d_z2, out.loss)
+                } else if self.config.normalize {
+                    let (u1, n1) = loss::normalize_rows(&hb1);
+                    let (u2, n2) = loss::normalize_rows(&hb2);
+                    let out = loss::margin_contrastive(
+                        &u1,
+                        &u2,
+                        &u2,
+                        &negatives,
+                        self.config.margin,
+                    );
+                    let mut du2 = out.d_tilde;
+                    du2.add_assign(&out.d_neg);
+                    (
+                        loss::normalize_backward(&u1, &n1, &out.d_hat),
+                        loss::normalize_backward(&u2, &n2, &du2),
+                        out.loss,
+                    )
+                } else {
+                    let out = loss::margin_contrastive(
+                        &hb1,
+                        &hb2,
+                        &hb2,
+                        &negatives,
+                        self.config.margin,
+                    );
+                    let mut du2 = out.d_tilde;
+                    du2.add_assign(&out.d_neg);
+                    (out.d_hat, du2, out.loss)
+                };
+                epoch_loss += batch_loss / num_batches as f32;
+                // Scatter batch gradients back to full-view rows.
+                for (i, &v) in batch.iter().enumerate() {
+                    for (dst, &src) in
+                        d_h1.row_mut(v).iter_mut().zip(d_hat.row(i))
+                    {
+                        *dst += src / num_batches as f32;
+                    }
+                    for (dst, &src) in
+                        d_h2.row_mut(v).iter_mut().zip(d_tilde_and_neg.row(i))
+                    {
+                        *dst += src / num_batches as f32;
+                    }
+                }
+            }
+            loss_curve.push(epoch_loss);
+            // Backprop both views, accumulate, step.
+            let mut acc = None;
+            GcnEncoder::accumulate(&mut acc, encoder.backward(&a1, &c1, &d_h1), 1.0);
+            GcnEncoder::accumulate(&mut acc, encoder.backward(&a2, &c2, &d_h2), 1.0);
+            let grads = acc.unwrap();
+            opt.step(encoder.params_mut(), &grads);
+            if let Some(every) = cfg.checkpoint_every {
+                if (epoch + 1) % every == 0 || epoch + 1 == cfg.epochs {
+                    checkpoints.push((
+                        start.elapsed().as_secs_f64(),
+                        encoder.embed(&adj_orig, x),
+                    ));
+                }
+            }
+        }
+        let embeddings = encoder.embed(&adj_orig, x);
+        PretrainResult {
+            embeddings,
+            selection_time,
+            total_time: start.elapsed(),
+            checkpoints,
+            loss_curve,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use e2gcl_datasets::{spec, NodeDataset};
+
+    fn tiny_cfg() -> TrainConfig {
+        TrainConfig { epochs: 8, batch_size: 64, ..Default::default() }
+    }
+
+    fn tiny_data() -> NodeDataset {
+        NodeDataset::generate(&spec("cora-sim"), 0.06, 3)
+    }
+
+    #[test]
+    fn pretrain_produces_finite_embeddings() {
+        let d = tiny_data();
+        let model = E2gclModel::default();
+        let out = model.pretrain(&d.graph, &d.features, &tiny_cfg(), &mut SeedRng::new(0));
+        assert_eq!(out.embeddings.rows(), d.num_nodes());
+        assert_eq!(out.embeddings.cols(), 64);
+        assert!(!out.embeddings.has_non_finite());
+        assert_eq!(out.loss_curve.len(), 8);
+        assert!(out.total_time >= out.selection_time);
+    }
+
+    #[test]
+    fn loss_decreases_over_training() {
+        let d = tiny_data();
+        let model = E2gclModel::default();
+        let cfg = TrainConfig { epochs: 15, batch_size: 64, ..Default::default() };
+        let out = model.pretrain(&d.graph, &d.features, &cfg, &mut SeedRng::new(1));
+        let first = out.loss_curve[..3].iter().sum::<f32>() / 3.0;
+        let last = out.loss_curve[12..].iter().sum::<f32>() / 3.0;
+        assert!(last < first, "loss should fall: {first} -> {last}");
+    }
+
+    #[test]
+    fn checkpoints_recorded_when_requested() {
+        let d = tiny_data();
+        let model = E2gclModel::default();
+        let cfg = TrainConfig { epochs: 6, checkpoint_every: Some(2), ..tiny_cfg() };
+        let out = model.pretrain(&d.graph, &d.features, &cfg, &mut SeedRng::new(2));
+        assert_eq!(out.checkpoints.len(), 3);
+        // Times strictly increasing.
+        for w in out.checkpoints.windows(2) {
+            assert!(w[1].0 >= w[0].0);
+        }
+    }
+
+    #[test]
+    fn all_selector_kinds_run() {
+        let d = tiny_data();
+        let kinds = [
+            SelectorKind::Greedy(GreedyConfig {
+                num_clusters: 8,
+                sample_size: 50,
+                ..Default::default()
+            }),
+            SelectorKind::Random,
+            SelectorKind::Degree,
+            SelectorKind::KMeans,
+            SelectorKind::Kcg,
+            SelectorKind::Grain,
+            SelectorKind::All,
+        ];
+        for kind in kinds {
+            let model = E2gclModel::new(E2gclConfig {
+                selector: kind.clone(),
+                ..Default::default()
+            });
+            let sel = model.select_nodes(&d.graph, &d.features, &mut SeedRng::new(3));
+            let expected = match kind {
+                SelectorKind::All => d.num_nodes(),
+                _ => ((d.num_nodes() as f64) * 0.4).round() as usize,
+            };
+            assert_eq!(sel.nodes.len(), expected, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn every_view_strategy_trains() {
+        let d = tiny_data();
+        for strategy in [
+            ViewStrategy::Importance,
+            ViewStrategy::Uniform,
+            ViewStrategy::UniformEdges,
+            ViewStrategy::UniformFeatures,
+        ] {
+            let model = E2gclModel::new(E2gclConfig { strategy, ..Default::default() });
+            let cfg = TrainConfig { epochs: 3, ..tiny_cfg() };
+            let out =
+                model.pretrain(&d.graph, &d.features, &cfg, &mut SeedRng::new(4));
+            assert!(!out.embeddings.has_non_finite(), "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let d = tiny_data();
+        let model = E2gclModel::default();
+        let cfg = TrainConfig { epochs: 3, ..tiny_cfg() };
+        let a = model.pretrain(&d.graph, &d.features, &cfg, &mut SeedRng::new(5));
+        let b = model.pretrain(&d.graph, &d.features, &cfg, &mut SeedRng::new(5));
+        assert_eq!(a.embeddings, b.embeddings);
+    }
+
+    /// The literal per-node Alg. 3 path trains and lands in the same
+    /// quality regime as the batched form (the two are distributionally
+    /// equivalent for the anchors).
+    #[test]
+    fn per_node_ego_mode_matches_batched_quality() {
+        let d = tiny_data();
+        let cfg = TrainConfig { epochs: 6, batch_size: 32, ..Default::default() };
+        let batched = E2gclModel::default()
+            .pretrain(&d.graph, &d.features, &cfg, &mut SeedRng::new(9));
+        let per_node = E2gclModel::new(E2gclConfig {
+            view_mode: ViewMode::PerNodeEgo,
+            ..Default::default()
+        })
+        .pretrain(&d.graph, &d.features, &cfg, &mut SeedRng::new(9));
+        assert!(!per_node.embeddings.has_non_finite());
+        let acc = |h: &Matrix| {
+            crate::eval::node_classification(h, &d.labels, d.num_classes, 3, 0).0
+        };
+        let (ab, ap) = (acc(&batched.embeddings), acc(&per_node.embeddings));
+        assert!(
+            (ab - ap).abs() < 0.25,
+            "modes diverged: batched {ab} vs per-node {ap}"
+        );
+    }
+
+    #[test]
+    fn info_nce_loss_kind_trains() {
+        let d = tiny_data();
+        let model =
+            E2gclModel::new(E2gclConfig { loss: LossKind::InfoNce, ..Default::default() });
+        let out = model.pretrain(&d.graph, &d.features, &tiny_cfg(), &mut SeedRng::new(6));
+        assert!(!out.embeddings.has_non_finite());
+        assert!(
+            out.loss_curve.last().unwrap() <= out.loss_curve.first().unwrap(),
+            "{:?}",
+            out.loss_curve
+        );
+    }
+
+    #[test]
+    fn sage_encoder_trains() {
+        let d = tiny_data();
+        let model = E2gclModel::new(E2gclConfig {
+            encoder: EncoderKind::Sage,
+            ..Default::default()
+        });
+        let out = model.pretrain(&d.graph, &d.features, &tiny_cfg(), &mut SeedRng::new(11));
+        assert!(!out.embeddings.has_non_finite());
+        assert!(
+            out.loss_curve.last().unwrap() < out.loss_curve.first().unwrap(),
+            "{:?}",
+            out.loss_curve
+        );
+    }
+
+    #[test]
+    fn sgc_encoder_trains() {
+        let d = tiny_data();
+        let model = E2gclModel::new(E2gclConfig {
+            encoder: EncoderKind::Sgc,
+            ..Default::default()
+        });
+        let out = model.pretrain(&d.graph, &d.features, &tiny_cfg(), &mut SeedRng::new(8));
+        assert!(!out.embeddings.has_non_finite());
+        assert_eq!(out.embeddings.cols(), 64);
+        assert!(
+            out.loss_curve.last().unwrap() < out.loss_curve.first().unwrap(),
+            "{:?}",
+            out.loss_curve
+        );
+    }
+
+    #[test]
+    fn unnormalized_margin_loss_still_trains() {
+        let d = tiny_data();
+        let model = E2gclModel::new(E2gclConfig {
+            normalize: false,
+            margin: 3.0,
+            ..Default::default()
+        });
+        let out = model.pretrain(&d.graph, &d.features, &tiny_cfg(), &mut SeedRng::new(7));
+        assert!(!out.embeddings.has_non_finite());
+    }
+}

@@ -1,0 +1,277 @@
+//! GAE and VGAE (Kipf & Welling 2016): (variational) graph auto-encoders.
+//!
+//! The encoder is the same 2-layer GCN as every other model; the decoder is
+//! the inner-product edge decoder `p(u,v) = σ(z_u · z_v)` trained with BCE
+//! over positive edges and sampled non-edges. VGAE adds the reparameterised
+//! Gaussian posterior and KL regulariser.
+
+use crate::config::TrainConfig;
+use crate::models::{ContrastiveModel, PretrainResult};
+use e2gcl_datasets::split::sample_non_edges;
+use e2gcl_graph::{norm, CsrGraph};
+use e2gcl_linalg::{ops, Matrix, SeedRng};
+use e2gcl_nn::{loss, optim::Optimizer, Adam, GcnEncoder};
+use std::time::Instant;
+
+/// Edges scored per epoch (positives; an equal number of negatives is
+/// sampled). Caps the decoder cost on dense graphs.
+const EDGE_BATCH: usize = 4000;
+
+/// Inner-product decoder pass shared by GAE and VGAE: BCE over `pos` and
+/// `neg` pairs. Returns `(loss, dZ)`.
+fn reconstruction(
+    z: &Matrix,
+    pos: &[(usize, usize)],
+    neg: &[(usize, usize)],
+) -> (f32, Matrix) {
+    let mut logits = Vec::with_capacity(pos.len() + neg.len());
+    for &(u, v) in pos.iter().chain(neg) {
+        logits.push(ops::dot(z.row(u), z.row(v)));
+    }
+    let mut targets = vec![1.0f32; pos.len()];
+    targets.extend(std::iter::repeat_n(0.0, neg.len()));
+    let (l, dl) = loss::bce_with_logits(&logits, &targets);
+    let mut dz = Matrix::zeros(z.rows(), z.cols());
+    for (&(u, v), &g) in pos.iter().chain(neg).zip(&dl) {
+        let zu = z.row(u).to_vec();
+        let zv = z.row(v).to_vec();
+        ops::axpy_slice(dz.row_mut(u), g, &zv);
+        ops::axpy_slice(dz.row_mut(v), g, &zu);
+    }
+    (l, dz)
+}
+
+/// Samples an epoch's positive-edge batch.
+fn edge_batch(g: &CsrGraph, rng: &mut SeedRng) -> Vec<(usize, usize)> {
+    let all: Vec<(usize, usize)> = g.edges().collect();
+    if all.len() <= EDGE_BATCH {
+        return all;
+    }
+    rng.sample_without_replacement(all.len(), EDGE_BATCH)
+        .into_iter()
+        .map(|i| all[i])
+        .collect()
+}
+
+/// The (non-variational) graph auto-encoder.
+#[derive(Clone, Debug, Default)]
+pub struct GaeModel;
+
+impl ContrastiveModel for GaeModel {
+    fn name(&self) -> String {
+        "GAE".to_string()
+    }
+
+    fn pretrain(
+        &self,
+        g: &CsrGraph,
+        x: &Matrix,
+        cfg: &TrainConfig,
+        rng: &mut SeedRng,
+    ) -> PretrainResult {
+        let start = Instant::now();
+        let adj = norm::normalized_adjacency(g);
+        let mut encoder = GcnEncoder::new(&cfg.encoder_dims(x.cols()), &mut rng.fork("init"));
+        let mut opt = Adam::with_weight_decay(cfg.lr, cfg.weight_decay);
+        let mut train_rng = rng.fork("train");
+        let mut loss_curve = Vec::with_capacity(cfg.epochs);
+        let mut checkpoints = Vec::new();
+        for epoch in 0..cfg.epochs {
+            let (z, cache) = encoder.forward(&adj, x);
+            let pos = edge_batch(g, &mut train_rng);
+            let neg = sample_non_edges(g, pos.len(), &mut train_rng);
+            let (l, dz) = reconstruction(&z, &pos, &neg);
+            loss_curve.push(l);
+            let grads = encoder.backward(&adj, &cache, &dz);
+            opt.step(encoder.params_mut(), &grads);
+            if let Some(every) = cfg.checkpoint_every {
+                if (epoch + 1) % every == 0 || epoch + 1 == cfg.epochs {
+                    checkpoints.push((start.elapsed().as_secs_f64(), encoder.embed(&adj, x)));
+                }
+            }
+        }
+        PretrainResult {
+            embeddings: encoder.embed(&adj, x),
+            selection_time: std::time::Duration::ZERO,
+            total_time: start.elapsed(),
+            checkpoints,
+            loss_curve,
+        }
+    }
+}
+
+/// The variational graph auto-encoder.
+#[derive(Clone, Debug)]
+pub struct VgaeModel {
+    /// Weight of the KL regulariser.
+    pub kl_weight: f32,
+}
+
+impl Default for VgaeModel {
+    fn default() -> Self {
+        // Down-weighted KL: the full ELBO weight drowns reconstruction at
+        // these embedding widths (52% vs 82% on the Cora analog).
+        Self { kl_weight: 0.1 }
+    }
+}
+
+impl ContrastiveModel for VgaeModel {
+    fn name(&self) -> String {
+        "VGAE".to_string()
+    }
+
+    fn pretrain(
+        &self,
+        g: &CsrGraph,
+        x: &Matrix,
+        cfg: &TrainConfig,
+        rng: &mut SeedRng,
+    ) -> PretrainResult {
+        let start = Instant::now();
+        let adj = norm::normalized_adjacency(g);
+        let d = cfg.embed_dim;
+        // Encoder emits [μ | log σ²] side by side.
+        let dims = vec![x.cols(), cfg.hidden_dim, 2 * d];
+        let mut encoder = GcnEncoder::new(&dims, &mut rng.fork("init"));
+        let mut opt = Adam::with_weight_decay(cfg.lr, cfg.weight_decay);
+        let mut train_rng = rng.fork("train");
+        let mut loss_curve = Vec::with_capacity(cfg.epochs);
+        let mut checkpoints = Vec::new();
+        let n = g.num_nodes();
+        let kl_scale = self.kl_weight / n as f32;
+        for epoch in 0..cfg.epochs {
+            let (out, cache) = encoder.forward(&adj, x);
+            // Split, reparameterise.
+            let mut z = Matrix::zeros(n, d);
+            let mut eps = Matrix::zeros(n, d);
+            for v in 0..n {
+                for j in 0..d {
+                    let mu = out.get(v, j);
+                    let logvar = out.get(v, d + j).clamp(-10.0, 10.0);
+                    let e = train_rng.normal();
+                    eps.set(v, j, e);
+                    z.set(v, j, mu + e * (0.5 * logvar).exp());
+                }
+            }
+            let pos = edge_batch(g, &mut train_rng);
+            let neg = sample_non_edges(g, pos.len(), &mut train_rng);
+            let (recon, dz) = reconstruction(&z, &pos, &neg);
+            // KL(q || N(0,I)) and total gradient wrt [μ | log σ²].
+            let mut kl = 0.0f64;
+            let mut d_out = Matrix::zeros(n, 2 * d);
+            for v in 0..n {
+                for j in 0..d {
+                    let mu = out.get(v, j);
+                    let logvar = out.get(v, d + j).clamp(-10.0, 10.0);
+                    kl += f64::from(
+                        -0.5 * (1.0 + logvar - mu * mu - logvar.exp()) * kl_scale,
+                    );
+                    let dzv = dz.get(v, j);
+                    d_out.set(v, j, dzv + kl_scale * mu);
+                    d_out.set(
+                        v,
+                        d + j,
+                        dzv * eps.get(v, j) * 0.5 * (0.5 * logvar).exp()
+                            + kl_scale * 0.5 * (logvar.exp() - 1.0),
+                    );
+                }
+            }
+            loss_curve.push(recon + kl as f32);
+            let grads = encoder.backward(&adj, &cache, &d_out);
+            opt.step(encoder.params_mut(), &grads);
+            if let Some(every) = cfg.checkpoint_every {
+                if (epoch + 1) % every == 0 || epoch + 1 == cfg.epochs {
+                    checkpoints.push((
+                        start.elapsed().as_secs_f64(),
+                        mu_embeddings(&encoder, &adj, x, d),
+                    ));
+                }
+            }
+        }
+        PretrainResult {
+            embeddings: mu_embeddings(&encoder, &adj, x, d),
+            selection_time: std::time::Duration::ZERO,
+            total_time: start.elapsed(),
+            checkpoints,
+            loss_curve,
+        }
+    }
+}
+
+/// Inference embeddings of VGAE: the posterior means μ.
+fn mu_embeddings(
+    encoder: &GcnEncoder,
+    adj: &e2gcl_graph::SparseMatrix,
+    x: &Matrix,
+    d: usize,
+) -> Matrix {
+    let full = encoder.embed(adj, x);
+    let mut mu = Matrix::zeros(full.rows(), d);
+    for v in 0..full.rows() {
+        mu.row_mut(v).copy_from_slice(&full.row(v)[..d]);
+    }
+    mu
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use e2gcl_datasets::{spec, NodeDataset};
+
+    fn tiny() -> (NodeDataset, TrainConfig) {
+        (
+            NodeDataset::generate(&spec("cora-sim"), 0.05, 0),
+            TrainConfig { epochs: 15, ..Default::default() },
+        )
+    }
+
+    #[test]
+    fn reconstruction_grad_check() {
+        let mut rng = SeedRng::new(0);
+        let mut z = Matrix::zeros(5, 3);
+        for v in z.as_mut_slice() {
+            *v = rng.normal() * 0.5;
+        }
+        let pos = vec![(0usize, 1usize), (2, 3)];
+        let neg = vec![(0usize, 4usize), (1, 3)];
+        let (_, dz) = reconstruction(&z, &pos, &neg);
+        let eps = 1e-3f32;
+        for r in 0..5 {
+            for c in 0..3 {
+                let orig = z.get(r, c);
+                z.set(r, c, orig + eps);
+                let lp = reconstruction(&z, &pos, &neg).0;
+                z.set(r, c, orig - eps);
+                let lm = reconstruction(&z, &pos, &neg).0;
+                z.set(r, c, orig);
+                let fd = (lp - lm) / (2.0 * eps);
+                assert!(
+                    (fd - dz.get(r, c)).abs() < 2e-2 * (1.0 + fd.abs()),
+                    "dz({r},{c}): {fd} vs {}",
+                    dz.get(r, c)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gae_learns_to_reconstruct() {
+        let (d, cfg) = tiny();
+        let out = GaeModel.pretrain(&d.graph, &d.features, &cfg, &mut SeedRng::new(1));
+        assert!(!out.embeddings.has_non_finite());
+        assert!(
+            out.loss_curve.last().unwrap() < &out.loss_curve[0],
+            "{:?}",
+            out.loss_curve
+        );
+    }
+
+    #[test]
+    fn vgae_trains_without_nans() {
+        let (d, cfg) = tiny();
+        let out =
+            VgaeModel::default().pretrain(&d.graph, &d.features, &cfg, &mut SeedRng::new(2));
+        assert!(!out.embeddings.has_non_finite());
+        assert_eq!(out.embeddings.cols(), cfg.embed_dim);
+    }
+}

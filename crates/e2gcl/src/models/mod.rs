@@ -1,0 +1,114 @@
+//! Contrastive pre-training models.
+//!
+//! Every model implements [`ContrastiveModel`]: given an unlabelled graph it
+//! produces node embeddings (plus timing and optional training-curve
+//! checkpoints). Labels never enter pre-training; they are only used later
+//! by the [`crate::eval`] decoders, exactly as in Alg. 1.
+
+pub mod adgcl;
+pub mod bgrl;
+pub mod dgi;
+pub mod e2gcl_model;
+pub mod gae;
+pub mod grace;
+pub mod mvgrl;
+pub mod walks;
+
+use crate::config::TrainConfig;
+use e2gcl_graph::CsrGraph;
+use e2gcl_linalg::{Matrix, SeedRng};
+use std::time::Duration;
+
+/// Output of a pre-training run.
+#[derive(Clone, Debug)]
+pub struct PretrainResult {
+    /// Final embeddings of every node, computed on the *original* graph.
+    pub embeddings: Matrix,
+    /// Time spent selecting representative nodes (`ST` of Table V; zero for
+    /// models that train on all nodes).
+    pub selection_time: Duration,
+    /// Total pre-training wall time (`TT` of Table V), selection included.
+    pub total_time: Duration,
+    /// `(elapsed seconds, embeddings)` checkpoints, recorded when
+    /// `TrainConfig::checkpoint_every` is set (drives Fig. 3).
+    pub checkpoints: Vec<(f64, Matrix)>,
+    /// Mean contrastive loss per epoch (for convergence diagnostics).
+    pub loss_curve: Vec<f32>,
+}
+
+/// A self-supervised graph representation learner.
+pub trait ContrastiveModel {
+    /// Model name as it appears in the paper's tables.
+    fn name(&self) -> String;
+
+    /// Pre-trains on `(g, x)` without labels and returns node embeddings.
+    fn pretrain(
+        &self,
+        g: &CsrGraph,
+        x: &Matrix,
+        cfg: &TrainConfig,
+        rng: &mut SeedRng,
+    ) -> PretrainResult;
+}
+
+/// Samples `count` negative indices in `[0, n)` distinct from `anchor`.
+pub(crate) fn sample_negative_indices(
+    n: usize,
+    anchor: usize,
+    count: usize,
+    rng: &mut SeedRng,
+) -> Vec<usize> {
+    let mut out = Vec::with_capacity(count);
+    if n <= 1 {
+        return out;
+    }
+    for _ in 0..count {
+        let mut u = rng.below(n - 1);
+        if u >= anchor {
+            u += 1;
+        }
+        out.push(u);
+    }
+    out
+}
+
+/// Splits shuffled node indices into anchor batches of at most `batch_size`.
+pub(crate) fn shuffled_batches(
+    n: usize,
+    batch_size: usize,
+    rng: &mut SeedRng,
+) -> Vec<Vec<usize>> {
+    let mut idx: Vec<usize> = (0..n).collect();
+    rng.shuffle(&mut idx);
+    idx.chunks(batch_size.max(2)).map(|c| c.to_vec()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn negatives_exclude_anchor() {
+        let mut rng = SeedRng::new(0);
+        for anchor in 0..5 {
+            let negs = sample_negative_indices(5, anchor, 50, &mut rng);
+            assert_eq!(negs.len(), 50);
+            assert!(negs.iter().all(|&u| u != anchor && u < 5));
+        }
+    }
+
+    #[test]
+    fn negatives_degenerate_single_node() {
+        let mut rng = SeedRng::new(1);
+        assert!(sample_negative_indices(1, 0, 3, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn batches_cover_everything_once() {
+        let mut rng = SeedRng::new(2);
+        let batches = shuffled_batches(103, 25, &mut rng);
+        let mut all: Vec<usize> = batches.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..103).collect::<Vec<_>>());
+    }
+}

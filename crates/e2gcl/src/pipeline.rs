@@ -1,0 +1,206 @@
+//! Alg. 1 end-to-end runs: pre-train → probe, with timing — the engine
+//! behind every table and figure of the evaluation.
+
+use crate::config::TrainConfig;
+use crate::eval;
+use crate::models::ContrastiveModel;
+use e2gcl_datasets::{GraphDataset, NodeDataset};
+use e2gcl_graph::CsrGraph;
+use e2gcl_linalg::{stats, Matrix, SeedRng};
+
+/// Result of repeated node-classification runs of one model on one dataset.
+#[derive(Clone, Debug)]
+pub struct NodeClassificationRun {
+    /// Model name.
+    pub model: String,
+    /// Dataset name.
+    pub dataset: String,
+    /// Per-run accuracies.
+    pub accuracies: Vec<f32>,
+    /// Mean accuracy.
+    pub mean: f32,
+    /// Std of accuracy.
+    pub std: f32,
+    /// Mean selection time (seconds).
+    pub selection_secs: f64,
+    /// Mean total pre-training time (seconds).
+    pub total_secs: f64,
+}
+
+/// Runs Alg. 1 `runs` times (fresh seed each run: new pre-training and a new
+/// decoder split) and aggregates, exactly like the tables' "mean ± std over
+/// 10 data splits".
+pub fn run_node_classification(
+    model: &dyn ContrastiveModel,
+    data: &NodeDataset,
+    cfg: &TrainConfig,
+    runs: usize,
+    base_seed: u64,
+) -> NodeClassificationRun {
+    let mut accuracies = Vec::with_capacity(runs);
+    let mut sel = 0.0f64;
+    let mut tot = 0.0f64;
+    for r in 0..runs {
+        let seed = base_seed + r as u64;
+        let mut rng = SeedRng::new(seed);
+        let out = model.pretrain(&data.graph, &data.features, cfg, &mut rng);
+        sel += out.selection_time.as_secs_f64() / runs as f64;
+        tot += out.total_time.as_secs_f64() / runs as f64;
+        accuracies.push(eval::node_classification_accuracy(
+            &out.embeddings,
+            &data.labels,
+            data.num_classes,
+            seed,
+        ));
+    }
+    let (mean, std) = stats::mean_std(&accuracies);
+    NodeClassificationRun {
+        model: model.name(),
+        dataset: data.name.clone(),
+        accuracies,
+        mean,
+        std,
+        selection_secs: sel,
+        total_secs: tot,
+    }
+}
+
+/// One accuracy-vs-time curve (Fig. 3): pre-trains once with checkpoints on
+/// and probes every checkpoint.
+pub fn accuracy_time_curve(
+    model: &dyn ContrastiveModel,
+    data: &NodeDataset,
+    cfg: &TrainConfig,
+    seed: u64,
+) -> Vec<(f64, f32)> {
+    let cfg = TrainConfig {
+        checkpoint_every: cfg.checkpoint_every.or(Some(1)),
+        ..cfg.clone()
+    };
+    let mut rng = SeedRng::new(seed);
+    let out = model.pretrain(&data.graph, &data.features, &cfg, &mut rng);
+    out.checkpoints
+        .iter()
+        .map(|(t, h)| {
+            (
+                *t,
+                eval::node_classification_accuracy(h, &data.labels, data.num_classes, seed),
+            )
+        })
+        .collect()
+}
+
+/// Disjoint union of many graphs into one block-diagonal graph, with the
+/// per-graph node offsets. Used to pre-train one shared encoder for graph
+/// classification (§V-E2).
+pub fn disjoint_union(graphs: &[CsrGraph], features: &[Matrix]) -> (CsrGraph, Matrix, Vec<usize>) {
+    assert_eq!(graphs.len(), features.len());
+    let total: usize = graphs.iter().map(|g| g.num_nodes()).sum();
+    let d = features.first().map_or(0, |f| f.cols());
+    let mut edges = Vec::new();
+    let mut x = Matrix::zeros(total, d);
+    let mut offsets = Vec::with_capacity(graphs.len() + 1);
+    let mut base = 0usize;
+    for (g, f) in graphs.iter().zip(features) {
+        offsets.push(base);
+        for (u, v) in g.edges() {
+            edges.push((base + u, base + v));
+        }
+        for v in 0..g.num_nodes() {
+            x.set_row(base + v, f.row(v));
+        }
+        base += g.num_nodes();
+    }
+    offsets.push(base);
+    (CsrGraph::from_edges(total, &edges), x, offsets)
+}
+
+/// Graph-classification accuracy of a contrastive model (§V-E2): pre-train
+/// a shared encoder on the disjoint union, SUM-readout per graph, probe.
+pub fn run_graph_classification(
+    model: &dyn ContrastiveModel,
+    data: &GraphDataset,
+    cfg: &TrainConfig,
+    runs: usize,
+    base_seed: u64,
+) -> (f32, f32) {
+    let (union, x, offsets) = disjoint_union(&data.graphs, &data.features);
+    let mut accs = Vec::with_capacity(runs);
+    for r in 0..runs {
+        let seed = base_seed + r as u64;
+        let mut rng = SeedRng::new(seed);
+        let out = model.pretrain(&union, &x, cfg, &mut rng);
+        // SUM readout per graph.
+        let mut z = Matrix::zeros(data.len(), out.embeddings.cols());
+        for gi in 0..data.len() {
+            let rows: Vec<usize> = (offsets[gi]..offsets[gi + 1]).collect();
+            let sub = out.embeddings.select_rows(&rows);
+            z.set_row(gi, &eval::sum_readout(&sub));
+        }
+        accs.push(eval::graph_classification_accuracy(
+            &z,
+            &data.labels,
+            data.num_classes,
+            seed,
+        ));
+    }
+    stats::mean_std(&accs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::*;
+    use e2gcl_datasets::graph_dataset::{graph_spec, GraphDataset};
+
+    #[test]
+    fn disjoint_union_offsets_and_edges() {
+        let g1 = CsrGraph::from_edges(3, &[(0, 1), (1, 2)]);
+        let g2 = CsrGraph::from_edges(2, &[(0, 1)]);
+        let x1 = Matrix::filled(3, 2, 1.0);
+        let x2 = Matrix::filled(2, 2, 2.0);
+        let (u, x, off) = disjoint_union(&[g1, g2], &[x1, x2]);
+        assert_eq!(u.num_nodes(), 5);
+        assert_eq!(u.num_edges(), 3);
+        assert_eq!(off, vec![0, 3, 5]);
+        assert!(u.has_edge(3, 4));
+        assert!(!u.has_edge(2, 3)); // no cross-graph edges
+        assert_eq!(x.get(4, 0), 2.0);
+    }
+
+    #[test]
+    fn node_classification_run_aggregates() {
+        let data = NodeDataset::generate(&spec("cora-sim"), 0.08, 0);
+        let model = E2gclModel::default();
+        let cfg = TrainConfig { epochs: 5, batch_size: 64, ..Default::default() };
+        let run = run_node_classification(&model, &data, &cfg, 2, 0);
+        assert_eq!(run.accuracies.len(), 2);
+        assert!(run.mean > 0.0 && run.mean <= 1.0);
+        assert!(run.total_secs > 0.0);
+        assert_eq!(run.model, "E2GCL");
+    }
+
+    #[test]
+    fn curve_is_nonempty_and_time_ordered() {
+        let data = NodeDataset::generate(&spec("cora-sim"), 0.06, 1);
+        let model = E2gclModel::default();
+        let cfg = TrainConfig {
+            epochs: 4,
+            batch_size: 64,
+            checkpoint_every: Some(2),
+            ..Default::default()
+        };
+        let curve = accuracy_time_curve(&model, &data, &cfg, 0);
+        assert_eq!(curve.len(), 2);
+        assert!(curve.windows(2).all(|w| w[1].0 >= w[0].0));
+    }
+
+    #[test]
+    fn graph_classification_beats_chance() {
+        let data = GraphDataset::generate(&graph_spec("ptcmr-sim"), 0.4, 0);
+        let model = E2gclModel::default();
+        let cfg = TrainConfig { epochs: 6, batch_size: 128, ..Default::default() };
+        let (mean, _) = run_graph_classification(&model, &data, &cfg, 1, 0);
+        assert!(mean > 0.5, "graph classification accuracy {mean}");
+    }
+}

@@ -1,0 +1,238 @@
+//! Immutable undirected graph in compressed-sparse-row form.
+
+use serde::{Deserialize, Serialize};
+
+/// An undirected, unweighted graph stored as CSR adjacency.
+///
+/// Invariants (checked in debug builds and by the property tests):
+/// * neighbour lists are sorted ascending and duplicate-free;
+/// * the adjacency is symmetric: `u ∈ N(v) ⇔ v ∈ N(u)`;
+/// * no self-loops are stored (the GCN normalisation adds `I` itself).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CsrGraph {
+    num_nodes: usize,
+    /// `offsets[v]..offsets[v+1]` indexes `neighbors` for node `v`.
+    offsets: Vec<usize>,
+    neighbors: Vec<u32>,
+}
+
+impl CsrGraph {
+    /// Builds a graph from an edge list over `num_nodes` nodes.
+    ///
+    /// Edges are symmetrised and deduplicated; self-loops are dropped.
+    ///
+    /// # Panics
+    /// Panics if any endpoint is `>= num_nodes`.
+    pub fn from_edges(num_nodes: usize, edges: &[(usize, usize)]) -> Self {
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); num_nodes];
+        for &(u, v) in edges {
+            assert!(u < num_nodes && v < num_nodes, "edge ({u},{v}) out of range");
+            if u == v {
+                continue;
+            }
+            adj[u].push(v as u32);
+            adj[v].push(u as u32);
+        }
+        for list in &mut adj {
+            list.sort_unstable();
+            list.dedup();
+        }
+        Self::from_adjacency(adj)
+    }
+
+    /// Builds a graph from per-node neighbour lists (symmetrised + deduped).
+    pub fn from_adjacency(adj: Vec<Vec<u32>>) -> Self {
+        let num_nodes = adj.len();
+        let mut offsets = Vec::with_capacity(num_nodes + 1);
+        offsets.push(0);
+        let total: usize = adj.iter().map(|l| l.len()).sum();
+        let mut neighbors = Vec::with_capacity(total);
+        for list in &adj {
+            debug_assert!(list.windows(2).all(|w| w[0] < w[1]), "unsorted/dup list");
+            neighbors.extend_from_slice(list);
+            offsets.push(neighbors.len());
+        }
+        Self { num_nodes, offsets, neighbors }
+    }
+
+    /// Number of nodes `|V|`.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of undirected edges `|E|` (each edge counted once).
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.neighbors.len() / 2
+    }
+
+    /// Degree of node `v`.
+    #[inline]
+    pub fn degree(&self, v: usize) -> usize {
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// Average degree `2|E| / |V|`.
+    pub fn avg_degree(&self) -> f64 {
+        if self.num_nodes == 0 {
+            return 0.0;
+        }
+        self.neighbors.len() as f64 / self.num_nodes as f64
+    }
+
+    /// Sorted neighbour slice of node `v`.
+    #[inline]
+    pub fn neighbors(&self, v: usize) -> &[u32] {
+        &self.neighbors[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// True if the edge `(u, v)` exists (binary search).
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.neighbors(u).binary_search(&(v as u32)).is_ok()
+    }
+
+    /// Iterates each undirected edge once, as `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        (0..self.num_nodes).flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .filter(move |&&v| (v as usize) > u)
+                .map(move |&v| (u, v as usize))
+        })
+    }
+
+    /// Nodes within `hops` hops of `v`, **excluding** `v` itself
+    /// (`N_v^l` in the paper's notation), sorted ascending.
+    pub fn khop_neighbors(&self, v: usize, hops: usize) -> Vec<usize> {
+        let mut visited = vec![false; self.num_nodes];
+        visited[v] = true;
+        let mut frontier = vec![v];
+        let mut out = Vec::new();
+        for _ in 0..hops {
+            let mut next = Vec::new();
+            for &u in &frontier {
+                for &w in self.neighbors(u) {
+                    let w = w as usize;
+                    if !visited[w] {
+                        visited[w] = true;
+                        next.push(w);
+                        out.push(w);
+                    }
+                }
+            }
+            if next.is_empty() {
+                break;
+            }
+            frontier = next;
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Degree sequence of all nodes.
+    pub fn degrees(&self) -> Vec<usize> {
+        (0..self.num_nodes).map(|v| self.degree(v)).collect()
+    }
+
+    /// Checks structural invariants; used by tests and debug assertions.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.offsets.len() != self.num_nodes + 1 {
+            return Err("offset length mismatch".into());
+        }
+        if *self.offsets.last().unwrap() != self.neighbors.len() {
+            return Err("last offset != neighbor count".into());
+        }
+        for v in 0..self.num_nodes {
+            let ns = self.neighbors(v);
+            if !ns.windows(2).all(|w| w[0] < w[1]) {
+                return Err(format!("node {v}: neighbours not strictly sorted"));
+            }
+            for &u in ns {
+                let u = u as usize;
+                if u >= self.num_nodes {
+                    return Err(format!("node {v}: neighbour {u} out of range"));
+                }
+                if u == v {
+                    return Err(format!("node {v}: self loop"));
+                }
+                if !self.has_edge(u, v) {
+                    return Err(format!("asymmetric edge ({v},{u})"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path3() -> CsrGraph {
+        CsrGraph::from_edges(3, &[(0, 1), (1, 2)])
+    }
+
+    #[test]
+    fn basic_counts() {
+        let g = path3();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(1), 2);
+        assert!((g.avg_degree() - 4.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn symmetrised_and_deduped() {
+        let g = CsrGraph::from_edges(3, &[(0, 1), (1, 0), (0, 1), (2, 2)]);
+        assert_eq!(g.num_edges(), 1);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(2, 2)); // self loop dropped
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn neighbors_sorted() {
+        let g = CsrGraph::from_edges(5, &[(0, 4), (0, 2), (0, 1)]);
+        assert_eq!(g.neighbors(0), &[1, 2, 4]);
+    }
+
+    #[test]
+    fn edges_iter_each_once() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let es: Vec<_> = g.edges().collect();
+        assert_eq!(es.len(), 4);
+        assert!(es.iter().all(|&(u, v)| u < v));
+    }
+
+    #[test]
+    fn khop_neighbors_path() {
+        let g = CsrGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        assert_eq!(g.khop_neighbors(0, 1), vec![1]);
+        assert_eq!(g.khop_neighbors(0, 2), vec![1, 2]);
+        assert_eq!(g.khop_neighbors(2, 2), vec![0, 1, 3, 4]);
+        assert_eq!(g.khop_neighbors(0, 10), vec![1, 2, 3, 4]); // saturates
+    }
+
+    #[test]
+    fn khop_excludes_self_on_cycles() {
+        let g = CsrGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        assert_eq!(g.khop_neighbors(0, 5), vec![1, 2]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::from_edges(3, &[]);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.degree(1), 0);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        let _ = CsrGraph::from_edges(2, &[(0, 5)]);
+    }
+}

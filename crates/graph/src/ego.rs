@@ -1,0 +1,123 @@
+//! L-hop ego-network extraction.
+//!
+//! `G_v(V_v, A_v, X_v)` in the paper: the subgraph induced on the nodes
+//! within `L` hops of `v`. The contrastive loss compares the representation
+//! of `v` computed on its ego net with representations computed on the
+//! generated positive views.
+
+use crate::CsrGraph;
+use e2gcl_linalg::Matrix;
+
+/// An extracted ego network: induced subgraph + node remapping.
+#[derive(Clone, Debug)]
+pub struct EgoNet {
+    /// The induced subgraph over local indices.
+    pub graph: CsrGraph,
+    /// `nodes[local] = global` (sorted ascending; `nodes[center]` is `v`).
+    pub nodes: Vec<usize>,
+    /// Local index of the ego node `v`.
+    pub center: usize,
+}
+
+impl EgoNet {
+    /// Extracts the `hops`-hop ego net of `v`.
+    pub fn extract(g: &CsrGraph, v: usize, hops: usize) -> EgoNet {
+        let mut nodes = g.khop_neighbors(v, hops);
+        // Insert the centre preserving the sort order.
+        let pos = nodes.binary_search(&v).unwrap_err();
+        nodes.insert(pos, v);
+        Self::induced(g, nodes, v)
+    }
+
+    /// Builds the subgraph induced on `nodes` (sorted, must contain `v`).
+    pub fn induced(g: &CsrGraph, nodes: Vec<usize>, v: usize) -> EgoNet {
+        debug_assert!(nodes.windows(2).all(|w| w[0] < w[1]));
+        let center = nodes.binary_search(&v).expect("center not in node set");
+        let mut edges = Vec::new();
+        for (local_u, &global_u) in nodes.iter().enumerate() {
+            for &global_w in g.neighbors(global_u) {
+                let global_w = global_w as usize;
+                if global_w <= global_u {
+                    continue;
+                }
+                if let Ok(local_w) = nodes.binary_search(&global_w) {
+                    edges.push((local_u, local_w));
+                }
+            }
+        }
+        let graph = CsrGraph::from_edges(nodes.len(), &edges);
+        EgoNet { graph, nodes, center }
+    }
+
+    /// Gathers the feature rows of this ego net from the full feature matrix.
+    pub fn features(&self, x: &Matrix) -> Matrix {
+        x.select_rows(&self.nodes)
+    }
+
+    /// Number of nodes in the ego net.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the ego net contains only the centre.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn star() -> CsrGraph {
+        // 0 is the hub; 1..=4 leaves; 4-5 dangles one more hop.
+        CsrGraph::from_edges(6, &[(0, 1), (0, 2), (0, 3), (0, 4), (4, 5)])
+    }
+
+    #[test]
+    fn one_hop_of_hub() {
+        let e = EgoNet::extract(&star(), 0, 1);
+        assert_eq!(e.nodes, vec![0, 1, 2, 3, 4]);
+        assert_eq!(e.center, 0);
+        assert_eq!(e.graph.num_edges(), 4);
+    }
+
+    #[test]
+    fn two_hop_of_leaf() {
+        let e = EgoNet::extract(&star(), 1, 2);
+        assert_eq!(e.nodes, vec![0, 1, 2, 3, 4]); // 5 is 3 hops away
+        assert_eq!(e.center, 1);
+        // Induced edges: all hub-leaf edges among included nodes.
+        assert_eq!(e.graph.num_edges(), 4);
+        assert!(e.graph.has_edge(e.center, 0)); // local hub index is 0
+    }
+
+    #[test]
+    fn isolated_center() {
+        let g = CsrGraph::from_edges(3, &[(1, 2)]);
+        let e = EgoNet::extract(&g, 0, 2);
+        assert_eq!(e.nodes, vec![0]);
+        assert!(e.is_empty());
+    }
+
+    #[test]
+    fn features_follow_node_order() {
+        let g = star();
+        let mut x = Matrix::zeros(6, 1);
+        for v in 0..6 {
+            x.set(v, 0, v as f32);
+        }
+        let e = EgoNet::extract(&g, 4, 1);
+        assert_eq!(e.nodes, vec![0, 4, 5]);
+        let fx = e.features(&x);
+        assert_eq!(fx.as_slice(), &[0.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn induced_preserves_only_internal_edges() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let e = EgoNet::induced(&g, vec![0, 1, 3], 1);
+        assert_eq!(e.graph.num_edges(), 1); // only (0,1) survives
+        assert!(e.graph.has_edge(0, 1));
+    }
+}

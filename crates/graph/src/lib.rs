@@ -1,0 +1,30 @@
+//! Graph substrate for the E²GCL reproduction.
+//!
+//! Everything the paper's algorithms need from "a graph library" lives here:
+//!
+//! * [`CsrGraph`] — an immutable, undirected graph in compressed-sparse-row
+//!   form (the pre-training graph `G(V, A, X)` minus the features, which are
+//!   a [`e2gcl_linalg::Matrix`]).
+//! * [`SparseMatrix`] — CSR with `f32` values, used for the GCN-normalised
+//!   adjacency `A_n = D̃^{-1/2}(A + I)D̃^{-1/2}` and its SpMM products
+//!   (`A_n^L X`, the Theorem-1 raw aggregate).
+//! * [`AdjacencyList`] — a mutable edge-set representation used by the view
+//!   generator when it edits a node's local subgraph.
+//! * ego-net extraction, BFS / connected components, personalised-PageRank
+//!   diffusion (for the MVGRL baseline), degree centrality, and the random
+//!   graph generators behind the synthetic datasets.
+
+pub mod adjacency;
+pub mod centrality;
+pub mod csr;
+pub mod ego;
+pub mod generators;
+pub mod norm;
+pub mod ppr;
+pub mod sparse;
+pub mod stats;
+pub mod traversal;
+
+pub use adjacency::AdjacencyList;
+pub use csr::CsrGraph;
+pub use sparse::SparseMatrix;

@@ -1,0 +1,114 @@
+//! GCN adjacency normalisation (Kipf & Welling).
+//!
+//! `A_n = D̃^{-1/2} (A + I) D̃^{-1/2}` with `D̃ = D + I`. This is the matrix
+//! in Eq. (1) of the paper and the backbone of the Theorem-1 raw aggregate
+//! `R = A_n^L X`.
+
+use crate::{CsrGraph, SparseMatrix};
+use e2gcl_linalg::Matrix;
+
+/// Builds the symmetric GCN-normalised adjacency `D̃^{-1/2}(A+I)D̃^{-1/2}`.
+pub fn normalized_adjacency(g: &CsrGraph) -> SparseMatrix {
+    let n = g.num_nodes();
+    let inv_sqrt: Vec<f32> = (0..n)
+        .map(|v| 1.0 / ((g.degree(v) + 1) as f32).sqrt())
+        .collect();
+    let mut triplets = Vec::with_capacity(2 * g.num_edges() + n);
+    for v in 0..n {
+        triplets.push((v, v, inv_sqrt[v] * inv_sqrt[v]));
+        for &u in g.neighbors(v) {
+            let u = u as usize;
+            triplets.push((v, u, inv_sqrt[v] * inv_sqrt[u]));
+        }
+    }
+    SparseMatrix::from_triplets(n, n, &triplets)
+}
+
+/// Row-stochastic normalisation `D̃^{-1}(A + I)` (used by PPR / diffusion).
+pub fn row_normalized_adjacency(g: &CsrGraph) -> SparseMatrix {
+    let n = g.num_nodes();
+    let mut triplets = Vec::with_capacity(2 * g.num_edges() + n);
+    for v in 0..n {
+        let inv = 1.0 / (g.degree(v) + 1) as f32;
+        triplets.push((v, v, inv));
+        for &u in g.neighbors(v) {
+            triplets.push((v, u as usize, inv));
+        }
+    }
+    SparseMatrix::from_triplets(n, n, &triplets)
+}
+
+/// The Theorem-1 raw aggregated representation `R = A_n^L X`.
+///
+/// This is the quantity the node selector clusters and scores on: it captures
+/// "aggregating information from neighbors" without any learned parameters.
+pub fn raw_aggregate(g: &CsrGraph, x: &Matrix, layers: usize) -> Matrix {
+    normalized_adjacency(g).spmm_power(x, layers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalized_adjacency_symmetric() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (0, 3), (0, 2)]);
+        let a = normalized_adjacency(&g);
+        let d = a.to_dense();
+        for i in 0..4 {
+            for j in 0..4 {
+                assert!((d.get(i, j) - d.get(j, i)).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_node_gets_identity_entry() {
+        let g = CsrGraph::from_edges(2, &[]);
+        let a = normalized_adjacency(&g);
+        let d = a.to_dense();
+        assert_eq!(d.get(0, 0), 1.0);
+        assert_eq!(d.get(1, 1), 1.0);
+        assert_eq!(d.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn known_two_node_values() {
+        // Two connected nodes: deg+1 = 2 each, so every entry is 1/2.
+        let g = CsrGraph::from_edges(2, &[(0, 1)]);
+        let d = normalized_adjacency(&g).to_dense();
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!((d.get(i, j) - 0.5).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn row_normalized_rows_sum_to_one() {
+        let g = CsrGraph::from_edges(5, &[(0, 1), (0, 2), (3, 4), (1, 2)]);
+        let a = row_normalized_adjacency(&g);
+        for r in 0..5 {
+            assert!((a.row_sum(r) - 1.0).abs() < 1e-6, "row {r}");
+        }
+    }
+
+    #[test]
+    fn raw_aggregate_preserves_constant_vector_on_regular_graph() {
+        // On a d-regular graph the normalised adjacency has row sums 1, so a
+        // constant feature stays constant under aggregation.
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]); // 2-regular cycle
+        let x = Matrix::filled(4, 1, 1.0);
+        let r = raw_aggregate(&g, &x, 3);
+        for v in 0..4 {
+            assert!((r.get(v, 0) - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn raw_aggregate_zero_layers_is_input() {
+        let g = CsrGraph::from_edges(3, &[(0, 1)]);
+        let x = Matrix::from_rows(&[&[1.0], &[2.0], &[3.0]]);
+        assert_eq!(raw_aggregate(&g, &x, 0), x);
+    }
+}

@@ -1,0 +1,205 @@
+//! CSR sparse matrix with `f32` values, used for the normalised adjacency.
+
+use e2gcl_linalg::Matrix;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// A sparse `f32` matrix in compressed-sparse-row form.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SparseMatrix {
+    rows: usize,
+    cols: usize,
+    offsets: Vec<usize>,
+    col_indices: Vec<u32>,
+    values: Vec<f32>,
+}
+
+impl SparseMatrix {
+    /// Builds from COO triplets; duplicates within a row are summed.
+    pub fn from_triplets(rows: usize, cols: usize, triplets: &[(usize, usize, f32)]) -> Self {
+        let mut per_row: Vec<Vec<(u32, f32)>> = vec![Vec::new(); rows];
+        for &(r, c, v) in triplets {
+            assert!(r < rows && c < cols, "triplet ({r},{c}) out of range");
+            per_row[r].push((c as u32, v));
+        }
+        let mut offsets = Vec::with_capacity(rows + 1);
+        offsets.push(0);
+        let mut col_indices = Vec::new();
+        let mut values = Vec::new();
+        for row in &mut per_row {
+            row.sort_unstable_by_key(|&(c, _)| c);
+            let mut i = 0;
+            while i < row.len() {
+                let c = row[i].0;
+                let mut v = row[i].1;
+                let mut j = i + 1;
+                while j < row.len() && row[j].0 == c {
+                    v += row[j].1;
+                    j += 1;
+                }
+                col_indices.push(c);
+                values.push(v);
+                i = j;
+            }
+            offsets.push(col_indices.len());
+        }
+        Self { rows, cols, offsets, col_indices, values }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `(column, value)` pairs of row `r`.
+    pub fn row_entries(&self, r: usize) -> impl Iterator<Item = (usize, f32)> + '_ {
+        let lo = self.offsets[r];
+        let hi = self.offsets[r + 1];
+        self.col_indices[lo..hi]
+            .iter()
+            .zip(&self.values[lo..hi])
+            .map(|(&c, &v)| (c as usize, v))
+    }
+
+    /// Sum of row `r`'s values.
+    pub fn row_sum(&self, r: usize) -> f32 {
+        let lo = self.offsets[r];
+        let hi = self.offsets[r + 1];
+        self.values[lo..hi].iter().sum()
+    }
+
+    /// Sparse × dense product `self * x`, parallelised over output rows.
+    ///
+    /// This is the hot kernel behind `A_n^L X` (Theorem 1) and every GCN
+    /// layer forward/backward pass.
+    pub fn spmm(&self, x: &Matrix) -> Matrix {
+        assert_eq!(self.cols, x.rows(), "spmm shape mismatch");
+        let d = x.cols();
+        let mut out = Matrix::zeros(self.rows, d);
+        out.as_mut_slice()
+            .par_chunks_mut(d)
+            .enumerate()
+            .for_each(|(r, out_row)| {
+                let lo = self.offsets[r];
+                let hi = self.offsets[r + 1];
+                for (&c, &v) in self.col_indices[lo..hi].iter().zip(&self.values[lo..hi]) {
+                    let x_row = x.row(c as usize);
+                    for (o, &xv) in out_row.iter_mut().zip(x_row) {
+                        *o += v * xv;
+                    }
+                }
+            });
+        out
+    }
+
+    /// Applies `self` `power` times: `self^power * x`.
+    pub fn spmm_power(&self, x: &Matrix, power: usize) -> Matrix {
+        assert_eq!(self.rows, self.cols, "spmm_power needs a square matrix");
+        let mut cur = x.clone();
+        for _ in 0..power {
+            cur = self.spmm(&cur);
+        }
+        cur
+    }
+
+    /// Sparse × dense vector product.
+    pub fn spmv(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(self.cols, x.len());
+        (0..self.rows)
+            .map(|r| self.row_entries(r).map(|(c, v)| v * x[c]).sum())
+            .collect()
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> SparseMatrix {
+        let mut triplets = Vec::with_capacity(self.nnz());
+        for r in 0..self.rows {
+            for (c, v) in self.row_entries(r) {
+                triplets.push((c, r, v));
+            }
+        }
+        SparseMatrix::from_triplets(self.cols, self.rows, &triplets)
+    }
+
+    /// Densifies (tests / small graphs only).
+    pub fn to_dense(&self) -> Matrix {
+        let mut m = Matrix::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            for (c, v) in self.row_entries(r) {
+                m.set(r, c, m.get(r, c) + v);
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triplets_dedupe_by_sum() {
+        let m = SparseMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (0, 0, 2.0), (1, 1, 5.0)]);
+        assert_eq!(m.nnz(), 2);
+        assert_eq!(m.to_dense().get(0, 0), 3.0);
+    }
+
+    #[test]
+    fn spmm_matches_dense() {
+        let s = SparseMatrix::from_triplets(
+            3,
+            3,
+            &[(0, 1, 2.0), (1, 0, -1.0), (1, 2, 0.5), (2, 2, 3.0)],
+        );
+        let x = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]);
+        let got = s.spmm(&x);
+        let expect = s.to_dense().matmul(&x);
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn spmm_power_is_repeated_spmm() {
+        let s = SparseMatrix::from_triplets(2, 2, &[(0, 1, 1.0), (1, 0, 1.0)]);
+        let x = Matrix::from_rows(&[&[1.0], &[2.0]]);
+        let p2 = s.spmm_power(&x, 2);
+        assert_eq!(p2, x); // swap twice = identity
+        let p0 = s.spmm_power(&x, 0);
+        assert_eq!(p0, x);
+    }
+
+    #[test]
+    fn spmv_known() {
+        let s = SparseMatrix::from_triplets(2, 3, &[(0, 0, 1.0), (0, 2, 2.0), (1, 1, -1.0)]);
+        assert_eq!(s.spmv(&[1.0, 2.0, 3.0]), vec![7.0, -2.0]);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let s = SparseMatrix::from_triplets(2, 3, &[(0, 2, 1.0), (1, 0, 2.0)]);
+        let t = s.transpose();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.cols(), 2);
+        assert_eq!(t.transpose(), s);
+    }
+
+    #[test]
+    fn row_sum_and_entries() {
+        let s = SparseMatrix::from_triplets(1, 4, &[(0, 1, 0.25), (0, 3, 0.75)]);
+        assert!((s.row_sum(0) - 1.0).abs() < 1e-6);
+        let entries: Vec<_> = s.row_entries(0).collect();
+        assert_eq!(entries, vec![(1, 0.25), (3, 0.75)]);
+    }
+}

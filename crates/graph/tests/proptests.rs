@@ -1,0 +1,127 @@
+//! Property-based tests of the graph substrate invariants.
+
+use e2gcl_graph::{norm, AdjacencyList, CsrGraph, SparseMatrix};
+use e2gcl_linalg::Matrix;
+use proptest::prelude::*;
+
+/// Strategy: an arbitrary edge list over `n` nodes (self-loops and
+/// duplicates included on purpose — the constructor must handle them).
+fn edges(n: usize) -> impl Strategy<Value = Vec<(usize, usize)>> {
+    prop::collection::vec((0..n, 0..n), 0..4 * n)
+}
+
+const N: usize = 12;
+
+proptest! {
+    /// CSR invariants hold for any edge list.
+    #[test]
+    fn csr_invariants(es in edges(N)) {
+        let g = CsrGraph::from_edges(N, &es);
+        prop_assert!(g.validate().is_ok(), "{:?}", g.validate());
+        // Handshake lemma.
+        let degree_sum: usize = (0..N).map(|v| g.degree(v)).sum();
+        prop_assert_eq!(degree_sum, 2 * g.num_edges());
+    }
+
+    /// `has_edge` agrees with the edge iterator, symmetrically.
+    #[test]
+    fn has_edge_consistent(es in edges(N)) {
+        let g = CsrGraph::from_edges(N, &es);
+        let set: std::collections::HashSet<(usize, usize)> = g.edges().collect();
+        for u in 0..N {
+            for v in 0..N {
+                let expect = set.contains(&(u.min(v), u.max(v))) && u != v;
+                prop_assert_eq!(g.has_edge(u, v), expect);
+                prop_assert_eq!(g.has_edge(u, v), g.has_edge(v, u));
+            }
+        }
+    }
+
+    /// AdjacencyList round-trips through CSR.
+    #[test]
+    fn adjacency_roundtrip(es in edges(N)) {
+        let g = CsrGraph::from_edges(N, &es);
+        prop_assert_eq!(AdjacencyList::from_csr(&g).to_csr(), g);
+    }
+
+    /// Removing then re-adding an edge restores the graph.
+    #[test]
+    fn edit_inverse(es in edges(N), u in 0..N, v in 0..N) {
+        let g = CsrGraph::from_edges(N, &es);
+        let mut a = AdjacencyList::from_csr(&g);
+        if a.has_edge(u, v) {
+            a.remove_edge(u, v);
+            a.add_edge(u, v);
+        } else if u != v {
+            a.add_edge(u, v);
+            a.remove_edge(u, v);
+        }
+        prop_assert_eq!(a.to_csr(), g);
+    }
+
+    /// The symmetric GCN normalisation is symmetric with entries in (0, 1],
+    /// and its spectral radius is at most 1 (checked via the power method
+    /// proxy: repeated application never grows a vector's norm).
+    #[test]
+    fn normalized_adjacency_contraction(es in edges(N)) {
+        let g = CsrGraph::from_edges(N, &es);
+        let a = norm::normalized_adjacency(&g);
+        let dense = a.to_dense();
+        for i in 0..N {
+            for j in 0..N {
+                prop_assert!((dense.get(i, j) - dense.get(j, i)).abs() < 1e-6);
+                prop_assert!(dense.get(i, j) >= 0.0 && dense.get(i, j) <= 1.0 + 1e-6);
+            }
+        }
+        let x = Matrix::filled(N, 1, 1.0);
+        let mut cur = x.clone();
+        for _ in 0..5 {
+            let next = a.spmm(&cur);
+            prop_assert!(
+                next.frobenius_norm() <= cur.frobenius_norm() * (1.0 + 1e-4),
+                "norm grew under A_n"
+            );
+            cur = next;
+        }
+    }
+
+    /// Sparse transpose is an involution and spmm agrees with the dense path.
+    #[test]
+    fn sparse_laws(triplets in prop::collection::vec((0usize..6, 0usize..5, -3.0f32..3.0), 0..20)) {
+        let s = SparseMatrix::from_triplets(6, 5, &triplets);
+        prop_assert_eq!(s.transpose().transpose(), s.clone());
+        let x = Matrix::filled(5, 3, 0.5);
+        let via_sparse = s.spmm(&x);
+        let via_dense = s.to_dense().matmul(&x);
+        for (a, b) in via_sparse.as_slice().iter().zip(via_dense.as_slice()) {
+            prop_assert!((a - b).abs() < 1e-4 * (1.0 + a.abs()));
+        }
+    }
+
+    /// khop neighbourhoods are monotone in the hop count and never include
+    /// the centre.
+    #[test]
+    fn khop_monotone(es in edges(N), v in 0..N) {
+        let g = CsrGraph::from_edges(N, &es);
+        let mut prev: Vec<usize> = Vec::new();
+        for hops in 1..4 {
+            let cur = g.khop_neighbors(v, hops);
+            prop_assert!(!cur.contains(&v));
+            for p in &prev {
+                prop_assert!(cur.contains(p), "hop set shrank");
+            }
+            prev = cur;
+        }
+    }
+
+    /// Connected-component labels agree with BFS reachability.
+    #[test]
+    fn components_match_bfs(es in edges(N)) {
+        let g = CsrGraph::from_edges(N, &es);
+        let (labels, _) = e2gcl_graph::traversal::connected_components(&g);
+        let d0 = e2gcl_graph::traversal::bfs_distances(&g, 0);
+        for v in 0..N {
+            prop_assert_eq!(labels[v] == labels[0], d0[v] != usize::MAX);
+        }
+    }
+}

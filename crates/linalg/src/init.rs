@@ -1,0 +1,65 @@
+//! Parameter initialisers.
+
+use crate::{Matrix, SeedRng};
+
+/// Glorot/Xavier uniform initialisation: `U(-a, a)` with
+/// `a = sqrt(6 / (fan_in + fan_out))` — the standard GCN initialiser.
+pub fn xavier_uniform(rows: usize, cols: usize, rng: &mut SeedRng) -> Matrix {
+    let a = (6.0 / (rows + cols) as f32).sqrt();
+    let mut m = Matrix::zeros(rows, cols);
+    for v in m.as_mut_slice() {
+        *v = rng.uniform_range(-a, a);
+    }
+    m
+}
+
+/// Kaiming/He normal initialisation for ReLU stacks: `N(0, 2/fan_in)`.
+pub fn kaiming_normal(rows: usize, cols: usize, rng: &mut SeedRng) -> Matrix {
+    let std = (2.0 / rows as f32).sqrt();
+    let mut m = Matrix::zeros(rows, cols);
+    for v in m.as_mut_slice() {
+        *v = rng.normal() * std;
+    }
+    m
+}
+
+/// Uniform initialisation in `[lo, hi)`.
+pub fn uniform(rows: usize, cols: usize, lo: f32, hi: f32, rng: &mut SeedRng) -> Matrix {
+    let mut m = Matrix::zeros(rows, cols);
+    for v in m.as_mut_slice() {
+        *v = rng.uniform_range(lo, hi);
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xavier_within_bound() {
+        let mut rng = SeedRng::new(0);
+        let m = xavier_uniform(10, 20, &mut rng);
+        let a = (6.0 / 30.0f32).sqrt();
+        assert!(m.as_slice().iter().all(|v| v.abs() <= a));
+        // Not all zero.
+        assert!(m.frobenius_norm() > 0.0);
+    }
+
+    #[test]
+    fn kaiming_std_roughly_right() {
+        let mut rng = SeedRng::new(1);
+        let m = kaiming_normal(200, 200, &mut rng);
+        let n = (200 * 200) as f32;
+        let var = m.as_slice().iter().map(|v| v * v).sum::<f32>() / n;
+        let expect = 2.0 / 200.0;
+        assert!((var - expect).abs() < expect * 0.2, "var {var} expect {expect}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = xavier_uniform(4, 4, &mut SeedRng::new(9));
+        let b = xavier_uniform(4, 4, &mut SeedRng::new(9));
+        assert_eq!(a, b);
+    }
+}

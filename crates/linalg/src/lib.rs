@@ -1,0 +1,24 @@
+//! Dense linear-algebra substrate for the E²GCL reproduction.
+//!
+//! The paper's models (GCN encoders, projection heads, linear probes) only
+//! need a small, predictable set of dense operations over `f32` row-major
+//! matrices. This crate provides exactly that set, with a deterministic,
+//! seedable RNG story so every experiment in the workspace is reproducible.
+//!
+//! Design notes:
+//! * Row-major `Vec<f32>` storage: node-representation matrices are tall and
+//!   thin (`|V| x d`), and every consumer walks them row-by-row.
+//! * Hot kernels ([`Matrix::matmul`]) parallelise over output rows with
+//!   rayon; everything else is simple scalar code that LLVM vectorises.
+//! * No `unsafe`.
+
+pub mod activations;
+pub mod init;
+pub mod matrix;
+pub mod ops;
+pub mod pca;
+pub mod rng;
+pub mod stats;
+
+pub use matrix::Matrix;
+pub use rng::SeedRng;

@@ -1,0 +1,121 @@
+//! Vector helpers shared across the workspace.
+
+/// Dot product of two equal-length slices.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(&x, &y)| x * y).sum()
+}
+
+/// Squared Euclidean distance between two slices.
+#[inline]
+pub fn sq_dist(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| {
+            let d = x - y;
+            d * d
+        })
+        .sum()
+}
+
+/// Euclidean distance.
+#[inline]
+pub fn dist(a: &[f32], b: &[f32]) -> f32 {
+    sq_dist(a, b).sqrt()
+}
+
+/// L2 norm of a slice.
+#[inline]
+pub fn norm(a: &[f32]) -> f32 {
+    dot(a, a).sqrt()
+}
+
+/// Cosine similarity; returns 0 for zero vectors.
+pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    let na = norm(a);
+    let nb = norm(b);
+    if na < 1e-12 || nb < 1e-12 {
+        0.0
+    } else {
+        dot(a, b) / (na * nb)
+    }
+}
+
+/// `y += s * x` for slices.
+#[inline]
+pub fn axpy_slice(y: &mut [f32], s: f32, x: &[f32]) {
+    debug_assert_eq!(y.len(), x.len());
+    for (yv, &xv) in y.iter_mut().zip(x) {
+        *yv += s * xv;
+    }
+}
+
+/// Index of the maximum value (first on ties). Returns `None` for empty input.
+pub fn argmax(a: &[f32]) -> Option<usize> {
+    if a.is_empty() {
+        return None;
+    }
+    let mut best = 0;
+    for (i, &v) in a.iter().enumerate().skip(1) {
+        if v > a[best] {
+            best = i;
+        }
+    }
+    Some(best)
+}
+
+/// Index of the minimum value (first on ties). Returns `None` for empty input.
+pub fn argmin(a: &[f32]) -> Option<usize> {
+    if a.is_empty() {
+        return None;
+    }
+    let mut best = 0;
+    for (i, &v) in a.iter().enumerate().skip(1) {
+        if v < a[best] {
+            best = i;
+        }
+    }
+    Some(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norm() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        assert!((norm(&[3.0, 4.0]) - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn distances() {
+        assert_eq!(sq_dist(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+        assert!((dist(&[0.0, 0.0], &[3.0, 4.0]) - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_cases() {
+        assert!((cosine(&[1.0, 0.0], &[1.0, 0.0]) - 1.0).abs() < 1e-6);
+        assert!((cosine(&[1.0, 0.0], &[0.0, 1.0])).abs() < 1e-6);
+        assert!((cosine(&[1.0, 0.0], &[-1.0, 0.0]) + 1.0).abs() < 1e-6);
+        assert_eq!(cosine(&[0.0, 0.0], &[1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn argmax_argmin_ties_and_empty() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0]), Some(1));
+        assert_eq!(argmin(&[2.0, 0.0, 0.0]), Some(1));
+        assert_eq!(argmax(&[]), None);
+        assert_eq!(argmin(&[]), None);
+    }
+
+    #[test]
+    fn axpy_slice_updates() {
+        let mut y = vec![1.0, 1.0];
+        axpy_slice(&mut y, 2.0, &[1.0, -1.0]);
+        assert_eq!(y, vec![3.0, -1.0]);
+    }
+}

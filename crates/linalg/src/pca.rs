@@ -1,0 +1,137 @@
+//! Principal-component projection via power iteration.
+//!
+//! Backs the technique report's Appendix-B4 visualisation of selected
+//! nodes: project the raw aggregates `R = A_n^L X` to 2-D and inspect how
+//! the coreset covers the point cloud.
+
+use crate::{ops, Matrix, SeedRng};
+
+/// Projects `x`'s rows onto their top `k` principal components.
+///
+/// Components are extracted one at a time by power iteration on the
+/// (implicitly formed) covariance, with deflation between components —
+/// `O(iters · n · d)` per component, no eigendecomposition needed.
+pub fn pca_project(x: &Matrix, k: usize, iters: usize, rng: &mut SeedRng) -> Matrix {
+    let n = x.rows();
+    let d = x.cols();
+    let k = k.min(d);
+    // Centre the data.
+    let means = x.col_means();
+    let mut centered = x.clone();
+    for r in 0..n {
+        for (v, &m) in centered.row_mut(r).iter_mut().zip(&means) {
+            *v -= m;
+        }
+    }
+    let mut components: Vec<Vec<f32>> = Vec::with_capacity(k);
+    for _ in 0..k {
+        let mut w: Vec<f32> = (0..d).map(|_| rng.normal()).collect();
+        normalize(&mut w);
+        for _ in 0..iters {
+            // w <- C w = X^T (X w), with deflation against found components.
+            let xw: Vec<f32> = (0..n).map(|r| ops::dot(centered.row(r), &w)).collect();
+            let mut next = vec![0.0f32; d];
+            for (r, &s) in xw.iter().enumerate() {
+                ops::axpy_slice(&mut next, s, centered.row(r));
+            }
+            for c in &components {
+                let proj = ops::dot(&next, c);
+                ops::axpy_slice(&mut next, -proj, c);
+            }
+            if normalize(&mut next) < 1e-12 {
+                break; // rank-deficient: remaining variance is zero
+            }
+            w = next;
+        }
+        components.push(w);
+    }
+    let mut out = Matrix::zeros(n, k);
+    for r in 0..n {
+        for (c, comp) in components.iter().enumerate() {
+            out.set(r, c, ops::dot(centered.row(r), comp));
+        }
+    }
+    out
+}
+
+/// Normalises in place, returning the pre-normalisation norm.
+fn normalize(v: &mut [f32]) -> f32 {
+    let n = ops::norm(v);
+    if n > 1e-12 {
+        for x in v.iter_mut() {
+            *x /= n;
+        }
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Points along a line in 5-D: PC1 must capture essentially all
+    /// variance.
+    #[test]
+    fn recovers_dominant_direction() {
+        let mut rng = SeedRng::new(0);
+        let n = 100;
+        let mut x = Matrix::zeros(n, 5);
+        for r in 0..n {
+            let t = rng.normal() * 10.0;
+            // Direction (1, 2, 0, 0, 0) plus small noise.
+            x.set(r, 0, t + 0.01 * rng.normal());
+            x.set(r, 1, 2.0 * t + 0.01 * rng.normal());
+            x.set(r, 2, 0.01 * rng.normal());
+        }
+        let p = pca_project(&x, 2, 50, &mut rng);
+        let var1: f32 = (0..n).map(|r| p.get(r, 0).powi(2)).sum();
+        let var2: f32 = (0..n).map(|r| p.get(r, 1).powi(2)).sum();
+        assert!(var1 > 100.0 * var2, "PC1 var {var1} vs PC2 var {var2}");
+    }
+
+    /// Projection dimensions are uncorrelated (orthogonal components).
+    #[test]
+    fn components_decorrelated() {
+        let mut rng = SeedRng::new(1);
+        let n = 80;
+        let mut x = Matrix::zeros(n, 4);
+        for v in x.as_mut_slice() {
+            *v = rng.normal();
+        }
+        let p = pca_project(&x, 2, 60, &mut rng);
+        let c1: Vec<f32> = (0..n).map(|r| p.get(r, 0)).collect();
+        let c2: Vec<f32> = (0..n).map(|r| p.get(r, 1)).collect();
+        let corr = crate::stats::pearson(&c1, &c2);
+        assert!(corr.abs() < 0.15, "components correlated: {corr}");
+    }
+
+    #[test]
+    fn k_clamped_to_dims() {
+        let mut rng = SeedRng::new(2);
+        let x = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 5.0]]);
+        let p = pca_project(&x, 10, 20, &mut rng);
+        assert_eq!(p.cols(), 2);
+        assert_eq!(p.rows(), 3);
+    }
+
+    #[test]
+    fn centering_removes_translation() {
+        let mut rng = SeedRng::new(3);
+        let mut a = Matrix::zeros(30, 3);
+        for v in a.as_mut_slice() {
+            *v = rng.normal();
+        }
+        let mut b = a.clone();
+        for r in 0..30 {
+            for v in b.row_mut(r) {
+                *v += 100.0; // constant shift
+            }
+        }
+        let pa = pca_project(&a, 1, 40, &mut SeedRng::new(4));
+        let pb = pca_project(&b, 1, 40, &mut SeedRng::new(4));
+        // Same projection up to sign.
+        let same: f32 = (0..30).map(|r| (pa.get(r, 0) - pb.get(r, 0)).abs()).sum();
+        let flip: f32 = (0..30).map(|r| (pa.get(r, 0) + pb.get(r, 0)).abs()).sum();
+        assert!(same.min(flip) < 1e-2, "translation changed PCA: {same} / {flip}");
+    }
+}

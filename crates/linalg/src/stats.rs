@@ -1,0 +1,89 @@
+//! Descriptive statistics used for result reporting (mean ± std, timing).
+
+/// Mean of a slice; 0 for empty input.
+pub fn mean(xs: &[f32]) -> f32 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f32>() / xs.len() as f32
+}
+
+/// Sample standard deviation (n-1 denominator); 0 for fewer than 2 samples.
+pub fn std_dev(xs: &[f32]) -> f32 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let var = xs.iter().map(|&x| (x - m) * (x - m)).sum::<f32>() / (xs.len() - 1) as f32;
+    var.sqrt()
+}
+
+/// `(mean, std)` pair.
+pub fn mean_std(xs: &[f32]) -> (f32, f32) {
+    (mean(xs), std_dev(xs))
+}
+
+/// Min of a slice; +inf for empty.
+pub fn min(xs: &[f32]) -> f32 {
+    xs.iter().cloned().fold(f32::INFINITY, f32::min)
+}
+
+/// Max of a slice; -inf for empty.
+pub fn max(xs: &[f32]) -> f32 {
+    xs.iter().cloned().fold(f32::NEG_INFINITY, f32::max)
+}
+
+/// Pearson correlation coefficient; 0 when either side is constant.
+pub fn pearson(xs: &[f32], ys: &[f32]) -> f32 {
+    assert_eq!(xs.len(), ys.len());
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let mx = mean(xs);
+    let my = mean(ys);
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx) * (x - mx);
+        vy += (y - my) * (y - my);
+    }
+    if vx < 1e-12 || vy < 1e-12 {
+        0.0
+    } else {
+        cov / (vx.sqrt() * vy.sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_std_known() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-6);
+        // Sample std of this classic set is ~2.138.
+        assert!((std_dev(&xs) - 2.13809).abs() < 1e-4);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(std_dev(&[1.0]), 0.0);
+        assert_eq!(min(&[]), f32::INFINITY);
+        assert_eq!(max(&[]), f32::NEG_INFINITY);
+    }
+
+    #[test]
+    fn pearson_perfect_correlation() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [2.0, 4.0, 6.0];
+        assert!((pearson(&xs, &ys) - 1.0).abs() < 1e-6);
+        let neg = [3.0, 2.0, 1.0];
+        assert!((pearson(&xs, &neg) + 1.0).abs() < 1e-6);
+        let flat = [5.0, 5.0, 5.0];
+        assert_eq!(pearson(&xs, &flat), 0.0);
+    }
+}

@@ -1,0 +1,134 @@
+//! Property-based tests for the dense linear-algebra substrate.
+
+use e2gcl_linalg::{activations, ops, stats, Matrix, SeedRng};
+use proptest::prelude::*;
+
+/// Strategy: a small matrix with bounded entries.
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-10.0f32..10.0, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+proptest! {
+    /// (AB)C == A(BC) up to float tolerance.
+    #[test]
+    fn matmul_associative(a in matrix(3, 4), b in matrix(4, 2), c in matrix(2, 5)) {
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        for (l, r) in left.as_slice().iter().zip(right.as_slice()) {
+            prop_assert!((l - r).abs() < 1e-2 * (1.0 + l.abs().max(r.abs())));
+        }
+    }
+
+    /// Transpose is an involution and (AB)^T = B^T A^T.
+    #[test]
+    fn transpose_laws(a in matrix(3, 4), b in matrix(4, 2)) {
+        prop_assert_eq!(a.transpose().transpose(), a.clone());
+        let ab_t = a.matmul(&b).transpose();
+        let bt_at = b.transpose().matmul(&a.transpose());
+        for (l, r) in ab_t.as_slice().iter().zip(bt_at.as_slice()) {
+            prop_assert!((l - r).abs() < 1e-3 * (1.0 + l.abs()));
+        }
+    }
+
+    /// The fused kernels agree with their explicit counterparts.
+    #[test]
+    fn fused_matmuls_agree(a in matrix(4, 3), b in matrix(4, 2), c in matrix(5, 3)) {
+        let fused = a.transpose_matmul(&b);
+        let explicit = a.transpose().matmul(&b);
+        for (l, r) in fused.as_slice().iter().zip(explicit.as_slice()) {
+            prop_assert!((l - r).abs() < 1e-3 * (1.0 + l.abs()));
+        }
+        let fused = a.matmul_transpose(&c);
+        let explicit = a.matmul(&c.transpose());
+        for (l, r) in fused.as_slice().iter().zip(explicit.as_slice()) {
+            prop_assert!((l - r).abs() < 1e-3 * (1.0 + l.abs()));
+        }
+    }
+
+    /// L2-normalised rows have unit norm (or stay zero).
+    #[test]
+    fn l2_normalise_invariant(m in matrix(4, 6)) {
+        let mut n = m.clone();
+        n.l2_normalize_rows();
+        for r in 0..n.rows() {
+            let norm = ops::norm(n.row(r));
+            let orig = ops::norm(m.row(r));
+            if orig > 1e-6 {
+                prop_assert!((norm - 1.0).abs() < 1e-4);
+            } else {
+                prop_assert!(norm <= orig + 1e-6);
+            }
+        }
+    }
+
+    /// Cauchy–Schwarz: |a·b| <= |a||b|; cosine in [-1, 1].
+    #[test]
+    fn cauchy_schwarz(a in prop::collection::vec(-5.0f32..5.0, 8),
+                      b in prop::collection::vec(-5.0f32..5.0, 8)) {
+        let dot = ops::dot(&a, &b).abs();
+        let bound = ops::norm(&a) * ops::norm(&b);
+        prop_assert!(dot <= bound * (1.0 + 1e-4) + 1e-5);
+        let c = ops::cosine(&a, &b);
+        prop_assert!((-1.0 - 1e-4..=1.0 + 1e-4).contains(&c));
+    }
+
+    /// Triangle inequality for Euclidean distance.
+    #[test]
+    fn triangle_inequality(a in prop::collection::vec(-5.0f32..5.0, 6),
+                           b in prop::collection::vec(-5.0f32..5.0, 6),
+                           c in prop::collection::vec(-5.0f32..5.0, 6)) {
+        let ab = ops::dist(&a, &b);
+        let bc = ops::dist(&b, &c);
+        let ac = ops::dist(&a, &c);
+        prop_assert!(ac <= ab + bc + 1e-4);
+    }
+
+    /// Softmax rows are probability distributions regardless of input.
+    #[test]
+    fn softmax_is_distribution(m in matrix(3, 5)) {
+        let mut s = m.clone();
+        activations::softmax_rows_inplace(&mut s);
+        for r in 0..s.rows() {
+            let sum: f32 = s.row(r).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(s.row(r).iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    /// Sample std is non-negative and zero for constant data.
+    #[test]
+    fn std_properties(xs in prop::collection::vec(-100.0f32..100.0, 2..20), c in -10.0f32..10.0) {
+        prop_assert!(stats::std_dev(&xs) >= 0.0);
+        let constant = vec![c; 5];
+        prop_assert!(stats::std_dev(&constant).abs() < 1e-4);
+    }
+
+    /// Seeded sampling without replacement always yields distinct in-range
+    /// indices, for any (n, k <= n).
+    #[test]
+    fn sampling_distinct(seed in any::<u64>(), n in 1usize..200, frac in 0.0f64..1.0) {
+        let k = ((n as f64) * frac) as usize;
+        let mut rng = SeedRng::new(seed);
+        let s = rng.sample_without_replacement(n, k);
+        prop_assert_eq!(s.len(), k);
+        let set: std::collections::HashSet<_> = s.iter().collect();
+        prop_assert_eq!(set.len(), k);
+        prop_assert!(s.iter().all(|&i| i < n));
+    }
+
+    /// weighted_index never selects a zero-weight item when positive weights
+    /// exist.
+    #[test]
+    fn weighted_index_avoids_zeros(seed in any::<u64>(), pos in 1usize..6) {
+        let mut w = vec![0.0f32; 8];
+        for i in 0..pos {
+            w[i] = 1.0;
+        }
+        let mut rng = SeedRng::new(seed);
+        for _ in 0..32 {
+            let i = rng.weighted_index(&w);
+            prop_assert!(i < pos, "picked zero-weight index {i}");
+        }
+    }
+}

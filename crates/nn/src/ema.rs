@@ -1,0 +1,57 @@
+//! Exponential-moving-average target parameters (BGRL / AFGRL).
+
+use e2gcl_linalg::Matrix;
+
+/// Updates `target ← decay·target + (1−decay)·online`, element-wise, for a
+/// matched list of parameter matrices.
+pub fn ema_update(target: &mut [Matrix], online: &[Matrix], decay: f32) {
+    assert_eq!(target.len(), online.len());
+    for (t, o) in target.iter_mut().zip(online) {
+        assert_eq!(t.shape(), o.shape());
+        let (ts, os) = (t.as_mut_slice(), o.as_slice());
+        for (tv, &ov) in ts.iter_mut().zip(os) {
+            *tv = decay * *tv + (1.0 - decay) * ov;
+        }
+    }
+}
+
+/// Cosine-annealed decay schedule used by BGRL: starts at `base` and
+/// approaches 1.0 as `step / total` grows.
+pub fn annealed_decay(base: f32, step: usize, total: usize) -> f32 {
+    if total == 0 {
+        return base;
+    }
+    let progress = (step as f32 / total as f32).clamp(0.0, 1.0);
+    1.0 - (1.0 - base) * (0.5 * (1.0 + (std::f32::consts::PI * progress).cos()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ema_converges_to_online() {
+        let online = vec![Matrix::filled(2, 2, 1.0)];
+        let mut target = vec![Matrix::zeros(2, 2)];
+        for _ in 0..200 {
+            ema_update(&mut target, &online, 0.9);
+        }
+        assert!((target[0].get(0, 0) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ema_decay_one_freezes_target() {
+        let online = vec![Matrix::filled(1, 1, 5.0)];
+        let mut target = vec![Matrix::filled(1, 1, 2.0)];
+        ema_update(&mut target, &online, 1.0);
+        assert_eq!(target[0].get(0, 0), 2.0);
+    }
+
+    #[test]
+    fn annealed_decay_endpoints() {
+        assert!((annealed_decay(0.99, 0, 100) - 0.99).abs() < 1e-6);
+        assert!((annealed_decay(0.99, 100, 100) - 1.0).abs() < 1e-6);
+        let mid = annealed_decay(0.99, 50, 100);
+        assert!(mid > 0.99 && mid < 1.0);
+    }
+}

@@ -1,0 +1,33 @@
+//! Neural-network substrate: the paper's encoders, losses and decoders with
+//! hand-derived gradients.
+//!
+//! The reproduction environment has no autodiff framework, so each building
+//! block implements an explicit `forward` that caches what its `backward`
+//! needs. The architectures are exactly the ones the paper trains:
+//!
+//! * [`gcn::GcnEncoder`] — the Eq. (1) GCN `H^{l+1} = σ(A_n H^l W^l)`;
+//! * [`mlp::Linear`] / [`mlp::Mlp`] — projection heads and decoders;
+//! * [`loss`] — Eq. (5) margin contrastive loss, InfoNCE (GRACE/GCA), BCE,
+//!   softmax cross-entropy, cosine bootstrap (BGRL);
+//! * [`optim`] — SGD and Adam;
+//! * [`probe`] — the `l2`-regularised linear probe used by the evaluation
+//!   protocol (§V-A2), plus the link-prediction decoder;
+//! * [`ema`] — exponential-moving-average target parameters (BGRL/AFGRL).
+//!
+//! Every gradient is validated against central finite differences in the
+//! test suites (`grad check` tests in each module).
+
+pub mod ema;
+pub mod gcn;
+pub mod loss;
+pub mod mlp;
+pub mod optim;
+pub mod probe;
+pub mod sage;
+pub mod sgc;
+
+pub use gcn::GcnEncoder;
+pub use sage::SageEncoder;
+pub use sgc::SgcEncoder;
+pub use mlp::{Linear, Mlp};
+pub use optim::{Adam, Optimizer, Sgd};

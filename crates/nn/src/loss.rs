@@ -1,0 +1,451 @@
+//! Losses with analytic gradients.
+//!
+//! * [`margin_contrastive`] — the paper's Eq. (5) Euclidean contrastive loss
+//!   (with the Hadsell-style margin of its citation \[75\]; pass
+//!   `margin = f32::INFINITY` for the literal unbounded form);
+//! * [`info_nce`] — the symmetric NT-Xent objective of GRACE/GCA, with both
+//!   inter-view and intra-view negatives;
+//! * [`bce_with_logits`], [`softmax_cross_entropy`] — decoder losses;
+//! * [`cosine_bootstrap`] — BGRL's negative-free cosine objective.
+
+use e2gcl_linalg::{activations, ops, Matrix};
+
+/// Output of the Eq. (5) contrastive loss.
+#[derive(Debug)]
+pub struct MarginLossOutput {
+    /// Mean loss over anchor nodes.
+    pub loss: f32,
+    /// `∂L/∂ĥ` (same shape as `h_hat`).
+    pub d_hat: Matrix,
+    /// `∂L/∂h̃` (same shape as `h_tilde`).
+    pub d_tilde: Matrix,
+    /// `∂L/∂neg` (same shape as `neg`).
+    pub d_neg: Matrix,
+}
+
+/// Eq. (5): for each anchor `v`,
+/// `||ĥ_v − h̃_v||² + (1 / 2|Neg_v|) · Σ_{h' ∈ {ĥ_v, h̃_v}} Σ_{u ∈ Neg_v} hinge(m − ||h'_v − n_u||²)`
+/// averaged over anchors.
+///
+/// With finite `margin m` the second term is `max(0, m − d²)` (minimising it
+/// pushes negatives out to the margin). With `margin = ∞` it degenerates to
+/// `−d²`, the paper's literal Eq. (5), which is unbounded below — usable for
+/// a few steps in tests but not for full training.
+///
+/// `negatives[v]` lists row indices of `neg` serving as `Neg_v`.
+pub fn margin_contrastive(
+    h_hat: &Matrix,
+    h_tilde: &Matrix,
+    neg: &Matrix,
+    negatives: &[Vec<usize>],
+    margin: f32,
+) -> MarginLossOutput {
+    let n = h_hat.rows();
+    assert_eq!(h_tilde.rows(), n);
+    assert_eq!(negatives.len(), n);
+    assert_eq!(h_hat.cols(), h_tilde.cols());
+    assert_eq!(h_hat.cols(), neg.cols());
+    let inv_n = 1.0 / n.max(1) as f32;
+    let mut loss = 0.0f64;
+    let mut d_hat = Matrix::zeros(h_hat.rows(), h_hat.cols());
+    let mut d_tilde = Matrix::zeros(h_tilde.rows(), h_tilde.cols());
+    let mut d_neg = Matrix::zeros(neg.rows(), neg.cols());
+    for v in 0..n {
+        let hv = h_hat.row(v);
+        let tv = h_tilde.row(v);
+        // Positive pull term.
+        loss += f64::from(ops::sq_dist(hv, tv)) * f64::from(inv_n);
+        let d = d_hat.row_mut(v);
+        for ((g, &a), &b) in d.iter_mut().zip(hv).zip(tv) {
+            *g += 2.0 * (a - b) * inv_n;
+        }
+        let d = d_tilde.row_mut(v);
+        for ((g, &a), &b) in d.iter_mut().zip(hv).zip(tv) {
+            *g -= 2.0 * (a - b) * inv_n;
+        }
+        // Negative push term.
+        if negatives[v].is_empty() {
+            continue;
+        }
+        let coeff = inv_n / (2.0 * negatives[v].len() as f32);
+        for (anchor_is_hat, anchor) in [(true, hv), (false, tv)] {
+            for &u in &negatives[v] {
+                let nu = neg.row(u);
+                let d2 = ops::sq_dist(anchor, nu);
+                let (term, active) = if margin.is_finite() {
+                    ((margin - d2).max(0.0), d2 < margin)
+                } else {
+                    (-d2, true)
+                };
+                loss += f64::from(term) * f64::from(coeff);
+                if !active {
+                    continue;
+                }
+                // d(−d²)/danchor = −2(anchor − nu); same for the hinge branch.
+                let anchor_grad = if anchor_is_hat {
+                    d_hat.row_mut(v)
+                } else {
+                    d_tilde.row_mut(v)
+                };
+                for ((g, &a), &b) in anchor_grad.iter_mut().zip(anchor).zip(nu) {
+                    *g -= 2.0 * coeff * (a - b);
+                }
+                let ng = d_neg.row_mut(u);
+                for ((g, &a), &b) in ng.iter_mut().zip(anchor).zip(nu) {
+                    *g += 2.0 * coeff * (a - b);
+                }
+            }
+        }
+    }
+    MarginLossOutput { loss: loss as f32, d_hat, d_tilde, d_neg }
+}
+
+/// Output of [`info_nce`].
+#[derive(Debug)]
+pub struct InfoNceOutput {
+    /// Mean loss over `2n` anchors.
+    pub loss: f32,
+    /// `∂L/∂z1`.
+    pub d_z1: Matrix,
+    /// `∂L/∂z2`.
+    pub d_z2: Matrix,
+}
+
+/// Symmetric NT-Xent (GRACE Eq. (1)): cosine similarities at temperature
+/// `tau`, inter-view positives on the diagonal, negatives from both views.
+pub fn info_nce(z1: &Matrix, z2: &Matrix, tau: f32) -> InfoNceOutput {
+    let n = z1.rows();
+    assert_eq!(z2.rows(), n);
+    assert_eq!(z1.cols(), z2.cols());
+    assert!(n >= 2, "InfoNCE needs at least 2 anchors");
+    // Normalise rows, remembering norms for the Jacobian.
+    let (u1, n1) = normalize_rows(z1);
+    let (u2, n2) = normalize_rows(z2);
+    let inv_tau = 1.0 / tau;
+    let mut s12 = u1.matmul_transpose(&u2); // s12[i][j] = u1_i · u2_j
+    let mut s11 = u1.matmul_transpose(&u1);
+    let mut s22 = u2.matmul_transpose(&u2);
+    s12.scale(inv_tau);
+    s11.scale(inv_tau);
+    s22.scale(inv_tau);
+
+    let mut loss = 0.0f64;
+    let mut du1 = Matrix::zeros(n, u1.cols());
+    let mut du2 = Matrix::zeros(n, u2.cols());
+    let scale = 1.0 / (2 * n) as f32;
+
+    // Anchors at view a contrast against all of view b plus intra-view
+    // (excluding self).
+    let mut one_side = |s_ab: &Matrix,
+                        s_aa: &Matrix,
+                        ua: &Matrix,
+                        ub: &Matrix,
+                        dua: &mut Matrix,
+                        dub: &mut Matrix| {
+        for i in 0..n {
+            // Log-sum-exp over 2n−1 terms, stabilised by the row max.
+            let mut mx = f32::NEG_INFINITY;
+            for j in 0..n {
+                mx = mx.max(s_ab.get(i, j));
+                if j != i {
+                    mx = mx.max(s_aa.get(i, j));
+                }
+            }
+            let mut denom = 0.0f32;
+            for j in 0..n {
+                denom += (s_ab.get(i, j) - mx).exp();
+                if j != i {
+                    denom += (s_aa.get(i, j) - mx).exp();
+                }
+            }
+            loss += f64::from((mx + denom.ln() - s_ab.get(i, i)) * scale);
+            // Gradients: dL/ds_ab[i,j] = scale*(p_ab − δ_ij);
+            //            dL/ds_aa[i,j] = scale*p_aa (j ≠ i).
+            for j in 0..n {
+                let p = (s_ab.get(i, j) - mx).exp() / denom;
+                let g = scale * (p - if i == j { 1.0 } else { 0.0 }) * inv_tau;
+                ops::axpy_slice(dua.row_mut(i), g, ub.row(j));
+                ops::axpy_slice(dub.row_mut(j), g, ua.row(i));
+                if j != i {
+                    let p = (s_aa.get(i, j) - mx).exp() / denom;
+                    let g = scale * p * inv_tau;
+                    ops::axpy_slice(dua.row_mut(i), g, ua.row(j));
+                    ops::axpy_slice(dua.row_mut(j), g, ua.row(i));
+                }
+            }
+        }
+    };
+    one_side(&s12, &s11, &u1, &u2, &mut du1, &mut du2);
+    let s21 = s12.transpose();
+    one_side(&s21, &s22, &u2, &u1, &mut du2, &mut du1);
+
+    let d_z1 = normalize_backward(&u1, &n1, &du1);
+    let d_z2 = normalize_backward(&u2, &n2, &du2);
+    InfoNceOutput { loss: loss as f32, d_z1, d_z2 }
+}
+
+/// Row-normalises, returning `(U, norms)` with zero rows left as zero.
+pub fn normalize_rows(z: &Matrix) -> (Matrix, Vec<f32>) {
+    let mut u = z.clone();
+    let mut norms = Vec::with_capacity(z.rows());
+    for r in 0..z.rows() {
+        let nrm = ops::norm(z.row(r)).max(1e-12);
+        norms.push(nrm);
+        for v in u.row_mut(r) {
+            *v /= nrm;
+        }
+    }
+    (u, norms)
+}
+
+/// Jacobian of row normalisation: `dz = (du − (du·u)u) / ||z||`.
+pub fn normalize_backward(u: &Matrix, norms: &[f32], du: &Matrix) -> Matrix {
+    let mut dz = Matrix::zeros(u.rows(), u.cols());
+    for r in 0..u.rows() {
+        let ur = u.row(r);
+        let dur = du.row(r);
+        let proj = ops::dot(dur, ur);
+        let out = dz.row_mut(r);
+        for ((o, &d), &uv) in out.iter_mut().zip(dur).zip(ur) {
+            *o = (d - proj * uv) / norms[r];
+        }
+    }
+    dz
+}
+
+/// Binary cross-entropy with logits; `targets` in `{0,1}`. Returns
+/// `(mean loss, ∂L/∂logits)`.
+pub fn bce_with_logits(logits: &[f32], targets: &[f32]) -> (f32, Vec<f32>) {
+    assert_eq!(logits.len(), targets.len());
+    let n = logits.len().max(1) as f32;
+    let mut loss = 0.0f64;
+    let mut grad = Vec::with_capacity(logits.len());
+    for (&x, &t) in logits.iter().zip(targets) {
+        // loss = softplus(x) − t·x (stable for both signs).
+        loss += f64::from(activations::softplus(x) - t * x) / f64::from(n);
+        grad.push((activations::sigmoid(x) - t) / n);
+    }
+    (loss as f32, grad)
+}
+
+/// Softmax cross-entropy over rows; `labels[r]` is the true class of row
+/// `r`. Returns `(mean loss, ∂L/∂logits)`.
+pub fn softmax_cross_entropy(logits: &Matrix, labels: &[usize]) -> (f32, Matrix) {
+    assert_eq!(logits.rows(), labels.len());
+    let n = logits.rows().max(1) as f32;
+    let mut probs = logits.clone();
+    activations::softmax_rows_inplace(&mut probs);
+    let mut loss = 0.0f64;
+    let mut grad = probs.clone();
+    for (r, &y) in labels.iter().enumerate() {
+        assert!(y < logits.cols(), "label {y} out of range");
+        loss -= f64::from(probs.get(r, y).max(1e-12).ln()) / f64::from(n);
+        grad.set(r, y, grad.get(r, y) - 1.0);
+    }
+    grad.scale(1.0 / n);
+    (loss as f32, grad)
+}
+
+/// BGRL's bootstrap objective: `mean_i (2 − 2 cos(online_i, target_i))`.
+/// Gradients flow only into `online` (the target network is EMA-updated).
+pub fn cosine_bootstrap(online: &Matrix, target: &Matrix) -> (f32, Matrix) {
+    let n = online.rows();
+    assert_eq!(target.rows(), n);
+    assert_eq!(online.cols(), target.cols());
+    let inv_n = 1.0 / n.max(1) as f32;
+    let mut loss = 0.0f64;
+    let mut grad = Matrix::zeros(online.rows(), online.cols());
+    for r in 0..n {
+        let o = online.row(r);
+        let t = target.row(r);
+        let no = ops::norm(o).max(1e-12);
+        let nt = ops::norm(t).max(1e-12);
+        let cos = ops::dot(o, t) / (no * nt);
+        loss += f64::from((2.0 - 2.0 * cos) * inv_n);
+        // d(−2cos)/do = −2 (t/(no·nt) − cos·o/no²).
+        let g = grad.row_mut(r);
+        for ((gv, &ov), &tv) in g.iter_mut().zip(o).zip(t) {
+            *gv = -2.0 * inv_n * (tv / (no * nt) - cos * ov / (no * no));
+        }
+    }
+    (loss as f32, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use e2gcl_linalg::SeedRng;
+
+    fn rand_matrix(r: usize, c: usize, seed: u64) -> Matrix {
+        let mut rng = SeedRng::new(seed);
+        let mut m = Matrix::zeros(r, c);
+        for v in m.as_mut_slice() {
+            *v = rng.normal();
+        }
+        m
+    }
+
+    /// Generic central finite-difference check against an analytic gradient.
+    fn fd_check(
+        x: &Matrix,
+        analytic: &Matrix,
+        mut f: impl FnMut(&Matrix) -> f32,
+        tol: f32,
+        what: &str,
+    ) {
+        let eps = 1e-2f32;
+        let mut xp = x.clone();
+        for r in 0..x.rows() {
+            for c in 0..x.cols() {
+                let orig = xp.get(r, c);
+                xp.set(r, c, orig + eps);
+                let lp = f(&xp);
+                xp.set(r, c, orig - eps);
+                let lm = f(&xp);
+                xp.set(r, c, orig);
+                let fd = (lp - lm) / (2.0 * eps);
+                let an = analytic.get(r, c);
+                assert!(
+                    (fd - an).abs() < tol * (1.0 + fd.abs().max(an.abs())),
+                    "{what}({r},{c}): fd {fd} vs analytic {an}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn margin_loss_zero_for_identical_views_and_far_negatives() {
+        let h = rand_matrix(3, 4, 0);
+        let mut neg = rand_matrix(2, 4, 1);
+        neg.scale(100.0); // negatives far beyond the margin
+        let negatives = vec![vec![0, 1]; 3];
+        let out = margin_contrastive(&h, &h, &neg, &negatives, 1.0);
+        assert!(out.loss.abs() < 1e-6, "loss {}", out.loss);
+        assert!(out.d_hat.frobenius_norm() < 1e-6);
+    }
+
+    #[test]
+    fn margin_loss_grad_check() {
+        let h_hat = rand_matrix(3, 4, 2);
+        let h_tilde = rand_matrix(3, 4, 3);
+        let neg = rand_matrix(4, 4, 4);
+        let negatives = vec![vec![0, 2], vec![1], vec![0, 1, 3]];
+        let margin = 5.0;
+        let out = margin_contrastive(&h_hat, &h_tilde, &neg, &negatives, margin);
+        fd_check(
+            &h_hat,
+            &out.d_hat,
+            |x| margin_contrastive(x, &h_tilde, &neg, &negatives, margin).loss,
+            5e-2,
+            "d_hat",
+        );
+        fd_check(
+            &h_tilde,
+            &out.d_tilde,
+            |x| margin_contrastive(&h_hat, x, &neg, &negatives, margin).loss,
+            5e-2,
+            "d_tilde",
+        );
+        fd_check(
+            &neg,
+            &out.d_neg,
+            |x| margin_contrastive(&h_hat, &h_tilde, x, &negatives, margin).loss,
+            5e-2,
+            "d_neg",
+        );
+    }
+
+    #[test]
+    fn margin_infinite_matches_paper_form() {
+        let h_hat = rand_matrix(2, 3, 5);
+        let h_tilde = rand_matrix(2, 3, 6);
+        let neg = rand_matrix(2, 3, 7);
+        let negatives = vec![vec![0], vec![1]];
+        let out = margin_contrastive(&h_hat, &h_tilde, &neg, &negatives, f32::INFINITY);
+        // Manual Eq. (5).
+        let mut expect = 0.0f32;
+        for v in 0..2 {
+            expect += ops::sq_dist(h_hat.row(v), h_tilde.row(v));
+            let u = negatives[v][0];
+            expect -= (ops::sq_dist(h_hat.row(v), neg.row(u))
+                + ops::sq_dist(h_tilde.row(v), neg.row(u)))
+                / 2.0;
+        }
+        expect /= 2.0;
+        assert!((out.loss - expect).abs() < 1e-4, "{} vs {expect}", out.loss);
+    }
+
+    #[test]
+    fn info_nce_grad_check() {
+        let z1 = rand_matrix(4, 3, 8);
+        let z2 = rand_matrix(4, 3, 9);
+        let out = info_nce(&z1, &z2, 0.5);
+        fd_check(&z1, &out.d_z1, |x| info_nce(x, &z2, 0.5).loss, 5e-2, "d_z1");
+        fd_check(&z2, &out.d_z2, |x| info_nce(&z1, x, 0.5).loss, 5e-2, "d_z2");
+    }
+
+    #[test]
+    fn info_nce_prefers_aligned_views() {
+        let z = rand_matrix(6, 4, 10);
+        let aligned = info_nce(&z, &z, 0.5).loss;
+        let shuffled = {
+            let mut rows: Vec<usize> = (0..6).collect();
+            rows.rotate_left(1);
+            info_nce(&z, &z.select_rows(&rows), 0.5).loss
+        };
+        assert!(aligned < shuffled, "{aligned} !< {shuffled}");
+    }
+
+    #[test]
+    fn bce_known_values_and_grad() {
+        let (loss, grad) = bce_with_logits(&[0.0, 0.0], &[1.0, 0.0]);
+        assert!((loss - 2.0f32.ln()).abs() < 1e-6);
+        assert!((grad[0] + 0.25).abs() < 1e-6); // (σ(0)−1)/2
+        assert!((grad[1] - 0.25).abs() < 1e-6);
+        // Extreme logits stay finite.
+        let (l2, g2) = bce_with_logits(&[100.0, -100.0], &[1.0, 0.0]);
+        assert!(l2.is_finite() && l2 < 1e-3);
+        assert!(g2.iter().all(|g| g.is_finite()));
+    }
+
+    #[test]
+    fn cross_entropy_grad_check() {
+        let logits = rand_matrix(3, 4, 11);
+        let labels = vec![0, 3, 2];
+        let (_, grad) = softmax_cross_entropy(&logits, &labels);
+        fd_check(
+            &logits,
+            &grad,
+            |x| softmax_cross_entropy(x, &labels).0,
+            5e-2,
+            "dlogits",
+        );
+    }
+
+    #[test]
+    fn cross_entropy_perfect_prediction_near_zero() {
+        let mut logits = Matrix::zeros(2, 3);
+        logits.set(0, 1, 30.0);
+        logits.set(1, 0, 30.0);
+        let (loss, _) = softmax_cross_entropy(&logits, &[1, 0]);
+        assert!(loss < 1e-5);
+    }
+
+    #[test]
+    fn cosine_bootstrap_zero_when_aligned() {
+        let o = rand_matrix(3, 4, 12);
+        let mut t = o.clone();
+        t.scale(3.0); // cosine invariant to scale
+        let (loss, grad) = cosine_bootstrap(&o, &t);
+        assert!(loss.abs() < 1e-5);
+        assert!(grad.frobenius_norm() < 1e-4);
+    }
+
+    #[test]
+    fn cosine_bootstrap_grad_check() {
+        let o = rand_matrix(3, 4, 13);
+        let t = rand_matrix(3, 4, 14);
+        let (_, grad) = cosine_bootstrap(&o, &t);
+        fd_check(&o, &grad, |x| cosine_bootstrap(x, &t).0, 5e-2, "donline");
+    }
+}

@@ -1,0 +1,148 @@
+//! First-order optimisers over lists of parameter matrices.
+
+use e2gcl_linalg::Matrix;
+
+/// A stateful optimiser for a fixed list of parameter matrices.
+pub trait Optimizer {
+    /// Applies one update: `params[i] -= step(grads[i])`.
+    fn step(&mut self, params: &mut [Matrix], grads: &[Matrix]);
+}
+
+/// Plain SGD with optional weight decay.
+#[derive(Clone, Debug)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+    /// L2 weight decay coefficient.
+    pub weight_decay: f32,
+}
+
+impl Sgd {
+    /// SGD with the given learning rate and no decay.
+    pub fn new(lr: f32) -> Self {
+        Self { lr, weight_decay: 0.0 }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut [Matrix], grads: &[Matrix]) {
+        assert_eq!(params.len(), grads.len());
+        for (p, g) in params.iter_mut().zip(grads) {
+            if self.weight_decay > 0.0 {
+                let decay = p.clone();
+                p.axpy(-self.lr * self.weight_decay, &decay);
+            }
+            p.axpy(-self.lr, g);
+        }
+    }
+}
+
+/// Adam (Kingma & Ba) with decoupled weight decay.
+#[derive(Clone, Debug)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Numerical floor.
+    pub eps: f32,
+    /// Decoupled (AdamW-style) weight decay.
+    pub weight_decay: f32,
+    t: u32,
+    m: Vec<Matrix>,
+    v: Vec<Matrix>,
+}
+
+impl Adam {
+    /// Adam with the paper-typical defaults (β₁=0.9, β₂=0.999).
+    pub fn new(lr: f32) -> Self {
+        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 0.0, t: 0, m: Vec::new(), v: Vec::new() }
+    }
+
+    /// Adam with decoupled weight decay.
+    pub fn with_weight_decay(lr: f32, weight_decay: f32) -> Self {
+        Self { weight_decay, ..Self::new(lr) }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut [Matrix], grads: &[Matrix]) {
+        assert_eq!(params.len(), grads.len());
+        if self.m.is_empty() {
+            self.m = params.iter().map(|p| Matrix::zeros(p.rows(), p.cols())).collect();
+            self.v = self.m.clone();
+        }
+        assert_eq!(self.m.len(), params.len(), "optimiser bound to a different param list");
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        for i in 0..params.len() {
+            let g = grads[i].as_slice();
+            let m = self.m[i].as_mut_slice();
+            let v = self.v[i].as_mut_slice();
+            let p = params[i].as_mut_slice();
+            for j in 0..g.len() {
+                m[j] = self.beta1 * m[j] + (1.0 - self.beta1) * g[j];
+                v[j] = self.beta2 * v[j] + (1.0 - self.beta2) * g[j] * g[j];
+                let mhat = m[j] / b1t;
+                let vhat = v[j] / b2t;
+                p[j] -= self.lr * (mhat / (vhat.sqrt() + self.eps) + self.weight_decay * p[j]);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Quadratic bowl: minimise 0.5 * ||p - target||^2.
+    fn converges<O: Optimizer>(mut opt: O, iters: usize) -> f32 {
+        let target = Matrix::from_rows(&[&[1.0, -2.0], &[0.5, 3.0]]);
+        let mut params = vec![Matrix::zeros(2, 2)];
+        for _ in 0..iters {
+            let mut g = params[0].clone();
+            g.sub_assign(&target);
+            opt.step(&mut params, &[g]);
+        }
+        let mut d = params[0].clone();
+        d.sub_assign(&target);
+        d.frobenius_norm()
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        assert!(converges(Sgd::new(0.1), 200) < 1e-3);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        assert!(converges(Adam::new(0.1), 500) < 1e-2);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_params() {
+        let mut opt = Sgd { lr: 0.1, weight_decay: 1.0 };
+        let mut params = vec![Matrix::filled(1, 1, 10.0)];
+        let zero = vec![Matrix::zeros(1, 1)];
+        for _ in 0..10 {
+            opt.step(&mut params, &zero);
+        }
+        assert!(params[0].get(0, 0) < 10.0 * 0.9f32.powi(9));
+    }
+
+    #[test]
+    fn adam_state_persists_across_steps() {
+        let mut opt = Adam::new(0.01);
+        let mut params = vec![Matrix::filled(1, 1, 1.0)];
+        let g = vec![Matrix::filled(1, 1, 1.0)];
+        opt.step(&mut params, &g);
+        let first = 1.0 - params[0].get(0, 0);
+        opt.step(&mut params, &g);
+        // Adam's bias-corrected first step equals lr; state must carry over.
+        assert!(first > 0.0);
+        assert!(opt.t == 2);
+    }
+}

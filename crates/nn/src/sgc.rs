@@ -1,0 +1,128 @@
+//! SGC encoder (Wu et al. 2019): `H = A_n^L X W`.
+//!
+//! The "Simplifying Graph Convolutional Networks" model — exactly the
+//! relaxation the paper's Theorem 1 analyses. A second encoder family lets
+//! us demonstrate the §IV-C *Remarks*: the view generator is
+//! encoder-agnostic, so swapping the GCN for SGC changes nothing upstream.
+
+use e2gcl_graph::SparseMatrix;
+use e2gcl_linalg::{init, Matrix, SeedRng};
+
+/// The SGC encoder `f_θ(G) = A_n^L X W` (one linear map after `L`
+/// parameter-free propagation steps).
+#[derive(Clone, Debug)]
+pub struct SgcEncoder {
+    /// Propagation depth `L`.
+    pub layers: usize,
+    /// The single weight matrix (`d_x x d_out`).
+    w: Matrix,
+}
+
+/// Cache for [`SgcEncoder::backward`].
+#[derive(Debug)]
+pub struct SgcCache {
+    /// `A_n^L X` — the propagated features.
+    propagated: Matrix,
+}
+
+impl SgcEncoder {
+    /// New SGC with depth `layers` mapping `d_in -> d_out`.
+    pub fn new(d_in: usize, d_out: usize, layers: usize, rng: &mut SeedRng) -> Self {
+        Self { layers, w: init::xavier_uniform(d_in, d_out, rng) }
+    }
+
+    /// Output dimension.
+    pub fn output_dim(&self) -> usize {
+        self.w.cols()
+    }
+
+    /// Parameter access for optimisers.
+    pub fn params_mut(&mut self) -> &mut [Matrix] {
+        std::slice::from_mut(&mut self.w)
+    }
+
+    /// Immutable parameters.
+    pub fn params(&self) -> &[Matrix] {
+        std::slice::from_ref(&self.w)
+    }
+
+    /// Forward pass with cache.
+    pub fn forward(&self, adj: &SparseMatrix, x: &Matrix) -> (Matrix, SgcCache) {
+        let propagated = adj.spmm_power(x, self.layers);
+        let h = propagated.matmul(&self.w);
+        (h, SgcCache { propagated })
+    }
+
+    /// Inference-only forward.
+    pub fn embed(&self, adj: &SparseMatrix, x: &Matrix) -> Matrix {
+        adj.spmm_power(x, self.layers).matmul(&self.w)
+    }
+
+    /// Backward pass: `dW = (A_n^L X)^T dH`.
+    pub fn backward(&self, cache: &SgcCache, d_out: &Matrix) -> Vec<Matrix> {
+        vec![cache.propagated.transpose_matmul(d_out)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use e2gcl_graph::{norm, CsrGraph};
+
+    fn setup() -> (SparseMatrix, Matrix) {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let adj = norm::normalized_adjacency(&g);
+        let x = Matrix::from_rows(&[
+            &[1.0, 0.0],
+            &[0.0, 1.0],
+            &[1.0, 1.0],
+            &[0.5, -0.5],
+        ]);
+        (adj, x)
+    }
+
+    #[test]
+    fn forward_shape_and_linearity() {
+        let (adj, x) = setup();
+        let enc = SgcEncoder::new(2, 3, 2, &mut SeedRng::new(0));
+        let h = enc.embed(&adj, &x);
+        assert_eq!(h.shape(), (4, 3));
+        // Fully linear model: scaling the input scales the output.
+        let mut x2 = x.clone();
+        x2.scale(2.0);
+        let h2 = enc.embed(&adj, &x2);
+        for (a, b) in h.as_slice().iter().zip(h2.as_slice()) {
+            assert!((2.0 * a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn grad_check() {
+        let (adj, x) = setup();
+        let mut enc = SgcEncoder::new(2, 2, 2, &mut SeedRng::new(1));
+        let (h, cache) = enc.forward(&adj, &x);
+        let grads = enc.backward(&cache, &h); // L = 0.5||H||^2
+        let eps = 1e-3f32;
+        for r in 0..2 {
+            for c in 0..2 {
+                let orig = enc.params()[0].get(r, c);
+                enc.params_mut()[0].set(r, c, orig + eps);
+                let lp = 0.5 * enc.embed(&adj, &x).as_slice().iter().map(|v| v * v).sum::<f32>();
+                enc.params_mut()[0].set(r, c, orig - eps);
+                let lm = 0.5 * enc.embed(&adj, &x).as_slice().iter().map(|v| v * v).sum::<f32>();
+                enc.params_mut()[0].set(r, c, orig);
+                let fd = (lp - lm) / (2.0 * eps);
+                let an = grads[0].get(r, c);
+                assert!((fd - an).abs() < 1e-2 * (1.0 + fd.abs()), "({r},{c}): {fd} vs {an}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_layers_is_plain_linear() {
+        let (adj, x) = setup();
+        let enc = SgcEncoder::new(2, 2, 0, &mut SeedRng::new(2));
+        let h = enc.embed(&adj, &x);
+        assert_eq!(h, x.matmul(&enc.params()[0]));
+    }
+}

@@ -1,0 +1,132 @@
+//! Property-based gradient and invariance tests for the NN substrate.
+
+use e2gcl_graph::{norm, CsrGraph};
+use e2gcl_linalg::{ops, Matrix, SeedRng};
+use e2gcl_nn::{loss, GcnEncoder, Linear};
+use proptest::prelude::*;
+
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-2.0f32..2.0, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// InfoNCE is scale-invariant (it works on cosine similarities) and
+    /// bounded below by 0.
+    #[test]
+    fn info_nce_scale_invariant(z1 in matrix(4, 3), z2 in matrix(4, 3), s in 0.5f32..4.0) {
+        // Skip degenerate near-zero rows where normalisation is unstable.
+        for r in 0..4 {
+            prop_assume!(ops::norm(z1.row(r)) > 0.1);
+            prop_assume!(ops::norm(z2.row(r)) > 0.1);
+        }
+        let base = loss::info_nce(&z1, &z2, 0.5).loss;
+        let mut z1s = z1.clone();
+        z1s.scale(s);
+        let scaled = loss::info_nce(&z1s, &z2, 0.5).loss;
+        prop_assert!((base - scaled).abs() < 1e-3 * (1.0 + base.abs()));
+        prop_assert!(base >= -1e-5);
+    }
+
+    /// Margin contrastive loss on identical views with no negatives is zero;
+    /// and the gradient of the positive term vanishes there.
+    #[test]
+    fn margin_loss_fixed_point(h in matrix(3, 4)) {
+        let negatives = vec![Vec::new(); 3];
+        let out = loss::margin_contrastive(&h, &h, &h, &negatives, 1.0);
+        prop_assert!(out.loss.abs() < 1e-6);
+        prop_assert!(out.d_hat.frobenius_norm() < 1e-6);
+        prop_assert!(out.d_tilde.frobenius_norm() < 1e-6);
+    }
+
+    /// Softmax cross-entropy is non-negative, and its gradient rows sum to
+    /// ~0 (probabilities minus one-hot).
+    #[test]
+    fn cross_entropy_gradient_rows_sum_zero(logits in matrix(4, 5), labels in prop::collection::vec(0usize..5, 4)) {
+        let (l, grad) = loss::softmax_cross_entropy(&logits, &labels);
+        prop_assert!(l >= -1e-6);
+        for r in 0..4 {
+            let s: f32 = grad.row(r).iter().sum();
+            prop_assert!(s.abs() < 1e-5, "row {r} grad sum {s}");
+        }
+    }
+
+    /// BCE gradient signs: positive targets always get non-positive
+    /// gradients, negative targets non-negative.
+    #[test]
+    fn bce_gradient_signs(logits in prop::collection::vec(-10.0f32..10.0, 6)) {
+        let targets = [1.0f32, 1.0, 1.0, 0.0, 0.0, 0.0];
+        let (_, grad) = loss::bce_with_logits(&logits, &targets);
+        for (i, g) in grad.iter().enumerate() {
+            if targets[i] == 1.0 {
+                prop_assert!(*g <= 1e-7);
+            } else {
+                prop_assert!(*g >= -1e-7);
+            }
+        }
+    }
+
+    /// Cosine bootstrap is within [0, 4] and zero iff aligned.
+    #[test]
+    fn cosine_bootstrap_bounds(o in matrix(3, 4), t in matrix(3, 4)) {
+        for r in 0..3 {
+            prop_assume!(ops::norm(o.row(r)) > 0.1);
+            prop_assume!(ops::norm(t.row(r)) > 0.1);
+        }
+        let (l, _) = loss::cosine_bootstrap(&o, &t);
+        prop_assert!((-1e-5..=4.0 + 1e-4).contains(&l));
+        let (self_l, _) = loss::cosine_bootstrap(&o, &o);
+        prop_assert!(self_l.abs() < 1e-5);
+    }
+
+    /// GCN forward is deterministic and permutation-consistent: relabelling
+    /// the nodes permutes the embeddings the same way.
+    #[test]
+    fn gcn_permutation_equivariance(seed in any::<u64>()) {
+        let mut rng = SeedRng::new(seed);
+        let g = CsrGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        let mut x = Matrix::zeros(5, 3);
+        for v in x.as_mut_slice() {
+            *v = rng.normal();
+        }
+        let enc = GcnEncoder::new(&[3, 4, 2], &mut rng);
+        let adj = norm::normalized_adjacency(&g);
+        let h = enc.embed(&adj, &x);
+        // Rotate labels by one (the cycle automorphism maps i -> i+1).
+        let perm: Vec<usize> = (0..5).map(|i| (i + 1) % 5).collect();
+        let g2 = CsrGraph::from_edges(5, &[(1, 2), (2, 3), (3, 4), (4, 0), (0, 1)]);
+        let x2 = x.select_rows(&[4, 0, 1, 2, 3]); // node i of g2 is node i-1 of g
+        let h2 = enc.embed(&norm::normalized_adjacency(&g2), &x2);
+        for v in 0..5 {
+            let mapped = perm[(v + 4) % 5]; // sanity: identity of the cycle
+            let _ = mapped;
+            for c in 0..2 {
+                prop_assert!((h2.get(v, c) - h.get((v + 4) % 5, c)).abs() < 1e-4);
+            }
+        }
+    }
+
+    /// A linear layer trained one SGD step on a quadratic loss decreases it
+    /// for any small learning rate (descent property).
+    #[test]
+    fn linear_sgd_descends(seed in any::<u64>(), lr in 0.001f32..0.05) {
+        let mut rng = SeedRng::new(seed);
+        let mut l = Linear::new(3, 2, &mut rng);
+        let mut x = Matrix::zeros(4, 3);
+        for v in x.as_mut_slice() {
+            *v = rng.normal();
+        }
+        let loss_of = |l: &Linear| -> f32 {
+            let y = l.apply(&x);
+            0.5 * y.as_slice().iter().map(|v| v * v).sum::<f32>()
+        };
+        let before = loss_of(&l);
+        prop_assume!(before > 1e-3);
+        let (y, cache) = l.forward(&x);
+        let grads = l.backward(&cache, &y);
+        l.step(&grads, lr, 0.0);
+        prop_assert!(loss_of(&l) <= before);
+    }
+}

@@ -1,0 +1,359 @@
+//! Baseline selection strategies of Table VII.
+//!
+//! * [`RandomSelector`] — uniform without replacement;
+//! * [`DegreeSelector`] — sample ∝ `log(D_v + 1)`;
+//! * [`KMeansSelector`] — cluster into 10 groups, take an even share of
+//!   random nodes from each;
+//! * [`KCenterGreedy`] — farthest-first traversal over raw aggregates
+//!   (Sener & Savarese's core-set for active learning, label-free variant);
+//! * [`GrainSelector`] — diversified-influence maximisation à la Grain:
+//!   greedily pick the node covering the most yet-uncovered nodes within a
+//!   radius in aggregate space (ties broken by degree).
+
+use crate::{assign_weights, NodeSelector, Selection};
+use e2gcl_graph::{norm, CsrGraph};
+use e2gcl_linalg::{ops, Matrix, SeedRng};
+use rayon::prelude::*;
+
+/// GCN depth used by aggregate-based baselines (matches the paper's L=2).
+const LAYERS: usize = 2;
+
+/// Uniform random selection.
+#[derive(Clone, Debug, Default)]
+pub struct RandomSelector;
+
+impl NodeSelector for RandomSelector {
+    fn name(&self) -> &'static str {
+        "Random"
+    }
+
+    fn select(&self, g: &CsrGraph, x: &Matrix, budget: usize, rng: &mut SeedRng) -> Selection {
+        let n = g.num_nodes();
+        let nodes = rng.sample_without_replacement(n, budget.min(n));
+        let repr = norm::raw_aggregate(g, x, LAYERS);
+        let weights = assign_weights(&repr, &nodes);
+        Selection { nodes, weights }
+    }
+}
+
+/// Degree-proportional sampling with probability `log(D_v+1)/Σ log(D_u+1)`.
+#[derive(Clone, Debug, Default)]
+pub struct DegreeSelector;
+
+impl NodeSelector for DegreeSelector {
+    fn name(&self) -> &'static str {
+        "Degree"
+    }
+
+    fn select(&self, g: &CsrGraph, x: &Matrix, budget: usize, rng: &mut SeedRng) -> Selection {
+        let n = g.num_nodes();
+        let budget = budget.min(n);
+        let mut weights_vec: Vec<f32> =
+            (0..n).map(|v| ((g.degree(v) + 1) as f32).ln().max(1e-6)).collect();
+        let mut nodes = Vec::with_capacity(budget);
+        let mut taken = vec![false; n];
+        while nodes.len() < budget {
+            let v = rng.weighted_index(&weights_vec);
+            if !taken[v] {
+                taken[v] = true;
+                weights_vec[v] = 0.0;
+                nodes.push(v);
+            }
+        }
+        nodes.sort_unstable();
+        let repr = norm::raw_aggregate(g, x, LAYERS);
+        let weights = assign_weights(&repr, &nodes);
+        Selection { nodes, weights }
+    }
+}
+
+/// KMeans into a fixed number of groups, then an even random share per group.
+#[derive(Clone, Debug)]
+pub struct KMeansSelector {
+    /// Number of groups (the paper's baseline uses 10).
+    pub groups: usize,
+}
+
+impl Default for KMeansSelector {
+    fn default() -> Self {
+        Self { groups: 10 }
+    }
+}
+
+impl NodeSelector for KMeansSelector {
+    fn name(&self) -> &'static str {
+        "KMeans"
+    }
+
+    fn select(&self, g: &CsrGraph, x: &Matrix, budget: usize, rng: &mut SeedRng) -> Selection {
+        let n = g.num_nodes();
+        let budget = budget.min(n);
+        let repr = norm::raw_aggregate(g, x, LAYERS);
+        let clustering =
+            crate::kmeans::kmeans(&repr, self.groups.min(n), 20, &mut rng.fork("kmeans"));
+        let k = clustering.num_clusters();
+        let mut nodes = Vec::with_capacity(budget);
+        // Round-robin an even share out of each cluster.
+        let mut shuffled: Vec<Vec<usize>> = clustering
+            .members
+            .iter()
+            .map(|ms| {
+                let mut m = ms.clone();
+                rng.shuffle(&mut m);
+                m
+            })
+            .collect();
+        let mut round = 0usize;
+        while nodes.len() < budget {
+            let mut advanced = false;
+            for members in shuffled.iter_mut().take(k) {
+                if nodes.len() >= budget {
+                    break;
+                }
+                if round < members.len() {
+                    nodes.push(members[round]);
+                    advanced = true;
+                }
+            }
+            if !advanced {
+                break;
+            }
+            round += 1;
+        }
+        nodes.sort_unstable();
+        let weights = assign_weights(&repr, &nodes);
+        Selection { nodes, weights }
+    }
+}
+
+/// K-Center-Greedy (farthest-first traversal) over raw aggregates.
+#[derive(Clone, Debug, Default)]
+pub struct KCenterGreedy;
+
+impl NodeSelector for KCenterGreedy {
+    fn name(&self) -> &'static str {
+        "KCG"
+    }
+
+    fn select(&self, g: &CsrGraph, x: &Matrix, budget: usize, rng: &mut SeedRng) -> Selection {
+        let n = g.num_nodes();
+        let budget = budget.min(n);
+        let repr = norm::raw_aggregate(g, x, LAYERS);
+        if budget == 0 {
+            return Selection { nodes: Vec::new(), weights: Vec::new() };
+        }
+        let first = rng.below(n);
+        let mut nodes = vec![first];
+        let mut min_d2: Vec<f32> = (0..n)
+            .into_par_iter()
+            .map(|v| ops::sq_dist(repr.row(v), repr.row(first)))
+            .collect();
+        while nodes.len() < budget {
+            // Farthest point from the current centre set.
+            let (far, _) = min_d2
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .unwrap();
+            nodes.push(far);
+            min_d2
+                .par_iter_mut()
+                .enumerate()
+                .for_each(|(v, d)| {
+                    let nd = ops::sq_dist(repr.row(v), repr.row(far));
+                    if nd < *d {
+                        *d = nd;
+                    }
+                });
+        }
+        nodes.sort_unstable();
+        let weights = assign_weights(&repr, &nodes);
+        Selection { nodes, weights }
+    }
+}
+
+/// Grain-style diversified influence maximisation (label-free variant): a
+/// node "influences" the nodes within `radius_quantile` of the pairwise
+/// aggregate-distance distribution; greedily maximise new coverage.
+#[derive(Clone, Debug)]
+pub struct GrainSelector {
+    /// Quantile of sampled pairwise distances used as the influence radius.
+    pub radius_quantile: f32,
+}
+
+impl Default for GrainSelector {
+    fn default() -> Self {
+        Self { radius_quantile: 0.1 }
+    }
+}
+
+impl NodeSelector for GrainSelector {
+    fn name(&self) -> &'static str {
+        "Grain"
+    }
+
+    fn select(&self, g: &CsrGraph, x: &Matrix, budget: usize, rng: &mut SeedRng) -> Selection {
+        let n = g.num_nodes();
+        let budget = budget.min(n);
+        let repr = norm::raw_aggregate(g, x, LAYERS);
+        if budget == 0 {
+            return Selection { nodes: Vec::new(), weights: Vec::new() };
+        }
+        // Estimate the influence radius from sampled pairs.
+        let samples = 2000.min(n * (n - 1) / 2).max(1);
+        let mut dists: Vec<f32> = (0..samples)
+            .map(|_| {
+                let a = rng.below(n);
+                let mut b = rng.below(n);
+                if a == b {
+                    b = (b + 1) % n;
+                }
+                ops::dist(repr.row(a), repr.row(b))
+            })
+            .collect();
+        dists.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+        let q = ((samples as f32 * self.radius_quantile) as usize).min(samples - 1);
+        let radius = dists[q].max(1e-6);
+        // Greedy max-coverage; candidate pool capped for big graphs.
+        let pool: Vec<usize> = if n > 4000 {
+            rng.sample_without_replacement(n, 4000)
+        } else {
+            (0..n).collect()
+        };
+        let mut covered = vec![false; n];
+        let mut nodes: Vec<usize> = Vec::with_capacity(budget);
+        let mut in_set = vec![false; n];
+        for _ in 0..budget {
+            let best = pool
+                .par_iter()
+                .filter(|&&v| !in_set[v])
+                .map(|&v| {
+                    let mut cover = 0usize;
+                    for w in 0..n {
+                        if !covered[w] && ops::dist(repr.row(v), repr.row(w)) <= radius {
+                            cover += 1;
+                        }
+                    }
+                    // Tie-break by degree (Grain favours influential nodes).
+                    (v, cover, g.degree(v))
+                })
+                .reduce(
+                    || (usize::MAX, 0, 0),
+                    |a, b| {
+                        if b.0 == usize::MAX {
+                            a
+                        } else if a.0 == usize::MAX
+                            || b.1 > a.1
+                            || (b.1 == a.1 && (b.2 > a.2 || (b.2 == a.2 && b.0 < a.0)))
+                        {
+                            b
+                        } else {
+                            a
+                        }
+                    },
+                );
+            if best.0 == usize::MAX {
+                break;
+            }
+            in_set[best.0] = true;
+            nodes.push(best.0);
+            for w in 0..n {
+                if !covered[w] && ops::dist(repr.row(best.0), repr.row(w)) <= radius {
+                    covered[w] = true;
+                }
+            }
+        }
+        nodes.sort_unstable();
+        let weights = assign_weights(&repr, &nodes);
+        Selection { nodes, weights }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use e2gcl_graph::generators;
+
+    fn graph() -> (CsrGraph, Matrix) {
+        let mut rng = SeedRng::new(0);
+        let labels: Vec<usize> = (0..100).map(|v| v / 50).collect();
+        let g = generators::dc_sbm(&labels, 2, 5.0, 0.9, &vec![1.0; 100], &mut rng);
+        let mut x = Matrix::zeros(100, 3);
+        for v in 0..100 {
+            x.set(v, labels[v], 1.0);
+        }
+        (g, x)
+    }
+
+    fn all_selectors() -> Vec<Box<dyn NodeSelector>> {
+        vec![
+            Box::new(RandomSelector),
+            Box::new(DegreeSelector),
+            Box::new(KMeansSelector::default()),
+            Box::new(KCenterGreedy),
+            Box::new(GrainSelector::default()),
+        ]
+    }
+
+    #[test]
+    fn every_baseline_respects_budget() {
+        let (g, x) = graph();
+        for sel in all_selectors() {
+            let mut rng = SeedRng::new(1);
+            let s = sel.select(&g, &x, 15, &mut rng);
+            s.validate(100, 15)
+                .unwrap_or_else(|e| panic!("{}: {e}", sel.name()));
+            assert_eq!(s.nodes.len(), 15, "{}", sel.name());
+        }
+    }
+
+    #[test]
+    fn every_baseline_handles_full_budget() {
+        let (g, x) = graph();
+        for sel in all_selectors() {
+            let mut rng = SeedRng::new(2);
+            let s = sel.select(&g, &x, 100, &mut rng);
+            assert_eq!(s.nodes.len(), 100, "{}", sel.name());
+        }
+    }
+
+    #[test]
+    fn degree_selector_prefers_hubs() {
+        let mut rng = SeedRng::new(3);
+        // Star-heavy graph: node 0 has huge degree.
+        let mut edges = Vec::new();
+        for v in 1..60 {
+            edges.push((0, v));
+        }
+        edges.push((60, 61));
+        let g = CsrGraph::from_edges(62, &edges);
+        let x = Matrix::filled(62, 2, 1.0);
+        let mut hub_hits = 0;
+        for trial in 0..20 {
+            let mut r = rng.fork(&format!("t{trial}"));
+            let s = DegreeSelector.select(&g, &x, 5, &mut r);
+            if s.nodes.contains(&0) {
+                hub_hits += 1;
+            }
+        }
+        // Uniform sampling would include the hub ~8% of the time (≈1.6/20);
+        // log-degree weighting lifts that to ~37% (≈7.4/20).
+        assert!(hub_hits >= 4, "hub picked only {hub_hits}/20 times");
+    }
+
+    #[test]
+    fn kcg_spreads_across_blobs() {
+        let (g, x) = graph();
+        let s = KCenterGreedy.select(&g, &x, 6, &mut SeedRng::new(4));
+        let zero_blob = s.nodes.iter().filter(|&&v| v < 50).count();
+        assert!((1..=5).contains(&zero_blob), "coverage skewed: {zero_blob}/6");
+    }
+
+    #[test]
+    fn kmeans_selector_draws_from_every_group() {
+        let (g, x) = graph();
+        let s = KMeansSelector { groups: 2 }.select(&g, &x, 10, &mut SeedRng::new(5));
+        let zero_blob = s.nodes.iter().filter(|&&v| v < 50).count();
+        assert!((2..=8).contains(&zero_blob));
+    }
+}

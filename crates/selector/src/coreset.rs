@@ -1,0 +1,316 @@
+//! The Eq. (14) cluster-relaxed representativity objective.
+//!
+//! For a selected set `V_s`, each node `w` in cluster `C_i` is "covered" at
+//! distance
+//!
+//! ```text
+//! d(w, V_s) = min( min_{u ∈ V_s ∩ C_i} ||R[w] − R[u]||,
+//!                  min_{u ∈ V_s \ C_i} ||c_i − R[u]|| + d_i^max )
+//! ```
+//!
+//! and the objective (to minimise) is `Σ_w d(w, V_s)`. The key structural
+//! fact this module exploits: the *cross-cluster* branch depends on `w` only
+//! through its cluster, so the marginal gain of a candidate `u` decomposes
+//! into an exact per-member term over `u`'s own cluster plus one threshold
+//! query per other cluster — which sorted per-cluster coverage tables answer
+//! in `O(log |C_j|)` each.
+
+use crate::kmeans::Clustering;
+use e2gcl_linalg::{ops, Matrix};
+
+/// Incremental evaluator of the Eq. (14) objective.
+#[derive(Clone, Debug)]
+pub struct CoresetObjective<'a> {
+    repr: &'a Matrix,
+    clustering: &'a Clustering,
+    /// Coverage distance of an unrepresented node (finite stand-in for ∞ so
+    /// marginal gains stay well-defined before the first selection).
+    big: f32,
+    /// Current coverage distance per node.
+    best: Vec<f32>,
+    /// Per-cluster sorted copies of `best` + suffix sums, for threshold sums.
+    tables: Vec<CoverageTable>,
+    /// Precomputed `||c_j − R[u]||` for every node `u` and cluster `j`
+    /// (row-major `n x n_c`) — the relaxed branch of Eq. (14) reads this
+    /// once per (candidate, cluster) instead of recomputing a `d`-dim
+    /// distance on every greedy step.
+    center_dist: Vec<f32>,
+    selected: Vec<usize>,
+}
+
+#[derive(Clone, Debug)]
+struct CoverageTable {
+    /// Member coverage distances, ascending.
+    sorted: Vec<f32>,
+    /// `suffix[i] = Σ sorted[i..]`.
+    suffix: Vec<f64>,
+}
+
+impl CoverageTable {
+    fn build(values: impl Iterator<Item = f32>) -> CoverageTable {
+        let mut sorted: Vec<f32> = values.collect();
+        sorted.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut suffix = vec![0.0f64; sorted.len() + 1];
+        for i in (0..sorted.len()).rev() {
+            suffix[i] = suffix[i + 1] + f64::from(sorted[i]);
+        }
+        CoverageTable { sorted, suffix }
+    }
+
+    /// `Σ_w max(0, best_w − t)` over this cluster's members.
+    fn gain_at(&self, t: f32) -> f64 {
+        // First index with sorted[i] > t.
+        let idx = self.sorted.partition_point(|&v| v <= t);
+        let count = (self.sorted.len() - idx) as f64;
+        self.suffix[idx] - f64::from(t) * count
+    }
+}
+
+impl<'a> CoresetObjective<'a> {
+    /// Builds the evaluator over raw aggregates `repr` and a clustering.
+    pub fn new(repr: &'a Matrix, clustering: &'a Clustering) -> Self {
+        let k = clustering.num_clusters();
+        // Upper bound on any Eq. (14) distance: max centre separation plus
+        // twice the largest radius.
+        let mut max_center_sep = 0.0f32;
+        for i in 0..k {
+            for j in (i + 1)..k {
+                let d = ops::dist(clustering.centers.row(i), clustering.centers.row(j));
+                max_center_sep = max_center_sep.max(d);
+            }
+        }
+        let max_radius = clustering.d_max.iter().cloned().fold(0.0f32, f32::max);
+        let big = max_center_sep + 2.0 * max_radius + 1.0;
+        let best = vec![big; repr.rows()];
+        let tables = Self::build_tables(clustering, &best);
+        let n = repr.rows();
+        let mut center_dist = vec![0.0f32; n * k];
+        {
+            use rayon::prelude::*;
+            center_dist
+                .par_chunks_mut(k)
+                .enumerate()
+                .for_each(|(u, row)| {
+                    for (j, slot) in row.iter_mut().enumerate() {
+                        *slot = ops::dist(clustering.centers.row(j), repr.row(u));
+                    }
+                });
+        }
+        Self { repr, clustering, big, best, tables, center_dist, selected: Vec::new() }
+    }
+
+    /// Precomputed `||c_j − R[u]||`.
+    #[inline]
+    fn dist_to_center(&self, u: usize, j: usize) -> f32 {
+        self.center_dist[u * self.clustering.num_clusters() + j]
+    }
+
+    fn build_tables(clustering: &Clustering, best: &[f32]) -> Vec<CoverageTable> {
+        use rayon::prelude::*;
+        if clustering.labels.len() >= 4096 {
+            clustering
+                .members
+                .par_iter()
+                .map(|ms| CoverageTable::build(ms.iter().map(|&w| best[w])))
+                .collect()
+        } else {
+            clustering
+                .members
+                .iter()
+                .map(|ms| CoverageTable::build(ms.iter().map(|&w| best[w])))
+                .collect()
+        }
+    }
+
+    /// Currently selected nodes.
+    pub fn selected(&self) -> &[usize] {
+        &self.selected
+    }
+
+    /// Current objective value `RS(V_s) = Σ_w best_w`.
+    pub fn objective(&self) -> f64 {
+        self.best.iter().map(|&b| f64::from(b)).sum()
+    }
+
+    /// The "unrepresented" stand-in distance used before any selection.
+    pub fn big(&self) -> f32 {
+        self.big
+    }
+
+    /// Eq. (14) coverage distance a candidate `u` offers to node `w`:
+    /// exact within `u`'s cluster, centre-relaxed across clusters.
+    pub fn candidate_distance(&self, u: usize, w: usize) -> f32 {
+        let cu = self.clustering.labels[u];
+        let cw = self.clustering.labels[w];
+        if cu == cw {
+            ops::dist(self.repr.row(w), self.repr.row(u))
+        } else {
+            self.dist_to_center(u, cw) + self.clustering.d_max[cw]
+        }
+    }
+
+    /// Marginal gain `ΔRS(u | V_s) = RS(V_s) − RS(V_s ∪ {u}) ≥ 0`.
+    pub fn gain(&self, u: usize) -> f64 {
+        let cu = self.clustering.labels[u];
+        let mut gain = 0.0f64;
+        // Exact branch over u's own cluster.
+        for &w in &self.clustering.members[cu] {
+            let d = ops::dist(self.repr.row(w), self.repr.row(u));
+            if d < self.best[w] {
+                gain += f64::from(self.best[w] - d);
+            }
+        }
+        // Relaxed branch for every other cluster.
+        for j in 0..self.clustering.num_clusters() {
+            if j == cu {
+                continue;
+            }
+            let t = self.dist_to_center(u, j) + self.clustering.d_max[j];
+            gain += self.tables[j].gain_at(t);
+        }
+        gain
+    }
+
+    /// Adds `u` to the selection, updating coverage distances.
+    pub fn add(&mut self, u: usize) {
+        self.selected.push(u);
+        let cu = self.clustering.labels[u];
+        for &w in &self.clustering.members[cu] {
+            let d = ops::dist(self.repr.row(w), self.repr.row(u));
+            if d < self.best[w] {
+                self.best[w] = d;
+            }
+        }
+        for j in 0..self.clustering.num_clusters() {
+            if j == cu {
+                continue;
+            }
+            let t = self.dist_to_center(u, j) + self.clustering.d_max[j];
+            for &w in &self.clustering.members[j] {
+                if t < self.best[w] {
+                    self.best[w] = t;
+                }
+            }
+        }
+        self.tables = Self::build_tables(self.clustering, &self.best);
+    }
+}
+
+/// The exact (unrelaxed) Eq. (12) k-medoid objective — brute force, used by
+/// the relaxation-quality ablation and tests.
+pub fn exact_kmedoid_objective(repr: &Matrix, selected: &[usize]) -> f64 {
+    if selected.is_empty() {
+        return f64::INFINITY;
+    }
+    (0..repr.rows())
+        .map(|v| {
+            selected
+                .iter()
+                .map(|&u| f64::from(ops::dist(repr.row(v), repr.row(u))))
+                .fold(f64::INFINITY, f64::min)
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kmeans::kmeans;
+    use e2gcl_linalg::SeedRng;
+
+    fn two_blobs() -> Matrix {
+        let mut rng = SeedRng::new(0);
+        let mut x = Matrix::zeros(40, 2);
+        for v in 0..40 {
+            let c = if v < 20 { 0.0 } else { 8.0 };
+            x.set(v, 0, c + 0.3 * rng.normal());
+            x.set(v, 1, c + 0.3 * rng.normal());
+        }
+        x
+    }
+
+    #[test]
+    fn gain_matches_add_delta() {
+        let x = two_blobs();
+        let clustering = kmeans(&x, 2, 30, &mut SeedRng::new(1));
+        let mut obj = CoresetObjective::new(&x, &clustering);
+        for &u in &[3usize, 25, 10] {
+            let before = obj.objective();
+            let g = obj.gain(u);
+            obj.add(u);
+            let after = obj.objective();
+            assert!(
+                (before - after - g).abs() < 1e-3 * (1.0 + g.abs()),
+                "gain {g} vs delta {}",
+                before - after
+            );
+        }
+    }
+
+    #[test]
+    fn gains_are_nonnegative_and_monotone_decreasing() {
+        let x = two_blobs();
+        let clustering = kmeans(&x, 2, 30, &mut SeedRng::new(2));
+        let mut obj = CoresetObjective::new(&x, &clustering);
+        let g_before = obj.gain(7);
+        obj.add(5);
+        let g_after = obj.gain(7);
+        assert!(g_before >= 0.0 && g_after >= 0.0);
+        // Submodularity: adding an element can only shrink later gains.
+        assert!(g_after <= g_before + 1e-6);
+    }
+
+    #[test]
+    fn covering_both_blobs_beats_one_blob() {
+        let x = two_blobs();
+        let clustering = kmeans(&x, 2, 30, &mut SeedRng::new(3));
+        let mut both = CoresetObjective::new(&x, &clustering);
+        both.add(0);
+        both.add(30);
+        let mut one = CoresetObjective::new(&x, &clustering);
+        one.add(0);
+        one.add(1);
+        assert!(both.objective() < one.objective());
+    }
+
+    #[test]
+    fn objective_upper_bounds_exact_kmedoid() {
+        // Eq. (13): the relaxed objective is an upper bound of Eq. (12).
+        let x = two_blobs();
+        let clustering = kmeans(&x, 2, 30, &mut SeedRng::new(4));
+        let mut obj = CoresetObjective::new(&x, &clustering);
+        obj.add(2);
+        obj.add(31);
+        let exact = exact_kmedoid_objective(&x, obj.selected());
+        assert!(obj.objective() >= exact - 1e-3);
+    }
+
+    #[test]
+    fn coverage_table_threshold_sums() {
+        let t = CoverageTable::build([1.0, 3.0, 5.0].into_iter());
+        assert!((t.gain_at(0.0) - 9.0).abs() < 1e-6);
+        assert!((t.gain_at(2.0) - (1.0 + 3.0)).abs() < 1e-6); // (3-2)+(5-2)
+        assert!((t.gain_at(10.0) - 0.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn candidate_distance_exact_in_cluster_relaxed_across() {
+        let x = two_blobs();
+        let clustering = kmeans(&x, 2, 30, &mut SeedRng::new(5));
+        let obj = CoresetObjective::new(&x, &clustering);
+        // Same-cluster pair: exact Euclidean distance on R.
+        let (u, w) = (0usize, 1usize);
+        assert_eq!(clustering.labels[u], clustering.labels[w]);
+        assert!((obj.candidate_distance(u, w) - ops::dist(x.row(w), x.row(u))).abs() < 1e-6);
+        // Cross-cluster pair: centre distance + d_max, an upper bound.
+        let v_other = (0..40).find(|&v| clustering.labels[v] != clustering.labels[u]).unwrap();
+        let relaxed = obj.candidate_distance(u, v_other);
+        assert!(relaxed >= ops::dist(x.row(v_other), x.row(u)) - 1e-4);
+    }
+
+    #[test]
+    fn exact_objective_empty_is_infinite() {
+        let x = two_blobs();
+        assert!(exact_kmedoid_objective(&x, &[]).is_infinite());
+    }
+}

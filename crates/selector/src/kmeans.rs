@@ -1,0 +1,222 @@
+//! KMeans++ / Lloyd clustering over raw aggregates.
+
+use e2gcl_linalg::{ops, Matrix, SeedRng};
+use rayon::prelude::*;
+
+/// Result of a KMeans run.
+#[derive(Clone, Debug)]
+pub struct Clustering {
+    /// Cluster label per node.
+    pub labels: Vec<usize>,
+    /// Cluster centres (`k x d`).
+    pub centers: Matrix,
+    /// Per-cluster maximum member-to-centre distance (`d_i^max` of Eq. 13).
+    pub d_max: Vec<f32>,
+    /// Per-cluster member lists.
+    pub members: Vec<Vec<usize>>,
+}
+
+impl Clustering {
+    /// Number of clusters.
+    pub fn num_clusters(&self) -> usize {
+        self.centers.rows()
+    }
+
+    /// Total within-cluster squared distance (the Lloyd objective).
+    pub fn cost(&self, x: &Matrix) -> f64 {
+        self.labels
+            .iter()
+            .enumerate()
+            .map(|(v, &c)| f64::from(ops::sq_dist(x.row(v), self.centers.row(c))))
+            .sum()
+    }
+}
+
+/// KMeans++ seeding followed by Lloyd iterations.
+///
+/// `k` is clamped to the number of rows. Empty clusters are re-seeded from
+/// the farthest point, so all `k` clusters stay inhabited.
+pub fn kmeans(x: &Matrix, k: usize, iters: usize, rng: &mut SeedRng) -> Clustering {
+    let n = x.rows();
+    assert!(n > 0, "kmeans on empty input");
+    let k = k.clamp(1, n);
+    let mut centers = plus_plus_init(x, k, rng);
+    let mut labels = vec![0usize; n];
+    for _ in 0..iters {
+        // Assignment step as one dense matmul:
+        // argmin_c ||x_v - c||^2 = argmin_c (||c||^2 - 2 x_v · c).
+        let cross = x.matmul_transpose(&centers);
+        let c_sq: Vec<f32> = (0..k)
+            .map(|c| ops::dot(centers.row(c), centers.row(c)))
+            .collect();
+        let new_labels: Vec<usize> = (0..n)
+            .into_par_iter()
+            .map(|v| {
+                let row = cross.row(v);
+                let mut best = (0usize, f32::INFINITY);
+                for (c, (&cr, &sq)) in row.iter().zip(&c_sq).enumerate() {
+                    let d = sq - 2.0 * cr;
+                    if d < best.1 {
+                        best = (c, d);
+                    }
+                }
+                best.0
+            })
+            .collect();
+        let changed = new_labels != labels;
+        labels = new_labels;
+        // Update step.
+        let mut sums = Matrix::zeros(k, x.cols());
+        let mut counts = vec![0usize; k];
+        for (v, &c) in labels.iter().enumerate() {
+            ops::axpy_slice(sums.row_mut(c), 1.0, x.row(v));
+            counts[c] += 1;
+        }
+        for c in 0..k {
+            if counts[c] == 0 {
+                // Re-seed an empty cluster from the globally farthest point.
+                let far = (0..n)
+                    .max_by(|&a, &b| {
+                        let da = nearest_center(x.row(a), &centers).1;
+                        let db = nearest_center(x.row(b), &centers).1;
+                        da.partial_cmp(&db).unwrap()
+                    })
+                    .unwrap();
+                centers.set_row(c, x.row(far));
+            } else {
+                let inv = 1.0 / counts[c] as f32;
+                let mut row = sums.row(c).to_vec();
+                for v in &mut row {
+                    *v *= inv;
+                }
+                centers.set_row(c, &row);
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    finalize(x, labels, centers)
+}
+
+fn finalize(x: &Matrix, labels: Vec<usize>, centers: Matrix) -> Clustering {
+    let k = centers.rows();
+    let mut d_max = vec![0.0f32; k];
+    let mut members = vec![Vec::new(); k];
+    for (v, &c) in labels.iter().enumerate() {
+        let d = ops::dist(x.row(v), centers.row(c));
+        if d > d_max[c] {
+            d_max[c] = d;
+        }
+        members[c].push(v);
+    }
+    Clustering { labels, centers, d_max, members }
+}
+
+/// `(index, squared distance)` of the nearest centre.
+fn nearest_center(row: &[f32], centers: &Matrix) -> (usize, f32) {
+    let mut best = (0usize, f32::INFINITY);
+    for c in 0..centers.rows() {
+        let d = ops::sq_dist(row, centers.row(c));
+        if d < best.1 {
+            best = (c, d);
+        }
+    }
+    best
+}
+
+/// KMeans++ seeding: first centre uniform, later centres ∝ D².
+fn plus_plus_init(x: &Matrix, k: usize, rng: &mut SeedRng) -> Matrix {
+    let n = x.rows();
+    let mut centers = Matrix::zeros(k, x.cols());
+    let first = rng.below(n);
+    centers.set_row(0, x.row(first));
+    let mut d2: Vec<f32> = (0..n)
+        .map(|v| ops::sq_dist(x.row(v), centers.row(0)))
+        .collect();
+    for c in 1..k {
+        let pick = rng.weighted_index(&d2);
+        centers.set_row(c, x.row(pick));
+        for v in 0..n {
+            let d = ops::sq_dist(x.row(v), centers.row(c));
+            if d < d2[v] {
+                d2[v] = d;
+            }
+        }
+    }
+    centers
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs(per: usize, seed: u64) -> (Matrix, Vec<usize>) {
+        let mut rng = SeedRng::new(seed);
+        let centers = [[0.0f32, 0.0], [10.0, 0.0], [0.0, 10.0]];
+        let mut x = Matrix::zeros(per * 3, 2);
+        let mut truth = Vec::new();
+        for b in 0..3 {
+            for i in 0..per {
+                let v = b * per + i;
+                x.set(v, 0, centers[b][0] + 0.5 * rng.normal());
+                x.set(v, 1, centers[b][1] + 0.5 * rng.normal());
+                truth.push(b);
+            }
+        }
+        (x, truth)
+    }
+
+    #[test]
+    fn kmeans_recovers_blobs() {
+        let (x, truth) = blobs(30, 0);
+        let mut rng = SeedRng::new(1);
+        let c = kmeans(&x, 3, 50, &mut rng);
+        // Every true blob should map to exactly one cluster label.
+        for b in 0..3 {
+            let lbls: std::collections::HashSet<_> = (0..90)
+                .filter(|&v| truth[v] == b)
+                .map(|v| c.labels[v])
+                .collect();
+            assert_eq!(lbls.len(), 1, "blob {b} split across clusters");
+        }
+    }
+
+    #[test]
+    fn cost_decreases_with_more_clusters() {
+        let (x, _) = blobs(20, 2);
+        let c1 = kmeans(&x, 1, 30, &mut SeedRng::new(3));
+        let c3 = kmeans(&x, 3, 30, &mut SeedRng::new(3));
+        assert!(c3.cost(&x) < c1.cost(&x) * 0.2);
+    }
+
+    #[test]
+    fn k_clamped_to_n() {
+        let x = Matrix::from_rows(&[&[0.0], &[1.0]]);
+        let c = kmeans(&x, 10, 5, &mut SeedRng::new(4));
+        assert_eq!(c.num_clusters(), 2);
+    }
+
+    #[test]
+    fn d_max_bounds_members() {
+        let (x, _) = blobs(25, 5);
+        let c = kmeans(&x, 3, 30, &mut SeedRng::new(6));
+        for (v, &lbl) in c.labels.iter().enumerate() {
+            let d = ops::dist(x.row(v), c.centers.row(lbl));
+            assert!(d <= c.d_max[lbl] + 1e-5);
+        }
+    }
+
+    #[test]
+    fn members_partition_nodes() {
+        let (x, _) = blobs(10, 7);
+        let c = kmeans(&x, 3, 20, &mut SeedRng::new(8));
+        let total: usize = c.members.iter().map(|m| m.len()).sum();
+        assert_eq!(total, 30);
+        for (ci, ms) in c.members.iter().enumerate() {
+            for &v in ms {
+                assert_eq!(c.labels[v], ci);
+            }
+        }
+    }
+}

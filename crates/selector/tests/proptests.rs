@@ -1,0 +1,98 @@
+//! Property-based tests of the coreset objective and selectors.
+
+use e2gcl_linalg::{Matrix, SeedRng};
+use e2gcl_selector::coreset::{exact_kmedoid_objective, CoresetObjective};
+use e2gcl_selector::greedy::{GreedyConfig, GreedySelector};
+use e2gcl_selector::kmeans::kmeans;
+use proptest::prelude::*;
+
+const N: usize = 24;
+const D: usize = 3;
+
+fn points() -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-5.0f32..5.0, N * D)
+        .prop_map(|data| Matrix::from_vec(N, D, data))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// KMeans labels are in range, partition the nodes, and d_max bounds
+    /// every member's distance — for arbitrary point clouds.
+    #[test]
+    fn kmeans_invariants(x in points(), k in 1usize..6, seed in any::<u64>()) {
+        let c = kmeans(&x, k, 12, &mut SeedRng::new(seed));
+        prop_assert_eq!(c.labels.len(), N);
+        let total: usize = c.members.iter().map(|m| m.len()).sum();
+        prop_assert_eq!(total, N);
+        for (v, &lbl) in c.labels.iter().enumerate() {
+            prop_assert!(lbl < c.num_clusters());
+            let d = e2gcl_linalg::ops::dist(x.row(v), c.centers.row(lbl));
+            prop_assert!(d <= c.d_max[lbl] + 1e-4);
+        }
+    }
+
+    /// The Eq. (14) incremental gain always equals the actual objective
+    /// decrease, and the objective is monotone non-increasing.
+    #[test]
+    fn gain_equals_delta(x in points(), picks in prop::collection::vec(0usize..N, 1..8), seed in any::<u64>()) {
+        let clustering = kmeans(&x, 4, 12, &mut SeedRng::new(seed));
+        let mut obj = CoresetObjective::new(&x, &clustering);
+        let mut prev = obj.objective();
+        for &p in &picks {
+            let g = obj.gain(p);
+            prop_assert!(g >= -1e-6, "negative gain {g}");
+            obj.add(p);
+            let cur = obj.objective();
+            prop_assert!(
+                (prev - cur - g).abs() < 1e-3 * (1.0 + g.abs()),
+                "gain {g} vs delta {}",
+                prev - cur
+            );
+            prop_assert!(cur <= prev + 1e-6);
+            prev = cur;
+        }
+    }
+
+    /// Submodularity: a candidate's gain never increases as the selection
+    /// grows.
+    #[test]
+    fn gains_are_submodular(x in points(), adds in prop::collection::vec(0usize..N, 1..6), probe in 0usize..N) {
+        let clustering = kmeans(&x, 4, 12, &mut SeedRng::new(0));
+        let mut obj = CoresetObjective::new(&x, &clustering);
+        let mut prev_gain = obj.gain(probe);
+        for &a in &adds {
+            obj.add(a);
+            let g = obj.gain(probe);
+            prop_assert!(g <= prev_gain + 1e-4, "gain rose from {prev_gain} to {g}");
+            prev_gain = g;
+        }
+    }
+
+    /// The relaxed objective upper-bounds the exact Eq. (12) objective
+    /// (Eq. (13) in the paper).
+    #[test]
+    fn relaxation_is_upper_bound(x in points(), picks in prop::collection::vec(0usize..N, 1..6)) {
+        let clustering = kmeans(&x, 4, 12, &mut SeedRng::new(1));
+        let mut obj = CoresetObjective::new(&x, &clustering);
+        for &p in &picks {
+            obj.add(p);
+        }
+        let exact = exact_kmedoid_objective(&x, obj.selected());
+        prop_assert!(obj.objective() >= exact - 1e-3);
+    }
+
+    /// The greedy selector returns valid selections for any budget and its
+    /// coverage is at least as good as the worst single node.
+    #[test]
+    fn greedy_valid_for_any_budget(x in points(), budget in 0usize..N, seed in any::<u64>()) {
+        let sel = GreedySelector::new(GreedyConfig {
+            num_clusters: 4,
+            sample_size: 8,
+            ..Default::default()
+        });
+        let s = sel.select_from_aggregate(&x, budget, &mut SeedRng::new(seed));
+        prop_assert!(s.validate(N, budget).is_ok(), "{:?}", s.validate(N, budget));
+        prop_assert_eq!(s.nodes.len(), budget.min(N));
+    }
+}

@@ -1,0 +1,126 @@
+//! Empirical validation of Theorem 1.
+//!
+//! Under the relaxed (linear) GCN `H = A_n^L X θ` and the loss
+//! `l(θ, ĥ_v, h̃_v) = ||ĥ_v − h̃_v||²`, the paper proves
+//!
+//! ```text
+//! ||∇_θ l_v − ∇_θ l_u|| ≤ c·||r_v − r_u|| + 4εc,   c = 8ε·||θ||
+//! ```
+//!
+//! whenever each view's raw aggregate stays within ε of the original
+//! (`||r_v − r̂_v|| ≤ ε`). The gradient has the closed form
+//! `∇_θ l_v = 2(r̂_v − r̃_v)ᵀ(r̂_v − r̃_v)θ` (the paper works with the
+//! un-doubled convention; the inequality is scale-consistent either way).
+//! These tests draw random aggregates and ε-perturbations and check the
+//! bound numerically — the foundation the whole §III coreset argument
+//! rests on.
+
+use e2gcl_linalg::{ops, Matrix, SeedRng};
+use proptest::prelude::*;
+
+const D: usize = 6;
+const K: usize = 3;
+
+/// ∇_θ ||r̂ θ − r̃ θ||² = (r̂ − r̃)ᵀ(r̂ − r̃) θ (paper's convention).
+fn grad(r_hat: &[f32], r_tilde: &[f32], theta: &Matrix) -> Matrix {
+    let diff: Vec<f32> = r_hat.iter().zip(r_tilde).map(|(a, b)| a - b).collect();
+    // Outer product (d x d) times θ (d x k) without materialising d x d:
+    // G = diff ⊗ (diffᵀ θ).
+    let mut proj = vec![0.0f32; K];
+    for (row, &dv) in (0..D).zip(&diff) {
+        for (p, &t) in proj.iter_mut().zip(theta.row(row)) {
+            *p += dv * t;
+        }
+    }
+    let mut g = Matrix::zeros(D, K);
+    for (row, &dv) in (0..D).zip(&diff) {
+        for (cell, &p) in g.row_mut(row).iter_mut().zip(&proj) {
+            *cell = dv * p;
+        }
+    }
+    g
+}
+
+/// Draws a vector within L2 distance ε of `base`.
+fn perturb_within(base: &[f32], eps: f32, rng: &mut SeedRng) -> Vec<f32> {
+    let mut noise: Vec<f32> = (0..base.len()).map(|_| rng.normal()).collect();
+    let norm = ops::norm(&noise).max(1e-9);
+    let scale = rng.uniform() * eps / norm;
+    noise
+        .iter()
+        .zip(base)
+        .map(|(n, b)| b + n * scale)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The Theorem-1 inequality holds for arbitrary aggregates, parameters
+    /// and ε-bounded views.
+    #[test]
+    fn gradient_difference_bound_holds(seed in any::<u64>(), eps in 0.01f32..1.0) {
+        let mut rng = SeedRng::new(seed);
+        let r_v: Vec<f32> = (0..D).map(|_| 3.0 * rng.normal()).collect();
+        let r_u: Vec<f32> = (0..D).map(|_| 3.0 * rng.normal()).collect();
+        let mut theta = Matrix::zeros(D, K);
+        for t in theta.as_mut_slice() {
+            *t = rng.normal();
+        }
+        let rv_hat = perturb_within(&r_v, eps, &mut rng);
+        let rv_tilde = perturb_within(&r_v, eps, &mut rng);
+        let ru_hat = perturb_within(&r_u, eps, &mut rng);
+        let ru_tilde = perturb_within(&r_u, eps, &mut rng);
+        let gv = grad(&rv_hat, &rv_tilde, &theta);
+        let gu = grad(&ru_hat, &ru_tilde, &theta);
+        let mut diff = gv.clone();
+        diff.sub_assign(&gu);
+        let lhs = diff.frobenius_norm();
+        let c = 8.0 * eps * theta.frobenius_norm();
+        let rhs = c * ops::dist(&r_v, &r_u) + 4.0 * eps * c;
+        prop_assert!(
+            lhs <= rhs * (1.0 + 1e-4) + 1e-6,
+            "Theorem 1 violated: {lhs} > {rhs} (eps {eps})"
+        );
+    }
+
+    /// Corollary used by Eq. (12): nodes with identical aggregates have
+    /// gradient difference at most 4εc — the budget-independent floor.
+    #[test]
+    fn identical_aggregates_floor(seed in any::<u64>(), eps in 0.01f32..0.5) {
+        let mut rng = SeedRng::new(seed);
+        let r: Vec<f32> = (0..D).map(|_| rng.normal()).collect();
+        let mut theta = Matrix::zeros(D, K);
+        for t in theta.as_mut_slice() {
+            *t = rng.normal();
+        }
+        let gv = grad(
+            &perturb_within(&r, eps, &mut rng),
+            &perturb_within(&r, eps, &mut rng),
+            &theta,
+        );
+        let gu = grad(
+            &perturb_within(&r, eps, &mut rng),
+            &perturb_within(&r, eps, &mut rng),
+            &theta,
+        );
+        let mut diff = gv.clone();
+        diff.sub_assign(&gu);
+        let c = 8.0 * eps * theta.frobenius_norm();
+        prop_assert!(diff.frobenius_norm() <= 4.0 * eps * c * (1.0 + 1e-4) + 1e-6);
+    }
+}
+
+/// Deterministic spot check: zero perturbation means zero gradients — the
+/// loss is identically zero at ε = 0.
+#[test]
+fn zero_epsilon_zero_gradient() {
+    let mut rng = SeedRng::new(0);
+    let r: Vec<f32> = (0..D).map(|_| rng.normal()).collect();
+    let mut theta = Matrix::zeros(D, K);
+    for t in theta.as_mut_slice() {
+        *t = rng.normal();
+    }
+    let g = grad(&r, &r, &theta);
+    assert!(g.frobenius_norm() < 1e-12);
+}

@@ -1,0 +1,103 @@
+//! Empirical validation of Theorem 3: the (sampling-based) greedy achieves
+//! a `1 − 1/e − ε` approximation of the optimal Eq. (14) coverage gain.
+//!
+//! The objective is a minimisation; the guarantee lives on its coverage
+//! form `f(S) = RS(∅) − RS(S)`, which is monotone submodular (the proptests
+//! in `proptests.rs` check submodularity directly). Here we brute-force the
+//! optimal `f` on small instances and check the ratio — with exhaustive
+//! candidate evaluation (`ε = 0`) and with the paper's sampling.
+
+use e2gcl_linalg::{Matrix, SeedRng};
+use e2gcl_selector::coreset::CoresetObjective;
+use e2gcl_selector::kmeans::kmeans;
+
+const N: usize = 14;
+const K: usize = 3;
+
+fn random_points(seed: u64) -> Matrix {
+    let mut rng = SeedRng::new(seed);
+    let mut x = Matrix::zeros(N, 2);
+    for v in x.as_mut_slice() {
+        *v = 4.0 * rng.normal();
+    }
+    x
+}
+
+/// Coverage gain of a fixed selection.
+fn coverage(x: &Matrix, clustering: &e2gcl_selector::kmeans::Clustering, sel: &[usize]) -> f64 {
+    let mut obj = CoresetObjective::new(x, clustering);
+    let empty = obj.objective();
+    for &v in sel {
+        obj.add(v);
+    }
+    empty - obj.objective()
+}
+
+/// Brute-force optimal coverage over all `C(N, K)` subsets.
+fn optimal_coverage(x: &Matrix, clustering: &e2gcl_selector::kmeans::Clustering) -> f64 {
+    let mut best = 0.0f64;
+    for a in 0..N {
+        for b in (a + 1)..N {
+            for c in (b + 1)..N {
+                best = best.max(coverage(x, clustering, &[a, b, c]));
+            }
+        }
+    }
+    best
+}
+
+/// Exhaustive-candidate greedy coverage (ε = 0).
+fn greedy_coverage(x: &Matrix, clustering: &e2gcl_selector::kmeans::Clustering) -> f64 {
+    let mut obj = CoresetObjective::new(x, clustering);
+    let empty = obj.objective();
+    for _ in 0..K {
+        let best = (0..N)
+            .filter(|v| !obj.selected().contains(v))
+            .max_by(|&a, &b| obj.gain(a).partial_cmp(&obj.gain(b)).unwrap())
+            .unwrap();
+        obj.add(best);
+    }
+    empty - obj.objective()
+}
+
+#[test]
+fn exhaustive_greedy_meets_one_minus_inv_e() {
+    for seed in 0..8u64 {
+        let x = random_points(seed);
+        let clustering = kmeans(&x, 4, 20, &mut SeedRng::new(seed ^ 99));
+        let opt = optimal_coverage(&x, &clustering);
+        let greedy = greedy_coverage(&x, &clustering);
+        let floor = (1.0 - 1.0 / std::f64::consts::E) * opt;
+        assert!(
+            greedy >= floor - 1e-6,
+            "seed {seed}: greedy {greedy} below (1-1/e)·opt {floor}"
+        );
+    }
+}
+
+#[test]
+fn sampled_greedy_stays_near_the_guarantee() {
+    // With n_s < n, Theorem 3 trades ε of the ratio for speed; check that
+    // even an aggressive n_s = 5 keeps the *average* ratio comfortably
+    // above 1 − 1/e − ε for a generous ε = 0.25.
+    let mut total_ratio = 0.0f64;
+    let trials = 10u64;
+    for seed in 0..trials {
+        let x = random_points(1000 + seed);
+        let clustering = kmeans(&x, 4, 20, &mut SeedRng::new(seed));
+        let opt = optimal_coverage(&x, &clustering);
+        let sel = e2gcl_selector::greedy::GreedySelector::new(
+            e2gcl_selector::greedy::GreedyConfig {
+                num_clusters: 4,
+                sample_size: 5,
+                ..Default::default()
+            },
+        )
+        .select_from_aggregate(&x, K, &mut SeedRng::new(seed ^ 7));
+        let got = coverage(&x, &clustering, &sel.nodes);
+        total_ratio += got / opt.max(1e-12);
+    }
+    let avg = total_ratio / trials as f64;
+    let floor = 1.0 - 1.0 / std::f64::consts::E - 0.25;
+    assert!(avg >= floor, "average ratio {avg} below {floor}");
+}

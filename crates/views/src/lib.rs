@@ -1,0 +1,25 @@
+//! The E²GCL locality-preserving view generator (paper §IV).
+//!
+//! * [`ops`] — the full graph-augmentation operation library (edge
+//!   deletion/addition, feature masking/perturbation/dropping, node
+//!   dropping/addition, subgraph sampling) and the constructive Prop. 1
+//!   reduction of every operation to the three *general* operations;
+//! * [`scores`] — the §IV-C edge score `w^e` (centrality + similarity) and
+//!   feature score `w^f` (frequency × centrality), plus the Eq. (16)
+//!   perturbation probabilities;
+//! * [`sampler`] — Algorithm 3: edge-aware and feature-aware sampling of
+//!   positive views, both the literal per-node ego form and the batched
+//!   full-graph form used for training;
+//! * [`uniform`] — uniform augmentations (the `E²GCL\F\S` ablations and the
+//!   GRACE/GCA-style corruption used by the baselines);
+//! * [`objective`] — the Eq. (15) view-generation objective, used to verify
+//!   that score-aware sampling preserves locality better than uniform.
+
+pub mod objective;
+pub mod ops;
+pub mod sampler;
+pub mod scores;
+pub mod uniform;
+
+pub use sampler::{ViewConfig, ViewGenerator};
+pub use scores::GraphScores;

@@ -1,0 +1,202 @@
+//! The Eq. (15) view-generation objective.
+//!
+//! `l_vg(G, v) = ||ĥ_v − h_v||₂ + ||h̃_v − h_v||₂ − ||r̂_v − r̃_v||₂`
+//!
+//! The first two terms measure how much locality the views lose (smaller is
+//! better); the last rewards diversity of the raw aggregates. The generator
+//! can't optimise this directly (Theorem 4: NP-hard), but the bench harness
+//! and tests use it to confirm that score-aware sampling dominates uniform
+//! sampling — the mechanism behind Table VIII.
+
+use e2gcl_graph::{norm, CsrGraph};
+use e2gcl_linalg::{ops, Matrix};
+
+/// One full-graph view: structure + features.
+pub type View = (CsrGraph, Matrix);
+
+/// Evaluates the mean Eq. (15) objective over `nodes`, given an encoder
+/// `embed` (any map from a graph view to per-node embeddings) and the GCN
+/// depth `layers` used for the raw-aggregate diversity term.
+pub fn view_generation_objective(
+    original: &View,
+    view_a: &View,
+    view_b: &View,
+    nodes: &[usize],
+    layers: usize,
+    mut embed: impl FnMut(&CsrGraph, &Matrix) -> Matrix,
+) -> f64 {
+    let h = embed(&original.0, &original.1);
+    let ha = embed(&view_a.0, &view_a.1);
+    let hb = embed(&view_b.0, &view_b.1);
+    let ra = norm::raw_aggregate(&view_a.0, &view_a.1, layers);
+    let rb = norm::raw_aggregate(&view_b.0, &view_b.1, layers);
+    let mut total = 0.0f64;
+    for &v in nodes {
+        let locality = ops::dist(ha.row(v), h.row(v)) + ops::dist(hb.row(v), h.row(v));
+        let diversity = ops::dist(ra.row(v), rb.row(v));
+        total += f64::from(locality - diversity);
+    }
+    total / nodes.len().max(1) as f64
+}
+
+/// Just the locality half of Eq. (15) (used to isolate the effect in
+/// ablations).
+pub fn locality_term(
+    original: &View,
+    view: &View,
+    nodes: &[usize],
+    mut embed: impl FnMut(&CsrGraph, &Matrix) -> Matrix,
+) -> f64 {
+    let h = embed(&original.0, &original.1);
+    let hv = embed(&view.0, &view.1);
+    nodes
+        .iter()
+        .map(|&v| f64::from(ops::dist(hv.row(v), h.row(v))))
+        .sum::<f64>()
+        / nodes.len().max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use e2gcl_graph::generators;
+    use e2gcl_linalg::SeedRng;
+
+    fn raw_embed(layers: usize) -> impl FnMut(&CsrGraph, &Matrix) -> Matrix {
+        move |g, x| norm::raw_aggregate(g, x, layers)
+    }
+
+    fn setup() -> (CsrGraph, Matrix) {
+        let mut rng = SeedRng::new(0);
+        let labels: Vec<usize> = (0..60).map(|v| v / 30).collect();
+        let g = generators::dc_sbm(&labels, 2, 5.0, 0.9, &vec![1.0; 60], &mut rng);
+        let mut x = Matrix::zeros(60, 4);
+        for v in 0..60 {
+            x.set(v, labels[v], 1.0);
+        }
+        (g, x)
+    }
+
+    #[test]
+    fn identical_views_zero_locality_zero_diversity() {
+        let (g, x) = setup();
+        let orig = (g.clone(), x.clone());
+        let nodes: Vec<usize> = (0..20).collect();
+        let obj = view_generation_objective(
+            &orig,
+            &orig.clone(),
+            &orig.clone(),
+            &nodes,
+            2,
+            raw_embed(2),
+        );
+        assert!(obj.abs() < 1e-6);
+    }
+
+    #[test]
+    fn heavier_corruption_raises_locality_term() {
+        let (g, x) = setup();
+        let orig = (g.clone(), x.clone());
+        let mut rng = SeedRng::new(1);
+        let light = (crate::uniform::drop_edges_uniform(&g, 0.1, &mut rng), x.clone());
+        let heavy = (crate::uniform::drop_edges_uniform(&g, 0.9, &mut rng), x.clone());
+        let nodes: Vec<usize> = (0..60).collect();
+        let l_light = locality_term(&orig, &light, &nodes, raw_embed(2));
+        let l_heavy = locality_term(&orig, &heavy, &nodes, raw_embed(2));
+        assert!(l_heavy > l_light, "{l_heavy} !> {l_light}");
+    }
+
+    #[test]
+    fn diverse_views_lower_objective_than_identical_corruption() {
+        let (g, x) = setup();
+        let orig = (g.clone(), x.clone());
+        let mut rng = SeedRng::new(2);
+        let va = (crate::uniform::drop_edges_uniform(&g, 0.3, &mut rng), x.clone());
+        let vb = (crate::uniform::drop_edges_uniform(&g, 0.3, &mut rng), x.clone());
+        let nodes: Vec<usize> = (0..60).collect();
+        let two_distinct =
+            view_generation_objective(&orig, &va, &vb, &nodes, 2, raw_embed(2));
+        let duplicated =
+            view_generation_objective(&orig, &va, &va.clone(), &nodes, 2, raw_embed(2));
+        // Same locality cost, but distinct views earn the diversity reward.
+        assert!(two_distinct < duplicated);
+    }
+
+    /// The Table VIII edge mechanism: score-aware sampling keeps intra-class
+    /// (similar) neighbours at a higher rate than the graph's base
+    /// homophily, because the similarity term in `w^e` up-weights them —
+    /// uniform deletion would keep intra- and inter-class edges equally.
+    #[test]
+    fn score_aware_sampling_raises_kept_homophily() {
+        let (g, x) = setup();
+        let labels: Vec<usize> = (0..60).map(|v| v / 30).collect();
+        let mut rng = SeedRng::new(3);
+        let gen = crate::sampler::ViewGenerator::new(
+            &g,
+            &x,
+            crate::sampler::ViewConfig { candidate_cap: 0, ..Default::default() },
+            &mut rng,
+        );
+        let homophily = |graph: &CsrGraph| -> f64 {
+            let mut same = 0usize;
+            let mut total = 0usize;
+            for (u, v) in graph.edges() {
+                total += 1;
+                if labels[u] == labels[v] {
+                    same += 1;
+                }
+            }
+            same as f64 / total.max(1) as f64
+        };
+        let base = homophily(&g);
+        let mut kept = 0.0;
+        let trials = 10;
+        for t in 0..trials {
+            let (vg, _) = gen.sample_global_view(0.5, 0.0, &mut SeedRng::new(100 + t));
+            kept += homophily(&vg) / trials as f64;
+        }
+        assert!(
+            kept > base,
+            "kept homophily {kept} should exceed base {base}"
+        );
+    }
+
+    /// The Table VIII feature mechanism: at matched η, Eq. (16) perturbs the
+    /// class-anchor (important) feature dimensions less than uniform
+    /// perturbation does.
+    #[test]
+    fn score_aware_perturbation_protects_important_dims() {
+        let (g, x) = setup();
+        let mut rng = SeedRng::new(4);
+        let gen = crate::sampler::ViewGenerator::new(
+            &g,
+            &x,
+            crate::sampler::ViewConfig::default(),
+            &mut rng,
+        );
+        // Dims 0-1 are the class anchors (frequent => important).
+        let anchor_change = |vx: &Matrix| -> f64 {
+            let mut delta = 0.0f64;
+            for v in 0..60 {
+                for d in 0..2 {
+                    delta += f64::from((vx.get(v, d) - x.get(v, d)).abs());
+                }
+            }
+            delta
+        };
+        let mut aware = 0.0;
+        let mut uniform = 0.0;
+        let eta = 0.8;
+        for t in 0..10 {
+            let mut r = SeedRng::new(200 + t);
+            let (_, vx) = gen.sample_global_view(1.0, eta, &mut r);
+            aware += anchor_change(&vx);
+            let ux = crate::uniform::perturb_features_uniform(&x, eta * 0.5, &mut r);
+            uniform += anchor_change(&ux);
+        }
+        assert!(
+            aware < uniform,
+            "aware anchor damage {aware} should be below uniform {uniform}"
+        );
+    }
+}

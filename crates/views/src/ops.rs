@@ -1,0 +1,321 @@
+//! The graph-augmentation operation library and the Prop. 1 reduction.
+//!
+//! Proposition 1 states that edge addition, edge deletion and feature
+//! perturbation generate the same positive-view space as the full operation
+//! set. This module makes that claim *constructive*: every operation
+//! implements both a direct [`AugmentationOp::apply`] and a reduction
+//! [`AugmentationOp::to_general`] into [`GeneralOp`]s, and the test suite
+//! (plus a property test) verifies the two paths produce identical views.
+//!
+//! Views live over a fixed node universe (standard for node-level
+//! contrastive learning): "dropping" a node isolates it and zeroes its
+//! features; "adding" a node activates a previously isolated zero node.
+
+use e2gcl_graph::{AdjacencyList, CsrGraph};
+use e2gcl_linalg::Matrix;
+
+/// A mutable view state: structure + features over a fixed node universe.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphView {
+    /// Editable structure.
+    pub adj: AdjacencyList,
+    /// Editable features.
+    pub x: Matrix,
+}
+
+impl GraphView {
+    /// Starts a view from an existing graph.
+    pub fn from_graph(g: &CsrGraph, x: &Matrix) -> Self {
+        assert_eq!(g.num_nodes(), x.rows());
+        Self { adj: AdjacencyList::from_csr(g), x: x.clone() }
+    }
+
+    /// Freezes the structure.
+    pub fn to_csr(&self) -> CsrGraph {
+        self.adj.to_csr()
+    }
+}
+
+/// The three general operations of Prop. 1.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum GeneralOp {
+    /// Insert the undirected edge `(u, v)`.
+    AddEdge(usize, usize),
+    /// Remove the undirected edge `(u, v)`.
+    DeleteEdge(usize, usize),
+    /// Set feature `dim` of `node` to `value` (a perturbation by
+    /// `value − x[node][dim]`).
+    PerturbFeature(usize, usize, f32),
+}
+
+impl GeneralOp {
+    /// Applies the operation to a view.
+    pub fn apply(&self, view: &mut GraphView) {
+        match *self {
+            GeneralOp::AddEdge(u, v) => {
+                view.adj.add_edge(u, v);
+            }
+            GeneralOp::DeleteEdge(u, v) => {
+                view.adj.remove_edge(u, v);
+            }
+            GeneralOp::PerturbFeature(node, dim, value) => {
+                view.x.set(node, dim, value);
+            }
+        }
+    }
+}
+
+/// Applies a sequence of general operations.
+pub fn apply_general(view: &mut GraphView, ops: &[GeneralOp]) {
+    for op in ops {
+        op.apply(view);
+    }
+}
+
+/// The full augmentation-operation set `T` of Prop. 1.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AugmentationOp {
+    /// Remove edge `(u, v)`.
+    EdgeDeletion(usize, usize),
+    /// Insert edge `(u, v)`.
+    EdgeAddition(usize, usize),
+    /// Set `x[node][dim] += delta`.
+    FeaturePerturbation(usize, usize, f32),
+    /// Zero feature `dim` of `node`.
+    FeatureMasking(usize, usize),
+    /// Zero feature dimension `dim` for every node.
+    FeatureDropping(usize),
+    /// Isolate `node` and zero its features.
+    NodeDropping(usize),
+    /// Activate an isolated node: attach `edges` and set `features`.
+    NodeAddition {
+        /// The node being activated.
+        node: usize,
+        /// Edges to attach, each `(node, other)`.
+        edges: Vec<usize>,
+        /// Full feature row to install.
+        features: Vec<f32>,
+    },
+    /// Keep only the induced subgraph on `keep` (drop everything else).
+    SubgraphSampling(Vec<usize>),
+}
+
+impl AugmentationOp {
+    /// Applies the operation directly.
+    pub fn apply(&self, view: &mut GraphView) {
+        match self {
+            AugmentationOp::EdgeDeletion(u, v) => {
+                view.adj.remove_edge(*u, *v);
+            }
+            AugmentationOp::EdgeAddition(u, v) => {
+                view.adj.add_edge(*u, *v);
+            }
+            AugmentationOp::FeaturePerturbation(node, dim, delta) => {
+                let cur = view.x.get(*node, *dim);
+                view.x.set(*node, *dim, cur + delta);
+            }
+            AugmentationOp::FeatureMasking(node, dim) => {
+                view.x.set(*node, *dim, 0.0);
+            }
+            AugmentationOp::FeatureDropping(dim) => {
+                for node in 0..view.x.rows() {
+                    view.x.set(node, *dim, 0.0);
+                }
+            }
+            AugmentationOp::NodeDropping(node) => {
+                view.adj.isolate_node(*node);
+                for dim in 0..view.x.cols() {
+                    view.x.set(*node, dim, 0.0);
+                }
+            }
+            AugmentationOp::NodeAddition { node, edges, features } => {
+                for &other in edges {
+                    view.adj.add_edge(*node, other);
+                }
+                view.x.set_row(*node, features);
+            }
+            AugmentationOp::SubgraphSampling(keep) => {
+                let keep_set: std::collections::HashSet<usize> =
+                    keep.iter().copied().collect();
+                for node in 0..view.adj.num_nodes() {
+                    if !keep_set.contains(&node) {
+                        AugmentationOp::NodeDropping(node).apply(view);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Prop. 1: expresses this operation as a sequence of [`GeneralOp`]s,
+    /// evaluated against the current `view` state.
+    pub fn to_general(&self, view: &GraphView) -> Vec<GeneralOp> {
+        match self {
+            AugmentationOp::EdgeDeletion(u, v) => vec![GeneralOp::DeleteEdge(*u, *v)],
+            AugmentationOp::EdgeAddition(u, v) => vec![GeneralOp::AddEdge(*u, *v)],
+            AugmentationOp::FeaturePerturbation(node, dim, delta) => {
+                vec![GeneralOp::PerturbFeature(*node, *dim, view.x.get(*node, *dim) + delta)]
+            }
+            AugmentationOp::FeatureMasking(node, dim) => {
+                vec![GeneralOp::PerturbFeature(*node, *dim, 0.0)]
+            }
+            AugmentationOp::FeatureDropping(dim) => (0..view.x.rows())
+                .map(|node| GeneralOp::PerturbFeature(node, *dim, 0.0))
+                .collect(),
+            AugmentationOp::NodeDropping(node) => {
+                let mut ops: Vec<GeneralOp> = view
+                    .adj
+                    .neighbors(*node)
+                    .map(|u| GeneralOp::DeleteEdge(*node, u))
+                    .collect();
+                ops.extend(
+                    (0..view.x.cols()).map(|dim| GeneralOp::PerturbFeature(*node, dim, 0.0)),
+                );
+                ops
+            }
+            AugmentationOp::NodeAddition { node, edges, features } => {
+                let mut ops: Vec<GeneralOp> =
+                    edges.iter().map(|&other| GeneralOp::AddEdge(*node, other)).collect();
+                ops.extend(
+                    features
+                        .iter()
+                        .enumerate()
+                        .map(|(dim, &v)| GeneralOp::PerturbFeature(*node, dim, v)),
+                );
+                ops
+            }
+            AugmentationOp::SubgraphSampling(keep) => {
+                let keep_set: std::collections::HashSet<usize> =
+                    keep.iter().copied().collect();
+                let mut ops = Vec::new();
+                for node in 0..view.adj.num_nodes() {
+                    if keep_set.contains(&node) {
+                        continue;
+                    }
+                    for u in view.adj.neighbors(node) {
+                        // Emit each edge once; also handle kept-to-dropped.
+                        if u > node || keep_set.contains(&u) {
+                            ops.push(GeneralOp::DeleteEdge(node, u));
+                        }
+                    }
+                    ops.extend(
+                        (0..view.x.cols())
+                            .map(|dim| GeneralOp::PerturbFeature(node, dim, 0.0)),
+                    );
+                }
+                ops
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use e2gcl_linalg::SeedRng;
+
+    fn base_view() -> GraphView {
+        let g = CsrGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (0, 2)]);
+        let mut x = Matrix::zeros(5, 3);
+        for v in 0..5 {
+            for d in 0..3 {
+                x.set(v, d, (v * 3 + d) as f32 * 0.1 + 0.1);
+            }
+        }
+        GraphView { adj: AdjacencyList::from_csr(&g), x }
+    }
+
+    /// The constructive Prop. 1 check: direct application == reduction.
+    fn assert_reduction_equivalent(op: AugmentationOp) {
+        let base = base_view();
+        let mut direct = base.clone();
+        op.apply(&mut direct);
+        let mut via_general = base.clone();
+        let general = op.to_general(&base);
+        apply_general(&mut via_general, &general);
+        assert_eq!(direct, via_general, "op {op:?} not reproduced by {general:?}");
+    }
+
+    #[test]
+    fn prop1_edge_ops() {
+        assert_reduction_equivalent(AugmentationOp::EdgeDeletion(0, 1));
+        assert_reduction_equivalent(AugmentationOp::EdgeAddition(0, 4));
+        // No-op variants (deleting a missing edge, adding an existing one).
+        assert_reduction_equivalent(AugmentationOp::EdgeDeletion(0, 4));
+        assert_reduction_equivalent(AugmentationOp::EdgeAddition(0, 1));
+    }
+
+    #[test]
+    fn prop1_feature_ops() {
+        assert_reduction_equivalent(AugmentationOp::FeaturePerturbation(2, 1, 0.7));
+        assert_reduction_equivalent(AugmentationOp::FeatureMasking(3, 0));
+        assert_reduction_equivalent(AugmentationOp::FeatureDropping(2));
+    }
+
+    #[test]
+    fn prop1_node_ops() {
+        assert_reduction_equivalent(AugmentationOp::NodeDropping(2));
+        assert_reduction_equivalent(AugmentationOp::NodeAddition {
+            node: 4,
+            edges: vec![0, 1],
+            features: vec![9.0, 8.0, 7.0],
+        });
+    }
+
+    #[test]
+    fn prop1_subgraph_sampling() {
+        assert_reduction_equivalent(AugmentationOp::SubgraphSampling(vec![0, 1, 2]));
+        assert_reduction_equivalent(AugmentationOp::SubgraphSampling(vec![]));
+        assert_reduction_equivalent(AugmentationOp::SubgraphSampling(vec![0, 1, 2, 3, 4]));
+    }
+
+    /// Randomised Prop. 1 check over arbitrary op sequences.
+    #[test]
+    fn prop1_random_sequences() {
+        let mut rng = SeedRng::new(42);
+        for _ in 0..50 {
+            let base = base_view();
+            let mut direct = base.clone();
+            let mut reduced = base.clone();
+            for _ in 0..6 {
+                let op = match rng.below(8) {
+                    0 => AugmentationOp::EdgeDeletion(rng.below(5), rng.below(5)),
+                    1 => AugmentationOp::EdgeAddition(rng.below(5), rng.below(5)),
+                    2 => AugmentationOp::FeaturePerturbation(
+                        rng.below(5),
+                        rng.below(3),
+                        rng.uniform_range(-1.0, 1.0),
+                    ),
+                    3 => AugmentationOp::FeatureMasking(rng.below(5), rng.below(3)),
+                    4 => AugmentationOp::FeatureDropping(rng.below(3)),
+                    5 => AugmentationOp::NodeDropping(rng.below(5)),
+                    6 => AugmentationOp::NodeAddition {
+                        node: rng.below(5),
+                        edges: vec![rng.below(5)],
+                        features: vec![rng.uniform(), rng.uniform(), rng.uniform()],
+                    },
+                    _ => {
+                        let k = rng.below(5);
+                        AugmentationOp::SubgraphSampling(
+                            rng.sample_without_replacement(5, k),
+                        )
+                    }
+                };
+                // Self-loop edge ops are no-ops either way.
+                let general = op.to_general(&reduced);
+                op.apply(&mut direct);
+                apply_general(&mut reduced, &general);
+                assert_eq!(direct, reduced, "diverged on {op:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn node_drop_isolates_and_zeroes() {
+        let mut v = base_view();
+        AugmentationOp::NodeDropping(1).apply(&mut v);
+        assert_eq!(v.adj.degree(1), 0);
+        assert!(v.x.row(1).iter().all(|&f| f == 0.0));
+        // Other nodes untouched.
+        assert!(v.adj.has_edge(2, 3));
+    }
+}

@@ -1,0 +1,233 @@
+//! Edge and feature importance scores (paper §IV-C1, §IV-C2).
+
+use e2gcl_graph::{centrality, CsrGraph};
+use e2gcl_linalg::{ops, Matrix};
+
+/// Which ingredients the §IV-C1 edge score uses — the combined recipe is
+/// the paper's; the single-ingredient variants back the DESIGN.md §6
+/// ablation of the score design.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum EdgeRecipe {
+    /// Centrality + similarity (the paper's `w^e`).
+    #[default]
+    Combined,
+    /// Centrality term only.
+    CentralityOnly,
+    /// Similarity term only.
+    SimilarityOnly,
+}
+
+/// Precomputed importance scores for one graph.
+///
+/// Everything here depends only on raw graph data (degrees + features), not
+/// on GNN parameters — the §IV-C *Remarks* point that makes the generator
+/// encoder-agnostic — so it is computed once and reused across epochs.
+#[derive(Clone, Debug)]
+pub struct GraphScores {
+    /// Log-degree centrality `φ_c(v)`.
+    pub centrality: Vec<f32>,
+    /// Global per-dimension feature importance `w_i^f = Σ_v φ_c(v)·|x_v[i]|`.
+    pub feature_global: Vec<f32>,
+    /// Similarity offset `c = max_{(v,u) ∈ E} ||x_v − x_u||`.
+    pub sim_offset: f32,
+    /// Max of the node-level feature score `w^f_{x_v[i]} = w_i^f·φ_c(v)`
+    /// over all `(v, i)` pairs.
+    pub feature_max: f32,
+    /// Mean of the node-level feature score over all `(v, i)` pairs.
+    pub feature_mean: f32,
+}
+
+impl GraphScores {
+    /// Computes all scores for `(g, x)`.
+    pub fn compute(g: &CsrGraph, x: &Matrix) -> GraphScores {
+        assert_eq!(g.num_nodes(), x.rows());
+        let cent = centrality::degree_centrality(g);
+        let d = x.cols();
+        let n = g.num_nodes();
+        // Global feature importance.
+        let mut feature_global = vec![0.0f32; d];
+        for v in 0..n {
+            let phi = cent[v];
+            for (w, &f) in feature_global.iter_mut().zip(x.row(v)) {
+                *w += phi * f.abs();
+            }
+        }
+        // Similarity offset over existing edges.
+        let mut sim_offset = 0.0f32;
+        for (u, v) in g.edges() {
+            sim_offset = sim_offset.max(ops::dist(x.row(u), x.row(v)));
+        }
+        // Eq. (16) normalisation constants. The node-level score factorises
+        // as w^f_{x_v[i]} = w_i^f · φ_c(v); normalising per dimension (one
+        // literal reading of the paper) would cancel the dimension term
+        // entirely, so — following GCA, which this score extends — we
+        // normalise over all (v, i) pairs, keeping both the dimension-
+        // importance and node-centrality effects.
+        let phi_max = cent.iter().cloned().fold(0.0f32, f32::max);
+        let phi_mean = cent.iter().sum::<f32>() / n.max(1) as f32;
+        let w_max = feature_global.iter().cloned().fold(0.0f32, f32::max) * phi_max;
+        let w_mean =
+            feature_global.iter().sum::<f32>() / d.max(1) as f32 * phi_mean;
+        GraphScores {
+            centrality: cent,
+            feature_global,
+            sim_offset,
+            feature_max: w_max,
+            feature_mean: w_mean,
+        }
+    }
+
+    /// The §IV-C1 edge score `w^e_{v,u}` for target node `v` and candidate
+    /// `u`. `is_neighbor` selects the existing-edge branch (keep weight)
+    /// versus the addition branch. `beta` balances the two branches.
+    pub fn edge_score(
+        &self,
+        x: &Matrix,
+        v: usize,
+        u: usize,
+        is_neighbor: bool,
+        beta: f32,
+    ) -> f32 {
+        self.edge_score_with(x, v, u, is_neighbor, beta, EdgeRecipe::Combined)
+    }
+
+    /// [`Self::edge_score`] with an explicit ingredient recipe (ablations).
+    pub fn edge_score_with(
+        &self,
+        x: &Matrix,
+        v: usize,
+        u: usize,
+        is_neighbor: bool,
+        beta: f32,
+        recipe: EdgeRecipe,
+    ) -> f32 {
+        let sim = match recipe {
+            EdgeRecipe::CentralityOnly => 0.0,
+            _ => self.sim_offset - ops::dist(x.row(v), x.row(u)),
+        };
+        let cent = match recipe {
+            EdgeRecipe::SimilarityOnly => 0.0,
+            _ => self.centrality[u],
+        };
+        // Exponent capped to keep weights finite on extreme graphs.
+        if is_neighbor {
+            beta * (cent + sim).min(30.0).exp()
+        } else {
+            (1.0 - beta) * (-cent + sim).min(30.0).exp()
+        }
+    }
+
+    /// Eq. (16) perturbation probability for feature `(v, dim)` under
+    /// hyperparameter `eta`: `η · (w_max − w^f_{x_v[dim]}) / (w_max − w_mean)`,
+    /// clamped to `[0, 1]`. Low-importance features perturb more.
+    pub fn perturb_probability(&self, v: usize, dim: usize, eta: f32) -> f32 {
+        let w = self.feature_global[dim] * self.centrality[v];
+        let denom = self.feature_max - self.feature_mean;
+        if denom <= 1e-12 {
+            // Uninformative feature space: fall back to a flat rate.
+            return (eta * 0.5).clamp(0.0, 1.0);
+        }
+        (eta * (self.feature_max - w) / denom).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Hub-and-spoke graph with one informative feature dimension.
+    fn setup() -> (CsrGraph, Matrix, GraphScores) {
+        let g = CsrGraph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (3, 4)]);
+        let mut x = Matrix::zeros(5, 2);
+        // Dim 0 hot everywhere (important); dim 1 only on the leaf (rare).
+        for v in 0..5 {
+            x.set(v, 0, 1.0);
+        }
+        x.set(4, 1, 1.0);
+        let s = GraphScores::compute(&g, &x);
+        (g, x, s)
+    }
+
+    #[test]
+    fn centrality_follows_degree() {
+        let (_, _, s) = setup();
+        assert!(s.centrality[0] > s.centrality[3]);
+        assert!(s.centrality[3] > s.centrality[1]);
+    }
+
+    #[test]
+    fn global_feature_importance_orders_dims() {
+        let (_, _, s) = setup();
+        assert!(
+            s.feature_global[0] > s.feature_global[1],
+            "ubiquitous dim must outrank rare dim: {:?}",
+            s.feature_global
+        );
+    }
+
+    #[test]
+    fn edge_score_prefers_central_similar_neighbors() {
+        let (_, x, s) = setup();
+        // From leaf 4's perspective: keeping the hub-side neighbour 3 vs a
+        // hypothetical keep of low-degree node 1 (same features).
+        let keep_central = s.edge_score(&x, 4, 0, true, 0.5);
+        let keep_leaf = s.edge_score(&x, 4, 1, true, 0.5);
+        assert!(keep_central > keep_leaf);
+    }
+
+    #[test]
+    fn edge_addition_prefers_low_centrality() {
+        let (_, x, s) = setup();
+        // Adding an edge to the hub is riskier than to a leaf.
+        let add_hub = s.edge_score(&x, 4, 0, false, 0.5);
+        let add_leaf = s.edge_score(&x, 4, 2, false, 0.5);
+        assert!(add_leaf > add_hub);
+    }
+
+    #[test]
+    fn perturb_probability_higher_for_unimportant_dim() {
+        let (_, _, s) = setup();
+        // On the same (non-hub) node, the rare dim 1 perturbs more.
+        let p_important = s.perturb_probability(1, 0, 0.8);
+        let p_unimportant = s.perturb_probability(1, 1, 0.8);
+        assert!(p_unimportant > p_important, "{p_unimportant} !> {p_important}");
+    }
+
+    #[test]
+    fn perturb_probability_lower_for_central_node() {
+        let (_, _, s) = setup();
+        // Same dim, hub vs leaf: the hub's features perturb less.
+        let p_hub = s.perturb_probability(0, 0, 0.8);
+        let p_leaf = s.perturb_probability(1, 0, 0.8);
+        assert!(p_hub < p_leaf, "{p_hub} !< {p_leaf}");
+    }
+
+    #[test]
+    fn perturb_probability_clamped() {
+        let (_, _, s) = setup();
+        for v in 0..5 {
+            for d in 0..2 {
+                let p = s.perturb_probability(v, d, 1.4); // paper's max η
+                assert!((0.0..=1.0).contains(&p));
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_feature_space_falls_back() {
+        // Identical nodes on a regular graph ⇒ max == mean ⇒ flat fallback.
+        let g = CsrGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        let x = Matrix::filled(3, 2, 1.0);
+        let s = GraphScores::compute(&g, &x);
+        let p = s.perturb_probability(0, 0, 0.8);
+        assert!((p - 0.4).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sim_offset_nonnegative_and_zero_without_edges() {
+        let g = CsrGraph::from_edges(3, &[]);
+        let x = Matrix::filled(3, 2, 1.0);
+        let s = GraphScores::compute(&g, &x);
+        assert_eq!(s.sim_offset, 0.0);
+    }
+}

@@ -1,0 +1,144 @@
+//! Property-based tests of the view generator and augmentation library.
+
+use e2gcl_graph::CsrGraph;
+use e2gcl_linalg::{Matrix, SeedRng};
+use e2gcl_views::ops::{apply_general, AugmentationOp, GraphView};
+use e2gcl_views::scores::GraphScores;
+use e2gcl_views::{uniform, ViewConfig, ViewGenerator};
+use proptest::prelude::*;
+
+const N: usize = 10;
+const D: usize = 4;
+
+fn edges() -> impl Strategy<Value = Vec<(usize, usize)>> {
+    prop::collection::vec((0..N, 0..N), 0..3 * N)
+}
+
+fn features() -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(0.0f32..2.0, N * D).prop_map(|data| Matrix::from_vec(N, D, data))
+}
+
+fn any_op() -> impl Strategy<Value = AugmentationOp> {
+    prop_oneof![
+        (0..N, 0..N).prop_map(|(u, v)| AugmentationOp::EdgeDeletion(u, v)),
+        (0..N, 0..N).prop_map(|(u, v)| AugmentationOp::EdgeAddition(u, v)),
+        (0..N, 0..D, -2.0f32..2.0)
+            .prop_map(|(n, d, x)| AugmentationOp::FeaturePerturbation(n, d, x)),
+        (0..N, 0..D).prop_map(|(n, d)| AugmentationOp::FeatureMasking(n, d)),
+        (0..D).prop_map(AugmentationOp::FeatureDropping),
+        (0..N).prop_map(AugmentationOp::NodeDropping),
+        (0..N, prop::collection::vec(0..N, 0..3), prop::collection::vec(0.0f32..1.0, D))
+            .prop_map(|(node, edges, features)| AugmentationOp::NodeAddition {
+                node,
+                edges,
+                features
+            }),
+        prop::collection::vec(0..N, 0..N)
+            .prop_map(|mut keep| {
+                keep.sort_unstable();
+                keep.dedup();
+                AugmentationOp::SubgraphSampling(keep)
+            }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Proposition 1, constructively: any sequence drawn from the full
+    /// operation set is reproduced exactly by its reduction to the three
+    /// general operations.
+    #[test]
+    fn prop1_reduction_exact(es in edges(), x in features(),
+                             ops in prop::collection::vec(any_op(), 1..10)) {
+        let g = CsrGraph::from_edges(N, &es);
+        let base = GraphView::from_graph(&g, &x);
+        let mut direct = base.clone();
+        let mut reduced = base;
+        for op in &ops {
+            let general = op.to_general(&reduced);
+            op.apply(&mut direct);
+            apply_general(&mut reduced, &general);
+            prop_assert_eq!(&direct, &reduced, "diverged on {:?}", op);
+        }
+    }
+
+    /// Edge scores are finite and non-negative for arbitrary graphs and
+    /// features; perturbation probabilities are valid probabilities.
+    #[test]
+    fn scores_well_formed(es in edges(), x in features(), eta in 0.0f32..1.4) {
+        let g = CsrGraph::from_edges(N, &es);
+        let s = GraphScores::compute(&g, &x);
+        for v in 0..N {
+            for u in 0..N {
+                for is_n in [true, false] {
+                    let w = s.edge_score(&x, v, u, is_n, 0.7);
+                    prop_assert!(w.is_finite() && w >= 0.0);
+                }
+            }
+            for dim in 0..D {
+                let p = s.perturb_probability(v, dim, eta);
+                prop_assert!((0.0..=1.0).contains(&p));
+            }
+        }
+    }
+
+    /// Global views always have the same node universe, a valid structure,
+    /// and only perturb nonzero feature entries multiplicatively.
+    #[test]
+    fn global_views_valid(es in edges(), x in features(),
+                          tau in 0.0f32..1.4, eta in 0.0f32..1.4, seed in any::<u64>()) {
+        let g = CsrGraph::from_edges(N, &es);
+        let gen = ViewGenerator::new(&g, &x, ViewConfig::default(), &mut SeedRng::new(seed));
+        let (vg, vx) = gen.sample_global_view(tau, eta, &mut SeedRng::new(seed ^ 1));
+        prop_assert_eq!(vg.num_nodes(), N);
+        prop_assert!(vg.validate().is_ok());
+        for v in 0..N {
+            for d in 0..D {
+                let orig = x.get(v, d);
+                let new = vx.get(v, d);
+                if orig == 0.0 {
+                    prop_assert_eq!(new, 0.0);
+                } else {
+                    prop_assert!(new >= -1e-5 && new <= 2.0 * orig + 1e-5);
+                }
+            }
+        }
+    }
+
+    /// Ego views are internally consistent for any node and parameters.
+    #[test]
+    fn ego_views_valid(es in edges(), x in features(), v in 0..N, seed in any::<u64>()) {
+        let g = CsrGraph::from_edges(N, &es);
+        let gen = ViewGenerator::new(&g, &x, ViewConfig::default(), &mut SeedRng::new(seed));
+        let view = gen.sample_ego_view(v, 1.0, 0.6, &mut SeedRng::new(seed ^ 2));
+        prop_assert_eq!(view.nodes[view.center], v);
+        prop_assert_eq!(view.graph.num_nodes(), view.nodes.len());
+        prop_assert_eq!(view.features.rows(), view.nodes.len());
+        prop_assert!(view.graph.validate().is_ok());
+        let distinct: std::collections::HashSet<_> = view.nodes.iter().collect();
+        prop_assert_eq!(distinct.len(), view.nodes.len());
+        prop_assert!(view.nodes.iter().all(|&n| n < N));
+    }
+
+    /// Uniform corruption primitives preserve the node universe and never
+    /// invent edges (drop) / never delete edges (add).
+    #[test]
+    fn uniform_primitives_sane(es in edges(), p in 0.0f32..1.0, seed in any::<u64>()) {
+        let g = CsrGraph::from_edges(N, &es);
+        let mut rng = SeedRng::new(seed);
+        let dropped = uniform::drop_edges_uniform(&g, p, &mut rng);
+        prop_assert!(dropped.num_edges() <= g.num_edges());
+        for (u, v) in dropped.edges() {
+            prop_assert!(g.has_edge(u, v));
+        }
+        let added = uniform::add_edges_uniform(&g, 3, &mut rng);
+        for (u, v) in g.edges() {
+            prop_assert!(added.has_edge(u, v));
+        }
+        // GCA drop probabilities are valid and within the cap.
+        let probs = uniform::gca_edge_drop_probs(&g, p);
+        prop_assert_eq!(probs.len(), g.num_edges());
+        prop_assert!(probs.iter().all(|&q| (0.0..=p.max(0.0) + 1e-6).contains(&q)));
+    }
+}

@@ -1,0 +1,124 @@
+//! End-to-end Alg. 1 integration tests: pre-train → probe across crates.
+
+use e2gcl::eval;
+use e2gcl::prelude::*;
+
+fn dataset() -> NodeDataset {
+    NodeDataset::generate(&spec("cora-sim"), 0.15, 11)
+}
+
+fn quick_cfg() -> TrainConfig {
+    TrainConfig { epochs: 12, batch_size: 128, ..Default::default() }
+}
+
+#[test]
+fn e2gcl_beats_untrained_encoder() {
+    let d = dataset();
+    let model = E2gclModel::default();
+    let cfg = quick_cfg();
+    let mut rng = SeedRng::new(0);
+    let trained = model.pretrain(&d.graph, &d.features, &cfg, &mut rng);
+    // Untrained baseline: same architecture, zero epochs.
+    let cfg0 = TrainConfig { epochs: 0, ..cfg.clone() };
+    let untrained = model.pretrain(&d.graph, &d.features, &cfg0, &mut SeedRng::new(0));
+    let acc_trained =
+        eval::node_classification(&trained.embeddings, &d.labels, d.num_classes, 3, 7).0;
+    let acc_untrained =
+        eval::node_classification(&untrained.embeddings, &d.labels, d.num_classes, 3, 7).0;
+    assert!(
+        acc_trained > acc_untrained,
+        "training must help: {acc_trained} vs untrained {acc_untrained}"
+    );
+    assert!(acc_trained > 0.5, "absolute accuracy too low: {acc_trained}");
+}
+
+#[test]
+fn full_pipeline_runs_for_every_contrastive_model() {
+    use e2gcl::models::{
+        adgcl::AdgclModel,
+        bgrl::{AfgrlModel, BgrlModel},
+        dgi::DgiModel,
+        gae::{GaeModel, VgaeModel},
+        grace::GraceModel,
+        mvgrl::MvgrlModel,
+        walks::WalkModel,
+    };
+    let d = NodeDataset::generate(&spec("cora-sim"), 0.06, 12);
+    let cfg = TrainConfig { epochs: 3, batch_size: 64, ..Default::default() };
+    let models: Vec<Box<dyn ContrastiveModel>> = vec![
+        Box::new(E2gclModel::default()),
+        Box::new(GraceModel::grace()),
+        Box::new(GraceModel::gca()),
+        Box::new(MvgrlModel::default()),
+        Box::new(BgrlModel::default()),
+        Box::new(AfgrlModel::default()),
+        Box::new(DgiModel),
+        Box::new(GaeModel),
+        Box::new(VgaeModel::default()),
+        Box::new(AdgclModel::default()),
+        Box::new(WalkModel::deepwalk()),
+        Box::new(WalkModel::node2vec()),
+    ];
+    for model in models {
+        let mut rng = SeedRng::new(13);
+        let out = model.pretrain(&d.graph, &d.features, &cfg, &mut rng);
+        assert_eq!(
+            out.embeddings.rows(),
+            d.num_nodes(),
+            "{} embedding rows",
+            model.name()
+        );
+        assert!(!out.embeddings.has_non_finite(), "{} produced NaNs", model.name());
+        let acc = eval::node_classification_accuracy(
+            &out.embeddings,
+            &d.labels,
+            d.num_classes,
+            1,
+        );
+        // Chance level on 7 imbalanced classes is well below 0.35.
+        assert!(acc > 0.1, "{} accuracy {acc} is degenerate", model.name());
+    }
+}
+
+#[test]
+fn e2gcl_with_coreset_matches_training_on_all_nodes() {
+    // The Table VI claim: E2GCL_{S,I} is comparable to E2GCL_{A,I}.
+    let d = dataset();
+    let cfg = quick_cfg();
+    let subset_model = E2gclModel::default(); // r = 0.4
+    let all_model = E2gclModel::new(E2gclConfig {
+        selector: SelectorKind::All,
+        ..Default::default()
+    });
+    let acc = |model: &E2gclModel, seed: u64| -> f32 {
+        let out = model.pretrain(&d.graph, &d.features, &cfg, &mut SeedRng::new(seed));
+        eval::node_classification(&out.embeddings, &d.labels, d.num_classes, 3, seed).0
+    };
+    let sub = (acc(&subset_model, 1) + acc(&subset_model, 2)) / 2.0;
+    let all = (acc(&all_model, 1) + acc(&all_model, 2)) / 2.0;
+    assert!(
+        sub > all - 0.08,
+        "coreset training degraded too much: subset {sub} vs all {all}"
+    );
+}
+
+#[test]
+fn pretrain_is_reproducible_across_runs() {
+    let d = NodeDataset::generate(&spec("citeseer-sim"), 0.08, 14);
+    let model = E2gclModel::default();
+    let cfg = TrainConfig { epochs: 4, batch_size: 64, ..Default::default() };
+    let a = model.pretrain(&d.graph, &d.features, &cfg, &mut SeedRng::new(42));
+    let b = model.pretrain(&d.graph, &d.features, &cfg, &mut SeedRng::new(42));
+    assert_eq!(a.embeddings, b.embeddings);
+    assert_eq!(a.loss_curve, b.loss_curve);
+}
+
+#[test]
+fn timing_fields_are_consistent() {
+    let d = NodeDataset::generate(&spec("cora-sim"), 0.05, 15);
+    let model = E2gclModel::default();
+    let cfg = TrainConfig { epochs: 2, batch_size: 64, ..Default::default() };
+    let out = model.pretrain(&d.graph, &d.features, &cfg, &mut SeedRng::new(0));
+    assert!(out.selection_time <= out.total_time);
+    assert!(out.total_time.as_secs_f64() > 0.0);
+}

@@ -1,0 +1,119 @@
+//! Cross-crate tests of the §III node selector on realistic datasets.
+
+use e2gcl::prelude::*;
+use e2gcl_graph::norm;
+use e2gcl_selector::baselines::{
+    DegreeSelector, GrainSelector, KCenterGreedy, KMeansSelector, RandomSelector,
+};
+use e2gcl_selector::coreset::exact_kmedoid_objective;
+use e2gcl_selector::greedy::{GreedyConfig, GreedySelector};
+use e2gcl_selector::NodeSelector;
+
+fn dataset() -> NodeDataset {
+    NodeDataset::generate(&spec("cora-sim"), 0.2, 21)
+}
+
+#[test]
+fn greedy_has_best_kmedoid_objective_among_strategies() {
+    let d = dataset();
+    let repr = norm::raw_aggregate(&d.graph, &d.features, 2);
+    let budget = d.num_nodes() / 10;
+    let greedy = GreedySelector::new(GreedyConfig {
+        num_clusters: 30,
+        sample_size: 200,
+        ..Default::default()
+    });
+    let mut rng = SeedRng::new(0);
+    let ours = greedy.select(&d.graph, &d.features, budget, &mut rng);
+    let ours_cost = exact_kmedoid_objective(&repr, &ours.nodes);
+    let baselines: Vec<Box<dyn NodeSelector>> = vec![
+        Box::new(RandomSelector),
+        Box::new(DegreeSelector),
+    ];
+    for b in baselines {
+        let mut rng = SeedRng::new(1);
+        let s = b.select(&d.graph, &d.features, budget, &mut rng);
+        let cost = exact_kmedoid_objective(&repr, &s.nodes);
+        assert!(
+            ours_cost < cost,
+            "{}: greedy {ours_cost} should beat {cost}",
+            b.name()
+        );
+    }
+}
+
+#[test]
+fn selection_covers_all_classes_at_moderate_budget() {
+    // The class-imbalance argument of §III-A: cluster-based selection keeps
+    // small classes represented.
+    let d = dataset();
+    let greedy = GreedySelector::new(GreedyConfig {
+        num_clusters: 30,
+        sample_size: 200,
+        ..Default::default()
+    });
+    let s = greedy.select(&d.graph, &d.features, d.num_nodes() / 5, &mut SeedRng::new(2));
+    let mut covered = vec![false; d.num_classes];
+    for &v in &s.nodes {
+        covered[d.labels[v]] = true;
+    }
+    assert!(
+        covered.iter().all(|&c| c),
+        "some class unrepresented: {covered:?}"
+    );
+}
+
+#[test]
+fn all_selectors_produce_valid_selections_on_dense_data() {
+    let d = NodeDataset::generate(&spec("photo-sim"), 0.04, 22);
+    let budget = d.num_nodes() / 4;
+    let selectors: Vec<Box<dyn NodeSelector>> = vec![
+        Box::new(GreedySelector::new(GreedyConfig {
+            num_clusters: 20,
+            sample_size: 100,
+            ..Default::default()
+        })),
+        Box::new(RandomSelector),
+        Box::new(DegreeSelector),
+        Box::new(KMeansSelector::default()),
+        Box::new(KCenterGreedy),
+        Box::new(GrainSelector::default()),
+    ];
+    for sel in selectors {
+        let mut rng = SeedRng::new(3);
+        let s = sel.select(&d.graph, &d.features, budget, &mut rng);
+        s.validate(d.num_nodes(), budget)
+            .unwrap_or_else(|e| panic!("{}: {e}", sel.name()));
+        assert_eq!(s.nodes.len(), budget, "{}", sel.name());
+    }
+}
+
+#[test]
+fn larger_budget_never_hurts_objective() {
+    let d = NodeDataset::generate(&spec("citeseer-sim"), 0.1, 23);
+    let repr = norm::raw_aggregate(&d.graph, &d.features, 2);
+    let greedy = GreedySelector::new(GreedyConfig {
+        num_clusters: 20,
+        sample_size: 150,
+        ..Default::default()
+    });
+    let mut costs = Vec::new();
+    for budget in [10usize, 30, 90] {
+        let s = greedy.select(&d.graph, &d.features, budget, &mut SeedRng::new(4));
+        costs.push(exact_kmedoid_objective(&repr, &s.nodes));
+    }
+    assert!(costs[0] > costs[1] && costs[1] > costs[2], "{costs:?}");
+}
+
+#[test]
+fn selection_time_is_small_fraction_of_training() {
+    // The Table V shape: ST << TT once training runs a realistic number of
+    // epochs (selection is a one-off cost, training is per-epoch).
+    let d = NodeDataset::generate(&spec("cora-sim"), 0.15, 24);
+    let model = E2gclModel::default();
+    let cfg = TrainConfig { epochs: 40, batch_size: 128, ..Default::default() };
+    let out = model.pretrain(&d.graph, &d.features, &cfg, &mut SeedRng::new(5));
+    let st = out.selection_time.as_secs_f64();
+    let tt = out.total_time.as_secs_f64();
+    assert!(st < 0.5 * tt, "selection {st}s vs total {tt}s");
+}

@@ -1,0 +1,167 @@
+//! Cross-crate tests of the §IV view generator on realistic datasets.
+
+use e2gcl::prelude::*;
+use e2gcl_graph::norm;
+use e2gcl_linalg::ops;
+use e2gcl_nn::GcnEncoder;
+use e2gcl_views::ops::{apply_general, AugmentationOp, GraphView};
+use e2gcl_views::{ViewConfig, ViewGenerator};
+
+fn dataset() -> NodeDataset {
+    NodeDataset::generate(&spec("cora-sim"), 0.1, 31)
+}
+
+/// Prop. 1 on a real dataset graph: random op sequences reduce exactly.
+#[test]
+fn prop1_holds_on_dataset_graphs() {
+    let d = dataset();
+    let mut rng = SeedRng::new(0);
+    let n = d.num_nodes();
+    let dims = d.features.cols();
+    for trial in 0..10 {
+        let base = GraphView::from_graph(&d.graph, &d.features);
+        let mut direct = base.clone();
+        let mut reduced = base.clone();
+        for _ in 0..8 {
+            let op = match rng.below(6) {
+                0 => AugmentationOp::EdgeDeletion(rng.below(n), rng.below(n)),
+                1 => AugmentationOp::EdgeAddition(rng.below(n), rng.below(n)),
+                2 => AugmentationOp::FeaturePerturbation(
+                    rng.below(n),
+                    rng.below(dims),
+                    rng.uniform_range(-1.0, 1.0),
+                ),
+                3 => AugmentationOp::FeatureMasking(rng.below(n), rng.below(dims)),
+                4 => AugmentationOp::NodeDropping(rng.below(n)),
+                _ => AugmentationOp::FeatureDropping(rng.below(dims)),
+            };
+            let general = op.to_general(&reduced);
+            op.apply(&mut direct);
+            apply_general(&mut reduced, &general);
+            assert_eq!(direct, reduced, "trial {trial} diverged on {op:?}");
+        }
+    }
+}
+
+/// Locality: a node's embedding on its positive view stays closer to its
+/// original embedding than to a random other node's embedding.
+#[test]
+fn positive_views_preserve_node_identity() {
+    let d = dataset();
+    let mut rng = SeedRng::new(1);
+    let generator =
+        ViewGenerator::new(&d.graph, &d.features, ViewConfig::default(), &mut rng);
+    let encoder = GcnEncoder::new(&[d.features.cols(), 32, 16], &mut rng);
+    let adj = norm::normalized_adjacency(&d.graph);
+    let h = encoder.embed(&adj, &d.features);
+    let (vg, vx) = generator.sample_global_view(1.0, 0.6, &mut rng);
+    let hv = encoder.embed(&norm::normalized_adjacency(&vg), &vx);
+    let mut closer = 0usize;
+    let trials = 200;
+    for _ in 0..trials {
+        let v = rng.below(d.num_nodes());
+        let other = rng.below(d.num_nodes());
+        let to_self = ops::dist(hv.row(v), h.row(v));
+        let to_other = ops::dist(hv.row(v), h.row(other));
+        if to_self <= to_other {
+            closer += 1;
+        }
+    }
+    assert!(
+        closer as f64 / trials as f64 > 0.8,
+        "only {closer}/{trials} views stayed closest to their own node"
+    );
+}
+
+/// The per-node Alg. 3 form and the batched global form agree on scale: the
+/// ego view of `v` contains roughly the nodes a GCN at `v` would see.
+#[test]
+fn ego_views_grow_with_hops() {
+    let d = dataset();
+    let mut rng = SeedRng::new(2);
+    let mut sizes = Vec::new();
+    for layers in [1usize, 2, 3] {
+        let generator = ViewGenerator::new(
+            &d.graph,
+            &d.features,
+            ViewConfig { layers, ..Default::default() },
+            &mut rng.fork(&format!("gen{layers}")),
+        );
+        let mut total = 0usize;
+        for v in 0..20 {
+            total += generator.sample_ego_view(v, 1.0, 0.0, &mut rng).nodes.len();
+        }
+        sizes.push(total);
+    }
+    assert!(sizes[0] < sizes[1] && sizes[1] <= sizes[2], "{sizes:?}");
+}
+
+/// Diversity: two sampled views differ, and their raw aggregates differ on
+/// most nodes (the Eq. (15) diversity reward is strictly positive).
+#[test]
+fn sampled_view_pairs_are_diverse() {
+    let d = dataset();
+    let mut rng = SeedRng::new(3);
+    let generator =
+        ViewGenerator::new(&d.graph, &d.features, ViewConfig::default(), &mut rng);
+    let (g1, x1) = generator.sample_global_view(1.0, 0.6, &mut rng);
+    let (g2, x2) = generator.sample_global_view(0.8, 0.8, &mut rng);
+    let r1 = norm::raw_aggregate(&g1, &x1, 2);
+    let r2 = norm::raw_aggregate(&g2, &x2, 2);
+    let mut diverse = 0usize;
+    for v in 0..d.num_nodes() {
+        if ops::dist(r1.row(v), r2.row(v)) > 1e-6 {
+            diverse += 1;
+        }
+    }
+    assert!(
+        diverse as f64 / d.num_nodes() as f64 > 0.9,
+        "only {diverse}/{} nodes have diverse views",
+        d.num_nodes()
+    );
+}
+
+/// Feature-importance wiring survives the full pipeline: class-anchor dims
+/// are perturbed less often than background dims.
+#[test]
+fn importance_aware_perturbation_on_dataset() {
+    let d = dataset();
+    let mut rng = SeedRng::new(4);
+    let generator =
+        ViewGenerator::new(&d.graph, &d.features, ViewConfig::default(), &mut rng);
+    // Anchor block of class 0 vs the trailing background block.
+    let dims = d.features.cols();
+    let block = dims / (d.num_classes + 1);
+    let mut anchor_changes = 0.0f64;
+    let mut anchor_count = 0.0f64;
+    let mut bg_changes = 0.0f64;
+    let mut bg_count = 0.0f64;
+    for t in 0..5 {
+        let (_, vx) = generator.sample_global_view(1.0, 1.0, &mut rng.fork(&t.to_string()));
+        for v in 0..d.num_nodes() {
+            let c = d.labels[v];
+            for dim in (c * block)..(c * block + block) {
+                if d.features.get(v, dim) != 0.0 {
+                    anchor_count += 1.0;
+                    if (vx.get(v, dim) - d.features.get(v, dim)).abs() > 1e-9 {
+                        anchor_changes += 1.0;
+                    }
+                }
+            }
+            for dim in (d.num_classes * block)..dims {
+                if d.features.get(v, dim) != 0.0 {
+                    bg_count += 1.0;
+                    if (vx.get(v, dim) - d.features.get(v, dim)).abs() > 1e-9 {
+                        bg_changes += 1.0;
+                    }
+                }
+            }
+        }
+    }
+    let anchor_rate = anchor_changes / anchor_count.max(1.0);
+    let bg_rate = bg_changes / bg_count.max(1.0);
+    assert!(
+        anchor_rate < bg_rate,
+        "anchor perturb rate {anchor_rate} should be below background {bg_rate}"
+    );
+}
