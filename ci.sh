@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Repository CI gate. Run from the workspace root: ./ci.sh
+#
+# Steps:
+#   1. cargo fmt --check          — formatting
+#   2. cargo clippy -D warnings   — lints across the whole workspace
+#   3. cargo test -q              — unit, integration, and property tests
+#   4. grep lint                  — no .unwrap()/panic! in non-test library
+#                                   code of the crates that run training
+#                                   (use .expect("reason") or a TrainError)
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> cargo test -q"
+cargo test -q --workspace --offline
+
+echo "==> lint: no .unwrap()/panic! in non-test library code"
+# Test modules in this codebase are trailing `#[cfg(test)] mod tests` blocks,
+# so everything before the first #[cfg(test)] is production code. Comment
+# lines (incl. doc comments) are skipped.
+fail=0
+for f in $(find crates/selector/src crates/views/src crates/nn/src crates/e2gcl/src -name '*.rs' | sort); do
+    hits=$(awk '/#\[cfg\(test\)\]/{exit} {sub(/^[ \t]+/, ""); if ($0 !~ /^\/\//) print FILENAME":"FNR": "$0}' "$f" \
+        | grep -E '\.unwrap\(\)|panic!' || true)
+    if [ -n "$hits" ]; then
+        echo "$hits"
+        fail=1
+    fi
+done
+if [ "$fail" -ne 0 ]; then
+    echo "error: found .unwrap()/panic! in non-test code (use .expect or TrainError)" >&2
+    exit 1
+fi
+
+echo "CI passed."

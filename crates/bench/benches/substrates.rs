@@ -15,7 +15,7 @@ use e2gcl_views::{ViewConfig, ViewGenerator};
 use std::hint::black_box;
 
 fn data(scale: f64) -> NodeDataset {
-    NodeDataset::generate(&spec("cora-sim"), scale, 7)
+    NodeDataset::generate(&spec("cora-sim").unwrap(), scale, 7)
 }
 
 fn bench_spmm(c: &mut Criterion) {

@@ -47,7 +47,7 @@ fn main() {
 
     // ---- 2. relaxed vs exact greedy objective ----------------------------
     println!("\n--- Eq. (13) relaxation vs exact Eq. (12) greedy (small graph) ---");
-    let small = NodeDataset::generate(&spec("cora-sim"), 0.08, 801);
+    let small = NodeDataset::generate(&spec("cora-sim").unwrap(), 0.08, 801);
     let srepr = norm::raw_aggregate(&small.graph, &small.features, 2);
     let sbudget = small.num_nodes() / 10;
     // Exact greedy: each step picks the node minimising the true objective.
@@ -89,10 +89,36 @@ fn main() {
 
     // ---- 3. margin loss vs InfoNCE ---------------------------------------
     println!("\n--- Eq. (5) margin loss vs InfoNCE inside E2GCL ---");
-    for (label, loss) in [("Eq.(5) margin", LossKind::Margin), ("InfoNCE", LossKind::InfoNce)] {
-        let model = E2gclModel::new(E2gclConfig { loss, ..Default::default() });
-        let run = run_node_classification(&model, &data, &cfg, profile.runs, 0);
-        println!("{label:<16} {:.2} ± {:.2} %", 100.0 * run.mean, 100.0 * run.std);
+    let mut summary = e2gcl_bench::report::SweepSummary::new();
+    for (label, loss) in [
+        ("Eq.(5) margin", LossKind::Margin),
+        ("InfoNCE", LossKind::InfoNce),
+    ] {
+        let model = E2gclModel::new(E2gclConfig {
+            loss,
+            ..Default::default()
+        });
+        match run_node_classification(&model, &data, &cfg, profile.runs, 0) {
+            Ok(run) if !run.accuracies.is_empty() => {
+                summary.record(label, e2gcl_bench::report::outcome_of(&run));
+                println!(
+                    "{label:<16} {:.2} ± {:.2} %",
+                    100.0 * run.mean,
+                    100.0 * run.std
+                );
+            }
+            Ok(run) => {
+                summary.record(label, e2gcl_bench::report::outcome_of(&run));
+                println!("{label:<16} FAILED");
+            }
+            Err(err) => {
+                summary.record(
+                    label,
+                    e2gcl_bench::report::CellOutcome::Failed(err.to_string()),
+                );
+                println!("{label:<16} FAILED: {err}");
+            }
+        }
     }
 
     // ---- 4. edge-score recipe ---------------------------------------------
@@ -104,13 +130,36 @@ fn main() {
         ("combined (paper)", EdgeRecipe::Combined),
     ] {
         let model = E2gclModel::new(E2gclConfig {
-            view: e2gcl_views::ViewConfig { edge_recipe: recipe, ..Default::default() },
+            view: e2gcl_views::ViewConfig {
+                edge_recipe: recipe,
+                ..Default::default()
+            },
             ..Default::default()
         });
-        let run = run_node_classification(&model, &data, &cfg, profile.runs, 0);
-        println!("{label:<18} {:.2} ± {:.2} %", 100.0 * run.mean, 100.0 * run.std);
-        results.push((label.to_string(), run.mean));
+        match run_node_classification(&model, &data, &cfg, profile.runs, 0) {
+            Ok(run) if !run.accuracies.is_empty() => {
+                summary.record(label, e2gcl_bench::report::outcome_of(&run));
+                println!(
+                    "{label:<18} {:.2} ± {:.2} %",
+                    100.0 * run.mean,
+                    100.0 * run.std
+                );
+                results.push((label.to_string(), run.mean));
+            }
+            Ok(run) => {
+                summary.record(label, e2gcl_bench::report::outcome_of(&run));
+                println!("{label:<18} FAILED");
+            }
+            Err(err) => {
+                summary.record(
+                    label,
+                    e2gcl_bench::report::CellOutcome::Failed(err.to_string()),
+                );
+                println!("{label:<18} FAILED: {err}");
+            }
+        }
     }
+    summary.print();
     report::write_json("ablation_design", &results);
 
     // Context: average intra-class feature distance drives the similarity

@@ -9,6 +9,7 @@
 
 use e2gcl::pipeline::run_node_classification;
 use e2gcl::prelude::*;
+use e2gcl_bench::report::{outcome_of, CellOutcome, SweepSummary};
 use e2gcl_bench::{report, Profile};
 
 fn main() {
@@ -16,6 +17,7 @@ fn main() {
     println!("Encoder-agnosticism experiment (profile: {})", profile.name);
     let cfg = profile.train_config();
     let mut json = Vec::new();
+    let mut summary = SweepSummary::new();
     println!(
         "\n{:<14} {:<8} {:>22} {:>22}",
         "dataset", "encoder", "importance views %", "uniform views %"
@@ -27,14 +29,36 @@ fn main() {
             ("SGC", EncoderKind::Sgc),
             ("SAGE", EncoderKind::Sage),
         ] {
-            let aware = E2gclModel::new(E2gclConfig { encoder, ..Default::default() });
+            let aware = E2gclModel::new(E2gclConfig {
+                encoder,
+                ..Default::default()
+            });
             let uniform = E2gclModel::new(E2gclConfig {
                 encoder,
                 strategy: ViewStrategy::Uniform,
                 ..Default::default()
             });
-            let a = run_node_classification(&aware, &data, &cfg, profile.runs, 0);
-            let u = run_node_classification(&uniform, &data, &cfg, profile.runs, 0);
+            let mut cell = |tag: &str, model: &E2gclModel| {
+                let label = format!("{ename}-{tag}/{dname}");
+                match run_node_classification(model, &data, &cfg, profile.runs, 0) {
+                    Ok(run) if !run.accuracies.is_empty() => {
+                        summary.record(&label, outcome_of(&run));
+                        Some(run)
+                    }
+                    Ok(run) => {
+                        summary.record(&label, outcome_of(&run));
+                        None
+                    }
+                    Err(err) => {
+                        summary.record(&label, CellOutcome::Failed(err.to_string()));
+                        None
+                    }
+                }
+            };
+            let (Some(a), Some(u)) = (cell("aware", &aware), cell("uniform", &uniform)) else {
+                println!("{dname:<14} {ename:<8} {:>22}", "FAILED");
+                continue;
+            };
             println!(
                 "{dname:<14} {ename:<8} {:>15.2} ± {:.2} {:>15.2} ± {:.2}",
                 100.0 * a.mean,
@@ -62,5 +86,6 @@ fn main() {
         "[shape] on the dense analog, importance-aware views match or beat uniform \
          in {aware_wins_dense}/3 encoder rows"
     );
+    summary.print();
     report::write_json("encoder_agnostic", &json);
 }

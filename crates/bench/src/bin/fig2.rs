@@ -11,6 +11,7 @@ use e2gcl::models::grace::{GraceConfig, GraceModel};
 use e2gcl::models::mvgrl::{MvgrlConfig, MvgrlModel};
 use e2gcl::pipeline::run_node_classification;
 use e2gcl::prelude::*;
+use e2gcl_bench::report::{outcome_of, CellOutcome, SweepSummary};
 use e2gcl_bench::{report, Profile};
 use serde::Serialize;
 
@@ -77,10 +78,35 @@ fn main() {
     );
     let mut improved = 0usize;
     let mut total = 0usize;
+    let mut summary = SweepSummary::new();
     for (orig, up) in upgraded_pairs() {
         for d in &datasets {
-            let o = run_node_classification(orig.as_ref(), d, &cfg, profile.runs, 0);
-            let u = run_node_classification(up.as_ref(), d, &cfg, profile.runs, 0);
+            let mut cell = |model: &dyn ContrastiveModel| {
+                let label = format!("{}/{}", model.name(), d.name);
+                match run_node_classification(model, d, &cfg, profile.runs, 0) {
+                    Ok(run) if !run.accuracies.is_empty() => {
+                        summary.record(&label, outcome_of(&run));
+                        Some(run)
+                    }
+                    Ok(run) => {
+                        summary.record(&label, outcome_of(&run));
+                        None
+                    }
+                    Err(err) => {
+                        summary.record(&label, CellOutcome::Failed(err.to_string()));
+                        None
+                    }
+                }
+            };
+            let (Some(o), Some(u)) = (cell(orig.as_ref()), cell(up.as_ref())) else {
+                println!(
+                    "{:<22} {:<16} {:>12}",
+                    format!("{} -> {}", orig.name(), up.name()),
+                    d.name,
+                    "FAILED"
+                );
+                continue;
+            };
             let delta = 100.0 * (u.mean - o.mean);
             println!(
                 "{:<22} {:<16} {:>12.2} {:>12.2} {:>+8.2}",
@@ -106,5 +132,6 @@ fn main() {
         "\n[shape] upgraded variant improved its original in {improved}/{total} cells \
          (paper: 8/8 across both datasets)"
     );
+    summary.print();
     report::write_json("fig2", &json);
 }

@@ -8,6 +8,7 @@
 
 use e2gcl::pipeline::accuracy_time_curve;
 use e2gcl::prelude::*;
+use e2gcl_bench::report::{CellOutcome, SweepSummary};
 use e2gcl_bench::{registry, report, Profile};
 use serde::Serialize;
 
@@ -20,13 +21,17 @@ struct Curve {
 
 fn main() {
     let profile = Profile::from_args();
-    println!("Fig. 3 reproduction — accuracy-time curves (profile: {})", profile.name);
+    println!(
+        "Fig. 3 reproduction — accuracy-time curves (profile: {})",
+        profile.name
+    );
     let models = {
         let mut m = registry::strong_baseline_names();
         m.push("E2GCL");
         m
     };
     let mut json = Vec::new();
+    let mut summary = SweepSummary::new();
     for dname in ["cora-sim", "citeseer-sim"] {
         let data = profile.dataset(dname, 400);
         println!("\n--- {dname} ({} nodes) ---", data.num_nodes());
@@ -35,8 +40,19 @@ fn main() {
             ..profile.train_config()
         };
         for model_name in &models {
-            let model = registry::model(model_name);
-            let curve = accuracy_time_curve(model.as_ref(), &data, &cfg, 1);
+            let model = registry::model(model_name).expect("figure names are registered");
+            let label = format!("{model_name}/{dname}");
+            let curve = match accuracy_time_curve(model.as_ref(), &data, &cfg, 1) {
+                Ok(curve) => {
+                    summary.record(&label, CellOutcome::Ok);
+                    curve
+                }
+                Err(err) => {
+                    summary.record(&label, CellOutcome::Failed(err.to_string()));
+                    println!("{model_name:<8} FAILED: {err}");
+                    continue;
+                }
+            };
             print!("{model_name:<8}");
             for (t, a) in &curve {
                 print!(" ({t:.2}s,{:.1}%)", 100.0 * a);
@@ -70,5 +86,6 @@ fn main() {
             );
         }
     }
+    summary.print();
     report::write_json("fig3", &json);
 }

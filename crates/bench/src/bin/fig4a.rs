@@ -9,11 +9,15 @@
 
 use e2gcl::pipeline::run_node_classification;
 use e2gcl::prelude::*;
+use e2gcl_bench::report::{outcome_of, CellOutcome, SweepSummary};
 use e2gcl_bench::{reference, report, Profile};
 
 fn main() {
     let profile = Profile::from_args();
-    println!("Fig. 4(a) reproduction — node budget sweep (profile: {})", profile.name);
+    println!(
+        "Fig. 4(a) reproduction — node budget sweep (profile: {})",
+        profile.name
+    );
     let ratios: Vec<f64> = if profile.name == "paper" {
         (0..=10).map(|i| 1.0 / f64::powi(2.0, i)).collect()
     } else {
@@ -21,6 +25,7 @@ fn main() {
     };
     let cfg = profile.train_config();
     let mut points: Vec<(f64, Vec<f32>)> = Vec::new();
+    let mut summary = SweepSummary::new();
     let datasets: Vec<NodeDataset> = reference::SMALL_DATASETS
         .iter()
         .map(|n| profile.dataset(n, 500))
@@ -28,9 +33,25 @@ fn main() {
     for &r in &ratios {
         let mut row = Vec::new();
         for data in &datasets {
-            let model = E2gclModel::new(E2gclConfig { node_ratio: r, ..Default::default() });
-            let run = run_node_classification(&model, data, &cfg, profile.runs.min(2), 0);
-            row.push(100.0 * run.mean);
+            let model = E2gclModel::new(E2gclConfig {
+                node_ratio: r,
+                ..Default::default()
+            });
+            let label = format!("r={r}/{}", data.name);
+            match run_node_classification(&model, data, &cfg, profile.runs.min(2), 0) {
+                Ok(run) if !run.accuracies.is_empty() => {
+                    summary.record(&label, outcome_of(&run));
+                    row.push(100.0 * run.mean);
+                }
+                Ok(run) => {
+                    summary.record(&label, outcome_of(&run));
+                    row.push(f32::NAN);
+                }
+                Err(err) => {
+                    summary.record(&label, CellOutcome::Failed(err.to_string()));
+                    row.push(f32::NAN);
+                }
+            }
         }
         eprintln!("  done: r = {r}");
         points.push((r, row));
@@ -45,7 +66,11 @@ fn main() {
     for (di, name) in reference::SMALL_DATASETS.iter().enumerate() {
         let first = points.first().unwrap().1[di];
         let last = points.last().unwrap().1[di];
-        println!("[shape] {name}: r=1 gives {first:.2}%, r={:.4} gives {last:.2}%", ratios.last().unwrap());
+        println!(
+            "[shape] {name}: r=1 gives {first:.2}%, r={:.4} gives {last:.2}%",
+            ratios.last().unwrap()
+        );
     }
+    summary.print();
     report::write_json("fig4a", &points);
 }

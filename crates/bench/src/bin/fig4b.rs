@@ -8,19 +8,26 @@
 
 use e2gcl::pipeline::run_node_classification;
 use e2gcl::prelude::*;
+use e2gcl_bench::report::{outcome_of, CellOutcome, SweepSummary};
 use e2gcl_bench::{report, Profile};
 use e2gcl_selector::greedy::GreedyConfig;
 
 fn main() {
     let profile = Profile::from_args();
-    println!("Fig. 4(b) reproduction — cluster-number sweep (profile: {})", profile.name);
+    println!(
+        "Fig. 4(b) reproduction — cluster-number sweep (profile: {})",
+        profile.name
+    );
     let cluster_counts = [30usize, 60, 90, 120, 180];
     let cfg = profile.train_config();
-    let datasets =
-        [profile.dataset("computers-sim", 501), profile.large_dataset("arxiv-sim", 502)];
+    let datasets = [
+        profile.dataset("computers-sim", 501),
+        profile.large_dataset("arxiv-sim", 502),
+    ];
     for data in &datasets {
         println!("\n--- {} ({} nodes) ---", data.name, data.num_nodes());
         let mut raw: Vec<(usize, f32, f64, f64)> = Vec::new();
+        let mut summary = SweepSummary::new();
         for &nc in &cluster_counts {
             let model = E2gclModel::new(E2gclConfig {
                 selector: SelectorKind::Greedy(GreedyConfig {
@@ -30,11 +37,23 @@ fn main() {
                 }),
                 ..Default::default()
             });
-            let run = run_node_classification(&model, data, &cfg, 1, 0);
-            raw.push((nc, run.mean, run.selection_secs, run.total_secs));
+            let label = format!("n_c={nc}/{}", data.name);
+            match run_node_classification(&model, data, &cfg, 1, 0) {
+                Ok(run) if !run.accuracies.is_empty() => {
+                    summary.record(&label, outcome_of(&run));
+                    raw.push((nc, run.mean, run.selection_secs, run.total_secs));
+                }
+                Ok(run) => summary.record(&label, outcome_of(&run)),
+                Err(err) => summary.record(&label, CellOutcome::Failed(err.to_string())),
+            }
             eprintln!("  done: n_c = {nc}");
         }
         // Normalise by the first variant, as the paper does.
+        if raw.is_empty() {
+            summary.print();
+            println!("every cell on {} failed; no curve to print", data.name);
+            continue;
+        }
         let base = raw[0];
         let points: Vec<(f64, Vec<f32>)> = raw
             .iter()
@@ -55,6 +74,7 @@ fn main() {
             &["accuracy", "selection", "total"],
             &points,
         );
+        summary.print();
         report::write_json(&format!("fig4b-{}", data.name), &points);
     }
 }

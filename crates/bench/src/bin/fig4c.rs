@@ -8,23 +8,30 @@
 
 use e2gcl::pipeline::run_node_classification;
 use e2gcl::prelude::*;
+use e2gcl_bench::report::{outcome_of, CellOutcome, SweepSummary};
 use e2gcl_bench::{report, Profile};
 use e2gcl_selector::greedy::GreedyConfig;
 
 fn main() {
     let profile = Profile::from_args();
-    println!("Fig. 4(c) reproduction — sample-count sweep (profile: {})", profile.name);
+    println!(
+        "Fig. 4(c) reproduction — sample-count sweep (profile: {})",
+        profile.name
+    );
     let sample_sizes: Vec<usize> = if profile.name == "paper" {
         (1..=10).map(|i| 100 * i).collect()
     } else {
         vec![25, 100, 300, 600, 1000]
     };
     let cfg = profile.train_config();
-    let datasets =
-        [profile.dataset("computers-sim", 503), profile.large_dataset("arxiv-sim", 504)];
+    let datasets = [
+        profile.dataset("computers-sim", 503),
+        profile.large_dataset("arxiv-sim", 504),
+    ];
     for data in &datasets {
         println!("\n--- {} ({} nodes) ---", data.name, data.num_nodes());
         let mut raw: Vec<(usize, f32, f64, f64)> = Vec::new();
+        let mut summary = SweepSummary::new();
         for &ns in &sample_sizes {
             let model = E2gclModel::new(E2gclConfig {
                 selector: SelectorKind::Greedy(GreedyConfig {
@@ -34,9 +41,21 @@ fn main() {
                 }),
                 ..Default::default()
             });
-            let run = run_node_classification(&model, data, &cfg, 1, 0);
-            raw.push((ns, run.mean, run.selection_secs, run.total_secs));
+            let label = format!("n_s={ns}/{}", data.name);
+            match run_node_classification(&model, data, &cfg, 1, 0) {
+                Ok(run) if !run.accuracies.is_empty() => {
+                    summary.record(&label, outcome_of(&run));
+                    raw.push((ns, run.mean, run.selection_secs, run.total_secs));
+                }
+                Ok(run) => summary.record(&label, outcome_of(&run)),
+                Err(err) => summary.record(&label, CellOutcome::Failed(err.to_string())),
+            }
             eprintln!("  done: n_s = {ns}");
+        }
+        if raw.is_empty() {
+            summary.print();
+            println!("every cell on {} failed; no curve to print", data.name);
+            continue;
         }
         let base = raw[0];
         let points: Vec<(f64, Vec<f32>)> = raw
@@ -58,6 +77,7 @@ fn main() {
             &["accuracy", "selection", "total"],
             &points,
         );
+        summary.print();
         report::write_json(&format!("fig4c-{}", data.name), &points);
     }
 }

@@ -8,30 +8,43 @@
 
 use e2gcl::pipeline::run_node_classification;
 use e2gcl::prelude::*;
+use e2gcl_bench::report::{outcome_of, CellOutcome, SweepSummary};
 use e2gcl_bench::{report, Profile};
 
 fn main() {
     let profile = Profile::from_args();
-    println!("Fig. 4(d) reproduction — τ sweep on cora-sim (profile: {})", profile.name);
+    println!(
+        "Fig. 4(d) reproduction — τ sweep on cora-sim (profile: {})",
+        profile.name
+    );
     let taus = [0.0f32, 0.2, 0.4, 0.6, 0.8, 1.0, 1.2, 1.4];
     let data = profile.dataset("cora-sim", 505);
     let cfg = profile.train_config();
     let mut points = Vec::new();
+    let mut summary = SweepSummary::new();
     for &tau in &taus {
         let model = E2gclModel::new(E2gclConfig {
             tau_hat: tau,
             tau_tilde: tau,
             ..Default::default()
         });
-        let run = run_node_classification(&model, &data, &cfg, profile.runs.min(2), 0);
-        points.push((tau as f64, vec![100.0 * run.mean]));
+        let label = format!("tau={tau}/cora-sim");
+        match run_node_classification(&model, &data, &cfg, profile.runs.min(2), 0) {
+            Ok(run) if !run.accuracies.is_empty() => {
+                summary.record(&label, outcome_of(&run));
+                points.push((tau as f64, vec![100.0 * run.mean]));
+            }
+            Ok(run) => summary.record(&label, outcome_of(&run)),
+            Err(err) => summary.record(&label, CellOutcome::Failed(err.to_string())),
+        }
         eprintln!("  done: τ = {tau}");
     }
     report::print_series("Fig. 4(d): accuracy % vs τ", "tau", &["cora-sim"], &points);
-    let peak = points
-        .iter()
-        .max_by(|a, b| a.1[0].partial_cmp(&b.1[0]).unwrap())
-        .unwrap();
+    let Some(peak) = points.iter().max_by(|a, b| a.1[0].total_cmp(&b.1[0])) else {
+        summary.print();
+        println!("every cell failed; no curve to print");
+        return;
+    };
     println!(
         "[shape] peak at τ = {} ({:.2}%); endpoints: τ=0 {:.2}%, τ=1.4 {:.2}%",
         peak.0,
@@ -39,5 +52,6 @@ fn main() {
         points[0].1[0],
         points.last().unwrap().1[0]
     );
+    summary.print();
     report::write_json("fig4d", &points);
 }

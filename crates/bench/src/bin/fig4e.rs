@@ -8,30 +8,43 @@
 
 use e2gcl::pipeline::run_node_classification;
 use e2gcl::prelude::*;
+use e2gcl_bench::report::{outcome_of, CellOutcome, SweepSummary};
 use e2gcl_bench::{report, Profile};
 
 fn main() {
     let profile = Profile::from_args();
-    println!("Fig. 4(e) reproduction — η sweep on cora-sim (profile: {})", profile.name);
+    println!(
+        "Fig. 4(e) reproduction — η sweep on cora-sim (profile: {})",
+        profile.name
+    );
     let etas = [0.0f32, 0.2, 0.4, 0.6, 0.8, 1.0, 1.2, 1.4];
     let data = profile.dataset("cora-sim", 506);
     let cfg = profile.train_config();
     let mut points = Vec::new();
+    let mut summary = SweepSummary::new();
     for &eta in &etas {
         let model = E2gclModel::new(E2gclConfig {
             eta_hat: eta,
             eta_tilde: eta,
             ..Default::default()
         });
-        let run = run_node_classification(&model, &data, &cfg, profile.runs.min(2), 0);
-        points.push((eta as f64, vec![100.0 * run.mean]));
+        let label = format!("eta={eta}/cora-sim");
+        match run_node_classification(&model, &data, &cfg, profile.runs.min(2), 0) {
+            Ok(run) if !run.accuracies.is_empty() => {
+                summary.record(&label, outcome_of(&run));
+                points.push((eta as f64, vec![100.0 * run.mean]));
+            }
+            Ok(run) => summary.record(&label, outcome_of(&run)),
+            Err(err) => summary.record(&label, CellOutcome::Failed(err.to_string())),
+        }
         eprintln!("  done: η = {eta}");
     }
     report::print_series("Fig. 4(e): accuracy % vs η", "eta", &["cora-sim"], &points);
-    let peak = points
-        .iter()
-        .max_by(|a, b| a.1[0].partial_cmp(&b.1[0]).unwrap())
-        .unwrap();
+    let Some(peak) = points.iter().max_by(|a, b| a.1[0].total_cmp(&b.1[0])) else {
+        summary.print();
+        println!("every cell failed; no curve to print");
+        return;
+    };
     println!(
         "[shape] peak at η = {} ({:.2}%); endpoints: η=0 {:.2}%, η=1.4 {:.2}%",
         peak.0,
@@ -39,5 +52,6 @@ fn main() {
         points[0].1[0],
         points.last().unwrap().1[0]
     );
+    summary.print();
     report::write_json("fig4e", &points);
 }

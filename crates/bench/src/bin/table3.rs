@@ -28,11 +28,24 @@ struct Row {
 
 fn main() {
     let profile = Profile::from_args();
-    println!("Table III reproduction — dataset statistics (profile: {})", profile.name);
+    println!(
+        "Table III reproduction — dataset statistics (profile: {})",
+        profile.name
+    );
     println!(
         "{:<14} {:>10} {:>12} {:>8} {:>9} {:>7}  |  {:>9} {:>11} {:>8} {:>9} {:>7} {:>6}",
-        "dataset", "nodes", "edges", "degree", "features", "classes", "sim nodes",
-        "sim edges", "degree", "features", "classes", "homo",
+        "dataset",
+        "nodes",
+        "edges",
+        "degree",
+        "features",
+        "classes",
+        "sim nodes",
+        "sim edges",
+        "degree",
+        "features",
+        "classes",
+        "homo",
     );
     let mut rows = Vec::new();
     for spec in all_node_specs() {

@@ -7,7 +7,7 @@
 
 use e2gcl::pipeline::run_node_classification;
 use e2gcl::{eval, prelude::*};
-use e2gcl_bench::report::{print_table, write_json, Cell};
+use e2gcl_bench::report::{outcome_of, print_table, write_json, Cell, CellOutcome, SweepSummary};
 use e2gcl_bench::{reference, registry, Profile};
 use e2gcl_linalg::stats;
 use serde::Serialize;
@@ -34,11 +34,13 @@ fn main() {
     let paper_rows = reference::table4();
     let mut rows = Vec::new();
     let mut json = Vec::new();
+    let mut summary = SweepSummary::new();
 
     for (model_name, paper_vals) in &paper_rows {
         let mut cells = Vec::new();
         for (di, data) in datasets.iter().enumerate() {
-            let (mean, std) = match *model_name {
+            let label = format!("{model_name}/{}", data.name);
+            let outcome = match *model_name {
                 "MLP" => {
                     let accs: Vec<f32> = (0..profile.runs)
                         .map(|r| {
@@ -51,7 +53,7 @@ fn main() {
                             )
                         })
                         .collect();
-                    stats::mean_std(&accs)
+                    Ok(stats::mean_std(&accs))
                 }
                 "GCN" => {
                     let accs: Vec<f32> = (0..profile.runs)
@@ -66,28 +68,44 @@ fn main() {
                             )
                         })
                         .collect();
-                    stats::mean_std(&accs)
+                    Ok(stats::mean_std(&accs))
                 }
                 name => {
-                    let model = registry::model(name);
+                    let model = registry::model(name).expect("table names are registered");
                     let cfg = if registry::is_walk_model(name) {
                         profile.walk_config()
                     } else {
                         profile.train_config()
                     };
-                    let run =
-                        run_node_classification(model.as_ref(), data, &cfg, profile.runs, 0);
-                    (run.mean, run.std)
+                    match run_node_classification(model.as_ref(), data, &cfg, profile.runs, 0) {
+                        Ok(run) if !run.accuracies.is_empty() => {
+                            summary.record(&label, outcome_of(&run));
+                            Ok((run.mean, run.std))
+                        }
+                        Ok(run) => {
+                            summary.record(&label, outcome_of(&run));
+                            Err(())
+                        }
+                        Err(err) => {
+                            summary.record(&label, CellOutcome::Failed(err.to_string()));
+                            Err(())
+                        }
+                    }
                 }
             };
-            cells.push(Cell::vs(100.0 * mean, 100.0 * std, paper_vals[di]));
-            json.push(Entry {
-                model: model_name.to_string(),
-                dataset: data.name.clone(),
-                mean: 100.0 * mean,
-                std: 100.0 * std,
-                paper: paper_vals[di],
-            });
+            match outcome {
+                Ok((mean, std)) => {
+                    cells.push(Cell::vs(100.0 * mean, 100.0 * std, paper_vals[di]));
+                    json.push(Entry {
+                        model: model_name.to_string(),
+                        dataset: data.name.clone(),
+                        mean: 100.0 * mean,
+                        std: 100.0 * std,
+                        paper: paper_vals[di],
+                    });
+                }
+                Err(()) => cells.push(Cell::failed()),
+            }
             eprintln!("  done: {model_name} on {}", data.name);
         }
         rows.push((model_name.to_string(), cells));
@@ -97,5 +115,6 @@ fn main() {
         &reference::SMALL_DATASETS,
         &rows,
     );
+    summary.print();
     write_json("table4", &json);
 }

@@ -10,6 +10,7 @@
 //! ```
 
 use e2gcl::pipeline::run_node_classification;
+use e2gcl_bench::report::{outcome_of, CellOutcome, SweepSummary};
 use e2gcl_bench::{reference, registry, report, Profile};
 use serde::Serialize;
 
@@ -43,6 +44,7 @@ fn main() {
         );
     }
     let mut json = Vec::new();
+    let mut summary = SweepSummary::new();
     println!(
         "\n{:<8} {:<14} {:>10} {:>10} {:>10} {:>12} {:>12}",
         "model", "dataset", "acc %", "ST s", "TT s", "paper acc", "paper TT"
@@ -55,14 +57,30 @@ fn main() {
                 println!("{model_name:<8} {:<14} {:>10}", d.name, "~ (skipped)");
                 continue;
             }
-            let model = registry::model(model_name);
-            let run = run_node_classification(
+            let model = registry::model(model_name).expect("table names are registered");
+            let label = format!("{model_name}/{}", d.name);
+            let run = match run_node_classification(
                 model.as_ref(),
                 d,
                 &profile.train_config(),
                 profile.runs.min(2),
                 0,
-            );
+            ) {
+                Ok(run) if !run.accuracies.is_empty() => {
+                    summary.record(&label, outcome_of(&run));
+                    run
+                }
+                Ok(run) => {
+                    summary.record(&label, outcome_of(&run));
+                    println!("{model_name:<8} {:<14} {:>10}", d.name, "FAILED");
+                    continue;
+                }
+                Err(err) => {
+                    summary.record(&label, CellOutcome::Failed(err.to_string()));
+                    println!("{model_name:<8} {:<14} {:>10}", d.name, "FAILED");
+                    continue;
+                }
+            };
             let (pa, pt) = match paper {
                 Some((acc, _, tt)) => (Some(*acc), Some(*tt)),
                 None => (None, None),
@@ -111,5 +129,6 @@ fn main() {
             );
         }
     }
+    summary.print();
     report::write_json("table5", &json);
 }

@@ -10,7 +10,10 @@ use e2gcl_bench::{e2gcl_ablation_table, reference, Profile};
 
 fn main() {
     let profile = Profile::from_args();
-    println!("Table VI reproduction — framework ablation (profile: {})", profile.name);
+    println!(
+        "Table VI reproduction — framework ablation (profile: {})",
+        profile.name
+    );
     let variants = vec![
         (
             "E2GCL_{A,U}".to_string(),

@@ -10,14 +10,21 @@ use e2gcl_bench::{e2gcl_ablation_table, reference, Profile};
 
 fn main() {
     let profile = Profile::from_args();
-    println!("Table VII reproduction — selector ablation (profile: {})", profile.name);
+    println!(
+        "Table VII reproduction — selector ablation (profile: {})",
+        profile.name
+    );
     // The paper runs this at r = 0.4; at quick scale that budget is so
     // generous every selector saturates (the Fig. 4a plateau), so the
     // reproduction tightens the budget to r = 0.1 where selection quality
     // actually matters.
     let ratio = 0.1;
     let with = |selector: SelectorKind| {
-        E2gclModel::new(E2gclConfig { selector, node_ratio: ratio, ..Default::default() })
+        E2gclModel::new(E2gclConfig {
+            selector,
+            node_ratio: ratio,
+            ..Default::default()
+        })
     };
     let variants = vec![
         ("Random".to_string(), with(SelectorKind::Random)),
@@ -27,7 +34,10 @@ fn main() {
         ("Grain".to_string(), with(SelectorKind::Grain)),
         (
             "Ours".to_string(),
-            E2gclModel::new(E2gclConfig { node_ratio: ratio, ..Default::default() }),
+            E2gclModel::new(E2gclConfig {
+                node_ratio: ratio,
+                ..Default::default()
+            }),
         ),
     ];
     e2gcl_ablation_table(

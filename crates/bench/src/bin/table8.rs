@@ -10,9 +10,15 @@ use e2gcl_bench::{e2gcl_ablation_table, reference, Profile};
 
 fn main() {
     let profile = Profile::from_args();
-    println!("Table VIII reproduction — view-generator ablation (profile: {})", profile.name);
+    println!(
+        "Table VIII reproduction — view-generator ablation (profile: {})",
+        profile.name
+    );
     let with = |strategy: ViewStrategy| {
-        E2gclModel::new(E2gclConfig { strategy, ..Default::default() })
+        E2gclModel::new(E2gclConfig {
+            strategy,
+            ..Default::default()
+        })
     };
     let variants = vec![
         ("E2GCL\\F\\S".to_string(), with(ViewStrategy::Uniform)),

@@ -8,7 +8,9 @@
 
 use e2gcl::pipeline::run_graph_classification;
 use e2gcl::{eval, prelude::*};
-use e2gcl_bench::report::{print_table, write_json, Cell};
+use e2gcl_bench::report::{
+    graph_outcome_of, print_table, write_json, Cell, CellOutcome, SweepSummary,
+};
 use e2gcl_bench::{reference, registry, Profile};
 use e2gcl_datasets::graph_dataset::{graph_spec, GraphDataset};
 use e2gcl_datasets::split::EdgeSplit;
@@ -39,44 +41,99 @@ fn main() {
         .iter()
         .enumerate()
         .map(|(i, name)| {
-            GraphDataset::generate(&graph_spec(name), profile.scale.min(0.5), 700 + i as u64)
+            let spec = graph_spec(name).expect("table names are registered");
+            GraphDataset::generate(&spec, profile.scale.min(0.5), 700 + i as u64)
         })
         .collect();
 
     let mut rows = Vec::new();
     let mut json = Vec::new();
+    let mut summary = SweepSummary::new();
     for (model_name, paper_lp, paper_gc) in reference::table9() {
-        let model = registry::model(model_name);
+        let model = registry::model(model_name).expect("table names are registered");
         let mut cells = Vec::new();
         // --- link prediction ---
         for (i, (d, split)) in lp_data.iter().enumerate() {
-            let accs: Vec<f32> = (0..profile.runs)
-                .map(|r| {
-                    let mut rng = SeedRng::new(r as u64);
-                    let out =
-                        model.pretrain(&split.train_graph, &d.features, &cfg, &mut rng);
-                    eval::link_prediction_accuracy(&out.embeddings, split, r as u64)
-                })
-                .collect();
-            let (mean, std) = stats::mean_std(&accs);
-            cells.push(Cell::vs(100.0 * mean, 100.0 * std, paper_lp[i]));
-            json.push((model_name, format!("lp/{}", d.name), 100.0 * mean, paper_lp[i]));
+            let mut accs = Vec::new();
+            let mut last_err = None;
+            for r in 0..profile.runs {
+                let mut rng = SeedRng::new(r as u64);
+                match model.pretrain(&split.train_graph, &d.features, &cfg, &mut rng) {
+                    Ok(out) => accs.push(eval::link_prediction_accuracy(
+                        &out.embeddings,
+                        split,
+                        r as u64,
+                    )),
+                    Err(err) => last_err = Some(err),
+                }
+            }
+            let label = format!("{model_name}/lp/{}", d.name);
+            let failed = profile.runs - accs.len();
+            match last_err {
+                None => summary.record(&label, CellOutcome::Ok),
+                Some(err) if accs.is_empty() => {
+                    summary.record(&label, CellOutcome::Failed(err.to_string()))
+                }
+                Some(_) => summary.record(
+                    &label,
+                    CellOutcome::Diverged {
+                        failed_runs: failed,
+                    },
+                ),
+            }
+            if accs.is_empty() {
+                cells.push(Cell::failed());
+            } else {
+                let (mean, std) = stats::mean_std(&accs);
+                cells.push(Cell::vs(100.0 * mean, 100.0 * std, paper_lp[i]));
+                json.push((
+                    model_name,
+                    format!("lp/{}", d.name),
+                    100.0 * mean,
+                    paper_lp[i],
+                ));
+            }
             eprintln!("  done: {model_name} link prediction on {}", d.name);
         }
         // --- graph classification ---
         for (i, data) in gc_data.iter().enumerate() {
-            let (mean, std) =
-                run_graph_classification(model.as_ref(), data, &cfg, profile.runs, 0);
-            cells.push(Cell::vs(100.0 * mean, 100.0 * std, paper_gc[i]));
-            json.push((model_name, format!("gc/{}", data.name), 100.0 * mean, paper_gc[i]));
+            let label = format!("{model_name}/gc/{}", data.name);
+            match run_graph_classification(model.as_ref(), data, &cfg, profile.runs, 0) {
+                Ok(run) if !run.accuracies.is_empty() => {
+                    summary.record(&label, graph_outcome_of(&run));
+                    cells.push(Cell::vs(100.0 * run.mean, 100.0 * run.std, paper_gc[i]));
+                    json.push((
+                        model_name,
+                        format!("gc/{}", data.name),
+                        100.0 * run.mean,
+                        paper_gc[i],
+                    ));
+                }
+                Ok(run) => {
+                    summary.record(&label, graph_outcome_of(&run));
+                    cells.push(Cell::failed());
+                }
+                Err(err) => {
+                    summary.record(&label, CellOutcome::Failed(err.to_string()));
+                    cells.push(Cell::failed());
+                }
+            }
             eprintln!("  done: {model_name} graph classification on {}", data.name);
         }
         rows.push((model_name.to_string(), cells));
     }
     print_table(
         "Table IX: link prediction | graph classification, accuracy % — measured (paper)",
-        &["lp:photo", "lp:computers", "lp:cs", "gc:nci1", "gc:ptcmr", "gc:proteins"],
+        &[
+            "lp:photo",
+            "lp:computers",
+            "lp:cs",
+            "gc:nci1",
+            "gc:ptcmr",
+            "gc:proteins",
+        ],
         &rows,
     );
+    summary.print();
     write_json("table9", &json);
 }

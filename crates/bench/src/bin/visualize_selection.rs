@@ -80,14 +80,9 @@ fn main() {
     let mut rng = SeedRng::new(0);
     let proj = pca::pca_project(&repr, 2, 50, &mut rng);
     let budget = data.num_nodes() / 10;
-    let ours = GreedySelector::default().select(
-        &data.graph,
-        &data.features,
-        budget,
-        &mut SeedRng::new(1),
-    );
-    let random =
-        RandomSelector.select(&data.graph, &data.features, budget, &mut SeedRng::new(1));
+    let ours =
+        GreedySelector::default().select(&data.graph, &data.features, budget, &mut SeedRng::new(1));
+    let random = RandomSelector.select(&data.graph, &data.features, budget, &mut SeedRng::new(1));
     render("Alg. 2 greedy coreset", &proj, &ours.nodes);
     render("Random selection (same budget)", &proj, &random.nodes);
 }

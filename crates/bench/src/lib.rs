@@ -32,12 +32,24 @@ pub struct Profile {
 impl Profile {
     /// The fast smoke profile (used for the recorded bench outputs).
     pub fn quick() -> Profile {
-        Profile { name: "quick".into(), scale: 0.25, large_scale: 0.15, epochs: 15, runs: 2 }
+        Profile {
+            name: "quick".into(),
+            scale: 0.25,
+            large_scale: 0.15,
+            epochs: 15,
+            runs: 2,
+        }
     }
 
     /// The full protocol (paper-sized graphs, 10 repetitions).
     pub fn paper() -> Profile {
-        Profile { name: "paper".into(), scale: 1.0, large_scale: 1.0, epochs: 60, runs: 10 }
+        Profile {
+            name: "paper".into(),
+            scale: 1.0,
+            large_scale: 1.0,
+            epochs: 60,
+            runs: 10,
+        }
     }
 
     /// Parses `--profile quick|paper` (default quick) from process args.
@@ -82,24 +94,32 @@ impl Profile {
 
     /// The shared training configuration for this profile.
     pub fn train_config(&self) -> TrainConfig {
-        TrainConfig { epochs: self.epochs, ..TrainConfig::default() }
+        TrainConfig {
+            epochs: self.epochs,
+            ..TrainConfig::default()
+        }
     }
 
     /// Walk models (DeepWalk / Node2Vec) do far more work per "epoch"; the
     /// convention is a handful of passes.
     pub fn walk_config(&self) -> TrainConfig {
-        TrainConfig { epochs: (self.epochs / 8).max(2), ..TrainConfig::default() }
+        TrainConfig {
+            epochs: (self.epochs / 8).max(2),
+            ..TrainConfig::default()
+        }
     }
 
     /// Generates one of the five small datasets at this profile's scale.
     pub fn dataset(&self, name: &str, seed: u64) -> NodeDataset {
-        NodeDataset::generate(&spec(name), self.scale, seed)
+        let s = spec(name).expect("bench binaries use registered dataset names");
+        NodeDataset::generate(&s, self.scale, seed)
     }
 
     /// Generates one of the two large datasets (Table V) at this profile's
     /// large-graph scale.
     pub fn large_dataset(&self, name: &str, seed: u64) -> NodeDataset {
-        NodeDataset::generate(&spec(name), self.large_scale, seed)
+        let s = spec(name).expect("bench binaries use registered dataset names");
+        NodeDataset::generate(&s, self.large_scale, seed)
     }
 }
 
@@ -121,23 +141,42 @@ pub fn e2gcl_ablation_table(
     let cfg = profile.train_config();
     let mut rows = Vec::new();
     let mut json: Vec<(String, String, f32, f32, f32)> = Vec::new();
+    let mut summary = report::SweepSummary::new();
     for ((name, model), (_, paper_vals)) in variants.iter().zip(paper) {
         let mut cells = Vec::new();
         for (di, data) in datasets.iter().enumerate() {
-            let run = run_node_classification(model, data, &cfg, profile.runs, 0);
-            cells.push(report::Cell::vs(100.0 * run.mean, 100.0 * run.std, paper_vals[di]));
-            json.push((
-                name.clone(),
-                data.name.clone(),
-                100.0 * run.mean,
-                100.0 * run.std,
-                paper_vals[di],
-            ));
+            let label = format!("{name}/{}", data.name);
+            match run_node_classification(model, data, &cfg, profile.runs, 0) {
+                Ok(run) if !run.accuracies.is_empty() => {
+                    summary.record(label, report::outcome_of(&run));
+                    cells.push(report::Cell::vs(
+                        100.0 * run.mean,
+                        100.0 * run.std,
+                        paper_vals[di],
+                    ));
+                    json.push((
+                        name.clone(),
+                        data.name.clone(),
+                        100.0 * run.mean,
+                        100.0 * run.std,
+                        paper_vals[di],
+                    ));
+                }
+                Ok(run) => {
+                    summary.record(label, report::outcome_of(&run));
+                    cells.push(report::Cell::failed());
+                }
+                Err(err) => {
+                    summary.record(label, report::CellOutcome::Failed(err.to_string()));
+                    cells.push(report::Cell::failed());
+                }
+            }
             eprintln!("  done: {name} on {}", data.name);
         }
         rows.push((name.clone(), cells));
     }
     report::print_table(title, &reference::SMALL_DATASETS, &rows);
+    summary.print();
     report::write_json(json_name, &json);
 }
 

@@ -6,8 +6,13 @@
 //! is a CPU Rust stack — see `DESIGN.md` §1); orderings and trends are.
 
 /// Dataset column order of Tables IV and VI–VIII.
-pub const SMALL_DATASETS: [&str; 5] =
-    ["cora-sim", "citeseer-sim", "photo-sim", "computers-sim", "cs-sim"];
+pub const SMALL_DATASETS: [&str; 5] = [
+    "cora-sim",
+    "citeseer-sim",
+    "photo-sim",
+    "computers-sim",
+    "cs-sim",
+];
 
 /// Table IV node-classification accuracies (%), rows in paper order.
 pub fn table4() -> Vec<(&'static str, [f32; 5])> {
@@ -31,13 +36,33 @@ pub fn table4() -> Vec<(&'static str, [f32; 5])> {
 /// Table V: `(model, arxiv acc, arxiv ST, arxiv TT, products acc, ST, TT)`.
 /// `None` marks the paper's "~" (did not converge within 3 days).
 #[allow(clippy::type_complexity)]
-pub fn table5() -> Vec<(&'static str, Option<(f32, Option<f32>, f32)>, Option<(f32, Option<f32>, f32)>)> {
+pub fn table5() -> Vec<(
+    &'static str,
+    Option<(f32, Option<f32>, f32)>,
+    Option<(f32, Option<f32>, f32)>,
+)> {
     vec![
-        ("AFGRL", Some((43.14, None, 7338.5)), Some((26.51, None, 147_923.2))),
+        (
+            "AFGRL",
+            Some((43.14, None, 7338.5)),
+            Some((26.51, None, 147_923.2)),
+        ),
         ("MVGRL", Some((43.95, None, 8246.2)), None),
-        ("GRACE", Some((43.37, None, 7781.3)), Some((26.28, None, 208_261.9))),
-        ("GCA", Some((44.76, None, 6292.9)), Some((26.91, None, 193_825.7))),
-        ("E2GCL", Some((45.26, Some(70.5), 3106.8)), Some((27.21, Some(4219.2), 82_195.7))),
+        (
+            "GRACE",
+            Some((43.37, None, 7781.3)),
+            Some((26.28, None, 208_261.9)),
+        ),
+        (
+            "GCA",
+            Some((44.76, None, 6292.9)),
+            Some((26.91, None, 193_825.7)),
+        ),
+        (
+            "E2GCL",
+            Some((45.26, Some(70.5), 3106.8)),
+            Some((27.21, Some(4219.2), 82_195.7)),
+        ),
     ]
 }
 

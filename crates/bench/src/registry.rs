@@ -11,10 +11,10 @@ use e2gcl::prelude::*;
 
 /// Instantiates a contrastive model by its table name.
 ///
-/// # Panics
-/// Panics on an unknown name; see [`table4_contrastive_names`].
-pub fn model(name: &str) -> Box<dyn ContrastiveModel> {
-    match name {
+/// Unknown names return [`TrainError::UnknownModel`] listing the registered
+/// ones; see [`table4_contrastive_names`].
+pub fn model(name: &str) -> Result<Box<dyn ContrastiveModel>, TrainError> {
+    Ok(match name {
         "E2GCL" => Box::new(E2gclModel::default()),
         "GRACE" => Box::new(GraceModel::grace()),
         "GCA" => Box::new(GraceModel::gca()),
@@ -27,8 +27,16 @@ pub fn model(name: &str) -> Box<dyn ContrastiveModel> {
         "ADGCL" => Box::new(AdgclModel::default()),
         "DW" => Box::new(WalkModel::deepwalk()),
         "N2V" => Box::new(WalkModel::node2vec()),
-        other => panic!("unknown model '{other}'"),
-    }
+        other => {
+            return Err(TrainError::UnknownModel {
+                name: other.to_string(),
+                valid: table4_contrastive_names()
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect(),
+            })
+        }
+    })
 }
 
 /// True if this model is a random-walk method (gets the reduced-epoch
@@ -56,7 +64,7 @@ mod tests {
     #[test]
     fn every_registered_name_constructs() {
         for n in table4_contrastive_names() {
-            let m = model(n);
+            let m = model(n).unwrap();
             // Registry name must match the table name the paper prints
             // (walk models use the paper's abbreviations).
             match n {
@@ -66,13 +74,16 @@ mod tests {
             }
         }
         for n in strong_baseline_names() {
-            let _ = model(n);
+            let _ = model(n).unwrap();
         }
     }
 
     #[test]
-    #[should_panic(expected = "unknown model")]
-    fn unknown_model_panics() {
-        let _ = model("GPT");
+    fn unknown_model_errors_and_lists_valid_names() {
+        let Err(err) = model("GPT") else {
+            panic!("expected an unknown-model error");
+        };
+        assert!(matches!(err, TrainError::UnknownModel { .. }));
+        assert!(err.to_string().contains("E2GCL"), "{err}");
     }
 }

@@ -1,5 +1,8 @@
-//! Output helpers: aligned comparison tables + JSON result files.
+//! Output helpers: aligned comparison tables + JSON result files, plus the
+//! per-cell outcome bookkeeping that keeps a sweep alive when individual
+//! runs diverge.
 
+use e2gcl::pipeline::{GraphClassificationRun, NodeClassificationRun};
 use serde::Serialize;
 use std::io::Write;
 
@@ -12,20 +15,46 @@ pub struct Cell {
     pub std: Option<f32>,
     /// The paper's reported value, if applicable.
     pub paper: Option<f32>,
+    /// True when every run of the cell failed; renders as `FAILED`.
+    #[serde(default, skip_serializing_if = "std::ops::Not::not")]
+    pub failed: bool,
 }
 
 impl Cell {
     /// A measured-only cell.
     pub fn measured(measured: f32) -> Cell {
-        Cell { measured, std: None, paper: None }
+        Cell {
+            measured,
+            std: None,
+            paper: None,
+            failed: false,
+        }
     }
 
     /// Measured ± std against a paper value.
     pub fn vs(measured: f32, std: f32, paper: f32) -> Cell {
-        Cell { measured, std: Some(std), paper: Some(paper) }
+        Cell {
+            measured,
+            std: Some(std),
+            paper: Some(paper),
+            failed: false,
+        }
+    }
+
+    /// A cell whose every run failed.
+    pub fn failed() -> Cell {
+        Cell {
+            measured: f32::NAN,
+            std: None,
+            paper: None,
+            failed: true,
+        }
     }
 
     fn render(&self) -> String {
+        if self.failed {
+            return "FAILED".to_string();
+        }
         let mut s = match self.std {
             Some(std) => format!("{:5.2}±{:4.2}", self.measured, std),
             None => format!("{:8.2}", self.measured),
@@ -34,6 +63,101 @@ impl Cell {
             s.push_str(&format!(" ({p:5.2})"));
         }
         s
+    }
+}
+
+/// Outcome of one sweep cell (one model on one dataset).
+#[derive(Clone, Debug, Serialize)]
+pub enum CellOutcome {
+    /// Every run finished.
+    Ok,
+    /// Some runs diverged (and were recorded, not retried into success);
+    /// the cell's aggregate covers the surviving runs.
+    Diverged {
+        /// How many runs failed.
+        failed_runs: usize,
+    },
+    /// No run survived, or the cell never produced a result.
+    Failed(String),
+}
+
+/// Classifies a node-classification sweep cell.
+pub fn outcome_of(run: &NodeClassificationRun) -> CellOutcome {
+    outcome_from_counts(run.accuracies.len(), &run.failed_runs)
+}
+
+/// Classifies a graph-classification sweep cell.
+pub fn graph_outcome_of(run: &GraphClassificationRun) -> CellOutcome {
+    outcome_from_counts(run.accuracies.len(), &run.failed_runs)
+}
+
+fn outcome_from_counts(ok_runs: usize, failed: &[(u64, e2gcl::TrainError)]) -> CellOutcome {
+    if failed.is_empty() {
+        CellOutcome::Ok
+    } else if ok_runs == 0 {
+        let (seed, err) = &failed[0];
+        CellOutcome::Failed(format!("all runs failed; first (seed {seed}): {err}"))
+    } else {
+        CellOutcome::Diverged {
+            failed_runs: failed.len(),
+        }
+    }
+}
+
+/// Collects per-cell outcomes across a sweep so the binaries can finish the
+/// whole grid and report problems at the end instead of aborting.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct SweepSummary {
+    cells: Vec<(String, CellOutcome)>,
+}
+
+impl SweepSummary {
+    /// An empty summary.
+    pub fn new() -> SweepSummary {
+        SweepSummary::default()
+    }
+
+    /// Records the outcome of one cell, e.g. `record("GRACE/cora-sim", ...)`.
+    pub fn record(&mut self, label: impl Into<String>, outcome: CellOutcome) {
+        self.cells.push((label.into(), outcome));
+    }
+
+    /// True if any cell diverged or failed.
+    pub fn has_problems(&self) -> bool {
+        self.cells
+            .iter()
+            .any(|(_, o)| !matches!(o, CellOutcome::Ok))
+    }
+
+    /// Prints the failure summary (or a clean bill of health).
+    pub fn print(&self) {
+        let problems: Vec<_> = self
+            .cells
+            .iter()
+            .filter(|(_, o)| !matches!(o, CellOutcome::Ok))
+            .collect();
+        if problems.is_empty() {
+            println!(
+                "[all {} cells completed without numeric failures]",
+                self.cells.len()
+            );
+            return;
+        }
+        println!(
+            "
+=== failure summary ({} of {} cells affected) ===",
+            problems.len(),
+            self.cells.len()
+        );
+        for (label, outcome) in problems {
+            match outcome {
+                CellOutcome::Diverged { failed_runs } => {
+                    println!("  {label}: {failed_runs} run(s) diverged; aggregate uses the rest")
+                }
+                CellOutcome::Failed(reason) => println!("  {label}: FAILED — {reason}"),
+                CellOutcome::Ok => unreachable!(),
+            }
+        }
     }
 }
 
@@ -83,7 +207,9 @@ pub fn write_json<T: Serialize>(name: &str, value: &T) {
     let path = dir.join(format!("{name}.json"));
     if let Ok(mut f) = std::fs::File::create(&path) {
         let _ = f.write_all(
-            serde_json::to_string_pretty(value).unwrap_or_default().as_bytes(),
+            serde_json::to_string_pretty(value)
+                .unwrap_or_default()
+                .as_bytes(),
         );
         println!("[results written to {}]", path.display());
     }
@@ -99,6 +225,33 @@ mod tests {
         let c = Cell::vs(81.53, 0.42, 84.06);
         assert!(c.render().contains("81.53"));
         assert!(c.render().contains("84.06"));
+        assert_eq!(Cell::failed().render(), "FAILED");
+    }
+
+    #[test]
+    fn sweep_summary_classifies_cells() {
+        let mut s = SweepSummary::new();
+        s.record("a", CellOutcome::Ok);
+        assert!(!s.has_problems());
+        s.record("b", CellOutcome::Diverged { failed_runs: 1 });
+        s.record("c", CellOutcome::Failed("boom".into()));
+        assert!(s.has_problems());
+        s.print();
+    }
+
+    #[test]
+    fn outcomes_follow_run_counts() {
+        use e2gcl::TrainError;
+        let failed = vec![(3u64, TrainError::NonFiniteLoss { epoch: 1 })];
+        assert!(matches!(outcome_from_counts(2, &[]), CellOutcome::Ok));
+        assert!(matches!(
+            outcome_from_counts(1, &failed),
+            CellOutcome::Diverged { failed_runs: 1 }
+        ));
+        match outcome_from_counts(0, &failed) {
+            CellOutcome::Failed(reason) => assert!(reason.contains("seed 3"), "{reason}"),
+            other => panic!("wrong outcome {other:?}"),
+        }
     }
 
     #[test]

@@ -29,14 +29,19 @@ impl Args {
 
     /// String option with default.
     pub fn get(&self, key: &str, default: &str) -> String {
-        self.values.get(key).cloned().unwrap_or_else(|| default.to_string())
+        self.values
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
     }
 
     /// Parsed numeric/typed option with default.
     pub fn get_parse<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
         match self.values.get(key) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("invalid value '{v}' for --{key}")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("invalid value '{v}' for --{key}")),
         }
     }
 }

@@ -54,7 +54,12 @@ fn build_model(name: &str) -> Result<Box<dyn ContrastiveModel>, String> {
         "ADGCL" => Box::new(AdgclModel::default()),
         "DW" => Box::new(WalkModel::deepwalk()),
         "N2V" => Box::new(WalkModel::node2vec()),
-        other => return Err(format!("unknown model '{other}'")),
+        other => {
+            return Err(format!(
+                "unknown model '{other}'; valid models: E2GCL, GRACE, GCA, \
+                 MVGRL, BGRL, AFGRL, DGI, GAE, VGAE, ADGCL, DW, N2V"
+            ))
+        }
     })
 }
 
@@ -68,12 +73,25 @@ struct Common {
 fn common(args: &Args) -> Result<Common, String> {
     let dataset = args.get("dataset", "cora-sim");
     let scale: f64 = args.get_parse("scale", 0.25)?;
+    if !scale.is_finite() || scale <= 0.0 {
+        return Err(format!("--scale must be finite and > 0, got {scale}"));
+    }
     let seed: u64 = args.get_parse("seed", 0)?;
     let epochs: usize = args.get_parse("epochs", 30)?;
-    let data = NodeDataset::generate(&spec(&dataset), scale, seed);
+    let data_spec = spec(&dataset).map_err(|e| e.to_string())?;
+    let data = NodeDataset::generate(&data_spec, scale, seed);
     let model = build_model(&args.get("model", "E2GCL"))?;
-    let cfg = TrainConfig { epochs, ..TrainConfig::default() };
-    Ok(Common { data, model, cfg, seed })
+    let cfg = TrainConfig {
+        epochs,
+        ..TrainConfig::default()
+    };
+    cfg.validate().map_err(|e| e.to_string())?;
+    Ok(Common {
+        data,
+        model,
+        cfg,
+        seed,
+    })
 }
 
 fn run_or_usage(result: Result<i32, String>) -> i32 {
@@ -99,12 +117,15 @@ pub fn pretrain(argv: &[String]) -> i32 {
             c.data.num_nodes(),
             c.data.graph.num_edges()
         );
-        let out = c.model.pretrain(
-            &c.data.graph,
-            &c.data.features,
-            &c.cfg,
-            &mut SeedRng::new(c.seed),
-        );
+        let out = c
+            .model
+            .pretrain(
+                &c.data.graph,
+                &c.data.features,
+                &c.cfg,
+                &mut SeedRng::new(c.seed),
+            )
+            .map_err(|e| e.to_string())?;
         #[derive(Serialize)]
         struct Dump {
             model: String,
@@ -153,18 +174,25 @@ pub fn evaluate(argv: &[String]) -> i32 {
             &c.cfg,
             runs,
             c.seed,
-        );
+        )
+        .map_err(|e| e.to_string())?;
         println!(
-            "{} on {}: {:.2} ± {:.2} % over {} runs \
+            "{} on {}: {:.2} ± {:.2} % over {} successful runs \
              (selection {:.2}s, total {:.2}s per run)",
             run.model,
             run.dataset,
             100.0 * run.mean,
             100.0 * run.std,
-            runs,
+            run.accuracies.len(),
             run.selection_secs,
             run.total_secs
         );
+        for (seed, err) in &run.failed_runs {
+            eprintln!("run with seed {seed} failed: {err}");
+        }
+        if run.accuracies.is_empty() {
+            return Err("every run failed".to_string());
+        }
         Ok(0)
     })())
 }
@@ -199,7 +227,10 @@ pub fn select(argv: &[String]) -> i32 {
             "λ weights: sum {:.0}, max {max_w:.0}",
             sel.weights.iter().sum::<f32>()
         );
-        println!("first 20 selected: {:?}", &sel.nodes[..sel.nodes.len().min(20)]);
+        println!(
+            "first 20 selected: {:?}",
+            &sel.nodes[..sel.nodes.len().min(20)]
+        );
         Ok(0)
     })())
 }
@@ -210,15 +241,17 @@ pub fn linkpred(argv: &[String]) -> i32 {
         let args = Args::parse(argv)?;
         let c = common(&args)?;
         let mut rng = SeedRng::new(c.seed);
-        let split =
-            e2gcl_datasets::split::EdgeSplit::random(&c.data.graph, &mut rng.fork("split"));
+        let split = e2gcl_datasets::split::EdgeSplit::random(&c.data.graph, &mut rng.fork("split"));
         eprintln!(
             "pre-training {} on the training graph ({} of {} edges kept)...",
             c.model.name(),
             split.train_pos.len(),
             c.data.graph.num_edges()
         );
-        let out = c.model.pretrain(&split.train_graph, &c.data.features, &c.cfg, &mut rng);
+        let out = c
+            .model
+            .pretrain(&split.train_graph, &c.data.features, &c.cfg, &mut rng)
+            .map_err(|e| e.to_string())?;
         let acc = e2gcl::eval::link_prediction_accuracy(&out.embeddings, &split, c.seed);
         println!(
             "{} on {}: link-prediction accuracy {:.2} % ({} test edges)",
@@ -237,31 +270,35 @@ pub fn graphcls(argv: &[String]) -> i32 {
         let args = Args::parse(argv)?;
         let dataset = args.get("dataset", "nci1-sim");
         let scale: f64 = args.get_parse("scale", 0.25)?;
+        if !scale.is_finite() || scale <= 0.0 {
+            return Err(format!("--scale must be finite and > 0, got {scale}"));
+        }
         let seed: u64 = args.get_parse("seed", 0)?;
         let epochs: usize = args.get_parse("epochs", 30)?;
         let runs: usize = args.get_parse("runs", 3)?;
-        let data = e2gcl_datasets::GraphDataset::generate(
-            &e2gcl_datasets::graph_dataset::graph_spec(&dataset),
-            scale,
-            seed,
-        );
+        let g_spec =
+            e2gcl_datasets::graph_dataset::graph_spec(&dataset).map_err(|e| e.to_string())?;
+        let data = e2gcl_datasets::GraphDataset::generate(&g_spec, scale, seed);
         let model = build_model(&args.get("model", "E2GCL"))?;
-        let cfg = TrainConfig { epochs, ..TrainConfig::default() };
-        let (mean, std) = e2gcl::pipeline::run_graph_classification(
-            model.as_ref(),
-            &data,
-            &cfg,
-            runs,
-            seed,
-        );
+        let cfg = TrainConfig {
+            epochs,
+            ..TrainConfig::default()
+        };
+        cfg.validate().map_err(|e| e.to_string())?;
+        let run =
+            e2gcl::pipeline::run_graph_classification(model.as_ref(), &data, &cfg, runs, seed)
+                .map_err(|e| e.to_string())?;
         println!(
             "{} on {} ({} graphs): {:.2} ± {:.2} %",
             model.name(),
             data.name,
             data.len(),
-            100.0 * mean,
-            100.0 * std
+            100.0 * run.mean,
+            100.0 * run.std
         );
+        for (seed, err) in &run.failed_runs {
+            eprintln!("run with seed {seed} failed: {err}");
+        }
         Ok(0)
     })())
 }

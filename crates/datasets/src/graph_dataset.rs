@@ -1,7 +1,7 @@
 //! Multi-graph datasets for graph classification (Table IX analogs).
 
 use e2gcl_graph::CsrGraph;
-use e2gcl_linalg::{Matrix, SeedRng};
+use e2gcl_linalg::{Matrix, SeedRng, TrainError};
 
 /// Specification of a graph-classification analog.
 #[derive(Clone, Debug)]
@@ -20,37 +20,46 @@ pub struct GraphDatasetSpec {
     pub num_classes: usize,
 }
 
+/// Valid analog names accepted by [`graph_spec`].
+pub fn graph_names() -> Vec<&'static str> {
+    vec!["nci1-sim", "ptcmr-sim", "proteins-sim"]
+}
+
 /// The three Table-IX graph-classification analogs.
 ///
 /// Sizes follow the TU datasets' published statistics (graph counts scaled
-/// down ~10x to fit the session budget; per-graph sizes match).
-pub fn graph_spec(name: &str) -> GraphDatasetSpec {
+/// down ~10x to fit the session budget; per-graph sizes match). Unknown
+/// names return [`TrainError::UnknownDataset`] with the valid names.
+pub fn graph_spec(name: &str) -> Result<GraphDatasetSpec, TrainError> {
     match name {
-        "nci1-sim" => GraphDatasetSpec {
+        "nci1-sim" => Ok(GraphDatasetSpec {
             name: "nci1-sim",
             paper_name: "NCI1",
             num_graphs: 400,
             avg_nodes: 30,
             feature_dim: 37,
             num_classes: 2,
-        },
-        "ptcmr-sim" => GraphDatasetSpec {
+        }),
+        "ptcmr-sim" => Ok(GraphDatasetSpec {
             name: "ptcmr-sim",
             paper_name: "PTC_MR",
             num_graphs: 240,
             avg_nodes: 14,
             feature_dim: 18,
             num_classes: 2,
-        },
-        "proteins-sim" => GraphDatasetSpec {
+        }),
+        "proteins-sim" => Ok(GraphDatasetSpec {
             name: "proteins-sim",
             paper_name: "PROTEINS",
             num_graphs: 300,
             avg_nodes: 39,
             feature_dim: 3,
             num_classes: 2,
-        },
-        other => panic!("unknown graph dataset analog '{other}'"),
+        }),
+        other => Err(TrainError::UnknownDataset {
+            name: other.to_string(),
+            valid: graph_names().iter().map(|s| s.to_string()).collect(),
+        }),
     }
 }
 
@@ -88,8 +97,7 @@ impl GraphDataset {
             let n = (spec.avg_nodes as f32 * g_rng.uniform_range(0.6, 1.4)).round() as usize;
             let n = n.max(6);
             // Shared backbone: random recursive tree (n-1 edges).
-            let mut edges: Vec<(usize, usize)> =
-                (1..n).map(|v| (v, g_rng.below(v))).collect();
+            let mut edges: Vec<(usize, usize)> = (1..n).map(|v| (v, g_rng.below(v))).collect();
             // Planted motif at matched edge budget: a 6-ring (6 edges) for
             // class 0, a 4-clique (6 edges) for class 1.
             if class == 0 {
@@ -115,8 +123,7 @@ impl GraphDataset {
             // Features: weak class-conditional atom mixture.
             let mut x = Matrix::zeros(n, spec.feature_dim);
             for v in 0..n {
-                let bias = (class * spec.feature_dim / spec.num_classes)
-                    % spec.feature_dim;
+                let bias = (class * spec.feature_dim / spec.num_classes) % spec.feature_dim;
                 let t = if g_rng.bernoulli(0.3) {
                     (bias + g_rng.below((spec.feature_dim / spec.num_classes).max(1)))
                         % spec.feature_dim
@@ -162,15 +169,16 @@ mod tests {
     #[test]
     fn specs_resolve() {
         for n in ["nci1-sim", "ptcmr-sim", "proteins-sim"] {
-            let s = graph_spec(n);
+            let s = graph_spec(n).unwrap();
             assert_eq!(s.name, n);
             assert!(s.num_graphs >= 100);
         }
+        assert!(graph_spec("imagenet").is_err());
     }
 
     #[test]
     fn generation_shapes_consistent() {
-        let d = GraphDataset::generate(&graph_spec("ptcmr-sim"), 0.5, 0);
+        let d = GraphDataset::generate(&graph_spec("ptcmr-sim").unwrap(), 0.5, 0);
         assert_eq!(d.len(), 120);
         assert_eq!(d.graphs.len(), d.features.len());
         assert_eq!(d.graphs.len(), d.labels.len());
@@ -183,7 +191,7 @@ mod tests {
 
     #[test]
     fn classes_differ_in_motifs_not_density() {
-        let d = GraphDataset::generate(&graph_spec("nci1-sim"), 0.25, 1);
+        let d = GraphDataset::generate(&graph_spec("nci1-sim").unwrap(), 0.25, 1);
         let mut deg = [0.0f64; 2];
         let mut tri = [0.0f64; 2];
         let mut cnt = [0usize; 2];
@@ -196,7 +204,10 @@ mod tests {
         let deg0 = deg[0] / cnt[0] as f64;
         let deg1 = deg[1] / cnt[1] as f64;
         // Density matched within ~15%...
-        assert!((deg0 - deg1).abs() < 0.15 * deg0.max(deg1), "{deg0} vs {deg1}");
+        assert!(
+            (deg0 - deg1).abs() < 0.15 * deg0.max(deg1),
+            "{deg0} vs {deg1}"
+        );
         // ...but clique-class graphs carry clearly more triangles (labels
         // are 12% noisy, so compare means, not every instance).
         let tri0 = tri[0] / cnt[0] as f64;
@@ -206,8 +217,8 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let a = GraphDataset::generate(&graph_spec("proteins-sim"), 0.2, 9);
-        let b = GraphDataset::generate(&graph_spec("proteins-sim"), 0.2, 9);
+        let a = GraphDataset::generate(&graph_spec("proteins-sim").unwrap(), 0.2, 9);
+        let b = GraphDataset::generate(&graph_spec("proteins-sim").unwrap(), 0.2, 9);
         assert_eq!(a.labels, b.labels);
         assert_eq!(a.graphs[0], b.graphs[0]);
     }

@@ -26,12 +26,10 @@ impl NodeDataset {
     /// Generates the analog described by `spec` at `scale` (fraction of
     /// `sim_nodes`, clamped to at least 8 per class) with the given seed.
     pub fn generate(spec: &DatasetSpec, scale: f64, seed: u64) -> NodeDataset {
-        let mut rng = SeedRng::new(seed ^ 0xda7a_5e7);
-        let n = ((spec.sim_nodes as f64 * scale).round() as usize)
-            .max(spec.sim_classes * 8);
+        let mut rng = SeedRng::new(seed ^ 0x0da7_a5e7);
+        let n = ((spec.sim_nodes as f64 * scale).round() as usize).max(spec.sim_classes * 8);
         let labels = synth::imbalanced_labels(n, spec.sim_classes, &mut rng.fork("labels"));
-        let theta =
-            generators::pareto_theta(n, spec.degree_tail_shape, &mut rng.fork("theta"));
+        let theta = generators::pareto_theta(n, spec.degree_tail_shape, &mut rng.fork("theta"));
         let graph = generators::dc_sbm_with_confusion(
             &labels,
             spec.sim_classes,
@@ -127,7 +125,7 @@ mod tests {
 
     #[test]
     fn cora_sim_matches_spec() {
-        let d = NodeDataset::generate(&spec("cora-sim"), 1.0, 0);
+        let d = NodeDataset::generate(&spec("cora-sim").unwrap(), 1.0, 0);
         assert_eq!(d.num_nodes(), 2708);
         assert_eq!(d.feature_dim(), 512);
         assert_eq!(d.num_classes, 7);
@@ -138,20 +136,20 @@ mod tests {
 
     #[test]
     fn homophily_near_target() {
-        let d = NodeDataset::generate(&spec("cora-sim"), 1.0, 1);
+        let d = NodeDataset::generate(&spec("cora-sim").unwrap(), 1.0, 1);
         let h = d.edge_homophily();
         assert!(h > 0.75, "homophily {h}");
     }
 
     #[test]
     fn scale_shrinks_graph() {
-        let d = NodeDataset::generate(&spec("cora-sim"), 0.25, 2);
+        let d = NodeDataset::generate(&spec("cora-sim").unwrap(), 0.25, 2);
         assert!((d.num_nodes() as i64 - 677).abs() <= 1);
     }
 
     #[test]
     fn tiny_scale_clamps_to_class_floor() {
-        let s = spec("cora-sim");
+        let s = spec("cora-sim").unwrap();
         let d = NodeDataset::generate(&s, 0.0001, 3);
         assert!(d.num_nodes() >= s.sim_classes * 8);
         for c in 0..s.sim_classes {
@@ -161,7 +159,7 @@ mod tests {
 
     #[test]
     fn json_roundtrip() {
-        let d = NodeDataset::generate(&spec("cora-sim"), 0.05, 77);
+        let d = NodeDataset::generate(&spec("cora-sim").unwrap(), 0.05, 77);
         let path = std::env::temp_dir().join("e2gcl-dataset-roundtrip.json");
         d.save_json(&path).unwrap();
         let back = NodeDataset::load_json(&path).unwrap();
@@ -174,12 +172,12 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let a = NodeDataset::generate(&spec("citeseer-sim"), 0.2, 42);
-        let b = NodeDataset::generate(&spec("citeseer-sim"), 0.2, 42);
+        let a = NodeDataset::generate(&spec("citeseer-sim").unwrap(), 0.2, 42);
+        let b = NodeDataset::generate(&spec("citeseer-sim").unwrap(), 0.2, 42);
         assert_eq!(a.graph, b.graph);
         assert_eq!(a.features, b.features);
         assert_eq!(a.labels, b.labels);
-        let c = NodeDataset::generate(&spec("citeseer-sim"), 0.2, 43);
+        let c = NodeDataset::generate(&spec("citeseer-sim").unwrap(), 0.2, 43);
         assert_ne!(a.graph, c.graph);
     }
 }

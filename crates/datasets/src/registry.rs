@@ -1,5 +1,6 @@
 //! Named dataset analogs and their target statistics.
 
+use e2gcl_linalg::TrainError;
 use serde::{Deserialize, Serialize};
 
 /// Specification of one synthetic analog.
@@ -59,33 +60,26 @@ pub struct DatasetSpec {
 
 /// All node-classification analogs, in the paper's Table III order.
 pub fn all_node_specs() -> Vec<DatasetSpec> {
-    vec![
-        spec("cora-sim"),
-        spec("citeseer-sim"),
-        spec("photo-sim"),
-        spec("computers-sim"),
-        spec("cs-sim"),
-        spec("arxiv-sim"),
-        spec("products-sim"),
-    ]
+    names()
+        .iter()
+        .map(|n| spec(n).expect("registry names are exhaustive"))
+        .collect()
 }
 
 /// The five small datasets used in Tables IV and VI–VIII.
 pub fn small_node_specs() -> Vec<DatasetSpec> {
-    vec![
-        spec("cora-sim"),
-        spec("citeseer-sim"),
-        spec("photo-sim"),
-        spec("computers-sim"),
-        spec("cs-sim"),
-    ]
+    names()
+        .iter()
+        .take(5)
+        .map(|n| spec(n).expect("registry names are exhaustive"))
+        .collect()
 }
 
 /// Looks up an analog spec by name.
 ///
-/// # Panics
-/// Panics on an unknown name; [`names`] lists the valid ones.
-pub fn spec(name: &str) -> DatasetSpec {
+/// Unknown names return [`TrainError::UnknownDataset`] carrying the valid
+/// names, so callers (notably the CLI) can print them and exit cleanly.
+pub fn spec(name: &str) -> Result<DatasetSpec, TrainError> {
     let base = DatasetSpec {
         name: "",
         paper_name: "",
@@ -107,7 +101,7 @@ pub fn spec(name: &str) -> DatasetSpec {
         label_noise: 0.0,
     };
     match name {
-        "cora-sim" => DatasetSpec {
+        "cora-sim" => Ok(DatasetSpec {
             name: "cora-sim",
             paper_name: "Cora",
             paper_nodes: 2708,
@@ -120,8 +114,8 @@ pub fn spec(name: &str) -> DatasetSpec {
             sim_features: 512,
             sim_classes: 7,
             ..base
-        },
-        "citeseer-sim" => DatasetSpec {
+        }),
+        "citeseer-sim" => Ok(DatasetSpec {
             name: "citeseer-sim",
             paper_name: "Citeseer",
             paper_nodes: 3327,
@@ -136,8 +130,8 @@ pub fn spec(name: &str) -> DatasetSpec {
             // Citeseer is the sparsest, least homophilous of the set.
             homophily: 0.78,
             ..base
-        },
-        "photo-sim" => DatasetSpec {
+        }),
+        "photo-sim" => Ok(DatasetSpec {
             name: "photo-sim",
             paper_name: "Photo",
             paper_nodes: 7650,
@@ -154,8 +148,8 @@ pub fn spec(name: &str) -> DatasetSpec {
             feature_mismatch: 0.3,
             label_noise: 0.07,
             ..base
-        },
-        "computers-sim" => DatasetSpec {
+        }),
+        "computers-sim" => Ok(DatasetSpec {
             name: "computers-sim",
             paper_name: "Computers",
             paper_nodes: 13_752,
@@ -172,8 +166,8 @@ pub fn spec(name: &str) -> DatasetSpec {
             feature_mismatch: 0.35,
             label_noise: 0.10,
             ..base
-        },
-        "cs-sim" => DatasetSpec {
+        }),
+        "cs-sim" => Ok(DatasetSpec {
             name: "cs-sim",
             paper_name: "CS",
             paper_nodes: 18_333,
@@ -189,8 +183,8 @@ pub fn spec(name: &str) -> DatasetSpec {
             feature_mismatch: 0.25,
             label_noise: 0.055,
             ..base
-        },
-        "arxiv-sim" => DatasetSpec {
+        }),
+        "arxiv-sim" => Ok(DatasetSpec {
             name: "arxiv-sim",
             paper_name: "Arxiv",
             paper_nodes: 169_343,
@@ -205,8 +199,8 @@ pub fn spec(name: &str) -> DatasetSpec {
             sim_classes: 40,
             homophily: 0.6,
             ..base
-        },
-        "products-sim" => DatasetSpec {
+        }),
+        "products-sim" => Ok(DatasetSpec {
             name: "products-sim",
             paper_name: "Products",
             paper_nodes: 1_569_960,
@@ -222,8 +216,11 @@ pub fn spec(name: &str) -> DatasetSpec {
             homophily: 0.55,
             degree_tail_shape: 2.0,
             ..base
-        },
-        other => panic!("unknown dataset analog '{other}'; valid names: {:?}", names()),
+        }),
+        other => Err(TrainError::UnknownDataset {
+            name: other.to_string(),
+            valid: names().iter().map(|s| s.to_string()).collect(),
+        }),
     }
 }
 
@@ -247,7 +244,7 @@ mod tests {
     #[test]
     fn every_name_resolves() {
         for n in names() {
-            let s = spec(n);
+            let s = spec(n).unwrap();
             assert_eq!(s.name, n);
             assert!(s.sim_nodes > 0);
             assert!(s.sim_classes > 1);
@@ -269,17 +266,36 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "unknown dataset analog")]
-    fn unknown_name_panics() {
-        let _ = spec("imagenet");
+    fn unknown_name_errors_and_lists_valid_names() {
+        let err = spec("imagenet").unwrap_err();
+        match &err {
+            TrainError::UnknownDataset { name, valid } => {
+                assert_eq!(name, "imagenet");
+                assert_eq!(valid.len(), names().len());
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+        assert!(err.to_string().contains("cora-sim"), "{err}");
     }
 
     #[test]
     fn small_graphs_match_paper_counts() {
-        for n in ["cora-sim", "citeseer-sim", "photo-sim", "computers-sim", "cs-sim"] {
-            let s = spec(n);
-            assert_eq!(s.sim_nodes, s.paper_nodes, "{n} node count should match paper");
-            assert_eq!(s.sim_classes, s.paper_classes, "{n} class count should match paper");
+        for n in [
+            "cora-sim",
+            "citeseer-sim",
+            "photo-sim",
+            "computers-sim",
+            "cs-sim",
+        ] {
+            let s = spec(n).unwrap();
+            assert_eq!(
+                s.sim_nodes, s.paper_nodes,
+                "{n} node count should match paper"
+            );
+            assert_eq!(
+                s.sim_classes, s.paper_classes,
+                "{n} class count should match paper"
+            );
         }
     }
 }

@@ -67,7 +67,14 @@ impl EdgeSplit {
         let train_graph = CsrGraph::from_edges(g.num_nodes(), &train_pos);
         let val_neg = sample_non_edges(g, val_pos.len(), rng);
         let test_neg = sample_non_edges(g, test_pos.len(), rng);
-        EdgeSplit { train_graph, train_pos, val_pos, test_pos, val_neg, test_neg }
+        EdgeSplit {
+            train_graph,
+            train_pos,
+            val_pos,
+            test_pos,
+            val_neg,
+            test_neg,
+        }
     }
 }
 
@@ -108,7 +115,11 @@ impl GraphSplit {
     /// Random 70/10/20 split of `n` graphs.
     pub fn random(n: usize, rng: &mut SeedRng) -> GraphSplit {
         let s = NodeSplit::random(n, 0.7, 0.1, rng);
-        GraphSplit { train: s.train, val: s.val, test: s.test }
+        GraphSplit {
+            train: s.train,
+            val: s.val,
+            test: s.test,
+        }
     }
 }
 
@@ -123,8 +134,13 @@ mod tests {
         assert_eq!(s.train.len(), 100);
         assert_eq!(s.val.len(), 100);
         assert_eq!(s.test.len(), 800);
-        let mut all: Vec<usize> =
-            s.train.iter().chain(&s.val).chain(&s.test).copied().collect();
+        let mut all: Vec<usize> = s
+            .train
+            .iter()
+            .chain(&s.val)
+            .chain(&s.test)
+            .copied()
+            .collect();
         all.sort_unstable();
         assert_eq!(all, (0..1000).collect::<Vec<_>>());
     }
@@ -168,10 +184,7 @@ mod tests {
     #[test]
     fn non_edge_sampling_saturates_gracefully() {
         // Complete graph on 4 nodes: no non-edges exist at all.
-        let g = CsrGraph::from_edges(
-            4,
-            &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)],
-        );
+        let g = CsrGraph::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
         let mut rng = SeedRng::new(3);
         let negs = sample_non_edges(&g, 5, &mut rng);
         assert!(negs.is_empty());

@@ -11,8 +11,8 @@ pub fn imbalanced_labels(n: usize, num_classes: usize, rng: &mut SeedRng) -> Vec
         .collect();
     let mut labels: Vec<usize> = (0..n).map(|_| rng.weighted_index(&weights)).collect();
     // Guarantee every class is inhabited so downstream stratification works.
-    for c in 0..num_classes.min(n) {
-        labels[c] = c;
+    for (c, label) in labels.iter_mut().enumerate().take(num_classes.min(n)) {
+        *label = c;
     }
     rng.shuffle(&mut labels);
     labels
@@ -130,7 +130,10 @@ mod tests {
         }
         let anchor_density = on_anchor / n_anchor;
         let other_density = on_other / n_other;
-        assert!(anchor_density > 10.0 * other_density, "{anchor_density} vs {other_density}");
+        assert!(
+            anchor_density > 10.0 * other_density,
+            "{anchor_density} vs {other_density}"
+        );
     }
 
     #[test]

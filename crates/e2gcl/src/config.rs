@@ -1,5 +1,7 @@
 //! Shared training hyperparameters.
 
+use crate::guard::{FaultPlan, GuardConfig};
+use e2gcl_linalg::TrainError;
 use serde::{Deserialize, Serialize};
 
 /// Hyperparameters common to every contrastive model.
@@ -20,6 +22,12 @@ pub struct TrainConfig {
     /// If set, record an embedding checkpoint every this many epochs (used
     /// by the Fig. 3 accuracy-vs-time curves).
     pub checkpoint_every: Option<usize>,
+    /// Numeric-guard policy applied each training epoch.
+    #[serde(default)]
+    pub guard: GuardConfig,
+    /// Deterministic fault injection (tests only; `None` in production).
+    #[serde(default)]
+    pub fault: Option<FaultPlan>,
 }
 
 impl Default for TrainConfig {
@@ -32,6 +40,8 @@ impl Default for TrainConfig {
             hidden_dim: 128,
             embed_dim: 64,
             checkpoint_every: None,
+            guard: GuardConfig::default(),
+            fault: None,
         }
     }
 }
@@ -41,11 +51,57 @@ impl TrainConfig {
     pub fn encoder_dims(&self, d_x: usize) -> Vec<usize> {
         vec![d_x, self.hidden_dim, self.embed_dim]
     }
+
+    /// Checks the configuration before a run touches any data. Called at
+    /// every pipeline entry point; direct `pretrain` calls may still use
+    /// degenerate configs (e.g. `epochs: 0` for an untrained baseline).
+    pub fn validate(&self) -> Result<(), TrainError> {
+        let fail = |msg: String| Err(TrainError::InvalidConfig(msg));
+        if self.epochs < 1 {
+            return fail(format!("epochs must be >= 1, got {}", self.epochs));
+        }
+        if self.batch_size < 1 {
+            return fail(format!("batch_size must be >= 1, got {}", self.batch_size));
+        }
+        if !self.lr.is_finite() || self.lr <= 0.0 {
+            return fail(format!("lr must be finite and > 0, got {}", self.lr));
+        }
+        if !self.weight_decay.is_finite() || self.weight_decay < 0.0 {
+            return fail(format!(
+                "weight_decay must be finite and >= 0, got {}",
+                self.weight_decay
+            ));
+        }
+        if self.hidden_dim < 1 || self.embed_dim < 1 {
+            return fail(format!(
+                "hidden_dim/embed_dim must be >= 1, got {}/{}",
+                self.hidden_dim, self.embed_dim
+            ));
+        }
+        if self.checkpoint_every == Some(0) {
+            return fail("checkpoint_every must be >= 1 when set".to_string());
+        }
+        if !self.guard.divergence_factor.is_finite() || self.guard.divergence_factor <= 1.0 {
+            return fail(format!(
+                "guard.divergence_factor must be finite and > 1, got {}",
+                self.guard.divergence_factor
+            ));
+        }
+        if let Some(max_norm) = self.guard.max_grad_norm {
+            if !max_norm.is_finite() || max_norm <= 0.0 {
+                return fail(format!(
+                    "guard.max_grad_norm must be finite and > 0, got {max_norm}"
+                ));
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::guard::GuardPolicy;
 
     #[test]
     fn defaults_are_sane() {
@@ -53,13 +109,84 @@ mod tests {
         assert!(c.epochs > 0);
         assert_eq!(c.batch_size, 500);
         assert_eq!(c.encoder_dims(100), vec![100, 128, 64]);
+        assert!(c.fault.is_none());
+        assert!(c.guard.max_grad_norm.is_none());
+        assert!(c.validate().is_ok());
     }
 
     #[test]
     fn serde_roundtrip() {
-        let c = TrainConfig { epochs: 7, ..Default::default() };
+        let c = TrainConfig {
+            epochs: 7,
+            ..Default::default()
+        };
         let json = serde_json::to_string(&c).unwrap();
         let back: TrainConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(back.epochs, 7);
+    }
+
+    #[test]
+    fn deserializes_configs_written_before_guard_fields_existed() {
+        let json = r#"{"epochs":5,"batch_size":100,"lr":0.01,"weight_decay":0.00001,
+                       "hidden_dim":32,"embed_dim":16,"checkpoint_every":null}"#;
+        let c: TrainConfig = serde_json::from_str(json).unwrap();
+        assert_eq!(c.guard, GuardConfig::default());
+        assert!(c.fault.is_none());
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_values() {
+        let base = TrainConfig::default();
+        for bad in [
+            TrainConfig {
+                epochs: 0,
+                ..base.clone()
+            },
+            TrainConfig {
+                batch_size: 0,
+                ..base.clone()
+            },
+            TrainConfig {
+                lr: 0.0,
+                ..base.clone()
+            },
+            TrainConfig {
+                lr: f32::NAN,
+                ..base.clone()
+            },
+            TrainConfig {
+                weight_decay: -1.0,
+                ..base.clone()
+            },
+            TrainConfig {
+                hidden_dim: 0,
+                ..base.clone()
+            },
+            TrainConfig {
+                embed_dim: 0,
+                ..base.clone()
+            },
+            TrainConfig {
+                checkpoint_every: Some(0),
+                ..base.clone()
+            },
+        ] {
+            let err = bad.validate().unwrap_err();
+            assert!(matches!(err, TrainError::InvalidConfig(_)), "{err}");
+        }
+    }
+
+    #[test]
+    fn validate_rejects_bad_guard_settings() {
+        let mut c = TrainConfig::default();
+        c.guard.divergence_factor = 1.0;
+        assert!(c.validate().is_err());
+        let mut c = TrainConfig::default();
+        c.guard.max_grad_norm = Some(0.0);
+        assert!(c.validate().is_err());
+        let mut c = TrainConfig::default();
+        c.guard.max_grad_norm = Some(5.0);
+        c.guard.policy = GuardPolicy::SkipEpoch;
+        assert!(c.validate().is_ok());
     }
 }

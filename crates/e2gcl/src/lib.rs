@@ -12,13 +12,13 @@
 //! use e2gcl::prelude::*;
 //!
 //! // A small synthetic citation-style graph (Cora analog at 10% scale).
-//! let data = NodeDataset::generate(&spec("cora-sim"), 0.1, 7);
+//! let data = NodeDataset::generate(&spec("cora-sim").unwrap(), 0.1, 7);
 //!
 //! // Pre-train with E²GCL: coreset selection + importance-aware views.
 //! let model = E2gclModel::default();
 //! let cfg = TrainConfig { epochs: 5, ..TrainConfig::default() };
 //! let mut rng = SeedRng::new(0);
-//! let out = model.pretrain(&data.graph, &data.features, &cfg, &mut rng);
+//! let out = model.pretrain(&data.graph, &data.features, &cfg, &mut rng).unwrap();
 //!
 //! // Evaluate with the paper's linear-probe protocol.
 //! let acc = e2gcl::eval::node_classification_accuracy(
@@ -43,11 +43,14 @@
 
 pub mod config;
 pub mod eval;
+pub mod guard;
 pub mod metrics;
 pub mod models;
 pub mod pipeline;
 
 pub use config::TrainConfig;
+pub use e2gcl_linalg::TrainError;
+pub use guard::{FaultPlan, GuardAction, GuardConfig, GuardPolicy, NumericGuard};
 pub use models::{ContrastiveModel, PretrainResult};
 
 // Re-export the substrate crates under one roof.
@@ -62,11 +65,14 @@ pub use e2gcl_views as views;
 pub mod prelude {
     pub use crate::config::TrainConfig;
     pub use crate::eval;
+    pub use crate::guard::{FaultPlan, GuardConfig, GuardPolicy, NumericGuard};
     pub use crate::models::{
-        e2gcl_model::{E2gclConfig, E2gclModel, EncoderKind, LossKind, SelectorKind, ViewMode, ViewStrategy},
+        e2gcl_model::{
+            E2gclConfig, E2gclModel, EncoderKind, LossKind, SelectorKind, ViewMode, ViewStrategy,
+        },
         ContrastiveModel, PretrainResult,
     };
     pub use e2gcl_datasets::{spec, GraphDataset, NodeDataset};
     pub use e2gcl_graph::CsrGraph;
-    pub use e2gcl_linalg::{Matrix, SeedRng};
+    pub use e2gcl_linalg::{Matrix, SeedRng, TrainError};
 }

@@ -12,10 +12,11 @@
 //! Gumbel reparameterisation — same objective, derivative-free estimator.
 
 use crate::config::TrainConfig;
+use crate::guard::{GuardAction, NumericGuard};
 use crate::models::{shuffled_batches, ContrastiveModel, PretrainResult};
 use e2gcl_graph::{norm, CsrGraph};
-use e2gcl_linalg::{activations, Matrix, SeedRng};
-use e2gcl_nn::{loss, optim::Optimizer, Adam, GcnEncoder, Mlp};
+use e2gcl_linalg::{activations, Matrix, SeedRng, TrainError};
+use e2gcl_nn::{loss, optim, optim::Optimizer, Adam, GcnEncoder, Mlp};
 use e2gcl_views::uniform;
 use std::time::Instant;
 
@@ -79,7 +80,7 @@ impl ContrastiveModel for AdgclModel {
         x: &Matrix,
         cfg: &TrainConfig,
         rng: &mut SeedRng,
-    ) -> PretrainResult {
+    ) -> Result<PretrainResult, TrainError> {
         let start = Instant::now();
         let edges: Vec<(usize, usize)> = g.edges().collect();
         // Augmenter state: per-edge drop logits, initialised to drop ~20%.
@@ -92,12 +93,15 @@ impl ContrastiveModel for AdgclModel {
         let mut train_rng = rng.fork("train");
         let mut loss_curve = Vec::with_capacity(cfg.epochs);
         let mut checkpoints = Vec::new();
+        let mut guard = NumericGuard::new(&cfg.guard);
+        let fault = cfg.fault.clone().unwrap_or_default();
         let n = g.num_nodes();
-        for epoch in 0..cfg.epochs {
+        let mut epoch = 0;
+        while epoch < cfg.epochs {
+            let lr = cfg.lr * guard.lr_scale;
             // Sample the augmented view from the current drop distribution.
             let probs: Vec<f32> = logits.iter().map(|&s| activations::sigmoid(s)).collect();
-            let dropped: Vec<bool> =
-                probs.iter().map(|&p| train_rng.bernoulli(p)).collect();
+            let dropped: Vec<bool> = probs.iter().map(|&p| train_rng.bernoulli(p)).collect();
             let kept: Vec<(usize, usize)> = edges
                 .iter()
                 .zip(&dropped)
@@ -113,6 +117,7 @@ impl ContrastiveModel for AdgclModel {
                 let count = ((g.num_edges() as f32) * frac).round() as usize;
                 g2 = uniform::add_edges_uniform(&g2, count, &mut train_rng);
             }
+            fault.corrupt_features(epoch, &mut x2);
             let a2 = norm::normalized_adjacency(&g2);
             let (h1, c1) = encoder.forward(&adj_orig, x);
             let (h2, c2) = encoder.forward(&a2, &x2);
@@ -139,39 +144,60 @@ impl ContrastiveModel for AdgclModel {
                         *dst += src / num_batches;
                     }
                 }
-                head.step(&hg1, cfg.lr / num_batches, 0.0);
-                head.step(&hg2, cfg.lr / num_batches, 0.0);
+                head.step(&hg1, lr / num_batches, 0.0);
+                head.step(&hg2, lr / num_batches, 0.0);
             }
-            loss_curve.push(epoch_loss);
-            // Encoder descent.
+            // Encoder descent, gated by the guard.
             let mut acc = None;
             GcnEncoder::accumulate(&mut acc, encoder.backward(&adj_orig, &c1, &d_h1), 1.0);
             GcnEncoder::accumulate(&mut acc, encoder.backward(&a2, &c2, &d_h2), 1.0);
-            opt.step(encoder.params_mut(), &acc.unwrap());
-            // Augmenter REINFORCE ascent on (loss − λ·E[drop]).
-            let advantage = epoch_loss - baseline;
-            baseline = 0.9 * baseline + 0.1 * epoch_loss;
-            for ((s, &p), &was_dropped) in
-                logits.iter_mut().zip(&probs).zip(&dropped)
-            {
-                let dlogp = if was_dropped { 1.0 - p } else { -p };
-                *s += self.config.aug_lr * (advantage * dlogp - self.config.lambda * p * (1.0 - p));
-                *s = s.clamp(-4.0, 4.0);
-            }
-            if let Some(every) = cfg.checkpoint_every {
-                if (epoch + 1) % every == 0 || epoch + 1 == cfg.epochs {
-                    checkpoints
-                        .push((start.elapsed().as_secs_f64(), encoder.embed(&adj_orig, x)));
+            let Some(mut grads) = acc else {
+                epoch += 1;
+                continue;
+            };
+            let epoch_loss = fault.corrupt_loss(epoch, epoch_loss);
+            fault.corrupt_gradients(epoch, &mut grads);
+            let grads_bad = optim::grads_non_finite(&grads);
+            let emb_bad = guard.embeddings_bad(&[&h1, &h2]);
+            match guard.inspect(epoch, epoch_loss, grads_bad, emb_bad)? {
+                GuardAction::Proceed => {
+                    if let Some(max) = cfg.guard.max_grad_norm {
+                        optim::clip_grad_norm(&mut grads, max);
+                    }
+                    opt.lr = lr;
+                    opt.step(encoder.params_mut(), &grads);
+                    loss_curve.push(epoch_loss);
+                    // Augmenter REINFORCE ascent on (loss − λ·E[drop]).
+                    let advantage = epoch_loss - baseline;
+                    baseline = 0.9 * baseline + 0.1 * epoch_loss;
+                    for ((s, &p), &was_dropped) in logits.iter_mut().zip(&probs).zip(&dropped) {
+                        let dlogp = if was_dropped { 1.0 - p } else { -p };
+                        *s += self.config.aug_lr
+                            * (advantage * dlogp - self.config.lambda * p * (1.0 - p));
+                        *s = s.clamp(-4.0, 4.0);
+                    }
+                    if let Some(every) = cfg.checkpoint_every {
+                        if (epoch + 1) % every == 0 || epoch + 1 == cfg.epochs {
+                            checkpoints
+                                .push((start.elapsed().as_secs_f64(), encoder.embed(&adj_orig, x)));
+                        }
+                    }
+                    epoch += 1;
                 }
+                GuardAction::SkipEpoch => {
+                    loss_curve.push(epoch_loss);
+                    epoch += 1;
+                }
+                GuardAction::RetryEpoch { .. } => {}
             }
         }
-        PretrainResult {
+        Ok(PretrainResult {
             embeddings: encoder.embed(&adj_orig, x),
             selection_time: std::time::Duration::ZERO,
             total_time: start.elapsed(),
             checkpoints,
             loss_curve,
-        }
+        })
     }
 }
 
@@ -182,10 +208,15 @@ mod tests {
 
     #[test]
     fn adgcl_trains_without_nans() {
-        let d = NodeDataset::generate(&spec("cora-sim"), 0.05, 0);
-        let cfg = TrainConfig { epochs: 6, batch_size: 64, ..Default::default() };
-        let out =
-            AdgclModel::default().pretrain(&d.graph, &d.features, &cfg, &mut SeedRng::new(0));
+        let d = NodeDataset::generate(&spec("cora-sim").unwrap(), 0.05, 0);
+        let cfg = TrainConfig {
+            epochs: 6,
+            batch_size: 64,
+            ..Default::default()
+        };
+        let out = AdgclModel::default()
+            .pretrain(&d.graph, &d.features, &cfg, &mut SeedRng::new(0))
+            .unwrap();
         assert!(!out.embeddings.has_non_finite());
         assert_eq!(out.loss_curve.len(), 6);
     }

@@ -9,10 +9,11 @@
 //! embedding space), which is the mechanism AFGRL contributes.
 
 use crate::config::TrainConfig;
+use crate::guard::{GuardAction, NumericGuard};
 use crate::models::{ContrastiveModel, PretrainResult};
 use e2gcl_graph::{norm, CsrGraph};
-use e2gcl_linalg::{ops, Matrix, SeedRng};
-use e2gcl_nn::{ema, loss, optim::Optimizer, Adam, GcnEncoder, Mlp};
+use e2gcl_linalg::{ops, Matrix, SeedRng, TrainError};
+use e2gcl_nn::{ema, loss, optim, optim::Optimizer, Adam, GcnEncoder, Mlp};
 use e2gcl_views::uniform;
 use std::time::Instant;
 
@@ -31,7 +32,12 @@ pub struct BgrlConfig {
 
 impl Default for BgrlConfig {
     fn default() -> Self {
-        Self { drop_edge: (0.2, 0.4), mask_feat: (0.2, 0.3), ema_decay: 0.99, knn: 8 }
+        Self {
+            drop_edge: (0.2, 0.4),
+            mask_feat: (0.2, 0.3),
+            ema_decay: 0.99,
+            knn: 8,
+        }
     }
 }
 
@@ -76,23 +82,32 @@ impl ContrastiveModel for BgrlModel {
         x: &Matrix,
         cfg: &TrainConfig,
         rng: &mut SeedRng,
-    ) -> PretrainResult {
+    ) -> Result<PretrainResult, TrainError> {
         let start = Instant::now();
         let adj_orig = norm::normalized_adjacency(g);
         let dims = cfg.encoder_dims(x.cols());
         let mut online = GcnEncoder::new(&dims, &mut rng.fork("online"));
         let mut target = online.clone();
-        let mut predictor =
-            Mlp::new(cfg.embed_dim, cfg.embed_dim * 2, cfg.embed_dim, &mut rng.fork("pred"));
+        let mut predictor = Mlp::new(
+            cfg.embed_dim,
+            cfg.embed_dim * 2,
+            cfg.embed_dim,
+            &mut rng.fork("pred"),
+        );
         let mut opt = Adam::with_weight_decay(cfg.lr, cfg.weight_decay);
         let mut train_rng = rng.fork("train");
         let mut loss_curve = Vec::with_capacity(cfg.epochs);
         let mut checkpoints = Vec::new();
-        for epoch in 0..cfg.epochs {
+        let mut guard = NumericGuard::new(&cfg.guard);
+        let fault = cfg.fault.clone().unwrap_or_default();
+        let mut epoch = 0;
+        while epoch < cfg.epochs {
+            let lr = cfg.lr * guard.lr_scale;
             let g1 = uniform::drop_edges_uniform(g, self.config.drop_edge.0, &mut train_rng);
             let g2 = uniform::drop_edges_uniform(g, self.config.drop_edge.1, &mut train_rng);
-            let x1 = uniform::mask_feature_dims(x, self.config.mask_feat.0, &mut train_rng);
+            let mut x1 = uniform::mask_feature_dims(x, self.config.mask_feat.0, &mut train_rng);
             let x2 = uniform::mask_feature_dims(x, self.config.mask_feat.1, &mut train_rng);
+            fault.corrupt_features(epoch, &mut x1);
             let a1 = norm::normalized_adjacency(&g1);
             let a2 = norm::normalized_adjacency(&g2);
             let (h1, c1) = online.forward(&a1, &x1);
@@ -100,29 +115,53 @@ impl ContrastiveModel for BgrlModel {
             let t1 = target.embed(&a1, &x1);
             let t2 = target.embed(&a2, &x2);
             // Symmetric bootstrap: predict the other branch's target.
-            let (la, d_h1) = bootstrap_step(&mut predictor, &h1, &t2, cfg.lr);
-            let (lb, d_h2) = bootstrap_step(&mut predictor, &h2, &t1, cfg.lr);
-            loss_curve.push(0.5 * (la + lb));
+            let (la, d_h1) = bootstrap_step(&mut predictor, &h1, &t2, lr);
+            let (lb, d_h2) = bootstrap_step(&mut predictor, &h2, &t1, lr);
             let mut acc = None;
             GcnEncoder::accumulate(&mut acc, online.backward(&a1, &c1, &d_h1), 1.0);
             GcnEncoder::accumulate(&mut acc, online.backward(&a2, &c2, &d_h2), 1.0);
-            opt.step(online.params_mut(), &acc.unwrap());
-            let decay = ema::annealed_decay(self.config.ema_decay, epoch, cfg.epochs);
-            ema::ema_update(target.params_mut(), online.params(), decay);
-            if let Some(every) = cfg.checkpoint_every {
-                if (epoch + 1) % every == 0 || epoch + 1 == cfg.epochs {
-                    checkpoints
-                        .push((start.elapsed().as_secs_f64(), online.embed(&adj_orig, x)));
+            let Some(mut grads) = acc else {
+                epoch += 1;
+                continue;
+            };
+            let l = fault.corrupt_loss(epoch, 0.5 * (la + lb));
+            fault.corrupt_gradients(epoch, &mut grads);
+            let grads_bad = optim::grads_non_finite(&grads);
+            let emb_bad = guard.embeddings_bad(&[&h1, &h2]);
+            match guard.inspect(epoch, l, grads_bad, emb_bad)? {
+                GuardAction::Proceed => {
+                    if let Some(max) = cfg.guard.max_grad_norm {
+                        optim::clip_grad_norm(&mut grads, max);
+                    }
+                    opt.lr = lr;
+                    opt.step(online.params_mut(), &grads);
+                    let decay = ema::annealed_decay(self.config.ema_decay, epoch, cfg.epochs);
+                    ema::ema_update(target.params_mut(), online.params(), decay);
+                    loss_curve.push(l);
+                    if let Some(every) = cfg.checkpoint_every {
+                        if (epoch + 1) % every == 0 || epoch + 1 == cfg.epochs {
+                            checkpoints
+                                .push((start.elapsed().as_secs_f64(), online.embed(&adj_orig, x)));
+                        }
+                    }
+                    epoch += 1;
                 }
+                GuardAction::SkipEpoch => {
+                    loss_curve.push(l);
+                    epoch += 1;
+                }
+                // The predictor already stepped; the encoder update is
+                // discarded and the epoch re-runs at reduced lr.
+                GuardAction::RetryEpoch { .. } => {}
             }
         }
-        PretrainResult {
+        Ok(PretrainResult {
             embeddings: online.embed(&adj_orig, x),
             selection_time: std::time::Duration::ZERO,
             total_time: start.elapsed(),
             checkpoints,
             loss_curve,
-        }
+        })
     }
 }
 
@@ -141,7 +180,7 @@ fn afgrl_positive_targets(g: &CsrGraph, target_h: &Matrix, knn: usize) -> Matrix
                 (ops::cosine(target_h.row(v), target_h.row(u)), u)
             })
             .collect();
-        scored.sort_unstable_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+        scored.sort_unstable_by(|a, b| b.0.total_cmp(&a.0));
         scored.truncate(knn.max(1));
         if scored.is_empty() {
             out.set_row(v, target_h.row(v));
@@ -167,40 +206,67 @@ impl ContrastiveModel for AfgrlModel {
         x: &Matrix,
         cfg: &TrainConfig,
         rng: &mut SeedRng,
-    ) -> PretrainResult {
+    ) -> Result<PretrainResult, TrainError> {
         let start = Instant::now();
         let adj = norm::normalized_adjacency(g);
         let dims = cfg.encoder_dims(x.cols());
         let mut online = GcnEncoder::new(&dims, &mut rng.fork("online"));
         let mut target = online.clone();
-        let mut predictor =
-            Mlp::new(cfg.embed_dim, cfg.embed_dim * 2, cfg.embed_dim, &mut rng.fork("pred"));
+        let mut predictor = Mlp::new(
+            cfg.embed_dim,
+            cfg.embed_dim * 2,
+            cfg.embed_dim,
+            &mut rng.fork("pred"),
+        );
         let mut opt = Adam::with_weight_decay(cfg.lr, cfg.weight_decay);
         let mut loss_curve = Vec::with_capacity(cfg.epochs);
         let mut checkpoints = Vec::new();
-        for epoch in 0..cfg.epochs {
+        let mut guard = NumericGuard::new(&cfg.guard);
+        let fault = cfg.fault.clone().unwrap_or_default();
+        let mut epoch = 0;
+        while epoch < cfg.epochs {
+            let lr = cfg.lr * guard.lr_scale;
             let (h, cache) = online.forward(&adj, x);
             let t = target.embed(&adj, x);
             let positives = afgrl_positive_targets(g, &t, self.config.knn);
-            let (l, d_h) = bootstrap_step(&mut predictor, &h, &positives, cfg.lr);
-            loss_curve.push(l);
-            let grads = online.backward(&adj, &cache, &d_h);
-            opt.step(online.params_mut(), &grads);
-            let decay = ema::annealed_decay(self.config.ema_decay, epoch, cfg.epochs);
-            ema::ema_update(target.params_mut(), online.params(), decay);
-            if let Some(every) = cfg.checkpoint_every {
-                if (epoch + 1) % every == 0 || epoch + 1 == cfg.epochs {
-                    checkpoints.push((start.elapsed().as_secs_f64(), online.embed(&adj, x)));
+            let (l, d_h) = bootstrap_step(&mut predictor, &h, &positives, lr);
+            let mut grads = online.backward(&adj, &cache, &d_h);
+            let l = fault.corrupt_loss(epoch, l);
+            fault.corrupt_gradients(epoch, &mut grads);
+            let grads_bad = optim::grads_non_finite(&grads);
+            let emb_bad = guard.embeddings_bad(&[&h]);
+            match guard.inspect(epoch, l, grads_bad, emb_bad)? {
+                GuardAction::Proceed => {
+                    if let Some(max) = cfg.guard.max_grad_norm {
+                        optim::clip_grad_norm(&mut grads, max);
+                    }
+                    opt.lr = lr;
+                    opt.step(online.params_mut(), &grads);
+                    let decay = ema::annealed_decay(self.config.ema_decay, epoch, cfg.epochs);
+                    ema::ema_update(target.params_mut(), online.params(), decay);
+                    loss_curve.push(l);
+                    if let Some(every) = cfg.checkpoint_every {
+                        if (epoch + 1) % every == 0 || epoch + 1 == cfg.epochs {
+                            checkpoints
+                                .push((start.elapsed().as_secs_f64(), online.embed(&adj, x)));
+                        }
+                    }
+                    epoch += 1;
                 }
+                GuardAction::SkipEpoch => {
+                    loss_curve.push(l);
+                    epoch += 1;
+                }
+                GuardAction::RetryEpoch { .. } => {}
             }
         }
-        PretrainResult {
+        Ok(PretrainResult {
             embeddings: online.embed(&adj, x),
             selection_time: std::time::Duration::ZERO,
             total_time: start.elapsed(),
             checkpoints,
             loss_curve,
-        }
+        })
     }
 }
 
@@ -211,16 +277,20 @@ mod tests {
 
     fn tiny() -> (NodeDataset, TrainConfig) {
         (
-            NodeDataset::generate(&spec("cora-sim"), 0.05, 0),
-            TrainConfig { epochs: 10, ..Default::default() },
+            NodeDataset::generate(&spec("cora-sim").unwrap(), 0.05, 0),
+            TrainConfig {
+                epochs: 10,
+                ..Default::default()
+            },
         )
     }
 
     #[test]
     fn bgrl_trains_without_nans() {
         let (d, cfg) = tiny();
-        let out =
-            BgrlModel::default().pretrain(&d.graph, &d.features, &cfg, &mut SeedRng::new(0));
+        let out = BgrlModel::default()
+            .pretrain(&d.graph, &d.features, &cfg, &mut SeedRng::new(0))
+            .unwrap();
         assert!(!out.embeddings.has_non_finite());
         assert_eq!(out.loss_curve.len(), 10);
         // Bootstrap loss is bounded in [0, 4].
@@ -230,8 +300,9 @@ mod tests {
     #[test]
     fn afgrl_trains_without_nans() {
         let (d, cfg) = tiny();
-        let out =
-            AfgrlModel::default().pretrain(&d.graph, &d.features, &cfg, &mut SeedRng::new(1));
+        let out = AfgrlModel::default()
+            .pretrain(&d.graph, &d.features, &cfg, &mut SeedRng::new(1))
+            .unwrap();
         assert!(!out.embeddings.has_non_finite());
     }
 

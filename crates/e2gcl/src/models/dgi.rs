@@ -5,11 +5,12 @@
 //! corruption, and a bilinear discriminator tells them apart.
 
 use crate::config::TrainConfig;
+use crate::guard::{GuardAction, NumericGuard};
 use crate::models::{ContrastiveModel, PretrainResult};
 use e2gcl_graph::{norm, CsrGraph, SparseMatrix};
-use e2gcl_linalg::{activations, ops, Matrix, SeedRng};
 use e2gcl_linalg::init;
-use e2gcl_nn::{loss, optim::Optimizer, Adam, GcnEncoder};
+use e2gcl_linalg::{activations, ops, Matrix, SeedRng, TrainError};
+use e2gcl_nn::{loss, optim, optim::Optimizer, Adam, GcnEncoder};
 use std::time::Instant;
 
 /// Bilinear discriminator `D(h, s) = h^T W s` shared by DGI and MVGRL.
@@ -32,7 +33,9 @@ pub struct BilinearGrads {
 impl BilinearDiscriminator {
     /// Xavier-initialised discriminator of width `d`.
     pub fn new(d: usize, rng: &mut SeedRng) -> Self {
-        Self { w: init::xavier_uniform(d, d, rng) }
+        Self {
+            w: init::xavier_uniform(d, d, rng),
+        }
     }
 
     /// Scores every row of `h` against summary `s`: `logit_v = h_v · (W s)`.
@@ -64,8 +67,8 @@ impl BilinearDiscriminator {
             ops::axpy_slice(dw.row_mut(r), gv, s);
         }
         // ds = W^T g.
-        for r in 0..d {
-            ops::axpy_slice(&mut ds, g[r], self.w.row(r));
+        for (r, &gr) in g.iter().enumerate() {
+            ops::axpy_slice(&mut ds, gr, self.w.row(r));
         }
         BilinearGrads { dw, dh, ds }
     }
@@ -83,8 +86,7 @@ pub fn summary(h: &Matrix) -> (Vec<f32>, Vec<f32>) {
 /// Spreads `ds` through the sigmoid-mean readout into every row of `dh`.
 pub fn summary_backward(dh: &mut Matrix, ds: &[f32], dsig: &[f32]) {
     let n = dh.rows().max(1) as f32;
-    let per_row: Vec<f32> =
-        ds.iter().zip(dsig).map(|(&d, &g)| d * g / n).collect();
+    let per_row: Vec<f32> = ds.iter().zip(dsig).map(|(&d, &g)| d * g / n).collect();
     for v in 0..dh.rows() {
         ops::axpy_slice(dh.row_mut(v), 1.0, &per_row);
     }
@@ -123,8 +125,7 @@ impl DgiModel {
         let mut d_real = gp.dh;
         let d_corrupt = gn.dh;
         // Summary gradient flows into the real embeddings.
-        let ds_total: Vec<f32> =
-            gp.ds.iter().zip(&gn.ds).map(|(a, b)| a + b).collect();
+        let ds_total: Vec<f32> = gp.ds.iter().zip(&gn.ds).map(|(a, b)| a + b).collect();
         summary_backward(&mut d_real, &ds_total, &dsig);
         let mut dw = gp.dw;
         dw.add_assign(&gn.dw);
@@ -143,7 +144,7 @@ impl ContrastiveModel for DgiModel {
         x: &Matrix,
         cfg: &TrainConfig,
         rng: &mut SeedRng,
-    ) -> PretrainResult {
+    ) -> Result<PretrainResult, TrainError> {
         let start = Instant::now();
         let adj: SparseMatrix = norm::normalized_adjacency(g);
         let mut encoder = GcnEncoder::new(&cfg.encoder_dims(x.cols()), &mut rng.fork("init"));
@@ -153,13 +154,14 @@ impl ContrastiveModel for DgiModel {
         let mut train_rng = rng.fork("train");
         let mut loss_curve = Vec::with_capacity(cfg.epochs);
         let mut checkpoints = Vec::new();
-        for epoch in 0..cfg.epochs {
+        let mut guard = NumericGuard::new(&cfg.guard);
+        let fault = cfg.fault.clone().unwrap_or_default();
+        let mut epoch = 0;
+        while epoch < cfg.epochs {
             let x_corrupt = shuffle_rows(x, &mut train_rng);
             let (h_real, c_real) = encoder.forward(&adj, x);
             let (h_corrupt, c_corrupt) = encoder.forward(&adj, &x_corrupt);
-            let (l, d_real, d_corrupt, dw) =
-                Self::discriminate(&disc, &h_real, &h_corrupt);
-            loss_curve.push(l);
+            let (l, d_real, d_corrupt, dw) = Self::discriminate(&disc, &h_real, &h_corrupt);
             let mut acc = None;
             GcnEncoder::accumulate(&mut acc, encoder.backward(&adj, &c_real, &d_real), 1.0);
             GcnEncoder::accumulate(
@@ -167,22 +169,46 @@ impl ContrastiveModel for DgiModel {
                 encoder.backward(&adj, &c_corrupt, &d_corrupt),
                 1.0,
             );
-            opt.step(encoder.params_mut(), &acc.unwrap());
-            disc_opt.step(std::slice::from_mut(&mut disc.w), &[dw]);
-            if let Some(every) = cfg.checkpoint_every {
-                if (epoch + 1) % every == 0 || epoch + 1 == cfg.epochs {
-                    checkpoints
-                        .push((start.elapsed().as_secs_f64(), encoder.embed(&adj, x)));
+            let Some(mut grads) = acc else {
+                epoch += 1;
+                continue;
+            };
+            let l = fault.corrupt_loss(epoch, l);
+            fault.corrupt_gradients(epoch, &mut grads);
+            let grads_bad = optim::grads_non_finite(&grads) || dw.has_non_finite();
+            let emb_bad = guard.embeddings_bad(&[&h_real, &h_corrupt]);
+            match guard.inspect(epoch, l, grads_bad, emb_bad)? {
+                GuardAction::Proceed => {
+                    if let Some(max) = cfg.guard.max_grad_norm {
+                        optim::clip_grad_norm(&mut grads, max);
+                    }
+                    opt.lr = cfg.lr * guard.lr_scale;
+                    opt.step(encoder.params_mut(), &grads);
+                    disc_opt.lr = cfg.lr * guard.lr_scale;
+                    disc_opt.step(std::slice::from_mut(&mut disc.w), &[dw]);
+                    loss_curve.push(l);
+                    if let Some(every) = cfg.checkpoint_every {
+                        if (epoch + 1) % every == 0 || epoch + 1 == cfg.epochs {
+                            checkpoints
+                                .push((start.elapsed().as_secs_f64(), encoder.embed(&adj, x)));
+                        }
+                    }
+                    epoch += 1;
                 }
+                GuardAction::SkipEpoch => {
+                    loss_curve.push(l);
+                    epoch += 1;
+                }
+                GuardAction::RetryEpoch { .. } => {}
             }
         }
-        PretrainResult {
+        Ok(PretrainResult {
             embeddings: encoder.embed(&adj, x),
             selection_time: std::time::Duration::ZERO,
             total_time: start.elapsed(),
             checkpoints,
             loss_curve,
-        }
+        })
     }
 }
 
@@ -218,7 +244,10 @@ mod tests {
                 let lm = f(&d2, &h, &s);
                 d2.w.set(r, c, orig);
                 let fd = (lp - lm) / (2.0 * eps);
-                assert!((fd - grads.dw.get(r, c)).abs() < 2e-2 * (1.0 + fd.abs()), "dW({r},{c})");
+                assert!(
+                    (fd - grads.dw.get(r, c)).abs() < 2e-2 * (1.0 + fd.abs()),
+                    "dW({r},{c})"
+                );
             }
         }
         // dH check.
@@ -232,7 +261,10 @@ mod tests {
                 let lm = f(&disc, &hm, &s);
                 hm.set(r, c, orig);
                 let fd = (lp - lm) / (2.0 * eps);
-                assert!((fd - grads.dh.get(r, c)).abs() < 2e-2 * (1.0 + fd.abs()), "dH({r},{c})");
+                assert!(
+                    (fd - grads.dh.get(r, c)).abs() < 2e-2 * (1.0 + fd.abs()),
+                    "dH({r},{c})"
+                );
             }
         }
         // ds check.
@@ -245,7 +277,10 @@ mod tests {
             let lm = f(&disc, &h, &sm);
             sm[c] = orig;
             let fd = (lp - lm) / (2.0 * eps);
-            assert!((fd - grads.ds[c]).abs() < 2e-2 * (1.0 + fd.abs()), "ds({c})");
+            assert!(
+                (fd - grads.ds[c]).abs() < 2e-2 * (1.0 + fd.abs()),
+                "ds({c})"
+            );
         }
     }
 
@@ -261,9 +296,14 @@ mod tests {
 
     #[test]
     fn dgi_trains_and_loss_falls() {
-        let d = NodeDataset::generate(&spec("cora-sim"), 0.05, 0);
-        let cfg = TrainConfig { epochs: 15, ..Default::default() };
-        let out = DgiModel.pretrain(&d.graph, &d.features, &cfg, &mut SeedRng::new(2));
+        let d = NodeDataset::generate(&spec("cora-sim").unwrap(), 0.05, 0);
+        let cfg = TrainConfig {
+            epochs: 15,
+            ..Default::default()
+        };
+        let out = DgiModel
+            .pretrain(&d.graph, &d.features, &cfg, &mut SeedRng::new(2))
+            .unwrap();
         assert!(!out.embeddings.has_non_finite());
         let first = out.loss_curve[0];
         let last = *out.loss_curve.last().unwrap();

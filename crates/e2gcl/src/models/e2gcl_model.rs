@@ -2,13 +2,14 @@
 //! contrastive training (the full Alg. 1 / Alg. 2 / Alg. 3 stack).
 
 use crate::config::TrainConfig;
+use crate::guard::{GuardAction, NumericGuard};
 use crate::models::{sample_negative_indices, ContrastiveModel, PretrainResult};
+use e2gcl_graph::SparseMatrix;
 use e2gcl_graph::{norm, CsrGraph};
-use e2gcl_linalg::{Matrix, SeedRng};
+use e2gcl_linalg::{Matrix, SeedRng, TrainError};
 use e2gcl_nn::sage::{SageCache, SageEncoder};
 use e2gcl_nn::sgc::{SgcCache, SgcEncoder};
-use e2gcl_nn::{gcn::GcnCache, loss, optim::Optimizer, Adam, GcnEncoder};
-use e2gcl_graph::SparseMatrix;
+use e2gcl_nn::{gcn::GcnCache, loss, optim, optim::Optimizer, Adam, GcnEncoder};
 use e2gcl_selector::baselines::{
     DegreeSelector, GrainSelector, KCenterGreedy, KMeansSelector, RandomSelector,
 };
@@ -78,12 +79,8 @@ impl Encoder {
     fn new(kind: EncoderKind, d_x: usize, cfg: &TrainConfig, rng: &mut SeedRng) -> Encoder {
         match kind {
             EncoderKind::Gcn => Encoder::Gcn(GcnEncoder::new(&cfg.encoder_dims(d_x), rng)),
-            EncoderKind::Sgc => {
-                Encoder::Sgc(SgcEncoder::new(d_x, cfg.embed_dim, 2, rng))
-            }
-            EncoderKind::Sage => {
-                Encoder::Sage(SageEncoder::new(&cfg.encoder_dims(d_x), rng))
-            }
+            EncoderKind::Sgc => Encoder::Sgc(SgcEncoder::new(d_x, cfg.embed_dim, 2, rng)),
+            EncoderKind::Sage => Encoder::Sage(SageEncoder::new(&cfg.encoder_dims(d_x), rng)),
         }
     }
 
@@ -234,18 +231,11 @@ impl E2gclModel {
     }
 
     /// Runs the configured node selector (Alg. 1 line 3 prerequisite).
-    pub fn select_nodes(
-        &self,
-        g: &CsrGraph,
-        x: &Matrix,
-        rng: &mut SeedRng,
-    ) -> Selection {
+    pub fn select_nodes(&self, g: &CsrGraph, x: &Matrix, rng: &mut SeedRng) -> Selection {
         let n = g.num_nodes();
         let budget = ((n as f64) * self.config.node_ratio).round().max(1.0) as usize;
         match &self.config.selector {
-            SelectorKind::Greedy(cfg) => {
-                GreedySelector::new(cfg.clone()).select(g, x, budget, rng)
-            }
+            SelectorKind::Greedy(cfg) => GreedySelector::new(cfg.clone()).select(g, x, budget, rng),
             SelectorKind::Random => RandomSelector.select(g, x, budget, rng),
             SelectorKind::Degree => DegreeSelector.select(g, x, budget, rng),
             SelectorKind::KMeans => KMeansSelector::default().select(g, x, budget, rng),
@@ -282,7 +272,6 @@ impl E2gclModel {
     }
 }
 
-
 impl E2gclModel {
     /// The literal Alg. 3 training loop: every anchor gets two freshly
     /// sampled ego views per epoch, each encoded independently, and the
@@ -294,21 +283,22 @@ impl E2gclModel {
         x: &Matrix,
         cfg: &TrainConfig,
         rng: &mut SeedRng,
-    ) -> PretrainResult {
+    ) -> Result<PretrainResult, TrainError> {
         let start = Instant::now();
         let selection = self.select_nodes(g, x, &mut rng.fork("selector"));
         let selection_time = start.elapsed();
-        let generator =
-            ViewGenerator::new(g, x, self.view_config(), &mut rng.fork("views"));
-        let mut encoder =
-            Encoder::new(self.config.encoder, x.cols(), cfg, &mut rng.fork("init"));
+        let generator = ViewGenerator::new(g, x, self.view_config(), &mut rng.fork("views"));
+        let mut encoder = Encoder::new(self.config.encoder, x.cols(), cfg, &mut rng.fork("init"));
         let adj_orig = encoder.adjacency(g);
         let mut opt = Adam::with_weight_decay(cfg.lr, cfg.weight_decay);
         let mut loss_curve = Vec::with_capacity(cfg.epochs);
         let mut train_rng = rng.fork("train");
+        let mut guard = NumericGuard::new(&cfg.guard);
+        let fault = cfg.fault.clone().unwrap_or_default();
         let anchors = &selection.nodes;
         let weights = &selection.weights;
-        for _epoch in 0..cfg.epochs {
+        let mut epoch = 0;
+        while epoch < cfg.epochs {
             if anchors.is_empty() {
                 break;
             }
@@ -343,15 +333,12 @@ impl E2gclModel {
                 ctx.push((va, aa, ca, ha.rows(), vb, ab, cb, hb.rows()));
             }
             let negatives: Vec<Vec<usize>> = (0..bsz)
-                .map(|i| {
-                    sample_negative_indices(bsz, i, self.config.negatives, &mut train_rng)
-                })
+                .map(|i| sample_negative_indices(bsz, i, self.config.negatives, &mut train_rng))
                 .collect();
             let (d1, d2, batch_loss) = if self.config.normalize {
                 let (u1, n1) = loss::normalize_rows(&hb1);
                 let (u2, n2) = loss::normalize_rows(&hb2);
-                let out =
-                    loss::margin_contrastive(&u1, &u2, &u2, &negatives, self.config.margin);
+                let out = loss::margin_contrastive(&u1, &u2, &u2, &negatives, self.config.margin);
                 let mut du2 = out.d_tilde;
                 du2.add_assign(&out.d_neg);
                 (
@@ -360,18 +347,12 @@ impl E2gclModel {
                     out.loss,
                 )
             } else {
-                let out = loss::margin_contrastive(
-                    &hb1,
-                    &hb2,
-                    &hb2,
-                    &negatives,
-                    self.config.margin,
-                );
+                let out =
+                    loss::margin_contrastive(&hb1, &hb2, &hb2, &negatives, self.config.margin);
                 let mut du2 = out.d_tilde;
                 du2.add_assign(&out.d_neg);
                 (out.d_hat, du2, out.loss)
             };
-            loss_curve.push(batch_loss);
             // Backprop each ego view with a one-hot centre-row gradient.
             let mut acc: Option<Vec<Matrix>> = None;
             for (i, (va, aa, ca, na, vb, ab, cb, nb)) in ctx.iter().enumerate() {
@@ -382,15 +363,38 @@ impl E2gclModel {
                 db.set_row(vb.center, d2.row(i));
                 GcnEncoder::accumulate(&mut acc, encoder.backward(ab, cb, &db), 1.0);
             }
-            opt.step(encoder.params_mut(), &acc.unwrap());
+            let Some(mut grads) = acc else {
+                epoch += 1;
+                continue;
+            };
+            let batch_loss = fault.corrupt_loss(epoch, batch_loss);
+            fault.corrupt_gradients(epoch, &mut grads);
+            let grads_bad = optim::grads_non_finite(&grads);
+            let emb_bad = guard.embeddings_bad(&[&hb1, &hb2]);
+            match guard.inspect(epoch, batch_loss, grads_bad, emb_bad)? {
+                GuardAction::Proceed => {
+                    if let Some(max) = cfg.guard.max_grad_norm {
+                        optim::clip_grad_norm(&mut grads, max);
+                    }
+                    opt.lr = cfg.lr * guard.lr_scale;
+                    opt.step(encoder.params_mut(), &grads);
+                    loss_curve.push(batch_loss);
+                    epoch += 1;
+                }
+                GuardAction::SkipEpoch => {
+                    loss_curve.push(batch_loss);
+                    epoch += 1;
+                }
+                GuardAction::RetryEpoch { .. } => {}
+            }
         }
-        PretrainResult {
+        Ok(PretrainResult {
             embeddings: encoder.embed(&adj_orig, x),
             selection_time,
             total_time: start.elapsed(),
             checkpoints: Vec::new(),
             loss_curve,
-        }
+        })
     }
 }
 
@@ -405,7 +409,7 @@ impl ContrastiveModel for E2gclModel {
         x: &Matrix,
         cfg: &TrainConfig,
         rng: &mut SeedRng,
-    ) -> PretrainResult {
+    ) -> Result<PretrainResult, TrainError> {
         if self.config.view_mode == ViewMode::PerNodeEgo {
             return self.pretrain_per_node(g, x, cfg, rng);
         }
@@ -414,24 +418,25 @@ impl ContrastiveModel for E2gclModel {
         let selection = self.select_nodes(g, x, &mut rng.fork("selector"));
         let selection_time = start.elapsed();
         // ---- View generator setup (Alg. 3 precomputation) ----
-        let generator =
-            ViewGenerator::new(g, x, self.view_config(), &mut rng.fork("views"));
+        let generator = ViewGenerator::new(g, x, self.view_config(), &mut rng.fork("views"));
         // ---- Encoder + optimiser ----
-        let mut encoder =
-            Encoder::new(self.config.encoder, x.cols(), cfg, &mut rng.fork("init"));
+        let mut encoder = Encoder::new(self.config.encoder, x.cols(), cfg, &mut rng.fork("init"));
         let adj_orig = encoder.adjacency(g);
         let mut opt = Adam::with_weight_decay(cfg.lr, cfg.weight_decay);
         let mut loss_curve = Vec::with_capacity(cfg.epochs);
         let mut checkpoints = Vec::new();
         let mut train_rng = rng.fork("train");
+        let mut guard = NumericGuard::new(&cfg.guard);
+        let fault = cfg.fault.clone().unwrap_or_default();
         let anchors = &selection.nodes;
         let weights = &selection.weights;
-        for epoch in 0..cfg.epochs {
+        let mut epoch = 0;
+        while epoch < cfg.epochs {
             if anchors.is_empty() {
                 break;
             }
             // Two diverse positive views per epoch (Alg. 1 line 3-4).
-            let (g1, x1) = generator.sample_global_view(
+            let (g1, mut x1) = generator.sample_global_view(
                 self.config.tau_hat,
                 self.config.eta_hat,
                 &mut train_rng,
@@ -441,6 +446,7 @@ impl ContrastiveModel for E2gclModel {
                 self.config.eta_tilde,
                 &mut train_rng,
             );
+            fault.corrupt_features(epoch, &mut x1);
             let a1 = encoder.adjacency(&g1);
             let a2 = encoder.adjacency(&g2);
             let (h1, c1) = encoder.forward(&a1, &x1);
@@ -460,32 +466,19 @@ impl ContrastiveModel for E2gclModel {
                 let hb1 = h1.select_rows(&batch);
                 let hb2 = h2.select_rows(&batch);
                 let negatives: Vec<Vec<usize>> = (0..bsz)
-                    .map(|i| {
-                        sample_negative_indices(
-                            bsz,
-                            i,
-                            self.config.negatives,
-                            &mut train_rng,
-                        )
-                    })
+                    .map(|i| sample_negative_indices(bsz, i, self.config.negatives, &mut train_rng))
                     .collect();
                 // Optionally compute the loss on the unit sphere, then pull
                 // gradients back through the normalisation Jacobian.
-                let (d_hat, d_tilde_and_neg, batch_loss) = if self.config.loss
-                    == LossKind::InfoNce
+                let (d_hat, d_tilde_and_neg, batch_loss) = if self.config.loss == LossKind::InfoNce
                 {
                     let out = loss::info_nce(&hb1, &hb2, 0.5);
                     (out.d_z1, out.d_z2, out.loss)
                 } else if self.config.normalize {
                     let (u1, n1) = loss::normalize_rows(&hb1);
                     let (u2, n2) = loss::normalize_rows(&hb2);
-                    let out = loss::margin_contrastive(
-                        &u1,
-                        &u2,
-                        &u2,
-                        &negatives,
-                        self.config.margin,
-                    );
+                    let out =
+                        loss::margin_contrastive(&u1, &u2, &u2, &negatives, self.config.margin);
                     let mut du2 = out.d_tilde;
                     du2.add_assign(&out.d_neg);
                     (
@@ -494,13 +487,8 @@ impl ContrastiveModel for E2gclModel {
                         out.loss,
                     )
                 } else {
-                    let out = loss::margin_contrastive(
-                        &hb1,
-                        &hb2,
-                        &hb2,
-                        &negatives,
-                        self.config.margin,
-                    );
+                    let out =
+                        loss::margin_contrastive(&hb1, &hb2, &hb2, &negatives, self.config.margin);
                     let mut du2 = out.d_tilde;
                     du2.add_assign(&out.d_neg);
                     (out.d_hat, du2, out.loss)
@@ -508,42 +496,58 @@ impl ContrastiveModel for E2gclModel {
                 epoch_loss += batch_loss / num_batches as f32;
                 // Scatter batch gradients back to full-view rows.
                 for (i, &v) in batch.iter().enumerate() {
-                    for (dst, &src) in
-                        d_h1.row_mut(v).iter_mut().zip(d_hat.row(i))
-                    {
+                    for (dst, &src) in d_h1.row_mut(v).iter_mut().zip(d_hat.row(i)) {
                         *dst += src / num_batches as f32;
                     }
-                    for (dst, &src) in
-                        d_h2.row_mut(v).iter_mut().zip(d_tilde_and_neg.row(i))
-                    {
+                    for (dst, &src) in d_h2.row_mut(v).iter_mut().zip(d_tilde_and_neg.row(i)) {
                         *dst += src / num_batches as f32;
                     }
                 }
             }
-            loss_curve.push(epoch_loss);
-            // Backprop both views, accumulate, step.
+            // Backprop both views, accumulate, then let the guard decide
+            // whether this epoch's update is applied.
             let mut acc = None;
             GcnEncoder::accumulate(&mut acc, encoder.backward(&a1, &c1, &d_h1), 1.0);
             GcnEncoder::accumulate(&mut acc, encoder.backward(&a2, &c2, &d_h2), 1.0);
-            let grads = acc.unwrap();
-            opt.step(encoder.params_mut(), &grads);
-            if let Some(every) = cfg.checkpoint_every {
-                if (epoch + 1) % every == 0 || epoch + 1 == cfg.epochs {
-                    checkpoints.push((
-                        start.elapsed().as_secs_f64(),
-                        encoder.embed(&adj_orig, x),
-                    ));
+            let Some(mut grads) = acc else {
+                epoch += 1;
+                continue;
+            };
+            let epoch_loss = fault.corrupt_loss(epoch, epoch_loss);
+            fault.corrupt_gradients(epoch, &mut grads);
+            let grads_bad = optim::grads_non_finite(&grads);
+            let emb_bad = guard.embeddings_bad(&[&h1, &h2]);
+            match guard.inspect(epoch, epoch_loss, grads_bad, emb_bad)? {
+                GuardAction::Proceed => {
+                    if let Some(max) = cfg.guard.max_grad_norm {
+                        optim::clip_grad_norm(&mut grads, max);
+                    }
+                    opt.lr = cfg.lr * guard.lr_scale;
+                    opt.step(encoder.params_mut(), &grads);
+                    loss_curve.push(epoch_loss);
+                    if let Some(every) = cfg.checkpoint_every {
+                        if (epoch + 1) % every == 0 || epoch + 1 == cfg.epochs {
+                            checkpoints
+                                .push((start.elapsed().as_secs_f64(), encoder.embed(&adj_orig, x)));
+                        }
+                    }
+                    epoch += 1;
                 }
+                GuardAction::SkipEpoch => {
+                    loss_curve.push(epoch_loss);
+                    epoch += 1;
+                }
+                GuardAction::RetryEpoch { .. } => {}
             }
         }
         let embeddings = encoder.embed(&adj_orig, x);
-        PretrainResult {
+        Ok(PretrainResult {
             embeddings,
             selection_time,
             total_time: start.elapsed(),
             checkpoints,
             loss_curve,
-        }
+        })
     }
 }
 
@@ -553,18 +557,24 @@ mod tests {
     use e2gcl_datasets::{spec, NodeDataset};
 
     fn tiny_cfg() -> TrainConfig {
-        TrainConfig { epochs: 8, batch_size: 64, ..Default::default() }
+        TrainConfig {
+            epochs: 8,
+            batch_size: 64,
+            ..Default::default()
+        }
     }
 
     fn tiny_data() -> NodeDataset {
-        NodeDataset::generate(&spec("cora-sim"), 0.06, 3)
+        NodeDataset::generate(&spec("cora-sim").unwrap(), 0.06, 3)
     }
 
     #[test]
     fn pretrain_produces_finite_embeddings() {
         let d = tiny_data();
         let model = E2gclModel::default();
-        let out = model.pretrain(&d.graph, &d.features, &tiny_cfg(), &mut SeedRng::new(0));
+        let out = model
+            .pretrain(&d.graph, &d.features, &tiny_cfg(), &mut SeedRng::new(0))
+            .unwrap();
         assert_eq!(out.embeddings.rows(), d.num_nodes());
         assert_eq!(out.embeddings.cols(), 64);
         assert!(!out.embeddings.has_non_finite());
@@ -576,8 +586,14 @@ mod tests {
     fn loss_decreases_over_training() {
         let d = tiny_data();
         let model = E2gclModel::default();
-        let cfg = TrainConfig { epochs: 15, batch_size: 64, ..Default::default() };
-        let out = model.pretrain(&d.graph, &d.features, &cfg, &mut SeedRng::new(1));
+        let cfg = TrainConfig {
+            epochs: 15,
+            batch_size: 64,
+            ..Default::default()
+        };
+        let out = model
+            .pretrain(&d.graph, &d.features, &cfg, &mut SeedRng::new(1))
+            .unwrap();
         let first = out.loss_curve[..3].iter().sum::<f32>() / 3.0;
         let last = out.loss_curve[12..].iter().sum::<f32>() / 3.0;
         assert!(last < first, "loss should fall: {first} -> {last}");
@@ -587,8 +603,14 @@ mod tests {
     fn checkpoints_recorded_when_requested() {
         let d = tiny_data();
         let model = E2gclModel::default();
-        let cfg = TrainConfig { epochs: 6, checkpoint_every: Some(2), ..tiny_cfg() };
-        let out = model.pretrain(&d.graph, &d.features, &cfg, &mut SeedRng::new(2));
+        let cfg = TrainConfig {
+            epochs: 6,
+            checkpoint_every: Some(2),
+            ..tiny_cfg()
+        };
+        let out = model
+            .pretrain(&d.graph, &d.features, &cfg, &mut SeedRng::new(2))
+            .unwrap();
         assert_eq!(out.checkpoints.len(), 3);
         // Times strictly increasing.
         for w in out.checkpoints.windows(2) {
@@ -635,10 +657,17 @@ mod tests {
             ViewStrategy::UniformEdges,
             ViewStrategy::UniformFeatures,
         ] {
-            let model = E2gclModel::new(E2gclConfig { strategy, ..Default::default() });
-            let cfg = TrainConfig { epochs: 3, ..tiny_cfg() };
-            let out =
-                model.pretrain(&d.graph, &d.features, &cfg, &mut SeedRng::new(4));
+            let model = E2gclModel::new(E2gclConfig {
+                strategy,
+                ..Default::default()
+            });
+            let cfg = TrainConfig {
+                epochs: 3,
+                ..tiny_cfg()
+            };
+            let out = model
+                .pretrain(&d.graph, &d.features, &cfg, &mut SeedRng::new(4))
+                .unwrap();
             assert!(!out.embeddings.has_non_finite(), "{strategy:?}");
         }
     }
@@ -647,9 +676,16 @@ mod tests {
     fn deterministic_given_seed() {
         let d = tiny_data();
         let model = E2gclModel::default();
-        let cfg = TrainConfig { epochs: 3, ..tiny_cfg() };
-        let a = model.pretrain(&d.graph, &d.features, &cfg, &mut SeedRng::new(5));
-        let b = model.pretrain(&d.graph, &d.features, &cfg, &mut SeedRng::new(5));
+        let cfg = TrainConfig {
+            epochs: 3,
+            ..tiny_cfg()
+        };
+        let a = model
+            .pretrain(&d.graph, &d.features, &cfg, &mut SeedRng::new(5))
+            .unwrap();
+        let b = model
+            .pretrain(&d.graph, &d.features, &cfg, &mut SeedRng::new(5))
+            .unwrap();
         assert_eq!(a.embeddings, b.embeddings);
     }
 
@@ -659,18 +695,23 @@ mod tests {
     #[test]
     fn per_node_ego_mode_matches_batched_quality() {
         let d = tiny_data();
-        let cfg = TrainConfig { epochs: 6, batch_size: 32, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 6,
+            batch_size: 32,
+            ..Default::default()
+        };
         let batched = E2gclModel::default()
-            .pretrain(&d.graph, &d.features, &cfg, &mut SeedRng::new(9));
+            .pretrain(&d.graph, &d.features, &cfg, &mut SeedRng::new(9))
+            .unwrap();
         let per_node = E2gclModel::new(E2gclConfig {
             view_mode: ViewMode::PerNodeEgo,
             ..Default::default()
         })
-        .pretrain(&d.graph, &d.features, &cfg, &mut SeedRng::new(9));
+        .pretrain(&d.graph, &d.features, &cfg, &mut SeedRng::new(9))
+        .unwrap();
         assert!(!per_node.embeddings.has_non_finite());
-        let acc = |h: &Matrix| {
-            crate::eval::node_classification(h, &d.labels, d.num_classes, 3, 0).0
-        };
+        let acc =
+            |h: &Matrix| crate::eval::node_classification(h, &d.labels, d.num_classes, 3, 0).0;
         let (ab, ap) = (acc(&batched.embeddings), acc(&per_node.embeddings));
         assert!(
             (ab - ap).abs() < 0.25,
@@ -681,9 +722,13 @@ mod tests {
     #[test]
     fn info_nce_loss_kind_trains() {
         let d = tiny_data();
-        let model =
-            E2gclModel::new(E2gclConfig { loss: LossKind::InfoNce, ..Default::default() });
-        let out = model.pretrain(&d.graph, &d.features, &tiny_cfg(), &mut SeedRng::new(6));
+        let model = E2gclModel::new(E2gclConfig {
+            loss: LossKind::InfoNce,
+            ..Default::default()
+        });
+        let out = model
+            .pretrain(&d.graph, &d.features, &tiny_cfg(), &mut SeedRng::new(6))
+            .unwrap();
         assert!(!out.embeddings.has_non_finite());
         assert!(
             out.loss_curve.last().unwrap() <= out.loss_curve.first().unwrap(),
@@ -699,7 +744,9 @@ mod tests {
             encoder: EncoderKind::Sage,
             ..Default::default()
         });
-        let out = model.pretrain(&d.graph, &d.features, &tiny_cfg(), &mut SeedRng::new(11));
+        let out = model
+            .pretrain(&d.graph, &d.features, &tiny_cfg(), &mut SeedRng::new(11))
+            .unwrap();
         assert!(!out.embeddings.has_non_finite());
         assert!(
             out.loss_curve.last().unwrap() < out.loss_curve.first().unwrap(),
@@ -715,7 +762,9 @@ mod tests {
             encoder: EncoderKind::Sgc,
             ..Default::default()
         });
-        let out = model.pretrain(&d.graph, &d.features, &tiny_cfg(), &mut SeedRng::new(8));
+        let out = model
+            .pretrain(&d.graph, &d.features, &tiny_cfg(), &mut SeedRng::new(8))
+            .unwrap();
         assert!(!out.embeddings.has_non_finite());
         assert_eq!(out.embeddings.cols(), 64);
         assert!(
@@ -733,7 +782,9 @@ mod tests {
             margin: 3.0,
             ..Default::default()
         });
-        let out = model.pretrain(&d.graph, &d.features, &tiny_cfg(), &mut SeedRng::new(7));
+        let out = model
+            .pretrain(&d.graph, &d.features, &tiny_cfg(), &mut SeedRng::new(7))
+            .unwrap();
         assert!(!out.embeddings.has_non_finite());
     }
 }

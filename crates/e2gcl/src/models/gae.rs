@@ -6,11 +6,12 @@
 //! Gaussian posterior and KL regulariser.
 
 use crate::config::TrainConfig;
+use crate::guard::{GuardAction, NumericGuard};
 use crate::models::{ContrastiveModel, PretrainResult};
 use e2gcl_datasets::split::sample_non_edges;
 use e2gcl_graph::{norm, CsrGraph};
-use e2gcl_linalg::{ops, Matrix, SeedRng};
-use e2gcl_nn::{loss, optim::Optimizer, Adam, GcnEncoder};
+use e2gcl_linalg::{ops, Matrix, SeedRng, TrainError};
+use e2gcl_nn::{loss, optim, optim::Optimizer, Adam, GcnEncoder};
 use std::time::Instant;
 
 /// Edges scored per epoch (positives; an equal number of negatives is
@@ -19,11 +20,7 @@ const EDGE_BATCH: usize = 4000;
 
 /// Inner-product decoder pass shared by GAE and VGAE: BCE over `pos` and
 /// `neg` pairs. Returns `(loss, dZ)`.
-fn reconstruction(
-    z: &Matrix,
-    pos: &[(usize, usize)],
-    neg: &[(usize, usize)],
-) -> (f32, Matrix) {
+fn reconstruction(z: &Matrix, pos: &[(usize, usize)], neg: &[(usize, usize)]) -> (f32, Matrix) {
     let mut logits = Vec::with_capacity(pos.len() + neg.len());
     for &(u, v) in pos.iter().chain(neg) {
         logits.push(ops::dot(z.row(u), z.row(v)));
@@ -68,7 +65,7 @@ impl ContrastiveModel for GaeModel {
         x: &Matrix,
         cfg: &TrainConfig,
         rng: &mut SeedRng,
-    ) -> PretrainResult {
+    ) -> Result<PretrainResult, TrainError> {
         let start = Instant::now();
         let adj = norm::normalized_adjacency(g);
         let mut encoder = GcnEncoder::new(&cfg.encoder_dims(x.cols()), &mut rng.fork("init"));
@@ -76,27 +73,49 @@ impl ContrastiveModel for GaeModel {
         let mut train_rng = rng.fork("train");
         let mut loss_curve = Vec::with_capacity(cfg.epochs);
         let mut checkpoints = Vec::new();
-        for epoch in 0..cfg.epochs {
+        let mut guard = NumericGuard::new(&cfg.guard);
+        let fault = cfg.fault.clone().unwrap_or_default();
+        let mut epoch = 0;
+        while epoch < cfg.epochs {
             let (z, cache) = encoder.forward(&adj, x);
             let pos = edge_batch(g, &mut train_rng);
             let neg = sample_non_edges(g, pos.len(), &mut train_rng);
             let (l, dz) = reconstruction(&z, &pos, &neg);
-            loss_curve.push(l);
-            let grads = encoder.backward(&adj, &cache, &dz);
-            opt.step(encoder.params_mut(), &grads);
-            if let Some(every) = cfg.checkpoint_every {
-                if (epoch + 1) % every == 0 || epoch + 1 == cfg.epochs {
-                    checkpoints.push((start.elapsed().as_secs_f64(), encoder.embed(&adj, x)));
+            let mut grads = encoder.backward(&adj, &cache, &dz);
+            let l = fault.corrupt_loss(epoch, l);
+            fault.corrupt_gradients(epoch, &mut grads);
+            let grads_bad = optim::grads_non_finite(&grads);
+            let emb_bad = guard.embeddings_bad(&[&z]);
+            match guard.inspect(epoch, l, grads_bad, emb_bad)? {
+                GuardAction::Proceed => {
+                    if let Some(max) = cfg.guard.max_grad_norm {
+                        optim::clip_grad_norm(&mut grads, max);
+                    }
+                    opt.lr = cfg.lr * guard.lr_scale;
+                    opt.step(encoder.params_mut(), &grads);
+                    loss_curve.push(l);
+                    if let Some(every) = cfg.checkpoint_every {
+                        if (epoch + 1) % every == 0 || epoch + 1 == cfg.epochs {
+                            checkpoints
+                                .push((start.elapsed().as_secs_f64(), encoder.embed(&adj, x)));
+                        }
+                    }
+                    epoch += 1;
                 }
+                GuardAction::SkipEpoch => {
+                    loss_curve.push(l);
+                    epoch += 1;
+                }
+                GuardAction::RetryEpoch { .. } => {}
             }
         }
-        PretrainResult {
+        Ok(PretrainResult {
             embeddings: encoder.embed(&adj, x),
             selection_time: std::time::Duration::ZERO,
             total_time: start.elapsed(),
             checkpoints,
             loss_curve,
-        }
+        })
     }
 }
 
@@ -126,7 +145,7 @@ impl ContrastiveModel for VgaeModel {
         x: &Matrix,
         cfg: &TrainConfig,
         rng: &mut SeedRng,
-    ) -> PretrainResult {
+    ) -> Result<PretrainResult, TrainError> {
         let start = Instant::now();
         let adj = norm::normalized_adjacency(g);
         let d = cfg.embed_dim;
@@ -139,7 +158,10 @@ impl ContrastiveModel for VgaeModel {
         let mut checkpoints = Vec::new();
         let n = g.num_nodes();
         let kl_scale = self.kl_weight / n as f32;
-        for epoch in 0..cfg.epochs {
+        let mut guard = NumericGuard::new(&cfg.guard);
+        let fault = cfg.fault.clone().unwrap_or_default();
+        let mut epoch = 0;
+        while epoch < cfg.epochs {
             let (out, cache) = encoder.forward(&adj, x);
             // Split, reparameterise.
             let mut z = Matrix::zeros(n, d);
@@ -163,9 +185,7 @@ impl ContrastiveModel for VgaeModel {
                 for j in 0..d {
                     let mu = out.get(v, j);
                     let logvar = out.get(v, d + j).clamp(-10.0, 10.0);
-                    kl += f64::from(
-                        -0.5 * (1.0 + logvar - mu * mu - logvar.exp()) * kl_scale,
-                    );
+                    kl += f64::from(-0.5 * (1.0 + logvar - mu * mu - logvar.exp()) * kl_scale);
                     let dzv = dz.get(v, j);
                     d_out.set(v, j, dzv + kl_scale * mu);
                     d_out.set(
@@ -176,25 +196,43 @@ impl ContrastiveModel for VgaeModel {
                     );
                 }
             }
-            loss_curve.push(recon + kl as f32);
-            let grads = encoder.backward(&adj, &cache, &d_out);
-            opt.step(encoder.params_mut(), &grads);
-            if let Some(every) = cfg.checkpoint_every {
-                if (epoch + 1) % every == 0 || epoch + 1 == cfg.epochs {
-                    checkpoints.push((
-                        start.elapsed().as_secs_f64(),
-                        mu_embeddings(&encoder, &adj, x, d),
-                    ));
+            let mut grads = encoder.backward(&adj, &cache, &d_out);
+            let l = fault.corrupt_loss(epoch, recon + kl as f32);
+            fault.corrupt_gradients(epoch, &mut grads);
+            let grads_bad = optim::grads_non_finite(&grads);
+            let emb_bad = guard.embeddings_bad(&[&z]);
+            match guard.inspect(epoch, l, grads_bad, emb_bad)? {
+                GuardAction::Proceed => {
+                    if let Some(max) = cfg.guard.max_grad_norm {
+                        optim::clip_grad_norm(&mut grads, max);
+                    }
+                    opt.lr = cfg.lr * guard.lr_scale;
+                    opt.step(encoder.params_mut(), &grads);
+                    loss_curve.push(l);
+                    if let Some(every) = cfg.checkpoint_every {
+                        if (epoch + 1) % every == 0 || epoch + 1 == cfg.epochs {
+                            checkpoints.push((
+                                start.elapsed().as_secs_f64(),
+                                mu_embeddings(&encoder, &adj, x, d),
+                            ));
+                        }
+                    }
+                    epoch += 1;
                 }
+                GuardAction::SkipEpoch => {
+                    loss_curve.push(l);
+                    epoch += 1;
+                }
+                GuardAction::RetryEpoch { .. } => {}
             }
         }
-        PretrainResult {
+        Ok(PretrainResult {
             embeddings: mu_embeddings(&encoder, &adj, x, d),
             selection_time: std::time::Duration::ZERO,
             total_time: start.elapsed(),
             checkpoints,
             loss_curve,
-        }
+        })
     }
 }
 
@@ -220,8 +258,11 @@ mod tests {
 
     fn tiny() -> (NodeDataset, TrainConfig) {
         (
-            NodeDataset::generate(&spec("cora-sim"), 0.05, 0),
-            TrainConfig { epochs: 15, ..Default::default() },
+            NodeDataset::generate(&spec("cora-sim").unwrap(), 0.05, 0),
+            TrainConfig {
+                epochs: 15,
+                ..Default::default()
+            },
         )
     }
 
@@ -257,7 +298,9 @@ mod tests {
     #[test]
     fn gae_learns_to_reconstruct() {
         let (d, cfg) = tiny();
-        let out = GaeModel.pretrain(&d.graph, &d.features, &cfg, &mut SeedRng::new(1));
+        let out = GaeModel
+            .pretrain(&d.graph, &d.features, &cfg, &mut SeedRng::new(1))
+            .unwrap();
         assert!(!out.embeddings.has_non_finite());
         assert!(
             out.loss_curve.last().unwrap() < &out.loss_curve[0],
@@ -269,8 +312,9 @@ mod tests {
     #[test]
     fn vgae_trains_without_nans() {
         let (d, cfg) = tiny();
-        let out =
-            VgaeModel::default().pretrain(&d.graph, &d.features, &cfg, &mut SeedRng::new(2));
+        let out = VgaeModel::default()
+            .pretrain(&d.graph, &d.features, &cfg, &mut SeedRng::new(2))
+            .unwrap();
         assert!(!out.embeddings.has_non_finite());
         assert_eq!(out.embeddings.cols(), cfg.embed_dim);
     }

@@ -9,10 +9,11 @@
 //! view, which the paper shows improves every baseline it upgrades.
 
 use crate::config::TrainConfig;
+use crate::guard::{GuardAction, NumericGuard};
 use crate::models::{shuffled_batches, ContrastiveModel, PretrainResult};
 use e2gcl_graph::{norm, CsrGraph};
-use e2gcl_linalg::{Matrix, SeedRng};
-use e2gcl_nn::{loss, optim::Optimizer, Adam, GcnEncoder, Mlp};
+use e2gcl_linalg::{Matrix, SeedRng, TrainError};
+use e2gcl_nn::{loss, optim, optim::Optimizer, Adam, GcnEncoder, Mlp};
 use e2gcl_views::{scores::GraphScores, uniform};
 use std::time::Instant;
 
@@ -61,12 +62,19 @@ pub struct GraceModel {
 impl GraceModel {
     /// Plain GRACE.
     pub fn grace() -> Self {
-        Self { config: GraceConfig::default() }
+        Self {
+            config: GraceConfig::default(),
+        }
     }
 
     /// GCA (adaptive augmentation).
     pub fn gca() -> Self {
-        Self { config: GraceConfig { adaptive: true, ..Default::default() } }
+        Self {
+            config: GraceConfig {
+                adaptive: true,
+                ..Default::default()
+            },
+        }
     }
 
     /// With explicit configuration.
@@ -102,8 +110,7 @@ impl GraceModel {
             let w_max = w.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
             let w_mean = w.iter().sum::<f32>() / w.len().max(1) as f32;
             let denom = (w_max - w_mean).max(1e-9);
-            let probs: Vec<f32> =
-                w.iter().map(|&wi| p_feat * (w_max - wi) / denom).collect();
+            let probs: Vec<f32> = w.iter().map(|&wi| p_feat * (w_max - wi) / denom).collect();
             uniform::mask_feature_dims_weighted(x, &probs, 0.7, rng)
         } else {
             uniform::mask_feature_dims(x, p_feat, rng)
@@ -138,7 +145,7 @@ impl ContrastiveModel for GraceModel {
         x: &Matrix,
         cfg: &TrainConfig,
         rng: &mut SeedRng,
-    ) -> PretrainResult {
+    ) -> Result<PretrainResult, TrainError> {
         let start = Instant::now();
         let scores = GraphScores::compute(g, x);
         let edge_probs = self
@@ -157,9 +164,13 @@ impl ContrastiveModel for GraceModel {
         let mut train_rng = rng.fork("train");
         let mut loss_curve = Vec::with_capacity(cfg.epochs);
         let mut checkpoints = Vec::new();
+        let mut guard = NumericGuard::new(&cfg.guard);
+        let fault = cfg.fault.clone().unwrap_or_default();
         let n = g.num_nodes();
-        for epoch in 0..cfg.epochs {
-            let (g1, x1) = self.make_view(
+        let mut epoch = 0;
+        while epoch < cfg.epochs {
+            let lr = cfg.lr * guard.lr_scale;
+            let (g1, mut x1) = self.make_view(
                 g,
                 x,
                 &scores,
@@ -177,6 +188,7 @@ impl ContrastiveModel for GraceModel {
                 self.config.mask_feat.1,
                 &mut train_rng,
             );
+            fault.corrupt_features(epoch, &mut x1);
             let a1 = norm::normalized_adjacency(&g1);
             let a2 = norm::normalized_adjacency(&g2);
             let (h1, c1) = encoder.forward(&a1, &x1);
@@ -206,30 +218,52 @@ impl ContrastiveModel for GraceModel {
                         *dst += src / num_batches;
                     }
                 }
-                head.step(&hg1, cfg.lr / num_batches, 0.0);
-                head.step(&hg2, cfg.lr / num_batches, 0.0);
+                head.step(&hg1, lr / num_batches, 0.0);
+                head.step(&hg2, lr / num_batches, 0.0);
             }
-            loss_curve.push(epoch_loss);
             let mut acc = None;
             GcnEncoder::accumulate(&mut acc, encoder.backward(&a1, &c1, &d_h1), 1.0);
             GcnEncoder::accumulate(&mut acc, encoder.backward(&a2, &c2, &d_h2), 1.0);
-            opt.step(encoder.params_mut(), &acc.unwrap());
-            if let Some(every) = cfg.checkpoint_every {
-                if (epoch + 1) % every == 0 || epoch + 1 == cfg.epochs {
-                    checkpoints.push((
-                        start.elapsed().as_secs_f64(),
-                        encoder.embed(&adj_orig, x),
-                    ));
+            let Some(mut grads) = acc else {
+                epoch += 1;
+                continue;
+            };
+            let epoch_loss = fault.corrupt_loss(epoch, epoch_loss);
+            fault.corrupt_gradients(epoch, &mut grads);
+            let grads_bad = optim::grads_non_finite(&grads);
+            let emb_bad = guard.embeddings_bad(&[&h1, &h2]);
+            match guard.inspect(epoch, epoch_loss, grads_bad, emb_bad)? {
+                GuardAction::Proceed => {
+                    if let Some(max) = cfg.guard.max_grad_norm {
+                        optim::clip_grad_norm(&mut grads, max);
+                    }
+                    opt.lr = lr;
+                    opt.step(encoder.params_mut(), &grads);
+                    loss_curve.push(epoch_loss);
+                    if let Some(every) = cfg.checkpoint_every {
+                        if (epoch + 1) % every == 0 || epoch + 1 == cfg.epochs {
+                            checkpoints
+                                .push((start.elapsed().as_secs_f64(), encoder.embed(&adj_orig, x)));
+                        }
+                    }
+                    epoch += 1;
                 }
+                GuardAction::SkipEpoch => {
+                    loss_curve.push(epoch_loss);
+                    epoch += 1;
+                }
+                // The projection head already stepped this epoch; only the
+                // encoder update is discarded and re-attempted at lower lr.
+                GuardAction::RetryEpoch { .. } => {}
             }
         }
-        PretrainResult {
+        Ok(PretrainResult {
             embeddings: encoder.embed(&adj_orig, x),
             selection_time: std::time::Duration::ZERO,
             total_time: start.elapsed(),
             checkpoints,
             loss_curve,
-        }
+        })
     }
 }
 
@@ -240,16 +274,21 @@ mod tests {
 
     fn tiny() -> (NodeDataset, TrainConfig) {
         (
-            NodeDataset::generate(&spec("cora-sim"), 0.05, 0),
-            TrainConfig { epochs: 8, batch_size: 64, ..Default::default() },
+            NodeDataset::generate(&spec("cora-sim").unwrap(), 0.05, 0),
+            TrainConfig {
+                epochs: 8,
+                batch_size: 64,
+                ..Default::default()
+            },
         )
     }
 
     #[test]
     fn grace_trains_and_loss_falls() {
         let (d, cfg) = tiny();
-        let out =
-            GraceModel::grace().pretrain(&d.graph, &d.features, &cfg, &mut SeedRng::new(0));
+        let out = GraceModel::grace()
+            .pretrain(&d.graph, &d.features, &cfg, &mut SeedRng::new(0))
+            .unwrap();
         assert!(!out.embeddings.has_non_finite());
         assert!(
             out.loss_curve.last().unwrap() < out.loss_curve.first().unwrap(),
@@ -261,8 +300,9 @@ mod tests {
     #[test]
     fn gca_trains() {
         let (d, cfg) = tiny();
-        let out =
-            GraceModel::gca().pretrain(&d.graph, &d.features, &cfg, &mut SeedRng::new(1));
+        let out = GraceModel::gca()
+            .pretrain(&d.graph, &d.features, &cfg, &mut SeedRng::new(1))
+            .unwrap();
         assert!(!out.embeddings.has_non_finite());
         assert_eq!(out.selection_time.as_nanos(), 0);
     }
@@ -288,7 +328,9 @@ mod tests {
             ..Default::default()
         });
         let cfg = TrainConfig { epochs: 4, ..cfg };
-        let out = model.pretrain(&d.graph, &d.features, &cfg, &mut SeedRng::new(2));
+        let out = model
+            .pretrain(&d.graph, &d.features, &cfg, &mut SeedRng::new(2))
+            .unwrap();
         assert!(!out.embeddings.has_non_finite());
     }
 }

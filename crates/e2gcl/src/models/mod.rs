@@ -16,7 +16,7 @@ pub mod walks;
 
 use crate::config::TrainConfig;
 use e2gcl_graph::CsrGraph;
-use e2gcl_linalg::{Matrix, SeedRng};
+use e2gcl_linalg::{Matrix, SeedRng, TrainError};
 use std::time::Duration;
 
 /// Output of a pre-training run.
@@ -42,13 +42,17 @@ pub trait ContrastiveModel {
     fn name(&self) -> String;
 
     /// Pre-trains on `(g, x)` without labels and returns node embeddings.
+    ///
+    /// Numeric health is checked every epoch by a [`crate::NumericGuard`]
+    /// configured through `cfg.guard`; an unrecoverable failure (per the
+    /// configured policy) aborts the run with a [`TrainError`].
     fn pretrain(
         &self,
         g: &CsrGraph,
         x: &Matrix,
         cfg: &TrainConfig,
         rng: &mut SeedRng,
-    ) -> PretrainResult;
+    ) -> Result<PretrainResult, TrainError>;
 }
 
 /// Samples `count` negative indices in `[0, n)` distinct from `anchor`.
@@ -73,11 +77,7 @@ pub(crate) fn sample_negative_indices(
 }
 
 /// Splits shuffled node indices into anchor batches of at most `batch_size`.
-pub(crate) fn shuffled_batches(
-    n: usize,
-    batch_size: usize,
-    rng: &mut SeedRng,
-) -> Vec<Vec<usize>> {
+pub(crate) fn shuffled_batches(n: usize, batch_size: usize, rng: &mut SeedRng) -> Vec<Vec<usize>> {
     let mut idx: Vec<usize> = (0..n).collect();
     rng.shuffle(&mut idx);
     idx.chunks(batch_size.max(2)).map(|c| c.to_vec()).collect()

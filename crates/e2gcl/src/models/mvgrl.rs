@@ -10,13 +10,12 @@
 //! both views — the Fig. 2 `MVGRL+FP` upgrade.
 
 use crate::config::TrainConfig;
-use crate::models::dgi::{
-    shuffle_rows, summary, summary_backward, BilinearDiscriminator,
-};
+use crate::guard::{GuardAction, NumericGuard};
+use crate::models::dgi::{shuffle_rows, summary, summary_backward, BilinearDiscriminator};
 use crate::models::{ContrastiveModel, PretrainResult};
 use e2gcl_graph::{norm, ppr, CsrGraph};
-use e2gcl_linalg::{Matrix, SeedRng};
-use e2gcl_nn::{loss, optim::Optimizer, Adam, GcnEncoder};
+use e2gcl_linalg::{Matrix, SeedRng, TrainError};
+use e2gcl_nn::{loss, optim, optim::Optimizer, Adam, GcnEncoder};
 use e2gcl_views::uniform;
 use std::time::Instant;
 
@@ -35,7 +34,12 @@ pub struct MvgrlConfig {
 
 impl Default for MvgrlConfig {
     fn default() -> Self {
-        Self { alpha: 0.2, epsilon: 1e-3, top_k: 16, extra_feature_perturb: None }
+        Self {
+            alpha: 0.2,
+            epsilon: 1e-3,
+            top_k: 16,
+            extra_feature_perturb: None,
+        }
     }
 }
 
@@ -68,14 +72,10 @@ impl ContrastiveModel for MvgrlModel {
         x: &Matrix,
         cfg: &TrainConfig,
         rng: &mut SeedRng,
-    ) -> PretrainResult {
+    ) -> Result<PretrainResult, TrainError> {
         let start = Instant::now();
-        let diffusion = ppr::ppr_diffusion_graph(
-            g,
-            self.config.alpha,
-            self.config.epsilon,
-            self.config.top_k,
-        );
+        let diffusion =
+            ppr::ppr_diffusion_graph(g, self.config.alpha, self.config.epsilon, self.config.top_k);
         let a1 = norm::normalized_adjacency(g);
         let a2 = norm::normalized_adjacency(&diffusion);
         let dims = cfg.encoder_dims(x.cols());
@@ -88,15 +88,19 @@ impl ContrastiveModel for MvgrlModel {
         let mut train_rng = rng.fork("train");
         let mut loss_curve = Vec::with_capacity(cfg.epochs);
         let mut checkpoints = Vec::new();
+        let mut guard = NumericGuard::new(&cfg.guard);
+        let fault = cfg.fault.clone().unwrap_or_default();
         let n = g.num_nodes();
-        for epoch in 0..cfg.epochs {
-            let (xv1, xv2) = match self.config.extra_feature_perturb {
+        let mut epoch = 0;
+        while epoch < cfg.epochs {
+            let (mut xv1, xv2) = match self.config.extra_feature_perturb {
                 Some(p) => (
                     uniform::perturb_features_uniform(x, p, &mut train_rng),
                     uniform::perturb_features_uniform(x, p, &mut train_rng),
                 ),
                 None => (x.clone(), x.clone()),
             };
+            fault.corrupt_features(epoch, &mut xv1);
             let x_corrupt = shuffle_rows(x, &mut train_rng);
             let (h1, c1) = enc1.forward(&a1, &xv1);
             let (h2, c2) = enc2.forward(&a2, &xv2);
@@ -112,7 +116,6 @@ impl ContrastiveModel for MvgrlModel {
             let mut targets = vec![1.0f32; 2 * n];
             targets.extend(std::iter::repeat_n(0.0, 2 * n));
             let (l, dl) = loss::bce_with_logits(&logits, &targets);
-            loss_curve.push(l);
             let g1 = disc.backward(&h1, &s2, &dl[..n]);
             let g2 = disc.backward(&h2, &s1, &dl[n..2 * n]);
             let g1n = disc.backward(&h1n, &s2, &dl[2 * n..3 * n]);
@@ -131,30 +134,58 @@ impl ContrastiveModel for MvgrlModel {
             let mut acc2 = None;
             GcnEncoder::accumulate(&mut acc2, enc2.backward(&a2, &c2, &d_h2), 1.0);
             GcnEncoder::accumulate(&mut acc2, enc2.backward(&a2, &c2n, &g2n.dh), 1.0);
-            opt1.step(enc1.params_mut(), &acc1.unwrap());
-            opt2.step(enc2.params_mut(), &acc2.unwrap());
+            let (Some(mut grads1), Some(mut grads2)) = (acc1, acc2) else {
+                epoch += 1;
+                continue;
+            };
+            let l = fault.corrupt_loss(epoch, l);
+            fault.corrupt_gradients(epoch, &mut grads1);
             let mut dw = g1.dw;
             dw.add_assign(&g2.dw);
             dw.add_assign(&g1n.dw);
             dw.add_assign(&g2n.dw);
-            disc_opt.step(std::slice::from_mut(&mut disc.w), &[dw]);
-            if let Some(every) = cfg.checkpoint_every {
-                if (epoch + 1) % every == 0 || epoch + 1 == cfg.epochs {
-                    let mut h = enc1.embed(&a1, x);
-                    h.add_assign(&enc2.embed(&a2, x));
-                    checkpoints.push((start.elapsed().as_secs_f64(), h));
+            let grads_bad = optim::grads_non_finite(&grads1)
+                || optim::grads_non_finite(&grads2)
+                || dw.has_non_finite();
+            let emb_bad = guard.embeddings_bad(&[&h1, &h2]);
+            match guard.inspect(epoch, l, grads_bad, emb_bad)? {
+                GuardAction::Proceed => {
+                    if let Some(max) = cfg.guard.max_grad_norm {
+                        optim::clip_grad_norm(&mut grads1, max);
+                        optim::clip_grad_norm(&mut grads2, max);
+                    }
+                    opt1.lr = cfg.lr * guard.lr_scale;
+                    opt2.lr = cfg.lr * guard.lr_scale;
+                    disc_opt.lr = cfg.lr * guard.lr_scale;
+                    opt1.step(enc1.params_mut(), &grads1);
+                    opt2.step(enc2.params_mut(), &grads2);
+                    disc_opt.step(std::slice::from_mut(&mut disc.w), &[dw]);
+                    loss_curve.push(l);
+                    if let Some(every) = cfg.checkpoint_every {
+                        if (epoch + 1) % every == 0 || epoch + 1 == cfg.epochs {
+                            let mut h = enc1.embed(&a1, x);
+                            h.add_assign(&enc2.embed(&a2, x));
+                            checkpoints.push((start.elapsed().as_secs_f64(), h));
+                        }
+                    }
+                    epoch += 1;
                 }
+                GuardAction::SkipEpoch => {
+                    loss_curve.push(l);
+                    epoch += 1;
+                }
+                GuardAction::RetryEpoch { .. } => {}
             }
         }
         let mut embeddings = enc1.embed(&a1, x);
         embeddings.add_assign(&enc2.embed(&a2, x));
-        PretrainResult {
+        Ok(PretrainResult {
             embeddings,
             selection_time: std::time::Duration::ZERO,
             total_time: start.elapsed(),
             checkpoints,
             loss_curve,
-        }
+        })
     }
 }
 
@@ -165,10 +196,14 @@ mod tests {
 
     #[test]
     fn mvgrl_trains_and_loss_falls() {
-        let d = NodeDataset::generate(&spec("cora-sim"), 0.05, 0);
-        let cfg = TrainConfig { epochs: 12, ..Default::default() };
-        let out =
-            MvgrlModel::default().pretrain(&d.graph, &d.features, &cfg, &mut SeedRng::new(0));
+        let d = NodeDataset::generate(&spec("cora-sim").unwrap(), 0.05, 0);
+        let cfg = TrainConfig {
+            epochs: 12,
+            ..Default::default()
+        };
+        let out = MvgrlModel::default()
+            .pretrain(&d.graph, &d.features, &cfg, &mut SeedRng::new(0))
+            .unwrap();
         assert!(!out.embeddings.has_non_finite());
         assert!(out.loss_curve.last().unwrap() < &out.loss_curve[0]);
     }
@@ -180,9 +215,14 @@ mod tests {
             ..Default::default()
         });
         assert_eq!(model.name(), "MVGRL+FP");
-        let d = NodeDataset::generate(&spec("cora-sim"), 0.04, 1);
-        let cfg = TrainConfig { epochs: 3, ..Default::default() };
-        let out = model.pretrain(&d.graph, &d.features, &cfg, &mut SeedRng::new(1));
+        let d = NodeDataset::generate(&spec("cora-sim").unwrap(), 0.04, 1);
+        let cfg = TrainConfig {
+            epochs: 3,
+            ..Default::default()
+        };
+        let out = model
+            .pretrain(&d.graph, &d.features, &cfg, &mut SeedRng::new(1))
+            .unwrap();
         assert!(!out.embeddings.has_non_finite());
     }
 }

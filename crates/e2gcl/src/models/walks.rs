@@ -5,9 +5,10 @@
 //! to show the value of incorporating node features.
 
 use crate::config::TrainConfig;
+use crate::guard::{GuardAction, NumericGuard};
 use crate::models::{ContrastiveModel, PretrainResult};
 use e2gcl_graph::CsrGraph;
-use e2gcl_linalg::{activations, ops, Matrix, SeedRng};
+use e2gcl_linalg::{activations, ops, Matrix, SeedRng, TrainError};
 use std::time::Instant;
 
 /// Walk and skip-gram hyperparameters.
@@ -54,14 +55,21 @@ pub struct WalkModel {
 impl WalkModel {
     /// Uniform random walks.
     pub fn deepwalk() -> Self {
-        Self { config: WalkConfig::default(), name: "DeepWalk" }
+        Self {
+            config: WalkConfig::default(),
+            name: "DeepWalk",
+        }
     }
 
     /// Biased second-order walks (default `p = 0.5`, `q = 2.0` favours
     /// BFS-like local exploration).
     pub fn node2vec() -> Self {
         Self {
-            config: WalkConfig { p: 0.5, q: 2.0, ..WalkConfig::default() },
+            config: WalkConfig {
+                p: 0.5,
+                q: 2.0,
+                ..WalkConfig::default()
+            },
             name: "Node2Vec",
         }
     }
@@ -77,9 +85,7 @@ impl WalkModel {
             if ns.is_empty() {
                 break;
             }
-            let next = if (self.config.p - 1.0).abs() < 1e-6
-                && (self.config.q - 1.0).abs() < 1e-6
-            {
+            let next = if (self.config.p - 1.0).abs() < 1e-6 && (self.config.q - 1.0).abs() < 1e-6 {
                 ns[rng.below(ns.len())] as usize
             } else {
                 // Node2Vec second-order bias.
@@ -116,7 +122,7 @@ impl ContrastiveModel for WalkModel {
         _x: &Matrix,
         cfg: &TrainConfig,
         rng: &mut SeedRng,
-    ) -> PretrainResult {
+    ) -> Result<PretrainResult, TrainError> {
         let start = Instant::now();
         let n = g.num_nodes();
         let d = cfg.embed_dim;
@@ -129,10 +135,15 @@ impl ContrastiveModel for WalkModel {
         let mut loss_curve = Vec::with_capacity(cfg.epochs);
         let mut checkpoints = Vec::new();
         // Degree-based negative-sampling table.
-        let neg_weights: Vec<f32> =
-            (0..n).map(|v| (g.degree(v) as f32 + 1.0).powf(0.75)).collect();
+        let neg_weights: Vec<f32> = (0..n)
+            .map(|v| (g.degree(v) as f32 + 1.0).powf(0.75))
+            .collect();
         let mut order: Vec<usize> = (0..n).collect();
-        for epoch in 0..cfg.epochs {
+        let mut guard = NumericGuard::new(&cfg.guard);
+        let fault = cfg.fault.clone().unwrap_or_default();
+        let mut epoch = 0;
+        while epoch < cfg.epochs {
+            let lr = self.config.lr * guard.lr_scale;
             let mut epoch_loss = 0.0f64;
             let mut pairs = 0usize;
             rng.shuffle(&mut order);
@@ -151,7 +162,7 @@ impl ContrastiveModel for WalkModel {
                             let p = activations::sigmoid(score);
                             epoch_loss -= f64::from((p.max(1e-7)).ln());
                             pairs += 1;
-                            let gpos = self.config.lr * (1.0 - p);
+                            let gpos = lr * (1.0 - p);
                             let ctx_row = w_out.row(ctx).to_vec();
                             let cen_row = w_in.row(center).to_vec();
                             ops::axpy_slice(w_in.row_mut(center), gpos, &ctx_row);
@@ -161,10 +172,9 @@ impl ContrastiveModel for WalkModel {
                                 if negv == center {
                                     continue;
                                 }
-                                let score =
-                                    ops::dot(w_in.row(center), w_out.row(negv));
+                                let score = ops::dot(w_in.row(center), w_out.row(negv));
                                 let p = activations::sigmoid(score);
-                                let gneg = -self.config.lr * p;
+                                let gneg = -lr * p;
                                 let neg_row = w_out.row(negv).to_vec();
                                 let cen_row = w_in.row(center).to_vec();
                                 ops::axpy_slice(w_in.row_mut(center), gneg, &neg_row);
@@ -174,20 +184,35 @@ impl ContrastiveModel for WalkModel {
                     }
                 }
             }
-            loss_curve.push((epoch_loss / pairs.max(1) as f64) as f32);
-            if let Some(every) = cfg.checkpoint_every {
-                if (epoch + 1) % every == 0 || epoch + 1 == cfg.epochs {
-                    checkpoints.push((start.elapsed().as_secs_f64(), w_in.clone()));
+            let l = fault.corrupt_loss(epoch, (epoch_loss / pairs.max(1) as f64) as f32);
+            let emb_bad = guard.embeddings_bad(&[&w_in]);
+            match guard.inspect(epoch, l, false, emb_bad)? {
+                GuardAction::Proceed | GuardAction::SkipEpoch => {
+                    loss_curve.push(l);
+                    if let Some(every) = cfg.checkpoint_every {
+                        if (epoch + 1) % every == 0 || epoch + 1 == cfg.epochs {
+                            checkpoints.push((start.elapsed().as_secs_f64(), w_in.clone()));
+                        }
+                    }
+                    epoch += 1;
+                }
+                // SGNS updates are applied inline and cannot be discarded, so
+                // a retry would replay the bad updates on top of themselves.
+                // Advance instead; the halved lr still applies to later epochs
+                // and the guard's failure budget still bounds persistent faults.
+                GuardAction::RetryEpoch { .. } => {
+                    loss_curve.push(l);
+                    epoch += 1;
                 }
             }
         }
-        PretrainResult {
+        Ok(PretrainResult {
             embeddings: w_in,
             selection_time: std::time::Duration::ZERO,
             total_time: start.elapsed(),
             checkpoints,
             loss_curve,
-        }
+        })
     }
 }
 
@@ -236,8 +261,14 @@ mod tests {
     fn deepwalk_separates_communities() {
         let g = two_cliques();
         let x = Matrix::zeros(20, 1);
-        let cfg = TrainConfig { epochs: 6, embed_dim: 8, ..Default::default() };
-        let out = WalkModel::deepwalk().pretrain(&g, &x, &cfg, &mut SeedRng::new(2));
+        let cfg = TrainConfig {
+            epochs: 6,
+            embed_dim: 8,
+            ..Default::default()
+        };
+        let out = WalkModel::deepwalk()
+            .pretrain(&g, &x, &cfg, &mut SeedRng::new(2))
+            .unwrap();
         // Same-clique cosine should beat cross-clique cosine on average.
         let h = &out.embeddings;
         let mut same = 0.0;
@@ -267,8 +298,14 @@ mod tests {
         let mut rng = SeedRng::new(3);
         let g = generators::erdos_renyi(40, 0.15, &mut rng);
         let x = Matrix::zeros(40, 1);
-        let cfg = TrainConfig { epochs: 2, embed_dim: 8, ..Default::default() };
-        let out = WalkModel::node2vec().pretrain(&g, &x, &cfg, &mut SeedRng::new(4));
+        let cfg = TrainConfig {
+            epochs: 2,
+            embed_dim: 8,
+            ..Default::default()
+        };
+        let out = WalkModel::node2vec()
+            .pretrain(&g, &x, &cfg, &mut SeedRng::new(4))
+            .unwrap();
         assert!(!out.embeddings.has_non_finite());
         assert_eq!(out.embeddings.shape(), (40, 8));
     }

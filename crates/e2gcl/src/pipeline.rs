@@ -1,12 +1,22 @@
 //! Alg. 1 end-to-end runs: pre-train → probe, with timing — the engine
 //! behind every table and figure of the evaluation.
+//!
+//! Every entry point validates the [`TrainConfig`] up front and recovers
+//! from per-run numeric failures: a run whose pre-training aborts with a
+//! [`TrainError`] is retried once under a derived seed, and if the retry
+//! also fails the run is recorded in `failed_runs` instead of poisoning the
+//! whole sweep. Healthy runs are bit-identical to the unguarded pipeline.
 
 use crate::config::TrainConfig;
 use crate::eval;
-use crate::models::ContrastiveModel;
+use crate::models::{ContrastiveModel, PretrainResult};
 use e2gcl_datasets::{GraphDataset, NodeDataset};
 use e2gcl_graph::CsrGraph;
-use e2gcl_linalg::{stats, Matrix, SeedRng};
+use e2gcl_linalg::{stats, Matrix, SeedRng, TrainError};
+
+/// Salt XOR-ed into a failed run's seed for its single retry (the golden
+/// ratio in fixed point, the usual SplitMix64 increment).
+const RETRY_SEED_SALT: u64 = 0x9E37_79B9_7F4A_7C15;
 
 /// Result of repeated node-classification runs of one model on one dataset.
 #[derive(Clone, Debug)]
@@ -15,79 +25,152 @@ pub struct NodeClassificationRun {
     pub model: String,
     /// Dataset name.
     pub dataset: String,
-    /// Per-run accuracies.
+    /// Per-run accuracies (successful runs only).
     pub accuracies: Vec<f32>,
-    /// Mean accuracy.
+    /// Mean accuracy over successful runs.
     pub mean: f32,
-    /// Std of accuracy.
+    /// Std of accuracy over successful runs.
     pub std: f32,
-    /// Mean selection time (seconds).
+    /// Mean selection time (seconds) over successful runs.
     pub selection_secs: f64,
-    /// Mean total pre-training time (seconds).
+    /// Mean total pre-training time (seconds) over successful runs.
     pub total_secs: f64,
+    /// Runs whose pre-training failed even after the retry, as
+    /// `(original seed, error)`.
+    pub failed_runs: Vec<(u64, TrainError)>,
+}
+
+/// Result of repeated graph-classification runs (§V-E2).
+#[derive(Clone, Debug)]
+pub struct GraphClassificationRun {
+    /// Model name.
+    pub model: String,
+    /// Dataset name.
+    pub dataset: String,
+    /// Per-run accuracies (successful runs only).
+    pub accuracies: Vec<f32>,
+    /// Mean accuracy over successful runs.
+    pub mean: f32,
+    /// Std of accuracy over successful runs.
+    pub std: f32,
+    /// Runs whose pre-training failed even after the retry, as
+    /// `(original seed, error)`.
+    pub failed_runs: Vec<(u64, TrainError)>,
+}
+
+/// The config a run with original seed `seed` should train under: identical
+/// to `cfg` unless the fault plan is scoped to a different run's seed, in
+/// which case the fault is stripped. Returns `None` when `cfg` can be used
+/// as-is (the common, allocation-free path).
+fn scoped_cfg(cfg: &TrainConfig, seed: u64) -> Option<TrainConfig> {
+    match &cfg.fault {
+        Some(fault) if fault.skips_seed(seed) => Some(TrainConfig {
+            fault: None,
+            ..cfg.clone()
+        }),
+        _ => None,
+    }
+}
+
+/// Pre-trains once at `seed`; on failure retries once at a derived seed.
+/// Returns the result plus the seed that actually produced it, or the
+/// *original* error if both attempts fail.
+fn pretrain_with_retry(
+    model: &dyn ContrastiveModel,
+    g: &CsrGraph,
+    x: &Matrix,
+    cfg: &TrainConfig,
+    seed: u64,
+) -> Result<(PretrainResult, u64), TrainError> {
+    let mut rng = SeedRng::new(seed);
+    match model.pretrain(g, x, cfg, &mut rng) {
+        Ok(out) => Ok((out, seed)),
+        Err(err) => {
+            let retry_seed = seed ^ RETRY_SEED_SALT;
+            let mut rng = SeedRng::new(retry_seed);
+            match model.pretrain(g, x, cfg, &mut rng) {
+                Ok(out) => Ok((out, retry_seed)),
+                Err(_) => Err(err),
+            }
+        }
+    }
 }
 
 /// Runs Alg. 1 `runs` times (fresh seed each run: new pre-training and a new
 /// decoder split) and aggregates, exactly like the tables' "mean ± std over
-/// 10 data splits".
+/// 10 data splits". Returns `Err` only for an invalid `cfg`; numeric
+/// failures of individual runs land in
+/// [`NodeClassificationRun::failed_runs`].
 pub fn run_node_classification(
     model: &dyn ContrastiveModel,
     data: &NodeDataset,
     cfg: &TrainConfig,
     runs: usize,
     base_seed: u64,
-) -> NodeClassificationRun {
+) -> Result<NodeClassificationRun, TrainError> {
+    cfg.validate()?;
     let mut accuracies = Vec::with_capacity(runs);
+    let mut failed_runs = Vec::new();
     let mut sel = 0.0f64;
     let mut tot = 0.0f64;
     for r in 0..runs {
         let seed = base_seed + r as u64;
-        let mut rng = SeedRng::new(seed);
-        let out = model.pretrain(&data.graph, &data.features, cfg, &mut rng);
-        sel += out.selection_time.as_secs_f64() / runs as f64;
-        tot += out.total_time.as_secs_f64() / runs as f64;
-        accuracies.push(eval::node_classification_accuracy(
-            &out.embeddings,
-            &data.labels,
-            data.num_classes,
-            seed,
-        ));
+        let scoped = scoped_cfg(cfg, seed);
+        let run_cfg = scoped.as_ref().unwrap_or(cfg);
+        match pretrain_with_retry(model, &data.graph, &data.features, run_cfg, seed) {
+            Ok((out, used_seed)) => {
+                sel += out.selection_time.as_secs_f64();
+                tot += out.total_time.as_secs_f64();
+                accuracies.push(eval::node_classification_accuracy(
+                    &out.embeddings,
+                    &data.labels,
+                    data.num_classes,
+                    used_seed,
+                ));
+            }
+            Err(err) => failed_runs.push((seed, err)),
+        }
     }
+    let ok = accuracies.len().max(1) as f64;
     let (mean, std) = stats::mean_std(&accuracies);
-    NodeClassificationRun {
+    Ok(NodeClassificationRun {
         model: model.name(),
         dataset: data.name.clone(),
         accuracies,
         mean,
         std,
-        selection_secs: sel,
-        total_secs: tot,
-    }
+        selection_secs: sel / ok,
+        total_secs: tot / ok,
+        failed_runs,
+    })
 }
 
 /// One accuracy-vs-time curve (Fig. 3): pre-trains once with checkpoints on
-/// and probes every checkpoint.
+/// and probes every checkpoint. The single pre-training gets the same
+/// one-retry recovery as the sweep entry points; if both attempts fail the
+/// error is surfaced.
 pub fn accuracy_time_curve(
     model: &dyn ContrastiveModel,
     data: &NodeDataset,
     cfg: &TrainConfig,
     seed: u64,
-) -> Vec<(f64, f32)> {
+) -> Result<Vec<(f64, f32)>, TrainError> {
     let cfg = TrainConfig {
         checkpoint_every: cfg.checkpoint_every.or(Some(1)),
         ..cfg.clone()
     };
-    let mut rng = SeedRng::new(seed);
-    let out = model.pretrain(&data.graph, &data.features, &cfg, &mut rng);
-    out.checkpoints
+    cfg.validate()?;
+    let (out, used_seed) = pretrain_with_retry(model, &data.graph, &data.features, &cfg, seed)?;
+    Ok(out
+        .checkpoints
         .iter()
         .map(|(t, h)| {
             (
                 *t,
-                eval::node_classification_accuracy(h, &data.labels, data.num_classes, seed),
+                eval::node_classification_accuracy(h, &data.labels, data.num_classes, used_seed),
             )
         })
-        .collect()
+        .collect())
 }
 
 /// Disjoint union of many graphs into one block-diagonal graph, with the
@@ -117,39 +200,57 @@ pub fn disjoint_union(graphs: &[CsrGraph], features: &[Matrix]) -> (CsrGraph, Ma
 
 /// Graph-classification accuracy of a contrastive model (§V-E2): pre-train
 /// a shared encoder on the disjoint union, SUM-readout per graph, probe.
+/// Returns `Err` only for an invalid `cfg`; per-run numeric failures land in
+/// [`GraphClassificationRun::failed_runs`].
 pub fn run_graph_classification(
     model: &dyn ContrastiveModel,
     data: &GraphDataset,
     cfg: &TrainConfig,
     runs: usize,
     base_seed: u64,
-) -> (f32, f32) {
+) -> Result<GraphClassificationRun, TrainError> {
+    cfg.validate()?;
     let (union, x, offsets) = disjoint_union(&data.graphs, &data.features);
     let mut accs = Vec::with_capacity(runs);
+    let mut failed_runs = Vec::new();
     for r in 0..runs {
         let seed = base_seed + r as u64;
-        let mut rng = SeedRng::new(seed);
-        let out = model.pretrain(&union, &x, cfg, &mut rng);
-        // SUM readout per graph.
-        let mut z = Matrix::zeros(data.len(), out.embeddings.cols());
-        for gi in 0..data.len() {
-            let rows: Vec<usize> = (offsets[gi]..offsets[gi + 1]).collect();
-            let sub = out.embeddings.select_rows(&rows);
-            z.set_row(gi, &eval::sum_readout(&sub));
+        let scoped = scoped_cfg(cfg, seed);
+        let run_cfg = scoped.as_ref().unwrap_or(cfg);
+        match pretrain_with_retry(model, &union, &x, run_cfg, seed) {
+            Ok((out, used_seed)) => {
+                // SUM readout per graph.
+                let mut z = Matrix::zeros(data.len(), out.embeddings.cols());
+                for gi in 0..data.len() {
+                    let rows: Vec<usize> = (offsets[gi]..offsets[gi + 1]).collect();
+                    let sub = out.embeddings.select_rows(&rows);
+                    z.set_row(gi, &eval::sum_readout(&sub));
+                }
+                accs.push(eval::graph_classification_accuracy(
+                    &z,
+                    &data.labels,
+                    data.num_classes,
+                    used_seed,
+                ));
+            }
+            Err(err) => failed_runs.push((seed, err)),
         }
-        accs.push(eval::graph_classification_accuracy(
-            &z,
-            &data.labels,
-            data.num_classes,
-            seed,
-        ));
     }
-    stats::mean_std(&accs)
+    let (mean, std) = stats::mean_std(&accs);
+    Ok(GraphClassificationRun {
+        model: model.name(),
+        dataset: data.name.clone(),
+        accuracies: accs,
+        mean,
+        std,
+        failed_runs,
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::guard::{FaultPlan, GuardConfig, GuardPolicy};
     use crate::prelude::*;
     use e2gcl_datasets::graph_dataset::{graph_spec, GraphDataset};
 
@@ -170,19 +271,65 @@ mod tests {
 
     #[test]
     fn node_classification_run_aggregates() {
-        let data = NodeDataset::generate(&spec("cora-sim"), 0.08, 0);
+        let data = NodeDataset::generate(&spec("cora-sim").unwrap(), 0.08, 0);
         let model = E2gclModel::default();
-        let cfg = TrainConfig { epochs: 5, batch_size: 64, ..Default::default() };
-        let run = run_node_classification(&model, &data, &cfg, 2, 0);
+        let cfg = TrainConfig {
+            epochs: 5,
+            batch_size: 64,
+            ..Default::default()
+        };
+        let run = run_node_classification(&model, &data, &cfg, 2, 0).unwrap();
         assert_eq!(run.accuracies.len(), 2);
+        assert!(run.failed_runs.is_empty());
         assert!(run.mean > 0.0 && run.mean <= 1.0);
         assert!(run.total_secs > 0.0);
         assert_eq!(run.model, "E2GCL");
     }
 
     #[test]
+    fn invalid_config_is_rejected_up_front() {
+        let data = NodeDataset::generate(&spec("cora-sim").unwrap(), 0.05, 0);
+        let model = E2gclModel::default();
+        let cfg = TrainConfig {
+            lr: f32::NAN,
+            ..Default::default()
+        };
+        let err = run_node_classification(&model, &data, &cfg, 1, 0).unwrap_err();
+        assert!(matches!(err, TrainError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn persistent_fault_lands_in_failed_runs_without_aborting_the_sweep() {
+        let data = NodeDataset::generate(&spec("cora-sim").unwrap(), 0.05, 0);
+        let model = E2gclModel::default();
+        // A fail-fast NaN loss at epoch 1 fires on the retry too (faults are
+        // epoch-keyed), so this run cannot be rescued.
+        let cfg = TrainConfig {
+            epochs: 3,
+            batch_size: 64,
+            guard: GuardConfig {
+                policy: GuardPolicy::FailFast,
+                ..Default::default()
+            },
+            fault: Some(FaultPlan::nan_loss(&[1])),
+            ..Default::default()
+        };
+        let run = run_node_classification(&model, &data, &cfg, 2, 0).unwrap();
+        assert!(run.accuracies.is_empty());
+        assert_eq!(run.failed_runs.len(), 2);
+        assert_eq!(run.failed_runs[0].0, 0);
+        assert_eq!(run.failed_runs[1].0, 1);
+        assert!(matches!(
+            run.failed_runs[0].1,
+            TrainError::NonFiniteLoss { epoch: 1 }
+        ));
+        // Degenerate aggregate, not a panic.
+        assert_eq!(run.mean, 0.0);
+    }
+
+    #[test]
     fn curve_is_nonempty_and_time_ordered() {
-        let data = NodeDataset::generate(&spec("cora-sim"), 0.06, 1);
+        let data = NodeDataset::generate(&spec("cora-sim").unwrap(), 0.06, 1);
         let model = E2gclModel::default();
         let cfg = TrainConfig {
             epochs: 4,
@@ -190,17 +337,22 @@ mod tests {
             checkpoint_every: Some(2),
             ..Default::default()
         };
-        let curve = accuracy_time_curve(&model, &data, &cfg, 0);
+        let curve = accuracy_time_curve(&model, &data, &cfg, 0).unwrap();
         assert_eq!(curve.len(), 2);
         assert!(curve.windows(2).all(|w| w[1].0 >= w[0].0));
     }
 
     #[test]
     fn graph_classification_beats_chance() {
-        let data = GraphDataset::generate(&graph_spec("ptcmr-sim"), 0.4, 0);
+        let data = GraphDataset::generate(&graph_spec("ptcmr-sim").unwrap(), 0.4, 0);
         let model = E2gclModel::default();
-        let cfg = TrainConfig { epochs: 6, batch_size: 128, ..Default::default() };
-        let (mean, _) = run_graph_classification(&model, &data, &cfg, 1, 0);
-        assert!(mean > 0.5, "graph classification accuracy {mean}");
+        let cfg = TrainConfig {
+            epochs: 6,
+            batch_size: 128,
+            ..Default::default()
+        };
+        let run = run_graph_classification(&model, &data, &cfg, 1, 0).unwrap();
+        assert!(run.mean > 0.5, "graph classification accuracy {}", run.mean);
+        assert!(run.failed_runs.is_empty());
     }
 }

@@ -17,7 +17,9 @@ pub struct AdjacencyList {
 impl AdjacencyList {
     /// An empty graph over `num_nodes` nodes.
     pub fn new(num_nodes: usize) -> Self {
-        Self { adj: vec![BTreeSet::new(); num_nodes] }
+        Self {
+            adj: vec![BTreeSet::new(); num_nodes],
+        }
     }
 
     /// Converts from CSR.
@@ -94,7 +96,10 @@ impl AdjacencyList {
     /// Freezes into an immutable CSR graph.
     pub fn to_csr(&self) -> CsrGraph {
         CsrGraph::from_adjacency(
-            self.adj.iter().map(|s| s.iter().copied().collect()).collect(),
+            self.adj
+                .iter()
+                .map(|s| s.iter().copied().collect())
+                .collect(),
         )
     }
 }
@@ -125,10 +130,8 @@ mod tests {
 
     #[test]
     fn isolate_node_removes_all_incident() {
-        let mut a = AdjacencyList::from_csr(&CsrGraph::from_edges(
-            4,
-            &[(0, 1), (0, 2), (0, 3), (1, 2)],
-        ));
+        let mut a =
+            AdjacencyList::from_csr(&CsrGraph::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2)]));
         a.isolate_node(0);
         assert_eq!(a.degree(0), 0);
         assert_eq!(a.num_edges(), 1);

@@ -26,7 +26,10 @@ impl CsrGraph {
     pub fn from_edges(num_nodes: usize, edges: &[(usize, usize)]) -> Self {
         let mut adj: Vec<Vec<u32>> = vec![Vec::new(); num_nodes];
         for &(u, v) in edges {
-            assert!(u < num_nodes && v < num_nodes, "edge ({u},{v}) out of range");
+            assert!(
+                u < num_nodes && v < num_nodes,
+                "edge ({u},{v}) out of range"
+            );
             if u == v {
                 continue;
             }
@@ -52,7 +55,11 @@ impl CsrGraph {
             neighbors.extend_from_slice(list);
             offsets.push(neighbors.len());
         }
-        Self { num_nodes, offsets, neighbors }
+        Self {
+            num_nodes,
+            offsets,
+            neighbors,
+        }
     }
 
     /// Number of nodes `|V|`.

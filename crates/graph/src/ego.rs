@@ -46,7 +46,11 @@ impl EgoNet {
             }
         }
         let graph = CsrGraph::from_edges(nodes.len(), &edges);
-        EgoNet { graph, nodes, center }
+        EgoNet {
+            graph,
+            nodes,
+            center,
+        }
     }
 
     /// Gathers the feature rows of this ego net from the full feature matrix.

@@ -60,7 +60,7 @@ pub fn ppr_diffusion_graph(g: &CsrGraph, alpha: f32, epsilon: f32, top_k: usize)
     for v in 0..n {
         let mut mass = ppr_push(g, v, alpha, epsilon);
         mass.retain(|&(u, _)| u != v);
-        mass.sort_unstable_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        mass.sort_unstable_by(|a, b| b.1.total_cmp(&a.1));
         for &(u, _) in mass.iter().take(top_k) {
             edges.push((v, u));
         }

@@ -43,7 +43,13 @@ impl SparseMatrix {
             }
             offsets.push(col_indices.len());
         }
-        Self { rows, cols, offsets, col_indices, values }
+        Self {
+            rows,
+            cols,
+            offsets,
+            col_indices,
+            values,
+        }
     }
 
     /// Number of rows.

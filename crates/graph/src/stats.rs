@@ -150,7 +150,9 @@ mod tests {
         let k4 = CsrGraph::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
         assert_eq!(total_triangles(&k4), 4);
         // Every node in K4 has clustering coefficient 1.
-        assert!(clustering_coefficients(&k4).iter().all(|&c| (c - 1.0).abs() < 1e-9));
+        assert!(clustering_coefficients(&k4)
+            .iter()
+            .all(|&c| (c - 1.0).abs() < 1e-9));
     }
 
     #[test]

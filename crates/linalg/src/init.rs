@@ -53,7 +53,10 @@ mod tests {
         let n = (200 * 200) as f32;
         let var = m.as_slice().iter().map(|v| v * v).sum::<f32>() / n;
         let expect = 2.0 / 200.0;
-        assert!((var - expect).abs() < expect * 0.2, "var {var} expect {expect}");
+        assert!(
+            (var - expect).abs() < expect * 0.2,
+            "var {var} expect {expect}"
+        );
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! * No `unsafe`.
 
 pub mod activations;
+pub mod error;
 pub mod init;
 pub mod matrix;
 pub mod ops;
@@ -20,5 +21,6 @@ pub mod pca;
 pub mod rng;
 pub mod stats;
 
+pub use error::TrainError;
 pub use matrix::Matrix;
 pub use rng::SeedRng;

@@ -132,6 +132,9 @@ mod tests {
         // Same projection up to sign.
         let same: f32 = (0..30).map(|r| (pa.get(r, 0) - pb.get(r, 0)).abs()).sum();
         let flip: f32 = (0..30).map(|r| (pa.get(r, 0) + pb.get(r, 0)).abs()).sum();
-        assert!(same.min(flip) < 1e-2, "translation changed PCA: {same} / {flip}");
+        assert!(
+            same.min(flip) < 1e-2,
+            "translation changed PCA: {same} / {flip}"
+        );
     }
 }

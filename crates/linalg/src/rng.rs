@@ -19,7 +19,9 @@ pub struct SeedRng {
 impl SeedRng {
     /// Creates an RNG from a 64-bit seed.
     pub fn new(seed: u64) -> Self {
-        Self { inner: ChaCha8Rng::seed_from_u64(seed) }
+        Self {
+            inner: ChaCha8Rng::seed_from_u64(seed),
+        }
     }
 
     /// Derives an independent RNG for a named sub-component.

@@ -122,8 +122,8 @@ proptest! {
     #[test]
     fn weighted_index_avoids_zeros(seed in any::<u64>(), pos in 1usize..6) {
         let mut w = vec![0.0f32; 8];
-        for i in 0..pos {
-            w[i] = 1.0;
+        for wi in w.iter_mut().take(pos) {
+            *wi = 1.0;
         }
         let mut rng = SeedRng::new(seed);
         for _ in 0..32 {

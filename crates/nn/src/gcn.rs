@@ -4,8 +4,8 @@
 //! layer (the standard contrastive-learning encoder configuration). Because
 //! `A_n` is symmetric, the backward pass reuses the same SpMM kernel.
 
-use e2gcl_linalg::{activations, init, Matrix, SeedRng};
 use e2gcl_graph::SparseMatrix;
+use e2gcl_linalg::{activations, init, Matrix, SeedRng};
 
 /// A multi-layer GCN encoder `f_θ`.
 #[derive(Clone, Debug)]
@@ -42,7 +42,10 @@ impl GcnEncoder {
 
     /// Output embedding dimension.
     pub fn output_dim(&self) -> usize {
-        self.weights.last().unwrap().cols()
+        self.weights
+            .last()
+            .expect("encoder has at least one layer")
+            .cols()
     }
 
     /// Input feature dimension.
@@ -82,7 +85,13 @@ impl GcnEncoder {
                 z
             };
         }
-        (h, GcnCache { propagated, pre_activation })
+        (
+            h,
+            GcnCache {
+                propagated,
+                pre_activation,
+            },
+        )
     }
 
     /// Inference-only forward (no cache).
@@ -100,12 +109,7 @@ impl GcnEncoder {
 
     /// Backward pass: given `d_out = ∂L/∂H^L`, returns per-layer weight
     /// gradients (same shapes as [`Self::params`]).
-    pub fn backward(
-        &self,
-        adj: &SparseMatrix,
-        cache: &GcnCache,
-        d_out: &Matrix,
-    ) -> Vec<Matrix> {
+    pub fn backward(&self, adj: &SparseMatrix, cache: &GcnCache, d_out: &Matrix) -> Vec<Matrix> {
         let l_num = self.weights.len();
         let mut grads: Vec<Matrix> = Vec::with_capacity(l_num);
         let mut dz = d_out.clone(); // dL/dZ^{L-1} (final layer is linear)
@@ -191,7 +195,7 @@ mod tests {
         let (h, cache) = enc.forward(&adj, &x);
         let grads = enc.backward(&adj, &cache, &h);
         let eps = 1e-3f32;
-        for l in 0..enc.num_layers() {
+        for (l, grad) in grads.iter().enumerate() {
             let (rows, cols) = enc.params()[l].shape();
             for r in 0..rows {
                 for c in 0..cols {
@@ -204,7 +208,7 @@ mod tests {
                     let lm = 0.5 * hm.as_slice().iter().map(|v| v * v).sum::<f32>();
                     enc.params_mut()[l].set(r, c, orig);
                     let fd = (lp - lm) / (2.0 * eps);
-                    let an = grads[l].get(r, c);
+                    let an = grad.get(r, c);
                     assert!(
                         (fd - an).abs() < 2e-2 * (1.0 + fd.abs().max(an.abs())),
                         "layer {l} ({r},{c}): fd {fd} vs analytic {an}"

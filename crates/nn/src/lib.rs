@@ -27,7 +27,7 @@ pub mod sage;
 pub mod sgc;
 
 pub use gcn::GcnEncoder;
-pub use sage::SageEncoder;
-pub use sgc::SgcEncoder;
 pub use mlp::{Linear, Mlp};
 pub use optim::{Adam, Optimizer, Sgd};
+pub use sage::SageEncoder;
+pub use sgc::SgcEncoder;

@@ -50,7 +50,7 @@ pub fn margin_contrastive(
     let mut d_hat = Matrix::zeros(h_hat.rows(), h_hat.cols());
     let mut d_tilde = Matrix::zeros(h_tilde.rows(), h_tilde.cols());
     let mut d_neg = Matrix::zeros(neg.rows(), neg.cols());
-    for v in 0..n {
+    for (v, negs) in negatives.iter().enumerate() {
         let hv = h_hat.row(v);
         let tv = h_tilde.row(v);
         // Positive pull term.
@@ -64,12 +64,12 @@ pub fn margin_contrastive(
             *g -= 2.0 * (a - b) * inv_n;
         }
         // Negative push term.
-        if negatives[v].is_empty() {
+        if negs.is_empty() {
             continue;
         }
-        let coeff = inv_n / (2.0 * negatives[v].len() as f32);
+        let coeff = inv_n / (2.0 * negs.len() as f32);
         for (anchor_is_hat, anchor) in [(true, hv), (false, tv)] {
-            for &u in &negatives[v] {
+            for &u in negs {
                 let nu = neg.row(u);
                 let d2 = ops::sq_dist(anchor, nu);
                 let (term, active) = if margin.is_finite() {
@@ -97,7 +97,12 @@ pub fn margin_contrastive(
             }
         }
     }
-    MarginLossOutput { loss: loss as f32, d_hat, d_tilde, d_neg }
+    MarginLossOutput {
+        loss: loss as f32,
+        d_hat,
+        d_tilde,
+        d_neg,
+    }
 }
 
 /// Output of [`info_nce`].
@@ -181,7 +186,11 @@ pub fn info_nce(z1: &Matrix, z2: &Matrix, tau: f32) -> InfoNceOutput {
 
     let d_z1 = normalize_backward(&u1, &n1, &du1);
     let d_z2 = normalize_backward(&u2, &n2, &du2);
-    InfoNceOutput { loss: loss as f32, d_z1, d_z2 }
+    InfoNceOutput {
+        loss: loss as f32,
+        d_z1,
+        d_z2,
+    }
 }
 
 /// Row-normalises, returning `(U, norms)` with zero rows left as zero.
@@ -201,13 +210,14 @@ pub fn normalize_rows(z: &Matrix) -> (Matrix, Vec<f32>) {
 /// Jacobian of row normalisation: `dz = (du − (du·u)u) / ||z||`.
 pub fn normalize_backward(u: &Matrix, norms: &[f32], du: &Matrix) -> Matrix {
     let mut dz = Matrix::zeros(u.rows(), u.cols());
-    for r in 0..u.rows() {
+    assert_eq!(norms.len(), u.rows());
+    for (r, &norm_r) in norms.iter().enumerate() {
         let ur = u.row(r);
         let dur = du.row(r);
         let proj = ops::dot(dur, ur);
         let out = dz.row_mut(r);
         for ((o, &d), &uv) in out.iter_mut().zip(dur).zip(ur) {
-            *o = (d - proj * uv) / norms[r];
+            *o = (d - proj * uv) / norm_r;
         }
     }
     dz
@@ -364,9 +374,9 @@ mod tests {
         let out = margin_contrastive(&h_hat, &h_tilde, &neg, &negatives, f32::INFINITY);
         // Manual Eq. (5).
         let mut expect = 0.0f32;
-        for v in 0..2 {
+        for (v, negs) in negatives.iter().enumerate() {
             expect += ops::sq_dist(h_hat.row(v), h_tilde.row(v));
-            let u = negatives[v][0];
+            let u = negs[0];
             expect -= (ops::sq_dist(h_hat.row(v), neg.row(u))
                 + ops::sq_dist(h_tilde.row(v), neg.row(u)))
                 / 2.0;

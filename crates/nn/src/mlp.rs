@@ -31,7 +31,10 @@ pub struct LinearGrads {
 impl Linear {
     /// Xavier-initialised layer.
     pub fn new(d_in: usize, d_out: usize, rng: &mut SeedRng) -> Self {
-        Self { w: init::xavier_uniform(d_in, d_out, rng), b: vec![0.0; d_out] }
+        Self {
+            w: init::xavier_uniform(d_in, d_out, rng),
+            b: vec![0.0; d_out],
+        }
     }
 
     /// Forward pass with cache.
@@ -107,7 +110,10 @@ pub struct MlpGrads {
 impl Mlp {
     /// Builds a `d_in -> hidden -> d_out` head.
     pub fn new(d_in: usize, hidden: usize, d_out: usize, rng: &mut SeedRng) -> Self {
-        Self { l1: Linear::new(d_in, hidden, rng), l2: Linear::new(hidden, d_out, rng) }
+        Self {
+            l1: Linear::new(d_in, hidden, rng),
+            l2: Linear::new(hidden, d_out, rng),
+        }
     }
 
     /// Forward pass with cache.
@@ -240,6 +246,9 @@ mod tests {
             let y = l.apply(&x);
             0.5 * y.as_slice().iter().map(|v| v * v).sum::<f32>()
         };
-        assert!(after < before * 0.1, "loss should shrink: {before} -> {after}");
+        assert!(
+            after < before * 0.1,
+            "loss should shrink: {before} -> {after}"
+        );
     }
 }

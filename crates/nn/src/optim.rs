@@ -20,7 +20,10 @@ pub struct Sgd {
 impl Sgd {
     /// SGD with the given learning rate and no decay.
     pub fn new(lr: f32) -> Self {
-        Self { lr, weight_decay: 0.0 }
+        Self {
+            lr,
+            weight_decay: 0.0,
+        }
     }
 }
 
@@ -58,12 +61,24 @@ pub struct Adam {
 impl Adam {
     /// Adam with the paper-typical defaults (β₁=0.9, β₂=0.999).
     pub fn new(lr: f32) -> Self {
-        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 0.0, t: 0, m: Vec::new(), v: Vec::new() }
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
     }
 
     /// Adam with decoupled weight decay.
     pub fn with_weight_decay(lr: f32, weight_decay: f32) -> Self {
-        Self { weight_decay, ..Self::new(lr) }
+        Self {
+            weight_decay,
+            ..Self::new(lr)
+        }
     }
 }
 
@@ -71,10 +86,17 @@ impl Optimizer for Adam {
     fn step(&mut self, params: &mut [Matrix], grads: &[Matrix]) {
         assert_eq!(params.len(), grads.len());
         if self.m.is_empty() {
-            self.m = params.iter().map(|p| Matrix::zeros(p.rows(), p.cols())).collect();
+            self.m = params
+                .iter()
+                .map(|p| Matrix::zeros(p.rows(), p.cols()))
+                .collect();
             self.v = self.m.clone();
         }
-        assert_eq!(self.m.len(), params.len(), "optimiser bound to a different param list");
+        assert_eq!(
+            self.m.len(),
+            params.len(),
+            "optimiser bound to a different param list"
+        );
         self.t += 1;
         let b1t = 1.0 - self.beta1.powi(self.t as i32);
         let b2t = 1.0 - self.beta2.powi(self.t as i32);
@@ -92,6 +114,37 @@ impl Optimizer for Adam {
             }
         }
     }
+}
+
+/// Global L2 norm over a list of gradient matrices (`sqrt(sum of squares)`).
+pub fn global_grad_norm(grads: &[Matrix]) -> f32 {
+    let sq: f32 = grads
+        .iter()
+        .map(|g| g.as_slice().iter().map(|&v| v * v).sum::<f32>())
+        .sum();
+    sq.sqrt()
+}
+
+/// Scales every gradient in place so the *global* L2 norm is at most
+/// `max_norm`; returns the pre-clip norm. Gradients containing NaN/Inf are
+/// left untouched (the norm itself is non-finite, and the numeric guard —
+/// not the clipper — is responsible for those).
+pub fn clip_grad_norm(grads: &mut [Matrix], max_norm: f32) -> f32 {
+    let norm = global_grad_norm(grads);
+    if norm.is_finite() && norm > max_norm && max_norm > 0.0 {
+        let scale = max_norm / norm;
+        for g in grads.iter_mut() {
+            for v in g.as_mut_slice() {
+                *v *= scale;
+            }
+        }
+    }
+    norm
+}
+
+/// True if any gradient entry is NaN or infinite.
+pub fn grads_non_finite(grads: &[Matrix]) -> bool {
+    grads.iter().any(|g| g.has_non_finite())
 }
 
 #[cfg(test)]
@@ -124,13 +177,49 @@ mod tests {
 
     #[test]
     fn weight_decay_shrinks_params() {
-        let mut opt = Sgd { lr: 0.1, weight_decay: 1.0 };
+        let mut opt = Sgd {
+            lr: 0.1,
+            weight_decay: 1.0,
+        };
         let mut params = vec![Matrix::filled(1, 1, 10.0)];
         let zero = vec![Matrix::zeros(1, 1)];
         for _ in 0..10 {
             opt.step(&mut params, &zero);
         }
         assert!(params[0].get(0, 0) < 10.0 * 0.9f32.powi(9));
+    }
+
+    #[test]
+    fn clip_rescales_only_above_threshold() {
+        // Norm of [3, 4] is 5: clipping at 10 is a no-op, at 1 it rescales.
+        let mut grads = vec![Matrix::from_rows(&[&[3.0, 4.0]])];
+        let pre = clip_grad_norm(&mut grads, 10.0);
+        assert!((pre - 5.0).abs() < 1e-6);
+        assert_eq!(grads[0].as_slice(), &[3.0, 4.0]);
+        let pre = clip_grad_norm(&mut grads, 1.0);
+        assert!((pre - 5.0).abs() < 1e-6);
+        assert!((global_grad_norm(&grads) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn clip_spans_multiple_matrices() {
+        let mut grads = vec![Matrix::filled(1, 1, 3.0), Matrix::filled(1, 1, 4.0)];
+        clip_grad_norm(&mut grads, 1.0);
+        assert!((global_grad_norm(&grads) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn clip_leaves_non_finite_gradients_alone() {
+        let mut grads = vec![Matrix::filled(1, 2, f32::NAN)];
+        let pre = clip_grad_norm(&mut grads, 1.0);
+        assert!(pre.is_nan());
+        assert!(grads_non_finite(&grads));
+    }
+
+    #[test]
+    fn finite_gradients_pass_the_scan() {
+        let grads = vec![Matrix::filled(2, 2, 0.5)];
+        assert!(!grads_non_finite(&grads));
     }
 
     #[test]

@@ -22,7 +22,11 @@ pub struct ProbeConfig {
 
 impl Default for ProbeConfig {
     fn default() -> Self {
-        Self { epochs: 300, lr: 0.5, weight_decay: 1e-4 }
+        Self {
+            epochs: 300,
+            lr: 0.5,
+            weight_decay: 1e-4,
+        }
     }
 }
 
@@ -134,12 +138,7 @@ impl LinkDecoder {
     }
 
     /// ROC-AUC of positive vs negative pairs.
-    pub fn auc(
-        &self,
-        embeddings: &Matrix,
-        pos: &[(usize, usize)],
-        neg: &[(usize, usize)],
-    ) -> f32 {
+    pub fn auc(&self, embeddings: &Matrix, pos: &[(usize, usize)], neg: &[(usize, usize)]) -> f32 {
         let ps = self.score(embeddings, pos);
         let ns = self.score(embeddings, neg);
         roc_auc(&ps, &ns)
@@ -154,8 +153,8 @@ impl LinkDecoder {
     ) -> f32 {
         let ps = self.score(embeddings, pos);
         let ns = self.score(embeddings, neg);
-        let correct = ps.iter().filter(|&&s| s > 0.0).count()
-            + ns.iter().filter(|&&s| s <= 0.0).count();
+        let correct =
+            ps.iter().filter(|&&s| s > 0.0).count() + ns.iter().filter(|&&s| s <= 0.0).count();
         let total = ps.len() + ns.len();
         if total == 0 {
             0.0
@@ -207,9 +206,9 @@ mod tests {
         let n = 100;
         let mut h = Matrix::zeros(n, 4);
         let mut labels = vec![0usize; n];
-        for v in 0..n {
+        for (v, label) in labels.iter_mut().enumerate() {
             let c = v % 2;
-            labels[v] = c;
+            *label = c;
             let center = if c == 0 { 2.0 } else { -2.0 };
             for x in h.row_mut(v) {
                 *x = center + 0.3 * rng.normal();
@@ -217,14 +216,7 @@ mod tests {
         }
         let train: Vec<usize> = (0..50).collect();
         let test: Vec<usize> = (50..100).collect();
-        let probe = LinearProbe::fit(
-            &h,
-            &labels,
-            &train,
-            2,
-            &ProbeConfig::default(),
-            &mut rng,
-        );
+        let probe = LinearProbe::fit(&h, &labels, &train, 2, &ProbeConfig::default(), &mut rng);
         let acc = probe.accuracy(&h, &labels, &test);
         assert!(acc > 0.95, "accuracy {acc}");
     }
@@ -240,8 +232,7 @@ mod tests {
         let labels: Vec<usize> = (0..n).map(|_| rng.below(4)).collect();
         let train: Vec<usize> = (0..100).collect();
         let test: Vec<usize> = (100..200).collect();
-        let probe =
-            LinearProbe::fit(&h, &labels, &train, 4, &ProbeConfig::default(), &mut rng);
+        let probe = LinearProbe::fit(&h, &labels, &train, 4, &ProbeConfig::default(), &mut rng);
         let acc = probe.accuracy(&h, &labels, &test);
         assert!(acc < 0.5, "random labels should not be learnable: {acc}");
     }

@@ -37,7 +37,10 @@ impl SageEncoder {
             params.push(init::xavier_uniform(w[0], w[1], rng)); // W_self
             params.push(init::xavier_uniform(w[0], w[1], rng)); // W_neigh
         }
-        Self { params, num_layers: dims.len() - 1 }
+        Self {
+            params,
+            num_layers: dims.len() - 1,
+        }
     }
 
     /// Number of layers.
@@ -87,7 +90,14 @@ impl SageEncoder {
                 z
             };
         }
-        (h, SageCache { inputs, aggregated, pre_activation })
+        (
+            h,
+            SageCache {
+                inputs,
+                aggregated,
+                pre_activation,
+            },
+        )
     }
 
     /// Inference-only forward.
@@ -173,10 +183,20 @@ mod tests {
                     let orig = enc.params()[pi].get(r, c);
                     enc.params_mut()[pi].set(r, c, orig + eps);
                     let lp = 0.5
-                        * enc.embed(&adj, &x).as_slice().iter().map(|v| v * v).sum::<f32>();
+                        * enc
+                            .embed(&adj, &x)
+                            .as_slice()
+                            .iter()
+                            .map(|v| v * v)
+                            .sum::<f32>();
                     enc.params_mut()[pi].set(r, c, orig - eps);
                     let lm = 0.5
-                        * enc.embed(&adj, &x).as_slice().iter().map(|v| v * v).sum::<f32>();
+                        * enc
+                            .embed(&adj, &x)
+                            .as_slice()
+                            .iter()
+                            .map(|v| v * v)
+                            .sum::<f32>();
                     enc.params_mut()[pi].set(r, c, orig);
                     let fd = (lp - lm) / (2.0 * eps);
                     let an = grads[pi].get(r, c);
@@ -194,7 +214,12 @@ mod tests {
         let (adj, x) = setup();
         let mut enc = SageEncoder::new(&[3, 4, 2], &mut SeedRng::new(3));
         let loss = |e: &SageEncoder| {
-            0.5 * e.embed(&adj, &x).as_slice().iter().map(|v| v * v).sum::<f32>()
+            0.5 * e
+                .embed(&adj, &x)
+                .as_slice()
+                .iter()
+                .map(|v| v * v)
+                .sum::<f32>()
         };
         let before = loss(&enc);
         for _ in 0..30 {

@@ -28,7 +28,10 @@ pub struct SgcCache {
 impl SgcEncoder {
     /// New SGC with depth `layers` mapping `d_in -> d_out`.
     pub fn new(d_in: usize, d_out: usize, layers: usize, rng: &mut SeedRng) -> Self {
-        Self { layers, w: init::xavier_uniform(d_in, d_out, rng) }
+        Self {
+            layers,
+            w: init::xavier_uniform(d_in, d_out, rng),
+        }
     }
 
     /// Output dimension.
@@ -72,12 +75,7 @@ mod tests {
     fn setup() -> (SparseMatrix, Matrix) {
         let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
         let adj = norm::normalized_adjacency(&g);
-        let x = Matrix::from_rows(&[
-            &[1.0, 0.0],
-            &[0.0, 1.0],
-            &[1.0, 1.0],
-            &[0.5, -0.5],
-        ]);
+        let x = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0], &[0.5, -0.5]]);
         (adj, x)
     }
 
@@ -107,13 +105,28 @@ mod tests {
             for c in 0..2 {
                 let orig = enc.params()[0].get(r, c);
                 enc.params_mut()[0].set(r, c, orig + eps);
-                let lp = 0.5 * enc.embed(&adj, &x).as_slice().iter().map(|v| v * v).sum::<f32>();
+                let lp = 0.5
+                    * enc
+                        .embed(&adj, &x)
+                        .as_slice()
+                        .iter()
+                        .map(|v| v * v)
+                        .sum::<f32>();
                 enc.params_mut()[0].set(r, c, orig - eps);
-                let lm = 0.5 * enc.embed(&adj, &x).as_slice().iter().map(|v| v * v).sum::<f32>();
+                let lm = 0.5
+                    * enc
+                        .embed(&adj, &x)
+                        .as_slice()
+                        .iter()
+                        .map(|v| v * v)
+                        .sum::<f32>();
                 enc.params_mut()[0].set(r, c, orig);
                 let fd = (lp - lm) / (2.0 * eps);
                 let an = grads[0].get(r, c);
-                assert!((fd - an).abs() < 1e-2 * (1.0 + fd.abs()), "({r},{c}): {fd} vs {an}");
+                assert!(
+                    (fd - an).abs() < 1e-2 * (1.0 + fd.abs()),
+                    "({r},{c}): {fd} vs {an}"
+                );
             }
         }
     }

@@ -48,8 +48,9 @@ impl NodeSelector for DegreeSelector {
     fn select(&self, g: &CsrGraph, x: &Matrix, budget: usize, rng: &mut SeedRng) -> Selection {
         let n = g.num_nodes();
         let budget = budget.min(n);
-        let mut weights_vec: Vec<f32> =
-            (0..n).map(|v| ((g.degree(v) + 1) as f32).ln().max(1e-6)).collect();
+        let mut weights_vec: Vec<f32> = (0..n)
+            .map(|v| ((g.degree(v) + 1) as f32).ln().max(1e-6))
+            .collect();
         let mut nodes = Vec::with_capacity(budget);
         let mut taken = vec![false; n];
         while nodes.len() < budget {
@@ -140,7 +141,10 @@ impl NodeSelector for KCenterGreedy {
         let budget = budget.min(n);
         let repr = norm::raw_aggregate(g, x, LAYERS);
         if budget == 0 {
-            return Selection { nodes: Vec::new(), weights: Vec::new() };
+            return Selection {
+                nodes: Vec::new(),
+                weights: Vec::new(),
+            };
         }
         let first = rng.below(n);
         let mut nodes = vec![first];
@@ -153,18 +157,15 @@ impl NodeSelector for KCenterGreedy {
             let (far, _) = min_d2
                 .iter()
                 .enumerate()
-                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-                .unwrap();
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .expect("k-centres centre set is non-empty");
             nodes.push(far);
-            min_d2
-                .par_iter_mut()
-                .enumerate()
-                .for_each(|(v, d)| {
-                    let nd = ops::sq_dist(repr.row(v), repr.row(far));
-                    if nd < *d {
-                        *d = nd;
-                    }
-                });
+            min_d2.par_iter_mut().enumerate().for_each(|(v, d)| {
+                let nd = ops::sq_dist(repr.row(v), repr.row(far));
+                if nd < *d {
+                    *d = nd;
+                }
+            });
         }
         nodes.sort_unstable();
         let weights = assign_weights(&repr, &nodes);
@@ -183,7 +184,9 @@ pub struct GrainSelector {
 
 impl Default for GrainSelector {
     fn default() -> Self {
-        Self { radius_quantile: 0.1 }
+        Self {
+            radius_quantile: 0.1,
+        }
     }
 }
 
@@ -197,7 +200,10 @@ impl NodeSelector for GrainSelector {
         let budget = budget.min(n);
         let repr = norm::raw_aggregate(g, x, LAYERS);
         if budget == 0 {
-            return Selection { nodes: Vec::new(), weights: Vec::new() };
+            return Selection {
+                nodes: Vec::new(),
+                weights: Vec::new(),
+            };
         }
         // Estimate the influence radius from sampled pairs.
         let samples = 2000.min(n * (n - 1) / 2).max(1);
@@ -211,7 +217,7 @@ impl NodeSelector for GrainSelector {
                 ops::dist(repr.row(a), repr.row(b))
             })
             .collect();
-        dists.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+        dists.sort_unstable_by(|a, b| a.total_cmp(b));
         let q = ((samples as f32 * self.radius_quantile) as usize).min(samples - 1);
         let radius = dists[q].max(1e-6);
         // Greedy max-coverage; candidate pool capped for big graphs.
@@ -229,8 +235,8 @@ impl NodeSelector for GrainSelector {
                 .filter(|&&v| !in_set[v])
                 .map(|&v| {
                     let mut cover = 0usize;
-                    for w in 0..n {
-                        if !covered[w] && ops::dist(repr.row(v), repr.row(w)) <= radius {
+                    for (w, &cov) in covered.iter().enumerate() {
+                        if !cov && ops::dist(repr.row(v), repr.row(w)) <= radius {
                             cover += 1;
                         }
                     }
@@ -257,9 +263,9 @@ impl NodeSelector for GrainSelector {
             }
             in_set[best.0] = true;
             nodes.push(best.0);
-            for w in 0..n {
-                if !covered[w] && ops::dist(repr.row(best.0), repr.row(w)) <= radius {
-                    covered[w] = true;
+            for (w, cov) in covered.iter_mut().enumerate() {
+                if !*cov && ops::dist(repr.row(best.0), repr.row(w)) <= radius {
+                    *cov = true;
                 }
             }
         }
@@ -279,8 +285,8 @@ mod tests {
         let labels: Vec<usize> = (0..100).map(|v| v / 50).collect();
         let g = generators::dc_sbm(&labels, 2, 5.0, 0.9, &vec![1.0; 100], &mut rng);
         let mut x = Matrix::zeros(100, 3);
-        for v in 0..100 {
-            x.set(v, labels[v], 1.0);
+        for (v, &label) in labels.iter().enumerate() {
+            x.set(v, label, 1.0);
         }
         (g, x)
     }
@@ -346,7 +352,10 @@ mod tests {
         let (g, x) = graph();
         let s = KCenterGreedy.select(&g, &x, 6, &mut SeedRng::new(4));
         let zero_blob = s.nodes.iter().filter(|&&v| v < 50).count();
-        assert!((1..=5).contains(&zero_blob), "coverage skewed: {zero_blob}/6");
+        assert!(
+            (1..=5).contains(&zero_blob),
+            "coverage skewed: {zero_blob}/6"
+        );
     }
 
     #[test]

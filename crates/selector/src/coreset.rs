@@ -49,7 +49,7 @@ struct CoverageTable {
 impl CoverageTable {
     fn build(values: impl Iterator<Item = f32>) -> CoverageTable {
         let mut sorted: Vec<f32> = values.collect();
-        sorted.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.sort_unstable_by(|a, b| a.total_cmp(b));
         let mut suffix = vec![0.0f64; sorted.len() + 1];
         for i in (0..sorted.len()).rev() {
             suffix[i] = suffix[i + 1] + f64::from(sorted[i]);
@@ -96,7 +96,15 @@ impl<'a> CoresetObjective<'a> {
                     }
                 });
         }
-        Self { repr, clustering, big, best, tables, center_dist, selected: Vec::new() }
+        Self {
+            repr,
+            clustering,
+            big,
+            best,
+            tables,
+            center_dist,
+            selected: Vec::new(),
+        }
     }
 
     /// Precomputed `||c_j − R[u]||`.
@@ -303,7 +311,9 @@ mod tests {
         assert_eq!(clustering.labels[u], clustering.labels[w]);
         assert!((obj.candidate_distance(u, w) - ops::dist(x.row(w), x.row(u))).abs() < 1e-6);
         // Cross-cluster pair: centre distance + d_max, an upper bound.
-        let v_other = (0..40).find(|&v| clustering.labels[v] != clustering.labels[u]).unwrap();
+        let v_other = (0..40)
+            .find(|&v| clustering.labels[v] != clustering.labels[u])
+            .unwrap();
         let relaxed = obj.candidate_distance(u, v_other);
         assert!(relaxed >= ops::dist(x.row(v_other), x.row(u)) - 1e-4);
     }

@@ -26,7 +26,12 @@ pub struct GreedyConfig {
 
 impl Default for GreedyConfig {
     fn default() -> Self {
-        Self { layers: 2, num_clusters: 0, sample_size: 0, kmeans_iters: 15 }
+        Self {
+            layers: 2,
+            num_clusters: 0,
+            sample_size: 0,
+            kmeans_iters: 15,
+        }
     }
 }
 
@@ -53,7 +58,10 @@ impl GreedySelector {
         let n = repr.rows();
         let budget = budget.min(n);
         if budget == 0 {
-            return Selection { nodes: Vec::new(), weights: Vec::new() };
+            return Selection {
+                nodes: Vec::new(),
+                weights: Vec::new(),
+            };
         }
         let n_c = if self.config.num_clusters == 0 {
             (n / 32).clamp(60, 400)
@@ -88,8 +96,7 @@ impl GreedySelector {
             }
             let n_s = base_n_s.min(remaining.len());
             let candidate_idx = sample_rng.sample_without_replacement(remaining.len(), n_s);
-            let candidates: Vec<usize> =
-                candidate_idx.into_iter().map(|i| remaining[i]).collect();
+            let candidates: Vec<usize> = candidate_idx.into_iter().map(|i| remaining[i]).collect();
             // Marginal-gain evaluation (Alg. 2, lines 5-7). Parallelism only
             // pays once the per-step work amortises rayon's fork/join cost;
             // on small graphs the serial loop is several times faster.
@@ -127,13 +134,7 @@ impl NodeSelector for GreedySelector {
         "E2GCL-Greedy"
     }
 
-    fn select(
-        &self,
-        graph: &CsrGraph,
-        x: &Matrix,
-        budget: usize,
-        rng: &mut SeedRng,
-    ) -> Selection {
+    fn select(&self, graph: &CsrGraph, x: &Matrix, budget: usize, rng: &mut SeedRng) -> Selection {
         let repr = norm::raw_aggregate(graph, x, self.config.layers);
         self.select_from_aggregate(&repr, budget, rng)
     }
@@ -152,9 +153,9 @@ mod tests {
         let theta = vec![1.0f32; n];
         let g = generators::dc_sbm(&labels, 2, 6.0, 0.95, &theta, &mut rng);
         let mut x = Matrix::zeros(n, 4);
-        for v in 0..n {
-            x.set(v, labels[v], 1.0);
-            x.set(v, 2 + labels[v], rng.uniform());
+        for (v, &label) in labels.iter().enumerate() {
+            x.set(v, label, 1.0);
+            x.set(v, 2 + label, rng.uniform());
         }
         (g, x, labels)
     }
@@ -179,8 +180,7 @@ mod tests {
         });
         let mut rng = SeedRng::new(3);
         let s = sel.select(&g, &x, 10, &mut rng);
-        let picked: std::collections::HashSet<usize> =
-            s.nodes.iter().map(|&v| labels[v]).collect();
+        let picked: std::collections::HashSet<usize> = s.nodes.iter().map(|&v| labels[v]).collect();
         assert_eq!(picked.len(), 2, "both communities must be represented");
     }
 

@@ -72,19 +72,19 @@ pub fn kmeans(x: &Matrix, k: usize, iters: usize, rng: &mut SeedRng) -> Clusteri
             ops::axpy_slice(sums.row_mut(c), 1.0, x.row(v));
             counts[c] += 1;
         }
-        for c in 0..k {
-            if counts[c] == 0 {
+        for (c, &count) in counts.iter().enumerate() {
+            if count == 0 {
                 // Re-seed an empty cluster from the globally farthest point.
                 let far = (0..n)
                     .max_by(|&a, &b| {
                         let da = nearest_center(x.row(a), &centers).1;
                         let db = nearest_center(x.row(b), &centers).1;
-                        da.partial_cmp(&db).unwrap()
+                        da.total_cmp(&db)
                     })
-                    .unwrap();
+                    .expect("kmeans input has at least one point");
                 centers.set_row(c, x.row(far));
             } else {
-                let inv = 1.0 / counts[c] as f32;
+                let inv = 1.0 / count as f32;
                 let mut row = sums.row(c).to_vec();
                 for v in &mut row {
                     *v *= inv;
@@ -110,7 +110,12 @@ fn finalize(x: &Matrix, labels: Vec<usize>, centers: Matrix) -> Clustering {
         }
         members[c].push(v);
     }
-    Clustering { labels, centers, d_max, members }
+    Clustering {
+        labels,
+        centers,
+        d_max,
+        members,
+    }
 }
 
 /// `(index, squared distance)` of the nearest centre.
@@ -137,10 +142,10 @@ fn plus_plus_init(x: &Matrix, k: usize, rng: &mut SeedRng) -> Matrix {
     for c in 1..k {
         let pick = rng.weighted_index(&d2);
         centers.set_row(c, x.row(pick));
-        for v in 0..n {
+        for (v, dv) in d2.iter_mut().enumerate() {
             let d = ops::sq_dist(x.row(v), centers.row(c));
-            if d < d2[v] {
-                d2[v] = d;
+            if d < *dv {
+                *dv = d;
             }
         }
     }
@@ -156,11 +161,11 @@ mod tests {
         let centers = [[0.0f32, 0.0], [10.0, 0.0], [0.0, 10.0]];
         let mut x = Matrix::zeros(per * 3, 2);
         let mut truth = Vec::new();
-        for b in 0..3 {
+        for (b, center) in centers.iter().enumerate() {
             for i in 0..per {
                 let v = b * per + i;
-                x.set(v, 0, centers[b][0] + 0.5 * rng.normal());
-                x.set(v, 1, centers[b][1] + 0.5 * rng.normal());
+                x.set(v, 0, center[0] + 0.5 * rng.normal());
+                x.set(v, 1, center[1] + 0.5 * rng.normal());
                 truth.push(b);
             }
         }

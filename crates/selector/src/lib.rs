@@ -63,13 +63,7 @@ pub trait NodeSelector {
     fn name(&self) -> &'static str;
 
     /// Selects at most `budget` nodes of `graph` (with features `x`).
-    fn select(
-        &self,
-        graph: &CsrGraph,
-        x: &Matrix,
-        budget: usize,
-        rng: &mut SeedRng,
-    ) -> Selection;
+    fn select(&self, graph: &CsrGraph, x: &Matrix, budget: usize, rng: &mut SeedRng) -> Selection;
 }
 
 /// Assigns every node to its nearest selected node in `repr`-space and
@@ -84,7 +78,10 @@ pub fn assign_weights(repr: &Matrix, nodes: &[usize]) -> Vec<f32> {
     // cross term is one dense matmul, which is far faster than per-pair
     // scalar distance loops.
     let selected = repr.select_rows(nodes);
-    let sq_norms: Vec<f32> = nodes.iter().map(|&u| ops::dot(repr.row(u), repr.row(u))).collect();
+    let sq_norms: Vec<f32> = nodes
+        .iter()
+        .map(|&u| ops::dot(repr.row(u), repr.row(u)))
+        .collect();
     let cross = repr.matmul_transpose(&selected);
     for v in 0..repr.rows() {
         let row = cross.row(v);
@@ -115,13 +112,25 @@ mod tests {
 
     #[test]
     fn selection_validate_catches_errors() {
-        let s = Selection { nodes: vec![0, 0], weights: vec![1.0, 1.0] };
+        let s = Selection {
+            nodes: vec![0, 0],
+            weights: vec![1.0, 1.0],
+        };
         assert!(s.validate(5, 3).is_err()); // duplicates
-        let s = Selection { nodes: vec![0, 1, 2], weights: vec![1.0, 1.0, 1.0] };
+        let s = Selection {
+            nodes: vec![0, 1, 2],
+            weights: vec![1.0, 1.0, 1.0],
+        };
         assert!(s.validate(5, 2).is_err()); // over budget
-        let s = Selection { nodes: vec![0, 1], weights: vec![2.0, 3.0] };
+        let s = Selection {
+            nodes: vec![0, 1],
+            weights: vec![2.0, 3.0],
+        };
         assert!(s.validate(5, 2).is_ok());
-        let s = Selection { nodes: vec![0, 1], weights: vec![1.0, 1.0] };
+        let s = Selection {
+            nodes: vec![0, 1],
+            weights: vec![1.0, 1.0],
+        };
         assert!(s.validate(5, 2).is_err()); // weights don't sum to |V|
     }
 }

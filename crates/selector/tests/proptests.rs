@@ -10,8 +10,7 @@ const N: usize = 24;
 const D: usize = 3;
 
 fn points() -> impl Strategy<Value = Matrix> {
-    prop::collection::vec(-5.0f32..5.0, N * D)
-        .prop_map(|data| Matrix::from_vec(N, D, data))
+    prop::collection::vec(-5.0f32..5.0, N * D).prop_map(|data| Matrix::from_vec(N, D, data))
 }
 
 proptest! {

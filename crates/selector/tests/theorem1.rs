@@ -43,14 +43,10 @@ fn grad(r_hat: &[f32], r_tilde: &[f32], theta: &Matrix) -> Matrix {
 
 /// Draws a vector within L2 distance ε of `base`.
 fn perturb_within(base: &[f32], eps: f32, rng: &mut SeedRng) -> Vec<f32> {
-    let mut noise: Vec<f32> = (0..base.len()).map(|_| rng.normal()).collect();
+    let noise: Vec<f32> = (0..base.len()).map(|_| rng.normal()).collect();
     let norm = ops::norm(&noise).max(1e-9);
     let scale = rng.uniform() * eps / norm;
-    noise
-        .iter()
-        .zip(base)
-        .map(|(n, b)| b + n * scale)
-        .collect()
+    noise.iter().zip(base).map(|(n, b)| b + n * scale).collect()
 }
 
 proptest! {

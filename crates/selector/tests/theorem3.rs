@@ -86,14 +86,13 @@ fn sampled_greedy_stays_near_the_guarantee() {
         let x = random_points(1000 + seed);
         let clustering = kmeans(&x, 4, 20, &mut SeedRng::new(seed));
         let opt = optimal_coverage(&x, &clustering);
-        let sel = e2gcl_selector::greedy::GreedySelector::new(
-            e2gcl_selector::greedy::GreedyConfig {
+        let sel =
+            e2gcl_selector::greedy::GreedySelector::new(e2gcl_selector::greedy::GreedyConfig {
                 num_clusters: 4,
                 sample_size: 5,
                 ..Default::default()
-            },
-        )
-        .select_from_aggregate(&x, K, &mut SeedRng::new(seed ^ 7));
+            })
+            .select_from_aggregate(&x, K, &mut SeedRng::new(seed ^ 7));
         let got = coverage(&x, &clustering, &sel.nodes);
         total_ratio += got / opt.max(1e-12);
     }

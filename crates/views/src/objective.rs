@@ -71,8 +71,8 @@ mod tests {
         let labels: Vec<usize> = (0..60).map(|v| v / 30).collect();
         let g = generators::dc_sbm(&labels, 2, 5.0, 0.9, &vec![1.0; 60], &mut rng);
         let mut x = Matrix::zeros(60, 4);
-        for v in 0..60 {
-            x.set(v, labels[v], 1.0);
+        for (v, &label) in labels.iter().enumerate() {
+            x.set(v, label, 1.0);
         }
         (g, x)
     }
@@ -82,14 +82,8 @@ mod tests {
         let (g, x) = setup();
         let orig = (g.clone(), x.clone());
         let nodes: Vec<usize> = (0..20).collect();
-        let obj = view_generation_objective(
-            &orig,
-            &orig.clone(),
-            &orig.clone(),
-            &nodes,
-            2,
-            raw_embed(2),
-        );
+        let obj =
+            view_generation_objective(&orig, &orig.clone(), &orig.clone(), &nodes, 2, raw_embed(2));
         assert!(obj.abs() < 1e-6);
     }
 
@@ -98,8 +92,14 @@ mod tests {
         let (g, x) = setup();
         let orig = (g.clone(), x.clone());
         let mut rng = SeedRng::new(1);
-        let light = (crate::uniform::drop_edges_uniform(&g, 0.1, &mut rng), x.clone());
-        let heavy = (crate::uniform::drop_edges_uniform(&g, 0.9, &mut rng), x.clone());
+        let light = (
+            crate::uniform::drop_edges_uniform(&g, 0.1, &mut rng),
+            x.clone(),
+        );
+        let heavy = (
+            crate::uniform::drop_edges_uniform(&g, 0.9, &mut rng),
+            x.clone(),
+        );
         let nodes: Vec<usize> = (0..60).collect();
         let l_light = locality_term(&orig, &light, &nodes, raw_embed(2));
         let l_heavy = locality_term(&orig, &heavy, &nodes, raw_embed(2));
@@ -111,11 +111,16 @@ mod tests {
         let (g, x) = setup();
         let orig = (g.clone(), x.clone());
         let mut rng = SeedRng::new(2);
-        let va = (crate::uniform::drop_edges_uniform(&g, 0.3, &mut rng), x.clone());
-        let vb = (crate::uniform::drop_edges_uniform(&g, 0.3, &mut rng), x.clone());
+        let va = (
+            crate::uniform::drop_edges_uniform(&g, 0.3, &mut rng),
+            x.clone(),
+        );
+        let vb = (
+            crate::uniform::drop_edges_uniform(&g, 0.3, &mut rng),
+            x.clone(),
+        );
         let nodes: Vec<usize> = (0..60).collect();
-        let two_distinct =
-            view_generation_objective(&orig, &va, &vb, &nodes, 2, raw_embed(2));
+        let two_distinct = view_generation_objective(&orig, &va, &vb, &nodes, 2, raw_embed(2));
         let duplicated =
             view_generation_objective(&orig, &va, &va.clone(), &nodes, 2, raw_embed(2));
         // Same locality cost, but distinct views earn the diversity reward.
@@ -134,7 +139,10 @@ mod tests {
         let gen = crate::sampler::ViewGenerator::new(
             &g,
             &x,
-            crate::sampler::ViewConfig { candidate_cap: 0, ..Default::default() },
+            crate::sampler::ViewConfig {
+                candidate_cap: 0,
+                ..Default::default()
+            },
             &mut rng,
         );
         let homophily = |graph: &CsrGraph| -> f64 {

@@ -27,7 +27,10 @@ impl GraphView {
     /// Starts a view from an existing graph.
     pub fn from_graph(g: &CsrGraph, x: &Matrix) -> Self {
         assert_eq!(g.num_nodes(), x.rows());
-        Self { adj: AdjacencyList::from_csr(g), x: x.clone() }
+        Self {
+            adj: AdjacencyList::from_csr(g),
+            x: x.clone(),
+        }
     }
 
     /// Freezes the structure.
@@ -128,15 +131,18 @@ impl AugmentationOp {
                     view.x.set(*node, dim, 0.0);
                 }
             }
-            AugmentationOp::NodeAddition { node, edges, features } => {
+            AugmentationOp::NodeAddition {
+                node,
+                edges,
+                features,
+            } => {
                 for &other in edges {
                     view.adj.add_edge(*node, other);
                 }
                 view.x.set_row(*node, features);
             }
             AugmentationOp::SubgraphSampling(keep) => {
-                let keep_set: std::collections::HashSet<usize> =
-                    keep.iter().copied().collect();
+                let keep_set: std::collections::HashSet<usize> = keep.iter().copied().collect();
                 for node in 0..view.adj.num_nodes() {
                     if !keep_set.contains(&node) {
                         AugmentationOp::NodeDropping(node).apply(view);
@@ -153,7 +159,11 @@ impl AugmentationOp {
             AugmentationOp::EdgeDeletion(u, v) => vec![GeneralOp::DeleteEdge(*u, *v)],
             AugmentationOp::EdgeAddition(u, v) => vec![GeneralOp::AddEdge(*u, *v)],
             AugmentationOp::FeaturePerturbation(node, dim, delta) => {
-                vec![GeneralOp::PerturbFeature(*node, *dim, view.x.get(*node, *dim) + delta)]
+                vec![GeneralOp::PerturbFeature(
+                    *node,
+                    *dim,
+                    view.x.get(*node, *dim) + delta,
+                )]
             }
             AugmentationOp::FeatureMasking(node, dim) => {
                 vec![GeneralOp::PerturbFeature(*node, *dim, 0.0)]
@@ -172,9 +182,15 @@ impl AugmentationOp {
                 );
                 ops
             }
-            AugmentationOp::NodeAddition { node, edges, features } => {
-                let mut ops: Vec<GeneralOp> =
-                    edges.iter().map(|&other| GeneralOp::AddEdge(*node, other)).collect();
+            AugmentationOp::NodeAddition {
+                node,
+                edges,
+                features,
+            } => {
+                let mut ops: Vec<GeneralOp> = edges
+                    .iter()
+                    .map(|&other| GeneralOp::AddEdge(*node, other))
+                    .collect();
                 ops.extend(
                     features
                         .iter()
@@ -184,8 +200,7 @@ impl AugmentationOp {
                 ops
             }
             AugmentationOp::SubgraphSampling(keep) => {
-                let keep_set: std::collections::HashSet<usize> =
-                    keep.iter().copied().collect();
+                let keep_set: std::collections::HashSet<usize> = keep.iter().copied().collect();
                 let mut ops = Vec::new();
                 for node in 0..view.adj.num_nodes() {
                     if keep_set.contains(&node) {
@@ -198,8 +213,7 @@ impl AugmentationOp {
                         }
                     }
                     ops.extend(
-                        (0..view.x.cols())
-                            .map(|dim| GeneralOp::PerturbFeature(node, dim, 0.0)),
+                        (0..view.x.cols()).map(|dim| GeneralOp::PerturbFeature(node, dim, 0.0)),
                     );
                 }
                 ops
@@ -221,7 +235,10 @@ mod tests {
                 x.set(v, d, (v * 3 + d) as f32 * 0.1 + 0.1);
             }
         }
-        GraphView { adj: AdjacencyList::from_csr(&g), x }
+        GraphView {
+            adj: AdjacencyList::from_csr(&g),
+            x,
+        }
     }
 
     /// The constructive Prop. 1 check: direct application == reduction.
@@ -232,7 +249,10 @@ mod tests {
         let mut via_general = base.clone();
         let general = op.to_general(&base);
         apply_general(&mut via_general, &general);
-        assert_eq!(direct, via_general, "op {op:?} not reproduced by {general:?}");
+        assert_eq!(
+            direct, via_general,
+            "op {op:?} not reproduced by {general:?}"
+        );
     }
 
     #[test]
@@ -295,9 +315,7 @@ mod tests {
                     },
                     _ => {
                         let k = rng.below(5);
-                        AugmentationOp::SubgraphSampling(
-                            rng.sample_without_replacement(5, k),
-                        )
+                        AugmentationOp::SubgraphSampling(rng.sample_without_replacement(5, k))
                     }
                 };
                 // Self-loop edge ops are no-ops either way.

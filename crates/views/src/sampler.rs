@@ -97,15 +97,13 @@ impl ViewGenerator {
         let cap = config.candidate_cap;
         let beta = config.beta;
         // Two-hop candidate collection, capped by random subsampling.
-        let mut cand_rng: Vec<SeedRng> =
-            (0..n).map(|v| rng.fork(&format!("cand{v}"))).collect();
+        let mut cand_rng: Vec<SeedRng> = (0..n).map(|v| rng.fork(&format!("cand{v}"))).collect();
         let per_node: Vec<(Vec<u32>, Vec<f32>)> = (0..n)
             .into_par_iter()
             .zip(cand_rng.par_iter_mut())
             .map(|(u, local_rng)| {
                 let mut cands: Vec<u32> = g.neighbors(u).to_vec();
-                let direct: std::collections::HashSet<u32> =
-                    cands.iter().copied().collect();
+                let direct: std::collections::HashSet<u32> = cands.iter().copied().collect();
                 // Gather 2-hop candidates (excluding u and 1-hop).
                 let mut two_hop: Vec<u32> = Vec::new();
                 let mut seen = std::collections::HashSet::new();
@@ -117,8 +115,7 @@ impl ViewGenerator {
                     }
                 }
                 if two_hop.len() > cap {
-                    let picked =
-                        local_rng.sample_without_replacement(two_hop.len(), cap);
+                    let picked = local_rng.sample_without_replacement(two_hop.len(), cap);
                     two_hop = picked.into_iter().map(|i| two_hop[i]).collect();
                 }
                 let split = cands.len();
@@ -148,7 +145,13 @@ impl ViewGenerator {
                     let n_keep = split.max(1) as f32;
                     let n_add = (cands.len() - split).max(1) as f32;
                     (0..cands.len())
-                        .map(|i| if i < split { beta / n_keep } else { (1.0 - beta) / n_add })
+                        .map(|i| {
+                            if i < split {
+                                beta / n_keep
+                            } else {
+                                (1.0 - beta) / n_add
+                            }
+                        })
                         .collect()
                 };
                 (cands, weights)
@@ -165,7 +168,15 @@ impl ViewGenerator {
                     .collect()
             })
             .collect();
-        Self { graph: g.clone(), x: x.clone(), scores, config, candidates, weights, nonzero_dims }
+        Self {
+            graph: g.clone(),
+            x: x.clone(),
+            scores,
+            config,
+            candidates,
+            weights,
+            nonzero_dims,
+        }
     }
 
     /// The generator's configuration.
@@ -241,7 +252,12 @@ impl ViewGenerator {
         for (local, &global) in nodes.iter().enumerate() {
             self.perturb_row(global, eta, features.row_mut(local), rng);
         }
-        EgoView { graph, nodes, center: 0, features }
+        EgoView {
+            graph,
+            nodes,
+            center: 0,
+            features,
+        }
     }
 
     /// The batched training form: one full-graph positive view. Structure is
@@ -249,8 +265,7 @@ impl ViewGenerator {
     /// Eq. (16).
     pub fn sample_global_view(&self, tau: f32, eta: f32, rng: &mut SeedRng) -> (CsrGraph, Matrix) {
         let n = self.graph.num_nodes();
-        let mut node_rngs: Vec<SeedRng> =
-            (0..n).map(|v| rng.fork(&format!("gv{v}"))).collect();
+        let mut node_rngs: Vec<SeedRng> = (0..n).map(|v| rng.fork(&format!("gv{v}"))).collect();
         let per_node: Vec<Vec<(usize, usize)>> = (0..n)
             .into_par_iter()
             .zip(node_rngs.par_iter_mut())
@@ -282,8 +297,8 @@ mod tests {
         let labels: Vec<usize> = (0..80).map(|v| v / 40).collect();
         let g = generators::dc_sbm(&labels, 2, 6.0, 0.9, &vec![1.0; 80], &mut rng);
         let mut x = Matrix::zeros(80, 6);
-        for v in 0..80 {
-            x.set(v, labels[v], 1.0);
+        for (v, &label) in labels.iter().enumerate() {
+            x.set(v, label, 1.0);
             x.set(v, 2 + rng.below(4), 1.0);
         }
         let gen = ViewGenerator::new(&g, &x, ViewConfig::default(), &mut rng);

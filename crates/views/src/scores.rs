@@ -46,8 +46,7 @@ impl GraphScores {
         let n = g.num_nodes();
         // Global feature importance.
         let mut feature_global = vec![0.0f32; d];
-        for v in 0..n {
-            let phi = cent[v];
+        for (v, &phi) in cent.iter().enumerate() {
             for (w, &f) in feature_global.iter_mut().zip(x.row(v)) {
                 *w += phi * f.abs();
             }
@@ -66,8 +65,7 @@ impl GraphScores {
         let phi_max = cent.iter().cloned().fold(0.0f32, f32::max);
         let phi_mean = cent.iter().sum::<f32>() / n.max(1) as f32;
         let w_max = feature_global.iter().cloned().fold(0.0f32, f32::max) * phi_max;
-        let w_mean =
-            feature_global.iter().sum::<f32>() / d.max(1) as f32 * phi_mean;
+        let w_mean = feature_global.iter().sum::<f32>() / d.max(1) as f32 * phi_mean;
         GraphScores {
             centrality: cent,
             feature_global,
@@ -80,14 +78,7 @@ impl GraphScores {
     /// The §IV-C1 edge score `w^e_{v,u}` for target node `v` and candidate
     /// `u`. `is_neighbor` selects the existing-edge branch (keep weight)
     /// versus the addition branch. `beta` balances the two branches.
-    pub fn edge_score(
-        &self,
-        x: &Matrix,
-        v: usize,
-        u: usize,
-        is_neighbor: bool,
-        beta: f32,
-    ) -> f32 {
+    pub fn edge_score(&self, x: &Matrix, v: usize, u: usize, is_neighbor: bool, beta: f32) -> f32 {
         self.edge_score_with(x, v, u, is_neighbor, beta, EdgeRecipe::Combined)
     }
 
@@ -190,7 +181,10 @@ mod tests {
         // On the same (non-hub) node, the rare dim 1 perturbs more.
         let p_important = s.perturb_probability(1, 0, 0.8);
         let p_unimportant = s.perturb_probability(1, 1, 0.8);
-        assert!(p_unimportant > p_important, "{p_unimportant} !> {p_important}");
+        assert!(
+            p_unimportant > p_important,
+            "{p_unimportant} !> {p_important}"
+        );
     }
 
     #[test]

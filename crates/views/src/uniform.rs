@@ -10,8 +10,7 @@ use e2gcl_linalg::{Matrix, SeedRng};
 
 /// Drops each edge independently with probability `p`.
 pub fn drop_edges_uniform(g: &CsrGraph, p: f32, rng: &mut SeedRng) -> CsrGraph {
-    let edges: Vec<(usize, usize)> =
-        g.edges().filter(|_| !rng.bernoulli(p)).collect();
+    let edges: Vec<(usize, usize)> = g.edges().filter(|_| !rng.bernoulli(p)).collect();
     CsrGraph::from_edges(g.num_nodes(), &edges)
 }
 
@@ -45,7 +44,9 @@ pub fn gca_edge_drop_probs(g: &CsrGraph, p: f32) -> Vec<f32> {
     let w_max = w.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
     let w_mean = w.iter().sum::<f32>() / w.len() as f32;
     let denom = (w_max - w_mean).max(1e-9);
-    w.iter().map(|&wi| (p * (w_max - wi) / denom).min(p)).collect()
+    w.iter()
+        .map(|&wi| (p * (w_max - wi) / denom).min(p))
+        .collect()
 }
 
 /// Adds `count` uniformly random non-existing edges.
@@ -90,8 +91,10 @@ pub fn mask_feature_dims_weighted(
     rng: &mut SeedRng,
 ) -> Matrix {
     assert_eq!(dim_probs.len(), x.cols());
-    let mask: Vec<bool> =
-        dim_probs.iter().map(|&p| rng.bernoulli(p.min(max_p))).collect();
+    let mask: Vec<bool> = dim_probs
+        .iter()
+        .map(|&p| rng.bernoulli(p.min(max_p)))
+        .collect();
     let mut out = x.clone();
     for r in 0..out.rows() {
         for (v, &m) in out.row_mut(r).iter_mut().zip(&mask) {

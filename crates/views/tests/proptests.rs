@@ -27,18 +27,21 @@ fn any_op() -> impl Strategy<Value = AugmentationOp> {
         (0..N, 0..D).prop_map(|(n, d)| AugmentationOp::FeatureMasking(n, d)),
         (0..D).prop_map(AugmentationOp::FeatureDropping),
         (0..N).prop_map(AugmentationOp::NodeDropping),
-        (0..N, prop::collection::vec(0..N, 0..3), prop::collection::vec(0.0f32..1.0, D))
+        (
+            0..N,
+            prop::collection::vec(0..N, 0..3),
+            prop::collection::vec(0.0f32..1.0, D)
+        )
             .prop_map(|(node, edges, features)| AugmentationOp::NodeAddition {
                 node,
                 edges,
                 features
             }),
-        prop::collection::vec(0..N, 0..N)
-            .prop_map(|mut keep| {
-                keep.sort_unstable();
-                keep.dedup();
-                AugmentationOp::SubgraphSampling(keep)
-            }),
+        prop::collection::vec(0..N, 0..N).prop_map(|mut keep| {
+            keep.sort_unstable();
+            keep.dedup();
+            AugmentationOp::SubgraphSampling(keep)
+        }),
     ]
 }
 

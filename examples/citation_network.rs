@@ -18,7 +18,7 @@ use e2gcl_selector::greedy::GreedySelector;
 use e2gcl_selector::NodeSelector;
 
 fn main() {
-    let data = NodeDataset::generate(&spec("cora-sim"), 0.3, 11);
+    let data = NodeDataset::generate(&spec("cora-sim").unwrap(), 0.3, 11);
     println!(
         "citation graph: {} papers, {} citations, {} topics\n",
         data.num_nodes(),
@@ -27,7 +27,10 @@ fn main() {
     );
 
     // --- Leaderboard: contrastive models + supervised references -------
-    let cfg = TrainConfig { epochs: 20, ..TrainConfig::default() };
+    let cfg = TrainConfig {
+        epochs: 20,
+        ..TrainConfig::default()
+    };
     let models: Vec<Box<dyn ContrastiveModel>> = vec![
         Box::new(E2gclModel::default()),
         Box::new(GraceModel::grace()),
@@ -36,7 +39,12 @@ fn main() {
     ];
     println!("{:<10} {:>10} {:>12}", "model", "accuracy", "train time");
     for model in &models {
-        let run = run_node_classification(model.as_ref(), &data, &cfg, 3, 0);
+        let run = run_node_classification(model.as_ref(), &data, &cfg, 3, 0)
+            .expect("the default config is valid");
+        if run.accuracies.is_empty() {
+            println!("{:<10} {:>10}", run.model, "FAILED");
+            continue;
+        }
         println!(
             "{:<10} {:>8.2} % {:>10.2}s",
             run.model,
@@ -62,12 +70,7 @@ fn main() {
     let selector = GreedySelector::default();
     for ratio in [0.4f64, 0.1, 0.025] {
         let budget = ((data.num_nodes() as f64) * ratio).round() as usize;
-        let sel = selector.select(
-            &data.graph,
-            &data.features,
-            budget,
-            &mut SeedRng::new(5),
-        );
+        let sel = selector.select(&data.graph, &data.features, budget, &mut SeedRng::new(5));
         let mut per_class = vec![0usize; data.num_classes];
         for &v in &sel.nodes {
             per_class[data.labels[v]] += 1;

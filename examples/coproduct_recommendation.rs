@@ -17,7 +17,7 @@ use e2gcl_nn::probe::{LinkDecoder, ProbeConfig};
 
 fn main() {
     // Photo analog at 10% scale: dense co-purchase structure (avg deg ~31).
-    let data = NodeDataset::generate(&spec("photo-sim"), 0.1, 23);
+    let data = NodeDataset::generate(&spec("photo-sim").unwrap(), 0.1, 23);
     println!(
         "co-purchase graph: {} products, {} observed co-purchases",
         data.num_nodes(),
@@ -34,15 +34,22 @@ fn main() {
         split.test_pos.len()
     );
 
-    let cfg = TrainConfig { epochs: 15, ..TrainConfig::default() };
+    let cfg = TrainConfig {
+        epochs: 15,
+        ..TrainConfig::default()
+    };
     for (name, out) in [
         (
             "E2GCL",
-            E2gclModel::default().pretrain(&split.train_graph, &data.features, &cfg, &mut rng),
+            E2gclModel::default()
+                .pretrain(&split.train_graph, &data.features, &cfg, &mut rng)
+                .expect("pre-training hit an unrecoverable numeric fault"),
         ),
         (
             "GRACE",
-            GraceModel::grace().pretrain(&split.train_graph, &data.features, &cfg, &mut rng),
+            GraceModel::grace()
+                .pretrain(&split.train_graph, &data.features, &cfg, &mut rng)
+                .expect("pre-training hit an unrecoverable numeric fault"),
         ),
     ] {
         let acc = eval::link_prediction_accuracy(&out.embeddings, &split, 1);

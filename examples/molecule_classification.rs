@@ -16,7 +16,7 @@ use e2gcl::prelude::*;
 use e2gcl_datasets::graph_dataset::graph_spec;
 
 fn main() {
-    let data = GraphDataset::generate(&graph_spec("nci1-sim"), 0.5, 17);
+    let data = GraphDataset::generate(&graph_spec("nci1-sim").unwrap(), 0.5, 17);
     let avg_nodes: f64 = data
         .graphs
         .iter()
@@ -30,19 +30,26 @@ fn main() {
         data.num_classes
     );
 
-    let cfg = TrainConfig { epochs: 12, batch_size: 256, ..TrainConfig::default() };
-    let models: Vec<Box<dyn ContrastiveModel>> = vec![
-        Box::new(E2gclModel::default()),
-        Box::new(GraceModel::gca()),
-    ];
+    let cfg = TrainConfig {
+        epochs: 12,
+        batch_size: 256,
+        ..TrainConfig::default()
+    };
+    let models: Vec<Box<dyn ContrastiveModel>> =
+        vec![Box::new(E2gclModel::default()), Box::new(GraceModel::gca())];
     println!("\n{:<8} {:>16}", "model", "accuracy");
     for model in models {
-        let (mean, std) = run_graph_classification(model.as_ref(), &data, &cfg, 3, 0);
+        let run = run_graph_classification(model.as_ref(), &data, &cfg, 3, 0)
+            .expect("the default config is valid");
+        if run.accuracies.is_empty() {
+            println!("{:<8} {:>16}", model.name(), "FAILED");
+            continue;
+        }
         println!(
             "{:<8} {:>8.2} ± {:.2} %",
             model.name(),
-            100.0 * mean,
-            100.0 * std
+            100.0 * run.mean,
+            100.0 * run.std
         );
     }
 

@@ -10,7 +10,7 @@ use e2gcl::prelude::*;
 
 fn main() {
     // 1. A synthetic Cora analog at 30% scale (~800 nodes, 7 classes).
-    let data = NodeDataset::generate(&spec("cora-sim"), 0.3, 42);
+    let data = NodeDataset::generate(&spec("cora-sim").unwrap(), 0.3, 42);
     println!(
         "dataset: {} — {} nodes, {} edges, {} features, {} classes (homophily {:.2})",
         data.name,
@@ -24,9 +24,14 @@ fn main() {
     // 2. Pre-train with E²GCL: Alg. 2 selects a 40% coreset, Alg. 3
     //    generates importance-aware positive views, Eq. (5) trains the GCN.
     let model = E2gclModel::default();
-    let cfg = TrainConfig { epochs: 25, ..TrainConfig::default() };
+    let cfg = TrainConfig {
+        epochs: 25,
+        ..TrainConfig::default()
+    };
     let mut rng = SeedRng::new(7);
-    let out = model.pretrain(&data.graph, &data.features, &cfg, &mut rng);
+    let out = model
+        .pretrain(&data.graph, &data.features, &cfg, &mut rng)
+        .expect("pre-training hit an unrecoverable numeric fault");
     println!(
         "pre-trained in {:.2}s (selection {:.3}s), final loss {:.4}",
         out.total_time.as_secs_f64(),
@@ -38,22 +43,23 @@ fn main() {
     //    the labels, test on 80% — averaged over 5 random splits.
     let (mean, std) =
         eval::node_classification(&out.embeddings, &data.labels, data.num_classes, 5, 0);
-    println!("node classification: {:.2} ± {:.2} %", 100.0 * mean, 100.0 * std);
+    println!(
+        "node classification: {:.2} ± {:.2} %",
+        100.0 * mean,
+        100.0 * std
+    );
 
     // 4. Reference points: an untrained encoder and the raw features.
-    let untrained = model.pretrain(
-        &data.graph,
-        &data.features,
-        &TrainConfig { epochs: 0, ..cfg },
-        &mut SeedRng::new(7),
-    );
-    let (u_mean, _) = eval::node_classification(
-        &untrained.embeddings,
-        &data.labels,
-        data.num_classes,
-        5,
-        0,
-    );
+    let untrained = model
+        .pretrain(
+            &data.graph,
+            &data.features,
+            &TrainConfig { epochs: 0, ..cfg },
+            &mut SeedRng::new(7),
+        )
+        .expect("the untrained baseline runs zero epochs and cannot fail");
+    let (u_mean, _) =
+        eval::node_classification(&untrained.embeddings, &data.labels, data.num_classes, 5, 0);
     let (f_mean, _) =
         eval::node_classification(&data.features, &data.labels, data.num_classes, 5, 0);
     println!("  vs untrained encoder: {:.2} %", 100.0 * u_mean);

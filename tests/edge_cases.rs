@@ -7,7 +7,11 @@ use e2gcl_graph::norm;
 use e2gcl_views::{ViewConfig, ViewGenerator};
 
 fn tiny_cfg() -> TrainConfig {
-    TrainConfig { epochs: 3, batch_size: 16, ..Default::default() }
+    TrainConfig {
+        epochs: 3,
+        batch_size: 16,
+        ..Default::default()
+    }
 }
 
 /// Fully disconnected graph: every node isolated.
@@ -19,7 +23,9 @@ fn edgeless_graph_trains_without_nans() {
         x.set(v, v % 8, 1.0);
     }
     let model = E2gclModel::default();
-    let out = model.pretrain(&g, &x, &tiny_cfg(), &mut SeedRng::new(0));
+    let out = model
+        .pretrain(&g, &x, &tiny_cfg(), &mut SeedRng::new(0))
+        .unwrap();
     assert_eq!(out.embeddings.rows(), 30);
     assert!(!out.embeddings.has_non_finite());
 }
@@ -30,7 +36,9 @@ fn zero_features_survive_pipeline() {
     let g = CsrGraph::from_edges(20, &[(0, 1), (1, 2), (5, 6), (10, 11)]);
     let x = Matrix::zeros(20, 4);
     let model = E2gclModel::default();
-    let out = model.pretrain(&g, &x, &tiny_cfg(), &mut SeedRng::new(1));
+    let out = model
+        .pretrain(&g, &x, &tiny_cfg(), &mut SeedRng::new(1))
+        .unwrap();
     assert!(!out.embeddings.has_non_finite());
     // View generation on zero features is a no-op on X.
     let gen = ViewGenerator::new(&g, &x, ViewConfig::default(), &mut SeedRng::new(2));
@@ -43,9 +51,16 @@ fn zero_features_survive_pipeline() {
 fn two_node_graph() {
     let g = CsrGraph::from_edges(2, &[(0, 1)]);
     let x = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]);
-    let model = E2gclModel::new(E2gclConfig { node_ratio: 1.0, ..Default::default() });
-    let cfg = TrainConfig { epochs: 2, batch_size: 2, ..Default::default() };
-    let out = model.pretrain(&g, &x, &cfg, &mut SeedRng::new(4));
+    let model = E2gclModel::new(E2gclConfig {
+        node_ratio: 1.0,
+        ..Default::default()
+    });
+    let cfg = TrainConfig {
+        epochs: 2,
+        batch_size: 2,
+        ..Default::default()
+    };
+    let out = model.pretrain(&g, &x, &cfg, &mut SeedRng::new(4)).unwrap();
     assert_eq!(out.embeddings.rows(), 2);
     assert!(!out.embeddings.has_non_finite());
 }
@@ -53,7 +68,7 @@ fn two_node_graph() {
 /// Budget of a single node.
 #[test]
 fn budget_one_node() {
-    let d = NodeDataset::generate(&spec("cora-sim"), 0.05, 5);
+    let d = NodeDataset::generate(&spec("cora-sim").unwrap(), 0.05, 5);
     let model = E2gclModel::new(E2gclConfig {
         node_ratio: 1.0 / d.num_nodes() as f64,
         ..Default::default()
@@ -62,7 +77,9 @@ fn budget_one_node() {
     assert_eq!(sel.nodes.len(), 1);
     assert!((sel.weights[0] - d.num_nodes() as f32).abs() < 1.0);
     // Training on a single anchor must not panic (negatives may be empty).
-    let out = model.pretrain(&d.graph, &d.features, &tiny_cfg(), &mut SeedRng::new(7));
+    let out = model
+        .pretrain(&d.graph, &d.features, &tiny_cfg(), &mut SeedRng::new(7))
+        .unwrap();
     assert!(!out.embeddings.has_non_finite());
 }
 
@@ -77,7 +94,9 @@ fn hub_dominated_graph() {
         x.set(v, v % 4, 1.0);
     }
     let model = E2gclModel::default();
-    let out = model.pretrain(&g, &x, &tiny_cfg(), &mut SeedRng::new(8));
+    let out = model
+        .pretrain(&g, &x, &tiny_cfg(), &mut SeedRng::new(8))
+        .unwrap();
     assert!(!out.embeddings.has_non_finite());
 }
 
@@ -103,11 +122,13 @@ fn probe_with_unseen_class() {
 /// must not produce NaNs anywhere (exp-capped edge scores, stable losses).
 #[test]
 fn extreme_feature_scale() {
-    let d = NodeDataset::generate(&spec("cora-sim"), 0.04, 10);
+    let d = NodeDataset::generate(&spec("cora-sim").unwrap(), 0.04, 10);
     let mut x = d.features.clone();
     x.scale(1e4);
     let model = E2gclModel::default();
-    let out = model.pretrain(&d.graph, &x, &tiny_cfg(), &mut SeedRng::new(11));
+    let out = model
+        .pretrain(&d.graph, &x, &tiny_cfg(), &mut SeedRng::new(11))
+        .unwrap();
     assert!(!out.embeddings.has_non_finite());
 }
 
@@ -115,12 +136,8 @@ fn extreme_feature_scale() {
 /// well-formed even when corruption removes every edge.
 #[test]
 fn fully_corrupted_view_is_usable() {
-    let d = NodeDataset::generate(&spec("cora-sim"), 0.04, 12);
-    let empty = e2gcl_views::uniform::drop_edges_uniform(
-        &d.graph,
-        1.0,
-        &mut SeedRng::new(13),
-    );
+    let d = NodeDataset::generate(&spec("cora-sim").unwrap(), 0.04, 12);
+    let empty = e2gcl_views::uniform::drop_edges_uniform(&d.graph, 1.0, &mut SeedRng::new(13));
     assert_eq!(empty.num_edges(), 0);
     let adj = norm::normalized_adjacency(&empty);
     let h = adj.spmm(&d.features);
@@ -143,7 +160,11 @@ fn baselines_survive_sparse_graph() {
     for v in 0..25 {
         x.set(v, v % 6, 1.0);
     }
-    let cfg = TrainConfig { epochs: 2, batch_size: 8, ..Default::default() };
+    let cfg = TrainConfig {
+        epochs: 2,
+        batch_size: 8,
+        ..Default::default()
+    };
     let models: Vec<Box<dyn ContrastiveModel>> = vec![
         Box::new(GraceModel::grace()),
         Box::new(BgrlModel::default()),
@@ -153,7 +174,64 @@ fn baselines_survive_sparse_graph() {
         Box::new(WalkModel::deepwalk()),
     ];
     for m in models {
-        let out = m.pretrain(&g, &x, &cfg, &mut SeedRng::new(14));
+        let out = m.pretrain(&g, &x, &cfg, &mut SeedRng::new(14)).unwrap();
         assert!(!out.embeddings.has_non_finite(), "{}", m.name());
     }
+}
+
+/// An empty graph (no nodes at all is unrepresentable in NodeDataset, so
+/// "empty" here is edgeless) goes through the full per-run recovery pipeline
+/// and comes out with clean aggregates, not a panic.
+#[test]
+fn edgeless_dataset_through_run_node_classification() {
+    let g = CsrGraph::from_edges(24, &[]);
+    let mut x = Matrix::zeros(24, 6);
+    for v in 0..24 {
+        x.set(v, v % 6, 1.0);
+    }
+    let labels: Vec<usize> = (0..24).map(|v| v % 3).collect();
+    let d = NodeDataset {
+        name: "edgeless".into(),
+        graph: g,
+        features: x,
+        labels,
+        num_classes: 3,
+    };
+    let cfg = TrainConfig {
+        epochs: 2,
+        batch_size: 8,
+        ..Default::default()
+    };
+    let run =
+        e2gcl::pipeline::run_node_classification(&E2gclModel::default(), &d, &cfg, 2, 0).unwrap();
+    assert_eq!(run.accuracies.len() + run.failed_runs.len(), 2);
+    for a in &run.accuracies {
+        assert!((0.0..=1.0).contains(a));
+    }
+}
+
+/// A dataset whose features are identically zero still completes the full
+/// pipeline: the guard must not mistake degenerate-but-finite embeddings for
+/// a numeric fault.
+#[test]
+fn zero_feature_dataset_through_run_node_classification() {
+    let g = CsrGraph::from_edges(20, &[(0, 1), (1, 2), (2, 3), (4, 5), (10, 11)]);
+    let x = Matrix::zeros(20, 4);
+    let labels: Vec<usize> = (0..20).map(|v| v % 2).collect();
+    let d = NodeDataset {
+        name: "zero-features".into(),
+        graph: g,
+        features: x,
+        labels,
+        num_classes: 2,
+    };
+    let cfg = TrainConfig {
+        epochs: 2,
+        batch_size: 8,
+        ..Default::default()
+    };
+    let run =
+        e2gcl::pipeline::run_node_classification(&E2gclModel::default(), &d, &cfg, 1, 3).unwrap();
+    assert!(run.failed_runs.is_empty(), "{:?}", run.failed_runs);
+    assert_eq!(run.accuracies.len(), 1);
 }

@@ -4,11 +4,15 @@ use e2gcl::eval;
 use e2gcl::prelude::*;
 
 fn dataset() -> NodeDataset {
-    NodeDataset::generate(&spec("cora-sim"), 0.15, 11)
+    NodeDataset::generate(&spec("cora-sim").unwrap(), 0.15, 11)
 }
 
 fn quick_cfg() -> TrainConfig {
-    TrainConfig { epochs: 12, batch_size: 128, ..Default::default() }
+    TrainConfig {
+        epochs: 12,
+        batch_size: 128,
+        ..Default::default()
+    }
 }
 
 #[test]
@@ -17,10 +21,17 @@ fn e2gcl_beats_untrained_encoder() {
     let model = E2gclModel::default();
     let cfg = quick_cfg();
     let mut rng = SeedRng::new(0);
-    let trained = model.pretrain(&d.graph, &d.features, &cfg, &mut rng);
+    let trained = model
+        .pretrain(&d.graph, &d.features, &cfg, &mut rng)
+        .unwrap();
     // Untrained baseline: same architecture, zero epochs.
-    let cfg0 = TrainConfig { epochs: 0, ..cfg.clone() };
-    let untrained = model.pretrain(&d.graph, &d.features, &cfg0, &mut SeedRng::new(0));
+    let cfg0 = TrainConfig {
+        epochs: 0,
+        ..cfg.clone()
+    };
+    let untrained = model
+        .pretrain(&d.graph, &d.features, &cfg0, &mut SeedRng::new(0))
+        .unwrap();
     let acc_trained =
         eval::node_classification(&trained.embeddings, &d.labels, d.num_classes, 3, 7).0;
     let acc_untrained =
@@ -29,7 +40,10 @@ fn e2gcl_beats_untrained_encoder() {
         acc_trained > acc_untrained,
         "training must help: {acc_trained} vs untrained {acc_untrained}"
     );
-    assert!(acc_trained > 0.5, "absolute accuracy too low: {acc_trained}");
+    assert!(
+        acc_trained > 0.5,
+        "absolute accuracy too low: {acc_trained}"
+    );
 }
 
 #[test]
@@ -43,8 +57,12 @@ fn full_pipeline_runs_for_every_contrastive_model() {
         mvgrl::MvgrlModel,
         walks::WalkModel,
     };
-    let d = NodeDataset::generate(&spec("cora-sim"), 0.06, 12);
-    let cfg = TrainConfig { epochs: 3, batch_size: 64, ..Default::default() };
+    let d = NodeDataset::generate(&spec("cora-sim").unwrap(), 0.06, 12);
+    let cfg = TrainConfig {
+        epochs: 3,
+        batch_size: 64,
+        ..Default::default()
+    };
     let models: Vec<Box<dyn ContrastiveModel>> = vec![
         Box::new(E2gclModel::default()),
         Box::new(GraceModel::grace()),
@@ -61,20 +79,21 @@ fn full_pipeline_runs_for_every_contrastive_model() {
     ];
     for model in models {
         let mut rng = SeedRng::new(13);
-        let out = model.pretrain(&d.graph, &d.features, &cfg, &mut rng);
+        let out = model
+            .pretrain(&d.graph, &d.features, &cfg, &mut rng)
+            .unwrap();
         assert_eq!(
             out.embeddings.rows(),
             d.num_nodes(),
             "{} embedding rows",
             model.name()
         );
-        assert!(!out.embeddings.has_non_finite(), "{} produced NaNs", model.name());
-        let acc = eval::node_classification_accuracy(
-            &out.embeddings,
-            &d.labels,
-            d.num_classes,
-            1,
+        assert!(
+            !out.embeddings.has_non_finite(),
+            "{} produced NaNs",
+            model.name()
         );
+        let acc = eval::node_classification_accuracy(&out.embeddings, &d.labels, d.num_classes, 1);
         // Chance level on 7 imbalanced classes is well below 0.35.
         assert!(acc > 0.1, "{} accuracy {acc} is degenerate", model.name());
     }
@@ -91,7 +110,9 @@ fn e2gcl_with_coreset_matches_training_on_all_nodes() {
         ..Default::default()
     });
     let acc = |model: &E2gclModel, seed: u64| -> f32 {
-        let out = model.pretrain(&d.graph, &d.features, &cfg, &mut SeedRng::new(seed));
+        let out = model
+            .pretrain(&d.graph, &d.features, &cfg, &mut SeedRng::new(seed))
+            .unwrap();
         eval::node_classification(&out.embeddings, &d.labels, d.num_classes, 3, seed).0
     };
     let sub = (acc(&subset_model, 1) + acc(&subset_model, 2)) / 2.0;
@@ -104,21 +125,109 @@ fn e2gcl_with_coreset_matches_training_on_all_nodes() {
 
 #[test]
 fn pretrain_is_reproducible_across_runs() {
-    let d = NodeDataset::generate(&spec("citeseer-sim"), 0.08, 14);
+    let d = NodeDataset::generate(&spec("citeseer-sim").unwrap(), 0.08, 14);
     let model = E2gclModel::default();
-    let cfg = TrainConfig { epochs: 4, batch_size: 64, ..Default::default() };
-    let a = model.pretrain(&d.graph, &d.features, &cfg, &mut SeedRng::new(42));
-    let b = model.pretrain(&d.graph, &d.features, &cfg, &mut SeedRng::new(42));
+    let cfg = TrainConfig {
+        epochs: 4,
+        batch_size: 64,
+        ..Default::default()
+    };
+    let a = model
+        .pretrain(&d.graph, &d.features, &cfg, &mut SeedRng::new(42))
+        .unwrap();
+    let b = model
+        .pretrain(&d.graph, &d.features, &cfg, &mut SeedRng::new(42))
+        .unwrap();
     assert_eq!(a.embeddings, b.embeddings);
     assert_eq!(a.loss_curve, b.loss_curve);
 }
 
+/// The tentpole acceptance test: a persistent fault injected into exactly
+/// one of three runs diverges that run (its retry re-hits the epoch-keyed
+/// fault), while the sweep finishes with the other two accuracies intact.
+#[test]
+fn injected_divergence_is_recovered_per_run() {
+    let d = NodeDataset::generate(&spec("cora-sim").unwrap(), 0.06, 16);
+    let model = E2gclModel::default();
+    let base = TrainConfig {
+        epochs: 3,
+        batch_size: 64,
+        ..Default::default()
+    };
+    let faulty = TrainConfig {
+        guard: GuardConfig {
+            policy: GuardPolicy::FailFast,
+            ..Default::default()
+        },
+        fault: Some(FaultPlan::nan_loss(&[1]).only_for_seed(21)),
+        ..base.clone()
+    };
+    let run = e2gcl::pipeline::run_node_classification(&model, &d, &faulty, 3, 20).unwrap();
+    assert_eq!(
+        run.accuracies.len(),
+        2,
+        "failed runs: {:?}",
+        run.failed_runs
+    );
+    assert_eq!(run.failed_runs.len(), 1);
+    assert_eq!(run.failed_runs[0].0, 21);
+    assert!(matches!(
+        run.failed_runs[0].1,
+        TrainError::NonFiniteLoss { epoch: 1 }
+    ));
+
+    // The surviving runs are bit-identical to an entirely un-injected
+    // sweep: guards and scoped fault plans leave healthy runs untouched.
+    let clean_cfg = TrainConfig {
+        guard: faulty.guard,
+        ..base
+    };
+    let clean = e2gcl::pipeline::run_node_classification(&model, &d, &clean_cfg, 3, 20).unwrap();
+    assert!(clean.failed_runs.is_empty());
+    assert_eq!(clean.accuracies.len(), 3);
+    assert_eq!(run.accuracies[0], clean.accuracies[0]);
+    assert_eq!(run.accuracies[1], clean.accuracies[2]);
+}
+
+/// A transient fault (one that only fires on the run's first attempt epoch,
+/// which the bounded backoff re-executes at reduced LR) must be absorbed by
+/// the guard without the run ever reaching `failed_runs`.
+#[test]
+fn backoff_guard_absorbs_transient_gradient_fault() {
+    let d = NodeDataset::generate(&spec("cora-sim").unwrap(), 0.06, 16);
+    let model = E2gclModel::default();
+    let cfg = TrainConfig {
+        epochs: 3,
+        batch_size: 64,
+        guard: GuardConfig {
+            policy: GuardPolicy::SkipEpoch,
+            ..Default::default()
+        },
+        fault: Some(FaultPlan::nan_gradients(&[1])),
+        ..Default::default()
+    };
+    let run = e2gcl::pipeline::run_node_classification(&model, &d, &cfg, 2, 30).unwrap();
+    assert_eq!(
+        run.accuracies.len(),
+        2,
+        "failed runs: {:?}",
+        run.failed_runs
+    );
+    assert!(run.failed_runs.is_empty());
+}
+
 #[test]
 fn timing_fields_are_consistent() {
-    let d = NodeDataset::generate(&spec("cora-sim"), 0.05, 15);
+    let d = NodeDataset::generate(&spec("cora-sim").unwrap(), 0.05, 15);
     let model = E2gclModel::default();
-    let cfg = TrainConfig { epochs: 2, batch_size: 64, ..Default::default() };
-    let out = model.pretrain(&d.graph, &d.features, &cfg, &mut SeedRng::new(0));
+    let cfg = TrainConfig {
+        epochs: 2,
+        batch_size: 64,
+        ..Default::default()
+    };
+    let out = model
+        .pretrain(&d.graph, &d.features, &cfg, &mut SeedRng::new(0))
+        .unwrap();
     assert!(out.selection_time <= out.total_time);
     assert!(out.total_time.as_secs_f64() > 0.0);
 }

@@ -10,7 +10,7 @@ use e2gcl_selector::greedy::{GreedyConfig, GreedySelector};
 use e2gcl_selector::NodeSelector;
 
 fn dataset() -> NodeDataset {
-    NodeDataset::generate(&spec("cora-sim"), 0.2, 21)
+    NodeDataset::generate(&spec("cora-sim").unwrap(), 0.2, 21)
 }
 
 #[test]
@@ -26,10 +26,8 @@ fn greedy_has_best_kmedoid_objective_among_strategies() {
     let mut rng = SeedRng::new(0);
     let ours = greedy.select(&d.graph, &d.features, budget, &mut rng);
     let ours_cost = exact_kmedoid_objective(&repr, &ours.nodes);
-    let baselines: Vec<Box<dyn NodeSelector>> = vec![
-        Box::new(RandomSelector),
-        Box::new(DegreeSelector),
-    ];
+    let baselines: Vec<Box<dyn NodeSelector>> =
+        vec![Box::new(RandomSelector), Box::new(DegreeSelector)];
     for b in baselines {
         let mut rng = SeedRng::new(1);
         let s = b.select(&d.graph, &d.features, budget, &mut rng);
@@ -52,7 +50,12 @@ fn selection_covers_all_classes_at_moderate_budget() {
         sample_size: 200,
         ..Default::default()
     });
-    let s = greedy.select(&d.graph, &d.features, d.num_nodes() / 5, &mut SeedRng::new(2));
+    let s = greedy.select(
+        &d.graph,
+        &d.features,
+        d.num_nodes() / 5,
+        &mut SeedRng::new(2),
+    );
     let mut covered = vec![false; d.num_classes];
     for &v in &s.nodes {
         covered[d.labels[v]] = true;
@@ -65,7 +68,7 @@ fn selection_covers_all_classes_at_moderate_budget() {
 
 #[test]
 fn all_selectors_produce_valid_selections_on_dense_data() {
-    let d = NodeDataset::generate(&spec("photo-sim"), 0.04, 22);
+    let d = NodeDataset::generate(&spec("photo-sim").unwrap(), 0.04, 22);
     let budget = d.num_nodes() / 4;
     let selectors: Vec<Box<dyn NodeSelector>> = vec![
         Box::new(GreedySelector::new(GreedyConfig {
@@ -90,7 +93,7 @@ fn all_selectors_produce_valid_selections_on_dense_data() {
 
 #[test]
 fn larger_budget_never_hurts_objective() {
-    let d = NodeDataset::generate(&spec("citeseer-sim"), 0.1, 23);
+    let d = NodeDataset::generate(&spec("citeseer-sim").unwrap(), 0.1, 23);
     let repr = norm::raw_aggregate(&d.graph, &d.features, 2);
     let greedy = GreedySelector::new(GreedyConfig {
         num_clusters: 20,
@@ -109,10 +112,16 @@ fn larger_budget_never_hurts_objective() {
 fn selection_time_is_small_fraction_of_training() {
     // The Table V shape: ST << TT once training runs a realistic number of
     // epochs (selection is a one-off cost, training is per-epoch).
-    let d = NodeDataset::generate(&spec("cora-sim"), 0.15, 24);
+    let d = NodeDataset::generate(&spec("cora-sim").unwrap(), 0.15, 24);
     let model = E2gclModel::default();
-    let cfg = TrainConfig { epochs: 40, batch_size: 128, ..Default::default() };
-    let out = model.pretrain(&d.graph, &d.features, &cfg, &mut SeedRng::new(5));
+    let cfg = TrainConfig {
+        epochs: 40,
+        batch_size: 128,
+        ..Default::default()
+    };
+    let out = model
+        .pretrain(&d.graph, &d.features, &cfg, &mut SeedRng::new(5))
+        .unwrap();
     let st = out.selection_time.as_secs_f64();
     let tt = out.total_time.as_secs_f64();
     assert!(st < 0.5 * tt, "selection {st}s vs total {tt}s");

@@ -9,23 +9,35 @@ use e2gcl_datasets::split::EdgeSplit;
 
 #[test]
 fn link_prediction_pipeline_beats_chance() {
-    let d = NodeDataset::generate(&spec("photo-sim"), 0.05, 41);
+    let d = NodeDataset::generate(&spec("photo-sim").unwrap(), 0.05, 41);
     let mut rng = SeedRng::new(0);
     let split = EdgeSplit::random(&d.graph, &mut rng);
     // Pre-train on the training graph only (no leakage).
     let model = E2gclModel::default();
-    let cfg = TrainConfig { epochs: 8, batch_size: 128, ..Default::default() };
-    let out = model.pretrain(&split.train_graph, &d.features, &cfg, &mut rng);
+    let cfg = TrainConfig {
+        epochs: 8,
+        batch_size: 128,
+        ..Default::default()
+    };
+    let out = model
+        .pretrain(&split.train_graph, &d.features, &cfg, &mut rng)
+        .unwrap();
     let acc = eval::link_prediction_accuracy(&out.embeddings, &split, 1);
     assert!(acc > 0.6, "link prediction accuracy {acc}");
 }
 
 #[test]
 fn graph_classification_pipeline_beats_chance() {
-    let data = GraphDataset::generate(&graph_spec("nci1-sim"), 0.3, 42);
+    let data = GraphDataset::generate(&graph_spec("nci1-sim").unwrap(), 0.3, 42);
     let model = E2gclModel::default();
-    let cfg = TrainConfig { epochs: 8, batch_size: 256, ..Default::default() };
-    let (mean, std) = pipeline::run_graph_classification(&model, &data, &cfg, 2, 0);
+    let cfg = TrainConfig {
+        epochs: 8,
+        batch_size: 256,
+        ..Default::default()
+    };
+    let run = pipeline::run_graph_classification(&model, &data, &cfg, 2, 0).unwrap();
+    let (mean, std) = (run.mean, run.std);
+    assert!(run.failed_runs.is_empty());
     assert!(mean > 0.55, "graph classification {mean} ± {std}");
 }
 
@@ -33,16 +45,13 @@ fn graph_classification_pipeline_beats_chance() {
 fn supervised_references_order_sensibly() {
     // On a homophilous graph, structure-aware GCN should beat the
     // structure-blind MLP (the Table IV pattern).
-    let d = NodeDataset::generate(&spec("cora-sim"), 0.15, 43);
-    let cfg = TrainConfig { epochs: 60, ..Default::default() };
-    let gcn = eval::supervised_gcn_accuracy(
-        &d.graph,
-        &d.features,
-        &d.labels,
-        d.num_classes,
-        &cfg,
-        0,
-    );
+    let d = NodeDataset::generate(&spec("cora-sim").unwrap(), 0.15, 43);
+    let cfg = TrainConfig {
+        epochs: 60,
+        ..Default::default()
+    };
+    let gcn =
+        eval::supervised_gcn_accuracy(&d.graph, &d.features, &d.labels, d.num_classes, &cfg, 0);
     let mlp = eval::supervised_mlp_accuracy(&d.features, &d.labels, d.num_classes, &cfg, 0);
     assert!(gcn > mlp, "GCN {gcn} should beat MLP {mlp}");
 }
@@ -51,7 +60,7 @@ fn supervised_references_order_sensibly() {
 fn readout_graph_embeddings_separate_classes() {
     // Raw-aggregate SUM readout should already separate the two synthetic
     // graph classes (density differs by construction).
-    let data = GraphDataset::generate(&graph_spec("proteins-sim"), 0.3, 44);
+    let data = GraphDataset::generate(&graph_spec("proteins-sim").unwrap(), 0.3, 44);
     let (union, x, offsets) = pipeline::disjoint_union(&data.graphs, &data.features);
     let h = e2gcl_graph::norm::raw_aggregate(&union, &x, 2);
     let mut z = Matrix::zeros(data.len(), h.cols());
@@ -65,7 +74,7 @@ fn readout_graph_embeddings_separate_classes() {
 
 #[test]
 fn edge_split_pretraining_never_sees_test_edges() {
-    let d = NodeDataset::generate(&spec("cs-sim"), 0.02, 45);
+    let d = NodeDataset::generate(&spec("cs-sim").unwrap(), 0.02, 45);
     let mut rng = SeedRng::new(1);
     let split = EdgeSplit::random(&d.graph, &mut rng);
     for &(u, v) in split.test_pos.iter().chain(&split.val_pos) {

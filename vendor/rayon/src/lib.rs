@@ -1,0 +1,213 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Exposes the slice/`IntoIterator` entry points the workspace uses
+//! (`par_iter`, `par_iter_mut`, `par_chunks`, `par_chunks_mut`,
+//! `into_par_iter`) plus the adapter methods chained on them, executing
+//! everything **sequentially** on the calling thread. Results are therefore
+//! identical to the parallel versions for the deterministic, order-oblivious
+//! reductions the workspace performs — just without the speedup, which an
+//! offline build cannot get from crates.io rayon anyway.
+//!
+//! [`ParIter`] deliberately does *not* implement [`Iterator`]: every adapter
+//! is an inherent method returning another [`ParIter`], which keeps
+//! rayon-flavoured signatures (e.g. the two-argument `reduce(identity, op)`)
+//! from colliding with the std trait.
+
+#![forbid(unsafe_code)]
+
+/// Sequential stand-in for a rayon parallel iterator.
+pub struct ParIter<I>(I);
+
+impl<I: Iterator> ParIter<I> {
+    /// Maps each item.
+    pub fn map<O, F: FnMut(I::Item) -> O>(self, f: F) -> ParIter<std::iter::Map<I, F>> {
+        ParIter(self.0.map(f))
+    }
+
+    /// Keeps items matching the predicate.
+    pub fn filter<P: FnMut(&I::Item) -> bool>(self, p: P) -> ParIter<std::iter::Filter<I, P>> {
+        ParIter(self.0.filter(p))
+    }
+
+    /// Filter-and-map in one pass.
+    pub fn filter_map<O, F: FnMut(I::Item) -> Option<O>>(
+        self,
+        f: F,
+    ) -> ParIter<std::iter::FilterMap<I, F>> {
+        ParIter(self.0.filter_map(f))
+    }
+
+    /// Maps each item to an iterator and flattens.
+    pub fn flat_map<O: IntoIterator, F: FnMut(I::Item) -> O>(
+        self,
+        f: F,
+    ) -> ParIter<std::iter::FlatMap<I, O, F>> {
+        ParIter(self.0.flat_map(f))
+    }
+
+    /// Pairs items with their index.
+    pub fn enumerate(self) -> ParIter<std::iter::Enumerate<I>> {
+        ParIter(self.0.enumerate())
+    }
+
+    /// Zips two parallel iterators.
+    pub fn zip<J: Iterator>(self, other: ParIter<J>) -> ParIter<std::iter::Zip<I, J>> {
+        ParIter(self.0.zip(other.0))
+    }
+
+    /// Runs `f` on every item.
+    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+        self.0.for_each(f)
+    }
+
+    /// Collects into any `FromIterator` container.
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.0.collect()
+    }
+
+    /// Rayon-style reduce: folds from `identity()` with `op`.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+    where
+        ID: Fn() -> I::Item,
+        OP: Fn(I::Item, I::Item) -> I::Item,
+    {
+        self.0.fold(identity(), op)
+    }
+
+    /// Sums the items.
+    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+        self.0.sum()
+    }
+
+    /// Counts the items.
+    pub fn count(self) -> usize {
+        self.0.count()
+    }
+
+    /// Minimum under a comparator.
+    pub fn min_by<F: FnMut(&I::Item, &I::Item) -> std::cmp::Ordering>(
+        self,
+        f: F,
+    ) -> Option<I::Item> {
+        self.0.min_by(f)
+    }
+
+    /// Maximum under a comparator.
+    pub fn max_by<F: FnMut(&I::Item, &I::Item) -> std::cmp::Ordering>(
+        self,
+        f: F,
+    ) -> Option<I::Item> {
+        self.0.max_by(f)
+    }
+}
+
+impl<'a, T: Copy + 'a, I: Iterator<Item = &'a T>> ParIter<I> {
+    /// Copies out of referenced items.
+    pub fn copied(self) -> ParIter<std::iter::Copied<I>> {
+        ParIter(self.0.copied())
+    }
+}
+
+/// `into_par_iter` for anything iterable (ranges, vectors, ...).
+pub trait IntoParallelIterator {
+    /// Item type produced.
+    type Item;
+    /// Underlying sequential iterator.
+    type SeqIter: Iterator<Item = Self::Item>;
+    /// Converts into a (sequential) "parallel" iterator.
+    fn into_par_iter(self) -> ParIter<Self::SeqIter>;
+}
+
+impl<I: IntoIterator> IntoParallelIterator for I {
+    type Item = I::Item;
+    type SeqIter = I::IntoIter;
+    fn into_par_iter(self) -> ParIter<Self::SeqIter> {
+        ParIter(self.into_iter())
+    }
+}
+
+/// Shared-slice entry points (`par_iter`, `par_chunks`).
+pub trait ParallelSlice<T> {
+    /// Iterates items by reference.
+    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>>;
+    /// Iterates non-overlapping chunks of length `n`.
+    fn par_chunks(&self, n: usize) -> ParIter<std::slice::Chunks<'_, T>>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>> {
+        ParIter(self.iter())
+    }
+    fn par_chunks(&self, n: usize) -> ParIter<std::slice::Chunks<'_, T>> {
+        ParIter(self.chunks(n))
+    }
+}
+
+/// Mutable-slice entry points (`par_iter_mut`, `par_chunks_mut`).
+pub trait ParallelSliceMut<T> {
+    /// Iterates items by mutable reference.
+    fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>>;
+    /// Iterates non-overlapping mutable chunks of length `n`.
+    fn par_chunks_mut(&mut self, n: usize) -> ParIter<std::slice::ChunksMut<'_, T>>;
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>> {
+        ParIter(self.iter_mut())
+    }
+    fn par_chunks_mut(&mut self, n: usize) -> ParIter<std::slice::ChunksMut<'_, T>> {
+        ParIter(self.chunks_mut(n))
+    }
+}
+
+/// The trait names rayon users import; everything lives on the entry traits.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_matches_sequential() {
+        let v: Vec<usize> = (0..10usize).into_par_iter().map(|x| x * x).collect();
+        assert_eq!(v, (0..10).map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zip_enumerate_for_each() {
+        let mut out = vec![0usize; 4];
+        let addend = [10usize, 20, 30, 40];
+        out.par_iter_mut()
+            .zip(addend.par_iter())
+            .enumerate()
+            .for_each(|(i, (o, &a))| {
+                *o = a + i;
+            });
+        assert_eq!(out, vec![10, 21, 32, 43]);
+    }
+
+    #[test]
+    fn rayon_style_reduce() {
+        let best = (0..100usize)
+            .into_par_iter()
+            .map(|v| (v, (50 - v as i64).abs()))
+            .reduce(
+                || (usize::MAX, i64::MAX),
+                |a, b| if b.1 < a.1 { b } else { a },
+            );
+        assert_eq!(best.0, 50);
+    }
+
+    #[test]
+    fn chunks_mut_partitions() {
+        let mut data = vec![0u32; 9];
+        data.par_chunks_mut(3).enumerate().for_each(|(i, chunk)| {
+            for c in chunk {
+                *c = i as u32;
+            }
+        });
+        assert_eq!(data, vec![0, 0, 0, 1, 1, 1, 2, 2, 2]);
+    }
+}

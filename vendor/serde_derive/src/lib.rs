@@ -1,0 +1,429 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Emits `impl serde::Serialize` / `impl serde::Deserialize` for the
+//! value-tree model of the vendored `serde` crate. The input item is parsed
+//! directly from the `proc_macro` token stream (no `syn`/`quote`, since the
+//! build has no registry access), which limits support to what the
+//! workspace actually derives on:
+//!
+//! * non-generic structs with named fields,
+//! * non-generic enums with unit, newtype, and struct variants,
+//! * the field attributes `#[serde(default)]` and
+//!   `#[serde(skip_serializing_if = "path")]`.
+//!
+//! Anything outside that set fails the build with an explicit message
+//! rather than generating wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One named field and the serde attributes we honour on it.
+struct Field {
+    name: String,
+    default: bool,
+    skip_if: Option<String>,
+}
+
+enum VariantShape {
+    Unit,
+    /// Exactly one unnamed field, e.g. `Failed(String)`.
+    Newtype,
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum Shape {
+    Struct(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_input(input);
+    let body = match &shape {
+        Shape::Struct(fields) => serialize_struct(&name, fields),
+        Shape::Enum(variants) => serialize_enum(&name, variants),
+    };
+    body.parse()
+        .expect("serde_derive: generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_input(input);
+    let body = match &shape {
+        Shape::Struct(fields) => deserialize_struct(&name, fields),
+        Shape::Enum(variants) => deserialize_enum(&name, variants),
+    };
+    body.parse()
+        .expect("serde_derive: generated invalid Deserialize impl")
+}
+
+// --- input parsing ------------------------------------------------------
+
+fn parse_input(input: TokenStream) -> (String, Shape) {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Outer attributes (doc comments etc.) and visibility.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, got {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive stand-in: generic type `{name}` is not supported");
+        }
+    }
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!(
+            "serde_derive stand-in: `{name}` must have a brace body (named fields), got {other:?}"
+        ),
+    };
+    let shape = match kind.as_str() {
+        "struct" => Shape::Struct(parse_fields(body)),
+        "enum" => Shape::Enum(parse_variants(body)),
+        other => panic!("serde_derive: cannot derive for `{other}`"),
+    };
+    (name, shape)
+}
+
+/// Consumes leading `#[...]` attributes at `*i`, returning the serde flags.
+fn parse_attrs(tokens: &[TokenTree], i: &mut usize) -> (bool, Option<String>) {
+    let mut default = false;
+    let mut skip_if = None;
+    while let Some(TokenTree::Punct(p)) = tokens.get(*i) {
+        if p.as_char() != '#' {
+            break;
+        }
+        let group = match tokens.get(*i + 1) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+            other => panic!("serde_derive: malformed attribute, got {other:?}"),
+        };
+        *i += 2;
+        let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+        let is_serde =
+            matches!(inner.first(), Some(TokenTree::Ident(id)) if id.to_string() == "serde");
+        if !is_serde {
+            continue;
+        }
+        let args = match inner.get(1) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+            other => panic!("serde_derive: malformed #[serde(...)], got {other:?}"),
+        };
+        let args: Vec<TokenTree> = args.into_iter().collect();
+        let mut j = 0;
+        while j < args.len() {
+            match &args[j] {
+                TokenTree::Ident(id) if id.to_string() == "default" => {
+                    default = true;
+                    j += 1;
+                }
+                TokenTree::Ident(id) if id.to_string() == "skip_serializing_if" => {
+                    let lit = match (args.get(j + 1), args.get(j + 2)) {
+                        (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(l)))
+                            if eq.as_char() == '=' =>
+                        {
+                            l.to_string()
+                        }
+                        other => panic!(
+                            "serde_derive: skip_serializing_if needs a string path, got {other:?}"
+                        ),
+                    };
+                    skip_if = Some(lit.trim_matches('"').to_string());
+                    j += 3;
+                }
+                TokenTree::Punct(p) if p.as_char() == ',' => j += 1,
+                other => {
+                    panic!("serde_derive stand-in: unsupported serde attribute item {other:?}")
+                }
+            }
+        }
+    }
+    (default, skip_if)
+}
+
+fn parse_fields(body: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < tokens.len() {
+        let (default, skip_if) = parse_attrs(&tokens, &mut i);
+        if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+            if id.to_string() == "pub" {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected field name, got {other:?}"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive: expected `:` after `{name}`, got {other:?}"),
+        }
+        // Skip the type: everything up to a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while let Some(tok) = tokens.get(i) {
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        fields.push(Field {
+            name,
+            default,
+            skip_if,
+        });
+    }
+    fields
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < tokens.len() {
+        let _ = parse_attrs(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected variant name, got {other:?}"),
+        };
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantShape::Struct(parse_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                // A single unnamed field is a newtype variant; anything with
+                // a top-level comma has several fields, which we don't
+                // generate code for.
+                let mut depth = 0i32;
+                for tok in g.stream() {
+                    if let TokenTree::Punct(p) = &tok {
+                        match p.as_char() {
+                            '<' => depth += 1,
+                            '>' => depth -= 1,
+                            ',' if depth == 0 => panic!(
+                                "serde_derive stand-in: multi-field tuple variant \
+                                 `{name}` is not supported"
+                            ),
+                            _ => {}
+                        }
+                    }
+                }
+                if g.stream().is_empty() {
+                    panic!("serde_derive stand-in: empty tuple variant `{name}` is not supported")
+                }
+                i += 1;
+                VariantShape::Newtype
+            }
+            _ => VariantShape::Unit,
+        };
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+// --- code generation ----------------------------------------------------
+
+fn push_field_expr(out: &mut String, field: &Field, accessor: &str) {
+    let Field { name, skip_if, .. } = field;
+    let push = format!(
+        "__fields.push((::std::string::String::from(\"{name}\"), \
+         ::serde::Serialize::to_value({accessor})));"
+    );
+    match skip_if {
+        Some(path) => {
+            out.push_str(&format!("if !({path})({accessor}) {{ {push} }}\n"));
+        }
+        None => {
+            out.push_str(&push);
+            out.push('\n');
+        }
+    }
+}
+
+fn object_literal(fields: &[Field], accessor: impl Fn(&Field) -> String) -> String {
+    let mut out = String::from(
+        "{ let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+         ::std::vec::Vec::new();\n",
+    );
+    for f in fields {
+        push_field_expr(&mut out, f, &accessor(f));
+    }
+    out.push_str("::serde::Value::Object(__fields) }");
+    out
+}
+
+fn serialize_struct(name: &str, fields: &[Field]) -> String {
+    let body = object_literal(fields, |f| format!("&self.{}", f.name));
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn serialize_enum(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        let vname = &v.name;
+        match &v.shape {
+            VariantShape::Unit => arms.push_str(&format!(
+                "{name}::{vname} => \
+                 ::serde::Value::Str(::std::string::String::from(\"{vname}\")),\n"
+            )),
+            VariantShape::Newtype => arms.push_str(&format!(
+                "{name}::{vname}(__f0) => ::serde::Value::Object(vec![(\
+                 ::std::string::String::from(\"{vname}\"), \
+                 ::serde::Serialize::to_value(__f0))]),\n"
+            )),
+            VariantShape::Struct(fields) => {
+                let binders: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                let inner = object_literal(fields, |f| f.name.clone());
+                arms.push_str(&format!(
+                    "{name}::{vname} {{ {binds} }} => ::serde::Value::Object(vec![(\
+                     ::std::string::String::from(\"{vname}\"), {inner})]),\n",
+                    binds = binders.join(", "),
+                ));
+            }
+        }
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{ match self {{ {arms} }} }}\n\
+         }}"
+    )
+}
+
+/// `name: <expr>,` initialiser for one field read out of `__obj`.
+fn field_initializer(type_name: &str, field: &Field) -> String {
+    let fname = &field.name;
+    let missing = if field.default {
+        "::std::default::Default::default()".to_string()
+    } else {
+        // Absent Option fields become None (Null deserializes to None);
+        // everything else surfaces a missing-field error.
+        format!(
+            "::serde::Deserialize::from_value(&::serde::Value::Null).map_err(|_| \
+             ::serde::Error::custom(\"{type_name}: missing field `{fname}`\"))?"
+        )
+    };
+    format!(
+        "{fname}: match ::serde::object_get(__obj, \"{fname}\") {{\n\
+         ::std::option::Option::Some(__x) => ::serde::Deserialize::from_value(__x)?,\n\
+         ::std::option::Option::None => {missing},\n\
+         }},\n"
+    )
+}
+
+fn deserialize_struct(name: &str, fields: &[Field]) -> String {
+    let inits: String = fields.iter().map(|f| field_initializer(name, f)).collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         let __obj = __v.as_object().ok_or_else(|| \
+         ::serde::Error::custom(\"{name}: expected object\"))?;\n\
+         ::std::result::Result::Ok({name} {{ {inits} }})\n\
+         }}\n\
+         }}"
+    )
+}
+
+fn deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = String::new();
+    let mut tagged_arms = String::new();
+    for v in variants {
+        let vname = &v.name;
+        match &v.shape {
+            VariantShape::Unit => unit_arms.push_str(&format!(
+                "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),\n"
+            )),
+            VariantShape::Newtype => tagged_arms.push_str(&format!(
+                "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(\
+                 ::serde::Deserialize::from_value(__inner)?)),\n"
+            )),
+            VariantShape::Struct(fields) => {
+                let inits: String = fields.iter().map(|f| field_initializer(name, f)).collect();
+                tagged_arms.push_str(&format!(
+                    "\"{vname}\" => {{\n\
+                     let __obj = __inner.as_object().ok_or_else(|| \
+                     ::serde::Error::custom(\"{name}::{vname}: expected object\"))?;\n\
+                     ::std::result::Result::Ok({name}::{vname} {{ {inits} }})\n\
+                     }}\n"
+                ));
+            }
+        }
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         if let ::std::option::Option::Some(__s) = __v.as_str() {{\n\
+         return match __s {{\n\
+         {unit_arms}\
+         __other => ::std::result::Result::Err(::serde::Error::custom(format!(\
+         \"{name}: unknown variant `{{}}`\", __other))),\n\
+         }};\n\
+         }}\n\
+         if let ::std::option::Option::Some(__entries) = __v.as_object() {{\n\
+         if __entries.len() == 1 {{\n\
+         let (__tag, __inner) = (&__entries[0].0, &__entries[0].1);\n\
+         return match __tag.as_str() {{\n\
+         {tagged_arms}\
+         __other => ::std::result::Result::Err(::serde::Error::custom(format!(\
+         \"{name}: unknown variant `{{}}`\", __other))),\n\
+         }};\n\
+         }}\n\
+         }}\n\
+         ::std::result::Result::Err(::serde::Error::custom(\
+         \"{name}: expected variant string or single-key object\"))\n\
+         }}\n\
+         }}"
+    )
+}
