@@ -8,6 +8,12 @@
 #   4. grep lint                  — no .unwrap()/panic! in non-test library
 #                                   code of the crates that run training
 #                                   (use .expect("reason") or a TrainError)
+#   5. grep lint                  — NumericGuard is constructed only by the
+#                                   training engine (engine.rs); models must
+#                                   go through EpochDriver
+#   6. release smoke run          — the quickstart example drives the full
+#                                   selector -> views -> EpochDriver stack
+#                                   in release mode
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -37,5 +43,26 @@ if [ "$fail" -ne 0 ]; then
     echo "error: found .unwrap()/panic! in non-test code (use .expect or TrainError)" >&2
     exit 1
 fi
+
+echo "==> lint: NumericGuard::new only in the training engine"
+# Every model must train through EpochDriver; constructing a guard anywhere
+# else bypasses the engine's backoff/recovery sequencing. Same technique as
+# above: scan only production code (before the first #[cfg(test)]).
+fail=0
+for f in $(find crates -name '*.rs' ! -path '*/engine.rs' | sort); do
+    hits=$(awk '/#\[cfg\(test\)\]/{exit} {sub(/^[ \t]+/, ""); if ($0 !~ /^\/\//) print FILENAME":"FNR": "$0}' "$f" \
+        | grep -F 'NumericGuard::new' || true)
+    if [ -n "$hits" ]; then
+        echo "$hits"
+        fail=1
+    fi
+done
+if [ "$fail" -ne 0 ]; then
+    echo "error: NumericGuard::new outside engine.rs — route training through EpochDriver" >&2
+    exit 1
+fi
+
+echo "==> release smoke run: quickstart (EpochDriver end to end)"
+cargo run --release --offline -q -p e2gcl --example quickstart
 
 echo "CI passed."

@@ -30,6 +30,9 @@
 //! ## Crate map
 //!
 //! * [`config`] — shared training hyperparameters;
+//! * [`engine`] — the [`engine::EpochDriver`] epoch loop every model trains
+//!   through (numeric guard, fault injection, backoff, checkpoints, scratch
+//!   reuse); models implement [`engine::EpochStep`];
 //! * [`models`] — [`models::ContrastiveModel`] implementations: E²GCL and
 //!   the GRACE / GCA / MVGRL / BGRL / AFGRL / DGI / GAE / VGAE / ADGCL /
 //!   DeepWalk / Node2Vec baselines;
@@ -42,6 +45,7 @@
 //!   [`e2gcl_nn`], [`e2gcl_selector`], [`e2gcl_views`], [`e2gcl_datasets`].
 
 pub mod config;
+pub mod engine;
 pub mod eval;
 pub mod guard;
 pub mod metrics;
@@ -50,6 +54,7 @@ pub mod pipeline;
 
 pub use config::TrainConfig;
 pub use e2gcl_linalg::TrainError;
+pub use engine::{EngineRun, EpochCtx, EpochDriver, EpochOutcome, EpochStep};
 pub use guard::{FaultPlan, GuardAction, GuardConfig, GuardPolicy, NumericGuard};
 pub use models::{ContrastiveModel, PretrainResult};
 

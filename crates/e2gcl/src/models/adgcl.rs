@@ -12,11 +12,12 @@
 //! Gumbel reparameterisation — same objective, derivative-free estimator.
 
 use crate::config::TrainConfig;
-use crate::guard::{GuardAction, NumericGuard};
+use crate::engine::{EpochCtx, EpochDriver, EpochOutcome, EpochStep};
 use crate::models::{shuffled_batches, ContrastiveModel, PretrainResult};
-use e2gcl_graph::{norm, CsrGraph};
+use e2gcl_graph::{norm, CsrGraph, SparseMatrix};
 use e2gcl_linalg::{activations, Matrix, SeedRng, TrainError};
-use e2gcl_nn::{loss, optim, optim::Optimizer, Adam, GcnEncoder, Mlp};
+use e2gcl_nn::loss::InfoNceScratch;
+use e2gcl_nn::{loss, optim::Optimizer, Adam, GcnEncoder, GcnWorkspace, Mlp, MlpWorkspace};
 use e2gcl_views::uniform;
 use std::time::Instant;
 
@@ -84,120 +85,199 @@ impl ContrastiveModel for AdgclModel {
         let start = Instant::now();
         let edges: Vec<(usize, usize)> = g.edges().collect();
         // Augmenter state: per-edge drop logits, initialised to drop ~20%.
-        let mut logits = vec![-1.4f32; edges.len()];
-        let mut baseline = 0.0f32;
+        let logits = vec![-1.4f32; edges.len()];
         let adj_orig = norm::normalized_adjacency(g);
-        let mut encoder = GcnEncoder::new(&cfg.encoder_dims(x.cols()), &mut rng.fork("init"));
-        let mut head = Mlp::new(cfg.embed_dim, 32, 32, &mut rng.fork("head"));
-        let mut opt = Adam::with_weight_decay(cfg.lr, cfg.weight_decay);
-        let mut train_rng = rng.fork("train");
-        let mut loss_curve = Vec::with_capacity(cfg.epochs);
-        let mut checkpoints = Vec::new();
-        let mut guard = NumericGuard::new(&cfg.guard);
-        let fault = cfg.fault.clone().unwrap_or_default();
-        let n = g.num_nodes();
-        let mut epoch = 0;
-        while epoch < cfg.epochs {
-            let lr = cfg.lr * guard.lr_scale;
-            // Sample the augmented view from the current drop distribution.
-            let probs: Vec<f32> = logits.iter().map(|&s| activations::sigmoid(s)).collect();
-            let dropped: Vec<bool> = probs.iter().map(|&p| train_rng.bernoulli(p)).collect();
-            let kept: Vec<(usize, usize)> = edges
-                .iter()
-                .zip(&dropped)
-                .filter(|&(_, &d)| !d)
-                .map(|(&e, _)| e)
-                .collect();
-            let mut g2 = CsrGraph::from_edges(n, &kept);
-            let mut x2 = x.clone();
-            if let Some(p) = self.config.extra_feature_perturb {
-                x2 = uniform::perturb_features_uniform(&x2, p, &mut train_rng);
-            }
-            if let Some(frac) = self.config.extra_edge_add {
-                let count = ((g.num_edges() as f32) * frac).round() as usize;
-                g2 = uniform::add_edges_uniform(&g2, count, &mut train_rng);
-            }
-            fault.corrupt_features(epoch, &mut x2);
-            let a2 = norm::normalized_adjacency(&g2);
-            let (h1, c1) = encoder.forward(&adj_orig, x);
-            let (h2, c2) = encoder.forward(&a2, &x2);
-            let mut d_h1 = Matrix::zeros(n, cfg.embed_dim);
-            let mut d_h2 = Matrix::zeros(n, cfg.embed_dim);
-            let batches = shuffled_batches(n, cfg.batch_size, &mut train_rng);
-            let num_batches = batches.len() as f32;
-            let mut epoch_loss = 0.0;
-            for batch in batches {
-                if batch.len() < 2 {
-                    continue;
-                }
-                let (z1, hc1) = head.forward(&h1.select_rows(&batch));
-                let (z2, hc2) = head.forward(&h2.select_rows(&batch));
-                let out = loss::info_nce(&z1, &z2, self.config.tau);
-                epoch_loss += out.loss / num_batches;
-                let hg1 = head.backward(&hc1, &out.d_z1);
-                let hg2 = head.backward(&hc2, &out.d_z2);
-                for (i, &v) in batch.iter().enumerate() {
-                    for (dst, &src) in d_h1.row_mut(v).iter_mut().zip(hg1.dx.row(i)) {
-                        *dst += src / num_batches;
-                    }
-                    for (dst, &src) in d_h2.row_mut(v).iter_mut().zip(hg2.dx.row(i)) {
-                        *dst += src / num_batches;
-                    }
-                }
-                head.step(&hg1, lr / num_batches, 0.0);
-                head.step(&hg2, lr / num_batches, 0.0);
-            }
-            // Encoder descent, gated by the guard.
-            let mut acc = None;
-            GcnEncoder::accumulate(&mut acc, encoder.backward(&adj_orig, &c1, &d_h1), 1.0);
-            GcnEncoder::accumulate(&mut acc, encoder.backward(&a2, &c2, &d_h2), 1.0);
-            let Some(mut grads) = acc else {
-                epoch += 1;
-                continue;
-            };
-            let epoch_loss = fault.corrupt_loss(epoch, epoch_loss);
-            fault.corrupt_gradients(epoch, &mut grads);
-            let grads_bad = optim::grads_non_finite(&grads);
-            let emb_bad = guard.embeddings_bad(&[&h1, &h2]);
-            match guard.inspect(epoch, epoch_loss, grads_bad, emb_bad)? {
-                GuardAction::Proceed => {
-                    if let Some(max) = cfg.guard.max_grad_norm {
-                        optim::clip_grad_norm(&mut grads, max);
-                    }
-                    opt.lr = lr;
-                    opt.step(encoder.params_mut(), &grads);
-                    loss_curve.push(epoch_loss);
-                    // Augmenter REINFORCE ascent on (loss − λ·E[drop]).
-                    let advantage = epoch_loss - baseline;
-                    baseline = 0.9 * baseline + 0.1 * epoch_loss;
-                    for ((s, &p), &was_dropped) in logits.iter_mut().zip(&probs).zip(&dropped) {
-                        let dlogp = if was_dropped { 1.0 - p } else { -p };
-                        *s += self.config.aug_lr
-                            * (advantage * dlogp - self.config.lambda * p * (1.0 - p));
-                        *s = s.clamp(-4.0, 4.0);
-                    }
-                    if let Some(every) = cfg.checkpoint_every {
-                        if (epoch + 1) % every == 0 || epoch + 1 == cfg.epochs {
-                            checkpoints
-                                .push((start.elapsed().as_secs_f64(), encoder.embed(&adj_orig, x)));
-                        }
-                    }
-                    epoch += 1;
-                }
-                GuardAction::SkipEpoch => {
-                    loss_curve.push(epoch_loss);
-                    epoch += 1;
-                }
-                GuardAction::RetryEpoch { .. } => {}
-            }
-        }
+        let encoder = GcnEncoder::new(&cfg.encoder_dims(x.cols()), &mut rng.fork("init"));
+        let head = Mlp::new(cfg.embed_dim, 32, 32, &mut rng.fork("head"));
+        let opt = Adam::with_weight_decay(cfg.lr, cfg.weight_decay);
+        let train_rng = rng.fork("train");
+        let mut step = AdgclStep {
+            config: &self.config,
+            g,
+            x,
+            cfg,
+            edges,
+            logits,
+            baseline: 0.0,
+            probs: Vec::new(),
+            dropped: Vec::new(),
+            adj_orig,
+            encoder,
+            head,
+            opt,
+            train_rng,
+            ws1: GcnWorkspace::new(),
+            ws2: GcnWorkspace::new(),
+            head_ws1: MlpWorkspace::new(),
+            head_ws2: MlpWorkspace::new(),
+            nce: InfoNceScratch::default(),
+            d_h1: Matrix::default(),
+            d_h2: Matrix::default(),
+            hb1: Matrix::default(),
+            hb2: Matrix::default(),
+        };
+        let run = EpochDriver::new(cfg).run(&mut step, start)?;
         Ok(PretrainResult {
-            embeddings: encoder.embed(&adj_orig, x),
+            embeddings: run.embeddings,
             selection_time: std::time::Duration::ZERO,
             total_time: start.elapsed(),
-            checkpoints,
-            loss_curve,
+            checkpoints: run.checkpoints,
+            loss_curve: run.loss_curve,
         })
+    }
+}
+
+/// One ADGCL epoch: sample the adversarial edge-drop view, contrast it
+/// against the original with InfoNCE, and (in `apply`) take the augmenter's
+/// REINFORCE ascent step alongside the encoder descent.
+struct AdgclStep<'a> {
+    config: &'a AdgclConfig,
+    g: &'a CsrGraph,
+    x: &'a Matrix,
+    cfg: &'a TrainConfig,
+    edges: Vec<(usize, usize)>,
+    logits: Vec<f32>,
+    baseline: f32,
+    /// This epoch's drop probabilities / Bernoulli draws, kept for the
+    /// REINFORCE update in `apply`.
+    probs: Vec<f32>,
+    dropped: Vec<bool>,
+    adj_orig: SparseMatrix,
+    encoder: GcnEncoder,
+    head: Mlp,
+    opt: Adam,
+    train_rng: SeedRng,
+    ws1: GcnWorkspace,
+    ws2: GcnWorkspace,
+    head_ws1: MlpWorkspace,
+    head_ws2: MlpWorkspace,
+    nce: InfoNceScratch,
+    d_h1: Matrix,
+    d_h2: Matrix,
+    hb1: Matrix,
+    hb2: Matrix,
+}
+
+impl EpochStep for AdgclStep<'_> {
+    fn epoch(&mut self, cx: &mut EpochCtx<'_>) -> EpochOutcome {
+        let n = self.g.num_nodes();
+        let cfg = self.cfg;
+        // Sample the augmented view from the current drop distribution.
+        self.probs = self
+            .logits
+            .iter()
+            .map(|&s| activations::sigmoid(s))
+            .collect();
+        self.dropped = self
+            .probs
+            .iter()
+            .map(|&p| self.train_rng.bernoulli(p))
+            .collect();
+        let kept: Vec<(usize, usize)> = self
+            .edges
+            .iter()
+            .zip(&self.dropped)
+            .filter(|&(_, &d)| !d)
+            .map(|(&e, _)| e)
+            .collect();
+        let mut g2 = CsrGraph::from_edges(n, &kept);
+        let mut x2 = self.x.clone();
+        if let Some(p) = self.config.extra_feature_perturb {
+            x2 = uniform::perturb_features_uniform(&x2, p, &mut self.train_rng);
+        }
+        if let Some(frac) = self.config.extra_edge_add {
+            let count = ((self.g.num_edges() as f32) * frac).round() as usize;
+            g2 = uniform::add_edges_uniform(&g2, count, &mut self.train_rng);
+        }
+        cx.fault.corrupt_features(cx.epoch, &mut x2);
+        let a2 = norm::normalized_adjacency(&g2);
+        self.encoder
+            .forward_with(&self.adj_orig, self.x, &mut self.ws1);
+        self.encoder.forward_with(&a2, &x2, &mut self.ws2);
+        self.d_h1.reset_zeroed(n, cfg.embed_dim);
+        self.d_h2.reset_zeroed(n, cfg.embed_dim);
+        let batches = shuffled_batches(n, cfg.batch_size, &mut self.train_rng);
+        let num_batches = batches.len() as f32;
+        let mut epoch_loss = 0.0;
+        for batch in batches {
+            if batch.len() < 2 {
+                continue;
+            }
+            self.ws1.output().select_rows_into(&batch, &mut self.hb1);
+            self.ws2.output().select_rows_into(&batch, &mut self.hb2);
+            self.head.forward_with(&self.hb1, &mut self.head_ws1);
+            self.head.forward_with(&self.hb2, &mut self.head_ws2);
+            let batch_loss = loss::info_nce_with(
+                self.head_ws1.output(),
+                self.head_ws2.output(),
+                self.config.tau,
+                &mut self.nce,
+            );
+            epoch_loss += batch_loss / num_batches;
+            self.head
+                .backward_with(&self.hb1, self.nce.d_z1(), &mut self.head_ws1);
+            self.head
+                .backward_with(&self.hb2, self.nce.d_z2(), &mut self.head_ws2);
+            for (i, &v) in batch.iter().enumerate() {
+                for (dst, &src) in self
+                    .d_h1
+                    .row_mut(v)
+                    .iter_mut()
+                    .zip(self.head_ws1.d_input().row(i))
+                {
+                    *dst += src / num_batches;
+                }
+                for (dst, &src) in self
+                    .d_h2
+                    .row_mut(v)
+                    .iter_mut()
+                    .zip(self.head_ws2.d_input().row(i))
+                {
+                    *dst += src / num_batches;
+                }
+            }
+            // The head steps inside the epoch, before the guard verdict: on
+            // a retry only the encoder update is discarded (as before).
+            self.head
+                .step(self.head_ws1.grads(), cx.lr / num_batches, 0.0);
+            self.head
+                .step(self.head_ws2.grads(), cx.lr / num_batches, 0.0);
+        }
+        self.encoder
+            .backward_with(&self.adj_orig, &mut self.ws1, &self.d_h1);
+        self.encoder.backward_with(&a2, &mut self.ws2, &self.d_h2);
+        for (acc, g) in self.ws1.grads_mut().iter_mut().zip(self.ws2.grads()) {
+            acc.axpy(1.0, g);
+        }
+        let embeddings_bad = cx
+            .guard
+            .embeddings_bad(&[self.ws1.output(), self.ws2.output()]);
+        EpochOutcome::Step {
+            loss: epoch_loss,
+            embeddings_bad,
+        }
+    }
+
+    fn grads_mut(&mut self) -> &mut [Matrix] {
+        self.ws1.grads_mut()
+    }
+
+    fn apply(&mut self, _epoch: usize, lr: f32, loss: f32) {
+        self.opt.lr = lr;
+        self.opt.step(self.encoder.params_mut(), self.ws1.grads());
+        // Augmenter REINFORCE ascent on (loss − λ·E[drop]), driven by the
+        // same (possibly fault-corrupted) loss the guard inspected.
+        let advantage = loss - self.baseline;
+        self.baseline = 0.9 * self.baseline + 0.1 * loss;
+        for ((s, &p), &was_dropped) in self.logits.iter_mut().zip(&self.probs).zip(&self.dropped) {
+            let dlogp = if was_dropped { 1.0 - p } else { -p };
+            *s += self.config.aug_lr * (advantage * dlogp - self.config.lambda * p * (1.0 - p));
+            *s = s.clamp(-4.0, 4.0);
+        }
+    }
+
+    fn embed(&mut self) -> Matrix {
+        self.encoder.embed(&self.adj_orig, self.x)
     }
 }
 

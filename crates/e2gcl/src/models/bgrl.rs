@@ -9,11 +9,11 @@
 //! embedding space), which is the mechanism AFGRL contributes.
 
 use crate::config::TrainConfig;
-use crate::guard::{GuardAction, NumericGuard};
+use crate::engine::{EpochCtx, EpochDriver, EpochOutcome, EpochStep};
 use crate::models::{ContrastiveModel, PretrainResult};
-use e2gcl_graph::{norm, CsrGraph};
+use e2gcl_graph::{norm, CsrGraph, SparseMatrix};
 use e2gcl_linalg::{ops, Matrix, SeedRng, TrainError};
-use e2gcl_nn::{ema, loss, optim, optim::Optimizer, Adam, GcnEncoder, Mlp};
+use e2gcl_nn::{ema, loss, optim::Optimizer, Adam, GcnEncoder, GcnWorkspace, Mlp, MlpWorkspace};
 use e2gcl_views::uniform;
 use std::time::Instant;
 
@@ -55,20 +55,22 @@ pub struct AfgrlModel {
     pub config: BgrlConfig,
 }
 
-/// One bootstrap branch step: predict targets from online embeddings,
-/// returning `(loss, dH_online, predictor grads applied in place)`.
+/// One bootstrap branch step: predict targets from online embeddings and
+/// step the predictor in place. The loss value is returned; the gradient
+/// w.r.t. the online embeddings lands in `ws.d_input()`.
 fn bootstrap_step(
     predictor: &mut Mlp,
     h_online: &Matrix,
     target: &Matrix,
     lr: f32,
-) -> (f32, Matrix) {
-    let (pred, cache) = predictor.forward(h_online);
-    let (l, d_pred) = loss::cosine_bootstrap(&pred, target);
-    let grads = predictor.backward(&cache, &d_pred);
-    let dh = grads.dx.clone();
-    predictor.step(&grads, lr, 0.0);
-    (l, dh)
+    ws: &mut MlpWorkspace,
+    d_pred: &mut Matrix,
+) -> f32 {
+    predictor.forward_with(h_online, ws);
+    let l = loss::cosine_bootstrap_with(ws.output(), target, d_pred);
+    predictor.backward_with(h_online, d_pred, ws);
+    predictor.step(ws.grads(), lr, 0.0);
+    l
 }
 
 impl ContrastiveModel for BgrlModel {
@@ -86,82 +88,128 @@ impl ContrastiveModel for BgrlModel {
         let start = Instant::now();
         let adj_orig = norm::normalized_adjacency(g);
         let dims = cfg.encoder_dims(x.cols());
-        let mut online = GcnEncoder::new(&dims, &mut rng.fork("online"));
-        let mut target = online.clone();
-        let mut predictor = Mlp::new(
+        let online = GcnEncoder::new(&dims, &mut rng.fork("online"));
+        let target = online.clone();
+        let predictor = Mlp::new(
             cfg.embed_dim,
             cfg.embed_dim * 2,
             cfg.embed_dim,
             &mut rng.fork("pred"),
         );
-        let mut opt = Adam::with_weight_decay(cfg.lr, cfg.weight_decay);
-        let mut train_rng = rng.fork("train");
-        let mut loss_curve = Vec::with_capacity(cfg.epochs);
-        let mut checkpoints = Vec::new();
-        let mut guard = NumericGuard::new(&cfg.guard);
-        let fault = cfg.fault.clone().unwrap_or_default();
-        let mut epoch = 0;
-        while epoch < cfg.epochs {
-            let lr = cfg.lr * guard.lr_scale;
-            let g1 = uniform::drop_edges_uniform(g, self.config.drop_edge.0, &mut train_rng);
-            let g2 = uniform::drop_edges_uniform(g, self.config.drop_edge.1, &mut train_rng);
-            let mut x1 = uniform::mask_feature_dims(x, self.config.mask_feat.0, &mut train_rng);
-            let x2 = uniform::mask_feature_dims(x, self.config.mask_feat.1, &mut train_rng);
-            fault.corrupt_features(epoch, &mut x1);
-            let a1 = norm::normalized_adjacency(&g1);
-            let a2 = norm::normalized_adjacency(&g2);
-            let (h1, c1) = online.forward(&a1, &x1);
-            let (h2, c2) = online.forward(&a2, &x2);
-            let t1 = target.embed(&a1, &x1);
-            let t2 = target.embed(&a2, &x2);
-            // Symmetric bootstrap: predict the other branch's target.
-            let (la, d_h1) = bootstrap_step(&mut predictor, &h1, &t2, lr);
-            let (lb, d_h2) = bootstrap_step(&mut predictor, &h2, &t1, lr);
-            let mut acc = None;
-            GcnEncoder::accumulate(&mut acc, online.backward(&a1, &c1, &d_h1), 1.0);
-            GcnEncoder::accumulate(&mut acc, online.backward(&a2, &c2, &d_h2), 1.0);
-            let Some(mut grads) = acc else {
-                epoch += 1;
-                continue;
-            };
-            let l = fault.corrupt_loss(epoch, 0.5 * (la + lb));
-            fault.corrupt_gradients(epoch, &mut grads);
-            let grads_bad = optim::grads_non_finite(&grads);
-            let emb_bad = guard.embeddings_bad(&[&h1, &h2]);
-            match guard.inspect(epoch, l, grads_bad, emb_bad)? {
-                GuardAction::Proceed => {
-                    if let Some(max) = cfg.guard.max_grad_norm {
-                        optim::clip_grad_norm(&mut grads, max);
-                    }
-                    opt.lr = lr;
-                    opt.step(online.params_mut(), &grads);
-                    let decay = ema::annealed_decay(self.config.ema_decay, epoch, cfg.epochs);
-                    ema::ema_update(target.params_mut(), online.params(), decay);
-                    loss_curve.push(l);
-                    if let Some(every) = cfg.checkpoint_every {
-                        if (epoch + 1) % every == 0 || epoch + 1 == cfg.epochs {
-                            checkpoints
-                                .push((start.elapsed().as_secs_f64(), online.embed(&adj_orig, x)));
-                        }
-                    }
-                    epoch += 1;
-                }
-                GuardAction::SkipEpoch => {
-                    loss_curve.push(l);
-                    epoch += 1;
-                }
-                // The predictor already stepped; the encoder update is
-                // discarded and the epoch re-runs at reduced lr.
-                GuardAction::RetryEpoch { .. } => {}
-            }
-        }
+        let opt = Adam::with_weight_decay(cfg.lr, cfg.weight_decay);
+        let train_rng = rng.fork("train");
+        let mut step = BgrlStep {
+            config: &self.config,
+            g,
+            x,
+            cfg,
+            adj_orig,
+            online,
+            target,
+            predictor,
+            opt,
+            train_rng,
+            ws1: GcnWorkspace::new(),
+            ws2: GcnWorkspace::new(),
+            pws1: MlpWorkspace::new(),
+            pws2: MlpWorkspace::new(),
+            dp1: Matrix::default(),
+            dp2: Matrix::default(),
+        };
+        let run = EpochDriver::new(cfg).run(&mut step, start)?;
         Ok(PretrainResult {
-            embeddings: online.embed(&adj_orig, x),
+            embeddings: run.embeddings,
             selection_time: std::time::Duration::ZERO,
             total_time: start.elapsed(),
-            checkpoints,
-            loss_curve,
+            checkpoints: run.checkpoints,
+            loss_curve: run.loss_curve,
         })
+    }
+}
+
+/// One BGRL epoch: two corrupted views, symmetric bootstrap against the EMA
+/// target, online-encoder gradients staged for the engine.
+struct BgrlStep<'a> {
+    config: &'a BgrlConfig,
+    g: &'a CsrGraph,
+    x: &'a Matrix,
+    cfg: &'a TrainConfig,
+    adj_orig: SparseMatrix,
+    online: GcnEncoder,
+    target: GcnEncoder,
+    predictor: Mlp,
+    opt: Adam,
+    train_rng: SeedRng,
+    ws1: GcnWorkspace,
+    ws2: GcnWorkspace,
+    pws1: MlpWorkspace,
+    pws2: MlpWorkspace,
+    dp1: Matrix,
+    dp2: Matrix,
+}
+
+impl EpochStep for BgrlStep<'_> {
+    fn epoch(&mut self, cx: &mut EpochCtx<'_>) -> EpochOutcome {
+        let g1 = uniform::drop_edges_uniform(self.g, self.config.drop_edge.0, &mut self.train_rng);
+        let g2 = uniform::drop_edges_uniform(self.g, self.config.drop_edge.1, &mut self.train_rng);
+        let mut x1 =
+            uniform::mask_feature_dims(self.x, self.config.mask_feat.0, &mut self.train_rng);
+        let x2 = uniform::mask_feature_dims(self.x, self.config.mask_feat.1, &mut self.train_rng);
+        cx.fault.corrupt_features(cx.epoch, &mut x1);
+        let a1 = norm::normalized_adjacency(&g1);
+        let a2 = norm::normalized_adjacency(&g2);
+        self.online.forward_with(&a1, &x1, &mut self.ws1);
+        self.online.forward_with(&a2, &x2, &mut self.ws2);
+        let t1 = self.target.embed(&a1, &x1);
+        let t2 = self.target.embed(&a2, &x2);
+        // Symmetric bootstrap: predict the other branch's target. The
+        // predictor steps inside the epoch, before the guard verdict: on a
+        // retry only the encoder update is discarded (as before).
+        let la = bootstrap_step(
+            &mut self.predictor,
+            self.ws1.output(),
+            &t2,
+            cx.lr,
+            &mut self.pws1,
+            &mut self.dp1,
+        );
+        let lb = bootstrap_step(
+            &mut self.predictor,
+            self.ws2.output(),
+            &t1,
+            cx.lr,
+            &mut self.pws2,
+            &mut self.dp2,
+        );
+        self.online
+            .backward_with(&a1, &mut self.ws1, self.pws1.d_input());
+        self.online
+            .backward_with(&a2, &mut self.ws2, self.pws2.d_input());
+        for (acc, g) in self.ws1.grads_mut().iter_mut().zip(self.ws2.grads()) {
+            acc.axpy(1.0, g);
+        }
+        let embeddings_bad = cx
+            .guard
+            .embeddings_bad(&[self.ws1.output(), self.ws2.output()]);
+        EpochOutcome::Step {
+            loss: 0.5 * (la + lb),
+            embeddings_bad,
+        }
+    }
+
+    fn grads_mut(&mut self) -> &mut [Matrix] {
+        self.ws1.grads_mut()
+    }
+
+    fn apply(&mut self, epoch: usize, lr: f32, _loss: f32) {
+        self.opt.lr = lr;
+        self.opt.step(self.online.params_mut(), self.ws1.grads());
+        let decay = ema::annealed_decay(self.config.ema_decay, epoch, self.cfg.epochs);
+        ema::ema_update(self.target.params_mut(), self.online.params(), decay);
+    }
+
+    fn embed(&mut self) -> Matrix {
+        self.online.embed(&self.adj_orig, self.x)
     }
 }
 
@@ -210,63 +258,92 @@ impl ContrastiveModel for AfgrlModel {
         let start = Instant::now();
         let adj = norm::normalized_adjacency(g);
         let dims = cfg.encoder_dims(x.cols());
-        let mut online = GcnEncoder::new(&dims, &mut rng.fork("online"));
-        let mut target = online.clone();
-        let mut predictor = Mlp::new(
+        let online = GcnEncoder::new(&dims, &mut rng.fork("online"));
+        let target = online.clone();
+        let predictor = Mlp::new(
             cfg.embed_dim,
             cfg.embed_dim * 2,
             cfg.embed_dim,
             &mut rng.fork("pred"),
         );
-        let mut opt = Adam::with_weight_decay(cfg.lr, cfg.weight_decay);
-        let mut loss_curve = Vec::with_capacity(cfg.epochs);
-        let mut checkpoints = Vec::new();
-        let mut guard = NumericGuard::new(&cfg.guard);
-        let fault = cfg.fault.clone().unwrap_or_default();
-        let mut epoch = 0;
-        while epoch < cfg.epochs {
-            let lr = cfg.lr * guard.lr_scale;
-            let (h, cache) = online.forward(&adj, x);
-            let t = target.embed(&adj, x);
-            let positives = afgrl_positive_targets(g, &t, self.config.knn);
-            let (l, d_h) = bootstrap_step(&mut predictor, &h, &positives, lr);
-            let mut grads = online.backward(&adj, &cache, &d_h);
-            let l = fault.corrupt_loss(epoch, l);
-            fault.corrupt_gradients(epoch, &mut grads);
-            let grads_bad = optim::grads_non_finite(&grads);
-            let emb_bad = guard.embeddings_bad(&[&h]);
-            match guard.inspect(epoch, l, grads_bad, emb_bad)? {
-                GuardAction::Proceed => {
-                    if let Some(max) = cfg.guard.max_grad_norm {
-                        optim::clip_grad_norm(&mut grads, max);
-                    }
-                    opt.lr = lr;
-                    opt.step(online.params_mut(), &grads);
-                    let decay = ema::annealed_decay(self.config.ema_decay, epoch, cfg.epochs);
-                    ema::ema_update(target.params_mut(), online.params(), decay);
-                    loss_curve.push(l);
-                    if let Some(every) = cfg.checkpoint_every {
-                        if (epoch + 1) % every == 0 || epoch + 1 == cfg.epochs {
-                            checkpoints
-                                .push((start.elapsed().as_secs_f64(), online.embed(&adj, x)));
-                        }
-                    }
-                    epoch += 1;
-                }
-                GuardAction::SkipEpoch => {
-                    loss_curve.push(l);
-                    epoch += 1;
-                }
-                GuardAction::RetryEpoch { .. } => {}
-            }
-        }
+        let opt = Adam::with_weight_decay(cfg.lr, cfg.weight_decay);
+        let mut step = AfgrlStep {
+            config: &self.config,
+            g,
+            x,
+            cfg,
+            adj,
+            online,
+            target,
+            predictor,
+            opt,
+            ws: GcnWorkspace::new(),
+            pws: MlpWorkspace::new(),
+            dp: Matrix::default(),
+        };
+        let run = EpochDriver::new(cfg).run(&mut step, start)?;
         Ok(PretrainResult {
-            embeddings: online.embed(&adj, x),
+            embeddings: run.embeddings,
             selection_time: std::time::Duration::ZERO,
             total_time: start.elapsed(),
-            checkpoints,
-            loss_curve,
+            checkpoints: run.checkpoints,
+            loss_curve: run.loss_curve,
         })
+    }
+}
+
+/// One AFGRL epoch: augmentation-free bootstrap against adaptive positives
+/// in the EMA target's embedding space.
+struct AfgrlStep<'a> {
+    config: &'a BgrlConfig,
+    g: &'a CsrGraph,
+    x: &'a Matrix,
+    cfg: &'a TrainConfig,
+    adj: SparseMatrix,
+    online: GcnEncoder,
+    target: GcnEncoder,
+    predictor: Mlp,
+    opt: Adam,
+    ws: GcnWorkspace,
+    pws: MlpWorkspace,
+    dp: Matrix,
+}
+
+impl EpochStep for AfgrlStep<'_> {
+    fn epoch(&mut self, cx: &mut EpochCtx<'_>) -> EpochOutcome {
+        self.online.forward_with(&self.adj, self.x, &mut self.ws);
+        let t = self.target.embed(&self.adj, self.x);
+        let positives = afgrl_positive_targets(self.g, &t, self.config.knn);
+        let l = bootstrap_step(
+            &mut self.predictor,
+            self.ws.output(),
+            &positives,
+            cx.lr,
+            &mut self.pws,
+            &mut self.dp,
+        );
+        self.online
+            .backward_with(&self.adj, &mut self.ws, self.pws.d_input());
+        let embeddings_bad = cx.guard.embeddings_bad(&[self.ws.output()]);
+        EpochOutcome::Step {
+            loss: l,
+            embeddings_bad,
+        }
+    }
+
+    fn grads_mut(&mut self) -> &mut [Matrix] {
+        self.ws.grads_mut()
+    }
+
+    fn apply(&mut self, epoch: usize, lr: f32, _loss: f32) {
+        self.opt.lr = lr;
+        self.opt.step(self.online.params_mut(), self.ws.grads());
+        let decay = ema::annealed_decay(self.config.ema_decay, epoch, self.cfg.epochs);
+        ema::ema_update(self.target.params_mut(), self.online.params(), decay);
+    }
+
+    fn embed(&mut self) -> Matrix {
+        self.online.embed(&self.adj, self.x)
     }
 }
 

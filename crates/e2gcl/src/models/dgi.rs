@@ -5,12 +5,12 @@
 //! corruption, and a bilinear discriminator tells them apart.
 
 use crate::config::TrainConfig;
-use crate::guard::{GuardAction, NumericGuard};
+use crate::engine::{EpochCtx, EpochDriver, EpochOutcome, EpochStep};
 use crate::models::{ContrastiveModel, PretrainResult};
 use e2gcl_graph::{norm, CsrGraph, SparseMatrix};
 use e2gcl_linalg::init;
 use e2gcl_linalg::{activations, ops, Matrix, SeedRng, TrainError};
-use e2gcl_nn::{loss, optim, optim::Optimizer, Adam, GcnEncoder};
+use e2gcl_nn::{loss, optim::Optimizer, Adam, GcnEncoder, GcnWorkspace};
 use std::time::Instant;
 
 /// Bilinear discriminator `D(h, s) = h^T W s` shared by DGI and MVGRL.
@@ -147,68 +147,103 @@ impl ContrastiveModel for DgiModel {
     ) -> Result<PretrainResult, TrainError> {
         let start = Instant::now();
         let adj: SparseMatrix = norm::normalized_adjacency(g);
-        let mut encoder = GcnEncoder::new(&cfg.encoder_dims(x.cols()), &mut rng.fork("init"));
-        let mut disc = BilinearDiscriminator::new(cfg.embed_dim, &mut rng.fork("disc"));
-        let mut opt = Adam::with_weight_decay(cfg.lr, cfg.weight_decay);
-        let mut disc_opt = Adam::new(cfg.lr);
-        let mut train_rng = rng.fork("train");
-        let mut loss_curve = Vec::with_capacity(cfg.epochs);
-        let mut checkpoints = Vec::new();
-        let mut guard = NumericGuard::new(&cfg.guard);
-        let fault = cfg.fault.clone().unwrap_or_default();
-        let mut epoch = 0;
-        while epoch < cfg.epochs {
-            let x_corrupt = shuffle_rows(x, &mut train_rng);
-            let (h_real, c_real) = encoder.forward(&adj, x);
-            let (h_corrupt, c_corrupt) = encoder.forward(&adj, &x_corrupt);
-            let (l, d_real, d_corrupt, dw) = Self::discriminate(&disc, &h_real, &h_corrupt);
-            let mut acc = None;
-            GcnEncoder::accumulate(&mut acc, encoder.backward(&adj, &c_real, &d_real), 1.0);
-            GcnEncoder::accumulate(
-                &mut acc,
-                encoder.backward(&adj, &c_corrupt, &d_corrupt),
-                1.0,
-            );
-            let Some(mut grads) = acc else {
-                epoch += 1;
-                continue;
-            };
-            let l = fault.corrupt_loss(epoch, l);
-            fault.corrupt_gradients(epoch, &mut grads);
-            let grads_bad = optim::grads_non_finite(&grads) || dw.has_non_finite();
-            let emb_bad = guard.embeddings_bad(&[&h_real, &h_corrupt]);
-            match guard.inspect(epoch, l, grads_bad, emb_bad)? {
-                GuardAction::Proceed => {
-                    if let Some(max) = cfg.guard.max_grad_norm {
-                        optim::clip_grad_norm(&mut grads, max);
-                    }
-                    opt.lr = cfg.lr * guard.lr_scale;
-                    opt.step(encoder.params_mut(), &grads);
-                    disc_opt.lr = cfg.lr * guard.lr_scale;
-                    disc_opt.step(std::slice::from_mut(&mut disc.w), &[dw]);
-                    loss_curve.push(l);
-                    if let Some(every) = cfg.checkpoint_every {
-                        if (epoch + 1) % every == 0 || epoch + 1 == cfg.epochs {
-                            checkpoints
-                                .push((start.elapsed().as_secs_f64(), encoder.embed(&adj, x)));
-                        }
-                    }
-                    epoch += 1;
-                }
-                GuardAction::SkipEpoch => {
-                    loss_curve.push(l);
-                    epoch += 1;
-                }
-                GuardAction::RetryEpoch { .. } => {}
-            }
-        }
+        let encoder = GcnEncoder::new(&cfg.encoder_dims(x.cols()), &mut rng.fork("init"));
+        let disc = BilinearDiscriminator::new(cfg.embed_dim, &mut rng.fork("disc"));
+        let opt = Adam::with_weight_decay(cfg.lr, cfg.weight_decay);
+        let disc_opt = Adam::new(cfg.lr);
+        let train_rng = rng.fork("train");
+        let mut step = DgiStep {
+            x,
+            adj,
+            encoder,
+            disc,
+            opt,
+            disc_opt,
+            train_rng,
+            ws_real: GcnWorkspace::new(),
+            ws_corrupt: GcnWorkspace::new(),
+            dw: Matrix::default(),
+        };
+        let run = EpochDriver::new(cfg).run(&mut step, start)?;
         Ok(PretrainResult {
-            embeddings: encoder.embed(&adj, x),
+            embeddings: run.embeddings,
             selection_time: std::time::Duration::ZERO,
             total_time: start.elapsed(),
-            checkpoints,
-            loss_curve,
+            checkpoints: run.checkpoints,
+            loss_curve: run.loss_curve,
         })
+    }
+}
+
+/// One DGI epoch: real vs feature-shuffled embeddings scored against the
+/// sigmoid-mean summary by the bilinear discriminator.
+struct DgiStep<'a> {
+    x: &'a Matrix,
+    adj: SparseMatrix,
+    encoder: GcnEncoder,
+    disc: BilinearDiscriminator,
+    opt: Adam,
+    disc_opt: Adam,
+    train_rng: SeedRng,
+    ws_real: GcnWorkspace,
+    ws_corrupt: GcnWorkspace,
+    /// Discriminator gradient of the current epoch (auxiliary: scanned via
+    /// `aux_grads_bad`, stepped in `apply`, never clipped — as before).
+    dw: Matrix,
+}
+
+impl EpochStep for DgiStep<'_> {
+    fn epoch(&mut self, cx: &mut EpochCtx<'_>) -> EpochOutcome {
+        let x_corrupt = shuffle_rows(self.x, &mut self.train_rng);
+        self.encoder
+            .forward_with(&self.adj, self.x, &mut self.ws_real);
+        self.encoder
+            .forward_with(&self.adj, &x_corrupt, &mut self.ws_corrupt);
+        let (l, d_real, d_corrupt, dw) =
+            DgiModel::discriminate(&self.disc, self.ws_real.output(), self.ws_corrupt.output());
+        self.dw = dw;
+        self.encoder
+            .backward_with(&self.adj, &mut self.ws_real, &d_real);
+        self.encoder
+            .backward_with(&self.adj, &mut self.ws_corrupt, &d_corrupt);
+        for (acc, g) in self
+            .ws_real
+            .grads_mut()
+            .iter_mut()
+            .zip(self.ws_corrupt.grads())
+        {
+            acc.axpy(1.0, g);
+        }
+        let embeddings_bad = cx
+            .guard
+            .embeddings_bad(&[self.ws_real.output(), self.ws_corrupt.output()]);
+        EpochOutcome::Step {
+            loss: l,
+            embeddings_bad,
+        }
+    }
+
+    fn grads_mut(&mut self) -> &mut [Matrix] {
+        self.ws_real.grads_mut()
+    }
+
+    fn aux_grads_bad(&self) -> bool {
+        self.dw.has_non_finite()
+    }
+
+    fn apply(&mut self, _epoch: usize, lr: f32, _loss: f32) {
+        self.opt.lr = lr;
+        self.opt
+            .step(self.encoder.params_mut(), self.ws_real.grads());
+        self.disc_opt.lr = lr;
+        self.disc_opt.step(
+            std::slice::from_mut(&mut self.disc.w),
+            std::slice::from_ref(&self.dw),
+        );
+    }
+
+    fn embed(&mut self) -> Matrix {
+        self.encoder.embed(&self.adj, self.x)
     }
 }
 

@@ -2,14 +2,14 @@
 //! contrastive training (the full Alg. 1 / Alg. 2 / Alg. 3 stack).
 
 use crate::config::TrainConfig;
-use crate::guard::{GuardAction, NumericGuard};
+use crate::engine::{EpochCtx, EpochDriver, EpochOutcome, EpochStep};
 use crate::models::{sample_negative_indices, ContrastiveModel, PretrainResult};
 use e2gcl_graph::SparseMatrix;
 use e2gcl_graph::{norm, CsrGraph};
 use e2gcl_linalg::{Matrix, SeedRng, TrainError};
 use e2gcl_nn::sage::{SageCache, SageEncoder};
 use e2gcl_nn::sgc::{SgcCache, SgcEncoder};
-use e2gcl_nn::{gcn::GcnCache, loss, optim, optim::Optimizer, Adam, GcnEncoder};
+use e2gcl_nn::{gcn::GcnCache, loss, optim::Optimizer, Adam, GcnEncoder};
 use e2gcl_selector::baselines::{
     DegreeSelector, GrainSelector, KCenterGreedy, KMeansSelector, RandomSelector,
 };
@@ -288,113 +288,133 @@ impl E2gclModel {
         let selection = self.select_nodes(g, x, &mut rng.fork("selector"));
         let selection_time = start.elapsed();
         let generator = ViewGenerator::new(g, x, self.view_config(), &mut rng.fork("views"));
-        let mut encoder = Encoder::new(self.config.encoder, x.cols(), cfg, &mut rng.fork("init"));
+        let encoder = Encoder::new(self.config.encoder, x.cols(), cfg, &mut rng.fork("init"));
         let adj_orig = encoder.adjacency(g);
-        let mut opt = Adam::with_weight_decay(cfg.lr, cfg.weight_decay);
-        let mut loss_curve = Vec::with_capacity(cfg.epochs);
-        let mut train_rng = rng.fork("train");
-        let mut guard = NumericGuard::new(&cfg.guard);
-        let fault = cfg.fault.clone().unwrap_or_default();
-        let anchors = &selection.nodes;
-        let weights = &selection.weights;
-        let mut epoch = 0;
-        while epoch < cfg.epochs {
-            if anchors.is_empty() {
-                break;
-            }
-            let bsz = cfg.batch_size.min(anchors.len());
-            let batch: Vec<usize> = (0..bsz)
-                .map(|_| anchors[train_rng.weighted_index(weights)])
-                .collect();
-            // Encode each anchor's two ego views; remember everything the
-            // backward pass needs.
-            let mut hb1 = Matrix::zeros(bsz, cfg.embed_dim);
-            let mut hb2 = Matrix::zeros(bsz, cfg.embed_dim);
-            let mut ctx = Vec::with_capacity(bsz);
-            for (i, &v) in batch.iter().enumerate() {
-                let va = generator.sample_ego_view(
-                    v,
-                    self.config.tau_hat,
-                    self.config.eta_hat,
-                    &mut train_rng,
-                );
-                let vb = generator.sample_ego_view(
-                    v,
-                    self.config.tau_tilde,
-                    self.config.eta_tilde,
-                    &mut train_rng,
-                );
-                let aa = encoder.adjacency(&va.graph);
-                let ab = encoder.adjacency(&vb.graph);
-                let (ha, ca) = encoder.forward(&aa, &va.features);
-                let (hb, cb) = encoder.forward(&ab, &vb.features);
-                hb1.set_row(i, ha.row(va.center));
-                hb2.set_row(i, hb.row(vb.center));
-                ctx.push((va, aa, ca, ha.rows(), vb, ab, cb, hb.rows()));
-            }
-            let negatives: Vec<Vec<usize>> = (0..bsz)
-                .map(|i| sample_negative_indices(bsz, i, self.config.negatives, &mut train_rng))
-                .collect();
-            let (d1, d2, batch_loss) = if self.config.normalize {
-                let (u1, n1) = loss::normalize_rows(&hb1);
-                let (u2, n2) = loss::normalize_rows(&hb2);
-                let out = loss::margin_contrastive(&u1, &u2, &u2, &negatives, self.config.margin);
-                let mut du2 = out.d_tilde;
-                du2.add_assign(&out.d_neg);
-                (
-                    loss::normalize_backward(&u1, &n1, &out.d_hat),
-                    loss::normalize_backward(&u2, &n2, &du2),
-                    out.loss,
-                )
-            } else {
-                let out =
-                    loss::margin_contrastive(&hb1, &hb2, &hb2, &negatives, self.config.margin);
-                let mut du2 = out.d_tilde;
-                du2.add_assign(&out.d_neg);
-                (out.d_hat, du2, out.loss)
-            };
-            // Backprop each ego view with a one-hot centre-row gradient.
-            let mut acc: Option<Vec<Matrix>> = None;
-            for (i, (va, aa, ca, na, vb, ab, cb, nb)) in ctx.iter().enumerate() {
-                let mut da = Matrix::zeros(*na, cfg.embed_dim);
-                da.set_row(va.center, d1.row(i));
-                GcnEncoder::accumulate(&mut acc, encoder.backward(aa, ca, &da), 1.0);
-                let mut db = Matrix::zeros(*nb, cfg.embed_dim);
-                db.set_row(vb.center, d2.row(i));
-                GcnEncoder::accumulate(&mut acc, encoder.backward(ab, cb, &db), 1.0);
-            }
-            let Some(mut grads) = acc else {
-                epoch += 1;
-                continue;
-            };
-            let batch_loss = fault.corrupt_loss(epoch, batch_loss);
-            fault.corrupt_gradients(epoch, &mut grads);
-            let grads_bad = optim::grads_non_finite(&grads);
-            let emb_bad = guard.embeddings_bad(&[&hb1, &hb2]);
-            match guard.inspect(epoch, batch_loss, grads_bad, emb_bad)? {
-                GuardAction::Proceed => {
-                    if let Some(max) = cfg.guard.max_grad_norm {
-                        optim::clip_grad_norm(&mut grads, max);
-                    }
-                    opt.lr = cfg.lr * guard.lr_scale;
-                    opt.step(encoder.params_mut(), &grads);
-                    loss_curve.push(batch_loss);
-                    epoch += 1;
-                }
-                GuardAction::SkipEpoch => {
-                    loss_curve.push(batch_loss);
-                    epoch += 1;
-                }
-                GuardAction::RetryEpoch { .. } => {}
-            }
-        }
+        let opt = Adam::with_weight_decay(cfg.lr, cfg.weight_decay);
+        let train_rng = rng.fork("train");
+        let mut step = E2gclPerNodeStep {
+            model: self,
+            x,
+            cfg,
+            selection,
+            generator,
+            encoder,
+            adj_orig,
+            opt,
+            train_rng,
+            grads: Vec::new(),
+        };
+        let run = EpochDriver::new(cfg).run(&mut step, start)?;
         Ok(PretrainResult {
-            embeddings: encoder.embed(&adj_orig, x),
+            embeddings: run.embeddings,
             selection_time,
             total_time: start.elapsed(),
-            checkpoints: Vec::new(),
-            loss_curve,
+            checkpoints: run.checkpoints,
+            loss_curve: run.loss_curve,
         })
+    }
+}
+
+/// One literal Alg. 3 epoch: two fresh ego views per anchor, each encoded
+/// independently, Eq. (5) on the centre representations.
+struct E2gclPerNodeStep<'a> {
+    model: &'a E2gclModel,
+    x: &'a Matrix,
+    cfg: &'a TrainConfig,
+    selection: Selection,
+    generator: ViewGenerator,
+    encoder: Encoder,
+    adj_orig: SparseMatrix,
+    opt: Adam,
+    train_rng: SeedRng,
+    grads: Vec<Matrix>,
+}
+
+impl EpochStep for E2gclPerNodeStep<'_> {
+    fn epoch(&mut self, cx: &mut EpochCtx<'_>) -> EpochOutcome {
+        let conf = &self.model.config;
+        let cfg = self.cfg;
+        let anchors = &self.selection.nodes;
+        let weights = &self.selection.weights;
+        if anchors.is_empty() {
+            return EpochOutcome::Stop;
+        }
+        let bsz = cfg.batch_size.min(anchors.len());
+        let batch: Vec<usize> = (0..bsz)
+            .map(|_| anchors[self.train_rng.weighted_index(weights)])
+            .collect();
+        // Encode each anchor's two ego views; remember everything the
+        // backward pass needs.
+        let mut hb1 = Matrix::zeros(bsz, cfg.embed_dim);
+        let mut hb2 = Matrix::zeros(bsz, cfg.embed_dim);
+        let mut ctx = Vec::with_capacity(bsz);
+        for (i, &v) in batch.iter().enumerate() {
+            let va =
+                self.generator
+                    .sample_ego_view(v, conf.tau_hat, conf.eta_hat, &mut self.train_rng);
+            let vb = self.generator.sample_ego_view(
+                v,
+                conf.tau_tilde,
+                conf.eta_tilde,
+                &mut self.train_rng,
+            );
+            let aa = self.encoder.adjacency(&va.graph);
+            let ab = self.encoder.adjacency(&vb.graph);
+            let (ha, ca) = self.encoder.forward(&aa, &va.features);
+            let (hb, cb) = self.encoder.forward(&ab, &vb.features);
+            hb1.set_row(i, ha.row(va.center));
+            hb2.set_row(i, hb.row(vb.center));
+            ctx.push((va, aa, ca, ha.rows(), vb, ab, cb, hb.rows()));
+        }
+        let negatives: Vec<Vec<usize>> = (0..bsz)
+            .map(|i| sample_negative_indices(bsz, i, conf.negatives, &mut self.train_rng))
+            .collect();
+        let (d1, d2, batch_loss) = if conf.normalize {
+            let (u1, n1) = loss::normalize_rows(&hb1);
+            let (u2, n2) = loss::normalize_rows(&hb2);
+            let out = loss::margin_contrastive(&u1, &u2, &u2, &negatives, conf.margin);
+            let mut du2 = out.d_tilde;
+            du2.add_assign(&out.d_neg);
+            (
+                loss::normalize_backward(&u1, &n1, &out.d_hat),
+                loss::normalize_backward(&u2, &n2, &du2),
+                out.loss,
+            )
+        } else {
+            let out = loss::margin_contrastive(&hb1, &hb2, &hb2, &negatives, conf.margin);
+            let mut du2 = out.d_tilde;
+            du2.add_assign(&out.d_neg);
+            (out.d_hat, du2, out.loss)
+        };
+        // Backprop each ego view with a one-hot centre-row gradient.
+        let mut acc: Option<Vec<Matrix>> = None;
+        for (i, (va, aa, ca, na, vb, ab, cb, nb)) in ctx.iter().enumerate() {
+            let mut da = Matrix::zeros(*na, cfg.embed_dim);
+            da.set_row(va.center, d1.row(i));
+            GcnEncoder::accumulate(&mut acc, self.encoder.backward(aa, ca, &da), 1.0);
+            let mut db = Matrix::zeros(*nb, cfg.embed_dim);
+            db.set_row(vb.center, d2.row(i));
+            GcnEncoder::accumulate(&mut acc, self.encoder.backward(ab, cb, &db), 1.0);
+        }
+        self.grads = acc.unwrap_or_default();
+        let embeddings_bad = cx.guard.embeddings_bad(&[&hb1, &hb2]);
+        EpochOutcome::Step {
+            loss: batch_loss,
+            embeddings_bad,
+        }
+    }
+
+    fn grads_mut(&mut self) -> &mut [Matrix] {
+        &mut self.grads
+    }
+
+    fn apply(&mut self, _epoch: usize, lr: f32, _loss: f32) {
+        self.opt.lr = lr;
+        self.opt.step(self.encoder.params_mut(), &self.grads);
+    }
+
+    fn embed(&mut self) -> Matrix {
+        self.encoder.embed(&self.adj_orig, self.x)
     }
 }
 
@@ -420,134 +440,143 @@ impl ContrastiveModel for E2gclModel {
         // ---- View generator setup (Alg. 3 precomputation) ----
         let generator = ViewGenerator::new(g, x, self.view_config(), &mut rng.fork("views"));
         // ---- Encoder + optimiser ----
-        let mut encoder = Encoder::new(self.config.encoder, x.cols(), cfg, &mut rng.fork("init"));
+        let encoder = Encoder::new(self.config.encoder, x.cols(), cfg, &mut rng.fork("init"));
         let adj_orig = encoder.adjacency(g);
-        let mut opt = Adam::with_weight_decay(cfg.lr, cfg.weight_decay);
-        let mut loss_curve = Vec::with_capacity(cfg.epochs);
-        let mut checkpoints = Vec::new();
-        let mut train_rng = rng.fork("train");
-        let mut guard = NumericGuard::new(&cfg.guard);
-        let fault = cfg.fault.clone().unwrap_or_default();
-        let anchors = &selection.nodes;
-        let weights = &selection.weights;
-        let mut epoch = 0;
-        while epoch < cfg.epochs {
-            if anchors.is_empty() {
-                break;
-            }
-            // Two diverse positive views per epoch (Alg. 1 line 3-4).
-            let (g1, mut x1) = generator.sample_global_view(
-                self.config.tau_hat,
-                self.config.eta_hat,
-                &mut train_rng,
-            );
-            let (g2, x2) = generator.sample_global_view(
-                self.config.tau_tilde,
-                self.config.eta_tilde,
-                &mut train_rng,
-            );
-            fault.corrupt_features(epoch, &mut x1);
-            let a1 = encoder.adjacency(&g1);
-            let a2 = encoder.adjacency(&g2);
-            let (h1, c1) = encoder.forward(&a1, &x1);
-            let (h2, c2) = encoder.forward(&a2, &x2);
-            let mut d_h1 = Matrix::zeros(h1.rows(), h1.cols());
-            let mut d_h2 = Matrix::zeros(h2.rows(), h2.cols());
-            // λ-weighted anchor batches: sampling anchors ∝ λ reproduces the
-            // Eq. (8) weighting in expectation while keeping the per-batch
-            // loss unweighted.
-            let num_batches = anchors.len().div_ceil(cfg.batch_size).max(1);
-            let mut epoch_loss = 0.0f32;
-            for _ in 0..num_batches {
-                let bsz = cfg.batch_size.min(anchors.len());
-                let batch: Vec<usize> = (0..bsz)
-                    .map(|_| anchors[train_rng.weighted_index(weights)])
-                    .collect();
-                let hb1 = h1.select_rows(&batch);
-                let hb2 = h2.select_rows(&batch);
-                let negatives: Vec<Vec<usize>> = (0..bsz)
-                    .map(|i| sample_negative_indices(bsz, i, self.config.negatives, &mut train_rng))
-                    .collect();
-                // Optionally compute the loss on the unit sphere, then pull
-                // gradients back through the normalisation Jacobian.
-                let (d_hat, d_tilde_and_neg, batch_loss) = if self.config.loss == LossKind::InfoNce
-                {
-                    let out = loss::info_nce(&hb1, &hb2, 0.5);
-                    (out.d_z1, out.d_z2, out.loss)
-                } else if self.config.normalize {
-                    let (u1, n1) = loss::normalize_rows(&hb1);
-                    let (u2, n2) = loss::normalize_rows(&hb2);
-                    let out =
-                        loss::margin_contrastive(&u1, &u2, &u2, &negatives, self.config.margin);
-                    let mut du2 = out.d_tilde;
-                    du2.add_assign(&out.d_neg);
-                    (
-                        loss::normalize_backward(&u1, &n1, &out.d_hat),
-                        loss::normalize_backward(&u2, &n2, &du2),
-                        out.loss,
-                    )
-                } else {
-                    let out =
-                        loss::margin_contrastive(&hb1, &hb2, &hb2, &negatives, self.config.margin);
-                    let mut du2 = out.d_tilde;
-                    du2.add_assign(&out.d_neg);
-                    (out.d_hat, du2, out.loss)
-                };
-                epoch_loss += batch_loss / num_batches as f32;
-                // Scatter batch gradients back to full-view rows.
-                for (i, &v) in batch.iter().enumerate() {
-                    for (dst, &src) in d_h1.row_mut(v).iter_mut().zip(d_hat.row(i)) {
-                        *dst += src / num_batches as f32;
-                    }
-                    for (dst, &src) in d_h2.row_mut(v).iter_mut().zip(d_tilde_and_neg.row(i)) {
-                        *dst += src / num_batches as f32;
-                    }
-                }
-            }
-            // Backprop both views, accumulate, then let the guard decide
-            // whether this epoch's update is applied.
-            let mut acc = None;
-            GcnEncoder::accumulate(&mut acc, encoder.backward(&a1, &c1, &d_h1), 1.0);
-            GcnEncoder::accumulate(&mut acc, encoder.backward(&a2, &c2, &d_h2), 1.0);
-            let Some(mut grads) = acc else {
-                epoch += 1;
-                continue;
-            };
-            let epoch_loss = fault.corrupt_loss(epoch, epoch_loss);
-            fault.corrupt_gradients(epoch, &mut grads);
-            let grads_bad = optim::grads_non_finite(&grads);
-            let emb_bad = guard.embeddings_bad(&[&h1, &h2]);
-            match guard.inspect(epoch, epoch_loss, grads_bad, emb_bad)? {
-                GuardAction::Proceed => {
-                    if let Some(max) = cfg.guard.max_grad_norm {
-                        optim::clip_grad_norm(&mut grads, max);
-                    }
-                    opt.lr = cfg.lr * guard.lr_scale;
-                    opt.step(encoder.params_mut(), &grads);
-                    loss_curve.push(epoch_loss);
-                    if let Some(every) = cfg.checkpoint_every {
-                        if (epoch + 1) % every == 0 || epoch + 1 == cfg.epochs {
-                            checkpoints
-                                .push((start.elapsed().as_secs_f64(), encoder.embed(&adj_orig, x)));
-                        }
-                    }
-                    epoch += 1;
-                }
-                GuardAction::SkipEpoch => {
-                    loss_curve.push(epoch_loss);
-                    epoch += 1;
-                }
-                GuardAction::RetryEpoch { .. } => {}
-            }
-        }
-        let embeddings = encoder.embed(&adj_orig, x);
+        let opt = Adam::with_weight_decay(cfg.lr, cfg.weight_decay);
+        let train_rng = rng.fork("train");
+        let mut step = E2gclBatchedStep {
+            model: self,
+            x,
+            cfg,
+            selection,
+            generator,
+            encoder,
+            adj_orig,
+            opt,
+            train_rng,
+            grads: Vec::new(),
+        };
+        let run = EpochDriver::new(cfg).run(&mut step, start)?;
         Ok(PretrainResult {
-            embeddings,
+            embeddings: run.embeddings,
             selection_time,
             total_time: start.elapsed(),
-            checkpoints,
-            loss_curve,
+            checkpoints: run.checkpoints,
+            loss_curve: run.loss_curve,
         })
+    }
+}
+
+/// One batched E²GCL epoch: two global views, λ-weighted anchor batches,
+/// Eq. (5) (or InfoNCE) on rows read out of the shared forward passes.
+struct E2gclBatchedStep<'a> {
+    model: &'a E2gclModel,
+    x: &'a Matrix,
+    cfg: &'a TrainConfig,
+    selection: Selection,
+    generator: ViewGenerator,
+    encoder: Encoder,
+    adj_orig: SparseMatrix,
+    opt: Adam,
+    train_rng: SeedRng,
+    grads: Vec<Matrix>,
+}
+
+impl EpochStep for E2gclBatchedStep<'_> {
+    fn epoch(&mut self, cx: &mut EpochCtx<'_>) -> EpochOutcome {
+        let conf = &self.model.config;
+        let cfg = self.cfg;
+        let anchors = &self.selection.nodes;
+        let weights = &self.selection.weights;
+        if anchors.is_empty() {
+            return EpochOutcome::Stop;
+        }
+        // Two diverse positive views per epoch (Alg. 1 line 3-4).
+        let (g1, mut x1) =
+            self.generator
+                .sample_global_view(conf.tau_hat, conf.eta_hat, &mut self.train_rng);
+        let (g2, x2) =
+            self.generator
+                .sample_global_view(conf.tau_tilde, conf.eta_tilde, &mut self.train_rng);
+        cx.fault.corrupt_features(cx.epoch, &mut x1);
+        let a1 = self.encoder.adjacency(&g1);
+        let a2 = self.encoder.adjacency(&g2);
+        let (h1, c1) = self.encoder.forward(&a1, &x1);
+        let (h2, c2) = self.encoder.forward(&a2, &x2);
+        let mut d_h1 = Matrix::zeros(h1.rows(), h1.cols());
+        let mut d_h2 = Matrix::zeros(h2.rows(), h2.cols());
+        // λ-weighted anchor batches: sampling anchors ∝ λ reproduces the
+        // Eq. (8) weighting in expectation while keeping the per-batch
+        // loss unweighted.
+        let num_batches = anchors.len().div_ceil(cfg.batch_size).max(1);
+        let mut epoch_loss = 0.0f32;
+        for _ in 0..num_batches {
+            let bsz = cfg.batch_size.min(anchors.len());
+            let batch: Vec<usize> = (0..bsz)
+                .map(|_| anchors[self.train_rng.weighted_index(weights)])
+                .collect();
+            let hb1 = h1.select_rows(&batch);
+            let hb2 = h2.select_rows(&batch);
+            let negatives: Vec<Vec<usize>> = (0..bsz)
+                .map(|i| sample_negative_indices(bsz, i, conf.negatives, &mut self.train_rng))
+                .collect();
+            // Optionally compute the loss on the unit sphere, then pull
+            // gradients back through the normalisation Jacobian.
+            let (d_hat, d_tilde_and_neg, batch_loss) = if conf.loss == LossKind::InfoNce {
+                let out = loss::info_nce(&hb1, &hb2, 0.5);
+                (out.d_z1, out.d_z2, out.loss)
+            } else if conf.normalize {
+                let (u1, n1) = loss::normalize_rows(&hb1);
+                let (u2, n2) = loss::normalize_rows(&hb2);
+                let out = loss::margin_contrastive(&u1, &u2, &u2, &negatives, conf.margin);
+                let mut du2 = out.d_tilde;
+                du2.add_assign(&out.d_neg);
+                (
+                    loss::normalize_backward(&u1, &n1, &out.d_hat),
+                    loss::normalize_backward(&u2, &n2, &du2),
+                    out.loss,
+                )
+            } else {
+                let out = loss::margin_contrastive(&hb1, &hb2, &hb2, &negatives, conf.margin);
+                let mut du2 = out.d_tilde;
+                du2.add_assign(&out.d_neg);
+                (out.d_hat, du2, out.loss)
+            };
+            epoch_loss += batch_loss / num_batches as f32;
+            // Scatter batch gradients back to full-view rows.
+            for (i, &v) in batch.iter().enumerate() {
+                for (dst, &src) in d_h1.row_mut(v).iter_mut().zip(d_hat.row(i)) {
+                    *dst += src / num_batches as f32;
+                }
+                for (dst, &src) in d_h2.row_mut(v).iter_mut().zip(d_tilde_and_neg.row(i)) {
+                    *dst += src / num_batches as f32;
+                }
+            }
+        }
+        // Backprop both views and accumulate; the engine decides whether
+        // this epoch's update is applied.
+        let mut acc = None;
+        GcnEncoder::accumulate(&mut acc, self.encoder.backward(&a1, &c1, &d_h1), 1.0);
+        GcnEncoder::accumulate(&mut acc, self.encoder.backward(&a2, &c2, &d_h2), 1.0);
+        self.grads = acc.unwrap_or_default();
+        let embeddings_bad = cx.guard.embeddings_bad(&[&h1, &h2]);
+        EpochOutcome::Step {
+            loss: epoch_loss,
+            embeddings_bad,
+        }
+    }
+
+    fn grads_mut(&mut self) -> &mut [Matrix] {
+        &mut self.grads
+    }
+
+    fn apply(&mut self, _epoch: usize, lr: f32, _loss: f32) {
+        self.opt.lr = lr;
+        self.opt.step(self.encoder.params_mut(), &self.grads);
+    }
+
+    fn embed(&mut self) -> Matrix {
+        self.encoder.embed(&self.adj_orig, self.x)
     }
 }
 

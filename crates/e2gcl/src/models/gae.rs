@@ -6,12 +6,12 @@
 //! Gaussian posterior and KL regulariser.
 
 use crate::config::TrainConfig;
-use crate::guard::{GuardAction, NumericGuard};
+use crate::engine::{EpochCtx, EpochDriver, EpochOutcome, EpochStep};
 use crate::models::{ContrastiveModel, PretrainResult};
 use e2gcl_datasets::split::sample_non_edges;
-use e2gcl_graph::{norm, CsrGraph};
+use e2gcl_graph::{norm, CsrGraph, SparseMatrix};
 use e2gcl_linalg::{ops, Matrix, SeedRng, TrainError};
-use e2gcl_nn::{loss, optim, optim::Optimizer, Adam, GcnEncoder};
+use e2gcl_nn::{loss, optim::Optimizer, Adam, GcnEncoder, GcnWorkspace};
 use std::time::Instant;
 
 /// Edges scored per epoch (positives; an equal number of negatives is
@@ -68,54 +68,66 @@ impl ContrastiveModel for GaeModel {
     ) -> Result<PretrainResult, TrainError> {
         let start = Instant::now();
         let adj = norm::normalized_adjacency(g);
-        let mut encoder = GcnEncoder::new(&cfg.encoder_dims(x.cols()), &mut rng.fork("init"));
-        let mut opt = Adam::with_weight_decay(cfg.lr, cfg.weight_decay);
-        let mut train_rng = rng.fork("train");
-        let mut loss_curve = Vec::with_capacity(cfg.epochs);
-        let mut checkpoints = Vec::new();
-        let mut guard = NumericGuard::new(&cfg.guard);
-        let fault = cfg.fault.clone().unwrap_or_default();
-        let mut epoch = 0;
-        while epoch < cfg.epochs {
-            let (z, cache) = encoder.forward(&adj, x);
-            let pos = edge_batch(g, &mut train_rng);
-            let neg = sample_non_edges(g, pos.len(), &mut train_rng);
-            let (l, dz) = reconstruction(&z, &pos, &neg);
-            let mut grads = encoder.backward(&adj, &cache, &dz);
-            let l = fault.corrupt_loss(epoch, l);
-            fault.corrupt_gradients(epoch, &mut grads);
-            let grads_bad = optim::grads_non_finite(&grads);
-            let emb_bad = guard.embeddings_bad(&[&z]);
-            match guard.inspect(epoch, l, grads_bad, emb_bad)? {
-                GuardAction::Proceed => {
-                    if let Some(max) = cfg.guard.max_grad_norm {
-                        optim::clip_grad_norm(&mut grads, max);
-                    }
-                    opt.lr = cfg.lr * guard.lr_scale;
-                    opt.step(encoder.params_mut(), &grads);
-                    loss_curve.push(l);
-                    if let Some(every) = cfg.checkpoint_every {
-                        if (epoch + 1) % every == 0 || epoch + 1 == cfg.epochs {
-                            checkpoints
-                                .push((start.elapsed().as_secs_f64(), encoder.embed(&adj, x)));
-                        }
-                    }
-                    epoch += 1;
-                }
-                GuardAction::SkipEpoch => {
-                    loss_curve.push(l);
-                    epoch += 1;
-                }
-                GuardAction::RetryEpoch { .. } => {}
-            }
-        }
+        let encoder = GcnEncoder::new(&cfg.encoder_dims(x.cols()), &mut rng.fork("init"));
+        let opt = Adam::with_weight_decay(cfg.lr, cfg.weight_decay);
+        let train_rng = rng.fork("train");
+        let mut step = GaeStep {
+            g,
+            x,
+            adj,
+            encoder,
+            opt,
+            train_rng,
+            ws: GcnWorkspace::new(),
+        };
+        let run = EpochDriver::new(cfg).run(&mut step, start)?;
         Ok(PretrainResult {
-            embeddings: encoder.embed(&adj, x),
+            embeddings: run.embeddings,
             selection_time: std::time::Duration::ZERO,
             total_time: start.elapsed(),
-            checkpoints,
-            loss_curve,
+            checkpoints: run.checkpoints,
+            loss_curve: run.loss_curve,
         })
+    }
+}
+
+/// One GAE epoch: encode, score an edge batch with the inner-product
+/// decoder, and backprop the BCE reconstruction gradient.
+struct GaeStep<'a> {
+    g: &'a CsrGraph,
+    x: &'a Matrix,
+    adj: SparseMatrix,
+    encoder: GcnEncoder,
+    opt: Adam,
+    train_rng: SeedRng,
+    ws: GcnWorkspace,
+}
+
+impl EpochStep for GaeStep<'_> {
+    fn epoch(&mut self, cx: &mut EpochCtx<'_>) -> EpochOutcome {
+        self.encoder.forward_with(&self.adj, self.x, &mut self.ws);
+        let pos = edge_batch(self.g, &mut self.train_rng);
+        let neg = sample_non_edges(self.g, pos.len(), &mut self.train_rng);
+        let (l, dz) = reconstruction(self.ws.output(), &pos, &neg);
+        self.encoder.backward_with(&self.adj, &mut self.ws, &dz);
+        let embeddings_bad = cx.guard.embeddings_bad(&[self.ws.output()]);
+        EpochOutcome::Step {
+            loss: l,
+            embeddings_bad,
+        }
+    }
+
+    fn grads_mut(&mut self) -> &mut [Matrix] {
+        self.ws.grads_mut()
+    }
+
+    fn apply(&mut self, _epoch: usize, lr: f32, _loss: f32) {
+        self.opt.lr = lr;
+        self.opt.step(self.encoder.params_mut(), self.ws.grads());
+    }
+
+    fn embed(&mut self) -> Matrix {
+        self.encoder.embed(&self.adj, self.x)
     }
 }
 
@@ -151,88 +163,112 @@ impl ContrastiveModel for VgaeModel {
         let d = cfg.embed_dim;
         // Encoder emits [μ | log σ²] side by side.
         let dims = vec![x.cols(), cfg.hidden_dim, 2 * d];
-        let mut encoder = GcnEncoder::new(&dims, &mut rng.fork("init"));
-        let mut opt = Adam::with_weight_decay(cfg.lr, cfg.weight_decay);
-        let mut train_rng = rng.fork("train");
-        let mut loss_curve = Vec::with_capacity(cfg.epochs);
-        let mut checkpoints = Vec::new();
+        let encoder = GcnEncoder::new(&dims, &mut rng.fork("init"));
+        let opt = Adam::with_weight_decay(cfg.lr, cfg.weight_decay);
+        let train_rng = rng.fork("train");
         let n = g.num_nodes();
-        let kl_scale = self.kl_weight / n as f32;
-        let mut guard = NumericGuard::new(&cfg.guard);
-        let fault = cfg.fault.clone().unwrap_or_default();
-        let mut epoch = 0;
-        while epoch < cfg.epochs {
-            let (out, cache) = encoder.forward(&adj, x);
-            // Split, reparameterise.
-            let mut z = Matrix::zeros(n, d);
-            let mut eps = Matrix::zeros(n, d);
-            for v in 0..n {
-                for j in 0..d {
-                    let mu = out.get(v, j);
-                    let logvar = out.get(v, d + j).clamp(-10.0, 10.0);
-                    let e = train_rng.normal();
-                    eps.set(v, j, e);
-                    z.set(v, j, mu + e * (0.5 * logvar).exp());
-                }
-            }
-            let pos = edge_batch(g, &mut train_rng);
-            let neg = sample_non_edges(g, pos.len(), &mut train_rng);
-            let (recon, dz) = reconstruction(&z, &pos, &neg);
-            // KL(q || N(0,I)) and total gradient wrt [μ | log σ²].
-            let mut kl = 0.0f64;
-            let mut d_out = Matrix::zeros(n, 2 * d);
-            for v in 0..n {
-                for j in 0..d {
-                    let mu = out.get(v, j);
-                    let logvar = out.get(v, d + j).clamp(-10.0, 10.0);
-                    kl += f64::from(-0.5 * (1.0 + logvar - mu * mu - logvar.exp()) * kl_scale);
-                    let dzv = dz.get(v, j);
-                    d_out.set(v, j, dzv + kl_scale * mu);
-                    d_out.set(
-                        v,
-                        d + j,
-                        dzv * eps.get(v, j) * 0.5 * (0.5 * logvar).exp()
-                            + kl_scale * 0.5 * (logvar.exp() - 1.0),
-                    );
-                }
-            }
-            let mut grads = encoder.backward(&adj, &cache, &d_out);
-            let l = fault.corrupt_loss(epoch, recon + kl as f32);
-            fault.corrupt_gradients(epoch, &mut grads);
-            let grads_bad = optim::grads_non_finite(&grads);
-            let emb_bad = guard.embeddings_bad(&[&z]);
-            match guard.inspect(epoch, l, grads_bad, emb_bad)? {
-                GuardAction::Proceed => {
-                    if let Some(max) = cfg.guard.max_grad_norm {
-                        optim::clip_grad_norm(&mut grads, max);
-                    }
-                    opt.lr = cfg.lr * guard.lr_scale;
-                    opt.step(encoder.params_mut(), &grads);
-                    loss_curve.push(l);
-                    if let Some(every) = cfg.checkpoint_every {
-                        if (epoch + 1) % every == 0 || epoch + 1 == cfg.epochs {
-                            checkpoints.push((
-                                start.elapsed().as_secs_f64(),
-                                mu_embeddings(&encoder, &adj, x, d),
-                            ));
-                        }
-                    }
-                    epoch += 1;
-                }
-                GuardAction::SkipEpoch => {
-                    loss_curve.push(l);
-                    epoch += 1;
-                }
-                GuardAction::RetryEpoch { .. } => {}
-            }
-        }
+        let mut step = VgaeStep {
+            g,
+            x,
+            adj,
+            encoder,
+            opt,
+            train_rng,
+            d,
+            kl_scale: self.kl_weight / n as f32,
+            ws: GcnWorkspace::new(),
+            z: Matrix::default(),
+            eps: Matrix::default(),
+            d_out: Matrix::default(),
+        };
+        let run = EpochDriver::new(cfg).run(&mut step, start)?;
         Ok(PretrainResult {
-            embeddings: mu_embeddings(&encoder, &adj, x, d),
+            embeddings: run.embeddings,
             selection_time: std::time::Duration::ZERO,
             total_time: start.elapsed(),
-            checkpoints,
-            loss_curve,
+            checkpoints: run.checkpoints,
+            loss_curve: run.loss_curve,
         })
+    }
+}
+
+/// One VGAE epoch: encode to `[μ | log σ²]`, reparameterise, decode an edge
+/// batch, and backprop reconstruction + KL through the posterior.
+struct VgaeStep<'a> {
+    g: &'a CsrGraph,
+    x: &'a Matrix,
+    adj: SparseMatrix,
+    encoder: GcnEncoder,
+    opt: Adam,
+    train_rng: SeedRng,
+    /// Latent width (the encoder's output is `2 * d` wide).
+    d: usize,
+    kl_scale: f32,
+    ws: GcnWorkspace,
+    z: Matrix,
+    eps: Matrix,
+    d_out: Matrix,
+}
+
+impl EpochStep for VgaeStep<'_> {
+    fn epoch(&mut self, cx: &mut EpochCtx<'_>) -> EpochOutcome {
+        let (n, d) = (self.g.num_nodes(), self.d);
+        self.encoder.forward_with(&self.adj, self.x, &mut self.ws);
+        let out = self.ws.output();
+        // Split, reparameterise.
+        self.z.reset_zeroed(n, d);
+        self.eps.reset_zeroed(n, d);
+        for v in 0..n {
+            for j in 0..d {
+                let mu = out.get(v, j);
+                let logvar = out.get(v, d + j).clamp(-10.0, 10.0);
+                let e = self.train_rng.normal();
+                self.eps.set(v, j, e);
+                self.z.set(v, j, mu + e * (0.5 * logvar).exp());
+            }
+        }
+        let pos = edge_batch(self.g, &mut self.train_rng);
+        let neg = sample_non_edges(self.g, pos.len(), &mut self.train_rng);
+        let (recon, dz) = reconstruction(&self.z, &pos, &neg);
+        // KL(q || N(0,I)) and total gradient wrt [μ | log σ²].
+        let kl_scale = self.kl_scale;
+        let mut kl = 0.0f64;
+        self.d_out.reset_zeroed(n, 2 * d);
+        for v in 0..n {
+            for j in 0..d {
+                let mu = out.get(v, j);
+                let logvar = out.get(v, d + j).clamp(-10.0, 10.0);
+                kl += f64::from(-0.5 * (1.0 + logvar - mu * mu - logvar.exp()) * kl_scale);
+                let dzv = dz.get(v, j);
+                self.d_out.set(v, j, dzv + kl_scale * mu);
+                self.d_out.set(
+                    v,
+                    d + j,
+                    dzv * self.eps.get(v, j) * 0.5 * (0.5 * logvar).exp()
+                        + kl_scale * 0.5 * (logvar.exp() - 1.0),
+                );
+            }
+        }
+        self.encoder
+            .backward_with(&self.adj, &mut self.ws, &self.d_out);
+        let embeddings_bad = cx.guard.embeddings_bad(&[&self.z]);
+        EpochOutcome::Step {
+            loss: recon + kl as f32,
+            embeddings_bad,
+        }
+    }
+
+    fn grads_mut(&mut self) -> &mut [Matrix] {
+        self.ws.grads_mut()
+    }
+
+    fn apply(&mut self, _epoch: usize, lr: f32, _loss: f32) {
+        self.opt.lr = lr;
+        self.opt.step(self.encoder.params_mut(), self.ws.grads());
+    }
+
+    fn embed(&mut self) -> Matrix {
+        mu_embeddings(&self.encoder, &self.adj, self.x, self.d)
     }
 }
 

@@ -9,11 +9,12 @@
 //! view, which the paper shows improves every baseline it upgrades.
 
 use crate::config::TrainConfig;
-use crate::guard::{GuardAction, NumericGuard};
+use crate::engine::{EpochCtx, EpochDriver, EpochOutcome, EpochStep};
 use crate::models::{shuffled_batches, ContrastiveModel, PretrainResult};
-use e2gcl_graph::{norm, CsrGraph};
+use e2gcl_graph::{norm, CsrGraph, SparseMatrix};
 use e2gcl_linalg::{Matrix, SeedRng, TrainError};
-use e2gcl_nn::{loss, optim, optim::Optimizer, Adam, GcnEncoder, Mlp};
+use e2gcl_nn::loss::InfoNceScratch;
+use e2gcl_nn::{loss, optim::Optimizer, Adam, GcnEncoder, GcnWorkspace, Mlp, MlpWorkspace};
 use e2gcl_views::{scores::GraphScores, uniform};
 use std::time::Instant;
 
@@ -153,117 +154,178 @@ impl ContrastiveModel for GraceModel {
             .adaptive
             .then(|| uniform::gca_edge_drop_probs(g, 1.0));
         let adj_orig = norm::normalized_adjacency(g);
-        let mut encoder = GcnEncoder::new(&cfg.encoder_dims(x.cols()), &mut rng.fork("init"));
-        let mut head = Mlp::new(
+        let encoder = GcnEncoder::new(&cfg.encoder_dims(x.cols()), &mut rng.fork("init"));
+        let head = Mlp::new(
             cfg.embed_dim,
             self.config.proj_dim,
             self.config.proj_dim,
             &mut rng.fork("head"),
         );
-        let mut opt = Adam::with_weight_decay(cfg.lr, cfg.weight_decay);
-        let mut train_rng = rng.fork("train");
-        let mut loss_curve = Vec::with_capacity(cfg.epochs);
-        let mut checkpoints = Vec::new();
-        let mut guard = NumericGuard::new(&cfg.guard);
-        let fault = cfg.fault.clone().unwrap_or_default();
-        let n = g.num_nodes();
-        let mut epoch = 0;
-        while epoch < cfg.epochs {
-            let lr = cfg.lr * guard.lr_scale;
-            let (g1, mut x1) = self.make_view(
-                g,
-                x,
-                &scores,
-                edge_probs.as_deref(),
-                self.config.drop_edge.0,
-                self.config.mask_feat.0,
-                &mut train_rng,
-            );
-            let (g2, x2) = self.make_view(
-                g,
-                x,
-                &scores,
-                edge_probs.as_deref(),
-                self.config.drop_edge.1,
-                self.config.mask_feat.1,
-                &mut train_rng,
-            );
-            fault.corrupt_features(epoch, &mut x1);
-            let a1 = norm::normalized_adjacency(&g1);
-            let a2 = norm::normalized_adjacency(&g2);
-            let (h1, c1) = encoder.forward(&a1, &x1);
-            let (h2, c2) = encoder.forward(&a2, &x2);
-            let mut d_h1 = Matrix::zeros(n, cfg.embed_dim);
-            let mut d_h2 = Matrix::zeros(n, cfg.embed_dim);
-            let batches = shuffled_batches(n, cfg.batch_size, &mut train_rng);
-            let num_batches = batches.len() as f32;
-            let mut epoch_loss = 0.0;
-            for batch in batches {
-                if batch.len() < 2 {
-                    continue;
-                }
-                let hb1 = h1.select_rows(&batch);
-                let hb2 = h2.select_rows(&batch);
-                let (z1, hc1) = head.forward(&hb1);
-                let (z2, hc2) = head.forward(&hb2);
-                let out = loss::info_nce(&z1, &z2, self.config.tau);
-                epoch_loss += out.loss / num_batches;
-                let hg1 = head.backward(&hc1, &out.d_z1);
-                let hg2 = head.backward(&hc2, &out.d_z2);
-                for (i, &v) in batch.iter().enumerate() {
-                    for (dst, &src) in d_h1.row_mut(v).iter_mut().zip(hg1.dx.row(i)) {
-                        *dst += src / num_batches;
-                    }
-                    for (dst, &src) in d_h2.row_mut(v).iter_mut().zip(hg2.dx.row(i)) {
-                        *dst += src / num_batches;
-                    }
-                }
-                head.step(&hg1, lr / num_batches, 0.0);
-                head.step(&hg2, lr / num_batches, 0.0);
-            }
-            let mut acc = None;
-            GcnEncoder::accumulate(&mut acc, encoder.backward(&a1, &c1, &d_h1), 1.0);
-            GcnEncoder::accumulate(&mut acc, encoder.backward(&a2, &c2, &d_h2), 1.0);
-            let Some(mut grads) = acc else {
-                epoch += 1;
-                continue;
-            };
-            let epoch_loss = fault.corrupt_loss(epoch, epoch_loss);
-            fault.corrupt_gradients(epoch, &mut grads);
-            let grads_bad = optim::grads_non_finite(&grads);
-            let emb_bad = guard.embeddings_bad(&[&h1, &h2]);
-            match guard.inspect(epoch, epoch_loss, grads_bad, emb_bad)? {
-                GuardAction::Proceed => {
-                    if let Some(max) = cfg.guard.max_grad_norm {
-                        optim::clip_grad_norm(&mut grads, max);
-                    }
-                    opt.lr = lr;
-                    opt.step(encoder.params_mut(), &grads);
-                    loss_curve.push(epoch_loss);
-                    if let Some(every) = cfg.checkpoint_every {
-                        if (epoch + 1) % every == 0 || epoch + 1 == cfg.epochs {
-                            checkpoints
-                                .push((start.elapsed().as_secs_f64(), encoder.embed(&adj_orig, x)));
-                        }
-                    }
-                    epoch += 1;
-                }
-                GuardAction::SkipEpoch => {
-                    loss_curve.push(epoch_loss);
-                    epoch += 1;
-                }
-                // The projection head already stepped this epoch; only the
-                // encoder update is discarded and re-attempted at lower lr.
-                GuardAction::RetryEpoch { .. } => {}
-            }
-        }
+        let opt = Adam::with_weight_decay(cfg.lr, cfg.weight_decay);
+        let train_rng = rng.fork("train");
+        let mut step = GraceStep {
+            model: self,
+            g,
+            x,
+            cfg,
+            scores,
+            edge_probs,
+            adj_orig,
+            encoder,
+            head,
+            opt,
+            train_rng,
+            ws1: GcnWorkspace::new(),
+            ws2: GcnWorkspace::new(),
+            head_ws1: MlpWorkspace::new(),
+            head_ws2: MlpWorkspace::new(),
+            nce: InfoNceScratch::default(),
+            d_h1: Matrix::default(),
+            d_h2: Matrix::default(),
+            hb1: Matrix::default(),
+            hb2: Matrix::default(),
+        };
+        let run = EpochDriver::new(cfg).run(&mut step, start)?;
         Ok(PretrainResult {
-            embeddings: encoder.embed(&adj_orig, x),
+            embeddings: run.embeddings,
             selection_time: std::time::Duration::ZERO,
             total_time: start.elapsed(),
-            checkpoints,
-            loss_curve,
+            checkpoints: run.checkpoints,
+            loss_curve: run.loss_curve,
         })
+    }
+}
+
+/// One GRACE/GCA epoch. Encoder and projection-head passes run through
+/// persistent workspaces, so steady-state epochs only allocate for the
+/// sampled views themselves.
+struct GraceStep<'a> {
+    model: &'a GraceModel,
+    g: &'a CsrGraph,
+    x: &'a Matrix,
+    cfg: &'a TrainConfig,
+    scores: GraphScores,
+    edge_probs: Option<Vec<f32>>,
+    adj_orig: SparseMatrix,
+    encoder: GcnEncoder,
+    head: Mlp,
+    opt: Adam,
+    train_rng: SeedRng,
+    ws1: GcnWorkspace,
+    ws2: GcnWorkspace,
+    head_ws1: MlpWorkspace,
+    head_ws2: MlpWorkspace,
+    nce: InfoNceScratch,
+    d_h1: Matrix,
+    d_h2: Matrix,
+    hb1: Matrix,
+    hb2: Matrix,
+}
+
+impl EpochStep for GraceStep<'_> {
+    fn epoch(&mut self, cx: &mut EpochCtx<'_>) -> EpochOutcome {
+        let cfg = self.cfg;
+        let conf = &self.model.config;
+        let n = self.g.num_nodes();
+        let (g1, mut x1) = self.model.make_view(
+            self.g,
+            self.x,
+            &self.scores,
+            self.edge_probs.as_deref(),
+            conf.drop_edge.0,
+            conf.mask_feat.0,
+            &mut self.train_rng,
+        );
+        let (g2, x2) = self.model.make_view(
+            self.g,
+            self.x,
+            &self.scores,
+            self.edge_probs.as_deref(),
+            conf.drop_edge.1,
+            conf.mask_feat.1,
+            &mut self.train_rng,
+        );
+        cx.fault.corrupt_features(cx.epoch, &mut x1);
+        let a1 = norm::normalized_adjacency(&g1);
+        let a2 = norm::normalized_adjacency(&g2);
+        self.encoder.forward_with(&a1, &x1, &mut self.ws1);
+        self.encoder.forward_with(&a2, &x2, &mut self.ws2);
+        self.d_h1.reset_zeroed(n, cfg.embed_dim);
+        self.d_h2.reset_zeroed(n, cfg.embed_dim);
+        let batches = shuffled_batches(n, cfg.batch_size, &mut self.train_rng);
+        let num_batches = batches.len() as f32;
+        let mut epoch_loss = 0.0;
+        for batch in batches {
+            if batch.len() < 2 {
+                continue;
+            }
+            self.ws1.output().select_rows_into(&batch, &mut self.hb1);
+            self.ws2.output().select_rows_into(&batch, &mut self.hb2);
+            self.head.forward_with(&self.hb1, &mut self.head_ws1);
+            self.head.forward_with(&self.hb2, &mut self.head_ws2);
+            let batch_loss = loss::info_nce_with(
+                self.head_ws1.output(),
+                self.head_ws2.output(),
+                conf.tau,
+                &mut self.nce,
+            );
+            epoch_loss += batch_loss / num_batches;
+            self.head
+                .backward_with(&self.hb1, self.nce.d_z1(), &mut self.head_ws1);
+            self.head
+                .backward_with(&self.hb2, self.nce.d_z2(), &mut self.head_ws2);
+            for (i, &v) in batch.iter().enumerate() {
+                for (dst, &src) in self
+                    .d_h1
+                    .row_mut(v)
+                    .iter_mut()
+                    .zip(self.head_ws1.d_input().row(i))
+                {
+                    *dst += src / num_batches;
+                }
+                for (dst, &src) in self
+                    .d_h2
+                    .row_mut(v)
+                    .iter_mut()
+                    .zip(self.head_ws2.d_input().row(i))
+                {
+                    *dst += src / num_batches;
+                }
+            }
+            // The head steps inside the epoch, before the guard verdict: on
+            // a retry only the encoder update is discarded (as before).
+            self.head
+                .step(self.head_ws1.grads(), cx.lr / num_batches, 0.0);
+            self.head
+                .step(self.head_ws2.grads(), cx.lr / num_batches, 0.0);
+        }
+        self.encoder.backward_with(&a1, &mut self.ws1, &self.d_h1);
+        self.encoder.backward_with(&a2, &mut self.ws2, &self.d_h2);
+        // Sum both views' gradients in place (== GcnEncoder::accumulate at
+        // scale 1.0); the engine reads them via `grads_mut`.
+        for (acc, g) in self.ws1.grads_mut().iter_mut().zip(self.ws2.grads()) {
+            acc.axpy(1.0, g);
+        }
+        let embeddings_bad = cx
+            .guard
+            .embeddings_bad(&[self.ws1.output(), self.ws2.output()]);
+        EpochOutcome::Step {
+            loss: epoch_loss,
+            embeddings_bad,
+        }
+    }
+
+    fn grads_mut(&mut self) -> &mut [Matrix] {
+        self.ws1.grads_mut()
+    }
+
+    fn apply(&mut self, _epoch: usize, lr: f32, _loss: f32) {
+        self.opt.lr = lr;
+        self.opt.step(self.encoder.params_mut(), self.ws1.grads());
+    }
+
+    fn embed(&mut self) -> Matrix {
+        self.encoder.embed(&self.adj_orig, self.x)
     }
 }
 

@@ -5,7 +5,7 @@
 //! to show the value of incorporating node features.
 
 use crate::config::TrainConfig;
-use crate::guard::{GuardAction, NumericGuard};
+use crate::engine::{EpochCtx, EpochDriver, EpochOutcome, EpochStep};
 use crate::models::{ContrastiveModel, PretrainResult};
 use e2gcl_graph::CsrGraph;
 use e2gcl_linalg::{activations, ops, Matrix, SeedRng, TrainError};
@@ -131,88 +131,116 @@ impl ContrastiveModel for WalkModel {
         for v in w_in.as_mut_slice() {
             *v = (rng.uniform() - 0.5) / d as f32;
         }
-        let mut w_out = Matrix::zeros(n, d);
-        let mut loss_curve = Vec::with_capacity(cfg.epochs);
-        let mut checkpoints = Vec::new();
+        let w_out = Matrix::zeros(n, d);
         // Degree-based negative-sampling table.
         let neg_weights: Vec<f32> = (0..n)
             .map(|v| (g.degree(v) as f32 + 1.0).powf(0.75))
             .collect();
-        let mut order: Vec<usize> = (0..n).collect();
-        let mut guard = NumericGuard::new(&cfg.guard);
-        let fault = cfg.fault.clone().unwrap_or_default();
-        let mut epoch = 0;
-        while epoch < cfg.epochs {
-            let lr = self.config.lr * guard.lr_scale;
-            let mut epoch_loss = 0.0f64;
-            let mut pairs = 0usize;
-            rng.shuffle(&mut order);
-            for &startv in &order {
-                for _ in 0..self.config.walks_per_node {
-                    let walk = self.walk(g, startv, &mut rng);
-                    for (i, &center) in walk.iter().enumerate() {
-                        let lo = i.saturating_sub(self.config.window);
-                        let hi = (i + self.config.window + 1).min(walk.len());
-                        for &ctx in &walk[lo..hi] {
-                            if ctx == center {
+        let order: Vec<usize> = (0..n).collect();
+        let mut step = WalkStep {
+            model: self,
+            g,
+            rng,
+            w_in,
+            w_out,
+            neg_weights,
+            order,
+        };
+        let run = EpochDriver::new(cfg).run(&mut step, start)?;
+        Ok(PretrainResult {
+            embeddings: run.embeddings,
+            selection_time: std::time::Duration::ZERO,
+            total_time: start.elapsed(),
+            checkpoints: run.checkpoints,
+            loss_curve: run.loss_curve,
+        })
+    }
+}
+
+/// One DeepWalk / Node2Vec epoch: walks from every node with in-place SGNS
+/// updates. There are no deferred gradients — the update *is* the epoch —
+/// so `grads_mut` is empty, `apply` is a no-op, and `discard_supported` is
+/// `false` (a retry would replay the bad updates on top of themselves; the
+/// guard's halved lr still applies to later epochs).
+struct WalkStep<'a> {
+    model: &'a WalkModel,
+    g: &'a CsrGraph,
+    rng: SeedRng,
+    w_in: Matrix,
+    w_out: Matrix,
+    neg_weights: Vec<f32>,
+    order: Vec<usize>,
+}
+
+impl EpochStep for WalkStep<'_> {
+    fn epoch(&mut self, cx: &mut EpochCtx<'_>) -> EpochOutcome {
+        let conf = &self.model.config;
+        let lr = cx.lr;
+        let mut epoch_loss = 0.0f64;
+        let mut pairs = 0usize;
+        let mut order = std::mem::take(&mut self.order);
+        self.rng.shuffle(&mut order);
+        for &startv in &order {
+            for _ in 0..conf.walks_per_node {
+                let walk = self.model.walk(self.g, startv, &mut self.rng);
+                for (i, &center) in walk.iter().enumerate() {
+                    let lo = i.saturating_sub(conf.window);
+                    let hi = (i + conf.window + 1).min(walk.len());
+                    for &ctx in &walk[lo..hi] {
+                        if ctx == center {
+                            continue;
+                        }
+                        // SGNS update for (center -> ctx).
+                        let score = ops::dot(self.w_in.row(center), self.w_out.row(ctx));
+                        let p = activations::sigmoid(score);
+                        epoch_loss -= f64::from((p.max(1e-7)).ln());
+                        pairs += 1;
+                        let gpos = lr * (1.0 - p);
+                        let ctx_row = self.w_out.row(ctx).to_vec();
+                        let cen_row = self.w_in.row(center).to_vec();
+                        ops::axpy_slice(self.w_in.row_mut(center), gpos, &ctx_row);
+                        ops::axpy_slice(self.w_out.row_mut(ctx), gpos, &cen_row);
+                        for _ in 0..conf.negatives {
+                            let negv = self.rng.weighted_index(&self.neg_weights);
+                            if negv == center {
                                 continue;
                             }
-                            // SGNS update for (center -> ctx).
-                            let score = ops::dot(w_in.row(center), w_out.row(ctx));
+                            let score = ops::dot(self.w_in.row(center), self.w_out.row(negv));
                             let p = activations::sigmoid(score);
-                            epoch_loss -= f64::from((p.max(1e-7)).ln());
-                            pairs += 1;
-                            let gpos = lr * (1.0 - p);
-                            let ctx_row = w_out.row(ctx).to_vec();
-                            let cen_row = w_in.row(center).to_vec();
-                            ops::axpy_slice(w_in.row_mut(center), gpos, &ctx_row);
-                            ops::axpy_slice(w_out.row_mut(ctx), gpos, &cen_row);
-                            for _ in 0..self.config.negatives {
-                                let negv = rng.weighted_index(&neg_weights);
-                                if negv == center {
-                                    continue;
-                                }
-                                let score = ops::dot(w_in.row(center), w_out.row(negv));
-                                let p = activations::sigmoid(score);
-                                let gneg = -lr * p;
-                                let neg_row = w_out.row(negv).to_vec();
-                                let cen_row = w_in.row(center).to_vec();
-                                ops::axpy_slice(w_in.row_mut(center), gneg, &neg_row);
-                                ops::axpy_slice(w_out.row_mut(negv), gneg, &cen_row);
-                            }
+                            let gneg = -lr * p;
+                            let neg_row = self.w_out.row(negv).to_vec();
+                            let cen_row = self.w_in.row(center).to_vec();
+                            ops::axpy_slice(self.w_in.row_mut(center), gneg, &neg_row);
+                            ops::axpy_slice(self.w_out.row_mut(negv), gneg, &cen_row);
                         }
                     }
-                }
-            }
-            let l = fault.corrupt_loss(epoch, (epoch_loss / pairs.max(1) as f64) as f32);
-            let emb_bad = guard.embeddings_bad(&[&w_in]);
-            match guard.inspect(epoch, l, false, emb_bad)? {
-                GuardAction::Proceed | GuardAction::SkipEpoch => {
-                    loss_curve.push(l);
-                    if let Some(every) = cfg.checkpoint_every {
-                        if (epoch + 1) % every == 0 || epoch + 1 == cfg.epochs {
-                            checkpoints.push((start.elapsed().as_secs_f64(), w_in.clone()));
-                        }
-                    }
-                    epoch += 1;
-                }
-                // SGNS updates are applied inline and cannot be discarded, so
-                // a retry would replay the bad updates on top of themselves.
-                // Advance instead; the halved lr still applies to later epochs
-                // and the guard's failure budget still bounds persistent faults.
-                GuardAction::RetryEpoch { .. } => {
-                    loss_curve.push(l);
-                    epoch += 1;
                 }
             }
         }
-        Ok(PretrainResult {
-            embeddings: w_in,
-            selection_time: std::time::Duration::ZERO,
-            total_time: start.elapsed(),
-            checkpoints,
-            loss_curve,
-        })
+        self.order = order;
+        let embeddings_bad = cx.guard.embeddings_bad(&[&self.w_in]);
+        EpochOutcome::Step {
+            loss: (epoch_loss / pairs.max(1) as f64) as f32,
+            embeddings_bad,
+        }
+    }
+
+    fn grads_mut(&mut self) -> &mut [Matrix] {
+        &mut []
+    }
+
+    fn base_lr(&self, _cfg: &TrainConfig) -> f32 {
+        self.model.config.lr
+    }
+
+    fn discard_supported(&self) -> bool {
+        false
+    }
+
+    fn apply(&mut self, _epoch: usize, _lr: f32, _loss: f32) {}
+
+    fn embed(&mut self) -> Matrix {
+        self.w_in.clone()
     }
 }
 

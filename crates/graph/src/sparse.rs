@@ -93,8 +93,23 @@ impl SparseMatrix {
     /// layer forward/backward pass.
     pub fn spmm(&self, x: &Matrix) -> Matrix {
         assert_eq!(self.cols, x.rows(), "spmm shape mismatch");
+        let mut out = Matrix::zeros(self.rows, x.cols());
+        self.spmm_impl(x, &mut out);
+        out
+    }
+
+    /// [`SparseMatrix::spmm`] into a reusable output buffer (reshaped and
+    /// zeroed; bit-identical result). The scratch-layer entry point used by
+    /// the GCN forward/backward hot path so steady-state epochs allocate no
+    /// new matrices here.
+    pub fn spmm_into(&self, x: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.cols, x.rows(), "spmm shape mismatch");
+        out.reset_zeroed(self.rows, x.cols());
+        self.spmm_impl(x, out);
+    }
+
+    fn spmm_impl(&self, x: &Matrix, out: &mut Matrix) {
         let d = x.cols();
-        let mut out = Matrix::zeros(self.rows, d);
         out.as_mut_slice()
             .par_chunks_mut(d)
             .enumerate()
@@ -108,7 +123,6 @@ impl SparseMatrix {
                     }
                 }
             });
-        out
     }
 
     /// Applies `self` `power` times: `self^power * x`.
@@ -174,6 +188,23 @@ mod tests {
         let got = s.spmm(&x);
         let expect = s.to_dense().matmul(&x);
         assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn spmm_into_reuses_scratch_and_matches() {
+        let s = SparseMatrix::from_triplets(
+            3,
+            3,
+            &[(0, 1, 2.0), (1, 0, -1.0), (1, 2, 0.5), (2, 2, 3.0)],
+        );
+        let x = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]);
+        // Dirty, mis-shaped scratch must be reshaped and fully redefined.
+        let mut out = Matrix::filled(1, 5, f32::NAN);
+        s.spmm_into(&x, &mut out);
+        assert_eq!(out, s.spmm(&x));
+        // Second call with warm scratch is identical.
+        s.spmm_into(&x, &mut out);
+        assert_eq!(out, s.spmm(&x));
     }
 
     #[test]

@@ -29,6 +29,16 @@ pub fn sigmoid_inplace(m: &mut Matrix) {
     m.map_inplace(sigmoid);
 }
 
+/// Multiplies `dst` element-wise by the ReLU gradient mask of the
+/// pre-activation `z` without materialising the mask matrix. Bit-identical
+/// to `dst.mul_assign_elem(&relu_grad_mask(z))`.
+pub fn relu_mask_mul_inplace(dst: &mut Matrix, z: &Matrix) {
+    assert_eq!(dst.shape(), z.shape(), "relu mask shape mismatch");
+    for (d, &v) in dst.as_mut_slice().iter_mut().zip(z.as_slice()) {
+        *d *= if v > 0.0 { 1.0 } else { 0.0 };
+    }
+}
+
 /// PReLU-free ELU (alpha = 1), used by some projection heads.
 pub fn elu_inplace(m: &mut Matrix) {
     m.map_inplace(|v| if v > 0.0 { v } else { v.exp_m1() });
@@ -37,6 +47,16 @@ pub fn elu_inplace(m: &mut Matrix) {
 /// Derivative of ELU at pre-activation `z`.
 pub fn elu_grad_mask(z: &Matrix) -> Matrix {
     z.map(|v| if v > 0.0 { 1.0 } else { v.exp() })
+}
+
+/// Multiplies `dst` element-wise by the ELU gradient mask of the
+/// pre-activation `z` without materialising the mask matrix. Bit-identical
+/// to `dst.mul_assign_elem(&elu_grad_mask(z))`.
+pub fn elu_mask_mul_inplace(dst: &mut Matrix, z: &Matrix) {
+    assert_eq!(dst.shape(), z.shape(), "elu mask shape mismatch");
+    for (d, &v) in dst.as_mut_slice().iter_mut().zip(z.as_slice()) {
+        *d *= if v > 0.0 { 1.0 } else { v.exp() };
+    }
 }
 
 /// Row-wise softmax in place (stable: subtracts the row max).
@@ -126,6 +146,22 @@ mod tests {
         assert!((softplus(0.0) - 2.0f32.ln()).abs() < 1e-6);
         assert!((softplus(50.0) - 50.0).abs() < 1e-4);
         assert!(softplus(-50.0) >= 0.0);
+    }
+
+    #[test]
+    fn fused_masks_match_materialised_masks() {
+        let z = Matrix::from_rows(&[&[-1.5, 0.0, 2.0], &[0.3, -0.1, -7.0]]);
+        let d = Matrix::from_rows(&[&[1.0, -2.0, 3.0], &[0.5, 4.0, -1.0]]);
+        let mut relu_fused = d.clone();
+        relu_mask_mul_inplace(&mut relu_fused, &z);
+        let mut relu_ref = d.clone();
+        relu_ref.mul_assign_elem(&relu_grad_mask(&z));
+        assert_eq!(relu_fused, relu_ref);
+        let mut elu_fused = d.clone();
+        elu_mask_mul_inplace(&mut elu_fused, &z);
+        let mut elu_ref = d.clone();
+        elu_ref.mul_assign_elem(&elu_grad_mask(&z));
+        assert_eq!(elu_fused, elu_ref);
     }
 
     #[test]

@@ -1,0 +1,45 @@
+//! Process-wide counter of fresh [`crate::Matrix`] buffer allocations.
+//!
+//! The training engine's scratch-buffer contract promises that steady-state
+//! epochs reuse matrices instead of allocating new ones. That promise is
+//! only enforceable if it is observable: every place a `Matrix` acquires a
+//! new (or regrown) heap buffer bumps this counter, so a test or bench can
+//! bracket a region and assert its allocation count — zero for the GCN
+//! forward/backward hot path once scratch is warm.
+//!
+//! The counter is a single relaxed atomic: ordering does not matter for a
+//! monotone tally, and the cost (one uncontended `fetch_add` per matrix
+//! *allocation*, never per element) is invisible next to the buffer zeroing
+//! it accompanies.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static MATRIX_ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+/// Records one fresh matrix-buffer allocation (or capacity regrowth).
+#[inline]
+pub(crate) fn record() {
+    MATRIX_ALLOCS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Total matrix-buffer allocations since process start. Monotone; meaningful
+/// only as a delta around a bracketed region.
+pub fn matrix_allocs() -> u64 {
+    MATRIX_ALLOCS.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Matrix;
+
+    // The counter is process-global and unit tests run concurrently, so this
+    // only asserts monotone lower bounds; exact zero-alloc assertions live in
+    // single-test integration binaries (see the nn scratch tests).
+    #[test]
+    fn fresh_matrices_count() {
+        let before = super::matrix_allocs();
+        let a = Matrix::zeros(8, 8);
+        let _b = a.clone();
+        assert!(super::matrix_allocs() >= before + 2);
+    }
+}

@@ -13,6 +13,7 @@
 //! * No `unsafe`.
 
 pub mod activations;
+pub mod alloc_stats;
 pub mod error;
 pub mod init;
 pub mod matrix;

@@ -8,11 +8,49 @@ use std::fmt;
 ///
 /// Rows correspond to nodes / samples throughout the workspace; columns to
 /// feature or embedding dimensions.
-#[derive(Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Every constructor that acquires a fresh buffer (and [`Clone`]) bumps the
+/// [`crate::alloc_stats`] counter; the `*_into` kernel variants and
+/// [`Matrix::reset_zeroed`]/[`Matrix::copy_from`] reuse an existing buffer
+/// and stay off it — that is the scratch layer's allocation-reuse contract.
+#[derive(PartialEq, Serialize, Deserialize)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
     data: Vec<f32>,
+}
+
+impl Clone for Matrix {
+    fn clone(&self) -> Self {
+        crate::alloc_stats::record();
+        Self {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.rows = source.rows;
+        self.cols = source.cols;
+        if self.data.capacity() < source.data.len() {
+            crate::alloc_stats::record();
+        }
+        self.data.clone_from(&source.data);
+    }
+}
+
+/// An empty `0 x 0` matrix with no heap buffer. The natural seed for a
+/// scratch slot: the first `reset_zeroed`/`copy_from`/`*_into` call grows it
+/// (counted as an allocation), after which it is reused for free.
+impl Default for Matrix {
+    fn default() -> Self {
+        Self {
+            rows: 0,
+            cols: 0,
+            data: Vec::new(),
+        }
+    }
 }
 
 impl fmt::Debug for Matrix {
@@ -30,6 +68,7 @@ impl fmt::Debug for Matrix {
 impl Matrix {
     /// Creates a `rows x cols` matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
+        crate::alloc_stats::record();
         Self {
             rows,
             cols,
@@ -39,6 +78,7 @@ impl Matrix {
 
     /// Creates a matrix filled with `value`.
     pub fn filled(rows: usize, cols: usize, value: f32) -> Self {
+        crate::alloc_stats::record();
         Self {
             rows,
             cols,
@@ -59,6 +99,7 @@ impl Matrix {
             rows,
             cols
         );
+        crate::alloc_stats::record();
         Self { rows, cols, data }
     }
 
@@ -66,6 +107,7 @@ impl Matrix {
     pub fn from_rows(rows: &[&[f32]]) -> Self {
         let r = rows.len();
         let c = rows.first().map_or(0, |row| row.len());
+        crate::alloc_stats::record();
         let mut data = Vec::with_capacity(r * c);
         for row in rows {
             assert_eq!(row.len(), c, "ragged rows");
@@ -76,6 +118,34 @@ impl Matrix {
             cols: c,
             data,
         }
+    }
+
+    /// Reshapes in place to `rows x cols`, reusing the existing buffer when
+    /// its capacity suffices (counted as a fresh allocation otherwise).
+    /// Element contents afterwards are unspecified; callers overwrite them.
+    fn reshape(&mut self, rows: usize, cols: usize) {
+        let n = rows * cols;
+        if self.data.capacity() < n {
+            crate::alloc_stats::record();
+        }
+        self.data.resize(n, 0.0);
+        self.rows = rows;
+        self.cols = cols;
+    }
+
+    /// Reshapes to `rows x cols` and zeroes every element, reusing the
+    /// buffer when possible. The scratch-layer replacement for
+    /// [`Matrix::zeros`].
+    pub fn reset_zeroed(&mut self, rows: usize, cols: usize) {
+        self.reshape(rows, cols);
+        self.data.fill(0.0);
+    }
+
+    /// Becomes a copy of `src`, reusing the buffer when possible. The
+    /// scratch-layer replacement for [`Clone::clone`].
+    pub fn copy_from(&mut self, src: &Matrix) {
+        self.reshape(src.rows, src.cols);
+        self.data.copy_from_slice(&src.data);
     }
 
     /// The identity matrix of size `n`.
@@ -157,21 +227,43 @@ impl Matrix {
     /// Returns a new matrix whose rows are `self`'s rows at `indices`.
     pub fn select_rows(&self, indices: &[usize]) -> Matrix {
         let mut out = Matrix::zeros(indices.len(), self.cols);
+        self.select_rows_impl(indices, &mut out);
+        out
+    }
+
+    /// [`Matrix::select_rows`] into a reusable output buffer (reshaped to
+    /// `indices.len() x cols`, contents fully overwritten).
+    pub fn select_rows_into(&self, indices: &[usize], out: &mut Matrix) {
+        out.reshape(indices.len(), self.cols);
+        self.select_rows_impl(indices, out);
+    }
+
+    fn select_rows_impl(&self, indices: &[usize], out: &mut Matrix) {
         for (i, &idx) in indices.iter().enumerate() {
             out.row_mut(i).copy_from_slice(self.row(idx));
         }
-        out
     }
 
     /// Transposed copy.
     pub fn transpose(&self) -> Matrix {
         let mut out = Matrix::zeros(self.cols, self.rows);
+        self.transpose_impl(&mut out);
+        out
+    }
+
+    /// [`Matrix::transpose`] into a reusable output buffer (reshaped to
+    /// `cols x rows`, contents fully overwritten).
+    pub fn transpose_into(&self, out: &mut Matrix) {
+        out.reshape(self.cols, self.rows);
+        self.transpose_impl(out);
+    }
+
+    fn transpose_impl(&self, out: &mut Matrix) {
         for r in 0..self.rows {
             for c in 0..self.cols {
                 out.data[c * self.rows + r] = self.data[r * self.cols + c];
             }
         }
-        out
     }
 
     /// Dense matrix product `self * other`.
@@ -188,6 +280,23 @@ impl Matrix {
             self.rows, self.cols, other.rows, other.cols
         );
         let mut out = Matrix::zeros(self.rows, other.cols);
+        self.matmul_impl(other, &mut out);
+        out
+    }
+
+    /// [`Matrix::matmul`] into a reusable output buffer (reshaped and
+    /// zeroed; bit-identical result).
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul shape mismatch: {}x{} * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        out.reset_zeroed(self.rows, other.cols);
+        self.matmul_impl(other, out);
+    }
+
+    fn matmul_impl(&self, other: &Matrix, out: &mut Matrix) {
         let oc = other.cols;
         out.data
             .par_chunks_mut(oc)
@@ -203,10 +312,13 @@ impl Matrix {
                     }
                 }
             });
-        out
     }
 
     /// `self^T * other` without materialising the transpose.
+    ///
+    /// Parallelised over output rows (columns of `self`). Each output
+    /// element still accumulates over input rows in ascending order, so the
+    /// result is bit-identical to the serial formulation.
     pub fn transpose_matmul(&self, other: &Matrix) -> Matrix {
         assert_eq!(
             self.rows, other.rows,
@@ -214,22 +326,41 @@ impl Matrix {
             self.rows, self.cols, other.rows, other.cols
         );
         let mut out = Matrix::zeros(self.cols, other.cols);
-        let oc = other.cols;
-        // Accumulate serially per input row: out[c] += self[r][c] * other[r].
-        for r in 0..self.rows {
-            let a_row = self.row(r);
-            let b_row = other.row(r);
-            for (c, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out.data[c * oc..(c + 1) * oc];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        }
+        self.transpose_matmul_impl(other, &mut out);
         out
+    }
+
+    /// [`Matrix::transpose_matmul`] into a reusable output buffer (reshaped
+    /// and zeroed; bit-identical result).
+    pub fn transpose_matmul_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.rows, other.rows,
+            "transpose_matmul shape mismatch: {}x{} ^T * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        out.reset_zeroed(self.cols, other.cols);
+        self.transpose_matmul_impl(other, out);
+    }
+
+    fn transpose_matmul_impl(&self, other: &Matrix, out: &mut Matrix) {
+        let oc = other.cols;
+        let sc = self.cols;
+        out.data
+            .par_chunks_mut(oc)
+            .enumerate()
+            .for_each(|(c, out_row)| {
+                // out[c] = Σ_r self[r][c] * other[r], r ascending.
+                for r in 0..self.rows {
+                    let a = self.data[r * sc + c];
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let b_row = &other.data[r * oc..(r + 1) * oc];
+                    for (o, &b) in out_row.iter_mut().zip(b_row) {
+                        *o += a * b;
+                    }
+                }
+            });
     }
 
     /// `self * other^T`, parallelised over rows of `self`.
@@ -240,6 +371,23 @@ impl Matrix {
             self.rows, self.cols, other.rows, other.cols
         );
         let mut out = Matrix::zeros(self.rows, other.rows);
+        self.matmul_transpose_impl(other, &mut out);
+        out
+    }
+
+    /// [`Matrix::matmul_transpose`] into a reusable output buffer (reshaped,
+    /// contents fully overwritten; bit-identical result).
+    pub fn matmul_transpose_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_transpose shape mismatch: {}x{} * ({}x{})^T",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        out.reshape(self.rows, other.rows);
+        self.matmul_transpose_impl(other, out);
+    }
+
+    fn matmul_transpose_impl(&self, other: &Matrix, out: &mut Matrix) {
         let on = other.rows;
         out.data
             .par_chunks_mut(on)
@@ -254,7 +402,6 @@ impl Matrix {
                     *o = acc;
                 }
             });
-        out
     }
 
     /// Element-wise in-place addition.
@@ -483,6 +630,54 @@ mod tests {
         let a = Matrix::zeros(2, 3);
         let b = Matrix::zeros(2, 3);
         let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn into_variants_match_allocating_kernels_bitwise() {
+        let mut rng_state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((rng_state >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+        };
+        let a = Matrix::from_vec(17, 9, (0..17 * 9).map(|_| next()).collect());
+        let b = Matrix::from_vec(9, 13, (0..9 * 13).map(|_| next()).collect());
+        let c = Matrix::from_vec(17, 13, (0..17 * 13).map(|_| next()).collect());
+
+        // Deliberately mis-shaped, dirty scratch: every kernel must reshape
+        // and fully define its output.
+        let mut out = Matrix::filled(2, 3, f32::NAN);
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out, a.matmul(&b));
+
+        a.transpose_matmul_into(&c, &mut out);
+        assert_eq!(out, a.transpose_matmul(&c));
+
+        a.matmul_transpose_into(&a, &mut out);
+        assert_eq!(out, a.matmul_transpose(&a));
+
+        a.transpose_into(&mut out);
+        assert_eq!(out, a.transpose());
+    }
+
+    #[test]
+    fn transpose_matmul_parallel_matches_explicit_transpose() {
+        // Large enough to cross the rayon stand-in's parallel threshold.
+        let n = 300;
+        let a = Matrix::from_vec(n, 7, (0..n * 7).map(|i| (i as f32).sin()).collect());
+        let b = Matrix::from_vec(n, 5, (0..n * 5).map(|i| (i as f32).cos()).collect());
+        let got = a.transpose_matmul(&b);
+        let expect = a.transpose().matmul(&b);
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn reset_and_copy_reuse_buffers() {
+        let src = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let mut m = Matrix::filled(4, 4, 7.0);
+        m.reset_zeroed(3, 2);
+        assert_eq!(m, Matrix::zeros(3, 2));
+        m.copy_from(&src);
+        assert_eq!(m, src);
     }
 
     #[test]

@@ -23,6 +23,67 @@ pub struct GcnCache {
     pre_activation: Vec<Matrix>,
 }
 
+/// Reusable forward/backward buffers for one GCN data flow.
+///
+/// [`GcnEncoder::forward_with`]/[`GcnEncoder::backward_with`] compute
+/// bit-identical results to [`GcnEncoder::forward`]/[`GcnEncoder::backward`]
+/// but write into these buffers instead of allocating: after the first
+/// (warm-up) epoch a forward/backward pair allocates zero new matrices.
+/// Keep one workspace per concurrent data flow — e.g. one per contrastive
+/// view — since the forward activations must survive until the matching
+/// backward.
+#[derive(Debug, Default)]
+pub struct GcnWorkspace {
+    /// `P^l = A_n H^l` per layer.
+    propagated: Vec<Matrix>,
+    /// Pre-activation `Z^l = P^l W^l` per layer.
+    pre_activation: Vec<Matrix>,
+    /// Post-ReLU activations `H^{l+1}` for non-final layers.
+    hidden: Vec<Matrix>,
+    /// Final embeddings `H^L`.
+    out: Matrix,
+    /// Backward: running `∂L/∂Z^l`.
+    dz: Matrix,
+    /// Backward: staging for `dZ^l (W^l)^T`.
+    dzw: Matrix,
+    /// Backward: staging for `A_n (dZ W^T)`.
+    dh: Matrix,
+    /// Per-layer weight gradients, [`GcnEncoder::params`] order.
+    grads: Vec<Matrix>,
+}
+
+impl GcnWorkspace {
+    /// An empty workspace; buffers are grown on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn ensure_layers(&mut self, l_num: usize) {
+        while self.propagated.len() < l_num {
+            self.propagated.push(Matrix::default());
+            self.pre_activation.push(Matrix::default());
+            self.hidden.push(Matrix::default());
+            self.grads.push(Matrix::default());
+        }
+    }
+
+    /// Final embeddings from the last [`GcnEncoder::forward_with`].
+    pub fn output(&self) -> &Matrix {
+        &self.out
+    }
+
+    /// Weight gradients from the last [`GcnEncoder::backward_with`].
+    pub fn grads(&self) -> &[Matrix] {
+        &self.grads
+    }
+
+    /// Mutable gradient views (for accumulation across views, clipping, and
+    /// the engine's fault injection).
+    pub fn grads_mut(&mut self) -> &mut [Matrix] {
+        &mut self.grads
+    }
+}
+
 impl GcnEncoder {
     /// Creates an encoder with the given layer dimensions,
     /// e.g. `[d_x, 128, 64]` for the paper's 2-layer GCN.
@@ -92,6 +153,45 @@ impl GcnEncoder {
                 pre_activation,
             },
         )
+    }
+
+    /// [`Self::forward`] into a reusable workspace: bit-identical
+    /// embeddings (read them via [`GcnWorkspace::output`]) with zero matrix
+    /// allocations once the workspace is warm.
+    pub fn forward_with(&self, adj: &SparseMatrix, x: &Matrix, ws: &mut GcnWorkspace) {
+        let l_num = self.weights.len();
+        ws.ensure_layers(l_num);
+        for (l, w) in self.weights.iter().enumerate() {
+            let input = if l == 0 { x } else { &ws.hidden[l - 1] };
+            adj.spmm_into(input, &mut ws.propagated[l]);
+            ws.propagated[l].matmul_into(w, &mut ws.pre_activation[l]);
+            if l + 1 < l_num {
+                ws.hidden[l].copy_from(&ws.pre_activation[l]);
+                activations::relu_inplace(&mut ws.hidden[l]);
+            } else {
+                ws.out.copy_from(&ws.pre_activation[l]);
+            }
+        }
+    }
+
+    /// [`Self::backward`] into the same workspace as the preceding
+    /// [`Self::forward_with`]: bit-identical per-layer gradients (read them
+    /// via [`GcnWorkspace::grads`]) with zero matrix allocations once warm.
+    pub fn backward_with(&self, adj: &SparseMatrix, ws: &mut GcnWorkspace, d_out: &Matrix) {
+        let l_num = self.weights.len();
+        ws.dz.copy_from(d_out); // dL/dZ^{L-1} (final layer is linear)
+        for l in (0..l_num).rev() {
+            // dW^l = (A_n H^l)^T dZ^l
+            ws.propagated[l].transpose_matmul_into(&ws.dz, &mut ws.grads[l]);
+            if l > 0 {
+                // dH^l = A_n^T (dZ^l W^l^T); A_n symmetric.
+                ws.dz.matmul_transpose_into(&self.weights[l], &mut ws.dzw);
+                adj.spmm_into(&ws.dzw, &mut ws.dh);
+                // Through the ReLU of the previous layer.
+                activations::relu_mask_mul_inplace(&mut ws.dh, &ws.pre_activation[l - 1]);
+                std::mem::swap(&mut ws.dz, &mut ws.dh);
+            }
+        }
     }
 
     /// Inference-only forward (no cache).
@@ -215,6 +315,26 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    /// The workspace path must be *bit-identical* to the allocating path —
+    /// the golden determinism fingerprints depend on it.
+    #[test]
+    fn workspace_path_matches_allocating_path_bitwise() {
+        let (adj, x) = tiny();
+        let enc = GcnEncoder::new(&[3, 5, 2], &mut SeedRng::new(7));
+        let (h, cache) = enc.forward(&adj, &x);
+        let grads = enc.backward(&adj, &cache, &h);
+        let mut ws = GcnWorkspace::new();
+        // Two passes: cold (growing buffers) and warm (pure reuse) must both
+        // reproduce the allocating results exactly.
+        for _ in 0..2 {
+            enc.forward_with(&adj, &x, &mut ws);
+            assert_eq!(ws.output(), &h);
+            let d_out = ws.output().clone();
+            enc.backward_with(&adj, &mut ws, &d_out);
+            assert_eq!(ws.grads(), &grads[..]);
         }
     }
 

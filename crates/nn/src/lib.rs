@@ -12,7 +12,11 @@
 //! * [`optim`] — SGD and Adam;
 //! * [`probe`] — the `l2`-regularised linear probe used by the evaluation
 //!   protocol (§V-A2), plus the link-prediction decoder;
-//! * [`ema`] — exponential-moving-average target parameters (BGRL/AFGRL).
+//! * [`ema`] — exponential-moving-average target parameters (BGRL/AFGRL);
+//! * [`scratch`] — the per-run [`TrainScratch`] buffer pool; together with
+//!   the `*Workspace` types ([`gcn::GcnWorkspace`], [`sage::SageWorkspace`],
+//!   [`mlp::MlpWorkspace`]) and the `*_with` loss variants it lets
+//!   steady-state training epochs run without allocating new matrices.
 //!
 //! Every gradient is validated against central finite differences in the
 //! test suites (`grad check` tests in each module).
@@ -24,10 +28,12 @@ pub mod mlp;
 pub mod optim;
 pub mod probe;
 pub mod sage;
+pub mod scratch;
 pub mod sgc;
 
-pub use gcn::GcnEncoder;
-pub use mlp::{Linear, Mlp};
+pub use gcn::{GcnEncoder, GcnWorkspace};
+pub use mlp::{Linear, Mlp, MlpWorkspace};
 pub use optim::{Adam, Optimizer, Sgd};
-pub use sage::SageEncoder;
+pub use sage::{SageEncoder, SageWorkspace};
+pub use scratch::TrainScratch;
 pub use sgc::SgcEncoder;

@@ -40,6 +40,51 @@ pub fn margin_contrastive(
     negatives: &[Vec<usize>],
     margin: f32,
 ) -> MarginLossOutput {
+    let mut s = MarginScratch::default();
+    let loss = margin_contrastive_with(h_hat, h_tilde, neg, negatives, margin, &mut s);
+    MarginLossOutput {
+        loss,
+        d_hat: s.d_hat,
+        d_tilde: s.d_tilde,
+        d_neg: s.d_neg,
+    }
+}
+
+/// Reusable gradient buffers for [`margin_contrastive_with`].
+#[derive(Debug, Default)]
+pub struct MarginScratch {
+    d_hat: Matrix,
+    d_tilde: Matrix,
+    d_neg: Matrix,
+}
+
+impl MarginScratch {
+    /// `∂L/∂ĥ` from the last [`margin_contrastive_with`].
+    pub fn d_hat(&self) -> &Matrix {
+        &self.d_hat
+    }
+
+    /// `∂L/∂h̃` from the last [`margin_contrastive_with`].
+    pub fn d_tilde(&self) -> &Matrix {
+        &self.d_tilde
+    }
+
+    /// `∂L/∂neg` from the last [`margin_contrastive_with`].
+    pub fn d_neg(&self) -> &Matrix {
+        &self.d_neg
+    }
+}
+
+/// [`margin_contrastive`] into reusable gradient buffers: bit-identical
+/// loss and gradients, zero matrix allocations once the scratch is warm.
+pub fn margin_contrastive_with(
+    h_hat: &Matrix,
+    h_tilde: &Matrix,
+    neg: &Matrix,
+    negatives: &[Vec<usize>],
+    margin: f32,
+    s: &mut MarginScratch,
+) -> f32 {
     let n = h_hat.rows();
     assert_eq!(h_tilde.rows(), n);
     assert_eq!(negatives.len(), n);
@@ -47,9 +92,12 @@ pub fn margin_contrastive(
     assert_eq!(h_hat.cols(), neg.cols());
     let inv_n = 1.0 / n.max(1) as f32;
     let mut loss = 0.0f64;
-    let mut d_hat = Matrix::zeros(h_hat.rows(), h_hat.cols());
-    let mut d_tilde = Matrix::zeros(h_tilde.rows(), h_tilde.cols());
-    let mut d_neg = Matrix::zeros(neg.rows(), neg.cols());
+    s.d_hat.reset_zeroed(h_hat.rows(), h_hat.cols());
+    s.d_tilde.reset_zeroed(h_tilde.rows(), h_tilde.cols());
+    s.d_neg.reset_zeroed(neg.rows(), neg.cols());
+    let d_hat = &mut s.d_hat;
+    let d_tilde = &mut s.d_tilde;
+    let d_neg = &mut s.d_neg;
     for (v, negs) in negatives.iter().enumerate() {
         let hv = h_hat.row(v);
         let tv = h_tilde.row(v);
@@ -97,12 +145,7 @@ pub fn margin_contrastive(
             }
         }
     }
-    MarginLossOutput {
-        loss: loss as f32,
-        d_hat,
-        d_tilde,
-        d_neg,
-    }
+    loss as f32
 }
 
 /// Output of [`info_nce`].
@@ -119,84 +162,144 @@ pub struct InfoNceOutput {
 /// Symmetric NT-Xent (GRACE Eq. (1)): cosine similarities at temperature
 /// `tau`, inter-view positives on the diagonal, negatives from both views.
 pub fn info_nce(z1: &Matrix, z2: &Matrix, tau: f32) -> InfoNceOutput {
+    let mut s = InfoNceScratch::default();
+    let loss = info_nce_with(z1, z2, tau, &mut s);
+    InfoNceOutput {
+        loss,
+        d_z1: s.d_z1,
+        d_z2: s.d_z2,
+    }
+}
+
+/// Reusable buffers for [`info_nce_with`]: normalised views, the three
+/// `n x n` similarity blocks, and both gradient chains.
+#[derive(Debug, Default)]
+pub struct InfoNceScratch {
+    u1: Matrix,
+    u2: Matrix,
+    n1: Vec<f32>,
+    n2: Vec<f32>,
+    s12: Matrix,
+    s11: Matrix,
+    s22: Matrix,
+    s21: Matrix,
+    du1: Matrix,
+    du2: Matrix,
+    d_z1: Matrix,
+    d_z2: Matrix,
+}
+
+impl InfoNceScratch {
+    /// `∂L/∂z1` from the last [`info_nce_with`].
+    pub fn d_z1(&self) -> &Matrix {
+        &self.d_z1
+    }
+
+    /// `∂L/∂z2` from the last [`info_nce_with`].
+    pub fn d_z2(&self) -> &Matrix {
+        &self.d_z2
+    }
+}
+
+/// One NT-Xent direction: anchors at view `a` contrast against all of view
+/// `b` (`s_ab`) plus intra-view (`s_aa`, excluding self).
+#[allow(clippy::too_many_arguments)]
+fn nt_xent_side(
+    s_ab: &Matrix,
+    s_aa: &Matrix,
+    ua: &Matrix,
+    ub: &Matrix,
+    dua: &mut Matrix,
+    dub: &mut Matrix,
+    scale: f32,
+    inv_tau: f32,
+    loss: &mut f64,
+) {
+    let n = s_ab.rows();
+    for i in 0..n {
+        // Log-sum-exp over 2n−1 terms, stabilised by the row max.
+        let mut mx = f32::NEG_INFINITY;
+        for j in 0..n {
+            mx = mx.max(s_ab.get(i, j));
+            if j != i {
+                mx = mx.max(s_aa.get(i, j));
+            }
+        }
+        let mut denom = 0.0f32;
+        for j in 0..n {
+            denom += (s_ab.get(i, j) - mx).exp();
+            if j != i {
+                denom += (s_aa.get(i, j) - mx).exp();
+            }
+        }
+        *loss += f64::from((mx + denom.ln() - s_ab.get(i, i)) * scale);
+        // Gradients: dL/ds_ab[i,j] = scale*(p_ab − δ_ij);
+        //            dL/ds_aa[i,j] = scale*p_aa (j ≠ i).
+        for j in 0..n {
+            let p = (s_ab.get(i, j) - mx).exp() / denom;
+            let g = scale * (p - if i == j { 1.0 } else { 0.0 }) * inv_tau;
+            ops::axpy_slice(dua.row_mut(i), g, ub.row(j));
+            ops::axpy_slice(dub.row_mut(j), g, ua.row(i));
+            if j != i {
+                let p = (s_aa.get(i, j) - mx).exp() / denom;
+                let g = scale * p * inv_tau;
+                ops::axpy_slice(dua.row_mut(i), g, ua.row(j));
+                ops::axpy_slice(dua.row_mut(j), g, ua.row(i));
+            }
+        }
+    }
+}
+
+/// [`info_nce`] into reusable buffers: bit-identical loss and gradients
+/// (read via [`InfoNceScratch::d_z1`]/[`InfoNceScratch::d_z2`]), zero
+/// matrix allocations once the scratch is warm.
+pub fn info_nce_with(z1: &Matrix, z2: &Matrix, tau: f32, s: &mut InfoNceScratch) -> f32 {
     let n = z1.rows();
     assert_eq!(z2.rows(), n);
     assert_eq!(z1.cols(), z2.cols());
     assert!(n >= 2, "InfoNCE needs at least 2 anchors");
     // Normalise rows, remembering norms for the Jacobian.
-    let (u1, n1) = normalize_rows(z1);
-    let (u2, n2) = normalize_rows(z2);
+    normalize_rows_into(z1, &mut s.u1, &mut s.n1);
+    normalize_rows_into(z2, &mut s.u2, &mut s.n2);
     let inv_tau = 1.0 / tau;
-    let mut s12 = u1.matmul_transpose(&u2); // s12[i][j] = u1_i · u2_j
-    let mut s11 = u1.matmul_transpose(&u1);
-    let mut s22 = u2.matmul_transpose(&u2);
-    s12.scale(inv_tau);
-    s11.scale(inv_tau);
-    s22.scale(inv_tau);
+    s.u1.matmul_transpose_into(&s.u2, &mut s.s12); // s12[i][j] = u1_i · u2_j
+    s.u1.matmul_transpose_into(&s.u1, &mut s.s11);
+    s.u2.matmul_transpose_into(&s.u2, &mut s.s22);
+    s.s12.scale(inv_tau);
+    s.s11.scale(inv_tau);
+    s.s22.scale(inv_tau);
 
     let mut loss = 0.0f64;
-    let mut du1 = Matrix::zeros(n, u1.cols());
-    let mut du2 = Matrix::zeros(n, u2.cols());
+    s.du1.reset_zeroed(n, s.u1.cols());
+    s.du2.reset_zeroed(n, s.u2.cols());
     let scale = 1.0 / (2 * n) as f32;
 
-    // Anchors at view a contrast against all of view b plus intra-view
-    // (excluding self).
-    let mut one_side = |s_ab: &Matrix,
-                        s_aa: &Matrix,
-                        ua: &Matrix,
-                        ub: &Matrix,
-                        dua: &mut Matrix,
-                        dub: &mut Matrix| {
-        for i in 0..n {
-            // Log-sum-exp over 2n−1 terms, stabilised by the row max.
-            let mut mx = f32::NEG_INFINITY;
-            for j in 0..n {
-                mx = mx.max(s_ab.get(i, j));
-                if j != i {
-                    mx = mx.max(s_aa.get(i, j));
-                }
-            }
-            let mut denom = 0.0f32;
-            for j in 0..n {
-                denom += (s_ab.get(i, j) - mx).exp();
-                if j != i {
-                    denom += (s_aa.get(i, j) - mx).exp();
-                }
-            }
-            loss += f64::from((mx + denom.ln() - s_ab.get(i, i)) * scale);
-            // Gradients: dL/ds_ab[i,j] = scale*(p_ab − δ_ij);
-            //            dL/ds_aa[i,j] = scale*p_aa (j ≠ i).
-            for j in 0..n {
-                let p = (s_ab.get(i, j) - mx).exp() / denom;
-                let g = scale * (p - if i == j { 1.0 } else { 0.0 }) * inv_tau;
-                ops::axpy_slice(dua.row_mut(i), g, ub.row(j));
-                ops::axpy_slice(dub.row_mut(j), g, ua.row(i));
-                if j != i {
-                    let p = (s_aa.get(i, j) - mx).exp() / denom;
-                    let g = scale * p * inv_tau;
-                    ops::axpy_slice(dua.row_mut(i), g, ua.row(j));
-                    ops::axpy_slice(dua.row_mut(j), g, ua.row(i));
-                }
-            }
-        }
-    };
-    one_side(&s12, &s11, &u1, &u2, &mut du1, &mut du2);
-    let s21 = s12.transpose();
-    one_side(&s21, &s22, &u2, &u1, &mut du2, &mut du1);
+    nt_xent_side(
+        &s.s12, &s.s11, &s.u1, &s.u2, &mut s.du1, &mut s.du2, scale, inv_tau, &mut loss,
+    );
+    s.s12.transpose_into(&mut s.s21);
+    nt_xent_side(
+        &s.s21, &s.s22, &s.u2, &s.u1, &mut s.du2, &mut s.du1, scale, inv_tau, &mut loss,
+    );
 
-    let d_z1 = normalize_backward(&u1, &n1, &du1);
-    let d_z2 = normalize_backward(&u2, &n2, &du2);
-    InfoNceOutput {
-        loss: loss as f32,
-        d_z1,
-        d_z2,
-    }
+    normalize_backward_into(&s.u1, &s.n1, &s.du1, &mut s.d_z1);
+    normalize_backward_into(&s.u2, &s.n2, &s.du2, &mut s.d_z2);
+    loss as f32
 }
 
 /// Row-normalises, returning `(U, norms)` with zero rows left as zero.
 pub fn normalize_rows(z: &Matrix) -> (Matrix, Vec<f32>) {
-    let mut u = z.clone();
-    let mut norms = Vec::with_capacity(z.rows());
+    let mut u = Matrix::default();
+    let mut norms = Vec::new();
+    normalize_rows_into(z, &mut u, &mut norms);
+    (u, norms)
+}
+
+/// [`normalize_rows`] into reusable buffers.
+pub fn normalize_rows_into(z: &Matrix, u: &mut Matrix, norms: &mut Vec<f32>) {
+    u.copy_from(z);
+    norms.clear();
+    norms.reserve(z.rows());
     for r in 0..z.rows() {
         let nrm = ops::norm(z.row(r)).max(1e-12);
         norms.push(nrm);
@@ -204,12 +307,18 @@ pub fn normalize_rows(z: &Matrix) -> (Matrix, Vec<f32>) {
             *v /= nrm;
         }
     }
-    (u, norms)
 }
 
 /// Jacobian of row normalisation: `dz = (du − (du·u)u) / ||z||`.
 pub fn normalize_backward(u: &Matrix, norms: &[f32], du: &Matrix) -> Matrix {
-    let mut dz = Matrix::zeros(u.rows(), u.cols());
+    let mut dz = Matrix::default();
+    normalize_backward_into(u, norms, du, &mut dz);
+    dz
+}
+
+/// [`normalize_backward`] into a reusable buffer.
+pub fn normalize_backward_into(u: &Matrix, norms: &[f32], du: &Matrix, dz: &mut Matrix) {
+    dz.reset_zeroed(u.rows(), u.cols());
     assert_eq!(norms.len(), u.rows());
     for (r, &norm_r) in norms.iter().enumerate() {
         let ur = u.row(r);
@@ -220,7 +329,6 @@ pub fn normalize_backward(u: &Matrix, norms: &[f32], du: &Matrix) -> Matrix {
             *o = (d - proj * uv) / norm_r;
         }
     }
-    dz
 }
 
 /// Binary cross-entropy with logits; `targets` in `{0,1}`. Returns
@@ -259,12 +367,19 @@ pub fn softmax_cross_entropy(logits: &Matrix, labels: &[usize]) -> (f32, Matrix)
 /// BGRL's bootstrap objective: `mean_i (2 − 2 cos(online_i, target_i))`.
 /// Gradients flow only into `online` (the target network is EMA-updated).
 pub fn cosine_bootstrap(online: &Matrix, target: &Matrix) -> (f32, Matrix) {
+    let mut grad = Matrix::default();
+    let loss = cosine_bootstrap_with(online, target, &mut grad);
+    (loss, grad)
+}
+
+/// [`cosine_bootstrap`] into a reusable gradient buffer.
+pub fn cosine_bootstrap_with(online: &Matrix, target: &Matrix, grad: &mut Matrix) -> f32 {
     let n = online.rows();
     assert_eq!(target.rows(), n);
     assert_eq!(online.cols(), target.cols());
     let inv_n = 1.0 / n.max(1) as f32;
     let mut loss = 0.0f64;
-    let mut grad = Matrix::zeros(online.rows(), online.cols());
+    grad.reset_zeroed(online.rows(), online.cols());
     for r in 0..n {
         let o = online.row(r);
         let t = target.row(r);
@@ -278,7 +393,7 @@ pub fn cosine_bootstrap(online: &Matrix, target: &Matrix) -> (f32, Matrix) {
             *gv = -2.0 * inv_n * (tv / (no * nt) - cos * ov / (no * no));
         }
     }
-    (loss as f32, grad)
+    loss as f32
 }
 
 #[cfg(test)]
@@ -404,6 +519,46 @@ mod tests {
             info_nce(&z, &z.select_rows(&rows), 0.5).loss
         };
         assert!(aligned < shuffled, "{aligned} !< {shuffled}");
+    }
+
+    /// The scratch-path losses must be bit-identical to the allocating
+    /// entry points, cold and warm.
+    #[test]
+    fn scratch_paths_match_allocating_paths_bitwise() {
+        let z1 = rand_matrix(5, 4, 20);
+        let z2 = rand_matrix(5, 4, 21);
+        let nce = info_nce(&z1, &z2, 0.7);
+        let mut s = InfoNceScratch::default();
+        for _ in 0..2 {
+            let loss = info_nce_with(&z1, &z2, 0.7, &mut s);
+            assert_eq!(loss, nce.loss);
+            assert_eq!(s.d_z1(), &nce.d_z1);
+            assert_eq!(s.d_z2(), &nce.d_z2);
+        }
+
+        let h_hat = rand_matrix(3, 4, 22);
+        let h_tilde = rand_matrix(3, 4, 23);
+        let neg = rand_matrix(4, 4, 24);
+        let negatives = vec![vec![0, 2], vec![1], vec![0, 1, 3]];
+        let m = margin_contrastive(&h_hat, &h_tilde, &neg, &negatives, 2.0);
+        let mut ms = MarginScratch::default();
+        for _ in 0..2 {
+            let loss = margin_contrastive_with(&h_hat, &h_tilde, &neg, &negatives, 2.0, &mut ms);
+            assert_eq!(loss, m.loss);
+            assert_eq!(ms.d_hat(), &m.d_hat);
+            assert_eq!(ms.d_tilde(), &m.d_tilde);
+            assert_eq!(ms.d_neg(), &m.d_neg);
+        }
+
+        let o = rand_matrix(3, 4, 25);
+        let t = rand_matrix(3, 4, 26);
+        let (cl, cg) = cosine_bootstrap(&o, &t);
+        let mut grad = Matrix::default();
+        for _ in 0..2 {
+            let loss = cosine_bootstrap_with(&o, &t, &mut grad);
+            assert_eq!(loss, cl);
+            assert_eq!(grad, cg);
+        }
     }
 
     #[test]

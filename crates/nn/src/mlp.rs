@@ -107,6 +107,83 @@ pub struct MlpGrads {
     pub dx: Matrix,
 }
 
+/// Reusable forward/backward buffers for one [`Mlp`] data flow (projection
+/// heads in the per-epoch hot path). See [`crate::gcn::GcnWorkspace`] for
+/// the allocation-reuse contract.
+///
+/// The input is not cached: pass the *same* `x` to
+/// [`Mlp::backward_with`] that the preceding [`Mlp::forward_with`] saw.
+#[derive(Debug)]
+pub struct MlpWorkspace {
+    /// First-layer pre-activation `Z1`.
+    z1: Matrix,
+    /// `ELU(Z1)`.
+    a1: Matrix,
+    /// Head output `Y`.
+    y: Matrix,
+    /// Backward: `∂L/∂A1`.
+    da1: Matrix,
+    /// Gradients of both layers. `grads.dx` is left empty — read the input
+    /// gradient via [`MlpWorkspace::d_input`] instead.
+    grads: MlpGrads,
+}
+
+impl Default for MlpWorkspace {
+    fn default() -> Self {
+        let empty = || LinearGrads {
+            dw: Matrix::default(),
+            db: Vec::new(),
+            dx: Matrix::default(),
+        };
+        Self {
+            z1: Matrix::default(),
+            a1: Matrix::default(),
+            y: Matrix::default(),
+            da1: Matrix::default(),
+            grads: MlpGrads {
+                g1: empty(),
+                g2: empty(),
+                dx: Matrix::default(),
+            },
+        }
+    }
+}
+
+impl MlpWorkspace {
+    /// An empty workspace; buffers are grown on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Head output from the last [`Mlp::forward_with`].
+    pub fn output(&self) -> &Matrix {
+        &self.y
+    }
+
+    /// Layer gradients from the last [`Mlp::backward_with`] (feed to
+    /// [`Mlp::step`]).
+    pub fn grads(&self) -> &MlpGrads {
+        &self.grads
+    }
+
+    /// `∂L/∂X` from the last [`Mlp::backward_with`].
+    pub fn d_input(&self) -> &Matrix {
+        &self.grads.g1.dx
+    }
+}
+
+/// Column sums of `m` into a reusable vector (the bias gradient), matching
+/// the accumulation order of [`Linear::backward`] exactly.
+fn col_sums_into(m: &Matrix, out: &mut Vec<f32>, len: usize) {
+    out.clear();
+    out.resize(len, 0.0);
+    for r in 0..m.rows() {
+        for (acc, &g) in out.iter_mut().zip(m.row(r)) {
+            *acc += g;
+        }
+    }
+}
+
 impl Mlp {
     /// Builds a `d_in -> hidden -> d_out` head.
     pub fn new(d_in: usize, hidden: usize, d_out: usize, rng: &mut SeedRng) -> Self {
@@ -147,6 +224,32 @@ impl Mlp {
     pub fn step(&mut self, grads: &MlpGrads, lr: f32, weight_decay: f32) {
         self.l1.step(&grads.g1, lr, weight_decay);
         self.l2.step(&grads.g2, lr, weight_decay);
+    }
+
+    /// [`Self::forward`] into a reusable workspace: bit-identical output
+    /// ([`MlpWorkspace::output`]), zero matrix allocations once warm.
+    pub fn forward_with(&self, x: &Matrix, ws: &mut MlpWorkspace) {
+        x.matmul_into(&self.l1.w, &mut ws.z1);
+        ws.z1.add_row_broadcast(&self.l1.b);
+        ws.a1.copy_from(&ws.z1);
+        activations::elu_inplace(&mut ws.a1);
+        ws.a1.matmul_into(&self.l2.w, &mut ws.y);
+        ws.y.add_row_broadcast(&self.l2.b);
+    }
+
+    /// [`Self::backward`] into the same workspace as the preceding
+    /// [`Self::forward_with`] (pass the *same* `x`): bit-identical gradients
+    /// ([`MlpWorkspace::grads`], [`MlpWorkspace::d_input`]).
+    pub fn backward_with(&self, x: &Matrix, dy: &Matrix, ws: &mut MlpWorkspace) {
+        ws.a1.transpose_matmul_into(dy, &mut ws.grads.g2.dw);
+        col_sums_into(dy, &mut ws.grads.g2.db, self.l2.b.len());
+        dy.matmul_transpose_into(&self.l2.w, &mut ws.grads.g2.dx);
+        ws.da1.copy_from(&ws.grads.g2.dx);
+        activations::elu_mask_mul_inplace(&mut ws.da1, &ws.z1);
+        x.transpose_matmul_into(&ws.da1, &mut ws.grads.g1.dw);
+        col_sums_into(&ws.da1, &mut ws.grads.g1.db, self.l1.b.len());
+        ws.da1
+            .matmul_transpose_into(&self.l1.w, &mut ws.grads.g1.dx);
     }
 }
 
@@ -225,6 +328,28 @@ mod tests {
                 "dX(0,{c}): {fd} vs {}",
                 grads.dx.get(0, c)
             );
+        }
+    }
+
+    /// Workspace path must be bit-identical to the allocating path.
+    #[test]
+    fn workspace_path_matches_allocating_path_bitwise() {
+        let mut rng = SeedRng::new(5);
+        let m = Mlp::new(3, 4, 2, &mut rng);
+        let x = Matrix::from_rows(&[&[0.5, -0.2, 0.8], &[-1.0, 0.3, 0.1]]);
+        let (y, cache) = m.forward(&x);
+        let grads = m.backward(&cache, &y);
+        let mut ws = MlpWorkspace::new();
+        for _ in 0..2 {
+            m.forward_with(&x, &mut ws);
+            assert_eq!(ws.output(), &y);
+            let dy = ws.output().clone();
+            m.backward_with(&x, &dy, &mut ws);
+            assert_eq!(ws.grads().g1.dw, grads.g1.dw);
+            assert_eq!(ws.grads().g1.db, grads.g1.db);
+            assert_eq!(ws.grads().g2.dw, grads.g2.dw);
+            assert_eq!(ws.grads().g2.db, grads.g2.db);
+            assert_eq!(ws.d_input(), &grads.dx);
         }
     }
 

@@ -28,6 +28,70 @@ pub struct SageCache {
     pre_activation: Vec<Matrix>,
 }
 
+/// Reusable forward/backward buffers for one SAGE data flow
+/// (the scratch-layer counterpart of [`SageCache`]; see
+/// [`crate::gcn::GcnWorkspace`] for the contract).
+///
+/// Unlike the GCN workspace, layer *inputs* are not copied: layer 0 reads
+/// the caller's `x` directly (pass the same `x` to
+/// [`SageEncoder::backward_with`]) and deeper layers read the pooled
+/// `hidden` activations.
+#[derive(Debug, Default)]
+pub struct SageWorkspace {
+    /// Mean-aggregated inputs `D⁻¹ A H^l` per layer.
+    aggregated: Vec<Matrix>,
+    /// Pre-activations `Z^l` per layer.
+    pre_activation: Vec<Matrix>,
+    /// Post-ReLU activations for non-final layers.
+    hidden: Vec<Matrix>,
+    /// Final embeddings `H^L`.
+    out: Matrix,
+    /// Forward: staging for `(D⁻¹ A H^l) W_neigh`.
+    zn: Matrix,
+    /// Backward: running `∂L/∂Z^l`.
+    dz: Matrix,
+    /// Backward: staging for `dZ W_neighᵀ`.
+    dzw: Matrix,
+    /// Backward: staging for `Aᵀ (dZ W_neighᵀ)`.
+    spmm_buf: Matrix,
+    /// Backward: `dZ W_selfᵀ + Aᵀ(dZ W_neighᵀ)` through ReLU.
+    dh: Matrix,
+    /// Gradients in [`SageEncoder::params`] order.
+    grads: Vec<Matrix>,
+}
+
+impl SageWorkspace {
+    /// An empty workspace; buffers are grown on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn ensure_layers(&mut self, l_num: usize) {
+        while self.aggregated.len() < l_num {
+            self.aggregated.push(Matrix::default());
+            self.pre_activation.push(Matrix::default());
+            self.hidden.push(Matrix::default());
+            self.grads.push(Matrix::default());
+            self.grads.push(Matrix::default());
+        }
+    }
+
+    /// Final embeddings from the last [`SageEncoder::forward_with`].
+    pub fn output(&self) -> &Matrix {
+        &self.out
+    }
+
+    /// Gradients from the last [`SageEncoder::backward_with`].
+    pub fn grads(&self) -> &[Matrix] {
+        &self.grads
+    }
+
+    /// Mutable gradient views (accumulation, clipping, fault injection).
+    pub fn grads_mut(&mut self) -> &mut [Matrix] {
+        &mut self.grads
+    }
+}
+
 impl SageEncoder {
     /// Builds an encoder with the given layer dims, e.g. `[d_x, 128, 64]`.
     pub fn new(dims: &[usize], rng: &mut SeedRng) -> Self {
@@ -103,6 +167,58 @@ impl SageEncoder {
     /// Inference-only forward.
     pub fn embed(&self, mean_adj: &SparseMatrix, x: &Matrix) -> Matrix {
         self.forward(mean_adj, x).0
+    }
+
+    /// [`Self::forward`] into a reusable workspace: bit-identical
+    /// embeddings ([`SageWorkspace::output`]), zero matrix allocations once
+    /// the workspace is warm.
+    pub fn forward_with(&self, mean_adj: &SparseMatrix, x: &Matrix, ws: &mut SageWorkspace) {
+        let l_num = self.num_layers;
+        ws.ensure_layers(l_num);
+        for l in 0..l_num {
+            let input = if l == 0 { x } else { &ws.hidden[l - 1] };
+            mean_adj.spmm_into(input, &mut ws.aggregated[l]);
+            let input = if l == 0 { x } else { &ws.hidden[l - 1] };
+            input.matmul_into(self.w_self(l), &mut ws.pre_activation[l]);
+            ws.aggregated[l].matmul_into(self.w_neigh(l), &mut ws.zn);
+            ws.pre_activation[l].add_assign(&ws.zn);
+            if l + 1 < l_num {
+                ws.hidden[l].copy_from(&ws.pre_activation[l]);
+                activations::relu_inplace(&mut ws.hidden[l]);
+            } else {
+                ws.out.copy_from(&ws.pre_activation[l]);
+            }
+        }
+    }
+
+    /// [`Self::backward`] into the same workspace as the preceding
+    /// [`Self::forward_with`] (pass the *same* `x`): bit-identical gradients
+    /// ([`SageWorkspace::grads`]). The transposed aggregation matrix is
+    /// still rebuilt per call — it tracks the per-epoch view graph.
+    pub fn backward_with(
+        &self,
+        mean_adj: &SparseMatrix,
+        x: &Matrix,
+        ws: &mut SageWorkspace,
+        d_out: &Matrix,
+    ) {
+        let l_num = self.num_layers;
+        ws.dz.copy_from(d_out);
+        let mean_adj_t = mean_adj.transpose();
+        for l in (0..l_num).rev() {
+            let input = if l == 0 { x } else { &ws.hidden[l - 1] };
+            input.transpose_matmul_into(&ws.dz, &mut ws.grads[2 * l]); // dW_self
+            ws.aggregated[l].transpose_matmul_into(&ws.dz, &mut ws.grads[2 * l + 1]); // dW_neigh
+            if l > 0 {
+                // dH = dZ W_selfᵀ + Aᵀ(dZ W_neighᵀ), through ReLU.
+                ws.dz.matmul_transpose_into(self.w_self(l), &mut ws.dh);
+                ws.dz.matmul_transpose_into(self.w_neigh(l), &mut ws.dzw);
+                mean_adj_t.spmm_into(&ws.dzw, &mut ws.spmm_buf);
+                ws.dh.add_assign(&ws.spmm_buf);
+                activations::relu_mask_mul_inplace(&mut ws.dh, &ws.pre_activation[l - 1]);
+                std::mem::swap(&mut ws.dz, &mut ws.dh);
+            }
+        }
     }
 
     /// Backward pass: gradients in [`Self::params`] order.
@@ -206,6 +322,23 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    /// Workspace path must be bit-identical to the allocating path.
+    #[test]
+    fn workspace_path_matches_allocating_path_bitwise() {
+        let (adj, x) = setup();
+        let enc = SageEncoder::new(&[3, 6, 2], &mut SeedRng::new(9));
+        let (h, cache) = enc.forward(&adj, &x);
+        let grads = enc.backward(&adj, &cache, &h);
+        let mut ws = SageWorkspace::new();
+        for _ in 0..2 {
+            enc.forward_with(&adj, &x, &mut ws);
+            assert_eq!(ws.output(), &h);
+            let d_out = ws.output().clone();
+            enc.backward_with(&adj, &x, &mut ws, &d_out);
+            assert_eq!(ws.grads(), &grads[..]);
         }
     }
 

@@ -1,0 +1,89 @@
+//! Per-run scratch arena for transient training matrices.
+//!
+//! The encoder/head workspaces ([`crate::gcn::GcnWorkspace`],
+//! [`crate::sage::SageWorkspace`], [`crate::mlp::MlpWorkspace`]) own the
+//! buffers with a fixed role per epoch. Everything else a training step
+//! needs — a zeroed `∂L/∂H` accumulator, a row-selection of the current
+//! batch, a staging buffer for a scatter — has no stable owner, so it comes
+//! out of this pool: `take` a matrix (reusing a previously returned buffer's
+//! capacity when one is available), shape it with
+//! [`Matrix::reset_zeroed`]/[`Matrix::copy_from`]/a `*_into` kernel, and
+//! `put` it back when the epoch is done.
+//!
+//! The pool is LIFO: steps that take/put in a consistent nesting order get
+//! the same buffer back in the same role every epoch, so steady-state epochs
+//! hit capacity every time and the [`e2gcl_linalg::alloc_stats`] counter
+//! stays flat.
+
+use e2gcl_linalg::Matrix;
+
+/// A LIFO pool of reusable [`Matrix`] buffers, created once per training run
+/// by the epoch driver (`e2gcl::engine`) and threaded through every
+/// `EpochStep::epoch` call.
+#[derive(Debug, Default)]
+pub struct TrainScratch {
+    pool: Vec<Matrix>,
+}
+
+impl TrainScratch {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes a buffer from the pool (or an empty matrix if none is pooled).
+    /// The contents and shape are arbitrary — callers must fully define the
+    /// result via [`Matrix::reset_zeroed`], [`Matrix::copy_from`] or a
+    /// `*_into` kernel before reading it.
+    pub fn take(&mut self) -> Matrix {
+        self.pool.pop().unwrap_or_default()
+    }
+
+    /// Takes a buffer and shapes it to `rows x cols`, zero-filled.
+    pub fn take_zeroed(&mut self, rows: usize, cols: usize) -> Matrix {
+        let mut m = self.take();
+        m.reset_zeroed(rows, cols);
+        m
+    }
+
+    /// Returns a buffer to the pool for reuse.
+    pub fn put(&mut self, m: Matrix) {
+        self.pool.push(m);
+    }
+
+    /// Number of buffers currently pooled (diagnostics/tests).
+    pub fn pooled(&self) -> usize {
+        self.pool.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_zeroed_shapes_and_zeroes() {
+        let mut s = TrainScratch::new();
+        let mut m = s.take_zeroed(3, 4);
+        assert_eq!(m.shape(), (3, 4));
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+        m.set(1, 2, 5.0);
+        s.put(m);
+        // The returned buffer is reused and re-zeroed.
+        let m2 = s.take_zeroed(3, 4);
+        assert_eq!(m2.get(1, 2), 0.0);
+        assert_eq!(s.pooled(), 0);
+    }
+
+    #[test]
+    fn lifo_reuse_order() {
+        let mut s = TrainScratch::new();
+        let a = s.take_zeroed(2, 2);
+        let b = s.take_zeroed(8, 8);
+        s.put(a); // pool: [a]
+        s.put(b); // pool: [a, b]
+        let first = s.take(); // b comes back first
+        assert_eq!(first.shape(), (8, 8));
+        assert_eq!(s.pooled(), 1);
+    }
+}

@@ -1,0 +1,108 @@
+//! Exact allocation accounting for the scratch layer.
+//!
+//! This file intentionally holds a SINGLE test: `alloc_stats` is a
+//! process-global counter and cargo runs tests inside one binary
+//! concurrently, so exact-equality assertions are only sound when the test
+//! binary has nothing else running.
+
+use e2gcl_graph::{norm, CsrGraph};
+use e2gcl_linalg::alloc_stats::matrix_allocs;
+use e2gcl_linalg::{Matrix, SeedRng};
+use e2gcl_nn::loss::{self, InfoNceScratch, MarginScratch};
+use e2gcl_nn::{GcnEncoder, GcnWorkspace, Mlp, MlpWorkspace, SageEncoder, SageWorkspace};
+
+fn fixture() -> (e2gcl_graph::SparseMatrix, e2gcl_graph::SparseMatrix, Matrix) {
+    let edges: Vec<(usize, usize)> = (0..40).map(|i| (i, (i * 7 + 3) % 40)).collect();
+    let g = CsrGraph::from_edges(40, &edges);
+    let sym_adj = norm::normalized_adjacency(&g);
+    let mean_adj = norm::row_normalized_adjacency(&g);
+    let mut rng = SeedRng::new(11);
+    let mut x = Matrix::zeros(40, 8);
+    for v in x.as_mut_slice() {
+        *v = rng.normal();
+    }
+    (sym_adj, mean_adj, x)
+}
+
+/// Once workspaces and loss scratch are warm, a full epoch-shaped pass
+/// (encoder forward, loss, encoder backward) performs ZERO new matrix
+/// allocations — the heart of the engine's scratch-buffer contract.
+#[test]
+fn warm_scratch_epoch_allocates_zero_matrices() {
+    let (sym_adj, mean_adj, x) = fixture();
+    let mut rng = SeedRng::new(12);
+    let gcn = GcnEncoder::new(&[8, 16, 4], &mut rng);
+    let sage = SageEncoder::new(&[8, 16, 4], &mut rng);
+    let head = Mlp::new(4, 8, 4, &mut rng);
+
+    let mut gcn_ws1 = GcnWorkspace::new();
+    let mut gcn_ws2 = GcnWorkspace::new();
+    let mut sage_ws = SageWorkspace::new();
+    let mut head_ws = MlpWorkspace::new();
+    let mut nce = InfoNceScratch::default();
+    let mut margin = MarginScratch::default();
+    let mut d_h = Matrix::default();
+    let negatives: Vec<Vec<usize>> = (0..40).map(|i| vec![(i + 1) % 40]).collect();
+
+    let epoch = |gcn_ws1: &mut GcnWorkspace,
+                 gcn_ws2: &mut GcnWorkspace,
+                 sage_ws: &mut SageWorkspace,
+                 head_ws: &mut MlpWorkspace,
+                 nce: &mut InfoNceScratch,
+                 margin: &mut MarginScratch,
+                 d_h: &mut Matrix| {
+        // GRACE-shaped flow: two GCN views, projection head, InfoNCE.
+        gcn.forward_with(&sym_adj, &x, gcn_ws1);
+        gcn.forward_with(&sym_adj, &x, gcn_ws2);
+        head.forward_with(gcn_ws1.output(), head_ws);
+        let _ = loss::info_nce_with(head_ws.output(), gcn_ws2.output(), 0.5, nce);
+        head.backward_with(gcn_ws1.output(), nce.d_z1(), head_ws);
+        gcn.backward_with(&sym_adj, gcn_ws1, head_ws.d_input());
+        gcn.backward_with(&sym_adj, gcn_ws2, nce.d_z2());
+        // E²GCL-shaped flow: SAGE encoder, margin loss.
+        sage.forward_with(&mean_adj, &x, sage_ws);
+        let _ = loss::margin_contrastive_with(
+            sage_ws.output(),
+            gcn_ws2.output(),
+            gcn_ws1.output(),
+            &negatives,
+            1.0,
+            margin,
+        );
+        sage.backward_with(&mean_adj, &x, sage_ws, margin.d_hat());
+        // Bootstrap gradient into a plain reusable buffer.
+        let _ = loss::cosine_bootstrap_with(sage_ws.output(), gcn_ws1.output(), d_h);
+    };
+
+    // Two warm-up epochs grow every buffer to its steady-state capacity.
+    for _ in 0..2 {
+        epoch(
+            &mut gcn_ws1,
+            &mut gcn_ws2,
+            &mut sage_ws,
+            &mut head_ws,
+            &mut nce,
+            &mut margin,
+            &mut d_h,
+        );
+    }
+
+    let before = matrix_allocs();
+    for _ in 0..3 {
+        epoch(
+            &mut gcn_ws1,
+            &mut gcn_ws2,
+            &mut sage_ws,
+            &mut head_ws,
+            &mut nce,
+            &mut margin,
+            &mut d_h,
+        );
+    }
+    let after = matrix_allocs();
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state epochs must not allocate matrices"
+    );
+}

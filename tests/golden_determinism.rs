@@ -1,0 +1,198 @@
+//! Golden determinism fingerprints for every `pretrain` path.
+//!
+//! Each case trains a model on a fixed tiny dataset with a fixed seed and
+//! hashes every bit-relevant output (loss curve, final embeddings, and
+//! checkpoint embeddings) into a single u64. The constants below were
+//! recorded from the hand-rolled per-model training loops; the engine-routed
+//! loops must reproduce them **bit-identically** (guards enabled, no faults
+//! injected, clipping off — the `Proceed` path mutates nothing).
+//!
+//! To (re)record after an intentional numeric change, run:
+//!
+//! ```text
+//! GOLDEN_PRINT=1 cargo test -q --test golden_determinism -- --nocapture
+//! ```
+//!
+//! and paste the printed table over `GOLDEN`. Any unintentional change to a
+//! fingerprint is a refactor bug, not an update.
+
+use e2gcl::models::adgcl::AdgclModel;
+use e2gcl::models::bgrl::{AfgrlModel, BgrlModel};
+use e2gcl::models::dgi::DgiModel;
+use e2gcl::models::gae::{GaeModel, VgaeModel};
+use e2gcl::models::grace::GraceModel;
+use e2gcl::models::mvgrl::MvgrlModel;
+use e2gcl::models::walks::WalkModel;
+use e2gcl::prelude::*;
+
+/// FNV-1a over the bit patterns of everything numerically meaningful in a
+/// [`PretrainResult`]. Wall-clock fields (timings) are deliberately skipped.
+struct Fingerprint(u64);
+
+impl Fingerprint {
+    fn new() -> Self {
+        Self(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn byte(&mut self, b: u8) {
+        self.0 ^= u64::from(b);
+        self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+
+    fn u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.byte(b);
+        }
+    }
+
+    fn f32(&mut self, v: f32) {
+        self.u64(u64::from(v.to_bits()));
+    }
+
+    fn matrix(&mut self, m: &Matrix) {
+        self.u64(m.rows() as u64);
+        self.u64(m.cols() as u64);
+        for &v in m.as_slice() {
+            self.f32(v);
+        }
+    }
+
+    fn result(&mut self, r: &PretrainResult) {
+        self.u64(r.loss_curve.len() as u64);
+        for &l in &r.loss_curve {
+            self.f32(l);
+        }
+        self.matrix(&r.embeddings);
+        self.u64(r.checkpoints.len() as u64);
+        for (_, m) in &r.checkpoints {
+            self.matrix(m);
+        }
+    }
+}
+
+fn fingerprint(r: &PretrainResult) -> u64 {
+    let mut fp = Fingerprint::new();
+    fp.result(r);
+    fp.0
+}
+
+fn tiny_cfg() -> TrainConfig {
+    TrainConfig {
+        epochs: 4,
+        batch_size: 64,
+        hidden_dim: 32,
+        embed_dim: 16,
+        checkpoint_every: Some(2),
+        ..TrainConfig::default()
+    }
+}
+
+fn e2gcl_variant(loss: LossKind, encoder: EncoderKind, view_mode: ViewMode) -> E2gclModel {
+    E2gclModel::new(E2gclConfig {
+        loss,
+        encoder,
+        view_mode,
+        ..E2gclConfig::default()
+    })
+}
+
+/// `(case name, model, checkpoints enabled)`. The per-node ego path is
+/// fingerprinted without checkpoints: the pre-engine loop never recorded
+/// any, and pinning that here would freeze the gap rather than the numerics.
+fn cases() -> Vec<(&'static str, Box<dyn ContrastiveModel>, bool)> {
+    vec![
+        ("grace", Box::new(GraceModel::grace()), true),
+        ("gca", Box::new(GraceModel::gca()), true),
+        ("bgrl", Box::new(BgrlModel::default()), true),
+        ("afgrl", Box::new(AfgrlModel::default()), true),
+        ("dgi", Box::new(DgiModel), true),
+        ("gae", Box::new(GaeModel), true),
+        ("vgae", Box::new(VgaeModel::default()), true),
+        ("mvgrl", Box::new(MvgrlModel::default()), true),
+        ("adgcl", Box::new(AdgclModel::default()), true),
+        ("deepwalk", Box::new(WalkModel::deepwalk()), true),
+        ("node2vec", Box::new(WalkModel::node2vec()), true),
+        ("e2gcl-margin-gcn", Box::new(E2gclModel::default()), true),
+        (
+            "e2gcl-infonce-sage",
+            Box::new(e2gcl_variant(
+                LossKind::InfoNce,
+                EncoderKind::Sage,
+                ViewMode::GlobalBatched,
+            )),
+            true,
+        ),
+        (
+            "e2gcl-margin-sgc",
+            Box::new(e2gcl_variant(
+                LossKind::Margin,
+                EncoderKind::Sgc,
+                ViewMode::GlobalBatched,
+            )),
+            true,
+        ),
+        (
+            "e2gcl-per-node-ego",
+            Box::new(e2gcl_variant(
+                LossKind::Margin,
+                EncoderKind::Gcn,
+                ViewMode::PerNodeEgo,
+            )),
+            false,
+        ),
+    ]
+}
+
+/// Seed-state fingerprints recorded from the pre-engine training loops.
+const GOLDEN: &[(&str, u64)] = &[
+    ("grace", 0xb80c06e0e9f3d8d9),
+    ("gca", 0xd73bc3932828e6f9),
+    ("bgrl", 0x62c9cfeba55eec6c),
+    ("afgrl", 0x85d664595cbe11a0),
+    ("dgi", 0xfb3d5caaf43332c5),
+    ("gae", 0xe770e772c5be8e48),
+    ("vgae", 0x8f006a2032fdebdf),
+    ("mvgrl", 0x7af0a5aa9d16009e),
+    ("adgcl", 0xf45b3ab7de98640d),
+    ("deepwalk", 0x7481d94f09b4f097),
+    ("node2vec", 0xa19f41d34123344e),
+    ("e2gcl-margin-gcn", 0x4e70c369a3a89ff4),
+    ("e2gcl-infonce-sage", 0xdc3a1ba7e5facd39),
+    ("e2gcl-margin-sgc", 0xde4bdcd50c87962e),
+    ("e2gcl-per-node-ego", 0x22e2e8cf3e350057),
+];
+
+#[test]
+fn pretrain_fingerprints_are_bit_stable() {
+    let data = NodeDataset::generate(&spec("cora-sim").expect("spec"), 0.05, 0);
+    let print_mode = std::env::var("GOLDEN_PRINT").is_ok();
+    let mut failures = Vec::new();
+    for (name, model, with_checkpoints) in cases() {
+        let cfg = TrainConfig {
+            checkpoint_every: if with_checkpoints { Some(2) } else { None },
+            ..tiny_cfg()
+        };
+        let mut rng = SeedRng::new(7);
+        let out = model
+            .pretrain(&data.graph, &data.features, &cfg, &mut rng)
+            .unwrap_or_else(|e| panic!("{name}: pretrain failed: {e}"));
+        let fp = fingerprint(&out);
+        if print_mode {
+            println!("    (\"{name}\", {fp:#018x}),");
+            continue;
+        }
+        let expected = GOLDEN
+            .iter()
+            .find(|(n, _)| *n == name)
+            .unwrap_or_else(|| panic!("{name}: missing golden entry"))
+            .1;
+        if fp != expected {
+            failures.push(format!("{name}: got {fp:#018x}, golden {expected:#018x}"));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "fingerprint drift (training is no longer bit-identical):\n{}",
+        failures.join("\n")
+    );
+}

@@ -2,11 +2,21 @@
 //!
 //! Exposes the slice/`IntoIterator` entry points the workspace uses
 //! (`par_iter`, `par_iter_mut`, `par_chunks`, `par_chunks_mut`,
-//! `into_par_iter`) plus the adapter methods chained on them, executing
-//! everything **sequentially** on the calling thread. Results are therefore
-//! identical to the parallel versions for the deterministic, order-oblivious
-//! reductions the workspace performs — just without the speedup, which an
-//! offline build cannot get from crates.io rayon anyway.
+//! `into_par_iter`) plus the adapter methods chained on them. The
+//! data-parallel terminals — [`ParIter::for_each`] and [`ParIter::map`] —
+//! genuinely fan out over OS threads via [`std::thread::scope`]; every
+//! reduction terminal (`reduce`, `sum`, `collect`, `min_by`, `max_by`,
+//! `count`) runs sequentially in item order, so results are **bit-identical**
+//! to a single-threaded run regardless of thread count. That is a stronger
+//! guarantee than crates.io rayon gives (whose `reduce` tree shape varies),
+//! and it is what the workspace's golden determinism tests rely on.
+//!
+//! Thread count comes from the `RAYON_NUM_THREADS` environment variable
+//! (read once): unset or `0` means "one thread per available core", `1`
+//! forces the deterministic serial path, larger values cap the fan-out.
+//! Small inputs stay serial too — a scoped spawn costs tens of microseconds,
+//! so parallelism only pays off past [`MIN_ITEMS_PER_THREAD`] items per
+//! worker.
 //!
 //! [`ParIter`] deliberately does *not* implement [`Iterator`]: every adapter
 //! is an inherent method returning another [`ParIter`], which keeps
@@ -15,13 +25,107 @@
 
 #![forbid(unsafe_code)]
 
-/// Sequential stand-in for a rayon parallel iterator.
+use std::sync::OnceLock;
+
+/// A worker must get at least this many items before fanning out: below
+/// this, thread-spawn latency dominates any per-item work the workspace
+/// performs (a matrix row product, a sampler draw).
+const MIN_ITEMS_PER_THREAD: usize = 64;
+
+/// Maximum worker count: `RAYON_NUM_THREADS` if set and non-zero, else the
+/// number of available cores. Read once per process.
+fn max_threads() -> usize {
+    static CAP: OnceLock<usize> = OnceLock::new();
+    *CAP.get_or_init(|| {
+        let requested = std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok());
+        match requested {
+            Some(n) if n > 0 => n,
+            _ => std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+        }
+    })
+}
+
+/// How many workers to use for `len` items under a `cap`: enough that each
+/// worker gets at least [`MIN_ITEMS_PER_THREAD`] items, never more than
+/// `cap`, and at least one (the serial path).
+fn thread_budget(len: usize, cap: usize) -> usize {
+    if cap <= 1 {
+        return 1;
+    }
+    cap.min(len / MIN_ITEMS_PER_THREAD).max(1)
+}
+
+/// Runs `f` over `items` on `threads` scoped workers, each taking a
+/// contiguous in-order batch. Caller guarantees `threads >= 2`.
+fn scoped_for_each<T: Send, F: Fn(T) + Sync>(items: Vec<T>, threads: usize, f: F) {
+    let chunk = items.len().div_ceil(threads);
+    let fr = &f;
+    std::thread::scope(|s| {
+        let mut iter = items.into_iter();
+        loop {
+            let batch: Vec<T> = iter.by_ref().take(chunk).collect();
+            if batch.is_empty() {
+                break;
+            }
+            s.spawn(move || batch.into_iter().for_each(fr));
+        }
+    });
+}
+
+/// Maps `items` through `f` on `threads` scoped workers, preserving input
+/// order in the output. Caller guarantees `threads >= 2`.
+fn scoped_map<T: Send, O: Send, F: Fn(T) -> O + Sync>(
+    items: Vec<T>,
+    threads: usize,
+    f: F,
+) -> Vec<O> {
+    let chunk = items.len().div_ceil(threads);
+    let fr = &f;
+    let mut out: Vec<O> = Vec::new();
+    std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        let mut iter = items.into_iter();
+        loop {
+            let batch: Vec<T> = iter.by_ref().take(chunk).collect();
+            if batch.is_empty() {
+                break;
+            }
+            handles.push(s.spawn(move || batch.into_iter().map(fr).collect::<Vec<O>>()));
+        }
+        for h in handles {
+            match h.join() {
+                Ok(part) => out.extend(part),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    out
+}
+
+/// Stand-in for a rayon parallel iterator.
 pub struct ParIter<I>(I);
 
 impl<I: Iterator> ParIter<I> {
-    /// Maps each item.
-    pub fn map<O, F: FnMut(I::Item) -> O>(self, f: F) -> ParIter<std::iter::Map<I, F>> {
-        ParIter(self.0.map(f))
+    /// Maps each item. Runs eagerly — and in parallel when the input is
+    /// large enough — with output order matching input order exactly.
+    pub fn map<O, F>(self, f: F) -> ParIter<std::vec::IntoIter<O>>
+    where
+        I::Item: Send,
+        O: Send,
+        F: Fn(I::Item) -> O + Sync,
+    {
+        let items: Vec<I::Item> = self.0.collect();
+        let threads = thread_budget(items.len(), max_threads());
+        let mapped: Vec<O> = if threads <= 1 {
+            items.into_iter().map(f).collect()
+        } else {
+            scoped_map(items, threads, f)
+        };
+        ParIter(mapped.into_iter())
     }
 
     /// Keeps items matching the predicate.
@@ -55,17 +159,30 @@ impl<I: Iterator> ParIter<I> {
         ParIter(self.0.zip(other.0))
     }
 
-    /// Runs `f` on every item.
-    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
-        self.0.for_each(f)
+    /// Runs `f` on every item, fanning out over scoped threads when the
+    /// input is large enough. Items are disjoint by construction (slice
+    /// chunks, unique indices), so any interleaving yields the same state.
+    pub fn for_each<F>(self, f: F)
+    where
+        I::Item: Send,
+        F: Fn(I::Item) + Sync,
+    {
+        let items: Vec<I::Item> = self.0.collect();
+        let threads = thread_budget(items.len(), max_threads());
+        if threads <= 1 {
+            items.into_iter().for_each(f);
+        } else {
+            scoped_for_each(items, threads, f);
+        }
     }
 
-    /// Collects into any `FromIterator` container.
+    /// Collects into any `FromIterator` container (sequential, in order).
     pub fn collect<C: FromIterator<I::Item>>(self) -> C {
         self.0.collect()
     }
 
-    /// Rayon-style reduce: folds from `identity()` with `op`.
+    /// Rayon-style reduce: folds from `identity()` with `op`, sequentially
+    /// in item order (deterministic even for non-associative `op`).
     pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
     where
         ID: Fn() -> I::Item,
@@ -74,7 +191,7 @@ impl<I: Iterator> ParIter<I> {
         self.0.fold(identity(), op)
     }
 
-    /// Sums the items.
+    /// Sums the items (sequential, in order).
     pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
         self.0.sum()
     }
@@ -114,7 +231,7 @@ pub trait IntoParallelIterator {
     type Item;
     /// Underlying sequential iterator.
     type SeqIter: Iterator<Item = Self::Item>;
-    /// Converts into a (sequential) "parallel" iterator.
+    /// Converts into a parallel iterator.
     fn into_par_iter(self) -> ParIter<Self::SeqIter>;
 }
 
@@ -168,11 +285,23 @@ pub mod prelude {
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::thread_budget;
 
     #[test]
     fn map_collect_matches_sequential() {
         let v: Vec<usize> = (0..10usize).into_par_iter().map(|x| x * x).collect();
         assert_eq!(v, (0..10).map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_preserves_order_above_the_parallel_threshold() {
+        let n = 10_000usize;
+        let v: Vec<usize> = (0..n)
+            .into_par_iter()
+            .map(|x| x.wrapping_mul(31) ^ 7)
+            .collect();
+        let expected: Vec<usize> = (0..n).map(|x| x.wrapping_mul(31) ^ 7).collect();
+        assert_eq!(v, expected);
     }
 
     #[test]
@@ -186,6 +315,20 @@ mod tests {
                 *o = a + i;
             });
         assert_eq!(out, vec![10, 21, 32, 43]);
+    }
+
+    #[test]
+    fn large_for_each_writes_every_chunk() {
+        let n = 64 * 1024;
+        let mut data = vec![0u32; n];
+        data.par_chunks_mut(16).enumerate().for_each(|(i, chunk)| {
+            for c in chunk {
+                *c = i as u32;
+            }
+        });
+        for (i, chunk) in data.chunks(16).enumerate() {
+            assert!(chunk.iter().all(|&c| c == i as u32), "chunk {i}");
+        }
     }
 
     #[test]
@@ -209,5 +352,30 @@ mod tests {
             }
         });
         assert_eq!(data, vec![0, 0, 0, 1, 1, 1, 2, 2, 2]);
+    }
+
+    #[test]
+    fn thread_budget_policy() {
+        // Serial cap forces the serial path regardless of size.
+        assert_eq!(thread_budget(1 << 20, 1), 1);
+        // Tiny inputs stay serial even with many cores.
+        assert_eq!(thread_budget(63, 16), 1);
+        // Each worker must earn its spawn.
+        assert_eq!(thread_budget(128, 16), 2);
+        assert_eq!(thread_budget(64 * 16, 16), 16);
+        // Large inputs saturate the cap.
+        assert_eq!(thread_budget(1 << 20, 8), 8);
+        // Empty input is serial.
+        assert_eq!(thread_budget(0, 8), 1);
+    }
+
+    #[test]
+    fn float_sum_is_order_stable() {
+        // Non-associative f32 accumulation must not depend on thread count:
+        // `sum` folds sequentially by contract.
+        let xs: Vec<f32> = (0..10_000).map(|i| 1.0 / (1.0 + i as f32)).collect();
+        let par: f32 = xs.par_iter().copied().sum();
+        let seq: f32 = xs.iter().copied().sum();
+        assert_eq!(par.to_bits(), seq.to_bits());
     }
 }
