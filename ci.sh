@@ -14,6 +14,9 @@
 #   6. release smoke run          — the quickstart example drives the full
 #                                   selector -> views -> EpochDriver stack
 #                                   in release mode
+#   7. serve smoke run            — train a tiny model, save an artifact,
+#                                   reload it, and answer a batch of top-k
+#                                   queries through the CLI
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -31,7 +34,7 @@ echo "==> lint: no .unwrap()/panic! in non-test library code"
 # so everything before the first #[cfg(test)] is production code. Comment
 # lines (incl. doc comments) are skipped.
 fail=0
-for f in $(find crates/selector/src crates/views/src crates/nn/src crates/e2gcl/src -name '*.rs' | sort); do
+for f in $(find crates/selector/src crates/views/src crates/nn/src crates/e2gcl/src crates/serve/src -name '*.rs' | sort); do
     hits=$(awk '/#\[cfg\(test\)\]/{exit} {sub(/^[ \t]+/, ""); if ($0 !~ /^\/\//) print FILENAME":"FNR": "$0}' "$f" \
         | grep -E '\.unwrap\(\)|panic!' || true)
     if [ -n "$hits" ]; then
@@ -64,5 +67,22 @@ fi
 
 echo "==> release smoke run: quickstart (EpochDriver end to end)"
 cargo run --release --offline -q -p e2gcl --example quickstart
+
+echo "==> serve smoke run: train -> save -> reload -> query"
+# Exercises the artifact round trip and both --flag=value and --flag value
+# option syntaxes end to end through the CLI.
+cargo build --release --offline -q -p e2gcl-cli
+artifact=target/ci-serve-artifact.bin
+rm -f "$artifact"
+target/release/e2gcl-cli train --dataset=cora-sim --scale=0.05 --epochs=3 --save "$artifact"
+test -s "$artifact"
+query_out=$(target/release/e2gcl-cli query --artifact="$artifact" --node 0 --k 5)
+echo "$query_out"
+echo "$query_out" | grep -q "top-5 cosine neighbours"
+[ "$(echo "$query_out" | grep -c 'score')" -eq 5 ]
+# Capture instead of piping into grep -q: early-exit grep would close the
+# pipe and kill the CLI mid-print.
+inductive_out=$(target/release/e2gcl-cli query --artifact="$artifact" --node=1 --k=3 --mode=inductive)
+echo "$inductive_out" | grep -q "top-3 cosine neighbours"
 
 echo "CI passed."

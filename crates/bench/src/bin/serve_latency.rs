@@ -1,0 +1,114 @@
+//! Serving-latency benchmark for the `e2gcl-serve` batch server.
+//!
+//! Pre-trains a model, packages it as an [`Artifact`] (exercising the
+//! save → load round trip on the way), then drives deterministic top-k /
+//! inductive query batches through a [`BatchServer`] and reports per-batch-
+//! size latency percentiles (p50/p95/p99) and throughput. Results land in
+//! `BENCH_serve.json` (machine-readable) and `target/bench-results/`.
+//!
+//! ```sh
+//! cargo run -p e2gcl-bench --bin serve_latency --release
+//! ```
+
+use e2gcl::prelude::*;
+use e2gcl_bench::report;
+use e2gcl_serve::{run_latency_bench, Artifact, ArtifactMeta, BatchServer, BenchOptions};
+use serde::Serialize;
+
+const DATASET: &str = "cora-sim";
+const SCALE: f64 = 0.25;
+const SEED: u64 = 7;
+const EPOCHS: usize = 20;
+
+#[derive(Serialize)]
+struct ServeBenchDump {
+    name: String,
+    model: String,
+    dataset: String,
+    num_nodes: usize,
+    embedding_dim: usize,
+    batches: Vec<e2gcl_serve::BatchBenchReport>,
+}
+
+fn main() {
+    let data = NodeDataset::generate(&spec(DATASET).expect("dataset spec"), SCALE, SEED);
+    let cfg = TrainConfig {
+        epochs: EPOCHS,
+        ..TrainConfig::default()
+    };
+    let model = E2gclModel::default();
+    println!(
+        "serve_latency — {} on {} ({} nodes, {} edges), {} epochs",
+        model.name(),
+        data.name,
+        data.num_nodes(),
+        data.graph.num_edges(),
+        cfg.epochs
+    );
+    let out = model
+        .pretrain(&data.graph, &data.features, &cfg, &mut SeedRng::new(SEED))
+        .expect("pretrain");
+    let artifact = Artifact {
+        meta: ArtifactMeta {
+            model: model.name(),
+            dataset: data.name.clone(),
+            scale: SCALE,
+            seed: SEED,
+        },
+        config: cfg,
+        encoder: out.encoder.expect("E2GCL exposes a frozen encoder"),
+        embeddings: out.embeddings,
+    };
+
+    // Round-trip through the on-disk format so the bench measures exactly
+    // what a deployed server would load.
+    let path = std::path::Path::new("target/serve_latency_artifact.bin");
+    artifact.save(path).expect("save artifact");
+    let artifact = Artifact::load(path).expect("load artifact");
+
+    let mut server = BatchServer::from_artifact(&artifact, data.graph, data.features)
+        .expect("server from artifact");
+    let opts = BenchOptions::default(); // batch sizes {1, 32, 256}
+    let mut rng = SeedRng::new(SEED ^ 0x5e7e);
+    let reports = run_latency_bench(&mut server, &opts, &mut rng);
+
+    println!(
+        "{:>6} {:>7} {:>11} {:>11} {:>11} {:>11} {:>12}",
+        "batch", "rounds", "p50(us)", "p95(us)", "p99(us)", "mean(us)", "qps"
+    );
+    for r in &reports {
+        println!(
+            "{:>6} {:>7} {:>11.1} {:>11.1} {:>11.1} {:>11.1} {:>12.0}",
+            r.batch_size,
+            r.rounds,
+            r.latency.p50_us,
+            r.latency.p95_us,
+            r.latency.p99_us,
+            r.latency.mean_us,
+            r.throughput_qps
+        );
+    }
+    if let Some(stats) = server.inductive().map(|e| e.cache_stats()) {
+        println!(
+            "inductive cache: {} hits, {} misses over the run",
+            stats.0, stats.1
+        );
+    }
+
+    let dump = ServeBenchDump {
+        name: "serve_latency".to_string(),
+        model: artifact.meta.model.clone(),
+        dataset: artifact.meta.dataset.clone(),
+        num_nodes: artifact.embeddings.rows(),
+        embedding_dim: artifact.embeddings.cols(),
+        batches: reports,
+    };
+    report::write_json("serve_latency", &dump);
+    match serde_json::to_string_pretty(&dump) {
+        Ok(json) => match std::fs::write("BENCH_serve.json", json) {
+            Ok(()) => println!("[results written to BENCH_serve.json]"),
+            Err(e) => eprintln!("writing BENCH_serve.json: {e}"),
+        },
+        Err(e) => eprintln!("serialising BENCH_serve.json: {e}"),
+    }
+}

@@ -1,4 +1,5 @@
-//! Minimal `--flag value` argument parsing (no external dependencies).
+//! Minimal `--flag value` / `--flag=value` argument parsing (no external
+//! dependencies).
 
 use std::collections::HashMap;
 
@@ -8,18 +9,27 @@ pub struct Args {
 }
 
 impl Args {
-    /// Parses a flat `--key value` list; unknown positional arguments abort.
+    /// Parses a flat option list; each option is either `--key value` or
+    /// `--key=value`. Unknown positional arguments abort.
     pub fn parse(argv: &[String]) -> Result<Args, String> {
         let mut values = HashMap::new();
         let mut i = 0;
         while i < argv.len() {
             let key = &argv[i];
             if let Some(name) = key.strip_prefix("--") {
-                let value = argv
-                    .get(i + 1)
-                    .ok_or_else(|| format!("--{name} expects a value"))?;
-                values.insert(name.to_string(), value.clone());
-                i += 2;
+                if let Some((k, v)) = name.split_once('=') {
+                    if k.is_empty() {
+                        return Err(format!("malformed option '{key}'"));
+                    }
+                    values.insert(k.to_string(), v.to_string());
+                    i += 1;
+                } else {
+                    let value = argv
+                        .get(i + 1)
+                        .ok_or_else(|| format!("--{name} expects a value"))?;
+                    values.insert(name.to_string(), value.clone());
+                    i += 2;
+                }
             } else {
                 return Err(format!("unexpected argument '{key}'"));
             }
@@ -61,6 +71,26 @@ mod tests {
         assert_eq!(a.get("missing", "fallback"), "fallback");
         assert_eq!(a.get_parse("epochs", 0usize).unwrap(), 5);
         assert_eq!(a.get_parse("seed", 7u64).unwrap(), 7);
+    }
+
+    #[test]
+    fn parses_equals_syntax_and_mixes() {
+        let a = Args::parse(&argv(&[
+            "--dataset=cora-sim",
+            "--epochs",
+            "5",
+            "--scale=0.1",
+        ]))
+        .unwrap();
+        assert_eq!(a.get("dataset", "x"), "cora-sim");
+        assert_eq!(a.get_parse("epochs", 0usize).unwrap(), 5);
+        assert_eq!(a.get_parse("scale", 0.0f64).unwrap(), 0.1);
+        // Values may themselves contain '=' (only the first splits).
+        let b = Args::parse(&argv(&["--expr=a=b"])).unwrap();
+        assert_eq!(b.get("expr", ""), "a=b");
+        // An explicitly empty value is allowed with '='.
+        let c = Args::parse(&argv(&["--out="])).unwrap();
+        assert_eq!(c.get("out", "default"), "");
     }
 
     #[test]

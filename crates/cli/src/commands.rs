@@ -12,8 +12,13 @@ use e2gcl::prelude::*;
 use e2gcl_datasets::registry;
 use e2gcl_selector::greedy::GreedySelector;
 use e2gcl_selector::NodeSelector;
+use e2gcl_serve::{
+    run_latency_bench, Artifact, ArtifactMeta, BatchServer, BenchOptions, EmbeddingStore,
+    InductiveEngine,
+};
 use e2gcl_views::{ViewConfig, ViewGenerator};
 use serde::Serialize;
+use std::path::Path;
 
 /// `e2gcl datasets`
 pub fn datasets() -> i32 {
@@ -68,6 +73,7 @@ struct Common {
     model: Box<dyn ContrastiveModel>,
     cfg: TrainConfig,
     seed: u64,
+    scale: f64,
 }
 
 fn common(args: &Args) -> Result<Common, String> {
@@ -91,7 +97,49 @@ fn common(args: &Args) -> Result<Common, String> {
         model,
         cfg,
         seed,
+        scale,
     })
+}
+
+/// Pre-trains `c.model` and packages the frozen encoder + embeddings as a
+/// saveable [`Artifact`]. Fails for models that do not expose an encoder
+/// (e.g. random-walk baselines).
+fn train_artifact(c: &Common) -> Result<Artifact, String> {
+    let out = c
+        .model
+        .pretrain(
+            &c.data.graph,
+            &c.data.features,
+            &c.cfg,
+            &mut SeedRng::new(c.seed),
+        )
+        .map_err(|e| e.to_string())?;
+    let encoder = out.encoder.ok_or_else(|| {
+        format!(
+            "model {} does not expose a frozen encoder; artifact saving \
+             needs an encoder-based model (e.g. E2GCL, GRACE, GCA)",
+            c.model.name()
+        )
+    })?;
+    Ok(Artifact {
+        meta: ArtifactMeta {
+            model: c.model.name(),
+            dataset: c.data.name.clone(),
+            scale: c.scale,
+            seed: c.seed,
+        },
+        config: c.cfg.clone(),
+        encoder,
+        embeddings: out.embeddings,
+    })
+}
+
+/// Regenerates the dataset an artifact was trained on (datasets are
+/// deterministic in `(spec, scale, seed)`, so the artifact only stores the
+/// recipe, not the graph).
+fn dataset_of(meta: &ArtifactMeta) -> Result<NodeDataset, String> {
+    let data_spec = spec(&meta.dataset).map_err(|e| e.to_string())?;
+    Ok(NodeDataset::generate(&data_spec, meta.scale, meta.seed))
 }
 
 fn run_or_usage(result: Result<i32, String>) -> i32 {
@@ -342,6 +390,157 @@ pub fn view(argv: &[String]) -> i32 {
             })
             .sum::<usize>();
         println!("perturbed feature entries: {changed}");
+        Ok(0)
+    })())
+}
+
+/// `e2gcl train`
+pub fn train(argv: &[String]) -> i32 {
+    run_or_usage((|| {
+        let args = Args::parse(argv)?;
+        let c = common(&args)?;
+        let save_path = args.get("save", "model.e2gcl");
+        eprintln!(
+            "training {} on {} ({} nodes, {} edges)...",
+            c.model.name(),
+            c.data.name,
+            c.data.num_nodes(),
+            c.data.graph.num_edges()
+        );
+        let artifact = train_artifact(&c)?;
+        artifact
+            .save(Path::new(&save_path))
+            .map_err(|e| e.to_string())?;
+        let bytes = std::fs::metadata(&save_path).map(|m| m.len()).unwrap_or(0);
+        println!(
+            "saved artifact to {save_path}: {} encoder, {} x {} embeddings, {} params, {bytes} bytes",
+            artifact.encoder.kind(),
+            artifact.embeddings.rows(),
+            artifact.embeddings.cols(),
+            artifact
+                .encoder
+                .params()
+                .iter()
+                .map(|m| m.rows() * m.cols())
+                .sum::<usize>()
+        );
+        Ok(0)
+    })())
+}
+
+/// `e2gcl query`
+pub fn query(argv: &[String]) -> i32 {
+    run_or_usage((|| {
+        let args = Args::parse(argv)?;
+        let path = args.get("artifact", "model.e2gcl");
+        let node: usize = args.get_parse("node", 0)?;
+        let k: usize = args.get_parse("k", 10)?;
+        let mode = args.get("mode", "stored");
+        let artifact = Artifact::load(Path::new(&path)).map_err(|e| e.to_string())?;
+        eprintln!(
+            "loaded {path}: {} on {} (scale {}, seed {}), {} x {} embeddings",
+            artifact.meta.model,
+            artifact.meta.dataset,
+            artifact.meta.scale,
+            artifact.meta.seed,
+            artifact.embeddings.rows(),
+            artifact.embeddings.cols()
+        );
+        let store = EmbeddingStore::new(artifact.embeddings.clone());
+        let q: Vec<f32> = match mode.as_str() {
+            "stored" => store.embedding(node).map_err(|e| e.to_string())?.to_vec(),
+            "inductive" => {
+                let data = dataset_of(&artifact.meta)?;
+                let engine =
+                    InductiveEngine::new(artifact.encoder.clone(), data.graph, data.features)
+                        .map_err(|e| e.to_string())?;
+                engine.embed_node(node).map_err(|e| e.to_string())?
+            }
+            other => return Err(format!("unknown --mode '{other}' (stored | inductive)")),
+        };
+        let hits = store.top_k(&q, k).map_err(|e| e.to_string())?;
+        if hits.is_empty() {
+            return Err("store returned no hits".to_string());
+        }
+        println!("top-{k} cosine neighbours of node {node} ({mode} embedding):");
+        for (rank, (u, score)) in hits.iter().enumerate() {
+            println!("  {:>3}. node {u:>6}  score {score:+.4}", rank + 1);
+        }
+        Ok(0)
+    })())
+}
+
+/// Shape of `BENCH_serve.json` (shared with the bench bin by convention).
+#[derive(Serialize)]
+struct ServeBenchDump {
+    name: String,
+    model: String,
+    dataset: String,
+    num_nodes: usize,
+    embedding_dim: usize,
+    batches: Vec<e2gcl_serve::BatchBenchReport>,
+}
+
+/// `e2gcl serve-bench`
+pub fn serve_bench(argv: &[String]) -> i32 {
+    run_or_usage((|| {
+        let args = Args::parse(argv)?;
+        let path = args.get("artifact", "");
+        let rounds: usize = args.get_parse("rounds", 50)?;
+        let k: usize = args.get_parse("k", 10)?;
+        let json_path = args.get("json", "BENCH_serve.json");
+        let (artifact, data) = if path.is_empty() {
+            let c = common(&args)?;
+            eprintln!(
+                "no --artifact given; pre-training {} on {} first...",
+                c.model.name(),
+                c.data.name
+            );
+            let artifact = train_artifact(&c)?;
+            (artifact, c.data)
+        } else {
+            let artifact = Artifact::load(Path::new(&path)).map_err(|e| e.to_string())?;
+            let data = dataset_of(&artifact.meta)?;
+            (artifact, data)
+        };
+        let mut server = BatchServer::from_artifact(&artifact, data.graph, data.features)
+            .map_err(|e| e.to_string())?;
+        let opts = BenchOptions {
+            rounds,
+            k,
+            ..BenchOptions::default()
+        };
+        let mut rng = SeedRng::new(artifact.meta.seed ^ 0x5e7e);
+        let reports = run_latency_bench(&mut server, &opts, &mut rng);
+        println!(
+            "{:>6} {:>7} {:>11} {:>11} {:>11} {:>12}",
+            "batch", "rounds", "p50(us)", "p95(us)", "p99(us)", "qps"
+        );
+        for r in &reports {
+            println!(
+                "{:>6} {:>7} {:>11.1} {:>11.1} {:>11.1} {:>12.0}",
+                r.batch_size,
+                r.rounds,
+                r.latency.p50_us,
+                r.latency.p95_us,
+                r.latency.p99_us,
+                r.throughput_qps
+            );
+        }
+        let dump = ServeBenchDump {
+            name: "serve_latency".to_string(),
+            model: artifact.meta.model.clone(),
+            dataset: artifact.meta.dataset.clone(),
+            num_nodes: artifact.embeddings.rows(),
+            embedding_dim: artifact.embeddings.cols(),
+            batches: reports,
+        };
+        std::fs::write(
+            &json_path,
+            serde_json::to_string_pretty(&dump).map_err(|e| e.to_string())?,
+        )
+        .map_err(|e| format!("writing {json_path}: {e}"))?;
+        println!("wrote {json_path}");
         Ok(0)
     })())
 }

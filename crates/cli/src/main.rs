@@ -6,7 +6,12 @@
 //! e2gcl evaluate  --dataset cora-sim [...]     pre-train + linear probe
 //! e2gcl select    --dataset cora-sim [...]     run the Alg. 2 selector
 //! e2gcl view      --dataset cora-sim --node 5  sample an Alg. 3 ego view
+//! e2gcl train     --save model.e2gcl [...]     pre-train, save a serving artifact
+//! e2gcl query     --artifact model.e2gcl [...] top-k similarity over an artifact
+//! e2gcl serve-bench [...]                      batch-serving latency percentiles
 //! ```
+//!
+//! Options accept both `--flag value` and `--flag=value`.
 
 mod args;
 mod commands;
@@ -21,6 +26,9 @@ fn main() {
         Some("view") => commands::view(&argv[1..]),
         Some("linkpred") => commands::linkpred(&argv[1..]),
         Some("graphcls") => commands::graphcls(&argv[1..]),
+        Some("train") => commands::train(&argv[1..]),
+        Some("query") => commands::query(&argv[1..]),
+        Some("serve-bench") => commands::serve_bench(&argv[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print_usage();
             0
@@ -49,9 +57,12 @@ COMMANDS:
     view        sample one Alg. 3 positive ego view for a node
     linkpred    pre-train on training edges, evaluate link prediction
     graphcls    pre-train on a multi-graph collection, classify graphs
+    train       pre-train and save a serving artifact (encoder + embeddings)
+    query       answer top-k similarity queries against a saved artifact
+    serve-bench measure batch-serving latency percentiles (p50/p95/p99)
     help        show this message
 
-COMMON OPTIONS:
+COMMON OPTIONS (accepted as `--flag value` or `--flag=value`):
     --dataset <name>     dataset analog (default cora-sim; see `e2gcl datasets`)
     --scale <f64>        fraction of the analog's full size (default 0.25)
     --model <name>       E2GCL | GRACE | GCA | MVGRL | BGRL | AFGRL | DGI |
@@ -74,6 +85,21 @@ VIEW:
     --eta <f32>          feature perturbation scale (default 0.6)
 
 GRAPHCLS:
-    --dataset <name>     nci1-sim | ptcmr-sim | proteins-sim (default nci1-sim)"
+    --dataset <name>     nci1-sim | ptcmr-sim | proteins-sim (default nci1-sim)
+
+TRAIN:
+    --save <path>        artifact output path (default model.e2gcl)
+
+QUERY:
+    --artifact <path>    artifact to load (default model.e2gcl)
+    --node <n>           query node id (default 0)
+    --k <n>              neighbours to return (default 10)
+    --mode <m>           stored | inductive (default stored)
+
+SERVE-BENCH:
+    --artifact <path>    artifact to serve (omit to train a fresh model first)
+    --rounds <n>         batches per batch size (default 50)
+    --k <n>              top-k per query (default 10)
+    --json <path>        machine-readable report (default BENCH_serve.json)"
     );
 }

@@ -119,6 +119,7 @@ impl ContrastiveModel for BgrlModel {
         let run = EpochDriver::new(cfg).run(&mut step, start)?;
         Ok(PretrainResult {
             embeddings: run.embeddings,
+            encoder: None,
             selection_time: std::time::Duration::ZERO,
             total_time: start.elapsed(),
             checkpoints: run.checkpoints,
@@ -284,6 +285,7 @@ impl ContrastiveModel for AfgrlModel {
         let run = EpochDriver::new(cfg).run(&mut step, start)?;
         Ok(PretrainResult {
             embeddings: run.embeddings,
+            encoder: None,
             selection_time: std::time::Duration::ZERO,
             total_time: start.elapsed(),
             checkpoints: run.checkpoints,

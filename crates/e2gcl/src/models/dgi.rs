@@ -167,6 +167,7 @@ impl ContrastiveModel for DgiModel {
         let run = EpochDriver::new(cfg).run(&mut step, start)?;
         Ok(PretrainResult {
             embeddings: run.embeddings,
+            encoder: None,
             selection_time: std::time::Duration::ZERO,
             total_time: start.elapsed(),
             checkpoints: run.checkpoints,

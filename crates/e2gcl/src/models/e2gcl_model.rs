@@ -9,7 +9,7 @@ use e2gcl_graph::{norm, CsrGraph};
 use e2gcl_linalg::{Matrix, SeedRng, TrainError};
 use e2gcl_nn::sage::{SageCache, SageEncoder};
 use e2gcl_nn::sgc::{SgcCache, SgcEncoder};
-use e2gcl_nn::{gcn::GcnCache, loss, optim::Optimizer, Adam, GcnEncoder};
+use e2gcl_nn::{gcn::GcnCache, loss, optim::Optimizer, Adam, FrozenEncoder, GcnEncoder};
 use e2gcl_selector::baselines::{
     DegreeSelector, GrainSelector, KCenterGreedy, KMeansSelector, RandomSelector,
 };
@@ -116,6 +116,15 @@ impl Encoder {
             Encoder::Gcn(e) => e.embed(adj, x),
             Encoder::Sgc(e) => e.embed(adj, x),
             Encoder::Sage(e) => e.embed(adj, x),
+        }
+    }
+
+    /// Hands the trained weights to the serving layer.
+    fn into_frozen(self) -> FrozenEncoder {
+        match self {
+            Encoder::Gcn(e) => FrozenEncoder::Gcn(e),
+            Encoder::Sgc(e) => FrozenEncoder::Sgc(e),
+            Encoder::Sage(e) => FrozenEncoder::Sage(e),
         }
     }
 
@@ -307,6 +316,7 @@ impl E2gclModel {
         let run = EpochDriver::new(cfg).run(&mut step, start)?;
         Ok(PretrainResult {
             embeddings: run.embeddings,
+            encoder: Some(step.encoder.into_frozen()),
             selection_time,
             total_time: start.elapsed(),
             checkpoints: run.checkpoints,
@@ -459,6 +469,7 @@ impl ContrastiveModel for E2gclModel {
         let run = EpochDriver::new(cfg).run(&mut step, start)?;
         Ok(PretrainResult {
             embeddings: run.embeddings,
+            encoder: Some(step.encoder.into_frozen()),
             selection_time,
             total_time: start.elapsed(),
             checkpoints: run.checkpoints,

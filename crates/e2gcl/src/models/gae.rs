@@ -83,6 +83,7 @@ impl ContrastiveModel for GaeModel {
         let run = EpochDriver::new(cfg).run(&mut step, start)?;
         Ok(PretrainResult {
             embeddings: run.embeddings,
+            encoder: None,
             selection_time: std::time::Duration::ZERO,
             total_time: start.elapsed(),
             checkpoints: run.checkpoints,
@@ -184,6 +185,7 @@ impl ContrastiveModel for VgaeModel {
         let run = EpochDriver::new(cfg).run(&mut step, start)?;
         Ok(PretrainResult {
             embeddings: run.embeddings,
+            encoder: None,
             selection_time: std::time::Duration::ZERO,
             total_time: start.elapsed(),
             checkpoints: run.checkpoints,

@@ -188,6 +188,7 @@ impl ContrastiveModel for GraceModel {
         let run = EpochDriver::new(cfg).run(&mut step, start)?;
         Ok(PretrainResult {
             embeddings: run.embeddings,
+            encoder: Some(e2gcl_nn::FrozenEncoder::Gcn(step.encoder)),
             selection_time: std::time::Duration::ZERO,
             total_time: start.elapsed(),
             checkpoints: run.checkpoints,

@@ -17,6 +17,7 @@ pub mod walks;
 use crate::config::TrainConfig;
 use e2gcl_graph::CsrGraph;
 use e2gcl_linalg::{Matrix, SeedRng, TrainError};
+use e2gcl_nn::FrozenEncoder;
 use std::time::Duration;
 
 /// Output of a pre-training run.
@@ -24,6 +25,11 @@ use std::time::Duration;
 pub struct PretrainResult {
     /// Final embeddings of every node, computed on the *original* graph.
     pub embeddings: Matrix,
+    /// The trained encoder, frozen for inference — the unit `e2gcl-serve`
+    /// persists and queries. `None` for models whose embedding is not a
+    /// parametric forward pass over the graph (e.g. random-walk tables) or
+    /// that have not been taught to export one yet.
+    pub encoder: Option<FrozenEncoder>,
     /// Time spent selecting representative nodes (`ST` of Table V; zero for
     /// models that train on all nodes).
     pub selection_time: Duration,

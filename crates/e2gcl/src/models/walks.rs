@@ -149,6 +149,7 @@ impl ContrastiveModel for WalkModel {
         let run = EpochDriver::new(cfg).run(&mut step, start)?;
         Ok(PretrainResult {
             embeddings: run.embeddings,
+            encoder: None,
             selection_time: std::time::Duration::ZERO,
             total_time: start.elapsed(),
             checkpoints: run.checkpoints,

@@ -1,0 +1,231 @@
+//! Frozen (inference-only) encoders — the serving-side view of a trained
+//! model.
+//!
+//! The GCL protocol the paper follows (§V, Alg. 1) is pretrain-once /
+//! probe-many: after pre-training the encoder is *frozen* and reused for
+//! every downstream query. [`FrozenEncoder`] captures exactly that
+//! contract: the trained weights of one encoder family plus the forward
+//! pass, with no optimiser state, caches, or gradients attached. It is the
+//! unit of persistence for `e2gcl-serve` artifacts and the engine behind
+//! inductive (ego-subgraph) inference.
+//!
+//! [`EncoderWorkspace`] is the matching scratch buffer: repeated
+//! [`FrozenEncoder::embed_with`] calls reuse one workspace and stay off the
+//! allocator once warm (the GCN/SAGE paths reuse the PR-2 `*Workspace`
+//! types; the single-matmul SGC path has no workspace to speak of and
+//! writes through a plain output buffer).
+
+use crate::gcn::{GcnEncoder, GcnWorkspace};
+use crate::sage::{SageEncoder, SageWorkspace};
+use crate::sgc::SgcEncoder;
+use e2gcl_graph::{norm, CsrGraph, SparseMatrix};
+use e2gcl_linalg::Matrix;
+
+/// A trained encoder with its weights frozen for inference.
+#[derive(Clone, Debug)]
+pub enum FrozenEncoder {
+    /// The Eq. (1) GCN (the paper's default).
+    Gcn(GcnEncoder),
+    /// SGC — `A_n^L X W`, the Theorem-1 relaxation as an encoder.
+    Sgc(SgcEncoder),
+    /// GraphSAGE-mean.
+    Sage(SageEncoder),
+}
+
+/// Reusable forward buffers for one [`FrozenEncoder`]; build with
+/// [`FrozenEncoder::workspace`] and thread through [`FrozenEncoder::embed_with`].
+#[derive(Debug)]
+pub enum EncoderWorkspace {
+    /// Scratch for the GCN forward.
+    Gcn(GcnWorkspace),
+    /// Scratch for the SAGE forward.
+    Sage(SageWorkspace),
+    /// SGC output staging (the forward itself is one SpMM power + matmul).
+    Sgc(Matrix),
+}
+
+impl FrozenEncoder {
+    /// Short kind name (artifact headers, logs).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            FrozenEncoder::Gcn(_) => "gcn",
+            FrozenEncoder::Sgc(_) => "sgc",
+            FrozenEncoder::Sage(_) => "sage",
+        }
+    }
+
+    /// How many hops of the graph influence one node's embedding — the `L`
+    /// of the paper's `A_n^L X θ` relaxation. An `L`-hop ego subgraph (with
+    /// full-graph degrees; see `e2gcl-serve`) reproduces a node's
+    /// full-graph embedding exactly.
+    pub fn receptive_hops(&self) -> usize {
+        match self {
+            FrozenEncoder::Gcn(e) => e.num_layers(),
+            FrozenEncoder::Sgc(e) => e.layers,
+            FrozenEncoder::Sage(e) => e.num_layers(),
+        }
+    }
+
+    /// Input feature dimension `d_x`.
+    pub fn input_dim(&self) -> usize {
+        match self {
+            FrozenEncoder::Gcn(e) => e.input_dim(),
+            FrozenEncoder::Sgc(e) => e.input_dim(),
+            FrozenEncoder::Sage(e) => e.input_dim(),
+        }
+    }
+
+    /// Output embedding dimension.
+    pub fn output_dim(&self) -> usize {
+        match self {
+            FrozenEncoder::Gcn(e) => e.output_dim(),
+            FrozenEncoder::Sgc(e) => e.output_dim(),
+            FrozenEncoder::Sage(e) => e.output_dim(),
+        }
+    }
+
+    /// Flat weight matrices, in the family's canonical order.
+    pub fn params(&self) -> &[Matrix] {
+        match self {
+            FrozenEncoder::Gcn(e) => e.params(),
+            FrozenEncoder::Sgc(e) => e.params(),
+            FrozenEncoder::Sage(e) => e.params(),
+        }
+    }
+
+    /// The adjacency operator this family aggregates with: symmetric GCN
+    /// normalisation for GCN/SGC, row-stochastic mean for SAGE.
+    pub fn adjacency(&self, g: &CsrGraph) -> SparseMatrix {
+        match self {
+            FrozenEncoder::Gcn(_) | FrozenEncoder::Sgc(_) => norm::normalized_adjacency(g),
+            FrozenEncoder::Sage(_) => norm::row_normalized_adjacency(g),
+        }
+    }
+
+    /// True when this family normalises symmetrically
+    /// (`D̃^{-1/2}(A+I)D̃^{-1/2}`); false for SAGE's row-stochastic mean.
+    pub fn symmetric_norm(&self) -> bool {
+        !matches!(self, FrozenEncoder::Sage(_))
+    }
+
+    /// Inference forward pass (allocating).
+    pub fn embed(&self, adj: &SparseMatrix, x: &Matrix) -> Matrix {
+        match self {
+            FrozenEncoder::Gcn(e) => e.embed(adj, x),
+            FrozenEncoder::Sgc(e) => e.embed(adj, x),
+            FrozenEncoder::Sage(e) => e.embed(adj, x),
+        }
+    }
+
+    /// A fresh scratch workspace for [`Self::embed_with`].
+    pub fn workspace(&self) -> EncoderWorkspace {
+        match self {
+            FrozenEncoder::Gcn(_) => EncoderWorkspace::Gcn(GcnWorkspace::new()),
+            FrozenEncoder::Sage(_) => EncoderWorkspace::Sage(SageWorkspace::new()),
+            FrozenEncoder::Sgc(_) => EncoderWorkspace::Sgc(Matrix::default()),
+        }
+    }
+
+    /// [`Self::embed`] through a reusable workspace: bit-identical output,
+    /// no fresh activation buffers once the workspace is warm (GCN/SAGE).
+    ///
+    /// A workspace built for a different encoder family is transparently
+    /// replaced with a fresh matching one (losing its warm buffers, nothing
+    /// else).
+    pub fn embed_with<'w>(
+        &self,
+        adj: &SparseMatrix,
+        x: &Matrix,
+        ws: &'w mut EncoderWorkspace,
+    ) -> &'w Matrix {
+        let aligned = matches!(
+            (self, &*ws),
+            (FrozenEncoder::Gcn(_), EncoderWorkspace::Gcn(_))
+                | (FrozenEncoder::Sage(_), EncoderWorkspace::Sage(_))
+                | (FrozenEncoder::Sgc(_), EncoderWorkspace::Sgc(_))
+        );
+        if !aligned {
+            *ws = self.workspace();
+        }
+        match (self, ws) {
+            (FrozenEncoder::Gcn(e), EncoderWorkspace::Gcn(w)) => {
+                e.forward_with(adj, x, w);
+                w.output()
+            }
+            (FrozenEncoder::Sage(e), EncoderWorkspace::Sage(w)) => {
+                e.forward_with(adj, x, w);
+                w.output()
+            }
+            (FrozenEncoder::Sgc(e), EncoderWorkspace::Sgc(out)) => {
+                out.copy_from(&e.embed(adj, x));
+                out
+            }
+            _ => unreachable!("workspace family aligned above"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use e2gcl_linalg::SeedRng;
+
+    fn graph() -> (CsrGraph, Matrix) {
+        let g = CsrGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (1, 3)]);
+        let mut x = Matrix::zeros(5, 3);
+        for v in 0..5 {
+            for c in 0..3 {
+                x.set(v, c, (v * 3 + c) as f32 * 0.1 - 0.5);
+            }
+        }
+        (g, x)
+    }
+
+    fn families() -> Vec<FrozenEncoder> {
+        let mut rng = SeedRng::new(42);
+        vec![
+            FrozenEncoder::Gcn(GcnEncoder::new(&[3, 4, 2], &mut rng)),
+            FrozenEncoder::Sgc(SgcEncoder::new(3, 2, 2, &mut rng)),
+            FrozenEncoder::Sage(SageEncoder::new(&[3, 4, 2], &mut rng)),
+        ]
+    }
+
+    #[test]
+    fn metadata_per_family() {
+        for enc in families() {
+            assert_eq!(enc.receptive_hops(), 2, "{}", enc.kind());
+            assert_eq!(enc.input_dim(), 3, "{}", enc.kind());
+            assert_eq!(enc.output_dim(), 2, "{}", enc.kind());
+            assert!(!enc.params().is_empty());
+        }
+        let kinds: Vec<&str> = families().iter().map(|e| e.kind()).collect();
+        assert_eq!(kinds, vec!["gcn", "sgc", "sage"]);
+    }
+
+    #[test]
+    fn embed_with_matches_embed_bitwise() {
+        let (g, x) = graph();
+        for enc in families() {
+            let adj = enc.adjacency(&g);
+            let direct = enc.embed(&adj, &x);
+            let mut ws = enc.workspace();
+            // Cold and warm passes both reproduce the allocating result.
+            for _ in 0..2 {
+                let out = enc.embed_with(&adj, &x, &mut ws);
+                assert_eq!(out, &direct, "{}", enc.kind());
+            }
+        }
+    }
+
+    #[test]
+    fn mismatched_workspace_is_replaced_not_wrong() {
+        let (g, x) = graph();
+        let encs = families();
+        let adj = encs[0].adjacency(&g);
+        let direct = encs[0].embed(&adj, &x);
+        // Hand the GCN a SGC-family workspace: it must self-heal.
+        let mut ws = encs[1].workspace();
+        assert_eq!(encs[0].embed_with(&adj, &x, &mut ws), &direct);
+        assert!(matches!(ws, EncoderWorkspace::Gcn(_)));
+    }
+}

@@ -96,6 +96,20 @@ impl GcnEncoder {
         Self { weights }
     }
 
+    /// Rebuilds an encoder from previously trained per-layer weights (the
+    /// deserialisation path of `e2gcl-serve` artifacts).
+    ///
+    /// # Panics
+    /// Panics if `weights` is empty or consecutive layer shapes do not chain
+    /// (`W^l` columns must equal `W^{l+1}` rows).
+    pub fn from_weights(weights: Vec<Matrix>) -> Self {
+        assert!(!weights.is_empty(), "need at least one layer");
+        for pair in weights.windows(2) {
+            assert_eq!(pair[0].cols(), pair[1].rows(), "layer shapes do not chain");
+        }
+        Self { weights }
+    }
+
     /// Number of layers `L`.
     pub fn num_layers(&self) -> usize {
         self.weights.len()

@@ -13,6 +13,8 @@
 //! * [`probe`] — the `l2`-regularised linear probe used by the evaluation
 //!   protocol (§V-A2), plus the link-prediction decoder;
 //! * [`ema`] — exponential-moving-average target parameters (BGRL/AFGRL);
+//! * [`frozen`] — inference-only [`frozen::FrozenEncoder`], the unit of
+//!   persistence and serving (`e2gcl-serve` artifacts);
 //! * [`scratch`] — the per-run [`TrainScratch`] buffer pool; together with
 //!   the `*Workspace` types ([`gcn::GcnWorkspace`], [`sage::SageWorkspace`],
 //!   [`mlp::MlpWorkspace`]) and the `*_with` loss variants it lets
@@ -22,6 +24,7 @@
 //! test suites (`grad check` tests in each module).
 
 pub mod ema;
+pub mod frozen;
 pub mod gcn;
 pub mod loss;
 pub mod mlp;
@@ -31,6 +34,7 @@ pub mod sage;
 pub mod scratch;
 pub mod sgc;
 
+pub use frozen::{EncoderWorkspace, FrozenEncoder};
 pub use gcn::{GcnEncoder, GcnWorkspace};
 pub use mlp::{Linear, Mlp, MlpWorkspace};
 pub use optim::{Adam, Optimizer, Sgd};

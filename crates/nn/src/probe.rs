@@ -68,6 +68,31 @@ impl LinearProbe {
             .collect()
     }
 
+    /// Predicted class per row, standardising with *reference* statistics
+    /// from [`standard_stats`] instead of the query matrix's own column
+    /// stats. [`Self::predict`] is fine for full-matrix evaluation, but a
+    /// serving query of one or a few rows has degenerate column statistics
+    /// (a single row standardises to all-zeros); passing the store's stats
+    /// reproduces the training-time feature scaling exactly.
+    pub fn predict_with_stats(
+        &self,
+        embeddings: &Matrix,
+        means: &[f32],
+        stds: &[f32],
+    ) -> Vec<usize> {
+        let mut x = embeddings.clone();
+        for r in 0..x.rows() {
+            let row = x.row_mut(r);
+            for ((v, &m), &s) in row.iter_mut().zip(means).zip(stds) {
+                *v = (*v - m) / s;
+            }
+        }
+        let logits = self.layer.apply(&x);
+        (0..logits.rows())
+            .map(|r| ops::argmax(logits.row(r)).unwrap_or(0))
+            .collect()
+    }
+
     /// Accuracy over the index subset `eval`.
     pub fn accuracy(&self, embeddings: &Matrix, labels: &[usize], eval: &[usize]) -> f32 {
         if eval.is_empty() {
@@ -79,11 +104,12 @@ impl LinearProbe {
     }
 }
 
-/// Column-standardises embeddings (zero mean, unit scale) — makes the probe
-/// robust to the wildly different embedding scales the models produce.
-fn standardized(h: &Matrix) -> Matrix {
+/// Per-column `(means, stds)` of `h` as used by the probe's
+/// standardisation (population variance, std floored at `1e-6`). Capture
+/// these once from the embedding store so serving-time queries can be
+/// standardised identically via [`LinearProbe::predict_with_stats`].
+pub fn standard_stats(h: &Matrix) -> (Vec<f32>, Vec<f32>) {
     let means = h.col_means();
-    let mut out = h.clone();
     let mut vars = vec![0.0f32; h.cols()];
     for r in 0..h.rows() {
         for (v, (&m, x)) in vars.iter_mut().zip(means.iter().zip(h.row(r))) {
@@ -93,6 +119,14 @@ fn standardized(h: &Matrix) -> Matrix {
     }
     let n = h.rows().max(1) as f32;
     let stds: Vec<f32> = vars.iter().map(|v| (v / n).sqrt().max(1e-6)).collect();
+    (means, stds)
+}
+
+/// Column-standardises embeddings (zero mean, unit scale) — makes the probe
+/// robust to the wildly different embedding scales the models produce.
+fn standardized(h: &Matrix) -> Matrix {
+    let (means, stds) = standard_stats(h);
+    let mut out = h.clone();
     for r in 0..out.rows() {
         let row = out.row_mut(r);
         for ((x, &m), &s) in row.iter_mut().zip(&means).zip(&stds) {
@@ -235,6 +269,36 @@ mod tests {
         let probe = LinearProbe::fit(&h, &labels, &train, 4, &ProbeConfig::default(), &mut rng);
         let acc = probe.accuracy(&h, &labels, &test);
         assert!(acc < 0.5, "random labels should not be learnable: {acc}");
+    }
+
+    /// Serving path: one-row queries standardised with the store's stats
+    /// must agree with the full-matrix `predict` — per-query stats would be
+    /// degenerate (a single row standardises to all-zeros).
+    #[test]
+    fn predict_with_stats_matches_full_matrix_predict() {
+        let mut rng = SeedRng::new(3);
+        let n = 60;
+        let mut h = Matrix::zeros(n, 4);
+        let mut labels = vec![0usize; n];
+        for (v, label) in labels.iter_mut().enumerate() {
+            let c = v % 3;
+            *label = c;
+            for (i, x) in h.row_mut(v).iter_mut().enumerate() {
+                *x = if i == c { 3.0 } else { 0.0 };
+                *x += 0.2 * rng.normal();
+            }
+        }
+        let train: Vec<usize> = (0..n).collect();
+        let probe = LinearProbe::fit(&h, &labels, &train, 3, &ProbeConfig::default(), &mut rng);
+        let full = probe.predict(&h);
+        let (means, stds) = standard_stats(&h);
+        for (v, &expected) in full.iter().enumerate() {
+            let one = Matrix::from_vec(1, 4, h.row(v).to_vec());
+            assert_eq!(
+                probe.predict_with_stats(&one, &means, &stds),
+                vec![expected]
+            );
+        }
     }
 
     #[test]

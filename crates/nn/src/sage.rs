@@ -107,9 +107,35 @@ impl SageEncoder {
         }
     }
 
+    /// Rebuilds an encoder from a trained flat parameter list
+    /// `[W_self⁰, W_neigh⁰, …]` (the deserialisation path of `e2gcl-serve`
+    /// artifacts).
+    ///
+    /// # Panics
+    /// Panics unless `params` holds exactly two matrices per layer.
+    pub fn from_params(params: Vec<Matrix>, num_layers: usize) -> Self {
+        assert!(num_layers >= 1, "need at least one layer");
+        assert_eq!(
+            params.len(),
+            2 * num_layers,
+            "expected two matrices (self/neigh) per layer"
+        );
+        Self { params, num_layers }
+    }
+
     /// Number of layers.
     pub fn num_layers(&self) -> usize {
         self.num_layers
+    }
+
+    /// Input feature dimension.
+    pub fn input_dim(&self) -> usize {
+        self.params[0].rows()
+    }
+
+    /// Output embedding dimension.
+    pub fn output_dim(&self) -> usize {
+        self.params[2 * (self.num_layers - 1)].cols()
     }
 
     fn w_self(&self, l: usize) -> &Matrix {

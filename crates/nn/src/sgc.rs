@@ -34,6 +34,17 @@ impl SgcEncoder {
         }
     }
 
+    /// Rebuilds an encoder from a trained weight matrix and propagation
+    /// depth (the deserialisation path of `e2gcl-serve` artifacts).
+    pub fn from_parts(w: Matrix, layers: usize) -> Self {
+        Self { layers, w }
+    }
+
+    /// Input dimension.
+    pub fn input_dim(&self) -> usize {
+        self.w.rows()
+    }
+
     /// Output dimension.
     pub fn output_dim(&self) -> usize {
         self.w.cols()

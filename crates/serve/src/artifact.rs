@@ -1,0 +1,530 @@
+//! Versioned, checksummed binary artifacts for trained models.
+//!
+//! An artifact is everything a serving process needs to answer queries
+//! without retraining: run metadata (model/dataset/scale/seed), the exact
+//! [`TrainConfig`], the frozen encoder weights, and the final embedding
+//! matrix. Save → load round-trips **bitwise**: every `f32` is written as
+//! its IEEE-754 bit pattern (little-endian), and the `TrainConfig` travels
+//! as JSON through the workspace's shortest-round-trip float formatter.
+//!
+//! # On-disk layout (version 1)
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic  b"E2GCLART"
+//! 8       4     format version, u32 LE (currently 1)
+//! 12      8     payload length in bytes, u64 LE
+//! 20      8     FNV-1a 64-bit checksum of the payload, u64 LE
+//! 28      ...   payload (exactly `payload length` bytes, nothing after)
+//! ```
+//!
+//! Payload, in order (all integers LE, strings/bytes length-prefixed u32):
+//! `model` str · `dataset` str · `scale` f64-bits · `seed` u64 ·
+//! config JSON bytes · encoder section · embeddings matrix.
+//! The encoder section is a kind tag (u8: 0 GCN, 1 SGC, 2 SAGE), an aux u32
+//! (layer count for GCN/SAGE, propagation depth `L` for SGC), a matrix
+//! count u32, then each weight matrix as u32 rows · u32 cols · row-major
+//! f32 bits. The embedding matrix uses the same encoding.
+//!
+//! Every decode failure is a typed [`ArtifactError`] — corrupted, truncated
+//! or wrong-version files never panic (property-tested in
+//! `tests/proptests.rs`).
+
+use e2gcl::config::TrainConfig;
+use e2gcl_linalg::Matrix;
+use e2gcl_nn::{FrozenEncoder, GcnEncoder, SageEncoder, SgcEncoder};
+use std::fmt;
+use std::path::Path;
+
+/// Leading 8 bytes of every artifact file.
+pub const MAGIC: [u8; 8] = *b"E2GCLART";
+/// Current format version.
+pub const VERSION: u32 = 1;
+/// Size of the fixed header (magic + version + payload length + checksum).
+pub const HEADER_LEN: usize = 28;
+
+/// Typed artifact failure — the only way loading can go wrong.
+#[derive(Debug)]
+pub enum ArtifactError {
+    /// Filesystem error while reading/writing (message carries the cause).
+    Io(String),
+    /// The first 8 bytes are not [`MAGIC`] — not an artifact file.
+    BadMagic([u8; 8]),
+    /// The file's format version is newer/older than this build supports.
+    UnsupportedVersion(u32),
+    /// Payload bytes do not hash to the stored checksum.
+    ChecksumMismatch {
+        /// Checksum recorded in the header.
+        expected: u64,
+        /// Checksum of the bytes actually present.
+        actual: u64,
+    },
+    /// The file ends before a field does.
+    Truncated {
+        /// Bytes the current field still needed.
+        needed: usize,
+        /// Bytes that were left.
+        available: usize,
+    },
+    /// Structurally invalid content (bad tag, shapes that don't chain,
+    /// trailing bytes, unparsable config …).
+    Corrupt(String),
+}
+
+impl fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArtifactError::Io(e) => write!(f, "artifact io error: {e}"),
+            ArtifactError::BadMagic(m) => write!(f, "not an artifact file (magic {m:02x?})"),
+            ArtifactError::UnsupportedVersion(v) => {
+                write!(f, "unsupported artifact version {v} (this build reads {VERSION})")
+            }
+            ArtifactError::ChecksumMismatch { expected, actual } => write!(
+                f,
+                "artifact checksum mismatch: header says {expected:#018x}, payload hashes to {actual:#018x}"
+            ),
+            ArtifactError::Truncated { needed, available } => write!(
+                f,
+                "artifact truncated: field needs {needed} more bytes, {available} left"
+            ),
+            ArtifactError::Corrupt(why) => write!(f, "artifact corrupt: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {}
+
+/// Provenance of the run that produced an artifact — enough to regenerate
+/// the (deterministic, synthetic) dataset the embeddings were trained on.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ArtifactMeta {
+    /// Model name as given to the trainer (e.g. `e2gcl`, `grace`).
+    pub model: String,
+    /// Dataset name (e.g. `cora-sim`).
+    pub dataset: String,
+    /// Dataset scale factor.
+    pub scale: f64,
+    /// Master seed of the run.
+    pub seed: u64,
+}
+
+/// A trained model, packaged for serving.
+#[derive(Clone, Debug)]
+pub struct Artifact {
+    /// Run provenance.
+    pub meta: ArtifactMeta,
+    /// The exact training configuration (round-trips through JSON).
+    pub config: TrainConfig,
+    /// Frozen encoder weights.
+    pub encoder: FrozenEncoder,
+    /// Final full-graph embeddings (`n x d`).
+    pub embeddings: Matrix,
+}
+
+const KIND_GCN: u8 = 0;
+const KIND_SGC: u8 = 1;
+const KIND_SAGE: u8 = 2;
+
+impl Artifact {
+    /// Serialises to the version-1 byte format described in the module docs.
+    pub fn to_bytes(&self) -> Result<Vec<u8>, ArtifactError> {
+        let mut payload = Vec::new();
+        put_str(&mut payload, &self.meta.model);
+        put_str(&mut payload, &self.meta.dataset);
+        payload.extend_from_slice(&self.meta.scale.to_bits().to_le_bytes());
+        payload.extend_from_slice(&self.meta.seed.to_le_bytes());
+        let config_json = serde_json::to_string(&self.config)
+            .map_err(|e| ArtifactError::Corrupt(format!("config does not serialise: {e}")))?;
+        put_bytes(&mut payload, config_json.as_bytes());
+        let (kind, aux) = match &self.encoder {
+            FrozenEncoder::Gcn(e) => (KIND_GCN, e.num_layers() as u32),
+            FrozenEncoder::Sgc(e) => (KIND_SGC, e.layers as u32),
+            FrozenEncoder::Sage(e) => (KIND_SAGE, e.num_layers() as u32),
+        };
+        payload.push(kind);
+        payload.extend_from_slice(&aux.to_le_bytes());
+        let params = self.encoder.params();
+        payload.extend_from_slice(&(params.len() as u32).to_le_bytes());
+        for m in params {
+            put_matrix(&mut payload, m);
+        }
+        put_matrix(&mut payload, &self.embeddings);
+
+        let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(&fnv1a64(&payload).to_le_bytes());
+        out.extend_from_slice(&payload);
+        Ok(out)
+    }
+
+    /// Parses an artifact, verifying magic, version, length and checksum.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Artifact, ArtifactError> {
+        if bytes.len() < HEADER_LEN {
+            return Err(ArtifactError::Truncated {
+                needed: HEADER_LEN - bytes.len(),
+                available: bytes.len(),
+            });
+        }
+        let mut magic = [0u8; 8];
+        magic.copy_from_slice(&bytes[..8]);
+        if magic != MAGIC {
+            return Err(ArtifactError::BadMagic(magic));
+        }
+        let version = u32::from_le_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]);
+        if version != VERSION {
+            return Err(ArtifactError::UnsupportedVersion(version));
+        }
+        let mut len8 = [0u8; 8];
+        len8.copy_from_slice(&bytes[12..20]);
+        let payload_len = u64::from_le_bytes(len8) as usize;
+        let mut sum8 = [0u8; 8];
+        sum8.copy_from_slice(&bytes[20..28]);
+        let expected = u64::from_le_bytes(sum8);
+        let body = &bytes[HEADER_LEN..];
+        if body.len() < payload_len {
+            return Err(ArtifactError::Truncated {
+                needed: payload_len - body.len(),
+                available: body.len(),
+            });
+        }
+        if body.len() > payload_len {
+            return Err(ArtifactError::Corrupt(format!(
+                "{} trailing bytes after payload",
+                body.len() - payload_len
+            )));
+        }
+        let actual = fnv1a64(body);
+        if actual != expected {
+            return Err(ArtifactError::ChecksumMismatch { expected, actual });
+        }
+
+        let mut cur = Cursor::new(body);
+        let model = cur.take_str()?;
+        let dataset = cur.take_str()?;
+        let scale = f64::from_bits(cur.take_u64()?);
+        let seed = cur.take_u64()?;
+        let config_bytes = cur.take_bytes()?;
+        let config_json = std::str::from_utf8(config_bytes)
+            .map_err(|_| ArtifactError::Corrupt("config is not UTF-8".into()))?;
+        let config: TrainConfig = serde_json::from_str(config_json)
+            .map_err(|e| ArtifactError::Corrupt(format!("config does not parse: {e}")))?;
+        let kind = cur.take_u8()?;
+        let aux = cur.take_u32()? as usize;
+        let n_params = cur.take_u32()? as usize;
+        let mut params = Vec::with_capacity(n_params.min(1024));
+        for _ in 0..n_params {
+            params.push(cur.take_matrix()?);
+        }
+        let encoder = decode_encoder(kind, aux, params)?;
+        let embeddings = cur.take_matrix()?;
+        cur.finish()?;
+        if embeddings.cols() != encoder.output_dim() {
+            return Err(ArtifactError::Corrupt(format!(
+                "embedding dim {} does not match encoder output dim {}",
+                embeddings.cols(),
+                encoder.output_dim()
+            )));
+        }
+        Ok(Artifact {
+            meta: ArtifactMeta {
+                model,
+                dataset,
+                scale,
+                seed,
+            },
+            config,
+            encoder,
+            embeddings,
+        })
+    }
+
+    /// Writes the artifact to `path`.
+    pub fn save(&self, path: &Path) -> Result<(), ArtifactError> {
+        let bytes = self.to_bytes()?;
+        std::fs::write(path, bytes)
+            .map_err(|e| ArtifactError::Io(format!("{}: {e}", path.display())))
+    }
+
+    /// Reads and parses an artifact from `path`.
+    pub fn load(path: &Path) -> Result<Artifact, ArtifactError> {
+        let bytes = std::fs::read(path)
+            .map_err(|e| ArtifactError::Io(format!("{}: {e}", path.display())))?;
+        Self::from_bytes(&bytes)
+    }
+}
+
+/// Rebuilds the typed encoder, validating structure first so the `nn`
+/// constructors' assertions can never fire on untrusted bytes.
+fn decode_encoder(
+    kind: u8,
+    aux: usize,
+    params: Vec<Matrix>,
+) -> Result<FrozenEncoder, ArtifactError> {
+    match kind {
+        KIND_GCN => {
+            if params.is_empty() || params.len() != aux {
+                return Err(ArtifactError::Corrupt(format!(
+                    "gcn encoder: {} weight matrices for {aux} layers",
+                    params.len()
+                )));
+            }
+            if params.windows(2).any(|p| p[0].cols() != p[1].rows()) {
+                return Err(ArtifactError::Corrupt(
+                    "gcn layer shapes do not chain".into(),
+                ));
+            }
+            Ok(FrozenEncoder::Gcn(GcnEncoder::from_weights(params)))
+        }
+        KIND_SGC => {
+            if params.len() != 1 {
+                return Err(ArtifactError::Corrupt(format!(
+                    "sgc encoder: expected 1 weight matrix, got {}",
+                    params.len()
+                )));
+            }
+            let mut params = params;
+            let w = params.remove(0);
+            Ok(FrozenEncoder::Sgc(SgcEncoder::from_parts(w, aux)))
+        }
+        KIND_SAGE => {
+            if aux == 0 || params.len() != 2 * aux {
+                return Err(ArtifactError::Corrupt(format!(
+                    "sage encoder: {} weight matrices for {aux} layers",
+                    params.len()
+                )));
+            }
+            Ok(FrozenEncoder::Sage(SageEncoder::from_params(params, aux)))
+        }
+        other => Err(ArtifactError::Corrupt(format!(
+            "unknown encoder kind tag {other}"
+        ))),
+    }
+}
+
+/// FNV-1a 64-bit hash — tiny, dependency-free, and plenty to detect the
+/// bit-flips/truncations an integrity check is for (not cryptographic).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_bytes(out, s.as_bytes());
+}
+
+fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    out.extend_from_slice(&(b.len() as u32).to_le_bytes());
+    out.extend_from_slice(b);
+}
+
+fn put_matrix(out: &mut Vec<u8>, m: &Matrix) {
+    out.extend_from_slice(&(m.rows() as u32).to_le_bytes());
+    out.extend_from_slice(&(m.cols() as u32).to_le_bytes());
+    for &v in m.as_slice() {
+        out.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+}
+
+/// Bounds-checked sequential reader over the payload.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ArtifactError> {
+        let available = self.buf.len() - self.pos;
+        if available < n {
+            return Err(ArtifactError::Truncated {
+                needed: n - available,
+                available,
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn take_u8(&mut self) -> Result<u8, ArtifactError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn take_u32(&mut self) -> Result<u32, ArtifactError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn take_u64(&mut self) -> Result<u64, ArtifactError> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_le_bytes(a))
+    }
+
+    fn take_bytes(&mut self) -> Result<&'a [u8], ArtifactError> {
+        let len = self.take_u32()? as usize;
+        self.take(len)
+    }
+
+    fn take_str(&mut self) -> Result<String, ArtifactError> {
+        let b = self.take_bytes()?;
+        std::str::from_utf8(b)
+            .map(|s| s.to_string())
+            .map_err(|_| ArtifactError::Corrupt("string field is not UTF-8".into()))
+    }
+
+    fn take_matrix(&mut self) -> Result<Matrix, ArtifactError> {
+        let rows = self.take_u32()? as usize;
+        let cols = self.take_u32()? as usize;
+        let count = rows.checked_mul(cols).ok_or_else(|| {
+            ArtifactError::Corrupt(format!("matrix shape {rows}x{cols} overflows"))
+        })?;
+        let bytes = self.take(count.checked_mul(4).ok_or_else(|| {
+            ArtifactError::Corrupt(format!("matrix shape {rows}x{cols} overflows"))
+        })?)?;
+        let data: Vec<f32> = bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_bits(u32::from_le_bytes([c[0], c[1], c[2], c[3]])))
+            .collect();
+        Ok(Matrix::from_vec(rows, cols, data))
+    }
+
+    /// Asserts the payload was consumed exactly.
+    fn finish(&self) -> Result<(), ArtifactError> {
+        if self.pos != self.buf.len() {
+            return Err(ArtifactError::Corrupt(format!(
+                "{} unread bytes inside payload",
+                self.buf.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use e2gcl_linalg::SeedRng;
+
+    pub(crate) fn sample(kind: u8) -> Artifact {
+        let mut rng = SeedRng::new(9);
+        let encoder = match kind {
+            KIND_GCN => FrozenEncoder::Gcn(GcnEncoder::new(&[4, 6, 3], &mut rng)),
+            KIND_SGC => FrozenEncoder::Sgc(SgcEncoder::new(4, 3, 2, &mut rng)),
+            _ => FrozenEncoder::Sage(SageEncoder::new(&[4, 6, 3], &mut rng)),
+        };
+        let mut embeddings = Matrix::zeros(7, 3);
+        for v in embeddings.as_mut_slice() {
+            *v = rng.normal();
+        }
+        Artifact {
+            meta: ArtifactMeta {
+                model: "e2gcl".into(),
+                dataset: "cora-sim".into(),
+                scale: 0.25,
+                seed: 42,
+            },
+            config: TrainConfig::default(),
+            encoder,
+            embeddings,
+        }
+    }
+
+    #[test]
+    fn round_trip_all_encoder_kinds() {
+        for kind in [KIND_GCN, KIND_SGC, KIND_SAGE] {
+            let a = sample(kind);
+            let bytes = a.to_bytes().unwrap();
+            let b = Artifact::from_bytes(&bytes).unwrap();
+            assert_eq!(a.meta, b.meta);
+            assert_eq!(a.embeddings, b.embeddings);
+            assert_eq!(a.encoder.params(), b.encoder.params());
+            assert_eq!(a.encoder.kind(), b.encoder.kind());
+            assert_eq!(a.encoder.receptive_hops(), b.encoder.receptive_hops());
+            // Second serialisation is byte-identical.
+            assert_eq!(bytes, b.to_bytes().unwrap());
+        }
+    }
+
+    #[test]
+    fn wrong_magic_is_typed() {
+        let mut bytes = sample(KIND_GCN).to_bytes().unwrap();
+        bytes[0] = b'X';
+        assert!(matches!(
+            Artifact::from_bytes(&bytes),
+            Err(ArtifactError::BadMagic(_))
+        ));
+    }
+
+    #[test]
+    fn wrong_version_is_typed() {
+        let mut bytes = sample(KIND_GCN).to_bytes().unwrap();
+        bytes[8] = 99;
+        assert!(matches!(
+            Artifact::from_bytes(&bytes),
+            Err(ArtifactError::UnsupportedVersion(99))
+        ));
+    }
+
+    #[test]
+    fn flipped_payload_bit_fails_checksum() {
+        let mut bytes = sample(KIND_SAGE).to_bytes().unwrap();
+        let mid = HEADER_LEN + (bytes.len() - HEADER_LEN) / 2;
+        bytes[mid] ^= 0x40;
+        assert!(matches!(
+            Artifact::from_bytes(&bytes),
+            Err(ArtifactError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn truncation_is_typed() {
+        let bytes = sample(KIND_SGC).to_bytes().unwrap();
+        assert!(matches!(
+            Artifact::from_bytes(&bytes[..bytes.len() - 3]),
+            Err(ArtifactError::Truncated { .. })
+        ));
+        assert!(matches!(
+            Artifact::from_bytes(&bytes[..10]),
+            Err(ArtifactError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_are_corrupt() {
+        let mut bytes = sample(KIND_GCN).to_bytes().unwrap();
+        bytes.push(0);
+        assert!(matches!(
+            Artifact::from_bytes(&bytes),
+            Err(ArtifactError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn save_load_round_trip_on_disk() {
+        let a = sample(KIND_GCN);
+        let path = std::env::temp_dir().join("e2gcl_artifact_unit_test.bin");
+        a.save(&path).unwrap();
+        let b = Artifact::load(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(a.embeddings, b.embeddings);
+        assert_eq!(a.to_bytes().unwrap(), b.to_bytes().unwrap());
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = Artifact::load(Path::new("/nonexistent/definitely/missing.bin")).unwrap_err();
+        assert!(matches!(err, ArtifactError::Io(_)));
+        assert!(!err.to_string().is_empty());
+    }
+}

@@ -1,0 +1,134 @@
+//! Latency recording for the batch server.
+//!
+//! Plain sample-vector histogram: every batch records one duration, and
+//! percentiles are computed on demand from the sorted samples (exact, no
+//! bucketing error — serving benches record thousands, not billions, of
+//! samples).
+
+use serde::Serialize;
+use std::time::Duration;
+
+/// Latency samples for one key (e.g. one batch size).
+#[derive(Clone, Debug, Default)]
+pub struct LatencyHistogram {
+    samples_ns: Vec<u64>,
+}
+
+/// Summary statistics of one histogram, in microseconds.
+#[derive(Clone, Debug, Serialize)]
+pub struct LatencySummary {
+    /// Number of recorded samples.
+    pub count: usize,
+    /// Median latency.
+    pub p50_us: f64,
+    /// 95th-percentile latency.
+    pub p95_us: f64,
+    /// 99th-percentile latency.
+    pub p99_us: f64,
+    /// Mean latency.
+    pub mean_us: f64,
+    /// Worst observed latency.
+    pub max_us: f64,
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, d: Duration) {
+        self.samples_ns
+            .push(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> usize {
+        self.samples_ns.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples_ns.is_empty()
+    }
+
+    /// The `p`-th percentile (0–100) by nearest-rank interpolation over the
+    /// sorted samples; zero when empty.
+    pub fn percentile(&self, p: f64) -> Duration {
+        if self.samples_ns.is_empty() {
+            return Duration::ZERO;
+        }
+        let mut sorted = self.samples_ns.clone();
+        sorted.sort_unstable();
+        let rank = (p.clamp(0.0, 100.0) / 100.0) * (sorted.len() - 1) as f64;
+        Duration::from_nanos(sorted[rank.round() as usize])
+    }
+
+    /// Full summary (p50/p95/p99/mean/max) in microseconds.
+    pub fn summary(&self) -> LatencySummary {
+        let count = self.samples_ns.len();
+        if count == 0 {
+            return LatencySummary {
+                count: 0,
+                p50_us: 0.0,
+                p95_us: 0.0,
+                p99_us: 0.0,
+                mean_us: 0.0,
+                max_us: 0.0,
+            };
+        }
+        let us = |d: Duration| d.as_nanos() as f64 / 1_000.0;
+        let total: u128 = self.samples_ns.iter().map(|&n| n as u128).sum();
+        let max = self.samples_ns.iter().copied().max().unwrap_or(0);
+        LatencySummary {
+            count,
+            p50_us: us(self.percentile(50.0)),
+            p95_us: us(self.percentile(95.0)),
+            p99_us: us(self.percentile(99.0)),
+            mean_us: total as f64 / count as f64 / 1_000.0,
+            max_us: max as f64 / 1_000.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_of_known_samples() {
+        let mut h = LatencyHistogram::new();
+        for ms in 1..=100u64 {
+            h.record(Duration::from_millis(ms));
+        }
+        assert_eq!(h.len(), 100);
+        // 0..=99 ranks over 1..=100 ms: p50 rounds to rank 50 → 51 ms.
+        assert_eq!(h.percentile(50.0), Duration::from_millis(51));
+        assert_eq!(h.percentile(0.0), Duration::from_millis(1));
+        assert_eq!(h.percentile(100.0), Duration::from_millis(100));
+        let s = h.summary();
+        assert_eq!(s.count, 100);
+        assert!((s.mean_us - 50_500.0).abs() < 1.0);
+        assert!((s.max_us - 100_000.0).abs() < 1e-6);
+        assert!(s.p95_us >= s.p50_us && s.p99_us >= s.p95_us);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.percentile(99.0), Duration::ZERO);
+        assert_eq!(h.summary().count, 0);
+    }
+
+    #[test]
+    fn single_sample() {
+        let mut h = LatencyHistogram::new();
+        h.record(Duration::from_micros(7));
+        let s = h.summary();
+        assert_eq!(s.count, 1);
+        assert!((s.p50_us - 7.0).abs() < 1e-9);
+        assert!((s.p99_us - 7.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,339 @@
+//! Inductive query engine: closed-form embedding of nodes via L-hop ego
+//! subgraphs.
+//!
+//! E²GCL's Theorem-1 relaxation (`A_n^L X θ`) means an `L`-layer encoder's
+//! embedding of node `v` depends only on nodes within `L` hops of `v`. The
+//! engine exploits that: instead of a full-graph forward per query it runs
+//! the frozen encoder over `v`'s `L`-hop ego net.
+//!
+//! **Exactness.** The ego adjacency is built with *full-graph* degrees, not
+//! ego-local ones. Interior nodes (hop < L) then have exactly their
+//! full-graph adjacency rows; frontier nodes (hop = L) have incomplete
+//! rows, but their hidden states cannot propagate back to the centre within
+//! `L` layers. Because node order, entry order (self-loop first, neighbours
+//! in ascending-column CSR order) and every `f32` expression match
+//! `e2gcl_graph::norm`, the centre's embedding is **bitwise identical** to
+//! the full-graph forward — not merely within tolerance (verified in
+//! `tests/serving.rs`).
+//!
+//! Hot nodes are answered from an [`LruCache`]; cold nodes pay one ego
+//! forward through a pooled scratch workspace (the PR-2 zero-alloc path).
+
+use crate::lru::LruCache;
+use crate::ServeError;
+use e2gcl_graph::ego::EgoNet;
+use e2gcl_graph::{CsrGraph, SparseMatrix};
+use e2gcl_linalg::Matrix;
+use e2gcl_nn::{EncoderWorkspace, FrozenEncoder};
+use std::sync::Mutex;
+
+/// Default number of cached node embeddings.
+pub const DEFAULT_CACHE_CAPACITY: usize = 4096;
+
+/// The inductive serving engine for one artifact.
+pub struct InductiveEngine {
+    encoder: FrozenEncoder,
+    graph: CsrGraph,
+    features: Matrix,
+    cache: Mutex<LruCache<usize, Vec<f32>>>,
+    workspaces: Mutex<Vec<EncoderWorkspace>>,
+}
+
+impl InductiveEngine {
+    /// Builds an engine over the graph/features the encoder was trained on.
+    pub fn new(
+        encoder: FrozenEncoder,
+        graph: CsrGraph,
+        features: Matrix,
+    ) -> Result<Self, ServeError> {
+        Self::with_cache_capacity(encoder, graph, features, DEFAULT_CACHE_CAPACITY)
+    }
+
+    /// [`Self::new`] with an explicit embedding-cache capacity.
+    pub fn with_cache_capacity(
+        encoder: FrozenEncoder,
+        graph: CsrGraph,
+        features: Matrix,
+        cache_capacity: usize,
+    ) -> Result<Self, ServeError> {
+        if features.rows() != graph.num_nodes() || features.cols() != encoder.input_dim() {
+            return Err(ServeError::DimensionMismatch {
+                expected: encoder.input_dim(),
+                actual: features.cols(),
+            });
+        }
+        Ok(Self {
+            encoder,
+            graph,
+            features,
+            cache: Mutex::new(LruCache::new(cache_capacity)),
+            workspaces: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// The frozen encoder behind this engine.
+    pub fn encoder(&self) -> &FrozenEncoder {
+        &self.encoder
+    }
+
+    /// Number of nodes in the training graph.
+    pub fn num_nodes(&self) -> usize {
+        self.graph.num_nodes()
+    }
+
+    /// Lifetime `(hits, misses)` of the embedding cache.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        lock(&self.cache).stats()
+    }
+
+    /// Embeds a training-graph node via its ego subgraph (cached).
+    ///
+    /// The result is bitwise-identical to the node's row of a full-graph
+    /// forward — see the module docs for the argument.
+    pub fn embed_node(&self, v: usize) -> Result<Vec<f32>, ServeError> {
+        if v >= self.graph.num_nodes() {
+            return Err(ServeError::NodeOutOfRange {
+                node: v,
+                num_nodes: self.graph.num_nodes(),
+            });
+        }
+        if let Some(hit) = lock(&self.cache).get(&v) {
+            return Ok(hit.clone());
+        }
+        let ego = EgoNet::extract(&self.graph, v, self.encoder.receptive_hops());
+        let degrees: Vec<usize> = ego.nodes.iter().map(|&g| self.graph.degree(g)).collect();
+        let adj = self.ego_adjacency(&ego.graph, &degrees);
+        let x = ego.features(&self.features);
+        let row = self.forward_center(&adj, &x, ego.center);
+        lock(&self.cache).put(v, row.clone());
+        Ok(row)
+    }
+
+    /// Embeds a node *unseen at training time*, attached to the frozen graph
+    /// by `neighbors` with features `x_new`. Equivalent to adding the node
+    /// to the graph and running a full forward, at ego-subgraph cost.
+    pub fn embed_attached(
+        &self,
+        neighbors: &[usize],
+        x_new: &[f32],
+    ) -> Result<Vec<f32>, ServeError> {
+        if x_new.len() != self.encoder.input_dim() {
+            return Err(ServeError::DimensionMismatch {
+                expected: self.encoder.input_dim(),
+                actual: x_new.len(),
+            });
+        }
+        for &u in neighbors {
+            if u >= self.graph.num_nodes() {
+                return Err(ServeError::NodeOutOfRange {
+                    node: u,
+                    num_nodes: self.graph.num_nodes(),
+                });
+            }
+        }
+        let hops = self.encoder.receptive_hops();
+        let mut anchors: Vec<usize> = neighbors.to_vec();
+        anchors.sort_unstable();
+        anchors.dedup();
+
+        // Existing nodes within `hops` of the new node: its attachment
+        // points plus everything within `hops - 1` of them.
+        let mut nodes: Vec<usize> = Vec::new();
+        if hops >= 1 {
+            for &u in &anchors {
+                nodes.push(u);
+                if hops >= 2 {
+                    nodes.extend(self.graph.khop_neighbors(u, hops - 1));
+                }
+            }
+        }
+        nodes.sort_unstable();
+        nodes.dedup();
+        let m = nodes.len(); // local index of the new node
+
+        // Induced edges among existing nodes, plus the attachment edges.
+        let mut edges: Vec<(usize, usize)> = Vec::new();
+        for (local_u, &global_u) in nodes.iter().enumerate() {
+            for &global_w in self.graph.neighbors(global_u) {
+                let global_w = global_w as usize;
+                if global_w <= global_u {
+                    continue;
+                }
+                if let Ok(local_w) = nodes.binary_search(&global_w) {
+                    edges.push((local_u, local_w));
+                }
+            }
+        }
+        for &u in &anchors {
+            if let Ok(local_u) = nodes.binary_search(&u) {
+                edges.push((local_u, m));
+            }
+        }
+        let local = CsrGraph::from_edges(m + 1, &edges);
+
+        // Degrees as they would be in the grown graph: attachment points
+        // gain one edge, everyone else keeps their full-graph degree.
+        let mut degrees: Vec<usize> = nodes.iter().map(|&g| self.graph.degree(g)).collect();
+        for &u in &anchors {
+            if let Ok(local_u) = nodes.binary_search(&u) {
+                degrees[local_u] += 1;
+            }
+        }
+        degrees.push(anchors.len());
+
+        let adj = self.ego_adjacency(&local, &degrees);
+        let mut x = self.features.select_rows(&nodes);
+        x = x.vstack(&Matrix::from_vec(1, x_new.len(), x_new.to_vec()));
+        Ok(self.forward_center(&adj, &x, m))
+    }
+
+    /// Runs the frozen forward through a pooled workspace and extracts one
+    /// row.
+    fn forward_center(&self, adj: &SparseMatrix, x: &Matrix, center: usize) -> Vec<f32> {
+        let mut ws = lock(&self.workspaces)
+            .pop()
+            .unwrap_or_else(|| self.encoder.workspace());
+        let row = self
+            .encoder
+            .embed_with(adj, x, &mut ws)
+            .row(center)
+            .to_vec();
+        lock(&self.workspaces).push(ws);
+        row
+    }
+
+    /// The encoder family's normalised adjacency over a local subgraph,
+    /// using the supplied (full-graph) `degrees` and replicating the exact
+    /// `f32` expressions and entry order of `e2gcl_graph::norm`.
+    fn ego_adjacency(&self, local: &CsrGraph, degrees: &[usize]) -> SparseMatrix {
+        let n = local.num_nodes();
+        let mut triplets = Vec::with_capacity(2 * local.num_edges() + n);
+        if self.encoder.symmetric_norm() {
+            let inv_sqrt: Vec<f32> = degrees
+                .iter()
+                .map(|&d| 1.0 / ((d + 1) as f32).sqrt())
+                .collect();
+            for (v, &inv_v) in inv_sqrt.iter().enumerate() {
+                triplets.push((v, v, inv_v * inv_v));
+                for &u in local.neighbors(v) {
+                    let u = u as usize;
+                    triplets.push((v, u, inv_v * inv_sqrt[u]));
+                }
+            }
+        } else {
+            for (v, &d) in degrees.iter().enumerate() {
+                let inv = 1.0 / (d + 1) as f32;
+                triplets.push((v, v, inv));
+                for &u in local.neighbors(v) {
+                    triplets.push((v, u as usize, inv));
+                }
+            }
+        }
+        SparseMatrix::from_triplets(n, n, &triplets)
+    }
+}
+
+/// Mutex lock that shrugs off poisoning — serving state is a cache, and a
+/// panicked worker leaves it merely stale, not invalid.
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use e2gcl_linalg::SeedRng;
+    use e2gcl_nn::GcnEncoder;
+
+    fn setup() -> (CsrGraph, Matrix, FrozenEncoder) {
+        let mut rng = SeedRng::new(11);
+        // A ring with chords so 2-hop ego nets are proper subgraphs.
+        let n = 24;
+        let mut edges = Vec::new();
+        for v in 0..n {
+            edges.push((v, (v + 1) % n));
+            if v % 3 == 0 {
+                edges.push((v, (v + 7) % n));
+            }
+        }
+        let g = CsrGraph::from_edges(n, &edges);
+        let mut x = Matrix::zeros(n, 5);
+        for v in x.as_mut_slice() {
+            *v = rng.normal();
+        }
+        let enc = FrozenEncoder::Gcn(GcnEncoder::new(&[5, 6, 3], &mut rng));
+        (g, x, enc)
+    }
+
+    #[test]
+    fn ego_forward_is_bitwise_equal_to_full_forward() {
+        let (g, x, enc) = setup();
+        let full = enc.embed(&enc.adjacency(&g), &x);
+        let engine = InductiveEngine::new(enc, g.clone(), x).unwrap();
+        for v in 0..g.num_nodes() {
+            let got = engine.embed_node(v).unwrap();
+            assert_eq!(got.as_slice(), full.row(v), "node {v}");
+        }
+    }
+
+    #[test]
+    fn cache_serves_repeats() {
+        let (g, x, enc) = setup();
+        let engine = InductiveEngine::new(enc, g, x).unwrap();
+        let a = engine.embed_node(3).unwrap();
+        let b = engine.embed_node(3).unwrap();
+        assert_eq!(a, b);
+        let (hits, misses) = engine.cache_stats();
+        assert_eq!((hits, misses), (1, 1));
+    }
+
+    #[test]
+    fn attached_node_matches_grown_graph_forward() {
+        let (g, x, enc) = setup();
+        let n = g.num_nodes();
+        let neighbors = vec![0usize, 5, 13];
+        let mut x_new = vec![0.0f32; 5];
+        for (i, v) in x_new.iter_mut().enumerate() {
+            *v = 0.1 * (i as f32 + 1.0);
+        }
+        // Reference: physically grow the graph and run a full forward.
+        let mut edges: Vec<(usize, usize)> = Vec::new();
+        for v in 0..n {
+            for &u in g.neighbors(v) {
+                let u = u as usize;
+                if u > v {
+                    edges.push((v, u));
+                }
+            }
+        }
+        for &u in &neighbors {
+            edges.push((u, n));
+        }
+        let grown = CsrGraph::from_edges(n + 1, &edges);
+        let x_grown = x.vstack(&Matrix::from_vec(1, 5, x_new.clone()));
+        let full = enc.embed(&enc.adjacency(&grown), &x_grown);
+
+        let engine = InductiveEngine::new(enc, g, x).unwrap();
+        let got = engine.embed_attached(&neighbors, &x_new).unwrap();
+        assert_eq!(got.as_slice(), full.row(n));
+    }
+
+    #[test]
+    fn errors_are_typed() {
+        let (g, x, enc) = setup();
+        let n = g.num_nodes();
+        let engine = InductiveEngine::new(enc, g, x).unwrap();
+        assert!(matches!(
+            engine.embed_node(n),
+            Err(ServeError::NodeOutOfRange { .. })
+        ));
+        assert!(matches!(
+            engine.embed_attached(&[0], &[1.0]),
+            Err(ServeError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            engine.embed_attached(&[n + 5], &[0.0; 5]),
+            Err(ServeError::NodeOutOfRange { .. })
+        ));
+    }
+}

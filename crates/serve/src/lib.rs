@@ -1,0 +1,106 @@
+//! Model persistence and embedding serving for E²GCL (`e2gcl-serve`).
+//!
+//! The GCL protocol the paper follows (§V, Alg. 1) is pretrain-once /
+//! probe-many: a frozen encoder is reused across every downstream
+//! evaluation — exactly the shape of a serving workload. This crate is the
+//! first subsystem on the inference side of the stack:
+//!
+//! * [`artifact`] — versioned, checksummed binary artifacts holding a
+//!   trained encoder's weights, the `TrainConfig`, and the final embedding
+//!   matrix; save → load round-trips bitwise.
+//! * [`store`] — [`EmbeddingStore`]: batched top-k cosine similarity and
+//!   linear-probe classification over the stored embeddings.
+//! * [`inductive`] — [`InductiveEngine`]: embeds nodes (including nodes
+//!   unseen at training time) by running the frozen encoder over an L-hop
+//!   ego subgraph, with an LRU cache and pooled scratch workspaces. The
+//!   Thm. 1 relaxation makes this exact, not approximate.
+//! * [`server`] — [`BatchServer`]: a multi-threaded request loop with
+//!   per-batch-size latency histograms (p50/p95/p99).
+//!
+//! Everything fallible returns a typed error ([`ArtifactError`] /
+//! [`ServeError`]); production paths never panic on untrusted input.
+
+pub mod artifact;
+pub mod histogram;
+pub mod inductive;
+pub mod lru;
+pub mod server;
+pub mod store;
+
+pub use artifact::{Artifact, ArtifactError, ArtifactMeta};
+pub use histogram::{LatencyHistogram, LatencySummary};
+pub use inductive::InductiveEngine;
+pub use lru::LruCache;
+pub use server::{
+    run_latency_bench, BatchBenchReport, BatchServer, BenchOptions, Request, Response,
+};
+pub use store::{EmbeddingStore, Hit};
+
+use std::fmt;
+
+/// Typed serving failure.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Artifact I/O or decode failure.
+    Artifact(ArtifactError),
+    /// A node id outside the stored graph.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: usize,
+        /// Number of nodes actually stored.
+        num_nodes: usize,
+    },
+    /// A query vector whose length does not match the embedding dimension.
+    DimensionMismatch {
+        /// Expected dimensionality.
+        expected: usize,
+        /// Dimensionality received.
+        actual: usize,
+    },
+    /// A classification query before any probe was fitted.
+    NoProbe,
+    /// An inductive query against a server built without a graph.
+    NoInductiveEngine,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Artifact(e) => write!(f, "{e}"),
+            ServeError::NodeOutOfRange { node, num_nodes } => {
+                write!(
+                    f,
+                    "node {node} out of range (store holds {num_nodes} nodes)"
+                )
+            }
+            ServeError::DimensionMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "query dimension {actual} does not match embedding dimension {expected}"
+                )
+            }
+            ServeError::NoProbe => write!(f, "no linear probe fitted (call fit_probe first)"),
+            ServeError::NoInductiveEngine => {
+                write!(
+                    f,
+                    "server has no inductive engine (built without graph/features)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Artifact(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ArtifactError> for ServeError {
+    fn from(e: ArtifactError) -> Self {
+        ServeError::Artifact(e)
+    }
+}

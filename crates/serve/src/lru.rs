@@ -1,0 +1,241 @@
+//! A small dependency-free LRU cache (slab + intrusive doubly-linked list).
+//!
+//! Backs the per-node embedding cache of the inductive query engine: hot
+//! nodes answer from memory, cold nodes pay one ego-subgraph forward. All
+//! operations are O(1) amortised; hit/miss counters feed the serving
+//! metrics.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+const NIL: usize = usize::MAX;
+
+struct Entry<K, V> {
+    key: K,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+/// Fixed-capacity least-recently-used cache.
+pub struct LruCache<K, V> {
+    map: HashMap<K, usize>,
+    slab: Vec<Entry<K, V>>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl<K: Clone + Eq + Hash, V> LruCache<K, V> {
+    /// A cache holding at most `capacity` entries (`capacity == 0` caches
+    /// nothing and every lookup is a miss).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            map: HashMap::with_capacity(capacity),
+            slab: Vec::with_capacity(capacity),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Looks up `key`, promoting it to most-recently-used on a hit.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        match self.map.get(key).copied() {
+            Some(idx) => {
+                self.hits += 1;
+                self.detach(idx);
+                self.attach_front(idx);
+                Some(&self.slab[idx].value)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts (or replaces) `key`, evicting the least-recently-used entry
+    /// when full.
+    pub fn put(&mut self, key: K, value: V) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(&idx) = self.map.get(&key) {
+            self.slab[idx].value = value;
+            self.detach(idx);
+            self.attach_front(idx);
+            return;
+        }
+        if self.map.len() == self.capacity {
+            let lru = self.tail;
+            self.detach(lru);
+            let old = &mut self.slab[lru];
+            self.map.remove(&old.key);
+            old.key = key.clone();
+            old.value = value;
+            self.map.insert(key, lru);
+            self.attach_front(lru);
+            return;
+        }
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.slab[i] = Entry {
+                    key: key.clone(),
+                    value,
+                    prev: NIL,
+                    next: NIL,
+                };
+                i
+            }
+            None => {
+                self.slab.push(Entry {
+                    key: key.clone(),
+                    value,
+                    prev: NIL,
+                    next: NIL,
+                });
+                self.slab.len() - 1
+            }
+        };
+        self.map.insert(key, idx);
+        self.attach_front(idx);
+    }
+
+    /// Current number of cached entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Lifetime `(hits, misses)` counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    fn detach(&mut self, idx: usize) {
+        let (prev, next) = (self.slab[idx].prev, self.slab[idx].next);
+        if prev != NIL {
+            self.slab[prev].next = next;
+        } else if self.head == idx {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slab[next].prev = prev;
+        } else if self.tail == idx {
+            self.tail = prev;
+        }
+        self.slab[idx].prev = NIL;
+        self.slab[idx].next = NIL;
+    }
+
+    fn attach_front(&mut self, idx: usize) {
+        self.slab[idx].prev = NIL;
+        self.slab[idx].next = self.head;
+        if self.head != NIL {
+            self.slab[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = LruCache::new(2);
+        c.put(1, "a");
+        c.put(2, "b");
+        assert_eq!(c.get(&1), Some(&"a")); // 1 is now MRU
+        c.put(3, "c"); // evicts 2
+        assert_eq!(c.get(&2), None);
+        assert_eq!(c.get(&1), Some(&"a"));
+        assert_eq!(c.get(&3), Some(&"c"));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn replace_updates_value_and_recency() {
+        let mut c = LruCache::new(2);
+        c.put(1, 10);
+        c.put(2, 20);
+        c.put(1, 11); // replace, promotes 1
+        c.put(3, 30); // evicts 2
+        assert_eq!(c.get(&1), Some(&11));
+        assert_eq!(c.get(&2), None);
+    }
+
+    #[test]
+    fn zero_capacity_never_stores() {
+        let mut c = LruCache::new(0);
+        c.put(1, 1);
+        assert_eq!(c.get(&1), None);
+        assert!(c.is_empty());
+        assert_eq!(c.stats(), (0, 1));
+    }
+
+    #[test]
+    fn stats_count_hits_and_misses() {
+        let mut c = LruCache::new(4);
+        c.put(1, 1);
+        let _ = c.get(&1);
+        let _ = c.get(&1);
+        let _ = c.get(&9);
+        assert_eq!(c.stats(), (2, 1));
+    }
+
+    /// Exhaustive small-scale check against a naive reference model.
+    #[test]
+    fn matches_reference_model_under_churn() {
+        let cap = 3;
+        let mut c = LruCache::new(cap);
+        let mut reference: Vec<(u32, u32)> = Vec::new(); // MRU-first
+        let mut x: u64 = 0x2545_f491_4f6c_dd1d;
+        for _ in 0..2000 {
+            // Cheap xorshift stream of operations.
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let key = (x % 7) as u32;
+            if x.is_multiple_of(3) {
+                let val = (x % 100) as u32;
+                c.put(key, val);
+                reference.retain(|&(k, _)| k != key);
+                reference.insert(0, (key, val));
+                reference.truncate(cap);
+            } else {
+                let expect = reference.iter().position(|&(k, _)| k == key);
+                let got = c.get(&key).copied();
+                match expect {
+                    Some(i) => {
+                        assert_eq!(got, Some(reference[i].1));
+                        let e = reference.remove(i);
+                        reference.insert(0, e);
+                    }
+                    None => assert_eq!(got, None),
+                }
+            }
+            assert_eq!(c.len(), reference.len());
+        }
+    }
+}

@@ -1,0 +1,324 @@
+//! Latency-instrumented batch request server.
+//!
+//! A [`BatchServer`] owns an [`EmbeddingStore`] (and optionally an
+//! [`InductiveEngine`]) and answers batches of [`Request`]s. Each batch
+//! fans out over the vendored rayon worker pool and records one wall-clock
+//! sample in a per-batch-size [`LatencyHistogram`], so p50/p95/p99 can be
+//! reported per batch size — the serving-trajectory numbers the bench bin
+//! writes to `BENCH_serve.json`.
+
+use crate::histogram::{LatencyHistogram, LatencySummary};
+use crate::inductive::InductiveEngine;
+use crate::store::{EmbeddingStore, Hit};
+use crate::{Artifact, ServeError};
+use e2gcl_graph::CsrGraph;
+use e2gcl_linalg::{Matrix, SeedRng};
+use rayon::prelude::*;
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// One serving query.
+#[derive(Clone, Debug)]
+pub enum Request {
+    /// The stored embedding of a training-graph node.
+    Embedding {
+        /// Node id.
+        node: usize,
+    },
+    /// Top-`k` cosine neighbours of a stored node's embedding.
+    TopK {
+        /// Query node id.
+        node: usize,
+        /// Number of neighbours.
+        k: usize,
+    },
+    /// Top-`k` neighbours of a node embedded *inductively* (ego-subgraph
+    /// forward through the frozen encoder instead of the stored row).
+    TopKInductive {
+        /// Query node id.
+        node: usize,
+        /// Number of neighbours.
+        k: usize,
+    },
+    /// Linear-probe class of a stored node's embedding.
+    Classify {
+        /// Query node id.
+        node: usize,
+    },
+}
+
+/// The answer to one [`Request`].
+#[derive(Clone, Debug)]
+pub enum Response {
+    /// An embedding vector.
+    Embedding(Vec<f32>),
+    /// Ranked `(node, cosine)` hits.
+    Hits(Vec<Hit>),
+    /// A predicted class.
+    Class(usize),
+    /// The query failed (per-query; the batch itself always completes).
+    Failed(String),
+}
+
+impl Response {
+    /// True unless this is a [`Response::Failed`].
+    pub fn is_ok(&self) -> bool {
+        !matches!(self, Response::Failed(_))
+    }
+}
+
+/// Embedding store + optional inductive engine + latency accounting.
+pub struct BatchServer {
+    store: EmbeddingStore,
+    inductive: Option<InductiveEngine>,
+    histograms: BTreeMap<usize, LatencyHistogram>,
+}
+
+impl BatchServer {
+    /// A server over a pre-built store (no inductive path).
+    pub fn new(store: EmbeddingStore) -> Self {
+        Self {
+            store,
+            inductive: None,
+            histograms: BTreeMap::new(),
+        }
+    }
+
+    /// A server over a loaded artifact: stored embeddings answer similarity
+    /// queries, the frozen encoder (over `graph`/`features`) answers
+    /// inductive ones.
+    pub fn from_artifact(
+        artifact: &Artifact,
+        graph: CsrGraph,
+        features: Matrix,
+    ) -> Result<Self, ServeError> {
+        let store = EmbeddingStore::new(artifact.embeddings.clone());
+        let inductive = InductiveEngine::new(artifact.encoder.clone(), graph, features)?;
+        Ok(Self {
+            store,
+            inductive: Some(inductive),
+            histograms: BTreeMap::new(),
+        })
+    }
+
+    /// The underlying store (e.g. to fit a probe before serving).
+    pub fn store_mut(&mut self) -> &mut EmbeddingStore {
+        &mut self.store
+    }
+
+    /// The underlying store.
+    pub fn store(&self) -> &EmbeddingStore {
+        &self.store
+    }
+
+    /// The inductive engine, when the server has one.
+    pub fn inductive(&self) -> Option<&InductiveEngine> {
+        self.inductive.as_ref()
+    }
+
+    /// Answers a batch of requests, fanning out over the worker pool.
+    /// Per-query failures become [`Response::Failed`]; the batch's wall
+    /// time lands in the histogram for `batch.len()`.
+    pub fn serve(&mut self, batch: &[Request]) -> Vec<Response> {
+        let start = Instant::now();
+        let store = &self.store;
+        let inductive = self.inductive.as_ref();
+        let responses: Vec<Response> = batch
+            .par_iter()
+            .map(|r| handle(store, inductive, r))
+            .collect();
+        let elapsed = start.elapsed();
+        self.histograms
+            .entry(batch.len())
+            .or_default()
+            .record(elapsed);
+        responses
+    }
+
+    /// `(batch size, latency summary)` per observed batch size, ascending.
+    pub fn latency_report(&self) -> Vec<(usize, LatencySummary)> {
+        self.histograms
+            .iter()
+            .map(|(&size, h)| (size, h.summary()))
+            .collect()
+    }
+}
+
+fn handle(store: &EmbeddingStore, inductive: Option<&InductiveEngine>, r: &Request) -> Response {
+    let result = match r {
+        Request::Embedding { node } => store
+            .embedding(*node)
+            .map(|e| Response::Embedding(e.to_vec())),
+        Request::TopK { node, k } => store
+            .embedding(*node)
+            .map(|e| e.to_vec())
+            .and_then(|e| store.top_k(&e, *k))
+            .map(Response::Hits),
+        Request::TopKInductive { node, k } => match inductive {
+            None => Err(ServeError::NoInductiveEngine),
+            Some(engine) => engine
+                .embed_node(*node)
+                .and_then(|e| store.top_k(&e, *k))
+                .map(Response::Hits),
+        },
+        Request::Classify { node } => store
+            .embedding(*node)
+            .map(|e| e.to_vec())
+            .and_then(|e| store.classify(&e))
+            .map(Response::Class),
+    };
+    match result {
+        Ok(resp) => resp,
+        Err(e) => Response::Failed(e.to_string()),
+    }
+}
+
+/// Knobs for [`run_latency_bench`].
+#[derive(Clone, Debug)]
+pub struct BenchOptions {
+    /// Batch sizes to measure (one histogram each).
+    pub batch_sizes: Vec<usize>,
+    /// Batches per batch size.
+    pub rounds: usize,
+    /// `k` of the top-k queries.
+    pub k: usize,
+    /// Every `inductive_every`-th query goes through the inductive path
+    /// (0 disables inductive queries).
+    pub inductive_every: usize,
+}
+
+impl Default for BenchOptions {
+    fn default() -> Self {
+        Self {
+            batch_sizes: vec![1, 32, 256],
+            rounds: 50,
+            k: 10,
+            inductive_every: 4,
+        }
+    }
+}
+
+/// Latency/throughput measurements for one batch size.
+#[derive(Clone, Debug, Serialize)]
+pub struct BatchBenchReport {
+    /// Requests per batch.
+    pub batch_size: usize,
+    /// Batches served.
+    pub rounds: usize,
+    /// Total requests served.
+    pub queries: usize,
+    /// Per-batch latency percentiles and moments (µs).
+    pub latency: LatencySummary,
+    /// Requests per second across the whole run.
+    pub throughput_qps: f64,
+}
+
+/// Drives deterministic top-k/inductive query batches through the server
+/// and reports per-batch-size latency percentiles and throughput.
+pub fn run_latency_bench(
+    server: &mut BatchServer,
+    opts: &BenchOptions,
+    rng: &mut SeedRng,
+) -> Vec<BatchBenchReport> {
+    let n = server.store().len().max(1);
+    let mut reports = Vec::with_capacity(opts.batch_sizes.len());
+    for &batch_size in &opts.batch_sizes {
+        let mut hist = LatencyHistogram::new();
+        let mut queries = 0usize;
+        let run_start = Instant::now();
+        for _ in 0..opts.rounds {
+            let batch: Vec<Request> = (0..batch_size)
+                .map(|i| {
+                    let node = rng.below(n);
+                    if opts.inductive_every > 0 && i % opts.inductive_every == 0 {
+                        Request::TopKInductive { node, k: opts.k }
+                    } else {
+                        Request::TopK { node, k: opts.k }
+                    }
+                })
+                .collect();
+            let t0 = Instant::now();
+            let responses = server.serve(&batch);
+            hist.record(t0.elapsed());
+            queries += responses.len();
+        }
+        let total_secs = run_start.elapsed().as_secs_f64().max(1e-9);
+        reports.push(BatchBenchReport {
+            batch_size,
+            rounds: opts.rounds,
+            queries,
+            latency: hist.summary(),
+            throughput_qps: queries as f64 / total_secs,
+        });
+    }
+    reports
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn server() -> BatchServer {
+        let mut m = Matrix::zeros(16, 4);
+        for (i, v) in m.as_mut_slice().iter_mut().enumerate() {
+            *v = ((i * 37 + 11) % 23) as f32 / 23.0 - 0.5;
+        }
+        BatchServer::new(EmbeddingStore::new(m))
+    }
+
+    #[test]
+    fn serves_mixed_batch_with_per_query_failures() {
+        let mut s = server();
+        let batch = vec![
+            Request::TopK { node: 0, k: 3 },
+            Request::Embedding { node: 5 },
+            Request::TopK { node: 999, k: 3 }, // out of range
+            Request::Classify { node: 1 },     // no probe fitted
+            Request::TopKInductive { node: 0, k: 3 }, // no inductive engine
+        ];
+        let responses = s.serve(&batch);
+        assert_eq!(responses.len(), 5);
+        assert!(responses[0].is_ok());
+        assert!(matches!(&responses[0], Response::Hits(h) if h.len() == 3));
+        assert!(responses[1].is_ok());
+        assert!(!responses[2].is_ok());
+        assert!(!responses[3].is_ok());
+        assert!(!responses[4].is_ok());
+    }
+
+    #[test]
+    fn latency_report_tracks_batch_sizes() {
+        let mut s = server();
+        for _ in 0..3 {
+            s.serve(&[Request::Embedding { node: 0 }]);
+        }
+        s.serve(&vec![Request::Embedding { node: 1 }; 4]);
+        let report = s.latency_report();
+        assert_eq!(report.len(), 2);
+        assert_eq!(report[0].0, 1);
+        assert_eq!(report[0].1.count, 3);
+        assert_eq!(report[1].0, 4);
+        assert_eq!(report[1].1.count, 1);
+    }
+
+    #[test]
+    fn bench_runner_reports_every_batch_size() {
+        let mut s = server();
+        let opts = BenchOptions {
+            batch_sizes: vec![1, 8],
+            rounds: 5,
+            k: 3,
+            inductive_every: 0, // no engine attached
+        };
+        let mut rng = SeedRng::new(3);
+        let reports = run_latency_bench(&mut s, &opts, &mut rng);
+        assert_eq!(reports.len(), 2);
+        for r in &reports {
+            assert_eq!(r.queries, r.batch_size * r.rounds);
+            assert_eq!(r.latency.count, r.rounds);
+            assert!(r.throughput_qps > 0.0);
+            assert!(r.latency.p99_us >= r.latency.p50_us);
+        }
+    }
+}

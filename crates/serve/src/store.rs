@@ -1,0 +1,272 @@
+//! In-memory embedding store with batched similarity and classification
+//! queries.
+//!
+//! The store holds the artifact's full-graph embedding matrix plus
+//! precomputed row norms; queries are cosine top-k (nearest neighbours) and
+//! linear-probe classification. Batches fan out over the rayon worker pool.
+
+use crate::ServeError;
+use e2gcl_linalg::Matrix;
+use e2gcl_linalg::SeedRng;
+use e2gcl_nn::probe::{standard_stats, LinearProbe, ProbeConfig};
+use rayon::prelude::*;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// One similarity hit: `(node, cosine score)`.
+pub type Hit = (usize, f32);
+
+/// A scored node ordered by `(score, node)` with NaN-safe total ordering.
+#[derive(PartialEq)]
+struct Scored {
+    score: f32,
+    node: usize,
+}
+
+impl Eq for Scored {}
+
+impl PartialOrd for Scored {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Scored {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.score
+            .total_cmp(&other.score)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+/// Frozen embeddings, indexed for serving.
+pub struct EmbeddingStore {
+    embeddings: Matrix,
+    norms: Vec<f32>,
+    probe: Option<ProbeState>,
+}
+
+/// A fitted probe plus the store-matrix standardisation statistics — one-row
+/// serving queries must be standardised with the *store's* stats, not their
+/// own (see [`LinearProbe::predict_with_stats`]).
+struct ProbeState {
+    probe: LinearProbe,
+    means: Vec<f32>,
+    stds: Vec<f32>,
+}
+
+impl EmbeddingStore {
+    /// Indexes an embedding matrix for serving.
+    pub fn new(embeddings: Matrix) -> Self {
+        let norms = (0..embeddings.rows())
+            .map(|r| embeddings.row(r).iter().map(|v| v * v).sum::<f32>().sqrt())
+            .collect();
+        Self {
+            embeddings,
+            norms,
+            probe: None,
+        }
+    }
+
+    /// Number of stored nodes.
+    pub fn len(&self) -> usize {
+        self.embeddings.rows()
+    }
+
+    /// True when the store holds no embeddings.
+    pub fn is_empty(&self) -> bool {
+        self.embeddings.rows() == 0
+    }
+
+    /// Embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.embeddings.cols()
+    }
+
+    /// The stored embedding of `node`.
+    pub fn embedding(&self, node: usize) -> Result<&[f32], ServeError> {
+        if node >= self.len() {
+            return Err(ServeError::NodeOutOfRange {
+                node,
+                num_nodes: self.len(),
+            });
+        }
+        Ok(self.embeddings.row(node))
+    }
+
+    /// The `k` stored nodes most cosine-similar to `query`, best first;
+    /// ties broken by ascending node id. Zero-norm rows (or a zero query)
+    /// score 0.
+    pub fn top_k(&self, query: &[f32], k: usize) -> Result<Vec<Hit>, ServeError> {
+        if query.len() != self.dim() {
+            return Err(ServeError::DimensionMismatch {
+                expected: self.dim(),
+                actual: query.len(),
+            });
+        }
+        let qnorm = query.iter().map(|v| v * v).sum::<f32>().sqrt();
+        let mut heap: BinaryHeap<Reverse<Scored>> = BinaryHeap::with_capacity(k + 1);
+        for node in 0..self.len() {
+            let denom = qnorm * self.norms[node];
+            let score = if denom > 0.0 {
+                let dot: f32 = self
+                    .embeddings
+                    .row(node)
+                    .iter()
+                    .zip(query)
+                    .map(|(a, b)| a * b)
+                    .sum();
+                dot / denom
+            } else {
+                0.0
+            };
+            heap.push(Reverse(Scored { score, node }));
+            if heap.len() > k {
+                heap.pop();
+            }
+        }
+        let mut hits: Vec<Hit> = heap
+            .into_iter()
+            .map(|Reverse(s)| (s.node, s.score))
+            .collect();
+        hits.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        Ok(hits)
+    }
+
+    /// [`Self::top_k`] for a batch of queries, fanned out over the worker
+    /// pool. Per-query errors stay per-query.
+    pub fn batch_top_k(&self, queries: &[Vec<f32>], k: usize) -> Vec<Result<Vec<Hit>, ServeError>> {
+        queries.par_iter().map(|q| self.top_k(q, k)).collect()
+    }
+
+    /// Fits a linear probe on `(embeddings[train], labels[train])` and
+    /// retains it (plus the store's standardisation stats) for
+    /// [`Self::classify`].
+    pub fn fit_probe(
+        &mut self,
+        labels: &[usize],
+        train: &[usize],
+        num_classes: usize,
+        config: &ProbeConfig,
+        rng: &mut SeedRng,
+    ) {
+        let probe = LinearProbe::fit(&self.embeddings, labels, train, num_classes, config, rng);
+        let (means, stds) = standard_stats(&self.embeddings);
+        self.probe = Some(ProbeState { probe, means, stds });
+    }
+
+    /// Classifies a query embedding with the fitted probe.
+    pub fn classify(&self, query: &[f32]) -> Result<usize, ServeError> {
+        if query.len() != self.dim() {
+            return Err(ServeError::DimensionMismatch {
+                expected: self.dim(),
+                actual: query.len(),
+            });
+        }
+        let state = self.probe.as_ref().ok_or(ServeError::NoProbe)?;
+        let m = Matrix::from_vec(1, query.len(), query.to_vec());
+        let preds = state
+            .probe
+            .predict_with_stats(&m, &state.means, &state.stds);
+        Ok(preds[0])
+    }
+
+    /// True when a probe has been fitted.
+    pub fn has_probe(&self) -> bool {
+        self.probe.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> EmbeddingStore {
+        // Four unit-ish vectors: 0 and 1 aligned, 2 orthogonal, 3 opposite.
+        EmbeddingStore::new(Matrix::from_rows(&[
+            &[1.0, 0.0],
+            &[2.0, 0.0],
+            &[0.0, 1.0],
+            &[-1.0, 0.0],
+        ]))
+    }
+
+    #[test]
+    fn top_k_orders_by_cosine() {
+        let s = store();
+        let hits = s.top_k(&[1.0, 0.0], 3).unwrap();
+        assert_eq!(hits.len(), 3);
+        // Nodes 0 and 1 both score 1.0; tie broken by node id.
+        assert_eq!((hits[0].0, hits[1].0, hits[2].0), (0, 1, 2));
+        assert!((hits[0].1 - 1.0).abs() < 1e-6);
+        assert!((hits[2].1 - 0.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn k_larger_than_store_returns_all() {
+        let s = store();
+        assert_eq!(s.top_k(&[1.0, 0.0], 100).unwrap().len(), 4);
+    }
+
+    #[test]
+    fn dimension_mismatch_is_typed() {
+        let s = store();
+        assert!(matches!(
+            s.top_k(&[1.0], 2),
+            Err(ServeError::DimensionMismatch {
+                expected: 2,
+                actual: 1
+            })
+        ));
+        assert!(matches!(
+            s.embedding(99),
+            Err(ServeError::NodeOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_query_scores_zero_everywhere() {
+        let s = store();
+        let hits = s.top_k(&[0.0, 0.0], 4).unwrap();
+        assert!(hits.iter().all(|&(_, score)| score == 0.0));
+    }
+
+    #[test]
+    fn batch_matches_singles() {
+        let s = store();
+        let queries = vec![vec![1.0, 0.0], vec![0.0, 1.0], vec![0.5, 0.5]];
+        let batch = s.batch_top_k(&queries, 2);
+        for (q, b) in queries.iter().zip(batch) {
+            assert_eq!(b.unwrap(), s.top_k(q, 2).unwrap());
+        }
+    }
+
+    #[test]
+    fn classify_requires_probe_then_matches_full_predict() {
+        let mut rng = SeedRng::new(5);
+        let n = 40;
+        let mut m = Matrix::zeros(n, 3);
+        let mut labels = vec![0usize; n];
+        for (v, label) in labels.iter_mut().enumerate() {
+            let c = v % 2;
+            *label = c;
+            for (i, x) in m.row_mut(v).iter_mut().enumerate() {
+                *x = if i == c { 2.0 } else { -2.0 };
+                *x += 0.1 * rng.normal();
+            }
+        }
+        let mut s = EmbeddingStore::new(m);
+        assert!(matches!(s.classify(&[0.0; 3]), Err(ServeError::NoProbe)));
+        let train: Vec<usize> = (0..n).collect();
+        s.fit_probe(&labels, &train, 2, &ProbeConfig::default(), &mut rng);
+        assert!(s.has_probe());
+        let mut correct = 0;
+        for (v, &label) in labels.iter().enumerate() {
+            let row = s.embedding(v).unwrap().to_vec();
+            if s.classify(&row).unwrap() == label {
+                correct += 1;
+            }
+        }
+        assert!(correct as f32 / n as f32 > 0.9);
+    }
+}

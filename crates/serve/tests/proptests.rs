@@ -1,0 +1,139 @@
+//! Property tests for the artifact format.
+//!
+//! Two invariants the serving layer depends on:
+//! 1. save → load → save is **byte-identical** for arbitrary artifacts, so
+//!    checksums and caches keyed on the file stay stable across rewrites.
+//! 2. Hostile inputs — truncations, bit flips, wrong versions, random
+//!    garbage — always produce a typed [`ArtifactError`], never a panic.
+
+use e2gcl::config::TrainConfig;
+use e2gcl_linalg::{Matrix, SeedRng};
+use e2gcl_nn::{FrozenEncoder, GcnEncoder, SageEncoder, SgcEncoder};
+use e2gcl_serve::{Artifact, ArtifactError, ArtifactMeta};
+use proptest::prelude::*;
+
+/// Builds a deterministic artifact with one of the three encoder kinds and
+/// randomized shapes.
+fn artifact_from(seed: u64, kind: u8, nodes: usize, hidden: usize, out: usize) -> Artifact {
+    let mut rng = SeedRng::new(seed);
+    let input = 5;
+    let encoder = match kind % 3 {
+        0 => FrozenEncoder::Gcn(GcnEncoder::new(&[input, hidden, out], &mut rng)),
+        1 => FrozenEncoder::Sgc(SgcEncoder::new(input, out, 2, &mut rng)),
+        _ => FrozenEncoder::Sage(SageEncoder::new(&[input, hidden, out], &mut rng)),
+    };
+    let mut embeddings = Matrix::zeros(nodes, out);
+    for v in embeddings.as_mut_slice() {
+        *v = rng.normal();
+    }
+    Artifact {
+        meta: ArtifactMeta {
+            model: format!("model-{seed}"),
+            dataset: "cora-sim".to_string(),
+            scale: 0.05 + (seed % 13) as f64 * 0.07,
+            seed,
+        },
+        config: TrainConfig::default(),
+        encoder,
+        embeddings,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// save → load → save round-trips byte-identically for every encoder
+    /// kind and shape, and the reloaded metadata/weights match exactly.
+    #[test]
+    fn save_load_save_is_byte_identical(
+        seed in any::<u64>(),
+        kind in 0u8..3,
+        nodes in 1usize..12,
+        hidden in 1usize..8,
+        out in 1usize..6,
+    ) {
+        let a = artifact_from(seed, kind, nodes, hidden, out);
+        let bytes = a.to_bytes().unwrap();
+        let b = Artifact::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(&a.meta, &b.meta);
+        prop_assert_eq!(a.encoder.kind(), b.encoder.kind());
+        prop_assert_eq!(a.encoder.params(), b.encoder.params());
+        for (x, y) in a.embeddings.as_slice().iter().zip(b.embeddings.as_slice()) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+        prop_assert_eq!(bytes, b.to_bytes().unwrap());
+    }
+
+    /// Any truncation fails with a typed error (and never panics).
+    #[test]
+    fn truncations_fail_typed(seed in any::<u64>(), frac in 0.0f64..1.0) {
+        let a = artifact_from(seed, (seed % 3) as u8, 6, 5, 3);
+        let bytes = a.to_bytes().unwrap();
+        let cut = ((bytes.len() - 1) as f64 * frac) as usize;
+        let err = Artifact::from_bytes(&bytes[..cut]).unwrap_err();
+        prop_assert!(
+            matches!(
+                err,
+                ArtifactError::Truncated { .. } | ArtifactError::ChecksumMismatch { .. }
+            ),
+            "cut at {cut}/{} gave {err}",
+            bytes.len()
+        );
+    }
+
+    /// Any single flipped bit fails with a typed error — in the payload it
+    /// is always caught by the checksum.
+    #[test]
+    fn bit_flips_fail_typed(seed in any::<u64>(), pos in any::<u64>(), bit in 0u8..8) {
+        let a = artifact_from(seed, (seed % 3) as u8, 6, 5, 3);
+        let mut bytes = a.to_bytes().unwrap();
+        let pos = (pos % bytes.len() as u64) as usize;
+        bytes[pos] ^= 1 << bit;
+        let result = Artifact::from_bytes(&bytes);
+        prop_assert!(result.is_err(), "flip at byte {pos} bit {bit} was accepted");
+        if pos >= 28 {
+            // Payload flips are always a checksum mismatch.
+            prop_assert!(matches!(
+                result.unwrap_err(),
+                ArtifactError::ChecksumMismatch { .. }
+            ));
+        }
+    }
+
+    /// Every version tag other than the current one is rejected as such.
+    #[test]
+    fn wrong_versions_fail_typed(v in any::<u32>()) {
+        prop_assume!(v != e2gcl_serve::artifact::VERSION);
+        let a = artifact_from(1, 0, 4, 3, 2);
+        let mut bytes = a.to_bytes().unwrap();
+        bytes[8..12].copy_from_slice(&v.to_le_bytes());
+        prop_assert!(matches!(
+            Artifact::from_bytes(&bytes),
+            Err(ArtifactError::UnsupportedVersion(got)) if got == v
+        ));
+    }
+
+    /// Random garbage never panics; it fails with some typed error.
+    #[test]
+    fn random_bytes_never_panic(data in prop::collection::vec((0usize..256).prop_map(|v| v as u8), 0..256)) {
+        prop_assert!(Artifact::from_bytes(&data).is_err());
+    }
+
+    /// Garbage that keeps a valid header (magic/version/length/checksum all
+    /// consistent) still fails structurally — with Corrupt or Truncated,
+    /// never a panic.
+    #[test]
+    fn valid_header_garbage_payload_is_typed(data in prop::collection::vec((0usize..256).prop_map(|v| v as u8), 0..128)) {
+        let mut bytes = Vec::with_capacity(28 + data.len());
+        bytes.extend_from_slice(b"E2GCLART");
+        bytes.extend_from_slice(&e2gcl_serve::artifact::VERSION.to_le_bytes());
+        bytes.extend_from_slice(&(data.len() as u64).to_le_bytes());
+        bytes.extend_from_slice(&e2gcl_serve::artifact::fnv1a64(&data).to_le_bytes());
+        bytes.extend_from_slice(&data);
+        let err = Artifact::from_bytes(&bytes).unwrap_err();
+        prop_assert!(matches!(
+            err,
+            ArtifactError::Corrupt(_) | ArtifactError::Truncated { .. }
+        ));
+    }
+}

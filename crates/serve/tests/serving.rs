@@ -1,0 +1,171 @@
+//! End-to-end serving tests: pretrain → artifact → reload → serve.
+//!
+//! Proves the ISSUE acceptance path: a trained model saved to disk and
+//! loaded back serves embeddings **bitwise identical** to the in-memory
+//! `PretrainResult`, and the inductive ego-subgraph forward reproduces the
+//! stored full-graph rows for the default 2-layer encoder.
+
+use e2gcl::prelude::*;
+use e2gcl_nn::probe::ProbeConfig;
+use e2gcl_serve::{
+    Artifact, ArtifactMeta, BatchServer, EmbeddingStore, InductiveEngine, Request, Response,
+};
+
+const SCALE: f64 = 0.05;
+const SEED: u64 = 3;
+
+fn trained() -> (Artifact, NodeDataset) {
+    let data = NodeDataset::generate(&spec("cora-sim").expect("spec"), SCALE, SEED);
+    let cfg = TrainConfig {
+        epochs: 3,
+        ..TrainConfig::default()
+    };
+    let model = E2gclModel::default();
+    let out = model
+        .pretrain(&data.graph, &data.features, &cfg, &mut SeedRng::new(SEED))
+        .expect("pretrain");
+    let artifact = Artifact {
+        meta: ArtifactMeta {
+            model: model.name(),
+            dataset: data.name.clone(),
+            scale: SCALE,
+            seed: SEED,
+        },
+        config: cfg,
+        encoder: out.encoder.expect("E2GCL exposes a frozen encoder"),
+        embeddings: out.embeddings,
+    };
+    (artifact, data)
+}
+
+#[test]
+fn pretrain_save_load_round_trips_bitwise() {
+    let (artifact, _) = trained();
+    let path = std::env::temp_dir().join("e2gcl_serving_it_roundtrip.bin");
+    artifact.save(&path).expect("save");
+    let loaded = Artifact::load(&path).expect("load");
+    let _ = std::fs::remove_file(&path);
+
+    assert_eq!(artifact.meta, loaded.meta);
+    assert_eq!(artifact.embeddings.rows(), loaded.embeddings.rows());
+    assert_eq!(artifact.embeddings.cols(), loaded.embeddings.cols());
+    for (a, b) in artifact
+        .embeddings
+        .as_slice()
+        .iter()
+        .zip(loaded.embeddings.as_slice())
+    {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+    for (wa, wb) in artifact
+        .encoder
+        .params()
+        .iter()
+        .zip(loaded.encoder.params())
+    {
+        for (a, b) in wa.as_slice().iter().zip(wb.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+    // And the reloaded artifact re-serialises to the same bytes.
+    assert_eq!(
+        artifact.to_bytes().expect("to_bytes"),
+        loaded.to_bytes().expect("to_bytes")
+    );
+}
+
+#[test]
+fn inductive_forward_reproduces_stored_embeddings() {
+    let (artifact, data) = trained();
+    assert_eq!(
+        artifact.encoder.receptive_hops(),
+        2,
+        "default E2GCL encoder should be the 2-layer case the ISSUE names"
+    );
+    let engine = InductiveEngine::new(
+        artifact.encoder.clone(),
+        data.graph.clone(),
+        data.features.clone(),
+    )
+    .expect("engine");
+    // The stored embeddings are the frozen encoder's full-graph forward, so
+    // the ego-subgraph forward must land on the same bits (tolerance 0).
+    for node in 0..data.num_nodes() {
+        let inductive = engine.embed_node(node).expect("embed");
+        let stored = artifact.embeddings.row(node);
+        assert_eq!(inductive.len(), stored.len());
+        for (a, b) in inductive.iter().zip(stored) {
+            assert_eq!(a.to_bits(), b.to_bits(), "node {node} diverges");
+        }
+    }
+}
+
+#[test]
+fn batch_server_answers_queries_after_reload() {
+    let (artifact, data) = trained();
+    let bytes = artifact.to_bytes().expect("to_bytes");
+    let artifact = Artifact::from_bytes(&bytes).expect("from_bytes");
+    let mut server =
+        BatchServer::from_artifact(&artifact, data.graph.clone(), data.features.clone())
+            .expect("server");
+
+    let train: Vec<usize> = (0..data.num_nodes()).collect();
+    server.store_mut().fit_probe(
+        &data.labels,
+        &train,
+        data.num_classes,
+        &ProbeConfig::default(),
+        &mut SeedRng::new(SEED),
+    );
+
+    let batch = vec![
+        Request::TopK { node: 0, k: 5 },
+        Request::TopKInductive { node: 1, k: 5 },
+        Request::Classify { node: 2 },
+        Request::Embedding { node: 3 },
+    ];
+    let responses = server.serve(&batch);
+    assert_eq!(responses.len(), batch.len());
+    for (r, resp) in batch.iter().zip(&responses) {
+        assert!(resp.is_ok(), "{r:?} failed: {resp:?}");
+    }
+    match &responses[0] {
+        Response::Hits(h) => {
+            assert!(!h.is_empty(), "top-k must return hits");
+            // A node is its own nearest neighbour under cosine similarity.
+            assert_eq!(h[0].0, 0);
+        }
+        other => panic!("expected hits, got {other:?}"),
+    }
+    match (&responses[0], &responses[1]) {
+        (Response::Hits(stored), Response::Hits(inductive)) => {
+            assert_eq!(stored.len(), 5);
+            assert_eq!(inductive.len(), 5);
+        }
+        _ => panic!("expected hits for both top-k queries"),
+    }
+    match &responses[2] {
+        Response::Class(c) => assert!(*c < data.num_classes),
+        other => panic!("expected a class, got {other:?}"),
+    }
+
+    // Latency accounting saw exactly one batch of this size.
+    let report = server.latency_report();
+    assert_eq!(report.len(), 1);
+    assert_eq!(report[0].0, batch.len());
+    assert_eq!(report[0].1.count, 1);
+}
+
+#[test]
+fn store_top_k_is_consistent_between_batch_and_single() {
+    let (artifact, _) = trained();
+    let store = EmbeddingStore::new(artifact.embeddings.clone());
+    let queries: Vec<Vec<f32>> = (0..4)
+        .map(|v| store.embedding(v).expect("row").to_vec())
+        .collect();
+    let batched = store.batch_top_k(&queries, 3);
+    for (v, result) in batched.into_iter().enumerate() {
+        let single = store.top_k(&queries[v], 3).expect("top_k");
+        assert_eq!(result.expect("batch top_k"), single);
+    }
+}
