@@ -17,6 +17,12 @@
 #   7. serve smoke run            — train a tiny model, save an artifact,
 #                                   reload it, and answer a batch of top-k
 #                                   queries through the CLI
+#   8. kernel bench smoke         — kernel_bench --quick runs the smallest
+#                                   shape of every blocked GEMM kernel and
+#                                   fails if any is slower than 0.8x its
+#                                   scalar reference or if the committed
+#                                   BENCH_kernels.json doesn't parse / shows
+#                                   a recorded speedup below 0.8x
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -34,7 +40,7 @@ echo "==> lint: no .unwrap()/panic! in non-test library code"
 # so everything before the first #[cfg(test)] is production code. Comment
 # lines (incl. doc comments) are skipped.
 fail=0
-for f in $(find crates/selector/src crates/views/src crates/nn/src crates/e2gcl/src crates/serve/src -name '*.rs' | sort); do
+for f in $(find crates/selector/src crates/views/src crates/nn/src crates/e2gcl/src crates/serve/src crates/bench/src/bin/kernel_bench.rs -name '*.rs' | sort); do
     hits=$(awk '/#\[cfg\(test\)\]/{exit} {sub(/^[ \t]+/, ""); if ($0 !~ /^\/\//) print FILENAME":"FNR": "$0}' "$f" \
         | grep -E '\.unwrap\(\)|panic!' || true)
     if [ -n "$hits" ]; then
@@ -84,5 +90,9 @@ echo "$query_out" | grep -q "top-5 cosine neighbours"
 # pipe and kill the CLI mid-print.
 inductive_out=$(target/release/e2gcl-cli query --artifact="$artifact" --node=1 --k=3 --mode=inductive)
 echo "$inductive_out" | grep -q "top-3 cosine neighbours"
+
+echo "==> kernel bench smoke: blocked kernels vs scalar reference + recorded baseline"
+cargo run --release --offline -q -p e2gcl-bench --bin kernel_bench -- --quick
+test -s target/bench-results/kernel_bench_quick.json
 
 echo "CI passed."

@@ -1,0 +1,596 @@
+//! Dense-kernel throughput benchmark: GFLOP/s and wall time for the three
+//! GEMM kernels (`matmul`, `transpose_matmul`, `matmul_transpose`), SpMM,
+//! end-to-end `info_nce_with`, and one GRACE epoch.
+//!
+//! Every kernel is measured twice per shape: once through the library's
+//! blocked micro-kernels (`e2gcl-linalg` / `e2gcl-nn`) and once through a
+//! serial single-accumulator scalar reference that replicates the pre-PR
+//! kernels bit-for-bit in structure. The speedup column is therefore a
+//! same-machine, same-run comparison against the old code path.
+//!
+//! ```sh
+//! cargo run -p e2gcl-bench --bin kernel_bench --release              # full sweep
+//! cargo run -p e2gcl-bench --bin kernel_bench --release -- --quick   # CI smoke
+//! ```
+//!
+//! Full mode writes `BENCH_kernels.json` at the repo root (machine-readable
+//! perf trajectory, tracked in git). Quick mode runs only the smallest
+//! shape, writes to `target/bench-results/`, and **fails** (non-zero exit)
+//! if the blocked kernels measure slower than `0.8x` the scalar reference
+//! or if the committed `BENCH_kernels.json` is missing, unparsable, or
+//! records a blocked/scalar ratio below `0.8x`.
+
+use e2gcl::models::grace::GraceModel;
+use e2gcl::prelude::*;
+use e2gcl_bench::report;
+use e2gcl_graph::SparseMatrix;
+use e2gcl_linalg::{ops, Matrix};
+use e2gcl_nn::loss::{self, InfoNceScratch};
+use serde::Serialize;
+use std::time::Instant;
+
+/// Minimum acceptable blocked/scalar throughput ratio in quick (CI) mode.
+const MIN_RATIO: f32 = 0.8;
+
+// ---------------------------------------------------------------------------
+// Scalar reference kernels: the pre-PR single-accumulator serial loops.
+// ---------------------------------------------------------------------------
+
+/// Pre-PR `matmul` inner loop (ikj order, one accumulator per element).
+fn ref_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut out = Matrix::zeros(m, n);
+    for r in 0..m {
+        let a_row = a.row(r);
+        for (kk, &av) in a_row.iter().enumerate().take(k) {
+            let b_row = b.row(kk);
+            for (o, &bv) in out.row_mut(r).iter_mut().zip(b_row) {
+                *o += av * bv;
+            }
+        }
+    }
+    out
+}
+
+/// Pre-PR `transpose_matmul`: ascending-row accumulation per output row.
+fn ref_transpose_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    let (k, m, n) = (a.rows(), a.cols(), b.cols());
+    let mut out = Matrix::zeros(m, n);
+    for c in 0..m {
+        for r in 0..k {
+            let av = a.get(r, c);
+            let b_row = b.row(r);
+            for (o, &bv) in out.row_mut(c).iter_mut().zip(b_row) {
+                *o += av * bv;
+            }
+        }
+    }
+    out
+}
+
+/// Pre-PR `matmul_transpose`: serial scalar dot product per element.
+fn ref_matmul_transpose(a: &Matrix, b: &Matrix) -> Matrix {
+    let (m, n) = (a.rows(), b.rows());
+    let mut out = Matrix::zeros(m, n);
+    for i in 0..m {
+        let a_row = a.row(i);
+        for j in 0..n {
+            let b_row = b.row(j);
+            let mut acc = 0.0f32;
+            for (&x, &y) in a_row.iter().zip(b_row) {
+                acc += x * y;
+            }
+            out.set(i, j, acc);
+        }
+    }
+    out
+}
+
+/// Pre-PR SpMM: serial per-row axpy over the stored entries.
+fn ref_spmm(s: &SparseMatrix, x: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(s.rows(), x.cols());
+    for r in 0..s.rows() {
+        for (c, v) in s.row_entries(r) {
+            let x_row = x.row(c);
+            for (o, &xv) in out.row_mut(r).iter_mut().zip(x_row) {
+                *o += v * xv;
+            }
+        }
+    }
+    out
+}
+
+/// Pre-PR symmetric NT-Xent (`info_nce`): serial normalisation, serial
+/// scalar-dot similarity blocks, and the serial per-anchor triple loop with
+/// axpy gradient accumulation.
+fn ref_info_nce(z1: &Matrix, z2: &Matrix, tau: f32) -> (f32, Matrix, Matrix) {
+    fn normalize(z: &Matrix) -> (Matrix, Vec<f32>) {
+        let mut u = z.clone();
+        let mut norms = Vec::with_capacity(z.rows());
+        for r in 0..z.rows() {
+            let nrm = ops::norm(z.row(r)).max(1e-12);
+            norms.push(nrm);
+            for v in u.row_mut(r) {
+                *v /= nrm;
+            }
+        }
+        (u, norms)
+    }
+    #[allow(clippy::too_many_arguments)]
+    fn side(
+        s_ab: &Matrix,
+        s_aa: &Matrix,
+        ua: &Matrix,
+        ub: &Matrix,
+        dua: &mut Matrix,
+        dub: &mut Matrix,
+        scale: f32,
+        inv_tau: f32,
+        loss: &mut f64,
+    ) {
+        let n = s_ab.rows();
+        for i in 0..n {
+            let mut mx = f32::NEG_INFINITY;
+            for j in 0..n {
+                mx = mx.max(s_ab.get(i, j));
+                if j != i {
+                    mx = mx.max(s_aa.get(i, j));
+                }
+            }
+            let mut denom = 0.0f32;
+            for j in 0..n {
+                denom += (s_ab.get(i, j) - mx).exp();
+                if j != i {
+                    denom += (s_aa.get(i, j) - mx).exp();
+                }
+            }
+            *loss += f64::from((mx + denom.ln() - s_ab.get(i, i)) * scale);
+            for j in 0..n {
+                let p = (s_ab.get(i, j) - mx).exp() / denom;
+                let g = scale * (p - if i == j { 1.0 } else { 0.0 }) * inv_tau;
+                ops::axpy_slice(dua.row_mut(i), g, ub.row(j));
+                ops::axpy_slice(dub.row_mut(j), g, ua.row(i));
+                if j != i {
+                    let p = (s_aa.get(i, j) - mx).exp() / denom;
+                    let g = scale * p * inv_tau;
+                    ops::axpy_slice(dua.row_mut(i), g, ua.row(j));
+                    ops::axpy_slice(dua.row_mut(j), g, ua.row(i));
+                }
+            }
+        }
+    }
+    fn normalize_backward(u: &Matrix, norms: &[f32], du: &Matrix) -> Matrix {
+        let mut dz = Matrix::zeros(u.rows(), u.cols());
+        for (r, &norm_r) in norms.iter().enumerate() {
+            let ur = u.row(r);
+            let dur = du.row(r);
+            let proj = ops::dot(dur, ur);
+            for ((o, &d), &uv) in dz.row_mut(r).iter_mut().zip(dur).zip(ur) {
+                *o = (d - proj * uv) / norm_r;
+            }
+        }
+        dz
+    }
+
+    let n = z1.rows();
+    let (u1, n1) = normalize(z1);
+    let (u2, n2) = normalize(z2);
+    let inv_tau = 1.0 / tau;
+    let mut s12 = ref_matmul_transpose(&u1, &u2);
+    let mut s11 = ref_matmul_transpose(&u1, &u1);
+    let mut s22 = ref_matmul_transpose(&u2, &u2);
+    s12.scale(inv_tau);
+    s11.scale(inv_tau);
+    s22.scale(inv_tau);
+    let mut loss = 0.0f64;
+    let mut du1 = Matrix::zeros(n, u1.cols());
+    let mut du2 = Matrix::zeros(n, u2.cols());
+    let scale = 1.0 / (2 * n) as f32;
+    side(
+        &s12, &s11, &u1, &u2, &mut du1, &mut du2, scale, inv_tau, &mut loss,
+    );
+    let s21 = s12.transpose();
+    side(
+        &s21, &s22, &u2, &u1, &mut du2, &mut du1, scale, inv_tau, &mut loss,
+    );
+    let d_z1 = normalize_backward(&u1, &n1, &du1);
+    let d_z2 = normalize_backward(&u2, &n2, &du2);
+    (loss as f32, d_z1, d_z2)
+}
+
+// ---------------------------------------------------------------------------
+// Measurement harness
+// ---------------------------------------------------------------------------
+
+fn rand_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = SeedRng::new(seed);
+    let mut m = Matrix::zeros(rows, cols);
+    for v in m.as_mut_slice() {
+        *v = rng.normal();
+    }
+    m
+}
+
+/// Best-of-`reps` wall time in milliseconds; `sink` defeats dead-code
+/// elimination by folding one output element into a checksum.
+fn time_best<F: FnMut() -> f32>(reps: usize, mut f: F) -> (f64, f32) {
+    let mut best = f64::INFINITY;
+    let mut sink = 0.0f32;
+    for _ in 0..reps.max(1) {
+        let t = Instant::now();
+        sink += f();
+        best = best.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+    (best, sink)
+}
+
+#[derive(Serialize)]
+struct GemmEntry {
+    kernel: String,
+    /// Output rows.
+    m: usize,
+    /// Output cols.
+    n: usize,
+    /// Reduction length.
+    k: usize,
+    reps: usize,
+    scalar_ms: f64,
+    blocked_ms: f64,
+    scalar_gflops: f64,
+    blocked_gflops: f64,
+    /// blocked/scalar throughput ratio.
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct SpmmEntry {
+    n: usize,
+    d: usize,
+    nnz: usize,
+    reps: usize,
+    scalar_ms: f64,
+    blocked_ms: f64,
+    scalar_gflops: f64,
+    blocked_gflops: f64,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct InfoNceEntry {
+    n: usize,
+    d: usize,
+    reps: usize,
+    scalar_ms: f64,
+    blocked_ms: f64,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct GraceEntry {
+    dataset: String,
+    nodes: usize,
+    epochs: usize,
+    total_ms: f64,
+    ms_per_epoch: f64,
+}
+
+#[derive(Serialize)]
+struct KernelBenchDump {
+    name: String,
+    mode: String,
+    gemm: Vec<GemmEntry>,
+    spmm: Vec<SpmmEntry>,
+    info_nce: Vec<InfoNceEntry>,
+    grace_epoch: Option<GraceEntry>,
+}
+
+fn gemm_case(kernel: &str, n: usize, d: usize, reps: usize, ref_reps: usize) -> GemmEntry {
+    let (a, b, m_out, n_out, k) = match kernel {
+        // X(n x d) * W(d x d): the layer-forward shape.
+        "matmul" => (rand_matrix(n, d, 1), rand_matrix(d, d, 2), n, d, d),
+        // X^T(d x n) * G(n x d): the weight-gradient shape.
+        "transpose_matmul" => (rand_matrix(n, d, 3), rand_matrix(n, d, 4), d, d, n),
+        // Z(n x d) * Z'(n x d)^T: the InfoNCE similarity shape.
+        "matmul_transpose" => (rand_matrix(n, d, 5), rand_matrix(n, d, 6), n, n, d),
+        other => {
+            eprintln!("unknown gemm kernel {other}");
+            std::process::exit(2);
+        }
+    };
+    let flops = 2.0 * m_out as f64 * n_out as f64 * k as f64;
+    let (blocked_ms, _) = time_best(reps, || match kernel {
+        "matmul" => a.matmul(&b).get(0, 0),
+        "transpose_matmul" => a.transpose_matmul(&b).get(0, 0),
+        _ => a.matmul_transpose(&b).get(0, 0),
+    });
+    let (scalar_ms, _) = time_best(ref_reps, || match kernel {
+        "matmul" => ref_matmul(&a, &b).get(0, 0),
+        "transpose_matmul" => ref_transpose_matmul(&a, &b).get(0, 0),
+        _ => ref_matmul_transpose(&a, &b).get(0, 0),
+    });
+    GemmEntry {
+        kernel: kernel.to_string(),
+        m: m_out,
+        n: n_out,
+        k,
+        reps,
+        scalar_ms,
+        blocked_ms,
+        scalar_gflops: flops / (scalar_ms * 1e6),
+        blocked_gflops: flops / (blocked_ms * 1e6),
+        speedup: scalar_ms / blocked_ms,
+    }
+}
+
+/// Synthetic ring-of-cliques adjacency with ~`degree` entries per row.
+fn synthetic_sparse(n: usize, degree: usize) -> SparseMatrix {
+    let mut triplets = Vec::with_capacity(n * degree);
+    for r in 0..n {
+        for s in 0..degree {
+            let c = (r + 1 + s * s) % n;
+            triplets.push((r, c, 1.0 / degree as f32));
+        }
+    }
+    SparseMatrix::from_triplets(n, n, &triplets)
+}
+
+fn spmm_case(n: usize, d: usize, reps: usize) -> SpmmEntry {
+    let s = synthetic_sparse(n, 16);
+    let x = rand_matrix(n, d, 7);
+    let flops = 2.0 * s.nnz() as f64 * d as f64;
+    let (blocked_ms, _) = time_best(reps, || s.spmm(&x).get(0, 0));
+    let (scalar_ms, _) = time_best(reps, || ref_spmm(&s, &x).get(0, 0));
+    SpmmEntry {
+        n,
+        d,
+        nnz: s.nnz(),
+        reps,
+        scalar_ms,
+        blocked_ms,
+        scalar_gflops: flops / (scalar_ms * 1e6),
+        blocked_gflops: flops / (blocked_ms * 1e6),
+        speedup: scalar_ms / blocked_ms,
+    }
+}
+
+fn info_nce_case(n: usize, d: usize, reps: usize, ref_reps: usize) -> InfoNceEntry {
+    let z1 = rand_matrix(n, d, 8);
+    let z2 = rand_matrix(n, d, 9);
+    let mut scratch = InfoNceScratch::default();
+    // Warm the scratch so the blocked measurement is the steady-state path.
+    let _ = loss::info_nce_with(&z1, &z2, 0.5, &mut scratch);
+    let (blocked_ms, _) = time_best(reps, || loss::info_nce_with(&z1, &z2, 0.5, &mut scratch));
+    let (scalar_ms, _) = time_best(ref_reps, || ref_info_nce(&z1, &z2, 0.5).0);
+    InfoNceEntry {
+        n,
+        d,
+        reps,
+        scalar_ms,
+        blocked_ms,
+        speedup: scalar_ms / blocked_ms,
+    }
+}
+
+fn grace_epoch_case() -> Option<GraceEntry> {
+    let ds = match spec("cora-sim") {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("grace epoch bench: {e}");
+            return None;
+        }
+    };
+    let data = NodeDataset::generate(&ds, 1.0, 11);
+    let epochs = 3usize;
+    let cfg = TrainConfig {
+        epochs,
+        ..TrainConfig::default()
+    };
+    let model = GraceModel::grace();
+    let t = Instant::now();
+    let out = model.pretrain(&data.graph, &data.features, &cfg, &mut SeedRng::new(11));
+    let total_ms = t.elapsed().as_secs_f64() * 1e3;
+    match out {
+        Ok(_) => Some(GraceEntry {
+            dataset: data.name.clone(),
+            nodes: data.num_nodes(),
+            epochs,
+            total_ms,
+            ms_per_epoch: total_ms / epochs as f64,
+        }),
+        Err(e) => {
+            eprintln!("grace epoch bench failed: {e}");
+            None
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Quick-mode CI checks
+// ---------------------------------------------------------------------------
+
+/// The subset of `BENCH_kernels.json` the CI gate inspects (extra fields in
+/// the file are ignored by deserialisation).
+#[derive(serde::Deserialize)]
+struct BaselineGemm {
+    kernel: String,
+    speedup: f64,
+}
+
+#[derive(serde::Deserialize)]
+struct BaselineDump {
+    gemm: Vec<BaselineGemm>,
+}
+
+/// Validates the committed `BENCH_kernels.json`: it must parse and every
+/// recorded gemm speedup must be at least [`MIN_RATIO`].
+fn check_committed_baseline(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let dump: BaselineDump =
+        serde_json::from_str(&text).map_err(|e| format!("{path} does not parse: {e}"))?;
+    if dump.gemm.is_empty() {
+        return Err(format!("{path}: empty gemm array"));
+    }
+    for entry in &dump.gemm {
+        if entry.speedup < f64::from(MIN_RATIO) {
+            return Err(format!(
+                "{path}: recorded {} speedup {:.2} is below {MIN_RATIO}",
+                entry.kernel, entry.speedup
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn print_gemm_table(entries: &[GemmEntry]) {
+    println!(
+        "{:<18} {:>6} {:>6} {:>6} {:>11} {:>11} {:>10} {:>10} {:>8}",
+        "kernel", "m", "n", "k", "scalar(ms)", "blocked(ms)", "sc GF/s", "bl GF/s", "speedup"
+    );
+    for e in entries {
+        println!(
+            "{:<18} {:>6} {:>6} {:>6} {:>11.2} {:>11.2} {:>10.2} {:>10.2} {:>7.2}x",
+            e.kernel,
+            e.m,
+            e.n,
+            e.k,
+            e.scalar_ms,
+            e.blocked_ms,
+            e.scalar_gflops,
+            e.blocked_gflops,
+            e.speedup
+        );
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let mode = if quick { "quick" } else { "full" };
+    println!("kernel_bench — mode: {mode}");
+
+    let shapes: Vec<(usize, usize)> = if quick {
+        vec![(512, 64)]
+    } else {
+        vec![
+            (512, 64),
+            (512, 256),
+            (2048, 64),
+            (2048, 256),
+            (8192, 64),
+            (8192, 256),
+        ]
+    };
+    let spmm_shapes: Vec<(usize, usize)> = if quick {
+        vec![(512, 64)]
+    } else {
+        vec![(512, 64), (2048, 64), (2048, 256), (8192, 256)]
+    };
+    let nce_shapes: Vec<(usize, usize)> = if quick {
+        vec![(512, 64)]
+    } else {
+        vec![(512, 64), (512, 256), (2048, 64), (2048, 256)]
+    };
+
+    let mut gemm = Vec::new();
+    for kernel in ["matmul", "transpose_matmul", "matmul_transpose"] {
+        for &(n, d) in &shapes {
+            let reps = if quick {
+                3
+            } else if n >= 8192 {
+                2
+            } else {
+                4
+            };
+            let ref_reps = if n >= 8192 { 1 } else { reps.min(2) };
+            gemm.push(gemm_case(kernel, n, d, reps, ref_reps));
+        }
+    }
+    println!("\n=== dense GEMM kernels ===");
+    print_gemm_table(&gemm);
+
+    let spmm: Vec<SpmmEntry> = spmm_shapes
+        .iter()
+        .map(|&(n, d)| spmm_case(n, d, if quick { 3 } else { 4 }))
+        .collect();
+    println!("\n=== SpMM (avg degree 16) ===");
+    for e in &spmm {
+        println!(
+            "n={:<6} d={:<4} nnz={:<8} scalar {:>8.2} ms / blocked {:>8.2} ms  ({:.2} -> {:.2} GF/s, {:.2}x)",
+            e.n, e.d, e.nnz, e.scalar_ms, e.blocked_ms, e.scalar_gflops, e.blocked_gflops, e.speedup
+        );
+    }
+
+    let info_nce: Vec<InfoNceEntry> = nce_shapes
+        .iter()
+        .map(|&(n, d)| {
+            let reps = if quick || n >= 2048 { 2 } else { 3 };
+            info_nce_case(n, d, reps, if n >= 2048 { 1 } else { 2 })
+        })
+        .collect();
+    println!("\n=== info_nce_with end to end ===");
+    for e in &info_nce {
+        println!(
+            "n={:<6} d={:<4} scalar {:>9.2} ms / blocked {:>9.2} ms  ({:.2}x)",
+            e.n, e.d, e.scalar_ms, e.blocked_ms, e.speedup
+        );
+    }
+
+    let grace_epoch = if quick { None } else { grace_epoch_case() };
+    if let Some(g) = &grace_epoch {
+        println!(
+            "\n=== GRACE epoch ({} @ {} nodes) ===\n{} epochs in {:.1} ms -> {:.1} ms/epoch",
+            g.dataset, g.nodes, g.epochs, g.total_ms, g.ms_per_epoch
+        );
+    }
+
+    let dump = KernelBenchDump {
+        name: "kernel_bench".to_string(),
+        mode: mode.to_string(),
+        gemm,
+        spmm,
+        info_nce,
+        grace_epoch,
+    };
+    report::write_json(
+        if quick {
+            "kernel_bench_quick"
+        } else {
+            "kernel_bench"
+        },
+        &dump,
+    );
+
+    if quick {
+        // CI gate 1: the blocked kernels measured in this run must not be
+        // slower than MIN_RATIO x the scalar reference measured in this run.
+        let mut failed = false;
+        for e in &dump.gemm {
+            if e.speedup < f64::from(MIN_RATIO) {
+                eprintln!(
+                    "FAIL: {} at m={} n={} k={} measured {:.2}x (< {MIN_RATIO}x scalar baseline)",
+                    e.kernel, e.m, e.n, e.k, e.speedup
+                );
+                failed = true;
+            }
+        }
+        // CI gate 2: the committed trajectory file must parse and be
+        // self-consistent.
+        if let Err(e) = check_committed_baseline("BENCH_kernels.json") {
+            eprintln!("FAIL: {e}");
+            failed = true;
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!(
+            "quick-mode checks passed (blocked >= {MIN_RATIO}x scalar; BENCH_kernels.json ok)"
+        );
+    } else {
+        match serde_json::to_string_pretty(&dump) {
+            Ok(json) => match std::fs::write("BENCH_kernels.json", json) {
+                Ok(()) => println!("[results written to BENCH_kernels.json]"),
+                Err(e) => eprintln!("writing BENCH_kernels.json: {e}"),
+            },
+            Err(e) => eprintln!("serialising BENCH_kernels.json: {e}"),
+        }
+    }
+}

@@ -16,17 +16,40 @@ pub struct SparseMatrix {
 
 impl SparseMatrix {
     /// Builds from COO triplets; duplicates within a row are summed.
+    ///
+    /// Counting sort over rows: one pass sizes every row, a prefix sum
+    /// turns the counts into placement cursors, and a second pass scatters
+    /// the entries into a single flat buffer — replacing the previous
+    /// `Vec<Vec<(u32, f32)>>` staging area (one heap allocation per row).
+    /// Within a row, entries land in input order (the scatter is stable),
+    /// then the same `sort_unstable_by_key` + duplicate fold as before runs
+    /// on the row slice, so the result is bit-identical to the old builder.
     pub fn from_triplets(rows: usize, cols: usize, triplets: &[(usize, usize, f32)]) -> Self {
-        let mut per_row: Vec<Vec<(u32, f32)>> = vec![Vec::new(); rows];
-        for &(r, c, v) in triplets {
+        // Counts accumulate at next[r+1]; the prefix sum turns next[r] into
+        // row r's start offset; the scatter advances next[r] to row r's end.
+        let mut next = vec![0usize; rows + 1];
+        for &(r, c, _) in triplets {
             assert!(r < rows && c < cols, "triplet ({r},{c}) out of range");
-            per_row[r].push((c as u32, v));
+            next[r + 1] += 1;
         }
+        for r in 1..=rows {
+            next[r] += next[r - 1];
+        }
+        let mut entries: Vec<(u32, f32)> = vec![(0, 0.0); triplets.len()];
+        for &(r, c, v) in triplets {
+            entries[next[r]] = (c as u32, v);
+            next[r] += 1;
+        }
+        // After the scatter, next[r] is the end of row r (= start of row
+        // r+1), so row r spans entries[prev_end..next[r]].
         let mut offsets = Vec::with_capacity(rows + 1);
         offsets.push(0);
-        let mut col_indices = Vec::new();
-        let mut values = Vec::new();
-        for row in &mut per_row {
+        let mut col_indices = Vec::with_capacity(triplets.len());
+        let mut values = Vec::with_capacity(triplets.len());
+        let mut start = 0usize;
+        for &end in next.iter().take(rows) {
+            let row = &mut entries[start..end];
+            start = end;
             row.sort_unstable_by_key(|&(c, _)| c);
             let mut i = 0;
             while i < row.len() {
@@ -109,17 +132,45 @@ impl SparseMatrix {
     }
 
     fn spmm_impl(&self, x: &Matrix, out: &mut Matrix) {
+        // Dense-column panel width: PANEL accumulators stay in registers
+        // across all of a row's nonzeros instead of re-streaming the output
+        // row once per nonzero. Each output element still accumulates over
+        // the row's entries in ascending order with a single accumulator,
+        // so the result is bit-identical to the naive loop.
+        const PANEL: usize = 8;
         let d = x.cols();
+        if out.as_mut_slice().is_empty() {
+            return;
+        }
+        let xs = x.as_slice();
         out.as_mut_slice()
             .par_chunks_mut(d)
             .enumerate()
             .for_each(|(r, out_row)| {
                 let lo = self.offsets[r];
                 let hi = self.offsets[r + 1];
-                for (&c, &v) in self.col_indices[lo..hi].iter().zip(&self.values[lo..hi]) {
-                    let x_row = x.row(c as usize);
-                    for (o, &xv) in out_row.iter_mut().zip(x_row) {
-                        *o += v * xv;
+                let cols = &self.col_indices[lo..hi];
+                let vals = &self.values[lo..hi];
+                let d_main = d - d % PANEL;
+                let mut j = 0;
+                while j < d_main {
+                    let mut acc = [0.0f32; PANEL];
+                    for (&c, &v) in cols.iter().zip(vals) {
+                        let xp = &xs[c as usize * d + j..c as usize * d + j + PANEL];
+                        for (s, &xv) in acc.iter_mut().zip(xp) {
+                            *s += v * xv;
+                        }
+                    }
+                    out_row[j..j + PANEL].copy_from_slice(&acc);
+                    j += PANEL;
+                }
+                if d_main < d {
+                    let tail = &mut out_row[d_main..];
+                    for (&c, &v) in cols.iter().zip(vals) {
+                        let xp = &xs[c as usize * d + d_main..(c as usize + 1) * d];
+                        for (o, &xv) in tail.iter_mut().zip(xp) {
+                            *o += v * xv;
+                        }
                     }
                 }
             });
@@ -230,6 +281,62 @@ mod tests {
         assert_eq!(t.rows(), 3);
         assert_eq!(t.cols(), 2);
         assert_eq!(t.transpose(), s);
+    }
+
+    /// The counting-sort builder must match a naive per-row reference
+    /// exactly, including duplicate-sum order, on scattered input with
+    /// duplicates, empty rows, and unsorted columns.
+    #[test]
+    fn counting_sort_builder_matches_reference() {
+        let rows = 7;
+        let cols = 5;
+        // Deterministic scatter with duplicates (incl. a triple) and rows
+        // 2 and 5 left empty.
+        let triplets: Vec<(usize, usize, f32)> = vec![
+            (4, 3, 0.5),
+            (0, 4, 1.0),
+            (6, 0, -2.0),
+            (0, 1, 3.0),
+            (4, 3, 0.25),
+            (1, 2, 7.0),
+            (0, 4, -0.125),
+            (3, 0, 1.5),
+            (4, 3, 0.125),
+            (6, 4, 2.5),
+            (1, 0, -1.0),
+            (3, 2, 0.75),
+        ];
+        let got = SparseMatrix::from_triplets(rows, cols, &triplets);
+        // Naive reference: the pre-counting-sort construction.
+        let mut per_row: Vec<Vec<(u32, f32)>> = vec![Vec::new(); rows];
+        for &(r, c, v) in &triplets {
+            per_row[r].push((c as u32, v));
+        }
+        let mut offsets = vec![0usize];
+        let mut col_indices = Vec::new();
+        let mut values = Vec::new();
+        for row in &mut per_row {
+            row.sort_unstable_by_key(|&(c, _)| c);
+            let mut i = 0;
+            while i < row.len() {
+                let c = row[i].0;
+                let mut v = row[i].1;
+                let mut j = i + 1;
+                while j < row.len() && row[j].0 == c {
+                    v += row[j].1;
+                    j += 1;
+                }
+                col_indices.push(c);
+                values.push(v);
+                i = j;
+            }
+            offsets.push(col_indices.len());
+        }
+        assert_eq!(got.offsets, offsets);
+        assert_eq!(got.col_indices, col_indices);
+        for (a, b) in got.values.iter().zip(&values) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

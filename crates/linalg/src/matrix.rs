@@ -1,8 +1,233 @@
 //! Row-major dense `f32` matrix.
 
+use crate::ops;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+
+/// Micro-tile geometry for the blocked GEMM kernels.
+///
+/// `matmul`/`transpose_matmul` are axpy-style (broadcast one `a` scalar
+/// against a contiguous `b` panel): they tile `MR` output rows by `NR`
+/// output columns, which keeps the `MR x NR` accumulator block (8 SSE
+/// registers of 4 lanes) live across the whole k / r reduction. Each output
+/// element is still a single accumulator reduced in ascending order, so
+/// these kernels are bit-identical to the naive loops.
+///
+/// `matmul_transpose`/`syrk` are dot-style (both operands row-major over
+/// k): they tile `MR_DOT x NR_DOT` output elements, each carrying `LANES`
+/// independent partial sums combined in the fixed [`ops::lane_dot`] order.
+const MR: usize = 4;
+const NR: usize = 8;
+const MR_DOT: usize = 2;
+const NR_DOT: usize = 4;
+const LANES: usize = 4;
+
+/// One block of up to `MR` rows of `out = a_chunk * b` (`b` is `k x oc`,
+/// row-major). Full `MR x NR` panels run register-tiled; the row/column
+/// remainders fall back to the streaming axpy path. Both paths accumulate
+/// each element over `kk` ascending with a single accumulator, so the block
+/// result is bit-identical to the naive ikj loop. `out` must be pre-zeroed.
+fn mm_block(a: &[f32], b: &[f32], out: &mut [f32], k: usize, oc: usize) {
+    let rows = out.len() / oc;
+    let j_main = oc - oc % NR;
+    if rows == MR {
+        let (r0, rest) = a.split_at(k);
+        let (r1, rest) = rest.split_at(k);
+        let (r2, r3) = rest.split_at(k);
+        let ar = [r0, r1, r2, r3];
+        let mut j = 0;
+        while j < j_main {
+            let mut acc = [[0.0f32; NR]; MR];
+            for kk in 0..k {
+                let bp = &b[kk * oc + j..kk * oc + j + NR];
+                for (accm, arm) in acc.iter_mut().zip(&ar) {
+                    let av = arm[kk];
+                    for (s, &bv) in accm.iter_mut().zip(bp) {
+                        *s += av * bv;
+                    }
+                }
+            }
+            for (m, accm) in acc.iter().enumerate() {
+                out[m * oc + j..m * oc + j + NR].copy_from_slice(accm);
+            }
+            j += NR;
+        }
+    }
+    // Row remainder (rows < MR) and the column tail of full blocks share
+    // the streaming scalar path.
+    let j0 = if rows == MR { j_main } else { 0 };
+    if j0 < oc {
+        for m in 0..rows {
+            let arow = &a[m * k..(m + 1) * k];
+            let orow = &mut out[m * oc + j0..m * oc + oc];
+            for (kk, &av) in arow.iter().enumerate() {
+                let bp = &b[kk * oc + j0..kk * oc + oc];
+                for (o, &bv) in orow.iter_mut().zip(bp) {
+                    *o += av * bv;
+                }
+            }
+        }
+    }
+}
+
+/// One block of up to `MR` rows of `out = a^T * b` starting at column `c0`
+/// of `a` (`a` is `nrows x sc`, `b` is `nrows x oc`).
+///
+/// The reduction here runs over input rows `r`, which is the *large*
+/// dimension in GCN backward passes — so unlike [`mm_block`] this streams
+/// each `b` row contiguously once per block (prefetch-friendly at any
+/// depth) and keeps the `MR` output rows hot in L1 as accumulators, giving
+/// `MR`-fold reuse of every `b` row. Each output element still accumulates
+/// over `r` ascending with a single chain, so the result is bit-identical
+/// to the naive loop. `out` must be pre-zeroed.
+fn tm_block(a: &[f32], b: &[f32], out: &mut [f32], c0: usize, sc: usize, oc: usize, nrows: usize) {
+    let rows = out.len() / oc;
+    for r in 0..nrows {
+        let base = r * sc + c0;
+        let ap = &a[base..base + rows];
+        let br = &b[r * oc..(r + 1) * oc];
+        for (m, &av) in ap.iter().enumerate() {
+            let orow = &mut out[m * oc..(m + 1) * oc];
+            for (o, &bv) in orow.iter_mut().zip(br) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+/// `MR_DOT x NR_DOT` register-tiled dot micro-kernel: computes
+/// `out[m][j] = lane_dot(a_m, b_j)` for two `a` rows against four `b` rows,
+/// reusing every loaded chunk eight times. Lane decomposition, combine
+/// order and tail order are exactly those of [`ops::lane_dot`], so each
+/// element is bit-identical to calling `lane_dot` directly.
+fn mt_tile(
+    a0: &[f32],
+    a1: &[f32],
+    b0: &[f32],
+    b1: &[f32],
+    b2: &[f32],
+    b3: &[f32],
+) -> [[f32; NR_DOT]; MR_DOT] {
+    let k = a0.len();
+    let mut acc = [[[0.0f32; LANES]; NR_DOT]; MR_DOT];
+    let it = a0
+        .chunks_exact(LANES)
+        .zip(a1.chunks_exact(LANES))
+        .zip(b0.chunks_exact(LANES))
+        .zip(b1.chunks_exact(LANES))
+        .zip(b2.chunks_exact(LANES))
+        .zip(b3.chunks_exact(LANES));
+    for (((((c0, c1), d0), d1), d2), d3) in it {
+        for l in 0..LANES {
+            let x0 = c0[l];
+            let x1 = c1[l];
+            acc[0][0][l] += x0 * d0[l];
+            acc[0][1][l] += x0 * d1[l];
+            acc[0][2][l] += x0 * d2[l];
+            acc[0][3][l] += x0 * d3[l];
+            acc[1][0][l] += x1 * d0[l];
+            acc[1][1][l] += x1 * d1[l];
+            acc[1][2][l] += x1 * d2[l];
+            acc[1][3][l] += x1 * d3[l];
+        }
+    }
+    let tail = k - k % LANES;
+    let mut out = [[0.0f32; NR_DOT]; MR_DOT];
+    for (m, arow) in [a0, a1].into_iter().enumerate() {
+        for (j, brow) in [b0, b1, b2, b3].into_iter().enumerate() {
+            let lanes = acc[m][j];
+            let mut s = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+            for (&x, &y) in arow[tail..].iter().zip(&brow[tail..]) {
+                s += x * y;
+            }
+            out[m][j] = s;
+        }
+    }
+    out
+}
+
+/// One block of up to `MR_DOT` rows of `out = a_chunk * b^T` (`b` is
+/// `on x k`, row-major). Full `MR_DOT x NR_DOT` tiles go through
+/// [`mt_tile`]; remainders call [`ops::lane_dot`] per element — both
+/// produce identical bits for every element. Fully overwrites `out`.
+fn mt_block(a: &[f32], b: &[f32], out: &mut [f32], k: usize, on: usize) {
+    let rows = out.len() / on;
+    if rows == MR_DOT {
+        let (a0, a1) = a.split_at(k);
+        let (o0, o1) = out.split_at_mut(on);
+        let j_main = on - on % NR_DOT;
+        let mut j = 0;
+        while j < j_main {
+            let t = mt_tile(
+                a0,
+                a1,
+                &b[j * k..(j + 1) * k],
+                &b[(j + 1) * k..(j + 2) * k],
+                &b[(j + 2) * k..(j + 3) * k],
+                &b[(j + 3) * k..(j + 4) * k],
+            );
+            o0[j..j + NR_DOT].copy_from_slice(&t[0]);
+            o1[j..j + NR_DOT].copy_from_slice(&t[1]);
+            j += NR_DOT;
+        }
+        for jj in j_main..on {
+            let brow = &b[jj * k..(jj + 1) * k];
+            o0[jj] = ops::lane_dot(a0, brow);
+            o1[jj] = ops::lane_dot(a1, brow);
+        }
+    } else {
+        for (jj, o) in out.iter_mut().enumerate() {
+            *o = ops::lane_dot(a, &b[jj * k..(jj + 1) * k]);
+        }
+    }
+}
+
+/// Upper-triangle rows `[i0, i0 + rows)` of the Gram matrix `a * a^T`
+/// (`a` is `n x k`): elements `j >= i` per row `i`, via the same
+/// [`mt_tile`]/[`ops::lane_dot`] kernel as [`mt_block`]. Elements below the
+/// diagonal are left untouched (the caller mirrors them afterwards).
+fn syrk_block(a: &[f32], out: &mut [f32], i0: usize, k: usize, n: usize) {
+    let rows = out.len() / n;
+    if rows == MR_DOT {
+        let a0 = &a[i0 * k..(i0 + 1) * k];
+        let a1 = &a[(i0 + 1) * k..(i0 + 2) * k];
+        let (o0, o1) = out.split_at_mut(n);
+        // Corner elements before the shared tile region (j >= i per row).
+        o0[i0] = ops::lane_dot(a0, a0);
+        o0[i0 + 1] = ops::lane_dot(a0, a1);
+        o1[i0 + 1] = ops::lane_dot(a1, a1);
+        let mut j = i0 + MR_DOT;
+        while j + NR_DOT <= n {
+            let t = mt_tile(
+                a0,
+                a1,
+                &a[j * k..(j + 1) * k],
+                &a[(j + 1) * k..(j + 2) * k],
+                &a[(j + 2) * k..(j + 3) * k],
+                &a[(j + 3) * k..(j + 4) * k],
+            );
+            o0[j..j + NR_DOT].copy_from_slice(&t[0]);
+            o1[j..j + NR_DOT].copy_from_slice(&t[1]);
+            j += NR_DOT;
+        }
+        for jj in j..n {
+            let brow = &a[jj * k..(jj + 1) * k];
+            o0[jj] = ops::lane_dot(a0, brow);
+            o1[jj] = ops::lane_dot(a1, brow);
+        }
+    } else {
+        // Single remainder row (odd n).
+        for m in 0..rows {
+            let i = i0 + m;
+            let arow = &a[i * k..(i + 1) * k];
+            let orow = &mut out[m * n..(m + 1) * n];
+            for (jj, o) in orow.iter_mut().enumerate().skip(i) {
+                *o = ops::lane_dot(arow, &a[jj * k..(jj + 1) * k]);
+            }
+        }
+    }
+}
 
 /// A dense row-major `f32` matrix.
 ///
@@ -298,19 +523,17 @@ impl Matrix {
 
     fn matmul_impl(&self, other: &Matrix, out: &mut Matrix) {
         let oc = other.cols;
+        let k = self.cols;
+        if out.data.is_empty() || k == 0 {
+            // `out` is pre-zeroed by the callers; nothing to accumulate.
+            return;
+        }
+        let b = &other.data;
         out.data
-            .par_chunks_mut(oc)
-            .zip(self.data.par_chunks(self.cols))
-            .for_each(|(out_row, a_row)| {
-                for (k, &a) in a_row.iter().enumerate() {
-                    if a == 0.0 {
-                        continue;
-                    }
-                    let b_row = &other.data[k * oc..(k + 1) * oc];
-                    for (o, &b) in out_row.iter_mut().zip(b_row) {
-                        *o += a * b;
-                    }
-                }
+            .par_chunks_mut(MR * oc)
+            .zip(self.data.par_chunks(MR * k))
+            .for_each(|(out_chunk, a_chunk)| {
+                mm_block(a_chunk, b, out_chunk, k, oc);
             });
     }
 
@@ -345,21 +568,17 @@ impl Matrix {
     fn transpose_matmul_impl(&self, other: &Matrix, out: &mut Matrix) {
         let oc = other.cols;
         let sc = self.cols;
+        let nrows = self.rows;
+        if out.data.is_empty() {
+            return;
+        }
+        let a = &self.data;
+        let b = &other.data;
         out.data
-            .par_chunks_mut(oc)
+            .par_chunks_mut(MR * oc)
             .enumerate()
-            .for_each(|(c, out_row)| {
-                // out[c] = Σ_r self[r][c] * other[r], r ascending.
-                for r in 0..self.rows {
-                    let a = self.data[r * sc + c];
-                    if a == 0.0 {
-                        continue;
-                    }
-                    let b_row = &other.data[r * oc..(r + 1) * oc];
-                    for (o, &b) in out_row.iter_mut().zip(b_row) {
-                        *o += a * b;
-                    }
-                }
+            .for_each(|(tile, out_chunk)| {
+                tm_block(a, b, out_chunk, tile * MR, sc, oc, nrows);
             });
     }
 
@@ -389,19 +608,118 @@ impl Matrix {
 
     fn matmul_transpose_impl(&self, other: &Matrix, out: &mut Matrix) {
         let on = other.rows;
+        let k = self.cols;
+        if out.data.is_empty() {
+            return;
+        }
+        if k == 0 {
+            // Empty reduction: every element is an empty lane_dot (0.0).
+            // `out` may hold stale scratch contents, so overwrite explicitly.
+            out.data.fill(0.0);
+            return;
+        }
+        let b = &other.data;
         out.data
-            .par_chunks_mut(on)
-            .zip(self.data.par_chunks(self.cols))
-            .for_each(|(out_row, a_row)| {
-                for (j, o) in out_row.iter_mut().enumerate() {
-                    let b_row = &other.data[j * other.cols..(j + 1) * other.cols];
-                    let mut acc = 0.0f32;
-                    for (&a, &b) in a_row.iter().zip(b_row) {
-                        acc += a * b;
-                    }
-                    *o = acc;
-                }
+            .par_chunks_mut(MR_DOT * on)
+            .zip(self.data.par_chunks(MR_DOT * k))
+            .for_each(|(out_chunk, a_chunk)| {
+                mt_block(a_chunk, b, out_chunk, k, on);
             });
+    }
+
+    /// `self * self^T` — the Gram matrix of the rows of `self`.
+    ///
+    /// Bit-identical to `self.matmul_transpose(self)` but roughly half the
+    /// work: only the upper triangle (including the diagonal) is computed
+    /// with the [`ops::lane_dot`] kernel, then mirrored across the diagonal.
+    /// The mirror is exact because `lane_dot(a, b)` and `lane_dot(b, a)`
+    /// produce identical bits (each partial product commutes; the summation
+    /// order is the same).
+    pub fn syrk(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, self.rows);
+        self.syrk_impl(&mut out);
+        out
+    }
+
+    /// [`Matrix::syrk`] into a reusable output buffer (reshaped, contents
+    /// fully overwritten; bit-identical result).
+    pub fn syrk_into(&self, out: &mut Matrix) {
+        out.reshape(self.rows, self.rows);
+        self.syrk_impl(out);
+    }
+
+    fn syrk_impl(&self, out: &mut Matrix) {
+        let n = self.rows;
+        let k = self.cols;
+        if out.data.is_empty() {
+            return;
+        }
+        if k == 0 {
+            out.data.fill(0.0);
+            return;
+        }
+        let a = &self.data;
+        // Upper triangle (j >= i), parallel over MR_DOT-row tiles.
+        out.data
+            .par_chunks_mut(MR_DOT * n)
+            .enumerate()
+            .for_each(|(tile, out_chunk)| {
+                syrk_block(a, out_chunk, tile * MR_DOT, k, n);
+            });
+        // Mirror into the strict lower triangle. Serial: it is a pure copy
+        // (memory bound) and keeping it single-threaded avoids any write
+        // ordering question.
+        for i in 1..n {
+            for j in 0..i {
+                out.data[i * n + j] = out.data[j * n + i];
+            }
+        }
+    }
+
+    /// `self += other^T`. Requires `self` to be `n x m` where `other` is
+    /// `m x n`. Walked in 32x32 tiles so both operands stream through cache.
+    pub fn add_transpose_assign(&mut self, other: &Matrix) {
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.cols, other.rows),
+            "add_transpose_assign shape mismatch: {}x{} += ({}x{})^T",
+            self.rows,
+            self.cols,
+            other.rows,
+            other.cols
+        );
+        const TB: usize = 32;
+        let (r, c) = (self.rows, self.cols);
+        for ib in (0..r).step_by(TB) {
+            for jb in (0..c).step_by(TB) {
+                for i in ib..(ib + TB).min(r) {
+                    let orow = &mut self.data[i * c..(i + 1) * c];
+                    for (j, o) in orow.iter_mut().enumerate().take((jb + TB).min(c)).skip(jb) {
+                        *o += other.data[j * other.cols + i];
+                    }
+                }
+            }
+        }
+    }
+
+    /// `self += self^T` for a square matrix. Off-diagonal pairs receive the
+    /// same sum `m[i][j] + m[j][i]` on both sides, so the result is exactly
+    /// symmetric; diagonal entries are doubled.
+    pub fn symmetrize_additive(&mut self) {
+        assert_eq!(
+            self.rows, self.cols,
+            "symmetrize_additive needs a square matrix, got {}x{}",
+            self.rows, self.cols
+        );
+        let n = self.rows;
+        for i in 0..n {
+            self.data[i * n + i] *= 2.0;
+            for j in (i + 1)..n {
+                let s = self.data[i * n + j] + self.data[j * n + i];
+                self.data[i * n + j] = s;
+                self.data[j * n + i] = s;
+            }
+        }
     }
 
     /// Element-wise in-place addition.
@@ -700,5 +1018,79 @@ mod tests {
     fn col_means_known() {
         let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
         assert_eq!(a.col_means(), vec![2.0, 3.0]);
+    }
+
+    /// The old inner loops skipped `a == 0.0` entries, silently dropping
+    /// `0.0 * NaN` products; all three kernels must propagate NaN even
+    /// through exact-zero operand entries.
+    #[test]
+    fn nan_propagates_even_through_zero_entries() {
+        // matmul: a[1][2] = 0.0 pairs with b[2][3] = NaN in out[1][3].
+        let mut a = Matrix::filled(3, 4, 1.0);
+        a.set(1, 2, 0.0);
+        let mut b = Matrix::filled(4, 5, 1.0);
+        b.set(2, 3, f32::NAN);
+        let out = a.matmul(&b);
+        assert!(out.get(1, 3).is_nan(), "matmul dropped 0*NaN");
+        assert!(out.get(0, 3).is_nan());
+        assert!(!out.get(1, 2).is_nan());
+
+        // transpose_matmul: a[2][1] = 0.0 pairs with b[2][3] = NaN in
+        // out[1][3] (reduction over input rows).
+        let mut a = Matrix::filled(4, 3, 1.0);
+        a.set(2, 1, 0.0);
+        let mut b = Matrix::filled(4, 5, 1.0);
+        b.set(2, 3, f32::NAN);
+        let out = a.transpose_matmul(&b);
+        assert!(out.get(1, 3).is_nan(), "transpose_matmul dropped 0*NaN");
+        assert!(out.get(0, 3).is_nan());
+        assert!(!out.get(1, 2).is_nan());
+
+        // matmul_transpose: a[1][2] = 0.0 pairs with b[0][2] = NaN.
+        let mut a = Matrix::filled(3, 4, 1.0);
+        a.set(1, 2, 0.0);
+        let mut b = Matrix::filled(2, 4, 1.0);
+        b.set(0, 2, f32::NAN);
+        let out = a.matmul_transpose(&b);
+        assert!(out.get(1, 0).is_nan(), "matmul_transpose dropped 0*NaN");
+        assert!(out.get(0, 0).is_nan());
+        assert!(!out.get(1, 1).is_nan());
+    }
+
+    /// `syrk` must be bit-identical to the full `matmul_transpose(self)`
+    /// (that is the mirror-across-the-diagonal contract), at shapes hitting
+    /// the tile path, the remainder row, and the lane tail.
+    #[test]
+    fn syrk_matches_matmul_transpose_bitwise() {
+        for (n, k) in [(1, 1), (2, 4), (5, 3), (8, 9), (13, 7), (17, 16)] {
+            let a = Matrix::from_vec(n, k, (0..n * k).map(|i| (i as f32 * 0.7).sin()).collect());
+            let full = a.matmul_transpose(&a);
+            let half = a.syrk();
+            for (x, y) in half.as_slice().iter().zip(full.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "syrk mismatch at n={n} k={k}");
+            }
+            // Warm reuse through a dirty scratch buffer.
+            let mut out = Matrix::filled(1, 3, f32::NAN);
+            a.syrk_into(&mut out);
+            assert_eq!(out, full);
+        }
+    }
+
+    #[test]
+    fn add_transpose_assign_known() {
+        let mut m = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let other = Matrix::from_rows(&[&[10.0, 40.0], &[20.0, 50.0], &[30.0, 60.0]]);
+        m.add_transpose_assign(&other);
+        assert_eq!(
+            m,
+            Matrix::from_rows(&[&[11.0, 22.0, 33.0], &[44.0, 55.0, 66.0]])
+        );
+    }
+
+    #[test]
+    fn symmetrize_additive_known() {
+        let mut m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        m.symmetrize_additive();
+        assert_eq!(m, Matrix::from_rows(&[&[2.0, 5.0], &[5.0, 8.0]]));
     }
 }

@@ -43,6 +43,35 @@ pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
     }
 }
 
+/// Dot product with four independent partial sums so the reduction
+/// autovectorizes: lane `l` accumulates elements `l, l+4, l+8, ...` in
+/// ascending order, the lanes combine as `(s0 + s1) + (s2 + s3)`, and the
+/// `len % 4` tail is added last in ascending order. The order is fixed by
+/// construction, so the result is deterministic (but differs from the
+/// single-accumulator [`dot`] in the last bits).
+///
+/// This is the element-level contract of the blocked
+/// [`crate::Matrix::matmul_transpose`] and [`crate::Matrix::syrk_into`]
+/// kernels: every output element they produce is bit-identical to
+/// `lane_dot` of the corresponding rows.
+#[inline]
+pub fn lane_dot(a: &[f32], b: &[f32]) -> f32 {
+    const LANES: usize = 4;
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0.0f32; LANES];
+    for (ca, cb) in a.chunks_exact(LANES).zip(b.chunks_exact(LANES)) {
+        for ((s, &x), &y) in acc.iter_mut().zip(ca).zip(cb) {
+            *s += x * y;
+        }
+    }
+    let mut s = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+    let tail = a.len() - a.len() % LANES;
+    for (&x, &y) in a[tail..].iter().zip(&b[tail..]) {
+        s += x * y;
+    }
+    s
+}
+
 /// `y += s * x` for slices.
 #[inline]
 pub fn axpy_slice(y: &mut [f32], s: f32, x: &[f32]) {

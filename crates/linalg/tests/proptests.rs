@@ -9,6 +9,50 @@ fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
         .prop_map(move |data| Matrix::from_vec(rows, cols, data))
 }
 
+/// Awkward dimensions for the blocked kernels: 1, primes, exact tile
+/// multiples, and just-past-tile sizes (micro-tiles are 4x8 for the
+/// axpy-style kernels, 2x4 with 4 reduction lanes for the dot-style ones).
+fn awkward_dim() -> impl Strategy<Value = usize> {
+    const DIMS: [usize; 14] = [1, 2, 3, 4, 5, 7, 8, 9, 11, 13, 16, 17, 31, 33];
+    (0usize..DIMS.len()).prop_map(|i| DIMS[i])
+}
+
+/// Deterministic pseudo-random matrix for a (shape, salt) pair.
+fn dense(rows: usize, cols: usize, salt: u64) -> Matrix {
+    let mut rng = SeedRng::new(0x9e37 ^ salt);
+    Matrix::from_vec(rows, cols, (0..rows * cols).map(|_| rng.normal()).collect())
+}
+
+/// Naive serial reference: one ascending-k accumulator per element.
+fn ref_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(a.rows(), b.cols());
+    for i in 0..a.rows() {
+        for j in 0..b.cols() {
+            let mut acc = 0.0f32;
+            for k in 0..a.cols() {
+                acc += a.get(i, k) * b.get(k, j);
+            }
+            out.set(i, j, acc);
+        }
+    }
+    out
+}
+
+/// Naive serial reference for `a^T * b`: ascending input rows.
+fn ref_transpose_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(a.cols(), b.cols());
+    for c in 0..a.cols() {
+        for j in 0..b.cols() {
+            let mut acc = 0.0f32;
+            for r in 0..a.rows() {
+                acc += a.get(r, c) * b.get(r, j);
+            }
+            out.set(c, j, acc);
+        }
+    }
+    out
+}
+
 proptest! {
     /// (AB)C == A(BC) up to float tolerance.
     #[test]
@@ -115,6 +159,55 @@ proptest! {
         let set: std::collections::HashSet<_> = s.iter().collect();
         prop_assert_eq!(set.len(), k);
         prop_assert!(s.iter().all(|&i| i < n));
+    }
+
+    /// The blocked `matmul` is bit-identical to the naive serial reference
+    /// at awkward shapes: each element keeps a single accumulator reduced
+    /// over k in ascending order, in the tile path and both tails.
+    #[test]
+    fn blocked_matmul_bitwise_equals_naive(m in awkward_dim(), k in awkward_dim(),
+                                           n in awkward_dim(), salt in any::<u64>()) {
+        let a = dense(m, k, salt);
+        let b = dense(k, n, salt ^ 1);
+        let got = a.matmul(&b);
+        let expect = ref_matmul(&a, &b);
+        for (x, y) in got.as_slice().iter().zip(expect.as_slice()) {
+            prop_assert_eq!(x.to_bits(), y.to_bits(), "{}x{} * {}x{}", m, k, k, n);
+        }
+    }
+
+    /// Same bitwise contract for the blocked `transpose_matmul`.
+    #[test]
+    fn blocked_transpose_matmul_bitwise_equals_naive(r in awkward_dim(), c in awkward_dim(),
+                                                     n in awkward_dim(), salt in any::<u64>()) {
+        let a = dense(r, c, salt);
+        let b = dense(r, n, salt ^ 2);
+        let got = a.transpose_matmul(&b);
+        let expect = ref_transpose_matmul(&a, &b);
+        for (x, y) in got.as_slice().iter().zip(expect.as_slice()) {
+            prop_assert_eq!(x.to_bits(), y.to_bits(), "{}x{} ^T * {}x{}", r, c, r, n);
+        }
+    }
+
+    /// The blocked `matmul_transpose` uses the multi-lane reduction: every
+    /// element must be bit-identical to `ops::lane_dot` of the operand rows
+    /// (its documented contract) and close to the plain serial dot.
+    #[test]
+    fn blocked_matmul_transpose_matches_lane_dot(m in awkward_dim(), n in awkward_dim(),
+                                                 k in awkward_dim(), salt in any::<u64>()) {
+        let a = dense(m, k, salt);
+        let b = dense(n, k, salt ^ 3);
+        let got = a.matmul_transpose(&b);
+        for i in 0..m {
+            for j in 0..n {
+                let lane = ops::lane_dot(a.row(i), b.row(j));
+                prop_assert_eq!(got.get(i, j).to_bits(), lane.to_bits(),
+                                "({},{}) of {}x{} * ({}x{})^T", i, j, m, k, n, k);
+                let serial = ops::dot(a.row(i), b.row(j));
+                let diff = (got.get(i, j) - serial).abs();
+                prop_assert!(diff <= 1e-4 * (1.0 + serial.abs().max(got.get(i, j).abs())));
+            }
+        }
     }
 
     /// weighted_index never selects a zero-weight item when positive weights

@@ -1,0 +1,83 @@
+//! Thread-count invariance of the blocked GEMM kernels.
+//!
+//! Determinism contract (DESIGN.md §11): every kernel must produce bitwise
+//! identical output regardless of `RAYON_NUM_THREADS`. The vendored rayon
+//! stand-in reads that variable once per process, so each thread setting
+//! needs its own process: the test re-execs its own binary as a child per
+//! setting, each child prints an FNV-1a fingerprint of the kernel outputs,
+//! and the parent asserts all fingerprints match.
+
+use e2gcl_linalg::{Matrix, SeedRng};
+use std::process::Command;
+
+const CHILD_ENV: &str = "E2GCL_THREAD_INVARIANCE_CHILD";
+
+fn dense(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = SeedRng::new(seed);
+    Matrix::from_vec(rows, cols, (0..rows * cols).map(|_| rng.normal()).collect())
+}
+
+fn fingerprint(ms: &[&Matrix]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for m in ms {
+        for v in m.as_slice() {
+            h ^= u64::from(v.to_bits());
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// Runs every blocked kernel at sizes large enough that the stand-in pool
+/// actually fans out (it needs >= 128 parallel items; row-tiles are 4 rows
+/// for the axpy kernels, 2 for the dot kernels).
+fn compute_fingerprint() -> u64 {
+    let a = dense(1024, 33, 7);
+    let b = dense(33, 29, 8);
+    let mm = a.matmul(&b); // 256 row-tiles
+    let wide = dense(300, 600, 9);
+    let rhs = dense(300, 31, 10);
+    let tm = wide.transpose_matmul(&rhs); // 150 row-tiles of the 600x31 output
+    let bt = dense(517, 33, 11);
+    let mt = a.matmul_transpose(&bt); // 512 row-tiles
+    let sy = dense(700, 17, 12).syrk(); // 350 row-tiles
+    fingerprint(&[&mm, &tm, &mt, &sy])
+}
+
+#[test]
+fn kernels_bitwise_invariant_across_thread_counts() {
+    if std::env::var(CHILD_ENV).is_ok() {
+        println!("FP:{:016x}", compute_fingerprint());
+        return;
+    }
+    let exe = std::env::current_exe().expect("test binary path");
+    let mut fps = Vec::new();
+    for threads in ["1", "4"] {
+        let out = Command::new(&exe)
+            .arg("kernels_bitwise_invariant_across_thread_counts")
+            .arg("--exact")
+            .arg("--nocapture")
+            .env(CHILD_ENV, "1")
+            .env("RAYON_NUM_THREADS", threads)
+            .output()
+            .expect("spawn child test process");
+        assert!(
+            out.status.success(),
+            "child with {threads} threads failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        // With --nocapture the marker can share a line with libtest output.
+        let at = stdout
+            .find("FP:")
+            .unwrap_or_else(|| panic!("no FP marker in child output: {stdout}"));
+        fps.push(stdout[at + 3..at + 19].to_string());
+    }
+    assert_eq!(
+        fps[0], fps[1],
+        "kernel output differs between RAYON_NUM_THREADS=1 and 4"
+    );
+    // The in-process pool (whatever its size) must agree too.
+    let here = format!("{:016x}", compute_fingerprint());
+    assert_eq!(fps[0], here, "parent fingerprint differs from children");
+}

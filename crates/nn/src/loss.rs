@@ -9,6 +9,7 @@
 //! * [`cosine_bootstrap`] — BGRL's negative-free cosine objective.
 
 use e2gcl_linalg::{activations, ops, Matrix};
+use rayon::prelude::*;
 
 /// Output of the Eq. (5) contrastive loss.
 #[derive(Debug)]
@@ -171,8 +172,9 @@ pub fn info_nce(z1: &Matrix, z2: &Matrix, tau: f32) -> InfoNceOutput {
     }
 }
 
-/// Reusable buffers for [`info_nce_with`]: normalised views, the three
-/// `n x n` similarity blocks, and both gradient chains.
+/// Reusable buffers for [`info_nce_with`]: normalised views, the four
+/// `n x n` similarity/gradient-coefficient blocks, per-anchor loss terms,
+/// and both gradient chains.
 #[derive(Debug, Default)]
 pub struct InfoNceScratch {
     u1: Matrix,
@@ -183,8 +185,11 @@ pub struct InfoNceScratch {
     s11: Matrix,
     s22: Matrix,
     s21: Matrix,
+    loss1: Vec<f32>,
+    loss2: Vec<f32>,
     du1: Matrix,
     du2: Matrix,
+    gtmp: Matrix,
     d_z1: Matrix,
     d_z2: Matrix,
 }
@@ -201,58 +206,85 @@ impl InfoNceScratch {
     }
 }
 
-/// One NT-Xent direction: anchors at view `a` contrast against all of view
-/// `b` (`s_ab`) plus intra-view (`s_aa`, excluding self).
-#[allow(clippy::too_many_arguments)]
-fn nt_xent_side(
-    s_ab: &Matrix,
-    s_aa: &Matrix,
-    ua: &Matrix,
-    ub: &Matrix,
-    dua: &mut Matrix,
-    dub: &mut Matrix,
+/// One NT-Xent direction, parallel over anchor rows: anchors at view `a`
+/// contrast against all of view `b` (`s_ab`) plus intra-view (`s_aa`,
+/// excluding self).
+///
+/// Consumes the `1/tau`-scaled similarity blocks in place, replacing them
+/// with gradient coefficients: `s_ab[i][j] <- scale·inv_tau·(p_ab − δ_ij)`
+/// and `s_aa[i][j] <- scale·inv_tau·p_aa` (diagonal zero), where `p` are
+/// the softmax probabilities over anchor `i`'s `2n−1` terms. The embedding
+/// gradients then reduce to plain GEMMs over these blocks (see
+/// [`info_nce_with`]), so every cross-row reduction runs inside the
+/// deterministic blocked kernels instead of serial `axpy` scatter.
+/// `row_loss[i]` receives anchor `i`'s scaled loss term; rows are
+/// independent, so the parallel pass is trivially deterministic.
+fn nt_xent_rows(
+    s_ab: &mut Matrix,
+    s_aa: &mut Matrix,
     scale: f32,
     inv_tau: f32,
-    loss: &mut f64,
+    row_loss: &mut [f32],
 ) {
     let n = s_ab.rows();
-    for i in 0..n {
-        // Log-sum-exp over 2n−1 terms, stabilised by the row max.
-        let mut mx = f32::NEG_INFINITY;
-        for j in 0..n {
-            mx = mx.max(s_ab.get(i, j));
-            if j != i {
-                mx = mx.max(s_aa.get(i, j));
+    debug_assert_eq!(s_ab.shape(), (n, n));
+    debug_assert_eq!(s_aa.shape(), (n, n));
+    debug_assert_eq!(row_loss.len(), n);
+    let g_unit = scale * inv_tau;
+    s_ab.as_mut_slice()
+        .par_chunks_mut(n)
+        .zip(s_aa.as_mut_slice().par_chunks_mut(n))
+        .zip(row_loss.par_iter_mut())
+        .enumerate()
+        .for_each(|(i, ((ab_row, aa_row), l))| {
+            let pos = ab_row[i];
+            // Log-sum-exp over 2n−1 terms, stabilised by the row max.
+            let mut mx = f32::NEG_INFINITY;
+            for &v in ab_row.iter() {
+                mx = mx.max(v);
             }
-        }
-        let mut denom = 0.0f32;
-        for j in 0..n {
-            denom += (s_ab.get(i, j) - mx).exp();
-            if j != i {
-                denom += (s_aa.get(i, j) - mx).exp();
+            for (j, &v) in aa_row.iter().enumerate() {
+                if j != i {
+                    mx = mx.max(v);
+                }
             }
-        }
-        *loss += f64::from((mx + denom.ln() - s_ab.get(i, i)) * scale);
-        // Gradients: dL/ds_ab[i,j] = scale*(p_ab − δ_ij);
-        //            dL/ds_aa[i,j] = scale*p_aa (j ≠ i).
-        for j in 0..n {
-            let p = (s_ab.get(i, j) - mx).exp() / denom;
-            let g = scale * (p - if i == j { 1.0 } else { 0.0 }) * inv_tau;
-            ops::axpy_slice(dua.row_mut(i), g, ub.row(j));
-            ops::axpy_slice(dub.row_mut(j), g, ua.row(i));
-            if j != i {
-                let p = (s_aa.get(i, j) - mx).exp() / denom;
-                let g = scale * p * inv_tau;
-                ops::axpy_slice(dua.row_mut(i), g, ua.row(j));
-                ops::axpy_slice(dua.row_mut(j), g, ua.row(i));
+            let mut denom = 0.0f32;
+            for v in ab_row.iter_mut() {
+                *v = (*v - mx).exp();
+                denom += *v;
             }
-        }
-    }
+            for (j, v) in aa_row.iter_mut().enumerate() {
+                if j == i {
+                    *v = 0.0;
+                } else {
+                    *v = (*v - mx).exp();
+                    denom += *v;
+                }
+            }
+            *l = (mx + denom.ln() - pos) * scale;
+            // exp -> gradient coefficient.
+            let gd = g_unit / denom;
+            for (j, v) in ab_row.iter_mut().enumerate() {
+                *v = *v * gd - if j == i { g_unit } else { 0.0 };
+            }
+            for v in aa_row.iter_mut() {
+                *v *= gd;
+            }
+        });
 }
 
 /// [`info_nce`] into reusable buffers: bit-identical loss and gradients
 /// (read via [`InfoNceScratch::d_z1`]/[`InfoNceScratch::d_z2`]), zero
 /// matrix allocations once the scratch is warm.
+///
+/// The backward pass is fully GEMM-based. With `G12`/`G21`/`G11`/`G22` the
+/// gradient-coefficient blocks produced by [`nt_xent_rows`] (so
+/// `Gab[i][j] = ∂L/∂(u_a·u_b)[i][j]`), the chain rule gives
+/// `du1 = (G12 + G21^T)·u2 + (G11 + G11^T)·u1` and
+/// `du2 = (G12 + G21^T)^T·u1 + (G22 + G22^T)·u2`, all computed by the
+/// blocked [`Matrix::matmul_into`]/[`Matrix::transpose_matmul_into`]
+/// kernels. The `s11`/`s22` Gram blocks come from [`Matrix::syrk_into`]
+/// (half the dot products of a full `matmul_transpose`, mirrored).
 pub fn info_nce_with(z1: &Matrix, z2: &Matrix, tau: f32, s: &mut InfoNceScratch) -> f32 {
     let n = z1.rows();
     assert_eq!(z2.rows(), n);
@@ -263,24 +295,41 @@ pub fn info_nce_with(z1: &Matrix, z2: &Matrix, tau: f32, s: &mut InfoNceScratch)
     normalize_rows_into(z2, &mut s.u2, &mut s.n2);
     let inv_tau = 1.0 / tau;
     s.u1.matmul_transpose_into(&s.u2, &mut s.s12); // s12[i][j] = u1_i · u2_j
-    s.u1.matmul_transpose_into(&s.u1, &mut s.s11);
-    s.u2.matmul_transpose_into(&s.u2, &mut s.s22);
+    s.u1.syrk_into(&mut s.s11);
+    s.u2.syrk_into(&mut s.s22);
     s.s12.scale(inv_tau);
     s.s11.scale(inv_tau);
     s.s22.scale(inv_tau);
-
-    let mut loss = 0.0f64;
-    s.du1.reset_zeroed(n, s.u1.cols());
-    s.du2.reset_zeroed(n, s.u2.cols());
-    let scale = 1.0 / (2 * n) as f32;
-
-    nt_xent_side(
-        &s.s12, &s.s11, &s.u1, &s.u2, &mut s.du1, &mut s.du2, scale, inv_tau, &mut loss,
-    );
+    // Snapshot s21 = s12^T before the in-place row pass consumes s12.
     s.s12.transpose_into(&mut s.s21);
-    nt_xent_side(
-        &s.s21, &s.s22, &s.u2, &s.u1, &mut s.du2, &mut s.du1, scale, inv_tau, &mut loss,
-    );
+
+    let scale = 1.0 / (2 * n) as f32;
+    s.loss1.clear();
+    s.loss1.resize(n, 0.0);
+    s.loss2.clear();
+    s.loss2.resize(n, 0.0);
+    nt_xent_rows(&mut s.s12, &mut s.s11, scale, inv_tau, &mut s.loss1);
+    nt_xent_rows(&mut s.s21, &mut s.s22, scale, inv_tau, &mut s.loss2);
+    // Per-anchor terms are summed serially in a fixed order (side 1 rows
+    // ascending, then side 2), independent of the thread count.
+    let mut loss = 0.0f64;
+    for &l in &s.loss1 {
+        loss += f64::from(l);
+    }
+    for &l in &s.loss2 {
+        loss += f64::from(l);
+    }
+
+    // Gradient GEMMs (see the function docs for the algebra).
+    s.s12.add_transpose_assign(&s.s21); // s12 <- H = G12 + G21^T
+    s.s11.symmetrize_additive(); // s11 <- G11 + G11^T
+    s.s22.symmetrize_additive(); // s22 <- G22 + G22^T
+    s.s12.matmul_into(&s.u2, &mut s.du1); // du1 = H·u2 ...
+    s.s11.matmul_into(&s.u1, &mut s.gtmp);
+    s.du1.add_assign(&s.gtmp); // ... + (G11+G11^T)·u1
+    s.s12.transpose_matmul_into(&s.u1, &mut s.du2); // du2 = H^T·u1 ...
+    s.s22.matmul_into(&s.u2, &mut s.gtmp);
+    s.du2.add_assign(&s.gtmp); // ... + (G22+G22^T)·u2
 
     normalize_backward_into(&s.u1, &s.n1, &s.du1, &mut s.d_z1);
     normalize_backward_into(&s.u2, &s.n2, &s.du2, &mut s.d_z2);
@@ -295,18 +344,26 @@ pub fn normalize_rows(z: &Matrix) -> (Matrix, Vec<f32>) {
     (u, norms)
 }
 
-/// [`normalize_rows`] into reusable buffers.
+/// [`normalize_rows`] into reusable buffers. Parallel over rows (each row
+/// is independent, so the result is thread-count invariant).
 pub fn normalize_rows_into(z: &Matrix, u: &mut Matrix, norms: &mut Vec<f32>) {
     u.copy_from(z);
     norms.clear();
-    norms.reserve(z.rows());
-    for r in 0..z.rows() {
-        let nrm = ops::norm(z.row(r)).max(1e-12);
-        norms.push(nrm);
-        for v in u.row_mut(r) {
-            *v /= nrm;
-        }
+    norms.resize(z.rows(), 1e-12);
+    let cols = z.cols();
+    if cols == 0 {
+        return;
     }
+    u.as_mut_slice()
+        .par_chunks_mut(cols)
+        .zip(norms.par_iter_mut())
+        .for_each(|(row, nrm)| {
+            let n = ops::norm(row).max(1e-12);
+            *nrm = n;
+            for v in row {
+                *v /= n;
+            }
+        });
 }
 
 /// Jacobian of row normalisation: `dz = (du − (du·u)u) / ||z||`.
@@ -316,19 +373,27 @@ pub fn normalize_backward(u: &Matrix, norms: &[f32], du: &Matrix) -> Matrix {
     dz
 }
 
-/// [`normalize_backward`] into a reusable buffer.
+/// [`normalize_backward`] into a reusable buffer. Parallel over rows (each
+/// row is independent, so the result is thread-count invariant).
 pub fn normalize_backward_into(u: &Matrix, norms: &[f32], du: &Matrix, dz: &mut Matrix) {
     dz.reset_zeroed(u.rows(), u.cols());
     assert_eq!(norms.len(), u.rows());
-    for (r, &norm_r) in norms.iter().enumerate() {
-        let ur = u.row(r);
-        let dur = du.row(r);
-        let proj = ops::dot(dur, ur);
-        let out = dz.row_mut(r);
-        for ((o, &d), &uv) in out.iter_mut().zip(dur).zip(ur) {
-            *o = (d - proj * uv) / norm_r;
-        }
+    let cols = u.cols();
+    if cols == 0 {
+        return;
     }
+    dz.as_mut_slice()
+        .par_chunks_mut(cols)
+        .zip(norms.par_iter())
+        .enumerate()
+        .for_each(|(r, (out, &norm_r))| {
+            let ur = u.row(r);
+            let dur = du.row(r);
+            let proj = ops::dot(dur, ur);
+            for ((o, &d), &uv) in out.iter_mut().zip(dur).zip(ur) {
+                *o = (d - proj * uv) / norm_r;
+            }
+        });
 }
 
 /// Binary cross-entropy with logits; `targets` in `{0,1}`. Returns

@@ -1,0 +1,78 @@
+//! Thread-count invariance of the parallel InfoNCE path.
+//!
+//! Same re-exec pattern as the linalg `thread_invariance` test: the rayon
+//! stand-in fixes its pool size per process, so the test spawns one child
+//! per `RAYON_NUM_THREADS` setting and compares fingerprints of the loss
+//! and both gradients.
+
+use e2gcl_linalg::{Matrix, SeedRng};
+use e2gcl_nn::loss::{info_nce_with, InfoNceScratch};
+use std::process::Command;
+
+const CHILD_ENV: &str = "E2GCL_NN_THREAD_INVARIANCE_CHILD";
+
+fn dense(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = SeedRng::new(seed);
+    Matrix::from_vec(rows, cols, (0..rows * cols).map(|_| rng.normal()).collect())
+}
+
+fn fnv(h: &mut u64, bits: u32) {
+    *h ^= u64::from(bits);
+    *h = h.wrapping_mul(0x100_0000_01b3);
+}
+
+/// 600 anchors: enough rows/row-tiles that every parallel stage of
+/// `info_nce_with` (normalisation, the NT-Xent row pass, the gradient
+/// GEMMs) fans out on a multi-thread pool.
+fn compute_fingerprint() -> u64 {
+    let z1 = dense(600, 16, 40);
+    let z2 = dense(600, 16, 41);
+    let mut s = InfoNceScratch::default();
+    let loss = info_nce_with(&z1, &z2, 0.5, &mut s);
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    fnv(&mut h, loss.to_bits());
+    for v in s.d_z1().as_slice() {
+        fnv(&mut h, v.to_bits());
+    }
+    for v in s.d_z2().as_slice() {
+        fnv(&mut h, v.to_bits());
+    }
+    h
+}
+
+#[test]
+fn info_nce_bitwise_invariant_across_thread_counts() {
+    if std::env::var(CHILD_ENV).is_ok() {
+        println!("FP:{:016x}", compute_fingerprint());
+        return;
+    }
+    let exe = std::env::current_exe().expect("test binary path");
+    let mut fps = Vec::new();
+    for threads in ["1", "4"] {
+        let out = Command::new(&exe)
+            .arg("info_nce_bitwise_invariant_across_thread_counts")
+            .arg("--exact")
+            .arg("--nocapture")
+            .env(CHILD_ENV, "1")
+            .env("RAYON_NUM_THREADS", threads)
+            .output()
+            .expect("spawn child test process");
+        assert!(
+            out.status.success(),
+            "child with {threads} threads failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        // With --nocapture the marker can share a line with libtest output.
+        let at = stdout
+            .find("FP:")
+            .unwrap_or_else(|| panic!("no FP marker in child output: {stdout}"));
+        fps.push(stdout[at + 3..at + 19].to_string());
+    }
+    assert_eq!(
+        fps[0], fps[1],
+        "info_nce output differs between RAYON_NUM_THREADS=1 and 4"
+    );
+    let here = format!("{:016x}", compute_fingerprint());
+    assert_eq!(fps[0], here, "parent fingerprint differs from children");
+}

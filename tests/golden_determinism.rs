@@ -144,22 +144,30 @@ fn cases() -> Vec<(&'static str, Box<dyn ContrastiveModel>, bool)> {
 }
 
 /// Seed-state fingerprints recorded from the pre-engine training loops.
+// Regenerated ONCE for the blocked-GEMM PR (DESIGN.md §11), for three
+// legitimate numeric-order reasons (semantics unchanged):
+// `matmul_transpose`/`syrk` moved to a fixed 4-lane reduction
+// (`ops::lane_dot`), the InfoNCE backward was reformulated as GEMMs, and
+// `matmul`/`transpose_matmul` dropped their `a == 0.0` skip (exact zeros —
+// e.g. from ReLU — now contribute `±0.0` terms to the chains they used to
+// skip). The `deepwalk`/`node2vec`/`e2gcl-margin-sgc` fingerprints came out
+// unchanged, as expected: those paths avoid all three effects.
 const GOLDEN: &[(&str, u64)] = &[
-    ("grace", 0xb80c06e0e9f3d8d9),
-    ("gca", 0xd73bc3932828e6f9),
-    ("bgrl", 0x62c9cfeba55eec6c),
-    ("afgrl", 0x85d664595cbe11a0),
-    ("dgi", 0xfb3d5caaf43332c5),
-    ("gae", 0xe770e772c5be8e48),
-    ("vgae", 0x8f006a2032fdebdf),
-    ("mvgrl", 0x7af0a5aa9d16009e),
-    ("adgcl", 0xf45b3ab7de98640d),
+    ("grace", 0xcb8a917ae87670a2),
+    ("gca", 0x9ff2446c8d276df2),
+    ("bgrl", 0x65ab5b100e6e4e36),
+    ("afgrl", 0xb25acc4fccee9853),
+    ("dgi", 0x67a1c37e39f7c833),
+    ("gae", 0x089a37fb8b16db6e),
+    ("vgae", 0xb9271bb4e50f72fe),
+    ("mvgrl", 0xc6359ffb362f310c),
+    ("adgcl", 0x40c5eb5fa7f79278),
     ("deepwalk", 0x7481d94f09b4f097),
     ("node2vec", 0xa19f41d34123344e),
-    ("e2gcl-margin-gcn", 0x4e70c369a3a89ff4),
-    ("e2gcl-infonce-sage", 0xdc3a1ba7e5facd39),
+    ("e2gcl-margin-gcn", 0x2b6c6a6de5717f8d),
+    ("e2gcl-infonce-sage", 0x59fa7c7894852bb4),
     ("e2gcl-margin-sgc", 0xde4bdcd50c87962e),
-    ("e2gcl-per-node-ego", 0x22e2e8cf3e350057),
+    ("e2gcl-per-node-ego", 0x6cf508447739a263),
 ];
 
 #[test]
