@@ -17,7 +17,12 @@
 #   7. serve smoke run            — train a tiny model, save an artifact,
 #                                   reload it, and answer a batch of top-k
 #                                   queries through the CLI
-#   8. kernel bench smoke         — kernel_bench --quick runs the smallest
+#   8. crash-safety smoke         — a fault-injected torn artifact write is
+#                                   quarantined on next load, and a durable
+#                                   training checkpoint lets `train --resume`
+#                                   continue to the same answers as an
+#                                   uninterrupted run
+#   9. kernel bench smoke         — kernel_bench --quick runs the smallest
 #                                   shape of every blocked GEMM kernel and
 #                                   fails if any is slower than 0.8x its
 #                                   scalar reference or if the committed
@@ -90,6 +95,38 @@ echo "$query_out" | grep -q "top-5 cosine neighbours"
 # pipe and kill the CLI mid-print.
 inductive_out=$(target/release/e2gcl-cli query --artifact="$artifact" --node=1 --k=3 --mode=inductive)
 echo "$inductive_out" | grep -q "top-3 cosine neighbours"
+
+echo "==> crash-safety smoke: torn write -> quarantine -> resume"
+# Simulate a crash mid-save: --fault-torn-write leaves a truncated artifact
+# (and exits non-zero), the next load must quarantine it to *.corrupt with a
+# typed error, and --resume must pick up the durable checkpoint the crashed
+# run left behind and land on the same answers as an uninterrupted run.
+crash_artifact=target/ci-crash-artifact.bin
+crash_ckpt=target/ci-crash-ckpt.bin
+rm -f "$crash_artifact" "$crash_artifact.corrupt" "$crash_ckpt"
+crash_flags="--dataset cora-sim --scale 0.05 --epochs 6 --seed 3"
+if target/release/e2gcl-cli train $crash_flags --save "$crash_artifact" \
+    --checkpoint "$crash_ckpt" --checkpoint-every 2 --fault-torn-write 100; then
+    echo "error: torn-write train must exit non-zero" >&2
+    exit 1
+fi
+test -s "$crash_ckpt"                          # the durable checkpoint survived the crash
+[ "$(stat -c %s "$crash_artifact")" -eq 100 ]  # the artifact is torn
+if load_out=$(target/release/e2gcl-cli query --artifact "$crash_artifact" --node 0 --k 3 2>&1); then
+    echo "error: loading a torn artifact must fail" >&2
+    exit 1
+fi
+echo "$load_out" | grep -q "artifact quarantined to"
+test -s "$crash_artifact.corrupt"              # quarantined aside...
+test ! -e "$crash_artifact"                    # ...not left in place
+target/release/e2gcl-cli train $crash_flags --save "$crash_artifact" \
+    --checkpoint "$crash_ckpt" --checkpoint-every 2 --resume true
+clean_artifact=target/ci-crash-clean.bin
+target/release/e2gcl-cli train $crash_flags --save "$clean_artifact"
+resumed_q=$(target/release/e2gcl-cli query --artifact "$crash_artifact" --node 0 --k 5 2>/dev/null)
+clean_q=$(target/release/e2gcl-cli query --artifact "$clean_artifact" --node 0 --k 5 2>/dev/null)
+[ "$resumed_q" = "$clean_q" ]                  # resume converged on the clean answers
+rm -f "$crash_artifact" "$crash_artifact.corrupt" "$crash_ckpt" "$clean_artifact"
 
 echo "==> kernel bench smoke: blocked kernels vs scalar reference + recorded baseline"
 cargo run --release --offline -q -p e2gcl-bench --bin kernel_bench -- --quick

@@ -13,8 +13,8 @@ use e2gcl_datasets::registry;
 use e2gcl_selector::greedy::GreedySelector;
 use e2gcl_selector::NodeSelector;
 use e2gcl_serve::{
-    run_latency_bench, Artifact, ArtifactMeta, BatchServer, BenchOptions, EmbeddingStore,
-    InductiveEngine,
+    run_latency_bench, run_overload_bench, Artifact, ArtifactMeta, BatchServer, BenchOptions,
+    EmbeddingStore, InductiveEngine, OverloadOptions, RuntimeConfig, ServeFaultPlan,
 };
 use e2gcl_views::{ViewConfig, ViewGenerator};
 use serde::Serialize;
@@ -87,8 +87,24 @@ fn common(args: &Args) -> Result<Common, String> {
     let data_spec = spec(&dataset).map_err(|e| e.to_string())?;
     let data = NodeDataset::generate(&data_spec, scale, seed);
     let model = build_model(&args.get("model", "E2GCL"))?;
+    let checkpoint = args.get("checkpoint", "");
+    let checkpoint_every: usize = args.get_parse("checkpoint-every", 5)?;
+    let resume: bool = args.get_parse("resume", false)?;
+    if resume && checkpoint.is_empty() {
+        return Err("--resume true requires --checkpoint <path>".to_string());
+    }
+    let durable = if checkpoint.is_empty() {
+        None
+    } else {
+        Some(DurableConfig {
+            path: checkpoint,
+            every_epochs: checkpoint_every,
+            resume,
+        })
+    };
     let cfg = TrainConfig {
         epochs,
+        durable,
         ..TrainConfig::default()
     };
     cfg.validate().map_err(|e| e.to_string())?;
@@ -400,6 +416,7 @@ pub fn train(argv: &[String]) -> i32 {
         let args = Args::parse(argv)?;
         let c = common(&args)?;
         let save_path = args.get("save", "model.e2gcl");
+        let torn_keep: usize = args.get_parse("fault-torn-write", 0)?;
         eprintln!(
             "training {} on {} ({} nodes, {} edges)...",
             c.model.name(),
@@ -408,6 +425,14 @@ pub fn train(argv: &[String]) -> i32 {
             c.data.graph.num_edges()
         );
         let artifact = train_artifact(&c)?;
+        if torn_keep > 0 {
+            artifact
+                .save_torn(Path::new(&save_path), torn_keep)
+                .map_err(|e| e.to_string())?;
+            return Err(format!(
+                "simulated crash: torn artifact write left {torn_keep} bytes at {save_path}"
+            ));
+        }
         artifact
             .save(Path::new(&save_path))
             .map_err(|e| e.to_string())?;
@@ -479,6 +504,7 @@ struct ServeBenchDump {
     num_nodes: usize,
     embedding_dim: usize,
     batches: Vec<e2gcl_serve::BatchBenchReport>,
+    overload: e2gcl_serve::OverloadReport,
 }
 
 /// `e2gcl serve-bench`
@@ -489,6 +515,11 @@ pub fn serve_bench(argv: &[String]) -> i32 {
         let rounds: usize = args.get_parse("rounds", 50)?;
         let k: usize = args.get_parse("k", 10)?;
         let json_path = args.get("json", "BENCH_serve.json");
+        let burst: usize = args.get_parse("burst", 64)?;
+        let overload_rounds: usize = args.get_parse("overload-rounds", 30)?;
+        let queue_cap: usize = args.get_parse("queue-cap", 32)?;
+        let deadline_us: u64 = args.get_parse("deadline-us", 0)?;
+        let inductive_fail_every: usize = args.get_parse("inductive-fail-every", 7)?;
         let (artifact, data) = if path.is_empty() {
             let c = common(&args)?;
             eprintln!(
@@ -503,8 +534,9 @@ pub fn serve_bench(argv: &[String]) -> i32 {
             let data = dataset_of(&artifact.meta)?;
             (artifact, data)
         };
-        let mut server = BatchServer::from_artifact(&artifact, data.graph, data.features)
-            .map_err(|e| e.to_string())?;
+        let mut server =
+            BatchServer::from_artifact(&artifact, data.graph.clone(), data.features.clone())
+                .map_err(|e| e.to_string())?;
         let opts = BenchOptions {
             rounds,
             k,
@@ -527,6 +559,51 @@ pub fn serve_bench(argv: &[String]) -> i32 {
                 r.throughput_qps
             );
         }
+        // Overload section: a second server with a bounded queue, deadlines
+        // and a seed-scoped fault plan, saturated past capacity to measure
+        // shed counts, degraded answers and tail latency under pressure.
+        let runtime = RuntimeConfig {
+            queue_capacity: queue_cap,
+            default_deadline_us: (deadline_us > 0).then_some(deadline_us),
+            high_water: queue_cap,
+            ..RuntimeConfig::default()
+        };
+        let plan = ServeFaultPlan {
+            only_seed: Some(artifact.meta.seed),
+            inductive_fail_every,
+            inductive_fail_attempts: 0,
+            ..ServeFaultPlan::default()
+        };
+        let mut overload_server = BatchServer::from_artifact(&artifact, data.graph, data.features)
+            .map_err(|e| e.to_string())?
+            .with_runtime(runtime)
+            .with_fault_plan(plan);
+        let overload_opts = OverloadOptions {
+            rounds: overload_rounds,
+            burst,
+            k,
+            ..OverloadOptions::default()
+        };
+        let mut overload_rng = SeedRng::new(artifact.meta.seed ^ 0x0e4e);
+        let overload = run_overload_bench(&mut overload_server, &overload_opts, &mut overload_rng);
+        println!(
+            "overload: offered {} admitted {} shed(overload) {} shed(deadline) {} \
+             degraded {} retries {} failed {}",
+            overload.offered,
+            overload.admitted,
+            overload.shed_overload,
+            overload.shed_deadline,
+            overload.degraded,
+            overload.retries,
+            overload.failed
+        );
+        println!(
+            "overload: backpressure {}/{} rounds (throttled {}), saturated p99 {:.1} us",
+            overload.backpressure_rounds,
+            overload_rounds,
+            overload.throttled_rounds,
+            overload.latency.p99_us
+        );
         let dump = ServeBenchDump {
             name: "serve_latency".to_string(),
             model: artifact.meta.model.clone(),
@@ -534,6 +611,7 @@ pub fn serve_bench(argv: &[String]) -> i32 {
             num_nodes: artifact.embeddings.rows(),
             embedding_dim: artifact.embeddings.cols(),
             batches: reports,
+            overload,
         };
         std::fs::write(
             &json_path,

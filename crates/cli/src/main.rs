@@ -69,6 +69,9 @@ COMMON OPTIONS (accepted as `--flag value` or `--flag=value`):
                          GAE | VGAE | ADGCL | DW | N2V      (default E2GCL)
     --epochs <n>         pre-training epochs (default 30)
     --seed <u64>         RNG seed (default 0)
+    --checkpoint <path>  durable training checkpoint path (off by default)
+    --checkpoint-every <n>  epochs between durable checkpoints (default 5)
+    --resume <bool>      resume from --checkpoint if present (default false)
 
 PRETRAIN:
     --out <path>         output JSON path (default embeddings.json)
@@ -89,6 +92,9 @@ GRAPHCLS:
 
 TRAIN:
     --save <path>        artifact output path (default model.e2gcl)
+    --fault-torn-write <bytes>  fault injection: write only the first
+                         <bytes> bytes of the artifact (no atomic rename),
+                         then exit non-zero — simulates a crash mid-save
 
 QUERY:
     --artifact <path>    artifact to load (default model.e2gcl)
@@ -100,6 +106,12 @@ SERVE-BENCH:
     --artifact <path>    artifact to serve (omit to train a fresh model first)
     --rounds <n>         batches per batch size (default 50)
     --k <n>              top-k per query (default 10)
-    --json <path>        machine-readable report (default BENCH_serve.json)"
+    --json <path>        machine-readable report (default BENCH_serve.json)
+    --burst <n>          overload section: requests per burst (default 64)
+    --overload-rounds <n>  overload section: bursts offered (default 30)
+    --queue-cap <n>      bounded admission queue + high-water mark (default 32)
+    --deadline-us <n>    per-request deadline budget, 0 = none (default 0)
+    --inductive-fail-every <n>  inject a persistent inductive fault on every
+                         n-th query to exercise degradation (default 7)"
     );
 }

@@ -1,0 +1,585 @@
+//! Durable, resumable training checkpoints.
+//!
+//! A [`TrainCheckpoint`] is everything the [`crate::engine::EpochDriver`]
+//! needs to continue an interrupted run **bitwise identically**: the next
+//! epoch to execute, the guard's numeric state, the recorded loss curve and
+//! embedding snapshots, and the model step's mutable cross-epoch state
+//! ([`StepState`]: parameter/optimiser matrices plus exact RNG stream
+//! positions). Everything *immutable* over epochs — the dataset, the node
+//! selection, the view generator, the initial weights — is deliberately
+//! not stored: it is reconstructed deterministically by re-running the
+//! model's setup under the same master seed, then overwritten from the
+//! checkpoint. That keeps checkpoints small (optimiser state + weights,
+//! not the whole training context) and makes config drift detectable.
+//!
+//! # On-disk layout (version 1)
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic  b"E2GCLCKP"
+//! 8       4     format version, u32 LE (currently 1)
+//! 12      8     payload length in bytes, u64 LE
+//! 20      8     FNV-1a 64-bit checksum of the payload, u64 LE
+//! 28      ...   payload
+//! ```
+//!
+//! Payload, in order (integers LE, floats as IEEE-754 bit patterns):
+//! `next_epoch` u64 · config fingerprint u64 · guard state · loss curve ·
+//! embedding snapshots · step state. Files are written through
+//! [`crate::durable::atomic_write`], so a crash never leaves a torn
+//! checkpoint at the destination path; a corrupt file found on load is
+//! quarantined (renamed `*.corrupt`) with a typed
+//! [`TrainError::Checkpoint`].
+
+use crate::config::TrainConfig;
+use crate::durable::{atomic_write, fnv1a64, quarantine};
+use crate::guard::GuardState;
+use e2gcl_linalg::rng::RngState;
+use e2gcl_linalg::{Matrix, SeedRng, TrainError};
+use e2gcl_nn::Adam;
+use std::path::Path;
+
+/// Leading 8 bytes of every checkpoint file.
+pub const MAGIC: [u8; 8] = *b"E2GCLCKP";
+/// Current checkpoint format version.
+pub const VERSION: u32 = 1;
+/// Size of the fixed header (magic + version + payload length + checksum).
+pub const HEADER_LEN: usize = 28;
+
+/// A model step's mutable cross-epoch state, as generic containers.
+///
+/// Each model defines its own layout (the order of `matrices`, the meaning
+/// of `scalars`) — a checkpoint is only ever restored into the same model
+/// under the same config, which the config fingerprint enforces.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct StepState {
+    /// Parameter and optimiser-moment matrices.
+    pub matrices: Vec<Matrix>,
+    /// Exact RNG stream positions (e.g. the training RNG).
+    pub rngs: Vec<RngState>,
+    /// Scalar state (step counts, layout markers), as f64.
+    pub scalars: Vec<f64>,
+}
+
+/// The canonical layout of [`StepState`] for an encoder trainer: encoder
+/// parameters, optional extra parameter matrices (e.g. a projection head),
+/// Adam state and the training RNG — unpacked back into typed pieces.
+#[derive(Debug)]
+pub struct TrainerState {
+    /// Primary (Adam-trained) parameter matrices.
+    pub params: Vec<Matrix>,
+    /// Extra parameter matrices outside the Adam group.
+    pub extra: Vec<Matrix>,
+    /// Adam step count.
+    pub adam_t: u32,
+    /// Adam first moments (empty before the first step).
+    pub adam_m: Vec<Matrix>,
+    /// Adam second moments (paired with `adam_m`).
+    pub adam_v: Vec<Matrix>,
+    /// Restored training RNG, positioned exactly where the producing run's
+    /// was.
+    pub rng: SeedRng,
+}
+
+impl StepState {
+    /// Packs the canonical encoder-trainer layout (see [`TrainerState`]).
+    pub fn pack_trainer(
+        params: &[Matrix],
+        extra: &[Matrix],
+        opt: &Adam,
+        rng: &SeedRng,
+    ) -> StepState {
+        let (t, m, v) = opt.state();
+        let mut matrices = Vec::with_capacity(params.len() + extra.len() + m.len() + v.len());
+        matrices.extend(params.iter().cloned());
+        matrices.extend(extra.iter().cloned());
+        matrices.extend(m.iter().cloned());
+        matrices.extend(v.iter().cloned());
+        StepState {
+            matrices,
+            rngs: vec![rng.state()],
+            scalars: vec![
+                f64::from(t),
+                params.len() as f64,
+                extra.len() as f64,
+                m.len() as f64,
+            ],
+        }
+    }
+
+    /// Inverse of [`StepState::pack_trainer`]. `n_params` / `n_extra` are
+    /// the counts the restoring model expects; any mismatch (a checkpoint
+    /// from a different architecture) is a typed error, not a panic.
+    pub fn unpack_trainer(
+        &self,
+        n_params: usize,
+        n_extra: usize,
+    ) -> Result<TrainerState, TrainError> {
+        let fail = |msg: String| Err(TrainError::Checkpoint(msg));
+        if self.scalars.len() != 4 || self.rngs.len() != 1 {
+            return fail(format!(
+                "trainer state expects 4 scalars and 1 rng, found {} and {}",
+                self.scalars.len(),
+                self.rngs.len()
+            ));
+        }
+        let t = self.scalars[0] as u32;
+        let (sp, se, sm) = (
+            self.scalars[1] as usize,
+            self.scalars[2] as usize,
+            self.scalars[3] as usize,
+        );
+        if sp != n_params || se != n_extra {
+            return fail(format!(
+                "trainer state has {sp} params / {se} extra, model expects {n_params} / {n_extra}"
+            ));
+        }
+        if self.matrices.len() != n_params + n_extra + 2 * sm {
+            return fail(format!(
+                "trainer state has {} matrices, layout requires {}",
+                self.matrices.len(),
+                n_params + n_extra + 2 * sm
+            ));
+        }
+        if !(sm == 0 || sm == n_params) {
+            return fail(format!(
+                "adam moments cover {sm} matrices for {n_params} params"
+            ));
+        }
+        let mut it = self.matrices.iter().cloned();
+        let params: Vec<Matrix> = it.by_ref().take(n_params).collect();
+        let extra: Vec<Matrix> = it.by_ref().take(n_extra).collect();
+        let adam_m: Vec<Matrix> = it.by_ref().take(sm).collect();
+        let adam_v: Vec<Matrix> = it.collect();
+        Ok(TrainerState {
+            params,
+            extra,
+            adam_t: t,
+            adam_m,
+            adam_v,
+            rng: SeedRng::from_state(&self.rngs[0]),
+        })
+    }
+}
+
+/// Copies restored parameter matrices over live ones, shape-checked.
+pub fn restore_params(live: &mut [Matrix], saved: &[Matrix]) -> Result<(), TrainError> {
+    if live.len() != saved.len() {
+        return Err(TrainError::Checkpoint(format!(
+            "checkpoint has {} parameter matrices, model has {}",
+            saved.len(),
+            live.len()
+        )));
+    }
+    for (p, src) in live.iter_mut().zip(saved) {
+        if (p.rows(), p.cols()) != (src.rows(), src.cols()) {
+            return Err(TrainError::Checkpoint(format!(
+                "parameter shape mismatch: checkpoint {}x{}, model {}x{}",
+                src.rows(),
+                src.cols(),
+                p.rows(),
+                p.cols()
+            )));
+        }
+        *p = src.clone();
+    }
+    Ok(())
+}
+
+/// One resumable training checkpoint (see module docs for the format).
+#[derive(Clone, Debug, PartialEq)]
+pub struct TrainCheckpoint {
+    /// The next epoch the driver should execute.
+    pub next_epoch: usize,
+    /// [`config_fingerprint`] of the producing run's `TrainConfig`.
+    pub cfg_hash: u64,
+    /// Numeric-guard state at the checkpoint.
+    pub guard: GuardState,
+    /// Loss curve recorded so far.
+    pub loss_curve: Vec<f32>,
+    /// `(seconds, embeddings)` snapshots recorded so far.
+    pub snapshots: Vec<(f64, Matrix)>,
+    /// The model step's mutable state.
+    pub step: StepState,
+}
+
+/// Fingerprint of the parts of a `TrainConfig` that must match between the
+/// producing and resuming run. Two blocks are excluded on purpose: the
+/// `durable` block (the resuming run flips `resume`, and may relocate the
+/// file, without changing the trajectory) and the `fault` plan (crash-safety
+/// tests interrupt a run *with* an injected fault and resume it without
+/// one — the already-trained epochs are identical either way).
+pub fn config_fingerprint(cfg: &TrainConfig) -> u64 {
+    let mut stripped = cfg.clone();
+    stripped.durable = None;
+    stripped.fault = None;
+    let json = serde_json::to_string(&stripped).unwrap_or_default();
+    fnv1a64(json.as_bytes())
+}
+
+impl TrainCheckpoint {
+    /// Serialises to the version-1 byte format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut p = Vec::new();
+        p.extend_from_slice(&(self.next_epoch as u64).to_le_bytes());
+        p.extend_from_slice(&self.cfg_hash.to_le_bytes());
+        // Guard state.
+        p.push(self.guard.baseline.is_some() as u8);
+        p.extend_from_slice(&self.guard.baseline.unwrap_or(0.0).to_bits().to_le_bytes());
+        p.extend_from_slice(&(self.guard.consecutive_failures as u64).to_le_bytes());
+        p.extend_from_slice(&self.guard.lr_scale.to_bits().to_le_bytes());
+        p.extend_from_slice(&(self.guard.skipped_epochs.len() as u32).to_le_bytes());
+        for &e in &self.guard.skipped_epochs {
+            p.extend_from_slice(&(e as u64).to_le_bytes());
+        }
+        // Loss curve.
+        p.extend_from_slice(&(self.loss_curve.len() as u32).to_le_bytes());
+        for &l in &self.loss_curve {
+            p.extend_from_slice(&l.to_bits().to_le_bytes());
+        }
+        // Embedding snapshots.
+        p.extend_from_slice(&(self.snapshots.len() as u32).to_le_bytes());
+        for (secs, m) in &self.snapshots {
+            p.extend_from_slice(&secs.to_bits().to_le_bytes());
+            put_matrix(&mut p, m);
+        }
+        // Step state.
+        p.extend_from_slice(&(self.step.matrices.len() as u32).to_le_bytes());
+        for m in &self.step.matrices {
+            put_matrix(&mut p, m);
+        }
+        p.extend_from_slice(&(self.step.rngs.len() as u32).to_le_bytes());
+        for r in &self.step.rngs {
+            p.extend_from_slice(&r.to_bytes());
+        }
+        p.extend_from_slice(&(self.step.scalars.len() as u32).to_le_bytes());
+        for &s in &self.step.scalars {
+            p.extend_from_slice(&s.to_bits().to_le_bytes());
+        }
+
+        let mut out = Vec::with_capacity(HEADER_LEN + p.len());
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&(p.len() as u64).to_le_bytes());
+        out.extend_from_slice(&fnv1a64(&p).to_le_bytes());
+        out.extend_from_slice(&p);
+        out
+    }
+
+    /// Parses a checkpoint, verifying magic, version, length and checksum.
+    pub fn from_bytes(bytes: &[u8]) -> Result<TrainCheckpoint, TrainError> {
+        let fail = |msg: String| Err(TrainError::Checkpoint(msg));
+        if bytes.len() < HEADER_LEN {
+            return fail(format!(
+                "truncated header: {} of {HEADER_LEN} bytes",
+                bytes.len()
+            ));
+        }
+        if bytes[..8] != MAGIC {
+            return fail(format!("bad magic {:02x?}", &bytes[..8]));
+        }
+        let version = u32::from_le_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]);
+        if version != VERSION {
+            return fail(format!(
+                "unsupported checkpoint version {version} (this build reads {VERSION})"
+            ));
+        }
+        let mut len8 = [0u8; 8];
+        len8.copy_from_slice(&bytes[12..20]);
+        let payload_len = u64::from_le_bytes(len8) as usize;
+        let mut sum8 = [0u8; 8];
+        sum8.copy_from_slice(&bytes[20..28]);
+        let expected = u64::from_le_bytes(sum8);
+        let body = &bytes[HEADER_LEN..];
+        if body.len() != payload_len {
+            return fail(format!(
+                "payload length mismatch: header says {payload_len}, file has {}",
+                body.len()
+            ));
+        }
+        let actual = fnv1a64(body);
+        if actual != expected {
+            return fail(format!(
+                "checksum mismatch: header says {expected:#018x}, payload hashes to {actual:#018x}"
+            ));
+        }
+
+        let mut cur = Reader::new(body);
+        let next_epoch = cur.take_u64()? as usize;
+        let cfg_hash = cur.take_u64()?;
+        let has_baseline = cur.take_u8()? != 0;
+        let baseline_bits = cur.take_u32()?;
+        let guard = GuardState {
+            baseline: has_baseline.then(|| f32::from_bits(baseline_bits)),
+            consecutive_failures: cur.take_u64()? as usize,
+            lr_scale: f32::from_bits(cur.take_u32()?),
+            skipped_epochs: {
+                let n = cur.take_u32()? as usize;
+                let mut v = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    v.push(cur.take_u64()? as usize);
+                }
+                v
+            },
+        };
+        let n_loss = cur.take_u32()? as usize;
+        let mut loss_curve = Vec::with_capacity(n_loss.min(4096));
+        for _ in 0..n_loss {
+            loss_curve.push(f32::from_bits(cur.take_u32()?));
+        }
+        let n_snap = cur.take_u32()? as usize;
+        let mut snapshots = Vec::with_capacity(n_snap.min(1024));
+        for _ in 0..n_snap {
+            let secs = f64::from_bits(cur.take_u64()?);
+            snapshots.push((secs, cur.take_matrix()?));
+        }
+        let n_mat = cur.take_u32()? as usize;
+        let mut matrices = Vec::with_capacity(n_mat.min(1024));
+        for _ in 0..n_mat {
+            matrices.push(cur.take_matrix()?);
+        }
+        let n_rng = cur.take_u32()? as usize;
+        let mut rngs = Vec::with_capacity(n_rng.min(64));
+        for _ in 0..n_rng {
+            let b = cur.take(44)?;
+            rngs.push(
+                RngState::from_bytes(b)
+                    .ok_or_else(|| TrainError::Checkpoint("malformed rng state".into()))?,
+            );
+        }
+        let n_scalar = cur.take_u32()? as usize;
+        let mut scalars = Vec::with_capacity(n_scalar.min(4096));
+        for _ in 0..n_scalar {
+            scalars.push(f64::from_bits(cur.take_u64()?));
+        }
+        cur.finish()?;
+        Ok(TrainCheckpoint {
+            next_epoch,
+            cfg_hash,
+            guard,
+            loss_curve,
+            snapshots,
+            step: StepState {
+                matrices,
+                rngs,
+                scalars,
+            },
+        })
+    }
+
+    /// Writes the checkpoint durably ([`atomic_write`]): the path never
+    /// holds a torn file, even across a crash mid-save.
+    pub fn save_durable(&self, path: &Path) -> Result<(), TrainError> {
+        atomic_write(path, &self.to_bytes())
+            .map_err(|e| TrainError::Checkpoint(format!("{}: {e}", path.display())))
+    }
+
+    /// Reads and parses a checkpoint. A file that exists but fails to parse
+    /// is quarantined (renamed `*.corrupt`) and the returned error names
+    /// both the cause and the quarantine location.
+    pub fn load_durable(path: &Path) -> Result<TrainCheckpoint, TrainError> {
+        let bytes = std::fs::read(path)
+            .map_err(|e| TrainError::Checkpoint(format!("{}: {e}", path.display())))?;
+        match Self::from_bytes(&bytes) {
+            Ok(ckpt) => Ok(ckpt),
+            Err(err) => {
+                let note = match quarantine(path) {
+                    Ok(q) => format!("quarantined to {}", q.display()),
+                    Err(e) => format!("quarantine failed: {e}"),
+                };
+                Err(TrainError::Checkpoint(format!(
+                    "{}: {err}; {note}",
+                    path.display()
+                )))
+            }
+        }
+    }
+}
+
+fn put_matrix(out: &mut Vec<u8>, m: &Matrix) {
+    out.extend_from_slice(&(m.rows() as u32).to_le_bytes());
+    out.extend_from_slice(&(m.cols() as u32).to_le_bytes());
+    for &v in m.as_slice() {
+        out.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+}
+
+/// Bounds-checked sequential reader over the payload.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], TrainError> {
+        let available = self.buf.len() - self.pos;
+        if available < n {
+            return Err(TrainError::Checkpoint(format!(
+                "truncated payload: field needs {n} bytes, {available} left"
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn take_u8(&mut self) -> Result<u8, TrainError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn take_u32(&mut self) -> Result<u32, TrainError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn take_u64(&mut self) -> Result<u64, TrainError> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_le_bytes(a))
+    }
+
+    fn take_matrix(&mut self) -> Result<Matrix, TrainError> {
+        let rows = self.take_u32()? as usize;
+        let cols = self.take_u32()? as usize;
+        let count = rows.checked_mul(cols).and_then(|c| c.checked_mul(4));
+        let bytes = self.take(count.ok_or_else(|| {
+            TrainError::Checkpoint(format!("matrix shape {rows}x{cols} overflows"))
+        })?)?;
+        let data: Vec<f32> = bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_bits(u32::from_le_bytes([c[0], c[1], c[2], c[3]])))
+            .collect();
+        Ok(Matrix::from_vec(rows, cols, data))
+    }
+
+    fn finish(&self) -> Result<(), TrainError> {
+        if self.pos != self.buf.len() {
+            return Err(TrainError::Checkpoint(format!(
+                "{} unread bytes inside payload",
+                self.buf.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use e2gcl_linalg::SeedRng;
+
+    fn sample() -> TrainCheckpoint {
+        let mut rng = SeedRng::new(5);
+        rng.uniform();
+        let mut m = Matrix::zeros(3, 2);
+        for v in m.as_mut_slice() {
+            *v = rng.normal();
+        }
+        TrainCheckpoint {
+            next_epoch: 7,
+            cfg_hash: config_fingerprint(&TrainConfig::default()),
+            guard: GuardState {
+                baseline: Some(1.25),
+                consecutive_failures: 1,
+                lr_scale: 0.5,
+                skipped_epochs: vec![2, 4],
+            },
+            loss_curve: vec![1.5, 1.2, f32::NAN, 0.9],
+            snapshots: vec![(0.25, m.clone())],
+            step: StepState {
+                matrices: vec![m, Matrix::filled(2, 2, -0.5)],
+                rngs: vec![rng.state()],
+                scalars: vec![3.0, 2.0],
+            },
+        }
+    }
+
+    #[test]
+    fn round_trips_bitwise() {
+        let a = sample();
+        let bytes = a.to_bytes();
+        let b = TrainCheckpoint::from_bytes(&bytes).unwrap();
+        assert_eq!(a.next_epoch, b.next_epoch);
+        assert_eq!(a.cfg_hash, b.cfg_hash);
+        assert_eq!(a.guard.skipped_epochs, b.guard.skipped_epochs);
+        assert_eq!(a.step.rngs, b.step.rngs);
+        assert_eq!(a.step.matrices, b.step.matrices);
+        // NaN losses survive as the same bit pattern.
+        assert_eq!(a.loss_curve[2].to_bits(), b.loss_curve[2].to_bits());
+        assert_eq!(bytes, b.to_bytes());
+    }
+
+    #[test]
+    fn corruption_is_typed() {
+        let bytes = sample().to_bytes();
+        // Bad magic.
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(TrainCheckpoint::from_bytes(&bad).is_err());
+        // Flipped payload bit.
+        let mut bad = bytes.clone();
+        let mid = HEADER_LEN + (bytes.len() - HEADER_LEN) / 2;
+        bad[mid] ^= 0x20;
+        let err = TrainCheckpoint::from_bytes(&bad).unwrap_err();
+        assert!(matches!(err, TrainError::Checkpoint(_)));
+        assert!(err.to_string().contains("checksum"));
+        // Truncation.
+        assert!(TrainCheckpoint::from_bytes(&bytes[..bytes.len() - 2]).is_err());
+        assert!(TrainCheckpoint::from_bytes(&bytes[..5]).is_err());
+        // Trailing bytes.
+        let mut bad = bytes.clone();
+        bad.push(0);
+        assert!(TrainCheckpoint::from_bytes(&bad).is_err());
+    }
+
+    #[test]
+    fn save_load_durable_round_trips() {
+        let path = std::env::temp_dir().join("e2gcl_ckpt_unit.bin");
+        let a = sample();
+        a.save_durable(&path).unwrap();
+        let b = TrainCheckpoint::load_durable(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(a.to_bytes(), b.to_bytes());
+    }
+
+    #[test]
+    fn torn_checkpoint_is_quarantined_on_load() {
+        let path = std::env::temp_dir().join("e2gcl_ckpt_torn.bin");
+        let bytes = sample().to_bytes();
+        crate::durable::write_torn(&path, &bytes, bytes.len() / 2).unwrap();
+        let err = TrainCheckpoint::load_durable(&path).unwrap_err();
+        assert!(matches!(err, TrainError::Checkpoint(_)));
+        assert!(err.to_string().contains("quarantined"), "{err}");
+        assert!(!path.exists(), "torn file must be moved aside");
+        let q = std::env::temp_dir().join("e2gcl_ckpt_torn.bin.corrupt");
+        assert!(q.exists());
+        let _ = std::fs::remove_file(&q);
+    }
+
+    #[test]
+    fn missing_checkpoint_is_a_typed_error() {
+        let err = TrainCheckpoint::load_durable(Path::new("/nonexistent/ckpt.bin")).unwrap_err();
+        assert!(matches!(err, TrainError::Checkpoint(_)));
+    }
+
+    #[test]
+    fn config_fingerprint_ignores_durable_block() {
+        use crate::config::DurableConfig;
+        let base = TrainConfig::default();
+        let mut with_durable = base.clone();
+        with_durable.durable = Some(DurableConfig {
+            path: "/tmp/ckpt.bin".into(),
+            every_epochs: 2,
+            resume: true,
+        });
+        assert_eq!(config_fingerprint(&base), config_fingerprint(&with_durable));
+        let mut other = base.clone();
+        other.epochs += 1;
+        assert_ne!(config_fingerprint(&base), config_fingerprint(&other));
+    }
+}

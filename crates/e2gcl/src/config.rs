@@ -4,6 +4,26 @@ use crate::guard::{FaultPlan, GuardConfig};
 use e2gcl_linalg::TrainError;
 use serde::{Deserialize, Serialize};
 
+/// Durable (crash-safe, resumable) checkpoint settings.
+///
+/// Distinct from [`TrainConfig::checkpoint_every`], which records in-memory
+/// embedding snapshots for accuracy-vs-time curves: a *durable* checkpoint
+/// is written to disk atomically and carries enough state (weights,
+/// optimiser moments, RNG stream positions, guard state) to continue the
+/// run bitwise-identically after a crash.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DurableConfig {
+    /// Checkpoint file path (a String so the config stays JSON-portable).
+    pub path: String,
+    /// Persist a checkpoint every this many applied epochs (>= 1). The
+    /// final epoch always checkpoints.
+    pub every_epochs: usize,
+    /// Restore from `path` before training. The file must exist and its
+    /// config fingerprint must match this run's.
+    #[serde(default)]
+    pub resume: bool,
+}
+
 /// Hyperparameters common to every contrastive model.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct TrainConfig {
@@ -28,6 +48,9 @@ pub struct TrainConfig {
     /// Deterministic fault injection (tests only; `None` in production).
     #[serde(default)]
     pub fault: Option<FaultPlan>,
+    /// Durable resumable checkpoints (`None` = no disk writes).
+    #[serde(default)]
+    pub durable: Option<DurableConfig>,
 }
 
 impl Default for TrainConfig {
@@ -42,6 +65,7 @@ impl Default for TrainConfig {
             checkpoint_every: None,
             guard: GuardConfig::default(),
             fault: None,
+            durable: None,
         }
     }
 }
@@ -94,6 +118,17 @@ impl TrainConfig {
                 ));
             }
         }
+        if let Some(d) = &self.durable {
+            if d.path.is_empty() {
+                return fail("durable.path must not be empty".to_string());
+            }
+            if d.every_epochs < 1 {
+                return fail(format!(
+                    "durable.every_epochs must be >= 1, got {}",
+                    d.every_epochs
+                ));
+            }
+        }
         Ok(())
     }
 }
@@ -132,6 +167,27 @@ mod tests {
         let c: TrainConfig = serde_json::from_str(json).unwrap();
         assert_eq!(c.guard, GuardConfig::default());
         assert!(c.fault.is_none());
+        assert!(c.durable.is_none());
+    }
+
+    #[test]
+    fn validate_checks_durable_settings() {
+        let durable = |path: &str, every| {
+            Some(DurableConfig {
+                path: path.into(),
+                every_epochs: every,
+                resume: false,
+            })
+        };
+        let mut c = TrainConfig {
+            durable: durable("/tmp/ckpt.bin", 2),
+            ..TrainConfig::default()
+        };
+        assert!(c.validate().is_ok());
+        c.durable = durable("", 2);
+        assert!(c.validate().is_err());
+        c.durable = durable("/tmp/ckpt.bin", 0);
+        assert!(c.validate().is_err());
     }
 
     #[test]

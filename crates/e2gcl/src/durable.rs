@@ -1,0 +1,138 @@
+//! Crash-safe filesystem primitives shared by checkpoints and artifacts.
+//!
+//! The serving layer's artifacts and the training engine's durable
+//! checkpoints have the same durability problem: a process can die midway
+//! through `write`, leaving a prefix of the file on disk that a later
+//! reader mistakes for the real thing. This module centralises the two
+//! answers the workspace uses:
+//!
+//! * [`atomic_write`] — write-to-temp → fsync → rename. The destination
+//!   path only ever holds a complete file: readers either see the old
+//!   bytes, the new bytes, or nothing, never a torn prefix.
+//! * [`quarantine`] — when a reader *does* find a corrupt file (torn by a
+//!   non-atomic writer, bit-rotted, truncated by a full disk), it is
+//!   renamed to `<name>.corrupt` next to the original so the path is
+//!   immediately reusable and the evidence survives for debugging.
+//!
+//! [`write_torn`] is the matching deterministic fault hook: it bypasses
+//! the atomic protocol on purpose and leaves exactly the torn prefix a
+//! mid-write crash would, so crash-safety tests don't need to race real
+//! process kills.
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// FNV-1a 64-bit hash — the workspace's standard integrity checksum (tiny,
+/// dependency-free, detects the bit-flips/truncations an integrity check is
+/// for; not cryptographic).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Durably replaces `path` with `bytes`: writes a sibling temp file, fsyncs
+/// it, renames it over `path`, then best-effort fsyncs the parent directory
+/// so the rename itself survives a crash.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let tmp = sibling(path, ".tmp");
+    let mut f = std::fs::File::create(&tmp)?;
+    f.write_all(bytes)?;
+    f.sync_all()?;
+    drop(f);
+    if let Err(e) = std::fs::rename(&tmp, path) {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e);
+    }
+    if let Some(dir) = path.parent() {
+        // Directory fsync makes the rename durable; failure here (e.g. on
+        // filesystems that refuse to open directories) does not affect
+        // atomicity, only the crash window, so it is deliberately ignored.
+        if let Ok(d) = std::fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// Deterministic torn-write fault: writes only the first `keep` bytes of
+/// `bytes` straight to `path` (no temp file, no fsync) — the exact on-disk
+/// state a crash midway through a naive `fs::write` leaves behind.
+pub fn write_torn(path: &Path, bytes: &[u8], keep: usize) -> std::io::Result<()> {
+    std::fs::write(path, &bytes[..keep.min(bytes.len())])
+}
+
+/// Moves a corrupt file out of the way, renaming it to `<name>.corrupt`
+/// next to the original. Returns the quarantine path.
+pub fn quarantine(path: &Path) -> std::io::Result<PathBuf> {
+    let dst = sibling(path, ".corrupt");
+    std::fs::rename(path, &dst)?;
+    Ok(dst)
+}
+
+/// `path` with `suffix` appended to its file name, in the same directory
+/// (same filesystem, so `rename` stays atomic).
+fn sibling(path: &Path, suffix: &str) -> PathBuf {
+    let mut name = path
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_default();
+    name.push(suffix);
+    path.with_file_name(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_path(name: &str) -> PathBuf {
+        std::env::temp_dir().join(name)
+    }
+
+    #[test]
+    fn atomic_write_round_trips_and_cleans_temp() {
+        let path = tmp_path("e2gcl_durable_atomic.bin");
+        atomic_write(&path, b"hello durable").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"hello durable");
+        assert!(
+            !sibling(&path, ".tmp").exists(),
+            "temp file must not linger"
+        );
+        // Overwrite is also atomic (rename over an existing file).
+        atomic_write(&path, b"second").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_write_leaves_a_prefix() {
+        let path = tmp_path("e2gcl_durable_torn.bin");
+        write_torn(&path, b"0123456789", 4).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"0123");
+        // keep beyond len is clamped, not a panic.
+        write_torn(&path, b"ab", 100).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"ab");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn quarantine_renames_next_to_original() {
+        let path = tmp_path("e2gcl_durable_bad.bin");
+        std::fs::write(&path, b"garbage").unwrap();
+        let q = quarantine(&path).unwrap();
+        assert!(!path.exists());
+        assert_eq!(q, tmp_path("e2gcl_durable_bad.bin.corrupt"));
+        assert_eq!(std::fs::read(&q).unwrap(), b"garbage");
+        let _ = std::fs::remove_file(&q);
+    }
+
+    #[test]
+    fn fnv_matches_known_vector() {
+        // FNV-1a("") is the offset basis; "a" is a published test vector.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+}

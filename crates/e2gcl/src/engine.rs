@@ -23,10 +23,12 @@
 //! driver-owned [`TrainScratch`] (plus their own encoder workspaces)
 //! through their buffers; see `DESIGN.md` §"Training engine".
 
+use crate::checkpoint::{config_fingerprint, StepState, TrainCheckpoint};
 use crate::config::TrainConfig;
 use crate::guard::{FaultPlan, GuardAction, NumericGuard};
 use e2gcl_linalg::{Matrix, TrainError};
 use e2gcl_nn::{optim, TrainScratch};
+use std::path::Path;
 use std::time::Instant;
 
 /// Everything an [`EpochStep`] may use while computing one epoch.
@@ -128,6 +130,26 @@ pub trait EpochStep {
     fn discard_supported(&self) -> bool {
         true
     }
+
+    /// Captures the step's mutable cross-epoch state (weights, optimiser
+    /// moments, RNG positions) for a durable checkpoint. `None` — the
+    /// default — means the model does not support resumable checkpoints;
+    /// the driver then fails a durable run with a typed
+    /// [`TrainError::Checkpoint`] instead of silently writing a checkpoint
+    /// that cannot actually resume.
+    fn snapshot(&mut self) -> Option<StepState> {
+        None
+    }
+
+    /// Restores state captured by [`Self::snapshot`] into a freshly
+    /// constructed step (the immutable setup — selection, views, initial
+    /// weights — must already have been rebuilt under the original seed).
+    fn restore(&mut self, state: &StepState) -> Result<(), TrainError> {
+        let _ = state;
+        Err(TrainError::Checkpoint(
+            "model does not support resumable checkpoints".into(),
+        ))
+    }
 }
 
 /// The training half of a [`crate::models::PretrainResult`], produced by
@@ -177,6 +199,26 @@ impl<'a> EpochDriver<'a> {
         let mut loss_curve = Vec::with_capacity(cfg.epochs);
         let mut checkpoints = Vec::new();
         let mut epoch = 0;
+        // Durable resume: restore the step/guard state and pick the loop up
+        // at the recorded epoch. Setup before this point (selection, views,
+        // weight init) already replayed deterministically under the run's
+        // original seed, so restoring the mutable state is sufficient for a
+        // bitwise-identical continuation.
+        let cfg_hash = cfg.durable.as_ref().map(|_| config_fingerprint(cfg));
+        if let Some(d) = cfg.durable.as_ref().filter(|d| d.resume) {
+            let ckpt = TrainCheckpoint::load_durable(Path::new(&d.path))?;
+            if Some(ckpt.cfg_hash) != cfg_hash {
+                return Err(TrainError::Checkpoint(format!(
+                    "{}: checkpoint was produced under a different training config",
+                    d.path
+                )));
+            }
+            step.restore(&ckpt.step)?;
+            self.guard.restore_state(&ckpt.guard);
+            epoch = ckpt.next_epoch;
+            loss_curve = ckpt.loss_curve;
+            checkpoints = ckpt.snapshots;
+        }
         while epoch < cfg.epochs {
             let lr = step.base_lr(cfg) * self.guard.lr_scale;
             let outcome = {
@@ -213,6 +255,24 @@ impl<'a> EpochDriver<'a> {
                     if let Some(every) = cfg.checkpoint_every {
                         if (epoch + 1) % every == 0 || epoch + 1 == cfg.epochs {
                             checkpoints.push((start.elapsed().as_secs_f64(), step.embed()));
+                        }
+                    }
+                    if let Some(d) = cfg.durable.as_ref() {
+                        if (epoch + 1) % d.every_epochs == 0 || epoch + 1 == cfg.epochs {
+                            let state = step.snapshot().ok_or_else(|| {
+                                TrainError::Checkpoint(
+                                    "model does not support resumable checkpoints".into(),
+                                )
+                            })?;
+                            let ckpt = TrainCheckpoint {
+                                next_epoch: epoch + 1,
+                                cfg_hash: cfg_hash.unwrap_or_default(),
+                                guard: self.guard.state(),
+                                loss_curve: loss_curve.clone(),
+                                snapshots: checkpoints.clone(),
+                                step: state,
+                            };
+                            ckpt.save_durable(Path::new(&d.path))?;
                         }
                     }
                     epoch += 1;

@@ -73,6 +73,21 @@ pub enum GuardAction {
     RetryEpoch { lr_scale: f32 },
 }
 
+/// The mutable half of a [`NumericGuard`], captured into durable training
+/// checkpoints so a resumed run continues with the same divergence baseline,
+/// backoff budget and learning-rate scale the interrupted run had.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GuardState {
+    /// First healthy epoch's loss (divergence baseline), if seen.
+    pub baseline: Option<f32>,
+    /// Consecutive failed attempts of the current epoch.
+    pub consecutive_failures: usize,
+    /// Cumulative learning-rate scale.
+    pub lr_scale: f32,
+    /// Epochs skipped under [`GuardPolicy::SkipEpoch`].
+    pub skipped_epochs: Vec<usize>,
+}
+
 /// Per-run numeric health tracker. Create one per `pretrain` call.
 #[derive(Clone, Debug)]
 pub struct NumericGuard {
@@ -172,6 +187,26 @@ impl NumericGuard {
     /// view embeddings, honouring `check_embeddings`.
     pub fn embeddings_bad(&self, embeddings: &[&Matrix]) -> bool {
         self.cfg.check_embeddings && embeddings.iter().any(|m| m.has_non_finite())
+    }
+
+    /// Captures the guard's mutable state for a durable checkpoint.
+    pub fn state(&self) -> GuardState {
+        GuardState {
+            baseline: self.baseline,
+            consecutive_failures: self.consecutive_failures,
+            lr_scale: self.lr_scale,
+            skipped_epochs: self.skipped_epochs.clone(),
+        }
+    }
+
+    /// Restores state captured by [`NumericGuard::state`]. The policy
+    /// configuration is not part of the state — it comes from the (hash-
+    /// verified) `TrainConfig` of the resumed run.
+    pub fn restore_state(&mut self, state: &GuardState) {
+        self.baseline = state.baseline;
+        self.consecutive_failures = state.consecutive_failures;
+        self.lr_scale = state.lr_scale;
+        self.skipped_epochs = state.skipped_epochs.clone();
     }
 }
 

@@ -44,7 +44,9 @@
 //! * re-exported substrate crates: [`e2gcl_graph`], [`e2gcl_linalg`],
 //!   [`e2gcl_nn`], [`e2gcl_selector`], [`e2gcl_views`], [`e2gcl_datasets`].
 
+pub mod checkpoint;
 pub mod config;
+pub mod durable;
 pub mod engine;
 pub mod eval;
 pub mod guard;
@@ -52,10 +54,11 @@ pub mod metrics;
 pub mod models;
 pub mod pipeline;
 
-pub use config::TrainConfig;
+pub use checkpoint::{StepState, TrainCheckpoint};
+pub use config::{DurableConfig, TrainConfig};
 pub use e2gcl_linalg::TrainError;
 pub use engine::{EngineRun, EpochCtx, EpochDriver, EpochOutcome, EpochStep};
-pub use guard::{FaultPlan, GuardAction, GuardConfig, GuardPolicy, NumericGuard};
+pub use guard::{FaultPlan, GuardAction, GuardConfig, GuardPolicy, GuardState, NumericGuard};
 pub use models::{ContrastiveModel, PretrainResult};
 
 // Re-export the substrate crates under one roof.
@@ -68,7 +71,7 @@ pub use e2gcl_views as views;
 
 /// Convenient glob-import surface for examples and downstream users.
 pub mod prelude {
-    pub use crate::config::TrainConfig;
+    pub use crate::config::{DurableConfig, TrainConfig};
     pub use crate::eval;
     pub use crate::guard::{FaultPlan, GuardConfig, GuardPolicy, NumericGuard};
     pub use crate::models::{

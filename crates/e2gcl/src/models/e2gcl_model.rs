@@ -1,6 +1,7 @@
 //! The E²GCL model: coreset selection + importance-aware views + Eq. (5)
 //! contrastive training (the full Alg. 1 / Alg. 2 / Alg. 3 stack).
 
+use crate::checkpoint::{restore_params, StepState};
 use crate::config::TrainConfig;
 use crate::engine::{EpochCtx, EpochDriver, EpochOutcome, EpochStep};
 use crate::models::{sample_negative_indices, ContrastiveModel, PretrainResult};
@@ -137,6 +138,14 @@ impl Encoder {
         }
     }
 
+    fn params(&self) -> &[Matrix] {
+        match self {
+            Encoder::Gcn(e) => e.params(),
+            Encoder::Sgc(e) => e.params(),
+            Encoder::Sage(e) => e.params(),
+        }
+    }
+
     fn params_mut(&mut self) -> &mut [Matrix] {
         match self {
             Encoder::Gcn(e) => e.params_mut(),
@@ -144,6 +153,27 @@ impl Encoder {
             Encoder::Sage(e) => e.params_mut(),
         }
     }
+}
+
+/// Snapshot/restore shared by both E²GCL step variants: the mutable
+/// cross-epoch state is exactly the encoder weights, the Adam moments and
+/// the training RNG — selection, view generator and adjacency are rebuilt
+/// deterministically from the run's master seed before `restore` is called.
+fn e2gcl_snapshot(encoder: &Encoder, opt: &Adam, rng: &SeedRng) -> StepState {
+    StepState::pack_trainer(encoder.params(), &[], opt, rng)
+}
+
+fn e2gcl_restore(
+    encoder: &mut Encoder,
+    opt: &mut Adam,
+    rng: &mut SeedRng,
+    state: &StepState,
+) -> Result<(), TrainError> {
+    let s = state.unpack_trainer(encoder.params().len(), 0)?;
+    restore_params(encoder.params_mut(), &s.params)?;
+    opt.restore_state(s.adam_t, s.adam_m, s.adam_v);
+    *rng = s.rng;
+    Ok(())
 }
 
 /// Which contrastive objective E²GCL trains with (DESIGN.md §6 ablation:
@@ -426,6 +456,14 @@ impl EpochStep for E2gclPerNodeStep<'_> {
     fn embed(&mut self) -> Matrix {
         self.encoder.embed(&self.adj_orig, self.x)
     }
+
+    fn snapshot(&mut self) -> Option<StepState> {
+        Some(e2gcl_snapshot(&self.encoder, &self.opt, &self.train_rng))
+    }
+
+    fn restore(&mut self, state: &StepState) -> Result<(), TrainError> {
+        e2gcl_restore(&mut self.encoder, &mut self.opt, &mut self.train_rng, state)
+    }
 }
 
 impl ContrastiveModel for E2gclModel {
@@ -588,6 +626,14 @@ impl EpochStep for E2gclBatchedStep<'_> {
 
     fn embed(&mut self) -> Matrix {
         self.encoder.embed(&self.adj_orig, self.x)
+    }
+
+    fn snapshot(&mut self) -> Option<StepState> {
+        Some(e2gcl_snapshot(&self.encoder, &self.opt, &self.train_rng))
+    }
+
+    fn restore(&mut self, state: &StepState) -> Result<(), TrainError> {
+        e2gcl_restore(&mut self.encoder, &mut self.opt, &mut self.train_rng, state)
     }
 }
 

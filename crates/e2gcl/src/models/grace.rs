@@ -8,6 +8,7 @@
 //! the missing operations (feature perturbation, edge addition) onto each
 //! view, which the paper shows improves every baseline it upgrades.
 
+use crate::checkpoint::{restore_params, StepState};
 use crate::config::TrainConfig;
 use crate::engine::{EpochCtx, EpochDriver, EpochOutcome, EpochStep};
 use crate::models::{shuffled_batches, ContrastiveModel, PretrainResult};
@@ -327,6 +328,49 @@ impl EpochStep for GraceStep<'_> {
 
     fn embed(&mut self) -> Matrix {
         self.encoder.embed(&self.adj_orig, self.x)
+    }
+
+    fn snapshot(&mut self) -> Option<StepState> {
+        // Mutable cross-epoch state: encoder weights (Adam group), the
+        // projection head's four tensors (its SGD is stateless), and the
+        // training RNG. Head biases travel as 1×n matrices.
+        let row = |b: &[f32]| Matrix::from_vec(1, b.len(), b.to_vec());
+        let extra = vec![
+            self.head.l1.w.clone(),
+            row(&self.head.l1.b),
+            self.head.l2.w.clone(),
+            row(&self.head.l2.b),
+        ];
+        Some(StepState::pack_trainer(
+            self.encoder.params(),
+            &extra,
+            &self.opt,
+            &self.train_rng,
+        ))
+    }
+
+    fn restore(&mut self, state: &StepState) -> Result<(), TrainError> {
+        let s = state.unpack_trainer(self.encoder.params().len(), 4)?;
+        restore_params(self.encoder.params_mut(), &s.params)?;
+        restore_params(std::slice::from_mut(&mut self.head.l1.w), &s.extra[0..1])?;
+        restore_params(std::slice::from_mut(&mut self.head.l2.w), &s.extra[2..3])?;
+        for (b, saved) in [
+            (&mut self.head.l1.b, &s.extra[1]),
+            (&mut self.head.l2.b, &s.extra[3]),
+        ] {
+            if saved.rows() != 1 || saved.cols() != b.len() {
+                return Err(TrainError::Checkpoint(format!(
+                    "head bias shape mismatch: checkpoint {}x{}, model 1x{}",
+                    saved.rows(),
+                    saved.cols(),
+                    b.len()
+                )));
+            }
+            b.copy_from_slice(saved.as_slice());
+        }
+        self.opt.restore_state(s.adam_t, s.adam_m, s.adam_v);
+        self.train_rng = s.rng;
+        Ok(())
     }
 }
 

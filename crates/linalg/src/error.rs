@@ -36,6 +36,10 @@ pub enum TrainError {
     UnknownDataset { name: String, valid: Vec<String> },
     /// A model name not present in the bench/CLI registry.
     UnknownModel { name: String, valid: Vec<String> },
+    /// A durable-checkpoint operation (save, load, or resume) failed: I/O
+    /// error, corrupt file, config mismatch, or a model that does not
+    /// support state snapshots.
+    Checkpoint(String),
 }
 
 impl fmt::Display for TrainError {
@@ -69,6 +73,7 @@ impl fmt::Display for TrainError {
                 "unknown model '{name}'; valid names: {}",
                 valid.join(", ")
             ),
+            TrainError::Checkpoint(msg) => write!(f, "checkpoint error: {msg}"),
         }
     }
 }
@@ -135,6 +140,7 @@ mod tests {
         }
         .is_numeric());
         assert!(!TrainError::InvalidConfig("x".into()).is_numeric());
+        assert!(!TrainError::Checkpoint("x".into()).is_numeric());
         assert!(!TrainError::UnknownDataset {
             name: "x".into(),
             valid: vec![]

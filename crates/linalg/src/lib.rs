@@ -24,4 +24,4 @@ pub mod stats;
 
 pub use error::TrainError;
 pub use matrix::Matrix;
-pub use rng::SeedRng;
+pub use rng::{RngState, SeedRng};

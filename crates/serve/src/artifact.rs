@@ -69,6 +69,15 @@ pub enum ArtifactError {
     /// Structurally invalid content (bad tag, shapes that don't chain,
     /// trailing bytes, unparsable config …).
     Corrupt(String),
+    /// [`Artifact::load`] found a file that failed to decode and moved it
+    /// aside to `<path>.corrupt` so the next load attempt fails fast with a
+    /// missing-file error instead of re-parsing known-bad bytes.
+    Quarantined {
+        /// Where the bad file now lives.
+        quarantined_to: String,
+        /// Why decoding failed.
+        cause: Box<ArtifactError>,
+    },
 }
 
 impl fmt::Display for ArtifactError {
@@ -88,6 +97,10 @@ impl fmt::Display for ArtifactError {
                 "artifact truncated: field needs {needed} more bytes, {available} left"
             ),
             ArtifactError::Corrupt(why) => write!(f, "artifact corrupt: {why}"),
+            ArtifactError::Quarantined {
+                quarantined_to,
+                cause,
+            } => write!(f, "artifact quarantined to {quarantined_to}: {cause}"),
         }
     }
 }
@@ -240,18 +253,48 @@ impl Artifact {
         })
     }
 
-    /// Writes the artifact to `path`.
+    /// Writes the artifact to `path` **crash-safely**: the bytes go to a
+    /// temporary sibling first, are fsynced, and are then atomically renamed
+    /// over `path`. A crash at any point leaves either the old artifact or
+    /// the new one — never a torn mixture.
     pub fn save(&self, path: &Path) -> Result<(), ArtifactError> {
         let bytes = self.to_bytes()?;
-        std::fs::write(path, bytes)
+        e2gcl::durable::atomic_write(path, &bytes)
+            .map_err(|e| ArtifactError::Io(format!("{}: {e}", path.display())))
+    }
+
+    /// Fault-injection hook: writes only the first `keep` bytes of the
+    /// serialised artifact, *non*-atomically — the on-disk state a crash
+    /// mid-way through a naive `fs::write` save would leave behind. Lets
+    /// crash-safety tests (and the CLI's `--fault-torn-write` flag) produce
+    /// a deterministic torn artifact without actually killing a process.
+    pub fn save_torn(&self, path: &Path, keep: usize) -> Result<(), ArtifactError> {
+        let bytes = self.to_bytes()?;
+        e2gcl::durable::write_torn(path, &bytes, keep)
             .map_err(|e| ArtifactError::Io(format!("{}: {e}", path.display())))
     }
 
     /// Reads and parses an artifact from `path`.
+    ///
+    /// A file that *reads* fine but fails to decode (torn write, bit rot,
+    /// foreign bytes) is **quarantined**: renamed to `<path>.corrupt` and
+    /// reported as [`ArtifactError::Quarantined`] carrying the decode
+    /// failure as its cause. Pure I/O failures (missing file, permissions)
+    /// stay [`ArtifactError::Io`] and move nothing.
     pub fn load(path: &Path) -> Result<Artifact, ArtifactError> {
         let bytes = std::fs::read(path)
             .map_err(|e| ArtifactError::Io(format!("{}: {e}", path.display())))?;
-        Self::from_bytes(&bytes)
+        match Self::from_bytes(&bytes) {
+            Ok(artifact) => Ok(artifact),
+            Err(cause) => match e2gcl::durable::quarantine(path) {
+                Ok(q) => Err(ArtifactError::Quarantined {
+                    quarantined_to: q.display().to_string(),
+                    cause: Box::new(cause),
+                }),
+                // Quarantine is best-effort; the decode error is the story.
+                Err(_) => Err(cause),
+            },
+        }
     }
 }
 
@@ -305,14 +348,9 @@ fn decode_encoder(
 
 /// FNV-1a 64-bit hash — tiny, dependency-free, and plenty to detect the
 /// bit-flips/truncations an integrity check is for (not cryptographic).
-pub fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
+/// Re-exported from the shared durable-write module so artifacts and
+/// training checkpoints agree on one checksum.
+pub use e2gcl::durable::fnv1a64;
 
 fn put_str(out: &mut Vec<u8>, s: &str) {
     put_bytes(out, s.as_bytes());
@@ -526,5 +564,49 @@ mod tests {
         let err = Artifact::load(Path::new("/nonexistent/definitely/missing.bin")).unwrap_err();
         assert!(matches!(err, ArtifactError::Io(_)));
         assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn save_leaves_no_temp_sibling_behind() {
+        let a = sample(KIND_SGC);
+        let dir = std::env::temp_dir();
+        let path = dir.join("e2gcl_artifact_atomic_test.bin");
+        a.save(&path).unwrap();
+        let tmp = dir.join("e2gcl_artifact_atomic_test.bin.tmp");
+        assert!(!tmp.exists(), "atomic save leaked its temp file");
+        assert!(Artifact::load(&path).is_ok());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_write_is_quarantined_on_load() {
+        let a = sample(KIND_GCN);
+        let dir = std::env::temp_dir();
+        let path = dir.join("e2gcl_artifact_torn_test.bin");
+        let quarantined = dir.join("e2gcl_artifact_torn_test.bin.corrupt");
+        let _ = std::fs::remove_file(&quarantined);
+        let full = a.to_bytes().unwrap().len();
+        a.save_torn(&path, full / 2).unwrap();
+
+        let err = Artifact::load(&path).unwrap_err();
+        match &err {
+            ArtifactError::Quarantined {
+                quarantined_to,
+                cause,
+            } => {
+                assert_eq!(quarantined_to, &quarantined.display().to_string());
+                assert!(
+                    matches!(**cause, ArtifactError::Truncated { .. }),
+                    "{cause}"
+                );
+            }
+            other => panic!("expected Quarantined, got {other}"),
+        }
+        // The bad file was moved aside: the original path is gone, and the
+        // next load fails fast as a plain missing-file Io error.
+        assert!(!path.exists());
+        assert!(quarantined.exists());
+        assert!(matches!(Artifact::load(&path), Err(ArtifactError::Io(_))));
+        let _ = std::fs::remove_file(&quarantined);
     }
 }

@@ -24,6 +24,7 @@ pub mod artifact;
 pub mod histogram;
 pub mod inductive;
 pub mod lru;
+pub mod runtime;
 pub mod server;
 pub mod store;
 
@@ -31,8 +32,10 @@ pub use artifact::{Artifact, ArtifactError, ArtifactMeta};
 pub use histogram::{LatencyHistogram, LatencySummary};
 pub use inductive::InductiveEngine;
 pub use lru::LruCache;
+pub use runtime::{Clock, ErrorKind, RejectCause, RuntimeConfig, ServeFaultPlan, ShedStats};
 pub use server::{
-    run_latency_bench, BatchBenchReport, BatchServer, BenchOptions, Request, Response,
+    run_latency_bench, run_overload_bench, BatchBenchReport, BatchServer, BenchOptions,
+    OverloadOptions, OverloadReport, Request, Response,
 };
 pub use store::{EmbeddingStore, Hit};
 
@@ -61,6 +64,26 @@ pub enum ServeError {
     NoProbe,
     /// An inductive query against a server built without a graph.
     NoInductiveEngine,
+    /// A deterministic failure injected by the active [`ServeFaultPlan`]
+    /// (tests/benches only; never constructed on clean production paths).
+    FaultInjected {
+        /// Sequence number of the query the plan selected.
+        seq: u64,
+    },
+}
+
+impl ServeError {
+    /// The structured category of this failure.
+    pub fn kind(&self) -> ErrorKind {
+        match self {
+            ServeError::Artifact(_) => ErrorKind::Artifact,
+            ServeError::NodeOutOfRange { .. } => ErrorKind::NodeOutOfRange,
+            ServeError::DimensionMismatch { .. } => ErrorKind::DimensionMismatch,
+            ServeError::NoProbe => ErrorKind::NoProbe,
+            ServeError::NoInductiveEngine => ErrorKind::NoInductiveEngine,
+            ServeError::FaultInjected { .. } => ErrorKind::FaultInjected,
+        }
+    }
 }
 
 impl fmt::Display for ServeError {
@@ -85,6 +108,9 @@ impl fmt::Display for ServeError {
                     f,
                     "server has no inductive engine (built without graph/features)"
                 )
+            }
+            ServeError::FaultInjected { seq } => {
+                write!(f, "injected fault (fault plan selected query #{seq})")
             }
         }
     }

@@ -104,6 +104,9 @@ impl EmbeddingStore {
                 actual: query.len(),
             });
         }
+        if k == 0 {
+            return Ok(Vec::new());
+        }
         let qnorm = query.iter().map(|v| v * v).sum::<f32>().sqrt();
         let mut heap: BinaryHeap<Reverse<Scored>> = BinaryHeap::with_capacity(k + 1);
         for node in 0..self.len() {
@@ -206,6 +209,14 @@ mod tests {
     fn k_larger_than_store_returns_all() {
         let s = store();
         assert_eq!(s.top_k(&[1.0, 0.0], 100).unwrap().len(), 4);
+    }
+
+    #[test]
+    fn k_zero_returns_empty() {
+        let s = store();
+        assert!(s.top_k(&[1.0, 0.0], 0).unwrap().is_empty());
+        // The dimension check still runs before the early return.
+        assert!(s.top_k(&[1.0], 0).is_err());
     }
 
     #[test]

@@ -8,7 +8,8 @@
 use e2gcl::prelude::*;
 use e2gcl_nn::probe::ProbeConfig;
 use e2gcl_serve::{
-    Artifact, ArtifactMeta, BatchServer, EmbeddingStore, InductiveEngine, Request, Response,
+    Artifact, ArtifactMeta, BatchServer, Clock, EmbeddingStore, InductiveEngine, Request, Response,
+    ServeFaultPlan,
 };
 
 const SCALE: f64 = 0.05;
@@ -130,15 +131,21 @@ fn batch_server_answers_queries_after_reload() {
         assert!(resp.is_ok(), "{r:?} failed: {resp:?}");
     }
     match &responses[0] {
-        Response::Hits(h) => {
-            assert!(!h.is_empty(), "top-k must return hits");
+        Response::Hits { hits, degraded } => {
+            assert!(!hits.is_empty(), "top-k must return hits");
+            assert!(!degraded, "healthy path must not degrade");
             // A node is its own nearest neighbour under cosine similarity.
-            assert_eq!(h[0].0, 0);
+            assert_eq!(hits[0].0, 0);
         }
         other => panic!("expected hits, got {other:?}"),
     }
     match (&responses[0], &responses[1]) {
-        (Response::Hits(stored), Response::Hits(inductive)) => {
+        (
+            Response::Hits { hits: stored, .. },
+            Response::Hits {
+                hits: inductive, ..
+            },
+        ) => {
             assert_eq!(stored.len(), 5);
             assert_eq!(inductive.len(), 5);
         }
@@ -154,6 +161,117 @@ fn batch_server_answers_queries_after_reload() {
     assert_eq!(report.len(), 1);
     assert_eq!(report[0].0, batch.len());
     assert_eq!(report[0].1.count, 1);
+}
+
+/// Acceptance: a persistently failing inductive engine degrades every
+/// affected query to the stored-embedding answer — zero query errors, and
+/// (for training-graph nodes, whose stored rows *are* the inductive
+/// forward) answers identical to the healthy path.
+#[test]
+fn persistent_inductive_failure_degrades_with_zero_query_errors() {
+    let (artifact, data) = trained();
+    let plan = ServeFaultPlan {
+        only_seed: Some(SEED), // scoped to exactly this artifact
+        inductive_fail_every: 1,
+        inductive_fail_attempts: 0, // every attempt fails: persistent fault
+        ..ServeFaultPlan::default()
+    };
+    let mut server =
+        BatchServer::from_artifact(&artifact, data.graph.clone(), data.features.clone())
+            .expect("server")
+            .with_clock(Clock::virtual_at(0))
+            .with_fault_plan(plan);
+
+    let nodes = [0usize, 1, 2, 3];
+    let batch: Vec<Request> = nodes
+        .iter()
+        .map(|&node| Request::TopKInductive { node, k: 5 })
+        .collect();
+    let degraded_responses = server.serve(&batch);
+    let healthy: Vec<Request> = nodes
+        .iter()
+        .map(|&node| Request::TopK { node, k: 5 })
+        .collect();
+    let healthy_responses = server.serve(&healthy);
+
+    for (node, (d, h)) in nodes
+        .iter()
+        .zip(degraded_responses.iter().zip(&healthy_responses))
+    {
+        assert!(
+            d.is_ok(),
+            "node {node}: degraded path must not error: {d:?}"
+        );
+        assert!(
+            d.is_degraded(),
+            "node {node}: answer must be marked degraded"
+        );
+        match (d, h) {
+            (Response::Hits { hits: a, .. }, Response::Hits { hits: b, .. }) => {
+                assert_eq!(a, b, "node {node}: degraded answer differs from stored")
+            }
+            other => panic!("expected hits pairs, got {other:?}"),
+        }
+    }
+    let stats = server.stats();
+    assert_eq!(stats.failed, 0, "zero query errors under persistent faults");
+    assert_eq!(stats.degraded, nodes.len() as u64);
+    assert!(
+        stats.retries >= nodes.len() as u64,
+        "each failure should have been retried before degrading"
+    );
+}
+
+/// A transient inductive fault (first attempt only) is absorbed by the
+/// retry-with-backoff path: full-fidelity answers, nothing degraded.
+#[test]
+fn transient_inductive_failure_recovers_via_retry() {
+    let (artifact, data) = trained();
+    let plan = ServeFaultPlan {
+        inductive_fail_every: 1,
+        inductive_fail_attempts: 1, // attempt 0 fails, retry succeeds
+        ..ServeFaultPlan::default()
+    };
+    let mut server =
+        BatchServer::from_artifact(&artifact, data.graph.clone(), data.features.clone())
+            .expect("server")
+            .with_clock(Clock::virtual_at(0))
+            .with_fault_plan(plan);
+    let before_us = server.clock().now_us();
+    let responses = server.serve(&[Request::TopKInductive { node: 2, k: 5 }]);
+    assert!(
+        responses[0].is_ok() && !responses[0].is_degraded(),
+        "{responses:?}"
+    );
+    let stats = server.stats();
+    assert_eq!((stats.retries, stats.degraded, stats.failed), (1, 0, 0));
+    assert!(
+        server.clock().now_us() > before_us,
+        "retry must pay its backoff on the clock"
+    );
+}
+
+/// A plan scoped to a different training seed never fires.
+#[test]
+fn fault_plan_for_another_seed_is_inert() {
+    let (artifact, data) = trained();
+    let plan = ServeFaultPlan {
+        only_seed: Some(SEED + 1),
+        inductive_fail_every: 1,
+        inductive_fail_attempts: 0,
+        slow_every: 1,
+        slow_us: 1_000_000,
+    };
+    let mut server =
+        BatchServer::from_artifact(&artifact, data.graph.clone(), data.features.clone())
+            .expect("server")
+            .with_clock(Clock::virtual_at(0))
+            .with_fault_plan(plan);
+    let responses = server.serve(&[Request::TopKInductive { node: 0, k: 3 }]);
+    assert!(responses[0].is_ok() && !responses[0].is_degraded());
+    let stats = server.stats();
+    assert_eq!((stats.retries, stats.degraded, stats.failed), (0, 0, 0));
+    assert_eq!(server.clock().now_us(), 0, "no synthetic stall may fire");
 }
 
 #[test]

@@ -1,0 +1,217 @@
+//! Crash/resume determinism: a run interrupted mid-training and resumed from
+//! its durable checkpoint must be **bitwise identical** to the same run left
+//! uninterrupted.
+//!
+//! The interruption is simulated deterministically: a [`FaultPlan`] NaNs the
+//! loss at a fixed epoch under a `FailFast` guard, so the run aborts *after*
+//! the durable checkpoint for the preceding epochs has been written — exactly
+//! the on-disk state a crash would leave behind. The resumed run drops the
+//! fault (the config fingerprint deliberately ignores the fault plan and the
+//! durable block) and must land on the same fingerprint as a clean
+//! start-to-finish run.
+
+use e2gcl::models::dgi::DgiModel;
+use e2gcl::prelude::*;
+use std::path::PathBuf;
+
+/// FNV-1a over every bit-relevant field of a [`PretrainResult`]; wall-clock
+/// checkpoint timestamps are skipped. Mirrors `golden_determinism.rs`.
+struct Fingerprint(u64);
+
+impl Fingerprint {
+    fn new() -> Self {
+        Self(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn f32(&mut self, v: f32) {
+        self.u64(u64::from(v.to_bits()));
+    }
+
+    fn matrix(&mut self, m: &Matrix) {
+        self.u64(m.rows() as u64);
+        self.u64(m.cols() as u64);
+        for &v in m.as_slice() {
+            self.f32(v);
+        }
+    }
+}
+
+fn fingerprint(r: &PretrainResult) -> u64 {
+    let mut fp = Fingerprint::new();
+    fp.u64(r.loss_curve.len() as u64);
+    for &l in &r.loss_curve {
+        fp.f32(l);
+    }
+    fp.matrix(&r.embeddings);
+    fp.u64(r.checkpoints.len() as u64);
+    for (_, m) in &r.checkpoints {
+        fp.matrix(m);
+    }
+    fp.0
+}
+
+/// A scratch checkpoint path under the system temp dir, removed on drop.
+struct TempCkpt(PathBuf);
+
+impl TempCkpt {
+    fn new(name: &str) -> Self {
+        let path =
+            std::env::temp_dir().join(format!("e2gcl-resume-{}-{name}.ckpt", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        Self(path)
+    }
+
+    fn as_str(&self) -> String {
+        self.0.to_string_lossy().into_owned()
+    }
+}
+
+impl Drop for TempCkpt {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+fn tiny_cfg() -> TrainConfig {
+    TrainConfig {
+        epochs: 6,
+        batch_size: 64,
+        hidden_dim: 32,
+        embed_dim: 16,
+        checkpoint_every: Some(2),
+        guard: GuardConfig {
+            policy: GuardPolicy::FailFast,
+            ..GuardConfig::default()
+        },
+        ..TrainConfig::default()
+    }
+}
+
+fn pretrain(
+    model: &dyn ContrastiveModel,
+    cfg: &TrainConfig,
+    data: &e2gcl::datasets::NodeDataset,
+) -> Result<PretrainResult, TrainError> {
+    let mut rng = SeedRng::new(7);
+    model.pretrain(&data.graph, &data.features, cfg, &mut rng)
+}
+
+/// Interrupt `model` at epoch 4 of 6 (durable checkpoints every 2 epochs, so
+/// the crash leaves a `next_epoch = 4` checkpoint on disk), resume, and
+/// assert the resumed result is bit-identical to an uninterrupted run.
+fn assert_resume_is_bitwise_identical(name: &str, model: &dyn ContrastiveModel) {
+    let data = NodeDataset::generate(&spec("cora-sim").expect("spec"), 0.05, 0);
+    let ckpt = TempCkpt::new(name);
+
+    // Reference: the same 6 epochs, never interrupted, no disk involved.
+    let clean = pretrain(model, &tiny_cfg(), &data).expect("clean run");
+
+    // Interrupted: NaN loss at epoch 4 under FailFast aborts the run after
+    // the epoch-3 durable checkpoint was written.
+    let mut cfg = tiny_cfg();
+    cfg.durable = Some(DurableConfig {
+        path: ckpt.as_str(),
+        every_epochs: 2,
+        resume: false,
+    });
+    cfg.fault = Some(FaultPlan::nan_loss(&[4]));
+    let err = pretrain(model, &cfg, &data).expect_err("fault must abort the run");
+    assert!(matches!(err, TrainError::NonFiniteLoss { .. }), "{err}");
+    assert!(ckpt.0.exists(), "crash left no durable checkpoint behind");
+
+    // Resumed: same config minus the fault, restored from the checkpoint.
+    cfg.fault = None;
+    cfg.durable.as_mut().expect("durable set").resume = true;
+    let resumed = pretrain(model, &cfg, &data).expect("resumed run");
+
+    assert_eq!(
+        clean
+            .loss_curve
+            .iter()
+            .map(|l| l.to_bits())
+            .collect::<Vec<_>>(),
+        resumed
+            .loss_curve
+            .iter()
+            .map(|l| l.to_bits())
+            .collect::<Vec<_>>(),
+        "{name}: resumed loss curve diverged"
+    );
+    assert_eq!(
+        fingerprint(&clean),
+        fingerprint(&resumed),
+        "{name}: resumed run is not bit-identical to the uninterrupted run"
+    );
+}
+
+#[test]
+fn e2gcl_resume_is_bitwise_identical() {
+    assert_resume_is_bitwise_identical("e2gcl", &E2gclModel::default());
+}
+
+#[test]
+fn e2gcl_per_node_resume_is_bitwise_identical() {
+    let model = E2gclModel::new(E2gclConfig {
+        view_mode: ViewMode::PerNodeEgo,
+        ..E2gclConfig::default()
+    });
+    assert_resume_is_bitwise_identical("e2gcl-per-node", &model);
+}
+
+#[test]
+fn grace_resume_is_bitwise_identical() {
+    use e2gcl::models::grace::GraceModel;
+    assert_resume_is_bitwise_identical("grace", &GraceModel::grace());
+}
+
+#[test]
+fn resume_rejects_checkpoint_from_different_config() {
+    let data = NodeDataset::generate(&spec("cora-sim").expect("spec"), 0.05, 0);
+    let ckpt = TempCkpt::new("cfg-drift");
+    let mut cfg = tiny_cfg();
+    cfg.durable = Some(DurableConfig {
+        path: ckpt.as_str(),
+        every_epochs: 2,
+        resume: false,
+    });
+    pretrain(&E2gclModel::default(), &cfg, &data).expect("producing run");
+
+    cfg.lr *= 2.0; // any trajectory-relevant drift must be rejected
+    cfg.durable.as_mut().expect("durable set").resume = true;
+    let err = pretrain(&E2gclModel::default(), &cfg, &data).expect_err("drifted config");
+    match err {
+        TrainError::Checkpoint(msg) => {
+            assert!(msg.contains("different training config"), "{msg}")
+        }
+        other => panic!("expected Checkpoint error, got {other}"),
+    }
+}
+
+#[test]
+fn models_without_snapshot_support_fail_with_typed_error() {
+    let data = NodeDataset::generate(&spec("cora-sim").expect("spec"), 0.05, 0);
+    let ckpt = TempCkpt::new("unsupported");
+    let mut cfg = tiny_cfg();
+    cfg.durable = Some(DurableConfig {
+        path: ckpt.as_str(),
+        every_epochs: 2,
+        resume: false,
+    });
+    let err = pretrain(&DgiModel, &cfg, &data).expect_err("DGI has no snapshot support");
+    match err {
+        TrainError::Checkpoint(msg) => {
+            assert!(
+                msg.contains("does not support resumable checkpoints"),
+                "{msg}"
+            )
+        }
+        other => panic!("expected Checkpoint error, got {other}"),
+    }
+}

@@ -37,6 +37,38 @@ fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) 
 }
 
 impl ChaCha8Rng {
+    /// Exports the exact stream position as `(key, counter, idx)`.
+    ///
+    /// `counter` is the block index the *next* refill will use and `idx` the
+    /// next unread word of the current block (16 ⇒ exhausted). Together with
+    /// the key this pins the generator to a single word in the keystream, so
+    /// [`ChaCha8Rng::from_state`] resumes bit-exactly.
+    pub fn state(&self) -> ([u32; 8], u64, usize) {
+        (self.key, self.counter, self.idx)
+    }
+
+    /// Reconstructs a generator at an exact stream position from
+    /// [`ChaCha8Rng::state`].
+    ///
+    /// The buffered block is not part of the exported state: when `idx < 16`
+    /// the block at `counter - 1` is recomputed from the key, which is what
+    /// `refill` produced before it advanced the counter.
+    pub fn from_state(key: [u32; 8], counter: u64, idx: usize) -> Self {
+        let idx = idx.min(16);
+        let mut rng = Self {
+            key,
+            counter,
+            buf: [0; 16],
+            idx: 16,
+        };
+        if idx < 16 {
+            rng.counter = counter.wrapping_sub(1);
+            rng.refill();
+            rng.idx = idx;
+        }
+        rng
+    }
+
     fn refill(&mut self) {
         let mut state = [0u32; 16];
         state[..4].copy_from_slice(&SIGMA);
@@ -147,6 +179,46 @@ mod tests {
         for &count in &ones {
             let frac = f64::from(count) / f64::from(n);
             assert!((0.48..0.52).contains(&frac), "bit bias: {frac}");
+        }
+    }
+
+    #[test]
+    fn state_round_trips_mid_block() {
+        let mut a = ChaCha8Rng::seed_from_u64(9);
+        for _ in 0..37 {
+            a.next_u32(); // leaves idx mid-block (37 % 16 = 5)
+        }
+        let (key, counter, idx) = a.state();
+        assert!(idx < 16, "test must exercise the buffered-block path");
+        let mut b = ChaCha8Rng::from_state(key, counter, idx);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn state_round_trips_fresh_and_exhausted() {
+        // Fresh generator: idx == 16, never refilled.
+        let a = ChaCha8Rng::seed_from_u64(11);
+        let (key, counter, idx) = a.state();
+        assert_eq!((counter, idx), (0, 16));
+        let mut b = ChaCha8Rng::from_state(key, counter, idx);
+        let mut a = a;
+        for _ in 0..48 {
+            assert_eq!(a.next_u32(), b.next_u32());
+        }
+        // Exactly exhausted block: idx lands back on 16 after 16 draws... it
+        // does not (idx wraps via refill on the next draw), so force the
+        // boundary by drawing a full block.
+        let mut c = ChaCha8Rng::seed_from_u64(11);
+        for _ in 0..16 {
+            c.next_u32();
+        }
+        let (key, counter, idx) = c.state();
+        assert_eq!(idx, 16);
+        let mut d = ChaCha8Rng::from_state(key, counter, idx);
+        for _ in 0..64 {
+            assert_eq!(c.next_u64(), d.next_u64());
         }
     }
 
