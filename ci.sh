@@ -28,6 +28,15 @@
 #                                   scalar reference or if the committed
 #                                   BENCH_kernels.json doesn't parse / shows
 #                                   a recorded speedup below 0.8x
+#  10. mini-batch smoke           — neighbour-sampled GRACE training through
+#                                   the CLI with a durable checkpoint; a
+#                                   --resume re-run must answer queries
+#                                   identically
+#  11. scale bench smoke          — scale_bench --quick trains E2GCL and
+#                                   GRACE mini-batch on the smallest slice of
+#                                   the streaming products-sim-1m analog and
+#                                   fails if the committed BENCH_scale.json
+#                                   is missing or lacks 1M-node cases
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -45,7 +54,7 @@ echo "==> lint: no .unwrap()/panic! in non-test library code"
 # so everything before the first #[cfg(test)] is production code. Comment
 # lines (incl. doc comments) are skipped.
 fail=0
-for f in $(find crates/selector/src crates/views/src crates/nn/src crates/e2gcl/src crates/serve/src crates/bench/src/bin/kernel_bench.rs -name '*.rs' | sort); do
+for f in $(find crates/selector/src crates/views/src crates/nn/src crates/e2gcl/src crates/serve/src crates/bench/src/bin/kernel_bench.rs crates/bench/src/bin/scale_bench.rs -name '*.rs' | sort); do
     hits=$(awk '/#\[cfg\(test\)\]/{exit} {sub(/^[ \t]+/, ""); if ($0 !~ /^\/\//) print FILENAME":"FNR": "$0}' "$f" \
         | grep -E '\.unwrap\(\)|panic!' || true)
     if [ -n "$hits" ]; then
@@ -131,5 +140,31 @@ rm -f "$crash_artifact" "$crash_artifact.corrupt" "$crash_ckpt" "$clean_artifact
 echo "==> kernel bench smoke: blocked kernels vs scalar reference + recorded baseline"
 cargo run --release --offline -q -p e2gcl-bench --bin kernel_bench -- --quick
 test -s target/bench-results/kernel_bench_quick.json
+
+echo "==> mini-batch smoke: sampled subgraph training + durable resume"
+# Train GRACE on neighbour-sampled mini-batches with a durable checkpoint,
+# then re-run with --resume: the checkpoint records the final epoch, so the
+# resumed run restores it and must serve the same answers. (The artifact
+# bytes themselves differ only in the embedded config JSON's resume flag;
+# tests/resume_determinism.rs proves the mini-batch resume bitwise.)
+mb_artifact=target/ci-minibatch-artifact.bin
+mb_resumed=target/ci-minibatch-resumed.bin
+mb_ckpt=target/ci-minibatch-ckpt.bin
+rm -f "$mb_artifact" "$mb_resumed" "$mb_ckpt"
+mb_flags="--dataset cora-sim --scale 0.05 --epochs 2 --seed 3 --model GRACE --minibatch true --batch-nodes 48 --fanout 4"
+target/release/e2gcl-cli train $mb_flags --save "$mb_artifact" \
+    --checkpoint "$mb_ckpt" --checkpoint-every 1
+test -s "$mb_artifact"
+test -s "$mb_ckpt"
+target/release/e2gcl-cli train $mb_flags --save "$mb_resumed" \
+    --checkpoint "$mb_ckpt" --checkpoint-every 1 --resume true
+mb_q1=$(target/release/e2gcl-cli query --artifact "$mb_artifact" --node 0 --k 5)
+mb_q2=$(target/release/e2gcl-cli query --artifact "$mb_resumed" --node 0 --k 5)
+[ "$mb_q1" = "$mb_q2" ]            # resume reproduced the run's answers
+rm -f "$mb_artifact" "$mb_resumed" "$mb_ckpt"
+
+echo "==> scale bench smoke: mini-batch pipeline on the streaming 1M-tier analog"
+cargo run --release --offline -q -p e2gcl-bench --bin scale_bench -- --quick
+test -s target/bench-results/scale_bench_quick.json
 
 echo "CI passed."

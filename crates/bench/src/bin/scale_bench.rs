@@ -1,0 +1,277 @@
+//! Mini-batch scaling benchmark: epoch wall time and peak RSS versus node
+//! count for the neighbour-sampled training path (DESIGN.md §13).
+//!
+//! Trains E²GCL (all-anchor selection) and GRACE on `products-sim-1m` at
+//! ascending scales with the same mini-batch settings the CLI exposes
+//! (`--minibatch --batch-nodes --fanout`), recording per-epoch wall time
+//! and process memory after each case.
+//!
+//! ```sh
+//! cargo run -p e2gcl-bench --bin scale_bench --release              # full sweep
+//! cargo run -p e2gcl-bench --bin scale_bench --release -- --quick   # CI smoke
+//! ```
+//!
+//! Full mode writes `BENCH_scale.json` at the repo root (tracked in git).
+//! Quick mode runs only the smallest scale, writes to
+//! `target/bench-results/`, and fails (non-zero exit) if any quick case
+//! errors or if the committed `BENCH_scale.json` is missing, unparsable, or
+//! empty.
+//!
+//! Memory caveat: `peak_rss_mb` is the process high-water mark
+//! (`VmHWM` from `/proc/self/status`), which only ratchets upward — cases
+//! run smallest-first precisely so each case's recorded peak reflects the
+//! largest graph touched *so far*. Only the last case of a model pair at
+//! each scale gives the honest peak for that scale.
+
+use e2gcl::models::grace::GraceModel;
+use e2gcl::prelude::*;
+use e2gcl_bench::report;
+use serde::Serialize;
+use std::time::Instant;
+
+/// Mini-batch geometry used for every case (mirrors the CLI defaults for a
+/// million-node run: `--minibatch true --batch-nodes 2048 --fanout 3`).
+const BATCH_NODES: usize = 2048;
+const FANOUT: usize = 3;
+
+#[derive(Serialize)]
+struct ScaleCase {
+    model: String,
+    dataset: String,
+    scale: f64,
+    nodes: usize,
+    edges: usize,
+    /// Dataset generation wall time (shared by the models at this scale;
+    /// recorded on the first model's row, 0.0 on the rest).
+    gen_s: f64,
+    epochs: usize,
+    /// Selection preprocessing (Alg. 2) wall time.
+    selection_s: f64,
+    /// Total pre-training wall time, selection and final full-graph
+    /// inference included.
+    total_s: f64,
+    /// `(total_s - selection_s) / epochs` — the steady-state cost of one
+    /// mini-batch epoch (plus the amortised final inference pass).
+    epoch_s: f64,
+    final_loss: f32,
+    /// Process RSS (MB) after this case.
+    rss_mb: Option<f64>,
+    /// Process peak RSS (MB) so far — a high-water mark, see module docs.
+    peak_rss_mb: Option<f64>,
+}
+
+#[derive(Serialize)]
+struct ScaleDump {
+    name: String,
+    mode: String,
+    batch_nodes: usize,
+    fanout: usize,
+    cases: Vec<ScaleCase>,
+}
+
+/// `(VmRSS, VmHWM)` in MB from `/proc/self/status` (`None` off-Linux).
+fn memory_mb() -> (Option<f64>, Option<f64>) {
+    let Ok(text) = std::fs::read_to_string("/proc/self/status") else {
+        return (None, None);
+    };
+    let grab = |key: &str| {
+        text.lines()
+            .find(|l| l.starts_with(key))
+            .and_then(|l| l.split_whitespace().nth(1))
+            .and_then(|v| v.parse::<f64>().ok())
+            .map(|kb| kb / 1024.0)
+    };
+    (grab("VmRSS:"), grab("VmHWM:"))
+}
+
+fn all_anchor_e2gcl() -> E2gclModel {
+    // Every Alg. 2 selector ends in `assign_weights`, an |V| x budget
+    // nearest-representative pass that is super-linear at a million nodes —
+    // and the mini-batch step visits anchors uniformly, ignoring importance
+    // weights. `All` keeps preprocessing O(1) so the sweep measures pure
+    // mini-batch training throughput.
+    E2gclModel::new(E2gclConfig {
+        selector: SelectorKind::All,
+        ..E2gclConfig::default()
+    })
+}
+
+fn run_case(
+    model: &dyn ContrastiveModel,
+    data: &NodeDataset,
+    scale: f64,
+    gen_s: f64,
+    epochs: usize,
+) -> Result<ScaleCase, String> {
+    let cfg = TrainConfig {
+        epochs,
+        minibatch: Some(MinibatchConfig {
+            batch_nodes: BATCH_NODES,
+            fanout: Some(FANOUT),
+        }),
+        ..TrainConfig::default()
+    };
+    let t = Instant::now();
+    let out = model
+        .pretrain(&data.graph, &data.features, &cfg, &mut SeedRng::new(0))
+        .map_err(|e| format!("{} at scale {scale}: {e}", model.name()))?;
+    let total_s = t.elapsed().as_secs_f64();
+    let selection_s = out.selection_time.as_secs_f64();
+    let (rss_mb, peak_rss_mb) = memory_mb();
+    Ok(ScaleCase {
+        model: model.name(),
+        dataset: data.name.clone(),
+        scale,
+        nodes: data.num_nodes(),
+        edges: data.graph.num_edges(),
+        gen_s,
+        epochs,
+        selection_s,
+        total_s,
+        epoch_s: (total_s - selection_s) / epochs as f64,
+        final_loss: out.loss_curve.last().copied().unwrap_or(f32::NAN),
+        rss_mb,
+        peak_rss_mb,
+    })
+}
+
+/// The subset of the committed `BENCH_scale.json` the CI gate inspects.
+#[derive(serde::Deserialize)]
+struct BaselineDump {
+    cases: Vec<BaselineCase>,
+}
+
+#[derive(serde::Deserialize)]
+struct BaselineCase {
+    model: String,
+    nodes: usize,
+}
+
+fn check_committed_baseline(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let dump: BaselineDump =
+        serde_json::from_str(&text).map_err(|e| format!("{path} does not parse: {e}"))?;
+    if dump.cases.is_empty() {
+        return Err(format!("{path}: empty cases array"));
+    }
+    // The headline claim: both supported models were benchmarked at the
+    // million-node tier.
+    for model in ["E2GCL", "GRACE"] {
+        if !dump
+            .cases
+            .iter()
+            .any(|c| c.model == model && c.nodes >= 900_000)
+        {
+            return Err(format!("{path}: no {model} case at >= 900k nodes"));
+        }
+    }
+    Ok(())
+}
+
+fn print_case(c: &ScaleCase) {
+    println!(
+        "{:<8} scale {:<5} {:>9} nodes {:>10} edges  gen {:>7.1}s  sel {:>6.1}s  \
+         {:>6.1}s/epoch  loss {:>8.4}  rss {:>8} MB (peak {:>8} MB)",
+        c.model,
+        c.scale,
+        c.nodes,
+        c.edges,
+        c.gen_s,
+        c.selection_s,
+        c.epoch_s,
+        c.final_loss,
+        c.rss_mb.map_or_else(|| "?".into(), |m| format!("{m:.0}")),
+        c.peak_rss_mb
+            .map_or_else(|| "?".into(), |m| format!("{m:.0}")),
+    );
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let mode = if quick { "quick" } else { "full" };
+    println!("scale_bench — mode: {mode} (batch_nodes {BATCH_NODES}, fanout {FANOUT})");
+
+    // (scale of products-sim-1m, epochs); ascending so the RSS high-water
+    // mark stays interpretable (module docs).
+    let sweep: Vec<(f64, usize)> = if quick {
+        vec![(0.01, 1)]
+    } else {
+        vec![(0.01, 2), (0.1, 2), (1.0, 1)]
+    };
+
+    let data_spec = match spec("products-sim-1m") {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("scale_bench: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let mut cases: Vec<ScaleCase> = Vec::new();
+    let mut failed = false;
+    for &(scale, epochs) in &sweep {
+        let t = Instant::now();
+        let data = NodeDataset::generate(&data_spec, scale, 0);
+        let mut gen_s = t.elapsed().as_secs_f64();
+        println!(
+            "-- {} @ scale {scale}: {} nodes / {} edges generated in {gen_s:.1}s",
+            data.name,
+            data.num_nodes(),
+            data.graph.num_edges()
+        );
+        let e2gcl = all_anchor_e2gcl();
+        let grace = GraceModel::grace();
+        let models: [&dyn ContrastiveModel; 2] = [&e2gcl, &grace];
+        for model in models {
+            match run_case(model, &data, scale, gen_s, epochs) {
+                Ok(c) => {
+                    print_case(&c);
+                    cases.push(c);
+                }
+                Err(e) => {
+                    eprintln!("FAIL: {e}");
+                    failed = true;
+                }
+            }
+            gen_s = 0.0; // attribute generation cost once per scale
+        }
+    }
+
+    let dump = ScaleDump {
+        name: "scale_bench".to_string(),
+        mode: mode.to_string(),
+        batch_nodes: BATCH_NODES,
+        fanout: FANOUT,
+        cases,
+    };
+    report::write_json(
+        if quick {
+            "scale_bench_quick"
+        } else {
+            "scale_bench"
+        },
+        &dump,
+    );
+
+    if quick {
+        if let Err(e) = check_committed_baseline("BENCH_scale.json") {
+            eprintln!("FAIL: {e}");
+            failed = true;
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!("quick-mode checks passed (mini-batch cases ran; BENCH_scale.json ok)");
+    } else {
+        if failed {
+            std::process::exit(1);
+        }
+        match serde_json::to_string_pretty(&dump) {
+            Ok(json) => match std::fs::write("BENCH_scale.json", json) {
+                Ok(()) => println!("[results written to BENCH_scale.json]"),
+                Err(e) => eprintln!("writing BENCH_scale.json: {e}"),
+            },
+            Err(e) => eprintln!("serialising BENCH_scale.json: {e}"),
+        }
+    }
+}

@@ -102,9 +102,18 @@ fn common(args: &Args) -> Result<Common, String> {
             resume,
         })
     };
+    let use_minibatch: bool = args.get_parse("minibatch", false)?;
+    let batch_nodes: usize = args.get_parse("batch-nodes", 1024)?;
+    // 0 means "keep the whole neighbourhood" (no fanout cap).
+    let fanout: usize = args.get_parse("fanout", 0)?;
+    let minibatch = use_minibatch.then_some(MinibatchConfig {
+        batch_nodes,
+        fanout: (fanout > 0).then_some(fanout),
+    });
     let cfg = TrainConfig {
         epochs,
         durable,
+        minibatch,
         ..TrainConfig::default()
     };
     cfg.validate().map_err(|e| e.to_string())?;

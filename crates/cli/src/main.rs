@@ -72,6 +72,11 @@ COMMON OPTIONS (accepted as `--flag value` or `--flag=value`):
     --checkpoint <path>  durable training checkpoint path (off by default)
     --checkpoint-every <n>  epochs between durable checkpoints (default 5)
     --resume <bool>      resume from --checkpoint if present (default false)
+    --minibatch <bool>   neighbour-sampled mini-batch training — E2GCL and
+                         GRACE/GCA only (default false)
+    --batch-nodes <n>    seed nodes per mini-batch (default 1024)
+    --fanout <n>         neighbours kept per node per hop; 0 = unlimited
+                         (default 0)
 
 PRETRAIN:
     --out <path>         output JSON path (default embeddings.json)

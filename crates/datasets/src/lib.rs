@@ -19,6 +19,7 @@ pub mod graph_dataset;
 pub mod node_dataset;
 pub mod registry;
 pub mod split;
+pub mod stream;
 pub mod synth;
 
 pub use graph_dataset::GraphDataset;

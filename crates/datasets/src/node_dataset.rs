@@ -1,6 +1,7 @@
 //! A node-classification dataset: one graph, features, labels.
 
 use crate::registry::DatasetSpec;
+use crate::stream::{StreamingSbm, DEFAULT_SHARD_DRAWS};
 use crate::synth;
 use e2gcl_graph::{generators, CsrGraph};
 use e2gcl_linalg::{Matrix, SeedRng};
@@ -30,15 +31,30 @@ impl NodeDataset {
         let n = ((spec.sim_nodes as f64 * scale).round() as usize).max(spec.sim_classes * 8);
         let labels = synth::imbalanced_labels(n, spec.sim_classes, &mut rng.fork("labels"));
         let theta = generators::pareto_theta(n, spec.degree_tail_shape, &mut rng.fork("theta"));
-        let graph = generators::dc_sbm_with_confusion(
-            &labels,
-            spec.sim_classes,
-            spec.sim_avg_degree,
-            spec.homophily,
-            &theta,
-            spec.class_confusion,
-            &mut rng.fork("structure"),
-        );
+        let graph = if spec.streaming {
+            // Million-node tier: sharded stream replay keeps peak memory at
+            // three flat CSR-sized arrays (see `crate::stream`).
+            StreamingSbm {
+                labels: &labels,
+                num_classes: spec.sim_classes,
+                target_avg_degree: spec.sim_avg_degree,
+                p_in: spec.homophily,
+                theta: &theta,
+                adjacent_bias: spec.class_confusion,
+                draws_per_shard: DEFAULT_SHARD_DRAWS,
+            }
+            .build(&mut rng.fork("structure"))
+        } else {
+            generators::dc_sbm_with_confusion(
+                &labels,
+                spec.sim_classes,
+                spec.sim_avg_degree,
+                spec.homophily,
+                &theta,
+                spec.class_confusion,
+                &mut rng.fork("structure"),
+            )
+        };
         let features = synth::class_features(
             &labels,
             spec.sim_classes,
@@ -168,6 +184,30 @@ mod tests {
         assert_eq!(back.labels, d.labels);
         assert_eq!(back.num_classes, d.num_classes);
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn streaming_spec_generates_valid_deterministic_graphs() {
+        let s = spec("products-sim-1m").unwrap();
+        assert!(s.streaming, "the 1M tier must route through the streamer");
+        // 0.002 of a million nodes: big enough to measure degree, small
+        // enough for a unit test.
+        let a = NodeDataset::generate(&s, 0.002, 5);
+        assert_eq!(a.num_nodes(), 2000);
+        assert_eq!(a.num_classes, s.sim_classes);
+        a.graph.validate().unwrap();
+        // Duplicate edges collapse, and at 2k nodes the heavy-tailed hubs
+        // absorb many repeats — the measured degree sits below the target.
+        let avg = a.graph.avg_degree();
+        assert!(
+            avg > s.sim_avg_degree * 0.6 && avg <= s.sim_avg_degree + 1.0,
+            "avg degree {avg}"
+        );
+        let b = NodeDataset::generate(&s, 0.002, 5);
+        assert_eq!(a.graph, b.graph);
+        assert_eq!(a.features, b.features);
+        let c = NodeDataset::generate(&s, 0.002, 6);
+        assert_ne!(a.graph, c.graph);
     }
 
     #[test]

@@ -56,6 +56,13 @@ pub struct DatasetSpec {
     /// this is what actually caps attainable accuracy, mirroring the real
     /// datasets' ~90% ceilings.
     pub label_noise: f32,
+    /// Build the structure with the sharded streaming generator
+    /// ([`crate::stream::StreamingSbm`]) instead of the in-memory DC-SBM.
+    /// Set only on the million-node tier: the streaming path samples through
+    /// prefix-sum tables, so its edge stream (while distributionally the
+    /// same) is not bit-identical to the in-memory generator's.
+    #[serde(default)]
+    pub streaming: bool,
 }
 
 /// All node-classification analogs, in the paper's Table III order.
@@ -99,6 +106,7 @@ pub fn spec(name: &str) -> Result<DatasetSpec, TrainError> {
         feature_mismatch: 0.4,
         class_confusion: 0.7,
         label_noise: 0.0,
+        streaming: false,
     };
     match name {
         "cora-sim" => Ok(DatasetSpec {
@@ -217,6 +225,27 @@ pub fn spec(name: &str) -> Result<DatasetSpec, TrainError> {
             degree_tail_shape: 2.0,
             ..base
         }),
+        "products-sim-1m" => Ok(DatasetSpec {
+            name: "products-sim-1m",
+            paper_name: "Products",
+            paper_nodes: 1_569_960,
+            paper_edges: 264_339_468,
+            paper_avg_degree: 336.74,
+            paper_features: 200,
+            paper_classes: 107,
+            // The million-node tier for mini-batch scaling runs
+            // (DESIGN.md §13): node count matches the paper's order of
+            // magnitude; degree 336 -> 32 keeps a full generation run
+            // (~16M edge draws) tractable on one core.
+            sim_nodes: 1_000_000,
+            sim_avg_degree: 32.0,
+            sim_features: 100,
+            sim_classes: 47,
+            homophily: 0.55,
+            degree_tail_shape: 2.0,
+            streaming: true,
+            ..base
+        }),
         other => Err(TrainError::UnknownDataset {
             name: other.to_string(),
             valid: names().iter().map(|s| s.to_string()).collect(),
@@ -234,6 +263,7 @@ pub fn names() -> Vec<&'static str> {
         "cs-sim",
         "arxiv-sim",
         "products-sim",
+        "products-sim-1m",
     ]
 }
 

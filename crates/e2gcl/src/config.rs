@@ -24,6 +24,37 @@ pub struct DurableConfig {
     pub resume: bool,
 }
 
+/// Mini-batch subgraph training settings (DESIGN.md §13).
+///
+/// When set on a [`TrainConfig`], models that support it (E²GCL's batched
+/// mode and GRACE) train each epoch on neighbour-sampled
+/// [`e2gcl_graph::GraphView`] batches instead of the full adjacency: the
+/// node set is shuffled into seed batches of `batch_nodes`, each batch is
+/// expanded `L` hops with at most `fanout` neighbours per node, and the
+/// loss is computed batch-locally over the seed rows only.
+///
+/// The degenerate configuration — `batch_nodes >= |V|` with unlimited
+/// `fanout` — is dispatched to the existing full-graph step before any
+/// additional randomness is drawn, so it reproduces full-graph training
+/// **bitwise** (`tests/minibatch_equivalence.rs`).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MinibatchConfig {
+    /// Seed nodes per batch (>= 2; InfoNCE needs at least two anchors).
+    pub batch_nodes: usize,
+    /// Neighbours kept per node per expansion hop (>= 1 when set);
+    /// `None` keeps the whole neighbourhood.
+    #[serde(default)]
+    pub fanout: Option<usize>,
+}
+
+impl MinibatchConfig {
+    /// True when this configuration covers the whole graph in one batch
+    /// with no neighbour subsampling — equivalent to full-graph training.
+    pub fn is_full_batch(&self, num_nodes: usize) -> bool {
+        self.batch_nodes >= num_nodes && self.fanout.is_none()
+    }
+}
+
 /// Hyperparameters common to every contrastive model.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct TrainConfig {
@@ -51,6 +82,9 @@ pub struct TrainConfig {
     /// Durable resumable checkpoints (`None` = no disk writes).
     #[serde(default)]
     pub durable: Option<DurableConfig>,
+    /// Mini-batch subgraph training (`None` = full-graph epochs).
+    #[serde(default)]
+    pub minibatch: Option<MinibatchConfig>,
 }
 
 impl Default for TrainConfig {
@@ -66,6 +100,7 @@ impl Default for TrainConfig {
             guard: GuardConfig::default(),
             fault: None,
             durable: None,
+            minibatch: None,
         }
     }
 }
@@ -129,6 +164,17 @@ impl TrainConfig {
                 ));
             }
         }
+        if let Some(mb) = &self.minibatch {
+            if mb.batch_nodes < 2 {
+                return fail(format!(
+                    "minibatch.batch_nodes must be >= 2, got {}",
+                    mb.batch_nodes
+                ));
+            }
+            if mb.fanout == Some(0) {
+                return fail("minibatch.fanout must be >= 1 when set".to_string());
+            }
+        }
         Ok(())
     }
 }
@@ -168,6 +214,37 @@ mod tests {
         assert_eq!(c.guard, GuardConfig::default());
         assert!(c.fault.is_none());
         assert!(c.durable.is_none());
+        assert!(c.minibatch.is_none());
+    }
+
+    #[test]
+    fn minibatch_block_roundtrips_and_defaults_fanout() {
+        let json = r#"{"epochs":5,"batch_size":100,"lr":0.01,"weight_decay":0.00001,
+                       "hidden_dim":32,"embed_dim":16,"checkpoint_every":null,
+                       "minibatch":{"batch_nodes":256}}"#;
+        let c: TrainConfig = serde_json::from_str(json).unwrap();
+        let mb = c.minibatch.clone().unwrap();
+        assert_eq!(mb.batch_nodes, 256);
+        assert_eq!(mb.fanout, None);
+        assert!(c.validate().is_ok());
+        let back: TrainConfig = serde_json::from_str(&serde_json::to_string(&c).unwrap()).unwrap();
+        assert_eq!(back.minibatch, c.minibatch);
+    }
+
+    #[test]
+    fn minibatch_full_batch_detection() {
+        let unbounded = MinibatchConfig {
+            batch_nodes: 100,
+            fanout: None,
+        };
+        assert!(unbounded.is_full_batch(100));
+        assert!(unbounded.is_full_batch(64));
+        assert!(!unbounded.is_full_batch(101));
+        let bounded = MinibatchConfig {
+            batch_nodes: 100,
+            fanout: Some(5),
+        };
+        assert!(!bounded.is_full_batch(64), "fanout caps the expansion");
     }
 
     #[test]
@@ -224,6 +301,20 @@ mod tests {
             },
             TrainConfig {
                 checkpoint_every: Some(0),
+                ..base.clone()
+            },
+            TrainConfig {
+                minibatch: Some(MinibatchConfig {
+                    batch_nodes: 1,
+                    fanout: None,
+                }),
+                ..base.clone()
+            },
+            TrainConfig {
+                minibatch: Some(MinibatchConfig {
+                    batch_nodes: 64,
+                    fanout: Some(0),
+                }),
                 ..base.clone()
             },
         ] {

@@ -22,17 +22,10 @@
 use std::io::Write;
 use std::path::{Path, PathBuf};
 
-/// FNV-1a 64-bit hash — the workspace's standard integrity checksum (tiny,
-/// dependency-free, detects the bit-flips/truncations an integrity check is
-/// for; not cryptographic).
-pub fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
+/// FNV-1a 64-bit hash — the workspace's standard integrity checksum,
+/// defined once in [`e2gcl_linalg::hash`] and re-exported here for the
+/// checkpoint/artifact call sites that historically used this path.
+pub use e2gcl_linalg::hash::{fnv1a64, Fnv1a64};
 
 /// Durably replaces `path` with `bytes`: writes a sibling temp file, fsyncs
 /// it, renames it over `path`, then best-effort fsyncs the parent directory

@@ -55,7 +55,7 @@ pub mod models;
 pub mod pipeline;
 
 pub use checkpoint::{StepState, TrainCheckpoint};
-pub use config::{DurableConfig, TrainConfig};
+pub use config::{DurableConfig, MinibatchConfig, TrainConfig};
 pub use e2gcl_linalg::TrainError;
 pub use engine::{EngineRun, EpochCtx, EpochDriver, EpochOutcome, EpochStep};
 pub use guard::{FaultPlan, GuardAction, GuardConfig, GuardPolicy, GuardState, NumericGuard};
@@ -71,7 +71,7 @@ pub use e2gcl_views as views;
 
 /// Convenient glob-import surface for examples and downstream users.
 pub mod prelude {
-    pub use crate::config::{DurableConfig, TrainConfig};
+    pub use crate::config::{DurableConfig, MinibatchConfig, TrainConfig};
     pub use crate::eval;
     pub use crate::guard::{FaultPlan, GuardConfig, GuardPolicy, NumericGuard};
     pub use crate::models::{

@@ -85,6 +85,7 @@ impl ContrastiveModel for BgrlModel {
         cfg: &TrainConfig,
         rng: &mut SeedRng,
     ) -> Result<PretrainResult, TrainError> {
+        crate::models::ensure_full_graph_only(cfg, &self.name())?;
         let start = Instant::now();
         let adj_orig = norm::normalized_adjacency(g);
         let dims = cfg.encoder_dims(x.cols());
@@ -256,6 +257,7 @@ impl ContrastiveModel for AfgrlModel {
         cfg: &TrainConfig,
         rng: &mut SeedRng,
     ) -> Result<PretrainResult, TrainError> {
+        crate::models::ensure_full_graph_only(cfg, &self.name())?;
         let start = Instant::now();
         let adj = norm::normalized_adjacency(g);
         let dims = cfg.encoder_dims(x.cols());

@@ -2,12 +2,13 @@
 //! contrastive training (the full Alg. 1 / Alg. 2 / Alg. 3 stack).
 
 use crate::checkpoint::{restore_params, StepState};
-use crate::config::TrainConfig;
+use crate::config::{MinibatchConfig, TrainConfig};
 use crate::engine::{EpochCtx, EpochDriver, EpochOutcome, EpochStep};
 use crate::models::{sample_negative_indices, ContrastiveModel, PretrainResult};
 use e2gcl_graph::SparseMatrix;
-use e2gcl_graph::{norm, CsrGraph};
+use e2gcl_graph::{norm, CsrGraph, NeighborSampler};
 use e2gcl_linalg::{Matrix, SeedRng, TrainError};
+use e2gcl_nn::loss::InfoNceScratch;
 use e2gcl_nn::sage::{SageCache, SageEncoder};
 use e2gcl_nn::sgc::{SgcCache, SgcEncoder};
 use e2gcl_nn::{gcn::GcnCache, loss, optim::Optimizer, Adam, FrozenEncoder, GcnEncoder};
@@ -16,6 +17,7 @@ use e2gcl_selector::baselines::{
 };
 use e2gcl_selector::greedy::{GreedyConfig, GreedySelector};
 use e2gcl_selector::{NodeSelector, Selection};
+use e2gcl_views::uniform;
 use e2gcl_views::{ViewConfig, ViewGenerator};
 use std::time::Instant;
 
@@ -355,6 +357,172 @@ impl E2gclModel {
     }
 }
 
+impl E2gclModel {
+    /// Mini-batch E²GCL (DESIGN.md §13). Selection (Alg. 2) still runs on
+    /// the full graph — it is a one-off preprocessing pass — but each epoch
+    /// shuffles the selected anchors into seed batches, samples a
+    /// fanout-bounded [`e2gcl_graph::GraphView`] per batch, corrupts the
+    /// subgraph uniformly with the view parameters (edges kept at rate `τ`,
+    /// features perturbed at rate `η`) and trains batch-local InfoNCE over
+    /// the anchor rows.
+    ///
+    /// Two documented deviations from the full-graph step:
+    /// * every selected anchor is visited once per epoch (uniform coverage)
+    ///   instead of λ-weighted resampling — the importance weights steer a
+    ///   *global* batch sampler the partitioned walk replaces;
+    /// * the objective is always InfoNCE regardless of `config.loss`:
+    ///   Eq. (5)'s negative sampling assumes a global anchor pool, while
+    ///   NT-Xent uses the rest of the batch as negatives, which is exactly
+    ///   what a sampled subgraph provides.
+    fn pretrain_minibatch(
+        &self,
+        g: &CsrGraph,
+        x: &Matrix,
+        cfg: &TrainConfig,
+        mb: &MinibatchConfig,
+        rng: &mut SeedRng,
+    ) -> Result<PretrainResult, TrainError> {
+        let start = Instant::now();
+        let selection = self.select_nodes(g, x, &mut rng.fork("selector"));
+        let selection_time = start.elapsed();
+        let encoder = Encoder::new(self.config.encoder, x.cols(), cfg, &mut rng.fork("init"));
+        let adj_orig = encoder.adjacency(g);
+        let opt = Adam::with_weight_decay(cfg.lr, cfg.weight_decay);
+        let train_rng = rng.fork("train");
+        // Sample exactly the encoder's receptive field: deeper nodes cannot
+        // influence the anchor rows the loss reads.
+        let hops = cfg.encoder_dims(x.cols()).len() - 1;
+        let mut step = E2gclMinibatchStep {
+            model: self,
+            g,
+            x,
+            selection,
+            batch_nodes: mb.batch_nodes,
+            sampler: NeighborSampler::new(hops, mb.fanout),
+            encoder,
+            adj_orig,
+            opt,
+            train_rng,
+            grads: Vec::new(),
+            nce: InfoNceScratch::default(),
+        };
+        let run = EpochDriver::new(cfg).run(&mut step, start)?;
+        Ok(PretrainResult {
+            embeddings: run.embeddings,
+            encoder: Some(step.encoder.into_frozen()),
+            selection_time,
+            total_time: start.elapsed(),
+            checkpoints: run.checkpoints,
+            loss_curve: run.loss_curve,
+        })
+    }
+}
+
+/// One mini-batch E²GCL epoch: per anchor batch, sample a subgraph view,
+/// corrupt it twice, encode both corrupted views, InfoNCE over the anchor
+/// rows, and accumulate encoder gradients at `1/num_batches` so the applied
+/// update is the mean over batches.
+struct E2gclMinibatchStep<'a> {
+    model: &'a E2gclModel,
+    g: &'a CsrGraph,
+    x: &'a Matrix,
+    selection: Selection,
+    batch_nodes: usize,
+    sampler: NeighborSampler,
+    encoder: Encoder,
+    adj_orig: SparseMatrix,
+    opt: Adam,
+    train_rng: SeedRng,
+    grads: Vec<Matrix>,
+    nce: InfoNceScratch,
+}
+
+impl EpochStep for E2gclMinibatchStep<'_> {
+    fn epoch(&mut self, cx: &mut EpochCtx<'_>) -> EpochOutcome {
+        let conf = &self.model.config;
+        let anchors = &self.selection.nodes;
+        if anchors.is_empty() {
+            return EpochOutcome::Stop;
+        }
+        let mut order: Vec<usize> = anchors.clone();
+        self.train_rng.shuffle(&mut order);
+        let num_batches = order.len().div_ceil(self.batch_nodes).max(1) as f32;
+        let mut acc: Option<Vec<Matrix>> = None;
+        let mut epoch_loss = 0.0f32;
+        let mut embeddings_bad = false;
+        let mut stepped = 0usize;
+        for seeds in order.chunks(self.batch_nodes) {
+            if seeds.len() < 2 {
+                continue;
+            }
+            let view = self.sampler.sample(self.g, seeds, &mut self.train_rng);
+            let xv = view.features(self.x);
+            // Subgraph-local uniform corruption: keep edges at rate τ and
+            // perturb feature entries at rate η (the uniform ablation of
+            // Alg. 3 applied to the sampled view).
+            let g1 =
+                uniform::drop_edges_uniform(&view.graph, 1.0 - conf.tau_hat, &mut self.train_rng);
+            let mut x1 = uniform::perturb_features_uniform(&xv, conf.eta_hat, &mut self.train_rng);
+            let g2 =
+                uniform::drop_edges_uniform(&view.graph, 1.0 - conf.tau_tilde, &mut self.train_rng);
+            let x2 = uniform::perturb_features_uniform(&xv, conf.eta_tilde, &mut self.train_rng);
+            cx.fault.corrupt_features(cx.epoch, &mut x1);
+            let a1 = self.encoder.adjacency(&g1);
+            let a2 = self.encoder.adjacency(&g2);
+            let (h1, c1) = self.encoder.forward(&a1, &x1);
+            let (h2, c2) = self.encoder.forward(&a2, &x2);
+            let locals: Vec<usize> = seeds
+                .iter()
+                .map(|&v| view.local(v).expect("anchor is in its sampled view"))
+                .collect();
+            let hb1 = h1.select_rows(&locals);
+            let hb2 = h2.select_rows(&locals);
+            let batch_loss = loss::info_nce_with(&hb1, &hb2, 0.5, &mut self.nce);
+            epoch_loss += batch_loss / num_batches;
+            let mut d_h1 = Matrix::zeros(h1.rows(), h1.cols());
+            let mut d_h2 = Matrix::zeros(h2.rows(), h2.cols());
+            for (i, &l) in locals.iter().enumerate() {
+                d_h1.set_row(l, self.nce.d_z1().row(i));
+                d_h2.set_row(l, self.nce.d_z2().row(i));
+            }
+            let scale = 1.0 / num_batches;
+            GcnEncoder::accumulate(&mut acc, self.encoder.backward(&a1, &c1, &d_h1), scale);
+            GcnEncoder::accumulate(&mut acc, self.encoder.backward(&a2, &c2, &d_h2), scale);
+            embeddings_bad = embeddings_bad || cx.guard.embeddings_bad(&[&hb1, &hb2]);
+            stepped += 1;
+        }
+        if stepped == 0 {
+            return EpochOutcome::SkipSilently;
+        }
+        self.grads = acc.unwrap_or_default();
+        EpochOutcome::Step {
+            loss: epoch_loss,
+            embeddings_bad,
+        }
+    }
+
+    fn grads_mut(&mut self) -> &mut [Matrix] {
+        &mut self.grads
+    }
+
+    fn apply(&mut self, _epoch: usize, lr: f32, _loss: f32) {
+        self.opt.lr = lr;
+        self.opt.step(self.encoder.params_mut(), &self.grads);
+    }
+
+    fn embed(&mut self) -> Matrix {
+        self.encoder.embed(&self.adj_orig, self.x)
+    }
+
+    fn snapshot(&mut self) -> Option<StepState> {
+        Some(e2gcl_snapshot(&self.encoder, &self.opt, &self.train_rng))
+    }
+
+    fn restore(&mut self, state: &StepState) -> Result<(), TrainError> {
+        e2gcl_restore(&mut self.encoder, &mut self.opt, &mut self.train_rng, state)
+    }
+}
+
 /// One literal Alg. 3 epoch: two fresh ego views per anchor, each encoded
 /// independently, Eq. (5) on the centre representations.
 struct E2gclPerNodeStep<'a> {
@@ -478,6 +646,22 @@ impl ContrastiveModel for E2gclModel {
         cfg: &TrainConfig,
         rng: &mut SeedRng,
     ) -> Result<PretrainResult, TrainError> {
+        if let Some(mb) = &cfg.minibatch {
+            if self.config.view_mode == ViewMode::PerNodeEgo {
+                return Err(TrainError::InvalidConfig(
+                    "per-node ego view mode has no mini-batch form; \
+                     use ViewMode::GlobalBatched"
+                        .into(),
+                ));
+            }
+            if !mb.is_full_batch(g.num_nodes()) {
+                return self.pretrain_minibatch(g, x, cfg, mb, rng);
+            }
+            // Degenerate mini-batch (whole graph in one batch, unlimited
+            // fanout): fall through to the full-graph step *before* drawing
+            // any extra randomness, so the run is bitwise identical to
+            // `minibatch: None` (tests/minibatch_equivalence.rs).
+        }
         if self.config.view_mode == ViewMode::PerNodeEgo {
             return self.pretrain_per_node(g, x, cfg, rng);
         }
@@ -803,6 +987,79 @@ mod tests {
             (ab - ap).abs() < 0.25,
             "modes diverged: batched {ab} vs per-node {ap}"
         );
+    }
+
+    fn minibatch_cfg(batch_nodes: usize, fanout: Option<usize>) -> TrainConfig {
+        TrainConfig {
+            minibatch: Some(crate::config::MinibatchConfig {
+                batch_nodes,
+                fanout,
+            }),
+            ..tiny_cfg()
+        }
+    }
+
+    #[test]
+    fn minibatch_trains_and_loss_falls() {
+        let d = tiny_data();
+        let cfg = TrainConfig {
+            epochs: 10,
+            ..minibatch_cfg(48, Some(5))
+        };
+        let out = E2gclModel::default()
+            .pretrain(&d.graph, &d.features, &cfg, &mut SeedRng::new(0))
+            .unwrap();
+        assert_eq!(out.embeddings.rows(), d.num_nodes());
+        assert!(!out.embeddings.has_non_finite());
+        assert_eq!(out.loss_curve.len(), 10);
+        assert!(
+            out.loss_curve.last().unwrap() < out.loss_curve.first().unwrap(),
+            "{:?}",
+            out.loss_curve
+        );
+    }
+
+    #[test]
+    fn minibatch_is_deterministic_and_supports_every_encoder() {
+        let d = tiny_data();
+        for encoder in [EncoderKind::Gcn, EncoderKind::Sgc, EncoderKind::Sage] {
+            let model = E2gclModel::new(E2gclConfig {
+                encoder,
+                selector: SelectorKind::Degree,
+                ..Default::default()
+            });
+            let cfg = TrainConfig {
+                epochs: 3,
+                ..minibatch_cfg(32, Some(4))
+            };
+            let run = |seed| {
+                model
+                    .pretrain(&d.graph, &d.features, &cfg, &mut SeedRng::new(seed))
+                    .unwrap()
+            };
+            let (a, b) = (run(5), run(5));
+            assert_eq!(a.embeddings, b.embeddings, "{encoder:?}");
+            assert_eq!(a.loss_curve, b.loss_curve, "{encoder:?}");
+            assert!(!a.embeddings.has_non_finite(), "{encoder:?}");
+        }
+    }
+
+    #[test]
+    fn per_node_ego_rejects_minibatch() {
+        let d = tiny_data();
+        let model = E2gclModel::new(E2gclConfig {
+            view_mode: ViewMode::PerNodeEgo,
+            ..Default::default()
+        });
+        let err = model
+            .pretrain(
+                &d.graph,
+                &d.features,
+                &minibatch_cfg(32, Some(4)),
+                &mut SeedRng::new(0),
+            )
+            .unwrap_err();
+        assert!(matches!(err, TrainError::InvalidConfig(_)), "{err}");
     }
 
     #[test]

@@ -66,6 +66,7 @@ impl ContrastiveModel for GaeModel {
         cfg: &TrainConfig,
         rng: &mut SeedRng,
     ) -> Result<PretrainResult, TrainError> {
+        crate::models::ensure_full_graph_only(cfg, &self.name())?;
         let start = Instant::now();
         let adj = norm::normalized_adjacency(g);
         let encoder = GcnEncoder::new(&cfg.encoder_dims(x.cols()), &mut rng.fork("init"));
@@ -159,6 +160,7 @@ impl ContrastiveModel for VgaeModel {
         cfg: &TrainConfig,
         rng: &mut SeedRng,
     ) -> Result<PretrainResult, TrainError> {
+        crate::models::ensure_full_graph_only(cfg, &self.name())?;
         let start = Instant::now();
         let adj = norm::normalized_adjacency(g);
         let d = cfg.embed_dim;

@@ -9,10 +9,10 @@
 //! view, which the paper shows improves every baseline it upgrades.
 
 use crate::checkpoint::{restore_params, StepState};
-use crate::config::TrainConfig;
+use crate::config::{MinibatchConfig, TrainConfig};
 use crate::engine::{EpochCtx, EpochDriver, EpochOutcome, EpochStep};
 use crate::models::{shuffled_batches, ContrastiveModel, PretrainResult};
-use e2gcl_graph::{norm, CsrGraph, SparseMatrix};
+use e2gcl_graph::{norm, CsrGraph, NeighborSampler, SparseMatrix};
 use e2gcl_linalg::{Matrix, SeedRng, TrainError};
 use e2gcl_nn::loss::InfoNceScratch;
 use e2gcl_nn::{loss, optim::Optimizer, Adam, GcnEncoder, GcnWorkspace, Mlp, MlpWorkspace};
@@ -126,6 +126,99 @@ impl GraceModel {
         }
         (vg, vx)
     }
+
+    /// The uniform (non-adaptive) corruption pipeline over an arbitrary
+    /// graph/feature pair — what [`Self::make_view`] does when `adaptive`
+    /// is off, applied by the mini-batch step to each sampled subgraph.
+    fn make_uniform_view(
+        &self,
+        g: &CsrGraph,
+        x: &Matrix,
+        p_edge: f32,
+        p_feat: f32,
+        rng: &mut SeedRng,
+    ) -> (CsrGraph, Matrix) {
+        let mut vg = uniform::drop_edges_uniform(g, p_edge, rng);
+        let mut vx = uniform::mask_feature_dims(x, p_feat, rng);
+        if let Some(p) = self.config.extra_feature_perturb {
+            vx = uniform::perturb_features_uniform(&vx, p, rng);
+        }
+        if let Some(frac) = self.config.extra_edge_add {
+            let count = ((g.num_edges() as f32) * frac).round() as usize;
+            vg = uniform::add_edges_uniform(&vg, count, rng);
+        }
+        (vg, vx)
+    }
+
+    /// Mini-batch GRACE (DESIGN.md §13): each epoch shuffles the node set
+    /// into seed batches of `mb.batch_nodes`, samples a fanout-bounded
+    /// [`e2gcl_graph::GraphView`] per batch, corrupts the *subgraph* into
+    /// two views and trains InfoNCE over the seed rows only. Only uniform
+    /// (non-adaptive) corruption is supported: GCA's adaptive probabilities
+    /// are global centrality statistics a sampled subgraph cannot
+    /// reproduce.
+    fn pretrain_minibatch(
+        &self,
+        g: &CsrGraph,
+        x: &Matrix,
+        cfg: &TrainConfig,
+        mb: &MinibatchConfig,
+        rng: &mut SeedRng,
+    ) -> Result<PretrainResult, TrainError> {
+        if self.config.adaptive {
+            return Err(TrainError::InvalidConfig(
+                "GCA's adaptive corruption needs full-graph centrality scores; \
+                 mini-batch training supports uniform (GRACE) corruption only"
+                    .into(),
+            ));
+        }
+        let start = Instant::now();
+        let adj_orig = norm::normalized_adjacency(g);
+        let encoder = GcnEncoder::new(&cfg.encoder_dims(x.cols()), &mut rng.fork("init"));
+        let head = Mlp::new(
+            cfg.embed_dim,
+            self.config.proj_dim,
+            self.config.proj_dim,
+            &mut rng.fork("head"),
+        );
+        let opt = Adam::with_weight_decay(cfg.lr, cfg.weight_decay);
+        let train_rng = rng.fork("train");
+        // Sample exactly the encoder's receptive field: deeper nodes cannot
+        // influence the seed rows the loss reads.
+        let hops = cfg.encoder_dims(x.cols()).len() - 1;
+        let mut step = GraceMinibatchStep {
+            model: self,
+            g,
+            x,
+            cfg,
+            batch_nodes: mb.batch_nodes,
+            sampler: NeighborSampler::new(hops, mb.fanout),
+            adj_orig,
+            encoder,
+            head,
+            opt,
+            train_rng,
+            grads: Vec::new(),
+            ws1: GcnWorkspace::new(),
+            ws2: GcnWorkspace::new(),
+            head_ws1: MlpWorkspace::new(),
+            head_ws2: MlpWorkspace::new(),
+            nce: InfoNceScratch::default(),
+            d_h1: Matrix::default(),
+            d_h2: Matrix::default(),
+            hb1: Matrix::default(),
+            hb2: Matrix::default(),
+        };
+        let run = EpochDriver::new(cfg).run(&mut step, start)?;
+        Ok(PretrainResult {
+            embeddings: run.embeddings,
+            encoder: Some(e2gcl_nn::FrozenEncoder::Gcn(step.encoder)),
+            selection_time: std::time::Duration::ZERO,
+            total_time: start.elapsed(),
+            checkpoints: run.checkpoints,
+            loss_curve: run.loss_curve,
+        })
+    }
 }
 
 impl ContrastiveModel for GraceModel {
@@ -148,6 +241,15 @@ impl ContrastiveModel for GraceModel {
         cfg: &TrainConfig,
         rng: &mut SeedRng,
     ) -> Result<PretrainResult, TrainError> {
+        if let Some(mb) = &cfg.minibatch {
+            if !mb.is_full_batch(g.num_nodes()) {
+                return self.pretrain_minibatch(g, x, cfg, mb, rng);
+            }
+            // Degenerate mini-batch (whole graph in one batch, unlimited
+            // fanout): fall through to the full-graph step *before* drawing
+            // any extra randomness, so the run is bitwise identical to
+            // `minibatch: None` (tests/minibatch_equivalence.rs).
+        }
         let start = Instant::now();
         let scores = GraphScores::compute(g, x);
         let edge_probs = self
@@ -374,6 +476,183 @@ impl EpochStep for GraceStep<'_> {
     }
 }
 
+/// One mini-batch GRACE epoch: per seed batch, sample a subgraph view,
+/// corrupt it twice, forward both corrupted views through the shared
+/// workspaces, InfoNCE over the seed rows, and accumulate encoder
+/// gradients at `1/num_batches` so the applied update is the mean over
+/// batches. The projection head steps per batch before the guard verdict,
+/// mirroring full-graph GRACE.
+struct GraceMinibatchStep<'a> {
+    model: &'a GraceModel,
+    g: &'a CsrGraph,
+    x: &'a Matrix,
+    cfg: &'a TrainConfig,
+    batch_nodes: usize,
+    sampler: NeighborSampler,
+    adj_orig: SparseMatrix,
+    encoder: GcnEncoder,
+    head: Mlp,
+    opt: Adam,
+    train_rng: SeedRng,
+    grads: Vec<Matrix>,
+    ws1: GcnWorkspace,
+    ws2: GcnWorkspace,
+    head_ws1: MlpWorkspace,
+    head_ws2: MlpWorkspace,
+    nce: InfoNceScratch,
+    d_h1: Matrix,
+    d_h2: Matrix,
+    hb1: Matrix,
+    hb2: Matrix,
+}
+
+impl EpochStep for GraceMinibatchStep<'_> {
+    fn epoch(&mut self, cx: &mut EpochCtx<'_>) -> EpochOutcome {
+        let cfg = self.cfg;
+        let conf = &self.model.config;
+        let n = self.g.num_nodes();
+        let batches = shuffled_batches(n, self.batch_nodes, &mut self.train_rng);
+        let num_batches = batches.len() as f32;
+        let mut acc: Option<Vec<Matrix>> = None;
+        let mut epoch_loss = 0.0;
+        let mut embeddings_bad = false;
+        let mut stepped = 0usize;
+        for seeds in batches {
+            if seeds.len() < 2 {
+                continue;
+            }
+            let view = self.sampler.sample(self.g, &seeds, &mut self.train_rng);
+            let xv = view.features(self.x);
+            let (g1, mut x1) = self.model.make_uniform_view(
+                &view.graph,
+                &xv,
+                conf.drop_edge.0,
+                conf.mask_feat.0,
+                &mut self.train_rng,
+            );
+            let (g2, x2) = self.model.make_uniform_view(
+                &view.graph,
+                &xv,
+                conf.drop_edge.1,
+                conf.mask_feat.1,
+                &mut self.train_rng,
+            );
+            cx.fault.corrupt_features(cx.epoch, &mut x1);
+            // Corruption invalidates the full-graph degrees the exactness
+            // rule relies on, so — exactly like full-graph GRACE — each
+            // corrupted view is normalised with its own degrees.
+            let a1 = norm::normalized_adjacency(&g1);
+            let a2 = norm::normalized_adjacency(&g2);
+            self.encoder.forward_with(&a1, &x1, &mut self.ws1);
+            self.encoder.forward_with(&a2, &x2, &mut self.ws2);
+            let locals: Vec<usize> = seeds
+                .iter()
+                .map(|&v| view.local(v).expect("seed is in its sampled view"))
+                .collect();
+            self.ws1.output().select_rows_into(&locals, &mut self.hb1);
+            self.ws2.output().select_rows_into(&locals, &mut self.hb2);
+            self.head.forward_with(&self.hb1, &mut self.head_ws1);
+            self.head.forward_with(&self.hb2, &mut self.head_ws2);
+            let batch_loss = loss::info_nce_with(
+                self.head_ws1.output(),
+                self.head_ws2.output(),
+                conf.tau,
+                &mut self.nce,
+            );
+            epoch_loss += batch_loss / num_batches;
+            self.head
+                .backward_with(&self.hb1, self.nce.d_z1(), &mut self.head_ws1);
+            self.head
+                .backward_with(&self.hb2, self.nce.d_z2(), &mut self.head_ws2);
+            self.d_h1.reset_zeroed(view.len(), cfg.embed_dim);
+            self.d_h2.reset_zeroed(view.len(), cfg.embed_dim);
+            for (i, &l) in locals.iter().enumerate() {
+                self.d_h1.set_row(l, self.head_ws1.d_input().row(i));
+                self.d_h2.set_row(l, self.head_ws2.d_input().row(i));
+            }
+            // The head steps inside the epoch, before the guard verdict,
+            // exactly as in the full-graph step.
+            self.head
+                .step(self.head_ws1.grads(), cx.lr / num_batches, 0.0);
+            self.head
+                .step(self.head_ws2.grads(), cx.lr / num_batches, 0.0);
+            self.encoder.backward_with(&a1, &mut self.ws1, &self.d_h1);
+            self.encoder.backward_with(&a2, &mut self.ws2, &self.d_h2);
+            let scale = 1.0 / num_batches;
+            GcnEncoder::accumulate(&mut acc, self.ws1.grads().to_vec(), scale);
+            GcnEncoder::accumulate(&mut acc, self.ws2.grads().to_vec(), scale);
+            embeddings_bad = embeddings_bad
+                || cx
+                    .guard
+                    .embeddings_bad(&[self.ws1.output(), self.ws2.output()]);
+            stepped += 1;
+        }
+        if stepped == 0 {
+            return EpochOutcome::SkipSilently;
+        }
+        self.grads = acc.unwrap_or_default();
+        EpochOutcome::Step {
+            loss: epoch_loss,
+            embeddings_bad,
+        }
+    }
+
+    fn grads_mut(&mut self) -> &mut [Matrix] {
+        &mut self.grads
+    }
+
+    fn apply(&mut self, _epoch: usize, lr: f32, _loss: f32) {
+        self.opt.lr = lr;
+        self.opt.step(self.encoder.params_mut(), &self.grads);
+    }
+
+    fn embed(&mut self) -> Matrix {
+        self.encoder.embed(&self.adj_orig, self.x)
+    }
+
+    fn snapshot(&mut self) -> Option<StepState> {
+        // Identical layout to the full-graph step: encoder weights (Adam
+        // group), the head's four tensors, and the training RNG.
+        let row = |b: &[f32]| Matrix::from_vec(1, b.len(), b.to_vec());
+        let extra = vec![
+            self.head.l1.w.clone(),
+            row(&self.head.l1.b),
+            self.head.l2.w.clone(),
+            row(&self.head.l2.b),
+        ];
+        Some(StepState::pack_trainer(
+            self.encoder.params(),
+            &extra,
+            &self.opt,
+            &self.train_rng,
+        ))
+    }
+
+    fn restore(&mut self, state: &StepState) -> Result<(), TrainError> {
+        let s = state.unpack_trainer(self.encoder.params().len(), 4)?;
+        restore_params(self.encoder.params_mut(), &s.params)?;
+        restore_params(std::slice::from_mut(&mut self.head.l1.w), &s.extra[0..1])?;
+        restore_params(std::slice::from_mut(&mut self.head.l2.w), &s.extra[2..3])?;
+        for (b, saved) in [
+            (&mut self.head.l1.b, &s.extra[1]),
+            (&mut self.head.l2.b, &s.extra[3]),
+        ] {
+            if saved.rows() != 1 || saved.cols() != b.len() {
+                return Err(TrainError::Checkpoint(format!(
+                    "head bias shape mismatch: checkpoint {}x{}, model 1x{}",
+                    saved.rows(),
+                    saved.cols(),
+                    b.len()
+                )));
+            }
+            b.copy_from_slice(saved.as_slice());
+        }
+        self.opt.restore_state(s.adam_t, s.adam_m, s.adam_v);
+        self.train_rng = s.rng;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -423,6 +702,66 @@ mod tests {
         });
         assert_eq!(up.name(), "GRACE+FP+EA");
         assert_eq!(GraceModel::gca().name(), "GCA");
+    }
+
+    fn minibatch(batch_nodes: usize, fanout: Option<usize>) -> Option<MinibatchConfig> {
+        Some(MinibatchConfig {
+            batch_nodes,
+            fanout,
+        })
+    }
+
+    #[test]
+    fn grace_minibatch_trains_and_loss_falls() {
+        let (d, cfg) = tiny();
+        let cfg = TrainConfig {
+            epochs: 10,
+            minibatch: minibatch(48, Some(5)),
+            ..cfg
+        };
+        let out = GraceModel::grace()
+            .pretrain(&d.graph, &d.features, &cfg, &mut SeedRng::new(0))
+            .unwrap();
+        assert_eq!(out.embeddings.rows(), d.graph.num_nodes());
+        assert!(!out.embeddings.has_non_finite());
+        assert_eq!(out.loss_curve.len(), 10);
+        assert!(
+            out.loss_curve.last().unwrap() < out.loss_curve.first().unwrap(),
+            "{:?}",
+            out.loss_curve
+        );
+    }
+
+    #[test]
+    fn grace_minibatch_is_deterministic() {
+        let (d, cfg) = tiny();
+        let cfg = TrainConfig {
+            epochs: 4,
+            minibatch: minibatch(32, Some(4)),
+            ..cfg
+        };
+        let run = |seed| {
+            GraceModel::grace()
+                .pretrain(&d.graph, &d.features, &cfg, &mut SeedRng::new(seed))
+                .unwrap()
+        };
+        let (a, b) = (run(3), run(3));
+        assert_eq!(a.embeddings, b.embeddings);
+        assert_eq!(a.loss_curve, b.loss_curve);
+        assert_ne!(run(4).embeddings, a.embeddings);
+    }
+
+    #[test]
+    fn gca_rejects_minibatch() {
+        let (d, cfg) = tiny();
+        let cfg = TrainConfig {
+            minibatch: minibatch(32, Some(4)),
+            ..cfg
+        };
+        let err = GraceModel::gca()
+            .pretrain(&d.graph, &d.features, &cfg, &mut SeedRng::new(0))
+            .unwrap_err();
+        assert!(matches!(err, TrainError::InvalidConfig(_)), "{err}");
     }
 
     #[test]

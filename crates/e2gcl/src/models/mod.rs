@@ -61,6 +61,19 @@ pub trait ContrastiveModel {
     ) -> Result<PretrainResult, TrainError>;
 }
 
+/// Typed rejection for models whose training loop has no mini-batch form:
+/// called at the top of their `pretrain`, so a `cfg.minibatch` block on an
+/// unsupported model fails loudly instead of being silently ignored.
+pub(crate) fn ensure_full_graph_only(cfg: &TrainConfig, model: &str) -> Result<(), TrainError> {
+    if cfg.minibatch.is_some() {
+        return Err(TrainError::InvalidConfig(format!(
+            "{model} does not support mini-batch training; unset cfg.minibatch \
+             or use E2GCL / GRACE"
+        )));
+    }
+    Ok(())
+}
+
 /// Samples `count` negative indices in `[0, n)` distinct from `anchor`.
 pub(crate) fn sample_negative_indices(
     n: usize,

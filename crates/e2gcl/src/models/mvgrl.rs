@@ -73,6 +73,7 @@ impl ContrastiveModel for MvgrlModel {
         cfg: &TrainConfig,
         rng: &mut SeedRng,
     ) -> Result<PretrainResult, TrainError> {
+        crate::models::ensure_full_graph_only(cfg, &self.name())?;
         let start = Instant::now();
         let diffusion =
             ppr::ppr_diffusion_graph(g, self.config.alpha, self.config.epsilon, self.config.top_k);

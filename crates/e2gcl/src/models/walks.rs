@@ -123,6 +123,7 @@ impl ContrastiveModel for WalkModel {
         cfg: &TrainConfig,
         rng: &mut SeedRng,
     ) -> Result<PretrainResult, TrainError> {
+        crate::models::ensure_full_graph_only(cfg, &self.name())?;
         let start = Instant::now();
         let n = g.num_nodes();
         let d = cfg.embed_dim;

@@ -62,6 +62,28 @@ impl CsrGraph {
         }
     }
 
+    /// Builds a graph directly from prebuilt CSR parts — the zero-copy
+    /// constructor the streaming dataset builder uses, so a million-node
+    /// graph never round-trips through per-node `Vec`s.
+    ///
+    /// The parts must already satisfy every [`CsrGraph`] invariant (sorted
+    /// duplicate-free neighbour lists, symmetry, no self-loops); this is
+    /// checked by [`Self::validate`].
+    ///
+    /// # Panics
+    /// Panics if the parts violate an invariant.
+    pub fn from_csr_parts(num_nodes: usize, offsets: Vec<usize>, neighbors: Vec<u32>) -> Self {
+        let g = Self {
+            num_nodes,
+            offsets,
+            neighbors,
+        };
+        if let Err(msg) = g.validate() {
+            panic!("from_csr_parts: {msg}");
+        }
+        g
+    }
+
     /// Number of nodes `|V|`.
     #[inline]
     pub fn num_nodes(&self) -> usize {
@@ -241,5 +263,20 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn out_of_range_edge_panics() {
         let _ = CsrGraph::from_edges(2, &[(0, 5)]);
+    }
+
+    #[test]
+    fn from_csr_parts_round_trips() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let rebuilt = CsrGraph::from_csr_parts(4, g.offsets.clone(), g.neighbors.clone());
+        assert_eq!(rebuilt, g);
+        rebuilt.validate().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "from_csr_parts")]
+    fn from_csr_parts_rejects_asymmetric_input() {
+        // 0 lists 1 as a neighbour but not vice versa.
+        let _ = CsrGraph::from_csr_parts(2, vec![0, 1, 1], vec![1]);
     }
 }

@@ -4,7 +4,12 @@
 //! within `L` hops of `v`. The contrastive loss compares the representation
 //! of `v` computed on its ego net with representations computed on the
 //! generated positive views.
+//!
+//! An [`EgoNet`] is a centred [`crate::view::GraphView`] — the induced
+//! subgraph is built by the shared view machinery, this type just carries
+//! the centre index the per-node loss needs.
 
+use crate::view::GraphView;
 use crate::CsrGraph;
 use e2gcl_linalg::Matrix;
 
@@ -31,24 +36,11 @@ impl EgoNet {
 
     /// Builds the subgraph induced on `nodes` (sorted, must contain `v`).
     pub fn induced(g: &CsrGraph, nodes: Vec<usize>, v: usize) -> EgoNet {
-        debug_assert!(nodes.windows(2).all(|w| w[0] < w[1]));
         let center = nodes.binary_search(&v).expect("center not in node set");
-        let mut edges = Vec::new();
-        for (local_u, &global_u) in nodes.iter().enumerate() {
-            for &global_w in g.neighbors(global_u) {
-                let global_w = global_w as usize;
-                if global_w <= global_u {
-                    continue;
-                }
-                if let Ok(local_w) = nodes.binary_search(&global_w) {
-                    edges.push((local_u, local_w));
-                }
-            }
-        }
-        let graph = CsrGraph::from_edges(nodes.len(), &edges);
+        let view = GraphView::induced(g, nodes);
         EgoNet {
-            graph,
-            nodes,
+            graph: view.graph,
+            nodes: view.nodes,
             center,
         }
     }
@@ -123,5 +115,46 @@ mod tests {
         let e = EgoNet::induced(&g, vec![0, 1, 3], 1);
         assert_eq!(e.graph.num_edges(), 1); // only (0,1) survives
         assert!(e.graph.has_edge(0, 1));
+    }
+
+    #[test]
+    fn zero_hops_is_the_bare_centre() {
+        let e = EgoNet::extract(&star(), 0, 0);
+        assert_eq!(e.nodes, vec![0]);
+        assert_eq!(e.center, 0);
+        assert_eq!(e.graph.num_nodes(), 1);
+        assert_eq!(e.graph.num_edges(), 0);
+        assert!(e.is_empty());
+    }
+
+    #[test]
+    fn isolated_nodes_stay_out_of_every_ego_net() {
+        // 3 is isolated; ego nets of connected nodes never include it, and
+        // its own ego net is a singleton at any depth.
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2)]);
+        for hops in 0..4 {
+            let e = EgoNet::extract(&g, 3, hops);
+            assert_eq!(e.nodes, vec![3]);
+            assert_eq!(e.center, 0);
+        }
+        let e = EgoNet::extract(&g, 0, 3);
+        assert_eq!(e.nodes, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn centre_on_a_graph_frontier_keeps_partial_neighbourhood() {
+        // Path 0-1-2-3-4: from the end node 4, hop budget 2 reaches only
+        // {2, 3, 4}; node 2 sits on the extraction frontier, so its edge to
+        // 1 is cut while 2-3 and 3-4 survive.
+        let g = CsrGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let e = EgoNet::extract(&g, 4, 2);
+        assert_eq!(e.nodes, vec![2, 3, 4]);
+        assert_eq!(e.center, 2);
+        assert_eq!(e.graph.num_edges(), 2);
+        assert!(e.graph.has_edge(0, 1)); // local (2,3)
+        assert!(e.graph.has_edge(1, 2)); // local (3,4)
+                                         // The frontier node's local degree is smaller than its full degree.
+        assert_eq!(e.graph.degree(0), 1);
+        assert_eq!(g.degree(2), 2);
     }
 }

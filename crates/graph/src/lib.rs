@@ -10,6 +10,11 @@
 //!   (`A_n^L X`, the Theorem-1 raw aggregate).
 //! * [`AdjacencyList`] — a mutable edge-set representation used by the view
 //!   generator when it edits a node's local subgraph.
+//! * [`GraphView`] — the shared induced-subgraph primitive (local↔global
+//!   node map + full-graph degrees) behind both mini-batch training and
+//!   inductive serving, with the exactness-proving normalised adjacency.
+//! * [`NeighborSampler`] — deterministic seed-scoped fanout sampling of
+//!   [`GraphView`] batches.
 //! * ego-net extraction, BFS / connected components, personalised-PageRank
 //!   diffusion (for the MVGRL baseline), degree centrality, and the random
 //!   graph generators behind the synthetic datasets.
@@ -21,10 +26,14 @@ pub mod ego;
 pub mod generators;
 pub mod norm;
 pub mod ppr;
+pub mod sample;
 pub mod sparse;
 pub mod stats;
 pub mod traversal;
+pub mod view;
 
 pub use adjacency::AdjacencyList;
 pub use csr::CsrGraph;
+pub use sample::NeighborSampler;
 pub use sparse::SparseMatrix;
+pub use view::GraphView;

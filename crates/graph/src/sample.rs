@@ -1,0 +1,161 @@
+//! Deterministic neighbour-sampled subgraph batches.
+//!
+//! Mini-batch training (DESIGN.md §13) trains on a [`GraphView`] sampled
+//! around a batch of seed nodes instead of the full adjacency. The sampler
+//! here is the GraphSAGE-style fanout expansion: starting from the seeds,
+//! each hop keeps at most `fanout` neighbours per frontier node, chosen
+//! without replacement from the caller's [`SeedRng`]. The view is then the
+//! subgraph *induced* on the union of sampled nodes (so every edge between
+//! two sampled nodes participates, not only the sampled expansion edges),
+//! with full-graph degrees per the exactness rule of [`crate::view`].
+//!
+//! Determinism scope: given the same graph, seed list and RNG stream
+//! position, the sampled view is identical — frontier nodes are expanded in
+//! discovery order and the only RNG consumer is the per-node subset draw.
+//! When `fanout` is `None`, or a node's degree is within the fanout, **no
+//! randomness is consumed at all**; a `fanout: None` sampler is therefore a
+//! deterministic L-hop neighbourhood expansion, and with every node seeded
+//! it degenerates to the identity view.
+
+use crate::view::GraphView;
+use crate::CsrGraph;
+use e2gcl_linalg::SeedRng;
+
+/// A seed-scoped L-hop neighbour sampler (see the module docs).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NeighborSampler {
+    /// Expansion depth — normally the encoder's receptive hops `L`.
+    pub hops: usize,
+    /// Per-node neighbour budget per hop; `None` keeps every neighbour.
+    pub fanout: Option<usize>,
+}
+
+impl NeighborSampler {
+    /// A sampler expanding `hops` hops with the given per-node budget.
+    pub fn new(hops: usize, fanout: Option<usize>) -> Self {
+        Self { hops, fanout }
+    }
+
+    /// Samples the view around `seeds` (any order, duplicates allowed).
+    ///
+    /// # Panics
+    /// Panics if a seed is out of range.
+    pub fn sample(&self, g: &CsrGraph, seeds: &[usize], rng: &mut SeedRng) -> GraphView {
+        let n = g.num_nodes();
+        let mut visited = vec![false; n];
+        let mut nodes: Vec<usize> = Vec::with_capacity(seeds.len());
+        for &s in seeds {
+            assert!(s < n, "seed {s} out of range for {n} nodes");
+            if !visited[s] {
+                visited[s] = true;
+                nodes.push(s);
+            }
+        }
+        let mut frontier: Vec<usize> = nodes.clone();
+        for _ in 0..self.hops {
+            let mut next = Vec::new();
+            for &u in &frontier {
+                let neigh = g.neighbors(u);
+                let take_all = match self.fanout {
+                    None => true,
+                    Some(f) => neigh.len() <= f,
+                };
+                if take_all {
+                    for &w in neigh {
+                        let w = w as usize;
+                        if !visited[w] {
+                            visited[w] = true;
+                            next.push(w);
+                        }
+                    }
+                } else if let Some(f) = self.fanout {
+                    for i in rng.sample_without_replacement(neigh.len(), f) {
+                        let w = neigh[i] as usize;
+                        if !visited[w] {
+                            visited[w] = true;
+                            next.push(w);
+                        }
+                    }
+                }
+            }
+            if next.is_empty() {
+                break;
+            }
+            nodes.extend_from_slice(&next);
+            frontier = next;
+        }
+        nodes.sort_unstable();
+        GraphView::induced(g, nodes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    fn graph() -> CsrGraph {
+        generators::erdos_renyi(80, 0.1, &mut SeedRng::new(11))
+    }
+
+    #[test]
+    fn unbounded_sampler_is_the_khop_neighbourhood() {
+        let g = graph();
+        let s = NeighborSampler::new(2, None);
+        let view = s.sample(&g, &[7], &mut SeedRng::new(0));
+        let mut want = g.khop_neighbors(7, 2);
+        let pos = want.binary_search(&7).unwrap_err();
+        want.insert(pos, 7);
+        assert_eq!(view.nodes, want);
+    }
+
+    #[test]
+    fn unbounded_sampler_consumes_no_randomness() {
+        let g = graph();
+        let s = NeighborSampler::new(2, None);
+        let mut rng = SeedRng::new(5);
+        let before = rng.state();
+        let _ = s.sample(&g, &[3, 9, 40], &mut rng);
+        assert_eq!(rng.state(), before, "fanout=None must not draw");
+    }
+
+    #[test]
+    fn all_seeds_unbounded_is_the_identity_view() {
+        let g = graph();
+        let seeds: Vec<usize> = (0..g.num_nodes()).collect();
+        let view = NeighborSampler::new(2, None).sample(&g, &seeds, &mut SeedRng::new(1));
+        assert_eq!(view.nodes, seeds);
+        assert_eq!(view.graph, g);
+    }
+
+    #[test]
+    fn fanout_bounds_expansion_and_is_deterministic() {
+        let g = graph();
+        let s = NeighborSampler::new(2, Some(2));
+        let a = s.sample(&g, &[0, 17], &mut SeedRng::new(42));
+        let b = s.sample(&g, &[0, 17], &mut SeedRng::new(42));
+        assert_eq!(a.nodes, b.nodes);
+        assert_eq!(a.graph, b.graph);
+        // Bounded strictly below the unbounded expansion on this graph.
+        let full = s.clone();
+        let unbounded = NeighborSampler::new(2, None).sample(&g, &[0, 17], &mut SeedRng::new(0));
+        assert!(a.len() < unbounded.len(), "fanout {full:?} did not bound");
+        // Every sampled node set is a subset of the unbounded one.
+        assert!(a.nodes.iter().all(|v| unbounded.nodes.contains(v)));
+    }
+
+    #[test]
+    fn seeds_always_included_and_deduped() {
+        let g = graph();
+        let view = NeighborSampler::new(0, Some(1)).sample(&g, &[5, 5, 2], &mut SeedRng::new(0));
+        assert_eq!(view.nodes, vec![2, 5]);
+    }
+
+    #[test]
+    fn isolated_seed_yields_singleton_view() {
+        let g = CsrGraph::from_edges(4, &[(1, 2)]);
+        let view = NeighborSampler::new(3, Some(4)).sample(&g, &[0], &mut SeedRng::new(0));
+        assert_eq!(view.nodes, vec![0]);
+        assert_eq!(view.graph.num_edges(), 0);
+    }
+}

@@ -1,0 +1,235 @@
+//! Shared subgraph primitive for training and serving.
+//!
+//! A [`GraphView`] is an induced subgraph plus the bookkeeping both the
+//! mini-batch trainer and the inductive serving engine need: the local↔global
+//! node map and the **full-graph degrees** of every included node. The
+//! normalised adjacency of a view is built from those full-graph degrees
+//! (see [`subgraph_adjacency`]): interior nodes then carry exactly their
+//! full-graph adjacency rows, so an `L`-layer GCN forward over an `L`-hop
+//! view reproduces the full-graph embedding of the view's interior nodes
+//! **bitwise** — the Theorem-1 exactness argument that previously lived only
+//! in `e2gcl-serve`. Frontier rows are incomplete, but their hidden states
+//! cannot reach an interior node within `L` layers.
+//!
+//! The bitwise claim requires matching `e2gcl_graph::norm` exactly: the same
+//! `f32` expressions for the degree scaling and the same entry order per row
+//! (self-loop first, then neighbours in ascending CSR order). Both are
+//! asserted by tests here ([`GraphView::full`] must equal
+//! [`crate::norm::normalized_adjacency`] bit for bit) and by the serving
+//! round-trip tests in `crates/serve`.
+
+use crate::{CsrGraph, SparseMatrix};
+use e2gcl_linalg::Matrix;
+
+/// The normalised adjacency of a local subgraph, built from externally
+/// supplied `degrees` (one per local node — normally the **full-graph**
+/// degrees, see the module docs; the serving engine passes grown-graph
+/// degrees when attaching unseen nodes).
+///
+/// `symmetric` selects `D̃^{-1/2}(A+I)D̃^{-1/2}` (GCN/SGC) versus
+/// `D̃^{-1}(A+I)` (GraphSAGE-mean); both replicate the exact `f32`
+/// expressions and entry order of [`crate::norm`].
+pub fn subgraph_adjacency(local: &CsrGraph, degrees: &[usize], symmetric: bool) -> SparseMatrix {
+    debug_assert_eq!(local.num_nodes(), degrees.len());
+    let n = local.num_nodes();
+    let mut triplets = Vec::with_capacity(2 * local.num_edges() + n);
+    if symmetric {
+        let inv_sqrt: Vec<f32> = degrees
+            .iter()
+            .map(|&d| 1.0 / ((d + 1) as f32).sqrt())
+            .collect();
+        for (v, &inv_v) in inv_sqrt.iter().enumerate() {
+            triplets.push((v, v, inv_v * inv_v));
+            for &u in local.neighbors(v) {
+                let u = u as usize;
+                triplets.push((v, u, inv_v * inv_sqrt[u]));
+            }
+        }
+    } else {
+        for (v, &d) in degrees.iter().enumerate() {
+            let inv = 1.0 / (d + 1) as f32;
+            triplets.push((v, v, inv));
+            for &u in local.neighbors(v) {
+                triplets.push((v, u as usize, inv));
+            }
+        }
+    }
+    SparseMatrix::from_triplets(n, n, &triplets)
+}
+
+/// An induced subgraph with its local↔global node map and the full-graph
+/// degree of every included node.
+#[derive(Clone, Debug)]
+pub struct GraphView {
+    /// The induced subgraph over local indices.
+    pub graph: CsrGraph,
+    /// `nodes[local] = global` (sorted ascending).
+    pub nodes: Vec<usize>,
+    /// `degrees[local]` = degree of `nodes[local]` in the **full** graph.
+    pub degrees: Vec<usize>,
+}
+
+impl GraphView {
+    /// The subgraph induced on `nodes` (sorted ascending, duplicate-free).
+    ///
+    /// # Panics
+    /// Panics (debug) if `nodes` is not strictly sorted or out of range.
+    pub fn induced(g: &CsrGraph, nodes: Vec<usize>) -> GraphView {
+        debug_assert!(nodes.windows(2).all(|w| w[0] < w[1]), "unsorted node set");
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); nodes.len()];
+        for (local_u, &global_u) in nodes.iter().enumerate() {
+            for &global_w in g.neighbors(global_u) {
+                if let Ok(local_w) = nodes.binary_search(&(global_w as usize)) {
+                    adj[local_u].push(local_w as u32);
+                }
+            }
+        }
+        // `nodes` and every CSR neighbour list are ascending, so each mapped
+        // list is already sorted and duplicate-free.
+        let graph = CsrGraph::from_adjacency(adj);
+        let degrees = nodes.iter().map(|&v| g.degree(v)).collect();
+        GraphView {
+            graph,
+            nodes,
+            degrees,
+        }
+    }
+
+    /// The `hops`-hop ego view of `v` (the node set of
+    /// [`crate::ego::EgoNet::extract`]). The centre's local index is
+    /// `self.local(v)`.
+    pub fn ego(g: &CsrGraph, v: usize, hops: usize) -> GraphView {
+        let mut nodes = g.khop_neighbors(v, hops);
+        let pos = nodes.binary_search(&v).unwrap_err();
+        nodes.insert(pos, v);
+        Self::induced(g, nodes)
+    }
+
+    /// The identity view: every node, the whole adjacency. Its normalised
+    /// adjacency is bitwise equal to [`crate::norm::normalized_adjacency`].
+    pub fn full(g: &CsrGraph) -> GraphView {
+        GraphView {
+            graph: g.clone(),
+            nodes: (0..g.num_nodes()).collect(),
+            degrees: g.degrees(),
+        }
+    }
+
+    /// The encoder-family normalised adjacency of this view, built from the
+    /// stored full-graph degrees (see [`subgraph_adjacency`]).
+    pub fn normalized_adjacency(&self, symmetric: bool) -> SparseMatrix {
+        subgraph_adjacency(&self.graph, &self.degrees, symmetric)
+    }
+
+    /// Gathers this view's feature rows from the full feature matrix.
+    pub fn features(&self, x: &Matrix) -> Matrix {
+        x.select_rows(&self.nodes)
+    }
+
+    /// Local index of global node `v`, if included.
+    pub fn local(&self, v: usize) -> Option<usize> {
+        self.nodes.binary_search(&v).ok()
+    }
+
+    /// Number of nodes in the view.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generators, norm};
+    use e2gcl_linalg::SeedRng;
+
+    fn graph() -> CsrGraph {
+        generators::erdos_renyi(60, 0.08, &mut SeedRng::new(3))
+    }
+
+    /// The identity view's adjacency must be **bitwise** equal to the
+    /// full-graph normalisation, for both norm families — the mini-batch
+    /// trainer and the serving engine rely on this exactness.
+    #[test]
+    fn full_view_adjacency_matches_norm_bitwise() {
+        let g = graph();
+        let view = GraphView::full(&g);
+        for symmetric in [true, false] {
+            let got = view.normalized_adjacency(symmetric).to_dense();
+            let want = if symmetric {
+                norm::normalized_adjacency(&g)
+            } else {
+                norm::row_normalized_adjacency(&g)
+            }
+            .to_dense();
+            assert_eq!(got.shape(), want.shape());
+            for (a, b) in got.as_slice().iter().zip(want.as_slice()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    /// An L-hop ego view with full-graph degrees reproduces the centre row
+    /// of an L-layer propagation bitwise (the Theorem-1 exactness rule).
+    #[test]
+    fn ego_view_centre_aggregate_is_bitwise_exact() {
+        let g = graph();
+        let mut x = Matrix::zeros(g.num_nodes(), 4);
+        let mut rng = SeedRng::new(9);
+        for v in x.as_mut_slice() {
+            *v = rng.normal();
+        }
+        let layers = 2;
+        let full = norm::normalized_adjacency(&g).spmm_power(&x, layers);
+        for v in 0..g.num_nodes() {
+            let view = GraphView::ego(&g, v, layers);
+            let local = view
+                .normalized_adjacency(true)
+                .spmm_power(&view.features(&x), layers);
+            let c = view.local(v).expect("centre included");
+            assert_eq!(local.row(c), full.row(v), "node {v}");
+        }
+    }
+
+    #[test]
+    fn induced_matches_egonet_machinery() {
+        let g = graph();
+        let view = GraphView::ego(&g, 5, 2);
+        let e = crate::ego::EgoNet::extract(&g, 5, 2);
+        assert_eq!(view.nodes, e.nodes);
+        assert_eq!(view.graph, e.graph);
+        assert_eq!(view.local(5), Some(e.center));
+    }
+
+    #[test]
+    fn degrees_are_full_graph_not_local() {
+        // Path 0-1-2-3: the 1-hop view of 1 sees node 2 with local degree 1
+        // but must record its full degree 2.
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let view = GraphView::ego(&g, 1, 1);
+        assert_eq!(view.nodes, vec![0, 1, 2]);
+        let c2 = view.local(2).unwrap();
+        assert_eq!(view.graph.degree(c2), 1);
+        assert_eq!(view.degrees[c2], 2);
+    }
+
+    #[test]
+    fn features_and_local_lookup() {
+        let g = CsrGraph::from_edges(5, &[(0, 4), (4, 2)]);
+        let mut x = Matrix::zeros(5, 1);
+        for v in 0..5 {
+            x.set(v, 0, v as f32);
+        }
+        let view = GraphView::induced(&g, vec![0, 2, 4]);
+        assert_eq!(view.features(&x).as_slice(), &[0.0, 2.0, 4.0]);
+        assert_eq!(view.local(4), Some(2));
+        assert_eq!(view.local(3), None);
+        assert_eq!(view.len(), 3);
+        assert!(!view.is_empty());
+    }
+}

@@ -1,0 +1,114 @@
+//! FNV-1a 64-bit hashing — the workspace's one integrity/fingerprint hash.
+//!
+//! Every checksum in the workspace (durable checkpoints, serve artifacts,
+//! RNG fork-label mixing, golden determinism fingerprints) is the same
+//! FNV-1a fold; this module is its single definition. It is tiny,
+//! dependency-free and detects the bit-flips/truncations an integrity check
+//! is for — it is **not** cryptographic.
+//!
+//! Two entry points:
+//! * [`fnv1a64`] — one-shot hash of a byte slice (checksums).
+//! * [`Fnv1a64`] — incremental hasher for fingerprints built from many
+//!   heterogeneous values (loss curves, matrices) without materialising a
+//!   byte buffer.
+
+/// The FNV-1a 64-bit offset basis (the hash of the empty input).
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// The FNV-1a 64-bit prime.
+pub const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// One-shot FNV-1a 64-bit hash of `bytes`.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv1a64::new();
+    h.write(bytes);
+    h.finish()
+}
+
+/// Incremental FNV-1a 64-bit hasher.
+///
+/// Feeding the same bytes in the same order as [`fnv1a64`] produces the
+/// same value; the typed helpers define the workspace's canonical encoding
+/// of multi-byte values (little-endian, `f32` by zero-extended bit
+/// pattern).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Fnv1a64(u64);
+
+impl Default for Fnv1a64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv1a64 {
+    /// A hasher at the offset basis.
+    pub fn new() -> Self {
+        Self(FNV_OFFSET)
+    }
+
+    /// Folds one byte.
+    #[inline]
+    pub fn write_byte(&mut self, b: u8) {
+        self.0 ^= u64::from(b);
+        self.0 = self.0.wrapping_mul(FNV_PRIME);
+    }
+
+    /// Folds a byte slice.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_byte(b);
+        }
+    }
+
+    /// Folds a `u64` as its 8 little-endian bytes.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Folds an `f32` by its zero-extended bit pattern (8 bytes, so `f32`
+    /// and `u64` streams cannot alias each other byte-for-byte).
+    pub fn write_f32(&mut self, v: f32) {
+        self.write_u64(u64::from(v.to_bits()));
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_known_vectors() {
+        // Reference values from the FNV specification.
+        assert_eq!(fnv1a64(b""), FNV_OFFSET);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn incremental_equals_one_shot() {
+        let mut h = Fnv1a64::new();
+        h.write(b"foo");
+        h.write(b"bar");
+        assert_eq!(h.finish(), fnv1a64(b"foobar"));
+    }
+
+    #[test]
+    fn typed_writes_are_the_le_byte_encoding() {
+        let mut a = Fnv1a64::new();
+        a.write_u64(0x0102_0304_0506_0708);
+        assert_eq!(
+            a.finish(),
+            fnv1a64(&[0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01])
+        );
+        let mut b = Fnv1a64::new();
+        b.write_f32(1.5);
+        let mut c = Fnv1a64::new();
+        c.write_u64(u64::from(1.5f32.to_bits()));
+        assert_eq!(b.finish(), c.finish());
+    }
+}

@@ -15,6 +15,7 @@
 pub mod activations;
 pub mod alloc_stats;
 pub mod error;
+pub mod hash;
 pub mod init;
 pub mod matrix;
 pub mod ops;

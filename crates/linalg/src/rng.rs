@@ -98,11 +98,7 @@ impl SeedRng {
     /// The child stream depends only on the parent seed *position* and the
     /// label hash, so two forks with different labels never collide.
     pub fn fork(&mut self, label: &str) -> SeedRng {
-        let mut h: u64 = 0xcbf29ce484222325;
-        for b in label.bytes() {
-            h ^= b as u64;
-            h = h.wrapping_mul(0x100000001b3);
-        }
+        let h = crate::hash::fnv1a64(label.as_bytes());
         SeedRng::new(self.inner.gen::<u64>() ^ h)
     }
 
@@ -110,6 +106,13 @@ impl SeedRng {
     #[inline]
     pub fn uniform(&mut self) -> f32 {
         self.inner.gen::<f32>()
+    }
+
+    /// Uniform `f64` in `[0, 1)` — for weighted sampling over populations
+    /// large enough that `f32`'s 24-bit mantissa would quantise the draw.
+    #[inline]
+    pub fn uniform_f64(&mut self) -> f64 {
+        self.inner.gen::<f64>()
     }
 
     /// Uniform `f32` in `[lo, hi)`.

@@ -7,6 +7,7 @@
 //! setting, each child prints an FNV-1a fingerprint of the kernel outputs,
 //! and the parent asserts all fingerprints match.
 
+use e2gcl_linalg::hash::Fnv1a64;
 use e2gcl_linalg::{Matrix, SeedRng};
 use std::process::Command;
 
@@ -18,14 +19,13 @@ fn dense(rows: usize, cols: usize, seed: u64) -> Matrix {
 }
 
 fn fingerprint(ms: &[&Matrix]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut h = Fnv1a64::new();
     for m in ms {
-        for v in m.as_slice() {
-            h ^= u64::from(v.to_bits());
-            h = h.wrapping_mul(0x100_0000_01b3);
+        for &v in m.as_slice() {
+            h.write_f32(v);
         }
     }
-    h
+    h.finish()
 }
 
 /// Runs every blocked kernel at sizes large enough that the stand-in pool

@@ -5,6 +5,7 @@
 //! per `RAYON_NUM_THREADS` setting and compares fingerprints of the loss
 //! and both gradients.
 
+use e2gcl_linalg::hash::Fnv1a64;
 use e2gcl_linalg::{Matrix, SeedRng};
 use e2gcl_nn::loss::{info_nce_with, InfoNceScratch};
 use std::process::Command;
@@ -16,11 +17,6 @@ fn dense(rows: usize, cols: usize, seed: u64) -> Matrix {
     Matrix::from_vec(rows, cols, (0..rows * cols).map(|_| rng.normal()).collect())
 }
 
-fn fnv(h: &mut u64, bits: u32) {
-    *h ^= u64::from(bits);
-    *h = h.wrapping_mul(0x100_0000_01b3);
-}
-
 /// 600 anchors: enough rows/row-tiles that every parallel stage of
 /// `info_nce_with` (normalisation, the NT-Xent row pass, the gradient
 /// GEMMs) fans out on a multi-thread pool.
@@ -29,15 +25,15 @@ fn compute_fingerprint() -> u64 {
     let z2 = dense(600, 16, 41);
     let mut s = InfoNceScratch::default();
     let loss = info_nce_with(&z1, &z2, 0.5, &mut s);
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    fnv(&mut h, loss.to_bits());
-    for v in s.d_z1().as_slice() {
-        fnv(&mut h, v.to_bits());
+    let mut h = Fnv1a64::new();
+    h.write_f32(loss);
+    for &v in s.d_z1().as_slice() {
+        h.write_f32(v);
     }
-    for v in s.d_z2().as_slice() {
-        fnv(&mut h, v.to_bits());
+    for &v in s.d_z2().as_slice() {
+        h.write_f32(v);
     }
-    h
+    h.finish()
 }
 
 #[test]

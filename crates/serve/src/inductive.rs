@@ -7,21 +7,22 @@
 //! the frozen encoder over `v`'s `L`-hop ego net.
 //!
 //! **Exactness.** The ego adjacency is built with *full-graph* degrees, not
-//! ego-local ones. Interior nodes (hop < L) then have exactly their
-//! full-graph adjacency rows; frontier nodes (hop = L) have incomplete
-//! rows, but their hidden states cannot propagate back to the centre within
-//! `L` layers. Because node order, entry order (self-loop first, neighbours
-//! in ascending-column CSR order) and every `f32` expression match
-//! `e2gcl_graph::norm`, the centre's embedding is **bitwise identical** to
-//! the full-graph forward — not merely within tolerance (verified in
-//! `tests/serving.rs`).
+//! ego-local ones — the [`e2gcl_graph::view::GraphView`] contract, shared
+//! with mini-batch training and spelled out in `DESIGN.md` §13. Interior
+//! nodes (hop < L) then have exactly their full-graph adjacency rows;
+//! frontier nodes (hop = L) have incomplete rows, but their hidden states
+//! cannot propagate back to the centre within `L` layers. Because node
+//! order, entry order (self-loop first, neighbours in ascending-column CSR
+//! order) and every `f32` expression match `e2gcl_graph::norm`, the
+//! centre's embedding is **bitwise identical** to the full-graph forward —
+//! not merely within tolerance (verified in `tests/serving.rs`).
 //!
 //! Hot nodes are answered from an [`LruCache`]; cold nodes pay one ego
 //! forward through a pooled scratch workspace (the PR-2 zero-alloc path).
 
 use crate::lru::LruCache;
 use crate::ServeError;
-use e2gcl_graph::ego::EgoNet;
+use e2gcl_graph::view::{subgraph_adjacency, GraphView};
 use e2gcl_graph::{CsrGraph, SparseMatrix};
 use e2gcl_linalg::Matrix;
 use e2gcl_nn::{EncoderWorkspace, FrozenEncoder};
@@ -100,11 +101,11 @@ impl InductiveEngine {
         if let Some(hit) = lock(&self.cache).get(&v) {
             return Ok(hit.clone());
         }
-        let ego = EgoNet::extract(&self.graph, v, self.encoder.receptive_hops());
-        let degrees: Vec<usize> = ego.nodes.iter().map(|&g| self.graph.degree(g)).collect();
-        let adj = self.ego_adjacency(&ego.graph, &degrees);
-        let x = ego.features(&self.features);
-        let row = self.forward_center(&adj, &x, ego.center);
+        let view = GraphView::ego(&self.graph, v, self.encoder.receptive_hops());
+        let adj = view.normalized_adjacency(self.encoder.symmetric_norm());
+        let x = view.features(&self.features);
+        let center = view.local(v).expect("ego view contains its centre");
+        let row = self.forward_center(&adj, &x, center);
         lock(&self.cache).put(v, row.clone());
         Ok(row)
     }
@@ -181,7 +182,7 @@ impl InductiveEngine {
         }
         degrees.push(anchors.len());
 
-        let adj = self.ego_adjacency(&local, &degrees);
+        let adj = subgraph_adjacency(&local, &degrees, self.encoder.symmetric_norm());
         let mut x = self.features.select_rows(&nodes);
         x = x.vstack(&Matrix::from_vec(1, x_new.len(), x_new.to_vec()));
         Ok(self.forward_center(&adj, &x, m))
@@ -200,36 +201,6 @@ impl InductiveEngine {
             .to_vec();
         lock(&self.workspaces).push(ws);
         row
-    }
-
-    /// The encoder family's normalised adjacency over a local subgraph,
-    /// using the supplied (full-graph) `degrees` and replicating the exact
-    /// `f32` expressions and entry order of `e2gcl_graph::norm`.
-    fn ego_adjacency(&self, local: &CsrGraph, degrees: &[usize]) -> SparseMatrix {
-        let n = local.num_nodes();
-        let mut triplets = Vec::with_capacity(2 * local.num_edges() + n);
-        if self.encoder.symmetric_norm() {
-            let inv_sqrt: Vec<f32> = degrees
-                .iter()
-                .map(|&d| 1.0 / ((d + 1) as f32).sqrt())
-                .collect();
-            for (v, &inv_v) in inv_sqrt.iter().enumerate() {
-                triplets.push((v, v, inv_v * inv_v));
-                for &u in local.neighbors(v) {
-                    let u = u as usize;
-                    triplets.push((v, u, inv_v * inv_sqrt[u]));
-                }
-            }
-        } else {
-            for (v, &d) in degrees.iter().enumerate() {
-                let inv = 1.0 / (d + 1) as f32;
-                triplets.push((v, v, inv));
-                for &u in local.neighbors(v) {
-                    triplets.push((v, u as usize, inv));
-                }
-            }
-        }
-        SparseMatrix::from_triplets(n, n, &triplets)
     }
 }
 

@@ -25,55 +25,29 @@ use e2gcl::models::mvgrl::MvgrlModel;
 use e2gcl::models::walks::WalkModel;
 use e2gcl::prelude::*;
 
-/// FNV-1a over the bit patterns of everything numerically meaningful in a
-/// [`PretrainResult`]. Wall-clock fields (timings) are deliberately skipped.
-struct Fingerprint(u64);
-
-impl Fingerprint {
-    fn new() -> Self {
-        Self(0xcbf2_9ce4_8422_2325)
-    }
-
-    fn byte(&mut self, b: u8) {
-        self.0 ^= u64::from(b);
-        self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-
-    fn u64(&mut self, v: u64) {
-        for b in v.to_le_bytes() {
-            self.byte(b);
-        }
-    }
-
-    fn f32(&mut self, v: f32) {
-        self.u64(u64::from(v.to_bits()));
-    }
-
-    fn matrix(&mut self, m: &Matrix) {
-        self.u64(m.rows() as u64);
-        self.u64(m.cols() as u64);
-        for &v in m.as_slice() {
-            self.f32(v);
-        }
-    }
-
-    fn result(&mut self, r: &PretrainResult) {
-        self.u64(r.loss_curve.len() as u64);
-        for &l in &r.loss_curve {
-            self.f32(l);
-        }
-        self.matrix(&r.embeddings);
-        self.u64(r.checkpoints.len() as u64);
-        for (_, m) in &r.checkpoints {
-            self.matrix(m);
-        }
+/// FNV-1a (the shared [`e2gcl::durable::Fnv1a64`] hasher) over the bit
+/// patterns of everything numerically meaningful in a [`PretrainResult`].
+/// Wall-clock fields (timings) are deliberately skipped.
+fn hash_matrix(h: &mut e2gcl::durable::Fnv1a64, m: &Matrix) {
+    h.write_u64(m.rows() as u64);
+    h.write_u64(m.cols() as u64);
+    for &v in m.as_slice() {
+        h.write_f32(v);
     }
 }
 
 fn fingerprint(r: &PretrainResult) -> u64 {
-    let mut fp = Fingerprint::new();
-    fp.result(r);
-    fp.0
+    let mut h = e2gcl::durable::Fnv1a64::new();
+    h.write_u64(r.loss_curve.len() as u64);
+    for &l in &r.loss_curve {
+        h.write_f32(l);
+    }
+    hash_matrix(&mut h, &r.embeddings);
+    h.write_u64(r.checkpoints.len() as u64);
+    for (_, m) in &r.checkpoints {
+        hash_matrix(&mut h, m);
+    }
+    h.finish()
 }
 
 fn tiny_cfg() -> TrainConfig {

@@ -14,47 +14,29 @@ use e2gcl::models::dgi::DgiModel;
 use e2gcl::prelude::*;
 use std::path::PathBuf;
 
-/// FNV-1a over every bit-relevant field of a [`PretrainResult`]; wall-clock
-/// checkpoint timestamps are skipped. Mirrors `golden_determinism.rs`.
-struct Fingerprint(u64);
-
-impl Fingerprint {
-    fn new() -> Self {
-        Self(0xcbf2_9ce4_8422_2325)
-    }
-
-    fn u64(&mut self, v: u64) {
-        for b in v.to_le_bytes() {
-            self.0 ^= u64::from(b);
-            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-    }
-
-    fn f32(&mut self, v: f32) {
-        self.u64(u64::from(v.to_bits()));
-    }
-
-    fn matrix(&mut self, m: &Matrix) {
-        self.u64(m.rows() as u64);
-        self.u64(m.cols() as u64);
-        for &v in m.as_slice() {
-            self.f32(v);
-        }
+/// FNV-1a (the shared [`e2gcl::durable::Fnv1a64`] hasher) over every
+/// bit-relevant field of a [`PretrainResult`]; wall-clock checkpoint
+/// timestamps are skipped. Mirrors `golden_determinism.rs`.
+fn hash_matrix(h: &mut e2gcl::durable::Fnv1a64, m: &Matrix) {
+    h.write_u64(m.rows() as u64);
+    h.write_u64(m.cols() as u64);
+    for &v in m.as_slice() {
+        h.write_f32(v);
     }
 }
 
 fn fingerprint(r: &PretrainResult) -> u64 {
-    let mut fp = Fingerprint::new();
-    fp.u64(r.loss_curve.len() as u64);
+    let mut h = e2gcl::durable::Fnv1a64::new();
+    h.write_u64(r.loss_curve.len() as u64);
     for &l in &r.loss_curve {
-        fp.f32(l);
+        h.write_f32(l);
     }
-    fp.matrix(&r.embeddings);
-    fp.u64(r.checkpoints.len() as u64);
+    hash_matrix(&mut h, &r.embeddings);
+    h.write_u64(r.checkpoints.len() as u64);
     for (_, m) in &r.checkpoints {
-        fp.matrix(m);
+        hash_matrix(&mut h, m);
     }
-    fp.0
+    h.finish()
 }
 
 /// A scratch checkpoint path under the system temp dir, removed on drop.
@@ -107,15 +89,23 @@ fn pretrain(
 /// the crash leaves a `next_epoch = 4` checkpoint on disk), resume, and
 /// assert the resumed result is bit-identical to an uninterrupted run.
 fn assert_resume_is_bitwise_identical(name: &str, model: &dyn ContrastiveModel) {
+    assert_resume_is_bitwise_identical_with(name, model, tiny_cfg());
+}
+
+fn assert_resume_is_bitwise_identical_with(
+    name: &str,
+    model: &dyn ContrastiveModel,
+    base_cfg: TrainConfig,
+) {
     let data = NodeDataset::generate(&spec("cora-sim").expect("spec"), 0.05, 0);
     let ckpt = TempCkpt::new(name);
 
     // Reference: the same 6 epochs, never interrupted, no disk involved.
-    let clean = pretrain(model, &tiny_cfg(), &data).expect("clean run");
+    let clean = pretrain(model, &base_cfg, &data).expect("clean run");
 
     // Interrupted: NaN loss at epoch 4 under FailFast aborts the run after
     // the epoch-3 durable checkpoint was written.
-    let mut cfg = tiny_cfg();
+    let mut cfg = base_cfg;
     cfg.durable = Some(DurableConfig {
         path: ckpt.as_str(),
         every_epochs: 2,
@@ -169,6 +159,40 @@ fn e2gcl_per_node_resume_is_bitwise_identical() {
 fn grace_resume_is_bitwise_identical() {
     use e2gcl::models::grace::GraceModel;
     assert_resume_is_bitwise_identical("grace", &GraceModel::grace());
+}
+
+/// Mini-batch settings small enough that cora-sim at 0.05 (135 nodes) splits
+/// into several genuinely sampled batches per epoch.
+fn minibatch_cfg() -> TrainConfig {
+    TrainConfig {
+        minibatch: Some(MinibatchConfig {
+            batch_nodes: 32,
+            fanout: Some(4),
+        }),
+        ..tiny_cfg()
+    }
+}
+
+/// The durable checkpoint also covers the sampled path: the trainer RNG state
+/// it records replays the anchor shuffle and neighbour draws of the remaining
+/// epochs exactly.
+#[test]
+fn e2gcl_minibatch_resume_is_bitwise_identical() {
+    assert_resume_is_bitwise_identical_with(
+        "e2gcl-minibatch",
+        &E2gclModel::default(),
+        minibatch_cfg(),
+    );
+}
+
+#[test]
+fn grace_minibatch_resume_is_bitwise_identical() {
+    use e2gcl::models::grace::GraceModel;
+    assert_resume_is_bitwise_identical_with(
+        "grace-minibatch",
+        &GraceModel::grace(),
+        minibatch_cfg(),
+    );
 }
 
 #[test]
