@@ -37,6 +37,16 @@
 #                                   the streaming products-sim-1m analog and
 #                                   fails if the committed BENCH_scale.json
 #                                   is missing or lacks 1M-node cases
+#  12. ANN index smoke            — build an IVF index over the serve-smoke
+#                                   artifact twice (bitwise-identical files),
+#                                   gate measured recall@10 >= 0.95, answer
+#                                   an indexed `query`, and run a short
+#                                   indexed `serve-bench` with the load
+#                                   generator
+#  13. serve bench smoke          — serve_latency --quick runs shrunken
+#                                   latency/ANN/loadgen tiers and fails if
+#                                   the committed BENCH_serve.json is
+#                                   missing or below the retrieval contract
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -54,7 +64,7 @@ echo "==> lint: no .unwrap()/panic! in non-test library code"
 # so everything before the first #[cfg(test)] is production code. Comment
 # lines (incl. doc comments) are skipped.
 fail=0
-for f in $(find crates/selector/src crates/views/src crates/nn/src crates/e2gcl/src crates/serve/src crates/bench/src/bin/kernel_bench.rs crates/bench/src/bin/scale_bench.rs -name '*.rs' | sort); do
+for f in $(find crates/selector/src crates/views/src crates/nn/src crates/e2gcl/src crates/serve/src crates/bench/src/flags.rs crates/bench/src/bin/kernel_bench.rs crates/bench/src/bin/scale_bench.rs crates/bench/src/bin/serve_latency.rs -name '*.rs' | sort); do
     hits=$(awk '/#\[cfg\(test\)\]/{exit} {sub(/^[ \t]+/, ""); if ($0 !~ /^\/\//) print FILENAME":"FNR": "$0}' "$f" \
         | grep -E '\.unwrap\(\)|panic!' || true)
     if [ -n "$hits" ]; then
@@ -166,5 +176,38 @@ rm -f "$mb_artifact" "$mb_resumed" "$mb_ckpt"
 echo "==> scale bench smoke: mini-batch pipeline on the streaming 1M-tier analog"
 cargo run --release --offline -q -p e2gcl-bench --bin scale_bench -- --quick
 test -s target/bench-results/scale_bench_quick.json
+
+echo "==> ANN index smoke: deterministic build, recall gate, indexed serving"
+# Reuses the artifact trained by the serve smoke stage. build-index prints a
+# measured recall over evenly-spaced stored queries; gate it at the 0.95
+# contract, then prove the build is reproducible by rebuilding to the same
+# bytes and serve through the index end to end.
+test -s "$artifact"
+ix_a=target/ci-index-a.ivf
+ix_b=target/ci-index-b.ivf
+rm -f "$ix_a" "$ix_b"
+ix_out=$(target/release/e2gcl-cli build-index --artifact "$artifact" --out "$ix_a" --recall-k 10)
+echo "$ix_out"
+recall=$(echo "$ix_out" | sed -n 's/^recall@10 over .* stored queries: //p')
+awk -v r="$recall" 'BEGIN { exit !(r >= 0.95) }' || {
+    echo "error: recall@10 $recall is below the 0.95 contract" >&2
+    exit 1
+}
+target/release/e2gcl-cli build-index --artifact "$artifact" --out "$ix_b" --recall-k 10 > /dev/null
+cmp "$ix_a" "$ix_b"                            # rebuild is bitwise identical
+ivf_q=$(target/release/e2gcl-cli query --artifact "$artifact" --node 0 --k 5 --index ivf --index-path "$ix_a")
+echo "$ivf_q" | grep -q "top-5 cosine neighbours"
+[ "$(echo "$ivf_q" | grep -c 'score')" -eq 5 ]
+bench_json=target/ci-serve-bench.json
+rm -f "$bench_json"
+target/release/e2gcl-cli serve-bench --artifact "$artifact" --rounds 5 --overload-rounds 5 \
+    --index ivf --index-path "$ix_a" --target-qps 2000 --loadgen-requests 200 --json "$bench_json"
+grep -q '"index"' "$bench_json"                # the index config is recorded...
+grep -q '"loadgen"' "$bench_json"              # ...alongside the load-generator section
+rm -f "$ix_a" "$ix_b" "$bench_json"
+
+echo "==> serve bench smoke: latency/ANN/loadgen quick tiers + recorded baseline"
+cargo run --release --offline -q -p e2gcl-bench --bin serve_latency -- --quick
+test -s target/bench-results/serve_latency_quick.json
 
 echo "CI passed."

@@ -22,6 +22,7 @@
 
 use e2gcl::models::grace::GraceModel;
 use e2gcl::prelude::*;
+use e2gcl_bench::flags::FlagSet;
 use e2gcl_bench::report;
 use e2gcl_graph::SparseMatrix;
 use e2gcl_linalg::{ops, Matrix};
@@ -463,7 +464,14 @@ fn print_gemm_table(entries: &[GemmEntry]) {
 }
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let flags = match FlagSet::new().switch("quick").parse_env() {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("kernel_bench: {e}");
+            std::process::exit(2);
+        }
+    };
+    let quick = flags.is_set("quick");
     let mode = if quick { "quick" } else { "full" };
     println!("kernel_bench — mode: {mode}");
 

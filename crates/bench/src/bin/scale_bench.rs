@@ -25,6 +25,7 @@
 
 use e2gcl::models::grace::GraceModel;
 use e2gcl::prelude::*;
+use e2gcl_bench::flags::FlagSet;
 use e2gcl_bench::report;
 use serde::Serialize;
 use std::time::Instant;
@@ -187,7 +188,14 @@ fn print_case(c: &ScaleCase) {
 }
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let flags = match FlagSet::new().switch("quick").parse_env() {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("scale_bench: {e}");
+            std::process::exit(2);
+        }
+    };
+    let quick = flags.is_set("quick");
     let mode = if quick { "quick" } else { "full" };
     println!("scale_bench — mode: {mode} (batch_nodes {BATCH_NODES}, fanout {FANOUT})");
 

@@ -8,6 +8,7 @@
 //!   with our measurements (`EXPERIMENTS.md` records the comparison);
 //! * [`report`] — aligned-table printing and JSON result emission.
 
+pub mod flags;
 pub mod reference;
 pub mod registry;
 pub mod report;

@@ -13,8 +13,9 @@ use e2gcl_datasets::registry;
 use e2gcl_selector::greedy::GreedySelector;
 use e2gcl_selector::NodeSelector;
 use e2gcl_serve::{
-    run_latency_bench, run_overload_bench, Artifact, ArtifactMeta, BatchServer, BenchOptions,
-    EmbeddingStore, InductiveEngine, OverloadOptions, RuntimeConfig, ServeFaultPlan,
+    run_latency_bench, run_load, run_overload_bench, Artifact, ArtifactMeta, BatchServer,
+    BenchOptions, EmbeddingStore, InductiveEngine, IvfConfig, IvfIndex, LoadGenOptions,
+    MicroBatcher, OverloadOptions, RuntimeConfig, SchedulerConfig, ServeFaultPlan,
 };
 use e2gcl_views::{ViewConfig, ViewGenerator};
 use serde::Serialize;
@@ -462,6 +463,46 @@ pub fn train(argv: &[String]) -> i32 {
     })())
 }
 
+/// Builds (or loads and validates) an IVF index for `store` from the
+/// shared `--nlist` / `--nprobe` / `--train-sample` / `--kmeans-iters` /
+/// `--index-seed` / `--index-path` flags.
+fn ivf_for_store(args: &Args, store: &EmbeddingStore, seed: u64) -> Result<IvfIndex, String> {
+    let index_path = args.get("index-path", "");
+    let nprobe: usize = args.get_parse("nprobe", 0)?; // 0 = keep index default
+    let mut index = if !index_path.is_empty() && Path::new(&index_path).exists() {
+        let mut ix = IvfIndex::load(Path::new(&index_path)).map_err(|e| e.to_string())?;
+        ix.pack(store).map_err(|e| e.to_string())?;
+        eprintln!("loaded ivf index from {index_path}: {} lists", ix.nlist());
+        ix
+    } else {
+        let defaults = IvfConfig::for_rows(store.len());
+        let cfg = IvfConfig {
+            nlist: args.get_parse("nlist", defaults.nlist)?,
+            nprobe: defaults.nprobe,
+            train_sample: args.get_parse("train-sample", defaults.train_sample)?,
+            kmeans_iters: args.get_parse("kmeans-iters", defaults.kmeans_iters)?,
+            seed: args.get_parse("index-seed", seed)?,
+        };
+        let t0 = std::time::Instant::now();
+        let ix = IvfIndex::build(store, cfg).map_err(|e| e.to_string())?;
+        eprintln!(
+            "built ivf index: {} lists over {} rows in {:.2}s",
+            ix.nlist(),
+            store.len(),
+            t0.elapsed().as_secs_f64()
+        );
+        if !index_path.is_empty() {
+            ix.save(Path::new(&index_path)).map_err(|e| e.to_string())?;
+            eprintln!("saved ivf index to {index_path}");
+        }
+        ix
+    };
+    if nprobe > 0 {
+        index.set_nprobe(nprobe);
+    }
+    Ok(index)
+}
+
 /// `e2gcl query`
 pub fn query(argv: &[String]) -> i32 {
     run_or_usage((|| {
@@ -470,6 +511,7 @@ pub fn query(argv: &[String]) -> i32 {
         let node: usize = args.get_parse("node", 0)?;
         let k: usize = args.get_parse("k", 10)?;
         let mode = args.get("mode", "stored");
+        let index_kind = args.get("index", "none");
         let artifact = Artifact::load(Path::new(&path)).map_err(|e| e.to_string())?;
         eprintln!(
             "loaded {path}: {} on {} (scale {}, seed {}), {} x {} embeddings",
@@ -492,7 +534,19 @@ pub fn query(argv: &[String]) -> i32 {
             }
             other => return Err(format!("unknown --mode '{other}' (stored | inductive)")),
         };
-        let hits = store.top_k(&q, k).map_err(|e| e.to_string())?;
+        let hits = match index_kind.as_str() {
+            "none" => store.top_k(&q, k).map_err(|e| e.to_string())?,
+            "ivf" => {
+                let index = ivf_for_store(&args, &store, artifact.meta.seed)?;
+                eprintln!(
+                    "searching via ivf ({} lists, probing {})",
+                    index.nlist(),
+                    index.nprobe()
+                );
+                index.search(&store, &q, k).map_err(|e| e.to_string())?
+            }
+            other => return Err(format!("unknown --index '{other}' (none | ivf)")),
+        };
         if hits.is_empty() {
             return Err("store returned no hits".to_string());
         }
@@ -504,6 +558,52 @@ pub fn query(argv: &[String]) -> i32 {
     })())
 }
 
+/// `e2gcl build-index`
+pub fn build_index(argv: &[String]) -> i32 {
+    run_or_usage((|| {
+        let args = Args::parse(argv)?;
+        let path = args.get("artifact", "model.e2gcl");
+        let out = args.get("out", "model.ivf");
+        let recall_k: usize = args.get_parse("recall-k", 10)?;
+        let recall_queries: usize = args.get_parse("recall-queries", 64)?;
+        let artifact = Artifact::load(Path::new(&path)).map_err(|e| e.to_string())?;
+        let store = EmbeddingStore::new(artifact.embeddings.clone());
+        let defaults = IvfConfig::for_rows(store.len());
+        let cfg = IvfConfig {
+            nlist: args.get_parse("nlist", defaults.nlist)?,
+            nprobe: args.get_parse("nprobe", defaults.nprobe)?,
+            train_sample: args.get_parse("train-sample", defaults.train_sample)?,
+            kmeans_iters: args.get_parse("kmeans-iters", defaults.kmeans_iters)?,
+            seed: args.get_parse("index-seed", artifact.meta.seed)?,
+        };
+        let t0 = std::time::Instant::now();
+        let index = IvfIndex::build(&store, cfg).map_err(|e| e.to_string())?;
+        let build_secs = t0.elapsed().as_secs_f64();
+        // Evenly spaced stored rows make a deterministic recall probe the
+        // CI gate can threshold on.
+        let m = recall_queries.min(store.len()).max(1);
+        let queries: Vec<usize> = (0..m).map(|i| i * store.len() / m).collect();
+        let recall = index
+            .measure_recall(&store, &queries, recall_k)
+            .map_err(|e| e.to_string())?;
+        index.save(Path::new(&out)).map_err(|e| e.to_string())?;
+        let bytes = std::fs::metadata(&out).map(|m| m.len()).unwrap_or(0);
+        println!(
+            "built ivf index over {} x {} rows: {} lists, nprobe {}, \
+             {build_secs:.2}s build, {bytes} bytes -> {out}",
+            store.len(),
+            store.dim(),
+            index.nlist(),
+            index.nprobe()
+        );
+        println!(
+            "recall@{recall_k} over {} stored queries: {recall:.4}",
+            queries.len()
+        );
+        Ok(0)
+    })())
+}
+
 /// Shape of `BENCH_serve.json` (shared with the bench bin by convention).
 #[derive(Serialize)]
 struct ServeBenchDump {
@@ -511,9 +611,14 @@ struct ServeBenchDump {
     model: String,
     dataset: String,
     num_nodes: usize,
+    store_rows: usize,
     embedding_dim: usize,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    index: Option<IvfConfig>,
     batches: Vec<e2gcl_serve::BatchBenchReport>,
     overload: e2gcl_serve::OverloadReport,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    loadgen: Option<e2gcl_serve::LoadGenReport>,
 }
 
 /// `e2gcl serve-bench`
@@ -529,6 +634,11 @@ pub fn serve_bench(argv: &[String]) -> i32 {
         let queue_cap: usize = args.get_parse("queue-cap", 32)?;
         let deadline_us: u64 = args.get_parse("deadline-us", 0)?;
         let inductive_fail_every: usize = args.get_parse("inductive-fail-every", 7)?;
+        let index_kind = args.get("index", "none");
+        let target_qps: f64 = args.get_parse("target-qps", 0.0)?;
+        let loadgen_requests: usize = args.get_parse("loadgen-requests", 2000)?;
+        let max_batch: usize = args.get_parse("max-batch", 64)?;
+        let max_wait_us: u64 = args.get_parse("max-wait-us", 500)?;
         let (artifact, data) = if path.is_empty() {
             let c = common(&args)?;
             eprintln!(
@@ -546,6 +656,16 @@ pub fn serve_bench(argv: &[String]) -> i32 {
         let mut server =
             BatchServer::from_artifact(&artifact, data.graph.clone(), data.features.clone())
                 .map_err(|e| e.to_string())?;
+        let index_cfg = match index_kind.as_str() {
+            "none" => None,
+            "ivf" => {
+                let index = ivf_for_store(&args, server.store(), artifact.meta.seed)?;
+                let cfg = index.config();
+                server = server.with_index(index).map_err(|e| e.to_string())?;
+                Some(cfg)
+            }
+            other => return Err(format!("unknown --index '{other}' (none | ivf)")),
+        };
         let opts = BenchOptions {
             rounds,
             k,
@@ -613,14 +733,49 @@ pub fn serve_bench(argv: &[String]) -> i32 {
             overload.throttled_rounds,
             overload.latency.p99_us
         );
+        // Closed-loop load generation through the micro-batcher at the
+        // requested offered rate (skipped when --target-qps is 0).
+        let loadgen = if target_qps > 0.0 {
+            let scheduler = SchedulerConfig {
+                max_batch,
+                max_wait_us,
+            };
+            let mut batcher = MicroBatcher::new(scheduler);
+            let lg_opts = LoadGenOptions {
+                target_qps,
+                requests: loadgen_requests,
+                k,
+                inductive_every: 0,
+                seed: artifact.meta.seed ^ 0x10ad,
+            };
+            let report = run_load(&mut server, &mut batcher, &lg_opts);
+            println!(
+                "loadgen: target {:.0} qps, achieved {:.0} qps, {}/{} answered, \
+                 {} batches (mean {:.1}), p50 {:.1} us p99 {:.1} us",
+                report.target_qps,
+                report.achieved_qps,
+                report.answered,
+                report.offered,
+                report.batches,
+                report.mean_batch,
+                report.latency.p50_us,
+                report.latency.p99_us
+            );
+            Some(report)
+        } else {
+            None
+        };
         let dump = ServeBenchDump {
             name: "serve_latency".to_string(),
             model: artifact.meta.model.clone(),
             dataset: artifact.meta.dataset.clone(),
             num_nodes: artifact.embeddings.rows(),
+            store_rows: artifact.embeddings.rows(),
             embedding_dim: artifact.embeddings.cols(),
+            index: index_cfg,
             batches: reports,
             overload,
+            loadgen,
         };
         std::fs::write(
             &json_path,

@@ -8,6 +8,7 @@
 //! e2gcl view      --dataset cora-sim --node 5  sample an Alg. 3 ego view
 //! e2gcl train     --save model.e2gcl [...]     pre-train, save a serving artifact
 //! e2gcl query     --artifact model.e2gcl [...] top-k similarity over an artifact
+//! e2gcl build-index --artifact model.e2gcl     build + save a deterministic IVF index
 //! e2gcl serve-bench [...]                      batch-serving latency percentiles
 //! ```
 //!
@@ -28,6 +29,7 @@ fn main() {
         Some("graphcls") => commands::graphcls(&argv[1..]),
         Some("train") => commands::train(&argv[1..]),
         Some("query") => commands::query(&argv[1..]),
+        Some("build-index") => commands::build_index(&argv[1..]),
         Some("serve-bench") => commands::serve_bench(&argv[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print_usage();
@@ -59,6 +61,7 @@ COMMANDS:
     graphcls    pre-train on a multi-graph collection, classify graphs
     train       pre-train and save a serving artifact (encoder + embeddings)
     query       answer top-k similarity queries against a saved artifact
+    build-index build a deterministic IVF ANN index over an artifact's store
     serve-bench measure batch-serving latency percentiles (p50/p95/p99)
     help        show this message
 
@@ -106,12 +109,36 @@ QUERY:
     --node <n>           query node id (default 0)
     --k <n>              neighbours to return (default 10)
     --mode <m>           stored | inductive (default stored)
+    --index <kind>       none | ivf — route top-k through an ANN index
+                         (default none = exact brute force)
+    --nprobe <n>         ivf: inverted lists scanned per query, 0 = index
+                         default (default 0)
+    --index-path <path>  ivf: load the index from <path> if it exists,
+                         otherwise build and save it there
+
+BUILD-INDEX:
+    --artifact <path>    artifact whose embeddings to index (default model.e2gcl)
+    --out <path>         index output path (default model.ivf)
+    --nlist <n>          inverted lists (default ~sqrt(rows), clamped)
+    --nprobe <n>         default lists scanned per query
+    --train-sample <n>   rows sampled for k-means training
+    --kmeans-iters <n>   Lloyd iterations
+    --index-seed <u64>   quantizer seed (default: artifact seed)
+    --recall-k <n>       k for the printed recall probe (default 10)
+    --recall-queries <n> stored queries in the recall probe (default 64)
 
 SERVE-BENCH:
     --artifact <path>    artifact to serve (omit to train a fresh model first)
     --rounds <n>         batches per batch size (default 50)
     --k <n>              top-k per query (default 10)
     --json <path>        machine-readable report (default BENCH_serve.json)
+    --index <kind>       none | ivf — attach an ANN index to the server
+                         (default none; accepts the QUERY ivf flags)
+    --target-qps <f64>   closed-loop load-generator section at this offered
+                         rate through the micro-batcher, 0 = skip (default 0)
+    --loadgen-requests <n>  requests in the load-generator trial (default 2000)
+    --max-batch <n>      micro-batcher: flush at this many requests (default 64)
+    --max-wait-us <n>    micro-batcher: max coalescing wait (default 500)
     --burst <n>          overload section: requests per burst (default 64)
     --overload-rounds <n>  overload section: bursts offered (default 30)
     --queue-cap <n>      bounded admission queue + high-water mark (default 32)

@@ -72,6 +72,45 @@ pub fn lane_dot(a: &[f32], b: &[f32]) -> f32 {
     s
 }
 
+/// Four [`lane_dot`]s of one row `a` against four equal-length rows,
+/// register-tiled so every loaded chunk of `a` is reused four times (the
+/// 1 x 4 analogue of the blocked GEMM micro-kernel's tile). Lane
+/// decomposition, combine order and tail order are exactly those of
+/// [`lane_dot`], so `out[j]` is bit-identical to `lane_dot(a, b_j)`.
+#[inline]
+pub fn lane_dot4(a: &[f32], b0: &[f32], b1: &[f32], b2: &[f32], b3: &[f32]) -> [f32; 4] {
+    const LANES: usize = 4;
+    debug_assert!(a.len() == b0.len() && a.len() == b1.len());
+    debug_assert!(a.len() == b2.len() && a.len() == b3.len());
+    let mut acc = [[0.0f32; LANES]; 4];
+    let it = a
+        .chunks_exact(LANES)
+        .zip(b0.chunks_exact(LANES))
+        .zip(b1.chunks_exact(LANES))
+        .zip(b2.chunks_exact(LANES))
+        .zip(b3.chunks_exact(LANES));
+    for ((((ca, c0), c1), c2), c3) in it {
+        for l in 0..LANES {
+            let x = ca[l];
+            acc[0][l] += x * c0[l];
+            acc[1][l] += x * c1[l];
+            acc[2][l] += x * c2[l];
+            acc[3][l] += x * c3[l];
+        }
+    }
+    let tail = a.len() - a.len() % LANES;
+    let mut out = [0.0f32; 4];
+    for (j, b) in [b0, b1, b2, b3].into_iter().enumerate() {
+        let lanes = acc[j];
+        let mut s = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+        for (&x, &y) in a[tail..].iter().zip(&b[tail..]) {
+            s += x * y;
+        }
+        out[j] = s;
+    }
+    out
+}
+
 /// `y += s * x` for slices.
 #[inline]
 pub fn axpy_slice(y: &mut [f32], s: f32, x: &[f32]) {
@@ -123,6 +162,28 @@ mod tests {
     fn distances() {
         assert_eq!(sq_dist(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
         assert!((dist(&[0.0, 0.0], &[3.0, 4.0]) - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lane_dot4_is_bitwise_lane_dot() {
+        // Lengths straddling the LANES boundary, including ragged tails.
+        for len in [1usize, 3, 4, 5, 7, 8, 13, 32, 33] {
+            let gen = |salt: usize| -> Vec<f32> {
+                (0..len)
+                    .map(|i| ((i * 31 + salt * 17 + 7) % 23) as f32 / 7.0 - 1.5)
+                    .collect()
+            };
+            let a = gen(0);
+            let b: Vec<Vec<f32>> = (1..=4).map(gen).collect();
+            let tiled = lane_dot4(&a, &b[0], &b[1], &b[2], &b[3]);
+            for j in 0..4 {
+                assert_eq!(
+                    tiled[j].to_bits(),
+                    lane_dot(&a, &b[j]).to_bits(),
+                    "len {len}, row {j}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -361,7 +361,7 @@ fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
     out.extend_from_slice(b);
 }
 
-fn put_matrix(out: &mut Vec<u8>, m: &Matrix) {
+pub(crate) fn put_matrix(out: &mut Vec<u8>, m: &Matrix) {
     out.extend_from_slice(&(m.rows() as u32).to_le_bytes());
     out.extend_from_slice(&(m.cols() as u32).to_le_bytes());
     for &v in m.as_slice() {
@@ -369,14 +369,15 @@ fn put_matrix(out: &mut Vec<u8>, m: &Matrix) {
     }
 }
 
-/// Bounds-checked sequential reader over the payload.
-struct Cursor<'a> {
+/// Bounds-checked sequential reader over the payload (shared with the IVF
+/// index format in [`crate::index`], which mirrors the artifact framing).
+pub(crate) struct Cursor<'a> {
     buf: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Cursor<'a> {
-    fn new(buf: &'a [u8]) -> Self {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
         Self { buf, pos: 0 }
     }
 
@@ -397,12 +398,12 @@ impl<'a> Cursor<'a> {
         Ok(self.take(1)?[0])
     }
 
-    fn take_u32(&mut self) -> Result<u32, ArtifactError> {
+    pub(crate) fn take_u32(&mut self) -> Result<u32, ArtifactError> {
         let b = self.take(4)?;
         Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
     }
 
-    fn take_u64(&mut self) -> Result<u64, ArtifactError> {
+    pub(crate) fn take_u64(&mut self) -> Result<u64, ArtifactError> {
         let b = self.take(8)?;
         let mut a = [0u8; 8];
         a.copy_from_slice(b);
@@ -421,7 +422,7 @@ impl<'a> Cursor<'a> {
             .map_err(|_| ArtifactError::Corrupt("string field is not UTF-8".into()))
     }
 
-    fn take_matrix(&mut self) -> Result<Matrix, ArtifactError> {
+    pub(crate) fn take_matrix(&mut self) -> Result<Matrix, ArtifactError> {
         let rows = self.take_u32()? as usize;
         let cols = self.take_u32()? as usize;
         let count = rows.checked_mul(cols).ok_or_else(|| {
@@ -438,7 +439,7 @@ impl<'a> Cursor<'a> {
     }
 
     /// Asserts the payload was consumed exactly.
-    fn finish(&self) -> Result<(), ArtifactError> {
+    pub(crate) fn finish(&self) -> Result<(), ArtifactError> {
         if self.pos != self.buf.len() {
             return Err(ArtifactError::Corrupt(format!(
                 "{} unread bytes inside payload",

@@ -22,17 +22,23 @@
 
 pub mod artifact;
 pub mod histogram;
+pub mod index;
 pub mod inductive;
+pub mod loadgen;
 pub mod lru;
 pub mod runtime;
+pub mod scheduler;
 pub mod server;
 pub mod store;
 
 pub use artifact::{Artifact, ArtifactError, ArtifactMeta};
 pub use histogram::{LatencyHistogram, LatencySummary};
+pub use index::{IvfConfig, IvfIndex};
 pub use inductive::InductiveEngine;
+pub use loadgen::{find_max_sustainable, run_load, LoadGenOptions, LoadGenReport, SustainedReport};
 pub use lru::LruCache;
 pub use runtime::{Clock, ErrorKind, RejectCause, RuntimeConfig, ServeFaultPlan, ShedStats};
+pub use scheduler::{Completed, MicroBatcher, SchedulerConfig, SchedulerStats};
 pub use server::{
     run_latency_bench, run_overload_bench, BatchBenchReport, BatchServer, BenchOptions,
     OverloadOptions, OverloadReport, Request, Response,
@@ -70,6 +76,12 @@ pub enum ServeError {
         /// Sequence number of the query the plan selected.
         seq: u64,
     },
+    /// An [`IvfIndex`] used against a store it was not built over (shape
+    /// or content checksum drift), or an invalid index build request.
+    IndexMismatch {
+        /// What disagreed.
+        reason: String,
+    },
 }
 
 impl ServeError {
@@ -82,6 +94,7 @@ impl ServeError {
             ServeError::NoProbe => ErrorKind::NoProbe,
             ServeError::NoInductiveEngine => ErrorKind::NoInductiveEngine,
             ServeError::FaultInjected { .. } => ErrorKind::FaultInjected,
+            ServeError::IndexMismatch { .. } => ErrorKind::IndexMismatch,
         }
     }
 }
@@ -111,6 +124,9 @@ impl fmt::Display for ServeError {
             }
             ServeError::FaultInjected { seq } => {
                 write!(f, "injected fault (fault plan selected query #{seq})")
+            }
+            ServeError::IndexMismatch { reason } => {
+                write!(f, "index mismatch: {reason}")
             }
         }
     }

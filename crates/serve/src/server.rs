@@ -24,6 +24,7 @@
 //! overload behaviour above is exactly reproducible in tests.
 
 use crate::histogram::{LatencyHistogram, LatencySummary};
+use crate::index::IvfIndex;
 use crate::inductive::InductiveEngine;
 use crate::runtime::{Clock, ErrorKind, RejectCause, RuntimeConfig, ServeFaultPlan, ShedStats};
 use crate::store::{EmbeddingStore, Hit};
@@ -138,6 +139,7 @@ const COST_EWMA_ALPHA: f64 = 0.2;
 /// overload policy.
 pub struct BatchServer {
     store: EmbeddingStore,
+    index: Option<IvfIndex>,
     inductive: Option<InductiveEngine>,
     histograms: BTreeMap<usize, LatencyHistogram>,
     runtime: RuntimeConfig,
@@ -157,6 +159,7 @@ impl BatchServer {
     pub fn new(store: EmbeddingStore) -> Self {
         Self {
             store,
+            index: None,
             inductive: None,
             histograms: BTreeMap::new(),
             runtime: RuntimeConfig::default(),
@@ -205,6 +208,33 @@ impl BatchServer {
         self.fault_active = plan.is_active_for(self.artifact_seed);
         self.fault = plan;
         self
+    }
+
+    /// Attaches an [`IvfIndex`]: every top-k (stored *and* inductive)
+    /// routes through ANN probe + exact re-rank instead of the brute-force
+    /// scan. Fails with [`ServeError::IndexMismatch`] unless the index was
+    /// built over byte-for-byte this store ([`IvfIndex::matches`]).
+    pub fn with_index(mut self, mut index: IvfIndex) -> Result<Self, ServeError> {
+        index.pack(&self.store)?;
+        self.index = Some(index);
+        Ok(self)
+    }
+
+    /// Detaches the ANN index, reverting top-k to brute force.
+    pub fn clear_index(&mut self) -> Option<IvfIndex> {
+        self.index.take()
+    }
+
+    /// The attached ANN index, if any.
+    pub fn index(&self) -> Option<&IvfIndex> {
+        self.index.as_ref()
+    }
+
+    /// Re-tunes the attached index's `nprobe` (no-op without an index).
+    pub fn set_nprobe(&mut self, nprobe: usize) {
+        if let Some(index) = self.index.as_mut() {
+            index.set_nprobe(nprobe);
+        }
     }
 
     /// The underlying store (e.g. to fit a probe before serving).
@@ -294,6 +324,7 @@ impl BatchServer {
         // Phase 2: execute admitted jobs on the worker pool. Fault flags
         // were fixed at admission, so parallel order cannot change them.
         let store = &self.store;
+        let index = self.index.as_ref();
         let inductive = self.inductive.as_ref();
         let runtime = &self.runtime;
         let clock = &self.clock;
@@ -310,6 +341,7 @@ impl BatchServer {
                 }
                 let (resp, outcome) = handle(
                     store,
+                    index,
                     inductive,
                     runtime,
                     clock,
@@ -357,10 +389,27 @@ impl BatchServer {
     }
 }
 
+/// Exact top-k when no index is attached; ANN probe + exact re-rank when
+/// one is. Works for stored rows and freshly-embedded inductive vectors
+/// alike — the index only needs the *store* side to match.
+fn top_k_route(
+    store: &EmbeddingStore,
+    index: Option<&IvfIndex>,
+    query: &[f32],
+    k: usize,
+) -> Result<Vec<Hit>, ServeError> {
+    match index {
+        Some(ix) => ix.search(store, query, k),
+        None => store.top_k(query, k),
+    }
+}
+
 /// Executes one admitted request. The inductive path retries with doubling
 /// backoff and degrades to the stored row on persistent failure.
+#[allow(clippy::too_many_arguments)]
 fn handle(
     store: &EmbeddingStore,
+    index: Option<&IvfIndex>,
     inductive: Option<&InductiveEngine>,
     runtime: &RuntimeConfig,
     clock: &Clock,
@@ -376,13 +425,14 @@ fn handle(
         Request::TopK { node, k } => store
             .embedding(*node)
             .map(|e| e.to_vec())
-            .and_then(|e| store.top_k(&e, *k))
+            .and_then(|e| top_k_route(store, index, &e, *k))
             .map(|hits| Response::Hits {
                 hits,
                 degraded: false,
             }),
         Request::TopKInductive { node, k } => inductive_top_k(
             store,
+            index,
             inductive,
             runtime,
             clock,
@@ -412,6 +462,7 @@ fn handle(
 #[allow(clippy::too_many_arguments)]
 fn inductive_top_k(
     store: &EmbeddingStore,
+    index: Option<&IvfIndex>,
     inductive: Option<&InductiveEngine>,
     runtime: &RuntimeConfig,
     clock: &Clock,
@@ -448,14 +499,14 @@ fn inductive_top_k(
         }
     };
     match embedded {
-        Ok(e) => store.top_k(&e, k).map(|hits| Response::Hits {
+        Ok(e) => top_k_route(store, index, &e, k).map(|hits| Response::Hits {
             hits,
             degraded: false,
         }),
         Err(err) => {
             if runtime.degrade_to_stored {
                 if let Ok(row) = store.embedding(node).map(|e| e.to_vec()) {
-                    let hits = store.top_k(&row, k)?;
+                    let hits = top_k_route(store, index, &row, k)?;
                     outcome.degraded = true;
                     return Ok(Response::Hits {
                         hits,
@@ -822,6 +873,66 @@ mod tests {
             assert!(r.throughput_qps > 0.0);
             assert!(r.latency.p99_us >= r.latency.p50_us);
         }
+    }
+
+    #[test]
+    fn attached_index_serves_top_k_and_rejects_foreign_stores() {
+        use crate::index::{IvfConfig, IvfIndex};
+        let mut m = Matrix::zeros(64, 4);
+        for (i, v) in m.as_mut_slice().iter_mut().enumerate() {
+            *v = ((i * 41 + 3) % 17) as f32 / 17.0 - 0.5;
+        }
+        let store = EmbeddingStore::new(m);
+        let cfg = IvfConfig {
+            nlist: 8,
+            nprobe: 8, // full probe → answers must equal brute force
+            train_sample: 64,
+            kmeans_iters: 3,
+            seed: 1,
+        };
+        let index = IvfIndex::build(&store, cfg).unwrap();
+
+        // An index built over a *different* store is refused at attach.
+        let other = EmbeddingStore::new(Matrix::zeros(64, 4));
+        let err = match BatchServer::new(other).with_index(index.clone()) {
+            Err(e) => e,
+            Ok(_) => panic!("foreign store must be rejected at attach"),
+        };
+        assert!(matches!(err, ServeError::IndexMismatch { .. }), "{err}");
+
+        let mut brute = BatchServer::new(EmbeddingStore::new(Matrix::from_rows(
+            &(0..64)
+                .map(|r| store.embedding(r).unwrap())
+                .collect::<Vec<_>>(),
+        )));
+        let mut indexed = BatchServer::new(EmbeddingStore::new(Matrix::from_rows(
+            &(0..64)
+                .map(|r| store.embedding(r).unwrap())
+                .collect::<Vec<_>>(),
+        )))
+        .with_index(index)
+        .unwrap();
+        assert!(indexed.index().is_some());
+        let batch = vec![
+            Request::TopK { node: 0, k: 5 },
+            Request::TopK { node: 31, k: 5 },
+            Request::TopK { node: 63, k: 5 },
+        ];
+        let a = brute.serve(&batch);
+        let b = indexed.serve(&batch);
+        for (x, y) in a.iter().zip(&b) {
+            match (x, y) {
+                (Response::Hits { hits: hx, .. }, Response::Hits { hits: hy, .. }) => {
+                    assert_eq!(hx, hy, "full-probe ANN must equal brute force");
+                }
+                other => panic!("unexpected responses {other:?}"),
+            }
+        }
+        // nprobe can be re-tuned in place.
+        indexed.set_nprobe(2);
+        assert_eq!(indexed.index().unwrap().nprobe(), 2);
+        assert!(indexed.clear_index().is_some());
+        assert!(indexed.index().is_none());
     }
 
     #[test]

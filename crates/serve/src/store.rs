@@ -39,6 +39,82 @@ impl Ord for Scored {
     }
 }
 
+/// Streaming top-`k` collector with the store's ranking contract: best
+/// cosine first, exact ties broken by **ascending node id**. Both the
+/// brute-force scan and the IVF re-rank feed candidates through this one
+/// type, so the two paths can never disagree on ordering.
+pub(crate) struct TopKCollector {
+    k: usize,
+    heap: BinaryHeap<Reverse<Scored>>,
+}
+
+impl TopKCollector {
+    pub(crate) fn new(k: usize) -> Self {
+        Self {
+            k,
+            heap: BinaryHeap::with_capacity(k + 1),
+        }
+    }
+
+    pub(crate) fn offer(&mut self, node: usize, score: f32) {
+        if self.heap.len() < self.k {
+            self.heap.push(Reverse(Scored { score, node }));
+            return;
+        }
+        // Most candidates lose; reject on one comparison against the
+        // current k-th instead of paying a push + pop. Equivalent to the
+        // naive push-then-pop: `Scored`'s ordering is strict for distinct
+        // nodes, so the survivor set is identical either way (a candidate
+        // ranked at or below the k-th is dropped by both).
+        match self.heap.peek() {
+            Some(Reverse(kth)) if *kth < (Scored { score, node }) => {
+                self.heap.pop();
+                self.heap.push(Reverse(Scored { score, node }));
+            }
+            _ => {}
+        }
+    }
+
+    pub(crate) fn into_hits(self) -> Vec<Hit> {
+        let mut hits: Vec<Hit> = self
+            .heap
+            .into_iter()
+            .map(|Reverse(s)| (s.node, s.score))
+            .collect();
+        hits.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        hits
+    }
+}
+
+/// The one cosine-normalisation expression in the serving stack, applied
+/// to a dot product with [`e2gcl_linalg::ops::lane_dot`] bit-semantics.
+/// Brute force scores rows in the store's matrix one at a time
+/// ([`cosine_from_parts`]); the IVF packed-list scan scores contiguous
+/// copies of the same rows four at a time via
+/// [`e2gcl_linalg::ops::lane_dot4`] — identical bits in, identical score
+/// bits out, because `lane_dot4` is element-wise bit-identical to
+/// `lane_dot` and this normalisation is shared.
+///
+/// Zero-denominator pairs score `0.0`; a computed `-0.0` is canonicalised
+/// to `+0.0` so numerically equal scores are equal under `total_cmp` too
+/// (otherwise the sign bit, not the node id, would break the tie).
+#[inline]
+pub(crate) fn cosine_from_dot(dot: f32, norm: f32, qnorm: f32) -> f32 {
+    let denom = qnorm * norm;
+    let score = if denom > 0.0 { dot / denom } else { 0.0 };
+    // -0.0 + 0.0 == +0.0 in IEEE-754; every other value (NaN included)
+    // passes through unchanged.
+    score + 0.0
+}
+
+/// Cosine of one row against the query: [`cosine_from_dot`] over a
+/// [`e2gcl_linalg::ops::lane_dot`] (four independent partial sums, fixed
+/// deterministic order — see its docs for the exact contract).
+#[inline]
+pub(crate) fn cosine_from_parts(row: &[f32], norm: f32, query: &[f32], qnorm: f32) -> f32 {
+    cosine_from_dot(e2gcl_linalg::ops::lane_dot(row, query), norm, qnorm)
+}
+
 /// Frozen embeddings, indexed for serving.
 pub struct EmbeddingStore {
     embeddings: Matrix,
@@ -83,6 +159,16 @@ impl EmbeddingStore {
         self.embeddings.cols()
     }
 
+    /// The raw embedding matrix (index construction reads it in bulk).
+    pub(crate) fn embeddings(&self) -> &Matrix {
+        &self.embeddings
+    }
+
+    /// Precomputed L2 row norms, one per node.
+    pub(crate) fn norms(&self) -> &[f32] {
+        &self.norms
+    }
+
     /// The stored embedding of `node`.
     pub fn embedding(&self, node: usize) -> Result<&[f32], ServeError> {
         if node >= self.len() {
@@ -94,10 +180,36 @@ impl EmbeddingStore {
         Ok(self.embeddings.row(node))
     }
 
+    /// The exact cosine score of `node` against `query` (whose norm the
+    /// caller precomputed) — [`cosine_from_parts`] over the stored row, so
+    /// a node gets the bitwise-identical score on the brute-force and IVF
+    /// paths.
+    #[inline]
+    pub(crate) fn cosine_score(&self, node: usize, query: &[f32], qnorm: f32) -> f32 {
+        cosine_from_parts(self.embeddings.row(node), self.norms[node], query, qnorm)
+    }
+
     /// The `k` stored nodes most cosine-similar to `query`, best first;
-    /// ties broken by ascending node id. Zero-norm rows (or a zero query)
-    /// score 0.
+    /// exactly equal scores break ties by ascending node id. Zero-norm rows
+    /// (or a zero query) score 0.
     pub fn top_k(&self, query: &[f32], k: usize) -> Result<Vec<Hit>, ServeError> {
+        self.top_k_among(0..self.len(), query, k)
+    }
+
+    /// [`Self::top_k`] restricted to `candidates` — the exact re-rank
+    /// behind the IVF index. Scoring and tie-breaking are shared with the
+    /// brute-force path, so on equal candidate sets the two orderings are
+    /// identical. Out-of-range candidate ids are a typed error; duplicate
+    /// candidates are the caller's bug (the node would be reported twice).
+    pub fn top_k_among<I>(
+        &self,
+        candidates: I,
+        query: &[f32],
+        k: usize,
+    ) -> Result<Vec<Hit>, ServeError>
+    where
+        I: IntoIterator<Item = usize>,
+    {
         if query.len() != self.dim() {
             return Err(ServeError::DimensionMismatch {
                 expected: self.dim(),
@@ -108,32 +220,30 @@ impl EmbeddingStore {
             return Ok(Vec::new());
         }
         let qnorm = query.iter().map(|v| v * v).sum::<f32>().sqrt();
-        let mut heap: BinaryHeap<Reverse<Scored>> = BinaryHeap::with_capacity(k + 1);
-        for node in 0..self.len() {
-            let denom = qnorm * self.norms[node];
-            let score = if denom > 0.0 {
-                let dot: f32 = self
-                    .embeddings
-                    .row(node)
-                    .iter()
-                    .zip(query)
-                    .map(|(a, b)| a * b)
-                    .sum();
-                dot / denom
-            } else {
-                0.0
-            };
-            heap.push(Reverse(Scored { score, node }));
-            if heap.len() > k {
-                heap.pop();
+        let mut top = TopKCollector::new(k);
+        for node in candidates {
+            if node >= self.len() {
+                return Err(ServeError::NodeOutOfRange {
+                    node,
+                    num_nodes: self.len(),
+                });
             }
+            top.offer(node, self.cosine_score(node, query, qnorm));
         }
-        let mut hits: Vec<Hit> = heap
-            .into_iter()
-            .map(|Reverse(s)| (s.node, s.score))
-            .collect();
-        hits.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
-        Ok(hits)
+        Ok(top.into_hits())
+    }
+
+    /// FNV-1a 64 over the embedding matrix's shape and IEEE-754 bit
+    /// patterns. An [`crate::index::IvfIndex`] records this at build time
+    /// and refuses to serve a store it was not built over.
+    pub fn checksum(&self) -> u64 {
+        let mut h = e2gcl_linalg::hash::Fnv1a64::new();
+        h.write_u64(self.embeddings.rows() as u64);
+        h.write_u64(self.embeddings.cols() as u64);
+        for &v in self.embeddings.as_slice() {
+            h.write_f32(v);
+        }
+        h.finish()
     }
 
     /// [`Self::top_k`] for a batch of queries, fanned out over the worker
@@ -240,6 +350,76 @@ mod tests {
         let s = store();
         let hits = s.top_k(&[0.0, 0.0], 4).unwrap();
         assert!(hits.iter().all(|&(_, score)| score == 0.0));
+    }
+
+    /// Regression: deliberately duplicated rows must rank by ascending node
+    /// id — everywhere in the result, including across the k-th-place
+    /// boundary — and identically through the restricted-candidate path.
+    #[test]
+    fn duplicated_rows_tie_break_by_ascending_node_id() {
+        // Rows 0/2/5 are byte-identical, rows 1/4 are byte-identical
+        // doubles of them (same cosine), row 3 is orthogonal.
+        let s = EmbeddingStore::new(Matrix::from_rows(&[
+            &[3.0, 4.0],
+            &[6.0, 8.0],
+            &[3.0, 4.0],
+            &[-4.0, 3.0],
+            &[6.0, 8.0],
+            &[3.0, 4.0],
+        ]));
+        let q = [3.0, 4.0];
+        let hits = s.top_k(&q, 6).unwrap();
+        let order: Vec<usize> = hits.iter().map(|h| h.0).collect();
+        assert_eq!(order, vec![0, 1, 2, 4, 5, 3]);
+        // The five tied nodes all carry the exact same score bits.
+        let s0 = hits[0].1;
+        assert!(hits[..5].iter().all(|h| h.1.to_bits() == s0.to_bits()));
+        // Truncating at k inside the tie keeps the lowest node ids.
+        let top3: Vec<usize> = s.top_k(&q, 3).unwrap().iter().map(|h| h.0).collect();
+        assert_eq!(top3, vec![0, 1, 2]);
+        // The candidate-restricted path agrees with brute force.
+        let among = s.top_k_among(0..6, &q, 3).unwrap();
+        assert_eq!(among, s.top_k(&q, 3).unwrap());
+        // A reversed candidate order must not change the ranking.
+        let rev = s.top_k_among((0..6).rev(), &q, 3).unwrap();
+        assert_eq!(rev, s.top_k(&q, 3).unwrap());
+    }
+
+    /// Regression: a score that lands on `-0.0` must tie with `+0.0` (they
+    /// are numerically equal) instead of sorting below it by sign bit.
+    /// Node 0's row norm overflows `f32` to `+inf`, so its (negative)
+    /// finite dot divides to `-0.0`; node 1 is a zero row scoring `+0.0`.
+    #[test]
+    fn signed_zero_scores_tie_break_by_node_id() {
+        let s = EmbeddingStore::new(Matrix::from_rows(&[
+            &[3.0e19, 0.0], // norm inf → dot -3e19 / inf = -0.0
+            &[0.0, 0.0],    // zero denom → +0.0
+            &[1.0, 0.0],    // dot -1.0 → score -1.0
+        ]));
+        let q = [-1.0, 0.0];
+        let hits = s.top_k(&q, 3).unwrap();
+        assert!(hits[0].1 == 0.0 && hits[1].1 == 0.0, "{hits:?}");
+        assert_eq!(hits[0].1.to_bits(), 0, "score must canonicalise to +0.0");
+        let order: Vec<usize> = hits.iter().map(|h| h.0).collect();
+        assert_eq!(order, vec![0, 1, 2], "signed zero broke the node-id tie");
+    }
+
+    #[test]
+    fn top_k_among_rejects_out_of_range_candidates() {
+        let s = store();
+        assert!(matches!(
+            s.top_k_among([0usize, 9], &[1.0, 0.0], 2),
+            Err(ServeError::NodeOutOfRange { node: 9, .. })
+        ));
+    }
+
+    #[test]
+    fn checksum_tracks_content() {
+        let a = EmbeddingStore::new(Matrix::from_rows(&[&[1.0, 2.0]]));
+        let b = EmbeddingStore::new(Matrix::from_rows(&[&[1.0, 2.0]]));
+        let c = EmbeddingStore::new(Matrix::from_rows(&[&[1.0, 2.5]]));
+        assert_eq!(a.checksum(), b.checksum());
+        assert_ne!(a.checksum(), c.checksum());
     }
 
     #[test]

@@ -1,0 +1,98 @@
+//! Thread-count invariance of IVF index construction.
+//!
+//! The index determinism contract (DESIGN.md §14) extends the PR 4 kernel
+//! contract (§11) to a whole subsystem: `IvfIndex::build` must produce
+//! **bitwise identical serialized bytes** regardless of run or
+//! `RAYON_NUM_THREADS`. The vendored rayon stand-in reads that variable
+//! once per process, so each thread setting needs its own process: the
+//! test re-execs its own binary as a child per setting, each child prints
+//! an FNV-1a fingerprint of the index bytes, and the parent asserts all
+//! fingerprints match.
+
+use e2gcl_linalg::hash::Fnv1a64;
+use e2gcl_linalg::{Matrix, SeedRng};
+use e2gcl_serve::{EmbeddingStore, IvfConfig, IvfIndex};
+use std::process::Command;
+
+const CHILD_ENV: &str = "E2GCL_INDEX_DETERMINISM_CHILD";
+
+/// Clustered synthetic embeddings: community centers + gaussian noise,
+/// the shape real GNN embeddings have. Big enough (3000 x 16) that the
+/// chunked GEMM assignment path actually fans out over the pool.
+fn clustered_store(seed: u64) -> EmbeddingStore {
+    let rows = 3000;
+    let dim = 16;
+    let clusters = 24;
+    let mut rng = SeedRng::new(seed);
+    let mut centers = Matrix::zeros(clusters, dim);
+    for v in centers.as_mut_slice() {
+        *v = rng.normal();
+    }
+    let mut m = Matrix::zeros(rows, dim);
+    for r in 0..rows {
+        let c = rng.below(clusters);
+        for (d, x) in m.row_mut(r).iter_mut().enumerate() {
+            *x = centers.get(c, d) + 0.2 * rng.normal();
+        }
+    }
+    EmbeddingStore::new(m)
+}
+
+fn index_fingerprint() -> u64 {
+    let store = clustered_store(11);
+    let index = IvfIndex::build(
+        &store,
+        IvfConfig {
+            nlist: 48,
+            nprobe: 8,
+            train_sample: 2048,
+            kmeans_iters: 5,
+            seed: 3,
+        },
+    )
+    .expect("index build");
+    let mut h = Fnv1a64::new();
+    h.write(&index.to_bytes());
+    h.finish()
+}
+
+#[test]
+fn index_build_bitwise_invariant_across_thread_counts() {
+    if std::env::var(CHILD_ENV).is_ok() {
+        println!("FP:{:016x}", index_fingerprint());
+        return;
+    }
+    let exe = std::env::current_exe().expect("test binary path");
+    let mut fps = Vec::new();
+    for threads in ["1", "4"] {
+        let out = Command::new(&exe)
+            .arg("index_build_bitwise_invariant_across_thread_counts")
+            .arg("--exact")
+            .arg("--nocapture")
+            .env(CHILD_ENV, "1")
+            .env("RAYON_NUM_THREADS", threads)
+            .output()
+            .expect("spawn child test process");
+        assert!(
+            out.status.success(),
+            "child with {threads} threads failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        // With --nocapture the marker can share a line with libtest output.
+        let at = stdout
+            .find("FP:")
+            .unwrap_or_else(|| panic!("no FP marker in child output: {stdout}"));
+        fps.push(stdout[at + 3..at + 19].to_string());
+    }
+    assert_eq!(
+        fps[0], fps[1],
+        "index bytes differ between RAYON_NUM_THREADS=1 and 4"
+    );
+    // The in-process pool (whatever its size) must agree too, and a second
+    // same-process build must reproduce the first.
+    let here = format!("{:016x}", index_fingerprint());
+    assert_eq!(fps[0], here, "parent fingerprint differs from children");
+    let again = format!("{:016x}", index_fingerprint());
+    assert_eq!(here, again, "same-process rebuild differs");
+}

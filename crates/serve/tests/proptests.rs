@@ -137,3 +137,95 @@ proptest! {
         ));
     }
 }
+
+// ---------------------------------------------------------------------------
+// LatencyHistogram: percentile ordering must hold for *any* sample set, and
+// the empty histogram must read as all-zero rather than panic.
+// ---------------------------------------------------------------------------
+
+use e2gcl_serve::LatencyHistogram;
+use std::time::Duration;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// p50 ≤ p95 ≤ p99 ≤ max for arbitrary latency samples, and every
+    /// percentile lies inside the observed range.
+    #[test]
+    fn histogram_percentiles_are_monotone(samples in prop::collection::vec(0u64..10_000_000, 1..200)) {
+        let mut h = LatencyHistogram::new();
+        for &us in &samples {
+            h.record(Duration::from_micros(us));
+        }
+        let s = h.summary();
+        prop_assert_eq!(s.count, samples.len());
+        prop_assert!(s.p50_us <= s.p95_us, "p50 {} > p95 {}", s.p50_us, s.p95_us);
+        prop_assert!(s.p95_us <= s.p99_us, "p95 {} > p99 {}", s.p95_us, s.p99_us);
+        prop_assert!(s.p99_us <= s.max_us, "p99 {} > max {}", s.p99_us, s.max_us);
+        let lo = *samples.iter().min().unwrap() as f64;
+        let hi = *samples.iter().max().unwrap() as f64;
+        prop_assert!(s.p50_us >= lo && s.max_us <= hi);
+        prop_assert!(s.mean_us >= lo && s.mean_us <= hi);
+    }
+
+    /// Arbitrary percentile requests (including out-of-range ones, which
+    /// clamp) are ordered and never panic.
+    #[test]
+    fn histogram_percentile_pairs_are_ordered(
+        samples in prop::collection::vec(0u64..1_000_000, 1..100),
+        a in -50.0f64..150.0,
+        b in -50.0f64..150.0,
+    ) {
+        let mut h = LatencyHistogram::new();
+        for &us in &samples {
+            h.record(Duration::from_micros(us));
+        }
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(h.percentile(lo) <= h.percentile(hi));
+    }
+}
+
+#[test]
+fn empty_histogram_summary_is_all_zero() {
+    let h = LatencyHistogram::new();
+    let s = h.summary();
+    assert_eq!(s.count, 0);
+    assert_eq!(
+        (s.p50_us, s.p95_us, s.p99_us, s.mean_us, s.max_us),
+        (0.0, 0.0, 0.0, 0.0, 0.0)
+    );
+    assert_eq!(h.percentile(99.9), Duration::ZERO);
+}
+
+// ---------------------------------------------------------------------------
+// IVF index format: hostile bytes are typed errors, never panics — the same
+// guarantee the artifact format gives, for the new E2GCLIVF framing.
+// ---------------------------------------------------------------------------
+
+use e2gcl_serve::IvfIndex;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Random garbage never panics the index parser.
+    #[test]
+    fn random_index_bytes_never_panic(data in prop::collection::vec((0usize..256).prop_map(|v| v as u8), 0..256)) {
+        prop_assert!(IvfIndex::from_bytes(&data).is_err());
+    }
+
+    /// Garbage with a consistent E2GCLIVF header still fails typed.
+    #[test]
+    fn valid_index_header_garbage_payload_is_typed(data in prop::collection::vec((0usize..256).prop_map(|v| v as u8), 0..128)) {
+        let mut bytes = Vec::with_capacity(28 + data.len());
+        bytes.extend_from_slice(b"E2GCLIVF");
+        bytes.extend_from_slice(&e2gcl_serve::index::INDEX_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&(data.len() as u64).to_le_bytes());
+        bytes.extend_from_slice(&e2gcl_serve::artifact::fnv1a64(&data).to_le_bytes());
+        bytes.extend_from_slice(&data);
+        let err = IvfIndex::from_bytes(&bytes).unwrap_err();
+        prop_assert!(matches!(
+            err,
+            ArtifactError::Corrupt(_) | ArtifactError::Truncated { .. }
+        ));
+    }
+}
