@@ -27,23 +27,37 @@
 #                                   fails if any is slower than 0.8x its
 #                                   scalar reference or if the committed
 #                                   BENCH_kernels.json doesn't parse / shows
-#                                   a recorded speedup below 0.8x
+#                                   a recorded speedup below 0.8x; it also
+#                                   measures the sub-quadratic loss kernels
+#                                   at n=65536 and fails if smallneg(k=256)
+#                                   fwd+bwd exceeds 25% of the projected
+#                                   full-softmax cost, or if the committed
+#                                   loss-scaling sweep shows smallneg at
+#                                   n=65536 slower than 10x its n=8192 time
 #  10. mini-batch smoke           — neighbour-sampled GRACE training through
 #                                   the CLI with a durable checkpoint; a
 #                                   --resume re-run must answer queries
 #                                   identically
-#  11. scale bench smoke          — scale_bench --quick trains E2GCL and
-#                                   GRACE mini-batch on the smallest slice of
-#                                   the streaming products-sim-1m analog and
-#                                   fails if the committed BENCH_scale.json
-#                                   is missing or lacks 1M-node cases
-#  12. ANN index smoke            — build an IVF index over the serve-smoke
+#  11. loss strategy smoke        — CLI pre-training with --loss smallneg
+#                                   and --loss localized must succeed; an
+#                                   unknown --loss must exit with a usage
+#                                   error, not a panic
+#  12. scale bench smoke          — scale_bench --quick trains E2GCL and
+#                                   GRACE mini-batch plus one FULL-BATCH
+#                                   E2GCL epoch with the small-negative-set
+#                                   loss on the smallest slice of the
+#                                   streaming products-sim-1m analog; fails
+#                                   if the committed BENCH_scale.json is
+#                                   missing, lacks 1M-node cases, or lacks
+#                                   the full-batch smallneg E2GCL case at
+#                                   the million-node tier
+#  13. ANN index smoke            — build an IVF index over the serve-smoke
 #                                   artifact twice (bitwise-identical files),
 #                                   gate measured recall@10 >= 0.95, answer
 #                                   an indexed `query`, and run a short
 #                                   indexed `serve-bench` with the load
 #                                   generator
-#  13. serve bench smoke          — serve_latency --quick runs shrunken
+#  14. serve bench smoke          — serve_latency --quick runs shrunken
 #                                   latency/ANN/loadgen tiers and fails if
 #                                   the committed BENCH_serve.json is
 #                                   missing or below the retrieval contract
@@ -147,7 +161,7 @@ clean_q=$(target/release/e2gcl-cli query --artifact "$clean_artifact" --node 0 -
 [ "$resumed_q" = "$clean_q" ]                  # resume converged on the clean answers
 rm -f "$crash_artifact" "$crash_artifact.corrupt" "$crash_ckpt" "$clean_artifact"
 
-echo "==> kernel bench smoke: blocked kernels vs scalar reference + recorded baseline"
+echo "==> kernel bench smoke: blocked kernels vs scalar reference + loss n-scaling gate + recorded baseline"
 cargo run --release --offline -q -p e2gcl-bench --bin kernel_bench -- --quick
 test -s target/bench-results/kernel_bench_quick.json
 
@@ -173,7 +187,24 @@ mb_q2=$(target/release/e2gcl-cli query --artifact "$mb_resumed" --node 0 --k 5)
 [ "$mb_q1" = "$mb_q2" ]            # resume reproduced the run's answers
 rm -f "$mb_artifact" "$mb_resumed" "$mb_ckpt"
 
-echo "==> scale bench smoke: mini-batch pipeline on the streaming 1M-tier analog"
+echo "==> loss strategy smoke: CLI --loss smallneg/localized end to end"
+# The sub-quadratic loss kernels through the CLI surface: a smallneg and a
+# localized pre-train must both succeed, and an unknown strategy must be a
+# usage error (exit 2), not a panic.
+loss_flags="--dataset cora-sim --scale 0.05 --epochs 2 --seed 3"
+target/release/e2gcl-cli pretrain $loss_flags --loss smallneg --negatives 64 \
+    --out target/ci-loss-smallneg.json
+test -s target/ci-loss-smallneg.json
+target/release/e2gcl-cli pretrain $loss_flags --loss localized --loss-hops 2 \
+    --out target/ci-loss-localized.json
+test -s target/ci-loss-localized.json
+if target/release/e2gcl-cli pretrain $loss_flags --loss bogus \
+    --out target/ci-loss-bogus.json 2>/dev/null; then
+    echo "FAIL: --loss bogus was accepted"; exit 1
+fi
+rm -f target/ci-loss-smallneg.json target/ci-loss-localized.json
+
+echo "==> scale bench smoke: mini-batch + full-batch smallneg on the streaming 1M-tier analog"
 cargo run --release --offline -q -p e2gcl-bench --bin scale_bench -- --quick
 test -s target/bench-results/scale_bench_quick.json
 

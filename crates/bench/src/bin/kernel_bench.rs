@@ -24,14 +24,26 @@ use e2gcl::models::grace::GraceModel;
 use e2gcl::prelude::*;
 use e2gcl_bench::flags::FlagSet;
 use e2gcl_bench::report;
-use e2gcl_graph::SparseMatrix;
+use e2gcl_graph::{CsrGraph, SparseMatrix};
 use e2gcl_linalg::{ops, Matrix};
 use e2gcl_nn::loss::{self, InfoNceScratch};
+use e2gcl_nn::{ContrastiveLoss, LocalizedInfoNce, Neighborhoods, SmallNegInfoNce};
 use serde::Serialize;
 use std::time::Instant;
 
 /// Minimum acceptable blocked/scalar throughput ratio in quick (CI) mode.
 const MIN_RATIO: f32 = 0.8;
+
+/// Quick-mode gate: small-negative-set fwd+bwd at [`GATE_N`] must cost at
+/// most this fraction of the full quadratic kernel at the same n (the full
+/// time is projected — see [`LossScalingEntry::projected`]).
+const SMALLNEG_GATE_FRACTION: f64 = 0.25;
+/// Committed-sweep gate: smallneg fwd+bwd at n=65536 must be at most this
+/// multiple of its n=8192 time (O(n·k) predicts ~8×; the quadratic kernel
+/// would be ~64×).
+const SMALLNEG_SCALING_MAX: f64 = 10.0;
+/// The n the quick-mode sub-quadratic gates run at.
+const GATE_N: usize = 65536;
 
 // ---------------------------------------------------------------------------
 // Scalar reference kernels: the pre-PR single-accumulator serial loops.
@@ -266,6 +278,24 @@ struct InfoNceEntry {
     speedup: f64,
 }
 
+#[derive(Clone, Serialize)]
+struct LossScalingEntry {
+    /// `full` | `smallneg` | `localized`.
+    strategy: String,
+    n: usize,
+    d: usize,
+    /// Negative-set size per anchor: k for smallneg, the mean neighbourhood
+    /// size for localized, n (every other row) for full.
+    k: usize,
+    reps: usize,
+    /// Fused forward+backward wall time (loss + both gradients).
+    fwd_bwd_ms: f64,
+    /// True when the time was projected by n² scaling from the largest
+    /// measured full shape instead of measured — full InfoNCE at n=65536
+    /// would need four n×n f32 similarity blocks (~69 GB).
+    projected: bool,
+}
+
 #[derive(Serialize)]
 struct GraceEntry {
     dataset: String,
@@ -282,6 +312,7 @@ struct KernelBenchDump {
     gemm: Vec<GemmEntry>,
     spmm: Vec<SpmmEntry>,
     info_nce: Vec<InfoNceEntry>,
+    loss_scaling: Vec<LossScalingEntry>,
     grace_epoch: Option<GraceEntry>,
 }
 
@@ -372,6 +403,111 @@ fn info_nce_case(n: usize, d: usize, reps: usize, ref_reps: usize) -> InfoNceEnt
     }
 }
 
+// ---------------------------------------------------------------------------
+// Contrastive-loss n-scaling sweep (DESIGN.md §15)
+// ---------------------------------------------------------------------------
+
+fn full_loss_case(n: usize, d: usize, reps: usize) -> LossScalingEntry {
+    let z1 = rand_matrix(n, d, 12);
+    let z2 = rand_matrix(n, d, 13);
+    let mut s = InfoNceScratch::default();
+    let _ = loss::info_nce_with(&z1, &z2, 0.5, &mut s);
+    let (fwd_bwd_ms, _) = time_best(reps, || loss::info_nce_with(&z1, &z2, 0.5, &mut s));
+    LossScalingEntry {
+        strategy: "full".to_string(),
+        n,
+        d,
+        k: n,
+        reps,
+        fwd_bwd_ms,
+        projected: false,
+    }
+}
+
+/// Extrapolates the quadratic kernel to `n` from a measured smaller shape:
+/// similarity work and memory are both Θ(n²·d), so wall time scales ~n²
+/// at fixed d.
+fn full_loss_projection(base: &LossScalingEntry, n: usize) -> LossScalingEntry {
+    let ratio = (n as f64 / base.n as f64).powi(2);
+    LossScalingEntry {
+        strategy: "full".to_string(),
+        n,
+        d: base.d,
+        k: n,
+        reps: 0,
+        fwd_bwd_ms: base.fwd_bwd_ms * ratio,
+        projected: true,
+    }
+}
+
+fn smallneg_loss_case(n: usize, d: usize, k: usize, reps: usize) -> LossScalingEntry {
+    let z1 = rand_matrix(n, d, 12);
+    let z2 = rand_matrix(n, d, 13);
+    let k = k.min(n).max(1);
+    // Evenly spread negative rows: strictly ascending for any k <= n.
+    let negatives: Vec<usize> = (0..k).map(|i| i * n / k).collect();
+    let mut strat = SmallNegInfoNce::new(0.5);
+    strat.set_negatives(&negatives);
+    let _ = strat.compute(&z1, &z2);
+    let (fwd_bwd_ms, _) = time_best(reps, || strat.compute(&z1, &z2));
+    LossScalingEntry {
+        strategy: "smallneg".to_string(),
+        n,
+        d,
+        k,
+        reps,
+        fwd_bwd_ms,
+        projected: false,
+    }
+}
+
+fn localized_loss_case(n: usize, d: usize, degree: usize, reps: usize) -> LossScalingEntry {
+    // Ring lattice: v connected to v±1..±(degree/2), so every 1-hop
+    // neighbourhood has exactly `degree` negatives.
+    let half = (degree / 2).max(1);
+    let mut edges = Vec::with_capacity(n * half);
+    for v in 0..n {
+        for s in 1..=half {
+            edges.push((v, (v + s) % n));
+        }
+    }
+    let g = CsrGraph::from_edges(n, &edges);
+    let nb = Neighborhoods::from_graph(&g, 1);
+    let k = nb.nnz() / n.max(1);
+    let z1 = rand_matrix(n, d, 12);
+    let z2 = rand_matrix(n, d, 13);
+    let mut strat = LocalizedInfoNce::new(0.5, nb);
+    let _ = strat.compute(&z1, &z2);
+    let (fwd_bwd_ms, _) = time_best(reps, || strat.compute(&z1, &z2));
+    LossScalingEntry {
+        strategy: "localized".to_string(),
+        n,
+        d,
+        k,
+        reps,
+        fwd_bwd_ms,
+        projected: false,
+    }
+}
+
+fn print_loss_scaling(entries: &[LossScalingEntry]) {
+    println!(
+        "{:<10} {:>8} {:>5} {:>6} {:>13}",
+        "strategy", "n", "d", "k", "fwd+bwd(ms)"
+    );
+    for e in entries {
+        println!(
+            "{:<10} {:>8} {:>5} {:>6} {:>13.2}{}",
+            e.strategy,
+            e.n,
+            e.d,
+            e.k,
+            e.fwd_bwd_ms,
+            if e.projected { "  (projected n²)" } else { "" }
+        );
+    }
+}
+
 fn grace_epoch_case() -> Option<GraceEntry> {
     let ds = match spec("cora-sim") {
         Ok(s) => s,
@@ -418,12 +554,23 @@ struct BaselineGemm {
 }
 
 #[derive(serde::Deserialize)]
-struct BaselineDump {
-    gemm: Vec<BaselineGemm>,
+struct BaselineLoss {
+    strategy: String,
+    n: usize,
+    fwd_bwd_ms: f64,
 }
 
-/// Validates the committed `BENCH_kernels.json`: it must parse and every
-/// recorded gemm speedup must be at least [`MIN_RATIO`].
+#[derive(serde::Deserialize)]
+struct BaselineDump {
+    gemm: Vec<BaselineGemm>,
+    #[serde(default)]
+    loss_scaling: Vec<BaselineLoss>,
+}
+
+/// Validates the committed `BENCH_kernels.json`: it must parse, every
+/// recorded gemm speedup must be at least [`MIN_RATIO`], and the recorded
+/// loss n-scaling sweep must show the small-negative-set kernel scaling
+/// sub-quadratically (n=8192 → n=65536 within [`SMALLNEG_SCALING_MAX`]×).
 fn check_committed_baseline(path: &str) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let dump: BaselineDump =
@@ -438,6 +585,21 @@ fn check_committed_baseline(path: &str) -> Result<(), String> {
                 entry.kernel, entry.speedup
             ));
         }
+    }
+    let smallneg_at = |n: usize| {
+        dump.loss_scaling
+            .iter()
+            .find(|e| e.strategy == "smallneg" && e.n == n)
+            .map(|e| e.fwd_bwd_ms)
+            .ok_or_else(|| format!("{path}: no smallneg loss_scaling entry at n={n}"))
+    };
+    let (small, base) = (smallneg_at(GATE_N)?, smallneg_at(8192)?);
+    if small > base * SMALLNEG_SCALING_MAX {
+        return Err(format!(
+            "{path}: smallneg fwd+bwd grew {:.1}x from n=8192 to n={GATE_N} \
+             (limit {SMALLNEG_SCALING_MAX}x — sub-quadratic scaling regressed)",
+            small / base
+        ));
     }
     Ok(())
 }
@@ -464,7 +626,12 @@ fn print_gemm_table(entries: &[GemmEntry]) {
 }
 
 fn main() {
-    let flags = match FlagSet::new().switch("quick").parse_env() {
+    let flags = match FlagSet::new()
+        .switch("quick")
+        .valued("loss")
+        .valued("negatives")
+        .parse_env()
+    {
         Ok(f) => f,
         Err(e) => {
             eprintln!("kernel_bench: {e}");
@@ -472,6 +639,31 @@ fn main() {
         }
     };
     let quick = flags.is_set("quick");
+    // Which strategies the loss n-scaling sweep measures, and the smallneg
+    // negative budget (mirrors the CLI's `--loss` / `--negatives`).
+    let loss_filter = match flags.get_parse("loss", "all".to_string()) {
+        Ok(v) if ["all", "full", "smallneg", "localized"].contains(&v.as_str()) => v,
+        Ok(v) => {
+            eprintln!("kernel_bench: --loss '{v}' (accepted: all, full, smallneg, localized)");
+            std::process::exit(2);
+        }
+        Err(e) => {
+            eprintln!("kernel_bench: {e}");
+            std::process::exit(2);
+        }
+    };
+    let neg_k = match flags.get_parse("negatives", 256usize) {
+        Ok(k) if k > 0 => k,
+        Ok(_) => {
+            eprintln!("kernel_bench: --negatives must be > 0");
+            std::process::exit(2);
+        }
+        Err(e) => {
+            eprintln!("kernel_bench: {e}");
+            std::process::exit(2);
+        }
+    };
+    let runs = |s: &str| loss_filter == "all" || loss_filter == s;
     let mode = if quick { "quick" } else { "full" };
     println!("kernel_bench — mode: {mode}");
 
@@ -542,6 +734,48 @@ fn main() {
         );
     }
 
+    // Contrastive-loss n-scaling: full is measured only while its four n×n
+    // similarity blocks fit comfortably in RAM, then projected by n²; the
+    // sub-quadratic kernels are measured end to end, including at n=65536.
+    let mut loss_scaling: Vec<LossScalingEntry> = Vec::new();
+    let loss_d = 64;
+    if quick {
+        if runs("full") {
+            let base = full_loss_case(8192, loss_d, 1);
+            loss_scaling.push(full_loss_projection(&base, GATE_N));
+            loss_scaling.push(base);
+        }
+        if runs("smallneg") {
+            loss_scaling.push(smallneg_loss_case(GATE_N, loss_d, neg_k, 2));
+        }
+        if runs("localized") {
+            loss_scaling.push(localized_loss_case(GATE_N, loss_d, 16, 2));
+        }
+    } else {
+        let mut full_base: Option<LossScalingEntry> = None;
+        for n in [2048usize, 8192, 16384, 65536] {
+            if runs("full") {
+                if n <= 16384 {
+                    let e = full_loss_case(n, loss_d, if n >= 8192 { 1 } else { 2 });
+                    full_base = Some(e.clone());
+                    loss_scaling.push(e);
+                } else if let Some(base) = &full_base {
+                    loss_scaling.push(full_loss_projection(base, n));
+                }
+            }
+            if runs("smallneg") {
+                loss_scaling.push(smallneg_loss_case(n, loss_d, neg_k, 2));
+            }
+            if runs("localized") {
+                loss_scaling.push(localized_loss_case(n, loss_d, 16, 2));
+            }
+        }
+    }
+    if !loss_scaling.is_empty() {
+        println!("\n=== contrastive loss n-scaling (fused fwd+bwd) ===");
+        print_loss_scaling(&loss_scaling);
+    }
+
     let grace_epoch = if quick { None } else { grace_epoch_case() };
     if let Some(g) = &grace_epoch {
         println!(
@@ -556,6 +790,7 @@ fn main() {
         gemm,
         spmm,
         info_nce,
+        loss_scaling,
         grace_epoch,
     };
     report::write_json(
@@ -580,7 +815,28 @@ fn main() {
                 failed = true;
             }
         }
-        // CI gate 2: the committed trajectory file must parse and be
+        // CI gate 2: smallneg at n=65536 must cost at most
+        // SMALLNEG_GATE_FRACTION of the full quadratic kernel at the same n
+        // (projected from the measured n=8192 run in this same process).
+        let ms_of = |strategy: &str, projected: bool| {
+            dump.loss_scaling
+                .iter()
+                .find(|e| e.strategy == strategy && e.n == GATE_N && e.projected == projected)
+                .map(|e| e.fwd_bwd_ms)
+        };
+        if let (Some(small), Some(full)) = (ms_of("smallneg", false), ms_of("full", true)) {
+            if small > full * SMALLNEG_GATE_FRACTION {
+                eprintln!(
+                    "FAIL: smallneg fwd+bwd at n={GATE_N} took {small:.1} ms, more than \
+                     {SMALLNEG_GATE_FRACTION}x the projected full kernel ({full:.1} ms)"
+                );
+                failed = true;
+            }
+        } else if loss_filter == "all" {
+            eprintln!("FAIL: quick loss-scaling sweep missing its gate entries");
+            failed = true;
+        }
+        // CI gate 3: the committed trajectory file must parse and be
         // self-consistent.
         if let Err(e) = check_committed_baseline("BENCH_kernels.json") {
             eprintln!("FAIL: {e}");
@@ -590,7 +846,8 @@ fn main() {
             std::process::exit(1);
         }
         println!(
-            "quick-mode checks passed (blocked >= {MIN_RATIO}x scalar; BENCH_kernels.json ok)"
+            "quick-mode checks passed (blocked >= {MIN_RATIO}x scalar; smallneg <= \
+             {SMALLNEG_GATE_FRACTION}x full at n={GATE_N}; BENCH_kernels.json ok)"
         );
     } else {
         match serde_json::to_string_pretty(&dump) {

@@ -1,0 +1,93 @@
+//! Accuracy ablation for the sub-quadratic contrastive losses
+//! (DESIGN.md §15): E²GCL with `full` vs `smallneg` (k ∈ {64, 256, 1024})
+//! vs `localized` (2-hop) over the five small Table III datasets.
+//!
+//! ```sh
+//! cargo run -p e2gcl-bench --bin loss_ablation --release -- --profile quick
+//! ```
+//!
+//! The `full` row is the Table IV E²GCL protocol unchanged; the other rows
+//! swap only `TrainConfig.loss`. `EXPERIMENTS.md` records the quick-profile
+//! numbers with their seeds and tolerances.
+
+use e2gcl::pipeline::run_node_classification;
+use e2gcl::prelude::*;
+use e2gcl_bench::{reference, report, Profile};
+
+/// `(row label, loss strategy)` — the ablation axis.
+fn variants() -> Vec<(String, LossStrategy)> {
+    vec![
+        ("full".to_string(), LossStrategy::Full),
+        (
+            "smallneg k=64".to_string(),
+            LossStrategy::SmallNeg { negatives: 64 },
+        ),
+        (
+            "smallneg k=256".to_string(),
+            LossStrategy::SmallNeg { negatives: 256 },
+        ),
+        (
+            "smallneg k=1024".to_string(),
+            LossStrategy::SmallNeg { negatives: 1024 },
+        ),
+        (
+            "localized L=2".to_string(),
+            LossStrategy::Localized { hops: 2 },
+        ),
+    ]
+}
+
+fn main() {
+    let profile = Profile::from_args();
+    println!(
+        "Loss-strategy accuracy ablation — E2GCL, Table III datasets (profile: {})",
+        profile.name
+    );
+    let datasets: Vec<NodeDataset> = reference::SMALL_DATASETS
+        .iter()
+        .map(|n| profile.dataset(n, 100))
+        .collect();
+    let model = E2gclModel::default();
+    let mut rows = Vec::new();
+    let mut json: Vec<(String, String, f32, f32)> = Vec::new();
+    let mut summary = report::SweepSummary::new();
+    for (name, loss) in variants() {
+        let cfg = TrainConfig {
+            loss: loss.clone(),
+            ..profile.train_config()
+        };
+        let mut cells = Vec::new();
+        for data in &datasets {
+            let label = format!("{name}/{}", data.name);
+            match run_node_classification(&model, data, &cfg, profile.runs, 0) {
+                Ok(run) if !run.accuracies.is_empty() => {
+                    summary.record(label, report::outcome_of(&run));
+                    cells.push(report::Cell::measured(100.0 * run.mean));
+                    json.push((
+                        name.clone(),
+                        data.name.clone(),
+                        100.0 * run.mean,
+                        100.0 * run.std,
+                    ));
+                }
+                Ok(run) => {
+                    summary.record(label, report::outcome_of(&run));
+                    cells.push(report::Cell::failed());
+                }
+                Err(err) => {
+                    summary.record(label, report::CellOutcome::Failed(err.to_string()));
+                    cells.push(report::Cell::failed());
+                }
+            }
+            eprintln!("  done: {name} on {}", data.name);
+        }
+        rows.push((name, cells));
+    }
+    report::print_table(
+        "Loss ablation: E2GCL accuracy % (mean over runs)",
+        &reference::SMALL_DATASETS,
+        &rows,
+    );
+    summary.print();
+    report::write_json("loss_ablation", &json);
+}

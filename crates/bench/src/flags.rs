@@ -228,6 +228,37 @@ mod tests {
         }
     }
 
+    /// The loss-strategy flags `kernel_bench` grew with the sub-quadratic
+    /// kernels (`--loss`, `--negatives`) are declared, so typos against
+    /// them are typed `Unknown` errors that list the accepted set.
+    #[test]
+    fn loss_strategy_flags_are_declared_and_typos_rejected() {
+        let fs = FlagSet::new()
+            .switch("quick")
+            .valued("loss")
+            .valued("negatives");
+        match fs.parse(&argv(&["--negatvies", "256"])) {
+            Err(FlagError::Unknown { flag, allowed }) => {
+                assert_eq!(flag, "--negatvies");
+                assert!(allowed.contains(&"--loss".to_string()), "{allowed:?}");
+                assert!(allowed.contains(&"--negatives".to_string()), "{allowed:?}");
+            }
+            other => panic!("expected Unknown, got {other:?}"),
+        }
+        match fs.parse(&argv(&["--loss-strategy=smallneg"])) {
+            Err(FlagError::Unknown { flag, .. }) => assert_eq!(flag, "--loss-strategy"),
+            other => panic!("expected Unknown, got {other:?}"),
+        }
+        let f = fs
+            .parse(&argv(&["--loss", "smallneg", "--negatives=256"]))
+            .expect("valid argv");
+        assert_eq!(
+            f.get_parse("loss", "full".to_string()).expect("parses"),
+            "smallneg"
+        );
+        assert_eq!(f.get_parse("negatives", 0usize).expect("parses"), 256);
+    }
+
     #[test]
     fn missing_and_malformed_values_are_typed() {
         let fs = FlagSet::new().valued("rows");

@@ -111,10 +111,25 @@ fn common(args: &Args) -> Result<Common, String> {
         batch_nodes,
         fanout: (fanout > 0).then_some(fanout),
     });
+    let loss_name = args.get("loss", "full");
+    let negatives: usize = args.get_parse("negatives", 256)?;
+    let loss_hops: usize = args.get_parse("loss-hops", 2)?;
+    let loss = match loss_name.as_str() {
+        "full" => LossStrategy::Full,
+        "smallneg" => LossStrategy::SmallNeg { negatives },
+        "localized" => LossStrategy::Localized { hops: loss_hops },
+        other => {
+            return Err(format!(
+                "unknown --loss '{other}'; valid strategies: full, smallneg, localized \
+                 (smallneg takes --negatives, localized takes --loss-hops)"
+            ))
+        }
+    };
     let cfg = TrainConfig {
         epochs,
         durable,
         minibatch,
+        loss,
         ..TrainConfig::default()
     };
     cfg.validate().map_err(|e| e.to_string())?;

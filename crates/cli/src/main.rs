@@ -80,6 +80,11 @@ COMMON OPTIONS (accepted as `--flag value` or `--flag=value`):
     --batch-nodes <n>    seed nodes per mini-batch (default 1024)
     --fanout <n>         neighbours kept per node per hop; 0 = unlimited
                          (default 0)
+    --loss <name>        contrastive loss strategy: full | smallneg |
+                         localized — E2GCL and GRACE/GCA only (default full)
+    --negatives <k>      smallneg: representative negatives per epoch
+                         (default 256)
+    --loss-hops <h>      localized: negative neighbourhood radius (default 2)
 
 PRETRAIN:
     --out <path>         output JSON path (default embeddings.json)

@@ -55,6 +55,56 @@ impl MinibatchConfig {
     }
 }
 
+/// Contrastive-loss strategy (DESIGN.md §15).
+///
+/// Selects which InfoNCE kernel the InfoNCE-based training paths (GRACE/GCA
+/// and E²GCL's batched modes) run:
+///
+/// * [`Full`](LossStrategy::Full) — the existing fused O(n²) kernel,
+///   bitwise-unchanged (golden fingerprints stay valid);
+/// * [`SmallNeg`](LossStrategy::SmallNeg) — anchors contrast against
+///   `negatives` representative rows picked deterministically per epoch by
+///   the Alg. 2 greedy selector over the current embeddings: O(n·k);
+/// * [`Localized`](LossStrategy::Localized) — negatives restricted to each
+///   anchor's CSR `hops`-hop neighbourhood, with no projection head:
+///   O(nnz·d).
+///
+/// Models whose objective is not InfoNCE-shaped reject non-`Full`
+/// strategies with a typed [`TrainError::InvalidConfig`].
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LossStrategy {
+    /// Full symmetric InfoNCE over all n rows (the default).
+    #[default]
+    Full,
+    /// Contrast against a small representative negative set.
+    SmallNeg {
+        /// Negative-set size `k` (>= 1).
+        negatives: usize,
+    },
+    /// Contrast against the L-hop graph neighbourhood only.
+    Localized {
+        /// Neighbourhood radius `L` (>= 1).
+        hops: usize,
+    },
+}
+
+impl LossStrategy {
+    /// True for the default full-loss strategy.
+    pub fn is_full(&self) -> bool {
+        matches!(self, LossStrategy::Full)
+    }
+
+    /// Stable strategy name (`full` / `smallneg` / `localized`), matching
+    /// the CLI `--loss` flag values and bench labels.
+    pub fn name(&self) -> &'static str {
+        match self {
+            LossStrategy::Full => "full",
+            LossStrategy::SmallNeg { .. } => "smallneg",
+            LossStrategy::Localized { .. } => "localized",
+        }
+    }
+}
+
 /// Hyperparameters common to every contrastive model.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct TrainConfig {
@@ -85,6 +135,9 @@ pub struct TrainConfig {
     /// Mini-batch subgraph training (`None` = full-graph epochs).
     #[serde(default)]
     pub minibatch: Option<MinibatchConfig>,
+    /// Contrastive-loss strategy (`Full` = the original O(n²) kernel).
+    #[serde(default)]
+    pub loss: LossStrategy,
 }
 
 impl Default for TrainConfig {
@@ -101,6 +154,7 @@ impl Default for TrainConfig {
             fault: None,
             durable: None,
             minibatch: None,
+            loss: LossStrategy::Full,
         }
     }
 }
@@ -175,6 +229,15 @@ impl TrainConfig {
                 return fail("minibatch.fanout must be >= 1 when set".to_string());
             }
         }
+        match self.loss {
+            LossStrategy::SmallNeg { negatives: 0 } => {
+                return fail("loss.SmallNeg.negatives must be >= 1".to_string());
+            }
+            LossStrategy::Localized { hops: 0 } => {
+                return fail("loss.Localized.hops must be >= 1".to_string());
+            }
+            _ => {}
+        }
         Ok(())
     }
 }
@@ -215,6 +278,41 @@ mod tests {
         assert!(c.fault.is_none());
         assert!(c.durable.is_none());
         assert!(c.minibatch.is_none());
+        assert!(c.loss.is_full());
+    }
+
+    #[test]
+    fn loss_strategy_roundtrips_and_names() {
+        for (loss, name) in [
+            (LossStrategy::Full, "full"),
+            (LossStrategy::SmallNeg { negatives: 256 }, "smallneg"),
+            (LossStrategy::Localized { hops: 2 }, "localized"),
+        ] {
+            assert_eq!(loss.name(), name);
+            let c = TrainConfig {
+                loss: loss.clone(),
+                ..TrainConfig::default()
+            };
+            assert!(c.validate().is_ok());
+            let back: TrainConfig =
+                serde_json::from_str(&serde_json::to_string(&c).unwrap()).unwrap();
+            assert_eq!(back.loss, loss);
+        }
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_loss_strategies() {
+        for bad in [
+            LossStrategy::SmallNeg { negatives: 0 },
+            LossStrategy::Localized { hops: 0 },
+        ] {
+            let c = TrainConfig {
+                loss: bad,
+                ..TrainConfig::default()
+            };
+            let err = c.validate().unwrap_err();
+            assert!(matches!(err, TrainError::InvalidConfig(_)), "{err}");
+        }
     }
 
     #[test]

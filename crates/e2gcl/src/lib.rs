@@ -71,7 +71,7 @@ pub use e2gcl_views as views;
 
 /// Convenient glob-import surface for examples and downstream users.
 pub mod prelude {
-    pub use crate::config::{DurableConfig, MinibatchConfig, TrainConfig};
+    pub use crate::config::{DurableConfig, LossStrategy, MinibatchConfig, TrainConfig};
     pub use crate::eval;
     pub use crate::guard::{FaultPlan, GuardConfig, GuardPolicy, NumericGuard};
     pub use crate::models::{

@@ -83,6 +83,7 @@ impl ContrastiveModel for AdgclModel {
         rng: &mut SeedRng,
     ) -> Result<PretrainResult, TrainError> {
         crate::models::ensure_full_graph_only(cfg, &self.name())?;
+        crate::models::ensure_full_loss_only(cfg, &self.name())?;
         let start = Instant::now();
         let edges: Vec<(usize, usize)> = g.edges().collect();
         // Augmenter state: per-edge drop logits, initialised to drop ~20%.

@@ -86,6 +86,7 @@ impl ContrastiveModel for BgrlModel {
         rng: &mut SeedRng,
     ) -> Result<PretrainResult, TrainError> {
         crate::models::ensure_full_graph_only(cfg, &self.name())?;
+        crate::models::ensure_full_loss_only(cfg, &self.name())?;
         let start = Instant::now();
         let adj_orig = norm::normalized_adjacency(g);
         let dims = cfg.encoder_dims(x.cols());
@@ -258,6 +259,7 @@ impl ContrastiveModel for AfgrlModel {
         rng: &mut SeedRng,
     ) -> Result<PretrainResult, TrainError> {
         crate::models::ensure_full_graph_only(cfg, &self.name())?;
+        crate::models::ensure_full_loss_only(cfg, &self.name())?;
         let start = Instant::now();
         let adj = norm::normalized_adjacency(g);
         let dims = cfg.encoder_dims(x.cols());

@@ -146,6 +146,7 @@ impl ContrastiveModel for DgiModel {
         rng: &mut SeedRng,
     ) -> Result<PretrainResult, TrainError> {
         crate::models::ensure_full_graph_only(cfg, &self.name())?;
+        crate::models::ensure_full_loss_only(cfg, &self.name())?;
         let start = Instant::now();
         let adj: SparseMatrix = norm::normalized_adjacency(g);
         let encoder = GcnEncoder::new(&cfg.encoder_dims(x.cols()), &mut rng.fork("init"));

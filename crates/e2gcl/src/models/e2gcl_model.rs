@@ -4,14 +4,19 @@
 use crate::checkpoint::{restore_params, StepState};
 use crate::config::{MinibatchConfig, TrainConfig};
 use crate::engine::{EpochCtx, EpochDriver, EpochOutcome, EpochStep};
-use crate::models::{sample_negative_indices, ContrastiveModel, PretrainResult};
+use crate::models::{
+    sample_negative_indices, select_negatives, ContrastiveModel, InfoNceStrategy, PretrainResult,
+};
 use e2gcl_graph::SparseMatrix;
 use e2gcl_graph::{norm, CsrGraph, NeighborSampler};
 use e2gcl_linalg::{Matrix, SeedRng, TrainError};
 use e2gcl_nn::loss::InfoNceScratch;
 use e2gcl_nn::sage::{SageCache, SageEncoder};
 use e2gcl_nn::sgc::{SgcCache, SgcEncoder};
-use e2gcl_nn::{gcn::GcnCache, loss, optim::Optimizer, Adam, FrozenEncoder, GcnEncoder};
+use e2gcl_nn::{
+    gcn::GcnCache, loss, optim::Optimizer, Adam, ContrastiveLoss, FrozenEncoder, GcnEncoder,
+    Neighborhoods,
+};
 use e2gcl_selector::baselines::{
     DegreeSelector, GrainSelector, KCenterGreedy, KMeansSelector, RandomSelector,
 };
@@ -405,6 +410,7 @@ impl E2gclModel {
             train_rng,
             grads: Vec::new(),
             nce: InfoNceScratch::default(),
+            loss_state: InfoNceStrategy::from_config(&cfg.loss, 0.5),
         };
         let run = EpochDriver::new(cfg).run(&mut step, start)?;
         Ok(PretrainResult {
@@ -435,6 +441,7 @@ struct E2gclMinibatchStep<'a> {
     train_rng: SeedRng,
     grads: Vec<Matrix>,
     nce: InfoNceScratch,
+    loss_state: InfoNceStrategy,
 }
 
 impl EpochStep for E2gclMinibatchStep<'_> {
@@ -475,20 +482,67 @@ impl EpochStep for E2gclMinibatchStep<'_> {
                 .iter()
                 .map(|&v| view.local(v).expect("anchor is in its sampled view"))
                 .collect();
-            let hb1 = h1.select_rows(&locals);
-            let hb2 = h2.select_rows(&locals);
-            let batch_loss = loss::info_nce_with(&hb1, &hb2, 0.5, &mut self.nce);
-            epoch_loss += batch_loss / num_batches;
-            let mut d_h1 = Matrix::zeros(h1.rows(), h1.cols());
-            let mut d_h2 = Matrix::zeros(h2.rows(), h2.cols());
-            for (i, &l) in locals.iter().enumerate() {
-                d_h1.set_row(l, self.nce.d_z1().row(i));
-                d_h2.set_row(l, self.nce.d_z2().row(i));
-            }
             let scale = 1.0 / num_batches;
-            GcnEncoder::accumulate(&mut acc, self.encoder.backward(&a1, &c1, &d_h1), scale);
-            GcnEncoder::accumulate(&mut acc, self.encoder.backward(&a2, &c2, &d_h2), scale);
-            embeddings_bad = embeddings_bad || cx.guard.embeddings_bad(&[&hb1, &hb2]);
+            match &mut self.loss_state {
+                InfoNceStrategy::Full => {
+                    let hb1 = h1.select_rows(&locals);
+                    let hb2 = h2.select_rows(&locals);
+                    let batch_loss = loss::info_nce_with(&hb1, &hb2, 0.5, &mut self.nce);
+                    epoch_loss += batch_loss / num_batches;
+                    let mut d_h1 = Matrix::zeros(h1.rows(), h1.cols());
+                    let mut d_h2 = Matrix::zeros(h2.rows(), h2.cols());
+                    for (i, &l) in locals.iter().enumerate() {
+                        d_h1.set_row(l, self.nce.d_z1().row(i));
+                        d_h2.set_row(l, self.nce.d_z2().row(i));
+                    }
+                    GcnEncoder::accumulate(&mut acc, self.encoder.backward(&a1, &c1, &d_h1), scale);
+                    GcnEncoder::accumulate(&mut acc, self.encoder.backward(&a2, &c2, &d_h2), scale);
+                    embeddings_bad = embeddings_bad || cx.guard.embeddings_bad(&[&hb1, &hb2]);
+                }
+                InfoNceStrategy::SmallNeg { k, strat } => {
+                    // Negatives come from the anchor rows of this batch's
+                    // sampled view, re-selected per batch on current
+                    // embeddings.
+                    let hb1 = h1.select_rows(&locals);
+                    let hb2 = h2.select_rows(&locals);
+                    let mut sel_rng = self.train_rng.fork("negatives");
+                    strat.set_negatives(&select_negatives(&hb1, *k, &mut sel_rng));
+                    let batch_loss = strat.compute(&hb1, &hb2);
+                    epoch_loss += batch_loss / num_batches;
+                    let mut d_h1 = Matrix::zeros(h1.rows(), h1.cols());
+                    let mut d_h2 = Matrix::zeros(h2.rows(), h2.cols());
+                    for (i, &l) in locals.iter().enumerate() {
+                        d_h1.set_row(l, strat.d_z1().row(i));
+                        d_h2.set_row(l, strat.d_z2().row(i));
+                    }
+                    GcnEncoder::accumulate(&mut acc, self.encoder.backward(&a1, &c1, &d_h1), scale);
+                    GcnEncoder::accumulate(&mut acc, self.encoder.backward(&a2, &c2, &d_h2), scale);
+                    embeddings_bad = embeddings_bad || cx.guard.embeddings_bad(&[&hb1, &hb2]);
+                }
+                InfoNceStrategy::Localized { hops, strat } => {
+                    // Topology is the *uncorrupted* sampled view; anchors
+                    // are the seed rows, negatives their L-hop neighbours
+                    // inside the view. No row selection: gradients land on
+                    // anchor and neighbour rows directly.
+                    strat.set_topology(Neighborhoods::from_graph(&view.graph, *hops));
+                    let mut anchor_ids = locals.clone();
+                    anchor_ids.sort_unstable();
+                    strat.set_anchors(Some(anchor_ids));
+                    let batch_loss = strat.compute(&h1, &h2);
+                    epoch_loss += batch_loss / num_batches;
+                    GcnEncoder::accumulate(
+                        &mut acc,
+                        self.encoder.backward(&a1, &c1, strat.d_z1()),
+                        scale,
+                    );
+                    GcnEncoder::accumulate(
+                        &mut acc,
+                        self.encoder.backward(&a2, &c2, strat.d_z2()),
+                        scale,
+                    );
+                    embeddings_bad = embeddings_bad || cx.guard.embeddings_bad(&[&h1, &h2]);
+                }
+            }
             stepped += 1;
         }
         if stepped == 0 {
@@ -663,6 +717,13 @@ impl ContrastiveModel for E2gclModel {
             // `minibatch: None` (tests/minibatch_equivalence.rs).
         }
         if self.config.view_mode == ViewMode::PerNodeEgo {
+            if !cfg.loss.is_full() {
+                return Err(TrainError::InvalidConfig(
+                    "per-node ego view mode supports only the full contrastive \
+                     loss; unset cfg.loss or use ViewMode::GlobalBatched"
+                        .into(),
+                ));
+            }
             return self.pretrain_per_node(g, x, cfg, rng);
         }
         let start = Instant::now();
@@ -676,6 +737,15 @@ impl ContrastiveModel for E2gclModel {
         let adj_orig = encoder.adjacency(g);
         let opt = Adam::with_weight_decay(cfg.lr, cfg.weight_decay);
         let train_rng = rng.fork("train");
+        let mut loss_state = InfoNceStrategy::from_config(&cfg.loss, 0.5);
+        if let InfoNceStrategy::Localized { hops, strat } = &mut loss_state {
+            // Fixed per run: the topology of the *original* graph and the
+            // selected anchors (global-view corruption keeps node ids).
+            strat.set_topology(Neighborhoods::from_graph(g, *hops));
+            let mut anchor_ids = selection.nodes.clone();
+            anchor_ids.sort_unstable();
+            strat.set_anchors(Some(anchor_ids));
+        }
         let mut step = E2gclBatchedStep {
             model: self,
             x,
@@ -687,6 +757,7 @@ impl ContrastiveModel for E2gclModel {
             opt,
             train_rng,
             grads: Vec::new(),
+            loss_state,
         };
         let run = EpochDriver::new(cfg).run(&mut step, start)?;
         Ok(PretrainResult {
@@ -713,6 +784,7 @@ struct E2gclBatchedStep<'a> {
     opt: Adam,
     train_rng: SeedRng,
     grads: Vec<Matrix>,
+    loss_state: InfoNceStrategy,
 }
 
 impl EpochStep for E2gclBatchedStep<'_> {
@@ -736,61 +808,123 @@ impl EpochStep for E2gclBatchedStep<'_> {
         let a2 = self.encoder.adjacency(&g2);
         let (h1, c1) = self.encoder.forward(&a1, &x1);
         let (h2, c2) = self.encoder.forward(&a2, &x2);
-        let mut d_h1 = Matrix::zeros(h1.rows(), h1.cols());
-        let mut d_h2 = Matrix::zeros(h2.rows(), h2.cols());
-        // λ-weighted anchor batches: sampling anchors ∝ λ reproduces the
-        // Eq. (8) weighting in expectation while keeping the per-batch
-        // loss unweighted.
-        let num_batches = anchors.len().div_ceil(cfg.batch_size).max(1);
-        let mut epoch_loss = 0.0f32;
-        for _ in 0..num_batches {
-            let bsz = cfg.batch_size.min(anchors.len());
-            let batch: Vec<usize> = (0..bsz)
-                .map(|_| anchors[self.train_rng.weighted_index(weights)])
-                .collect();
-            let hb1 = h1.select_rows(&batch);
-            let hb2 = h2.select_rows(&batch);
-            let negatives: Vec<Vec<usize>> = (0..bsz)
-                .map(|i| sample_negative_indices(bsz, i, conf.negatives, &mut self.train_rng))
-                .collect();
-            // Optionally compute the loss on the unit sphere, then pull
-            // gradients back through the normalisation Jacobian.
-            let (d_hat, d_tilde_and_neg, batch_loss) = if conf.loss == LossKind::InfoNce {
-                let out = loss::info_nce(&hb1, &hb2, 0.5);
-                (out.d_z1, out.d_z2, out.loss)
-            } else if conf.normalize {
-                let (u1, n1) = loss::normalize_rows(&hb1);
-                let (u2, n2) = loss::normalize_rows(&hb2);
-                let out = loss::margin_contrastive(&u1, &u2, &u2, &negatives, conf.margin);
-                let mut du2 = out.d_tilde;
-                du2.add_assign(&out.d_neg);
-                (
-                    loss::normalize_backward(&u1, &n1, &out.d_hat),
-                    loss::normalize_backward(&u2, &n2, &du2),
-                    out.loss,
-                )
-            } else {
-                let out = loss::margin_contrastive(&hb1, &hb2, &hb2, &negatives, conf.margin);
-                let mut du2 = out.d_tilde;
-                du2.add_assign(&out.d_neg);
-                (out.d_hat, du2, out.loss)
-            };
-            epoch_loss += batch_loss / num_batches as f32;
-            // Scatter batch gradients back to full-view rows.
-            for (i, &v) in batch.iter().enumerate() {
-                for (dst, &src) in d_h1.row_mut(v).iter_mut().zip(d_hat.row(i)) {
-                    *dst += src / num_batches as f32;
+        let mut acc = None;
+        let epoch_loss = match &mut self.loss_state {
+            InfoNceStrategy::Full => {
+                let mut d_h1 = Matrix::zeros(h1.rows(), h1.cols());
+                let mut d_h2 = Matrix::zeros(h2.rows(), h2.cols());
+                // λ-weighted anchor batches: sampling anchors ∝ λ reproduces
+                // the Eq. (8) weighting in expectation while keeping the
+                // per-batch loss unweighted.
+                let num_batches = anchors.len().div_ceil(cfg.batch_size).max(1);
+                let mut epoch_loss = 0.0f32;
+                for _ in 0..num_batches {
+                    let bsz = cfg.batch_size.min(anchors.len());
+                    let batch: Vec<usize> = (0..bsz)
+                        .map(|_| anchors[self.train_rng.weighted_index(weights)])
+                        .collect();
+                    let hb1 = h1.select_rows(&batch);
+                    let hb2 = h2.select_rows(&batch);
+                    let negatives: Vec<Vec<usize>> = (0..bsz)
+                        .map(|i| {
+                            sample_negative_indices(bsz, i, conf.negatives, &mut self.train_rng)
+                        })
+                        .collect();
+                    // Optionally compute the loss on the unit sphere, then
+                    // pull gradients back through the normalisation Jacobian.
+                    let (d_hat, d_tilde_and_neg, batch_loss) = if conf.loss == LossKind::InfoNce {
+                        let out = loss::info_nce(&hb1, &hb2, 0.5);
+                        (out.d_z1, out.d_z2, out.loss)
+                    } else if conf.normalize {
+                        let (u1, n1) = loss::normalize_rows(&hb1);
+                        let (u2, n2) = loss::normalize_rows(&hb2);
+                        let out = loss::margin_contrastive(&u1, &u2, &u2, &negatives, conf.margin);
+                        let mut du2 = out.d_tilde;
+                        du2.add_assign(&out.d_neg);
+                        (
+                            loss::normalize_backward(&u1, &n1, &out.d_hat),
+                            loss::normalize_backward(&u2, &n2, &du2),
+                            out.loss,
+                        )
+                    } else {
+                        let out =
+                            loss::margin_contrastive(&hb1, &hb2, &hb2, &negatives, conf.margin);
+                        let mut du2 = out.d_tilde;
+                        du2.add_assign(&out.d_neg);
+                        (out.d_hat, du2, out.loss)
+                    };
+                    epoch_loss += batch_loss / num_batches as f32;
+                    // Scatter batch gradients back to full-view rows.
+                    for (i, &v) in batch.iter().enumerate() {
+                        for (dst, &src) in d_h1.row_mut(v).iter_mut().zip(d_hat.row(i)) {
+                            *dst += src / num_batches as f32;
+                        }
+                        for (dst, &src) in d_h2.row_mut(v).iter_mut().zip(d_tilde_and_neg.row(i)) {
+                            *dst += src / num_batches as f32;
+                        }
+                    }
                 }
-                for (dst, &src) in d_h2.row_mut(v).iter_mut().zip(d_tilde_and_neg.row(i)) {
-                    *dst += src / num_batches as f32;
+                // Backprop both views and accumulate; the engine decides
+                // whether this epoch's update is applied.
+                GcnEncoder::accumulate(&mut acc, self.encoder.backward(&a1, &c1, &d_h1), 1.0);
+                GcnEncoder::accumulate(&mut acc, self.encoder.backward(&a2, &c2, &d_h2), 1.0);
+                epoch_loss
+            }
+            InfoNceStrategy::SmallNeg { k, strat } => {
+                // Sub-quadratic path (DESIGN.md §15): every selected anchor
+                // trains once per epoch against k representative negatives
+                // re-selected on the current view-1 embeddings; replaces the
+                // λ-resampled batch loop and the `LossKind` objective.
+                let mut sel_rng = self.train_rng.fork("negatives");
+                let identity =
+                    anchors.len() == h1.rows() && anchors.iter().enumerate().all(|(i, &v)| i == v);
+                if identity {
+                    strat.set_negatives(&select_negatives(&h1, *k, &mut sel_rng));
+                    let epoch_loss = strat.compute(&h1, &h2);
+                    GcnEncoder::accumulate(
+                        &mut acc,
+                        self.encoder.backward(&a1, &c1, strat.d_z1()),
+                        1.0,
+                    );
+                    GcnEncoder::accumulate(
+                        &mut acc,
+                        self.encoder.backward(&a2, &c2, strat.d_z2()),
+                        1.0,
+                    );
+                    epoch_loss
+                } else {
+                    let hb1 = h1.select_rows(anchors);
+                    let hb2 = h2.select_rows(anchors);
+                    strat.set_negatives(&select_negatives(&hb1, *k, &mut sel_rng));
+                    let epoch_loss = strat.compute(&hb1, &hb2);
+                    let mut d_h1 = Matrix::zeros(h1.rows(), h1.cols());
+                    let mut d_h2 = Matrix::zeros(h2.rows(), h2.cols());
+                    for (i, &v) in anchors.iter().enumerate() {
+                        d_h1.set_row(v, strat.d_z1().row(i));
+                        d_h2.set_row(v, strat.d_z2().row(i));
+                    }
+                    GcnEncoder::accumulate(&mut acc, self.encoder.backward(&a1, &c1, &d_h1), 1.0);
+                    GcnEncoder::accumulate(&mut acc, self.encoder.backward(&a2, &c2, &d_h2), 1.0);
+                    epoch_loss
                 }
             }
-        }
-        // Backprop both views and accumulate; the engine decides whether
-        // this epoch's update is applied.
-        let mut acc = None;
-        GcnEncoder::accumulate(&mut acc, self.encoder.backward(&a1, &c1, &d_h1), 1.0);
-        GcnEncoder::accumulate(&mut acc, self.encoder.backward(&a2, &c2, &d_h2), 1.0);
+            InfoNceStrategy::Localized { strat, .. } => {
+                // Topology and anchors were fixed at construction; the
+                // sparse kernel reads/writes full-view rows directly.
+                let epoch_loss = strat.compute(&h1, &h2);
+                GcnEncoder::accumulate(
+                    &mut acc,
+                    self.encoder.backward(&a1, &c1, strat.d_z1()),
+                    1.0,
+                );
+                GcnEncoder::accumulate(
+                    &mut acc,
+                    self.encoder.backward(&a2, &c2, strat.d_z2()),
+                    1.0,
+                );
+                epoch_loss
+            }
+        };
         self.grads = acc.unwrap_or_default();
         let embeddings_bad = cx.guard.embeddings_bad(&[&h1, &h2]);
         EpochOutcome::Step {
@@ -1058,6 +1192,83 @@ mod tests {
                 &minibatch_cfg(32, Some(4)),
                 &mut SeedRng::new(0),
             )
+            .unwrap_err();
+        assert!(matches!(err, TrainError::InvalidConfig(_)), "{err}");
+    }
+
+    #[test]
+    fn sub_quadratic_strategies_train_batched_and_minibatch() {
+        use crate::config::LossStrategy;
+        let d = tiny_data();
+        for loss in [
+            LossStrategy::SmallNeg { negatives: 32 },
+            LossStrategy::Localized { hops: 2 },
+        ] {
+            for mb in [
+                None,
+                Some(crate::config::MinibatchConfig {
+                    batch_nodes: 48,
+                    fanout: Some(5),
+                }),
+            ] {
+                let cfg = TrainConfig {
+                    epochs: 4,
+                    loss: loss.clone(),
+                    minibatch: mb,
+                    ..tiny_cfg()
+                };
+                let run = |seed: u64| {
+                    E2gclModel::default()
+                        .pretrain(&d.graph, &d.features, &cfg, &mut SeedRng::new(seed))
+                        .unwrap()
+                };
+                let (a, b) = (run(5), run(5));
+                assert!(!a.embeddings.has_non_finite(), "{}", loss.name());
+                assert_eq!(a.embeddings, b.embeddings, "{}", loss.name());
+                assert_eq!(a.loss_curve, b.loss_curve, "{}", loss.name());
+            }
+        }
+    }
+
+    /// `SelectorKind::All` makes the selected anchors the identity set, so
+    /// the small-negative-set epoch takes the copy-free full-view path.
+    #[test]
+    fn smallneg_with_all_selector_trains_and_loss_falls() {
+        use crate::config::LossStrategy;
+        let d = tiny_data();
+        let model = E2gclModel::new(E2gclConfig {
+            selector: SelectorKind::All,
+            ..Default::default()
+        });
+        let cfg = TrainConfig {
+            epochs: 10,
+            loss: LossStrategy::SmallNeg { negatives: 64 },
+            ..tiny_cfg()
+        };
+        let out = model
+            .pretrain(&d.graph, &d.features, &cfg, &mut SeedRng::new(12))
+            .unwrap();
+        assert!(!out.embeddings.has_non_finite());
+        assert!(
+            out.loss_curve.last().unwrap() < out.loss_curve.first().unwrap(),
+            "{:?}",
+            out.loss_curve
+        );
+    }
+
+    #[test]
+    fn per_node_ego_rejects_sub_quadratic_loss() {
+        let d = tiny_data();
+        let model = E2gclModel::new(E2gclConfig {
+            view_mode: ViewMode::PerNodeEgo,
+            ..Default::default()
+        });
+        let cfg = TrainConfig {
+            loss: crate::config::LossStrategy::Localized { hops: 1 },
+            ..tiny_cfg()
+        };
+        let err = model
+            .pretrain(&d.graph, &d.features, &cfg, &mut SeedRng::new(0))
             .unwrap_err();
         assert!(matches!(err, TrainError::InvalidConfig(_)), "{err}");
     }

@@ -11,11 +11,16 @@
 use crate::checkpoint::{restore_params, StepState};
 use crate::config::{MinibatchConfig, TrainConfig};
 use crate::engine::{EpochCtx, EpochDriver, EpochOutcome, EpochStep};
-use crate::models::{shuffled_batches, ContrastiveModel, PretrainResult};
+use crate::models::{
+    select_negatives, shuffled_batches, ContrastiveModel, InfoNceStrategy, PretrainResult,
+};
 use e2gcl_graph::{norm, CsrGraph, NeighborSampler, SparseMatrix};
 use e2gcl_linalg::{Matrix, SeedRng, TrainError};
 use e2gcl_nn::loss::InfoNceScratch;
-use e2gcl_nn::{loss, optim::Optimizer, Adam, GcnEncoder, GcnWorkspace, Mlp, MlpWorkspace};
+use e2gcl_nn::{
+    loss, optim::Optimizer, Adam, ContrastiveLoss, GcnEncoder, GcnWorkspace, Mlp, MlpWorkspace,
+    Neighborhoods,
+};
 use e2gcl_views::{scores::GraphScores, uniform};
 use std::time::Instant;
 
@@ -198,6 +203,7 @@ impl GraceModel {
             head,
             opt,
             train_rng,
+            loss_state: InfoNceStrategy::from_config(&cfg.loss, self.config.tau),
             grads: Vec::new(),
             ws1: GcnWorkspace::new(),
             ws2: GcnWorkspace::new(),
@@ -266,6 +272,12 @@ impl ContrastiveModel for GraceModel {
         );
         let opt = Adam::with_weight_decay(cfg.lr, cfg.weight_decay);
         let train_rng = rng.fork("train");
+        // Full-batch localized training contrasts within the *original*
+        // graph's L-hop neighbourhoods, so the topology is built once here.
+        let mut loss_state = InfoNceStrategy::from_config(&cfg.loss, self.config.tau);
+        if let InfoNceStrategy::Localized { hops, strat } = &mut loss_state {
+            strat.set_topology(Neighborhoods::from_graph(g, *hops));
+        }
         let mut step = GraceStep {
             model: self,
             g,
@@ -278,6 +290,7 @@ impl ContrastiveModel for GraceModel {
             head,
             opt,
             train_rng,
+            loss_state,
             ws1: GcnWorkspace::new(),
             ws2: GcnWorkspace::new(),
             head_ws1: MlpWorkspace::new(),
@@ -315,6 +328,7 @@ struct GraceStep<'a> {
     head: Mlp,
     opt: Adam,
     train_rng: SeedRng,
+    loss_state: InfoNceStrategy,
     ws1: GcnWorkspace,
     ws2: GcnWorkspace,
     head_ws1: MlpWorkspace,
@@ -354,57 +368,95 @@ impl EpochStep for GraceStep<'_> {
         let a2 = norm::normalized_adjacency(&g2);
         self.encoder.forward_with(&a1, &x1, &mut self.ws1);
         self.encoder.forward_with(&a2, &x2, &mut self.ws2);
-        self.d_h1.reset_zeroed(n, cfg.embed_dim);
-        self.d_h2.reset_zeroed(n, cfg.embed_dim);
-        let batches = shuffled_batches(n, cfg.batch_size, &mut self.train_rng);
-        let num_batches = batches.len() as f32;
-        let mut epoch_loss = 0.0;
-        for batch in batches {
-            if batch.len() < 2 {
-                continue;
-            }
-            self.ws1.output().select_rows_into(&batch, &mut self.hb1);
-            self.ws2.output().select_rows_into(&batch, &mut self.hb2);
-            self.head.forward_with(&self.hb1, &mut self.head_ws1);
-            self.head.forward_with(&self.hb2, &mut self.head_ws2);
-            let batch_loss = loss::info_nce_with(
-                self.head_ws1.output(),
-                self.head_ws2.output(),
-                conf.tau,
-                &mut self.nce,
-            );
-            epoch_loss += batch_loss / num_batches;
-            self.head
-                .backward_with(&self.hb1, self.nce.d_z1(), &mut self.head_ws1);
-            self.head
-                .backward_with(&self.hb2, self.nce.d_z2(), &mut self.head_ws2);
-            for (i, &v) in batch.iter().enumerate() {
-                for (dst, &src) in self
-                    .d_h1
-                    .row_mut(v)
-                    .iter_mut()
-                    .zip(self.head_ws1.d_input().row(i))
-                {
-                    *dst += src / num_batches;
+        let epoch_loss = match &mut self.loss_state {
+            InfoNceStrategy::Full => {
+                self.d_h1.reset_zeroed(n, cfg.embed_dim);
+                self.d_h2.reset_zeroed(n, cfg.embed_dim);
+                let batches = shuffled_batches(n, cfg.batch_size, &mut self.train_rng);
+                let num_batches = batches.len() as f32;
+                let mut epoch_loss = 0.0;
+                for batch in batches {
+                    if batch.len() < 2 {
+                        continue;
+                    }
+                    self.ws1.output().select_rows_into(&batch, &mut self.hb1);
+                    self.ws2.output().select_rows_into(&batch, &mut self.hb2);
+                    self.head.forward_with(&self.hb1, &mut self.head_ws1);
+                    self.head.forward_with(&self.hb2, &mut self.head_ws2);
+                    let batch_loss = loss::info_nce_with(
+                        self.head_ws1.output(),
+                        self.head_ws2.output(),
+                        conf.tau,
+                        &mut self.nce,
+                    );
+                    epoch_loss += batch_loss / num_batches;
+                    self.head
+                        .backward_with(&self.hb1, self.nce.d_z1(), &mut self.head_ws1);
+                    self.head
+                        .backward_with(&self.hb2, self.nce.d_z2(), &mut self.head_ws2);
+                    for (i, &v) in batch.iter().enumerate() {
+                        for (dst, &src) in self
+                            .d_h1
+                            .row_mut(v)
+                            .iter_mut()
+                            .zip(self.head_ws1.d_input().row(i))
+                        {
+                            *dst += src / num_batches;
+                        }
+                        for (dst, &src) in self
+                            .d_h2
+                            .row_mut(v)
+                            .iter_mut()
+                            .zip(self.head_ws2.d_input().row(i))
+                        {
+                            *dst += src / num_batches;
+                        }
+                    }
+                    // The head steps inside the epoch, before the guard
+                    // verdict: on a retry only the encoder update is
+                    // discarded (as before).
+                    self.head
+                        .step(self.head_ws1.grads(), cx.lr / num_batches, 0.0);
+                    self.head
+                        .step(self.head_ws2.grads(), cx.lr / num_batches, 0.0);
                 }
-                for (dst, &src) in self
-                    .d_h2
-                    .row_mut(v)
-                    .iter_mut()
-                    .zip(self.head_ws2.d_input().row(i))
-                {
-                    *dst += src / num_batches;
-                }
+                self.encoder.backward_with(&a1, &mut self.ws1, &self.d_h1);
+                self.encoder.backward_with(&a2, &mut self.ws2, &self.d_h2);
+                epoch_loss
             }
-            // The head steps inside the epoch, before the guard verdict: on
-            // a retry only the encoder update is discarded (as before).
-            self.head
-                .step(self.head_ws1.grads(), cx.lr / num_batches, 0.0);
-            self.head
-                .step(self.head_ws2.grads(), cx.lr / num_batches, 0.0);
-        }
-        self.encoder.backward_with(&a1, &mut self.ws1, &self.d_h1);
-        self.encoder.backward_with(&a2, &mut self.ws2, &self.d_h2);
+            InfoNceStrategy::SmallNeg { k, strat } => {
+                // One full-batch pass: every node anchors, the denominator
+                // is the k representatives re-selected each epoch from the
+                // current view-1 encoder output.
+                let mut sel_rng = self.train_rng.fork("negatives");
+                strat.set_negatives(&select_negatives(self.ws1.output(), *k, &mut sel_rng));
+                self.head
+                    .forward_with(self.ws1.output(), &mut self.head_ws1);
+                self.head
+                    .forward_with(self.ws2.output(), &mut self.head_ws2);
+                let epoch_loss = strat.compute(self.head_ws1.output(), self.head_ws2.output());
+                self.head
+                    .backward_with(self.ws1.output(), strat.d_z1(), &mut self.head_ws1);
+                self.head
+                    .backward_with(self.ws2.output(), strat.d_z2(), &mut self.head_ws2);
+                self.head.step(self.head_ws1.grads(), cx.lr, 0.0);
+                self.head.step(self.head_ws2.grads(), cx.lr, 0.0);
+                self.encoder
+                    .backward_with(&a1, &mut self.ws1, self.head_ws1.d_input());
+                self.encoder
+                    .backward_with(&a2, &mut self.ws2, self.head_ws2.d_input());
+                epoch_loss
+            }
+            InfoNceStrategy::Localized { strat, .. } => {
+                // Neighbourhood-localized training drops the projection
+                // head (per its source paper): the loss reads encoder
+                // outputs directly over the precomputed topology.
+                let epoch_loss = strat.compute(self.ws1.output(), self.ws2.output());
+                self.encoder.backward_with(&a1, &mut self.ws1, strat.d_z1());
+                self.encoder.backward_with(&a2, &mut self.ws2, strat.d_z2());
+                epoch_loss
+            }
+        };
         // Sum both views' gradients in place (== GcnEncoder::accumulate at
         // scale 1.0); the engine reads them via `grads_mut`.
         for (acc, g) in self.ws1.grads_mut().iter_mut().zip(self.ws2.grads()) {
@@ -494,6 +546,7 @@ struct GraceMinibatchStep<'a> {
     head: Mlp,
     opt: Adam,
     train_rng: SeedRng,
+    loss_state: InfoNceStrategy,
     grads: Vec<Matrix>,
     ws1: GcnWorkspace,
     ws2: GcnWorkspace,
@@ -549,35 +602,78 @@ impl EpochStep for GraceMinibatchStep<'_> {
                 .iter()
                 .map(|&v| view.local(v).expect("seed is in its sampled view"))
                 .collect();
-            self.ws1.output().select_rows_into(&locals, &mut self.hb1);
-            self.ws2.output().select_rows_into(&locals, &mut self.hb2);
-            self.head.forward_with(&self.hb1, &mut self.head_ws1);
-            self.head.forward_with(&self.hb2, &mut self.head_ws2);
-            let batch_loss = loss::info_nce_with(
-                self.head_ws1.output(),
-                self.head_ws2.output(),
-                conf.tau,
-                &mut self.nce,
-            );
+            let batch_loss = match &mut self.loss_state {
+                InfoNceStrategy::Full => {
+                    self.ws1.output().select_rows_into(&locals, &mut self.hb1);
+                    self.ws2.output().select_rows_into(&locals, &mut self.hb2);
+                    self.head.forward_with(&self.hb1, &mut self.head_ws1);
+                    self.head.forward_with(&self.hb2, &mut self.head_ws2);
+                    let batch_loss = loss::info_nce_with(
+                        self.head_ws1.output(),
+                        self.head_ws2.output(),
+                        conf.tau,
+                        &mut self.nce,
+                    );
+                    self.head
+                        .backward_with(&self.hb1, self.nce.d_z1(), &mut self.head_ws1);
+                    self.head
+                        .backward_with(&self.hb2, self.nce.d_z2(), &mut self.head_ws2);
+                    self.d_h1.reset_zeroed(view.len(), cfg.embed_dim);
+                    self.d_h2.reset_zeroed(view.len(), cfg.embed_dim);
+                    for (i, &l) in locals.iter().enumerate() {
+                        self.d_h1.set_row(l, self.head_ws1.d_input().row(i));
+                        self.d_h2.set_row(l, self.head_ws2.d_input().row(i));
+                    }
+                    // The head steps inside the epoch, before the guard
+                    // verdict, exactly as in the full-graph step.
+                    self.head
+                        .step(self.head_ws1.grads(), cx.lr / num_batches, 0.0);
+                    self.head
+                        .step(self.head_ws2.grads(), cx.lr / num_batches, 0.0);
+                    self.encoder.backward_with(&a1, &mut self.ws1, &self.d_h1);
+                    self.encoder.backward_with(&a2, &mut self.ws2, &self.d_h2);
+                    batch_loss
+                }
+                InfoNceStrategy::SmallNeg { k, strat } => {
+                    // Negatives re-selected per batch from the seed rows'
+                    // view-1 embeddings (batch-local indices).
+                    self.ws1.output().select_rows_into(&locals, &mut self.hb1);
+                    self.ws2.output().select_rows_into(&locals, &mut self.hb2);
+                    let mut sel_rng = self.train_rng.fork("negatives");
+                    strat.set_negatives(&select_negatives(&self.hb1, *k, &mut sel_rng));
+                    self.head.forward_with(&self.hb1, &mut self.head_ws1);
+                    self.head.forward_with(&self.hb2, &mut self.head_ws2);
+                    let batch_loss = strat.compute(self.head_ws1.output(), self.head_ws2.output());
+                    self.head
+                        .backward_with(&self.hb1, strat.d_z1(), &mut self.head_ws1);
+                    self.head
+                        .backward_with(&self.hb2, strat.d_z2(), &mut self.head_ws2);
+                    self.d_h1.reset_zeroed(view.len(), cfg.embed_dim);
+                    self.d_h2.reset_zeroed(view.len(), cfg.embed_dim);
+                    for (i, &l) in locals.iter().enumerate() {
+                        self.d_h1.set_row(l, self.head_ws1.d_input().row(i));
+                        self.d_h2.set_row(l, self.head_ws2.d_input().row(i));
+                    }
+                    self.head
+                        .step(self.head_ws1.grads(), cx.lr / num_batches, 0.0);
+                    self.head
+                        .step(self.head_ws2.grads(), cx.lr / num_batches, 0.0);
+                    self.encoder.backward_with(&a1, &mut self.ws1, &self.d_h1);
+                    self.encoder.backward_with(&a2, &mut self.ws2, &self.d_h2);
+                    batch_loss
+                }
+                InfoNceStrategy::Localized { hops, strat } => {
+                    // Head-free: anchors are the seed rows, negatives their
+                    // L-hop neighbourhoods *within the sampled subgraph*.
+                    strat.set_topology(Neighborhoods::from_graph(&view.graph, *hops));
+                    strat.set_anchors(Some(locals.clone()));
+                    let batch_loss = strat.compute(self.ws1.output(), self.ws2.output());
+                    self.encoder.backward_with(&a1, &mut self.ws1, strat.d_z1());
+                    self.encoder.backward_with(&a2, &mut self.ws2, strat.d_z2());
+                    batch_loss
+                }
+            };
             epoch_loss += batch_loss / num_batches;
-            self.head
-                .backward_with(&self.hb1, self.nce.d_z1(), &mut self.head_ws1);
-            self.head
-                .backward_with(&self.hb2, self.nce.d_z2(), &mut self.head_ws2);
-            self.d_h1.reset_zeroed(view.len(), cfg.embed_dim);
-            self.d_h2.reset_zeroed(view.len(), cfg.embed_dim);
-            for (i, &l) in locals.iter().enumerate() {
-                self.d_h1.set_row(l, self.head_ws1.d_input().row(i));
-                self.d_h2.set_row(l, self.head_ws2.d_input().row(i));
-            }
-            // The head steps inside the epoch, before the guard verdict,
-            // exactly as in the full-graph step.
-            self.head
-                .step(self.head_ws1.grads(), cx.lr / num_batches, 0.0);
-            self.head
-                .step(self.head_ws2.grads(), cx.lr / num_batches, 0.0);
-            self.encoder.backward_with(&a1, &mut self.ws1, &self.d_h1);
-            self.encoder.backward_with(&a2, &mut self.ws2, &self.d_h2);
             let scale = 1.0 / num_batches;
             GcnEncoder::accumulate(&mut acc, self.ws1.grads().to_vec(), scale);
             GcnEncoder::accumulate(&mut acc, self.ws2.grads().to_vec(), scale);
@@ -762,6 +858,34 @@ mod tests {
             .pretrain(&d.graph, &d.features, &cfg, &mut SeedRng::new(0))
             .unwrap_err();
         assert!(matches!(err, TrainError::InvalidConfig(_)), "{err}");
+    }
+
+    #[test]
+    fn sub_quadratic_strategies_train_full_and_minibatch() {
+        use crate::config::LossStrategy;
+        let (d, cfg) = tiny();
+        for loss in [
+            LossStrategy::SmallNeg { negatives: 32 },
+            LossStrategy::Localized { hops: 2 },
+        ] {
+            for mb in [None, minibatch(48, Some(5))] {
+                let cfg = TrainConfig {
+                    epochs: 4,
+                    loss: loss.clone(),
+                    minibatch: mb,
+                    ..cfg.clone()
+                };
+                let run = |seed: u64| {
+                    GraceModel::grace()
+                        .pretrain(&d.graph, &d.features, &cfg, &mut SeedRng::new(seed))
+                        .unwrap()
+                };
+                let (a, b) = (run(7), run(7));
+                assert!(!a.embeddings.has_non_finite(), "{}", loss.name());
+                assert_eq!(a.embeddings, b.embeddings, "{}", loss.name());
+                assert_eq!(a.loss_curve, b.loss_curve, "{}", loss.name());
+            }
+        }
     }
 
     #[test]

@@ -74,6 +74,7 @@ impl ContrastiveModel for MvgrlModel {
         rng: &mut SeedRng,
     ) -> Result<PretrainResult, TrainError> {
         crate::models::ensure_full_graph_only(cfg, &self.name())?;
+        crate::models::ensure_full_loss_only(cfg, &self.name())?;
         let start = Instant::now();
         let diffusion =
             ppr::ppr_diffusion_graph(g, self.config.alpha, self.config.epsilon, self.config.top_k);

@@ -124,6 +124,7 @@ impl ContrastiveModel for WalkModel {
         rng: &mut SeedRng,
     ) -> Result<PretrainResult, TrainError> {
         crate::models::ensure_full_graph_only(cfg, &self.name())?;
+        crate::models::ensure_full_loss_only(cfg, &self.name())?;
         let start = Instant::now();
         let n = g.num_nodes();
         let d = cfg.embed_dim;

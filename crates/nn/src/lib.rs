@@ -9,6 +9,9 @@
 //! * [`mlp::Linear`] / [`mlp::Mlp`] — projection heads and decoders;
 //! * [`loss`] — Eq. (5) margin contrastive loss, InfoNCE (GRACE/GCA), BCE,
 //!   softmax cross-entropy, cosine bootstrap (BGRL);
+//! * [`contrast`] — pluggable [`ContrastiveLoss`] strategies: the full
+//!   O(n²) InfoNCE plus sub-quadratic small-negative-set and
+//!   neighbourhood-localized kernels (DESIGN.md §15);
 //! * [`optim`] — SGD and Adam;
 //! * [`probe`] — the `l2`-regularised linear probe used by the evaluation
 //!   protocol (§V-A2), plus the link-prediction decoder;
@@ -23,6 +26,7 @@
 //! Every gradient is validated against central finite differences in the
 //! test suites (`grad check` tests in each module).
 
+pub mod contrast;
 pub mod ema;
 pub mod frozen;
 pub mod gcn;
@@ -34,6 +38,9 @@ pub mod sage;
 pub mod scratch;
 pub mod sgc;
 
+pub use contrast::{
+    ContrastiveLoss, FullInfoNce, LocalizedInfoNce, Neighborhoods, SmallNegInfoNce,
+};
 pub use frozen::{EncoderWorkspace, FrozenEncoder};
 pub use gcn::{GcnEncoder, GcnWorkspace};
 pub use mlp::{Linear, Mlp, MlpWorkspace};

@@ -129,4 +129,52 @@ proptest! {
         l.step(&grads, lr, 0.0);
         prop_assert!(loss_of(&l) <= before);
     }
+
+    /// `SmallNegInfoNce` with every row in the negative set (each anchor
+    /// then scores against the other n−1 rows, self excluded, exactly like
+    /// NT-Xent) must be **bitwise** equal to the fused full kernel — loss
+    /// and both gradients — at awkward shapes. n = 1 has no full-kernel
+    /// counterpart (InfoNCE needs at least one negative): the small-neg
+    /// path must return exactly zero loss and gradients there.
+    #[test]
+    fn smallneg_all_rows_is_bitwise_full_info_nce(seed in any::<u64>(), dim in 1usize..9) {
+        use e2gcl_nn::{ContrastiveLoss, SmallNegInfoNce};
+        use e2gcl_nn::loss::InfoNceScratch;
+        for n in [1usize, 2, 7, 33] {
+            let mut rng = SeedRng::new(seed ^ (n as u64) << 32);
+            let gen = |rng: &mut SeedRng| {
+                let mut m = Matrix::zeros(n, dim);
+                for v in m.as_mut_slice() {
+                    *v = rng.normal();
+                }
+                // Keep rows away from the normalisation singularity.
+                for r in 0..n {
+                    if ops::norm(m.row(r)) < 0.1 {
+                        m.row_mut(r)[0] += 1.0;
+                    }
+                }
+                m
+            };
+            let z1 = gen(&mut rng);
+            let z2 = gen(&mut rng);
+            let mut strat = SmallNegInfoNce::new(0.5);
+            strat.set_negatives(&(0..n).collect::<Vec<_>>());
+            let small = strat.compute(&z1, &z2);
+            if n == 1 {
+                prop_assert_eq!(small.to_bits(), 0.0f32.to_bits());
+                prop_assert!(strat.d_z1().as_slice().iter().all(|v| *v == 0.0));
+                prop_assert!(strat.d_z2().as_slice().iter().all(|v| *v == 0.0));
+                continue;
+            }
+            let mut s = InfoNceScratch::default();
+            let full = loss::info_nce_with(&z1, &z2, 0.5, &mut s);
+            prop_assert_eq!(small.to_bits(), full.to_bits(), "loss at n={}", n);
+            for (a, b) in strat.d_z1().as_slice().iter().zip(s.d_z1().as_slice()) {
+                prop_assert_eq!(a.to_bits(), b.to_bits(), "d_z1 at n={}", n);
+            }
+            for (a, b) in strat.d_z2().as_slice().iter().zip(s.d_z2().as_slice()) {
+                prop_assert_eq!(a.to_bits(), b.to_bits(), "d_z2 at n={}", n);
+            }
+        }
+    }
 }

@@ -5,12 +5,15 @@
 //! per `RAYON_NUM_THREADS` setting and compares fingerprints of the loss
 //! and both gradients.
 
+use e2gcl_graph::CsrGraph;
 use e2gcl_linalg::hash::Fnv1a64;
 use e2gcl_linalg::{Matrix, SeedRng};
 use e2gcl_nn::loss::{info_nce_with, InfoNceScratch};
+use e2gcl_nn::{ContrastiveLoss, LocalizedInfoNce, Neighborhoods, SmallNegInfoNce};
 use std::process::Command;
 
 const CHILD_ENV: &str = "E2GCL_NN_THREAD_INVARIANCE_CHILD";
+const SUBQ_CHILD_ENV: &str = "E2GCL_NN_SUBQ_THREAD_INVARIANCE_CHILD";
 
 fn dense(rows: usize, cols: usize, seed: u64) -> Matrix {
     let mut rng = SeedRng::new(seed);
@@ -70,5 +73,72 @@ fn info_nce_bitwise_invariant_across_thread_counts() {
         "info_nce output differs between RAYON_NUM_THREADS=1 and 4"
     );
     let here = format!("{:016x}", compute_fingerprint());
+    assert_eq!(fps[0], here, "parent fingerprint differs from children");
+}
+
+fn hash_strategy(h: &mut Fnv1a64, loss: f32, strat: &dyn ContrastiveLoss) {
+    h.write_f32(loss);
+    for &v in strat.d_z1().as_slice() {
+        h.write_f32(v);
+    }
+    for &v in strat.d_z2().as_slice() {
+        h.write_f32(v);
+    }
+}
+
+/// 600 anchors again, but through the sub-quadratic kernels on their
+/// *general* paths: small-neg with k = 96 < n (fused select/GEMM/scatter
+/// backward) and localized on a ring graph with 2-hop neighbourhoods
+/// (sparse softmax, per-anchor parallel pass 1, per-row parallel pass 2).
+fn subq_fingerprint() -> u64 {
+    let n = 600;
+    let z1 = dense(n, 16, 42);
+    let z2 = dense(n, 16, 43);
+    let mut h = Fnv1a64::new();
+    let mut small = SmallNegInfoNce::new(0.5);
+    small.set_negatives(&(0..n).step_by(6).map(|v| v + 1).collect::<Vec<_>>());
+    let l = small.compute(&z1, &z2);
+    hash_strategy(&mut h, l, &small);
+    let edges: Vec<(usize, usize)> = (0..n).map(|v| (v, (v + 1) % n)).collect();
+    let ring = CsrGraph::from_edges(n, &edges);
+    let mut local = LocalizedInfoNce::new(0.5, Neighborhoods::from_graph(&ring, 2));
+    let l = local.compute(&z1, &z2);
+    hash_strategy(&mut h, l, &local);
+    h.finish()
+}
+
+#[test]
+fn sub_quadratic_losses_bitwise_invariant_across_thread_counts() {
+    if std::env::var(SUBQ_CHILD_ENV).is_ok() {
+        println!("FP:{:016x}", subq_fingerprint());
+        return;
+    }
+    let exe = std::env::current_exe().expect("test binary path");
+    let mut fps = Vec::new();
+    for threads in ["1", "4"] {
+        let out = Command::new(&exe)
+            .arg("sub_quadratic_losses_bitwise_invariant_across_thread_counts")
+            .arg("--exact")
+            .arg("--nocapture")
+            .env(SUBQ_CHILD_ENV, "1")
+            .env("RAYON_NUM_THREADS", threads)
+            .output()
+            .expect("spawn child test process");
+        assert!(
+            out.status.success(),
+            "child with {threads} threads failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        let at = stdout
+            .find("FP:")
+            .unwrap_or_else(|| panic!("no FP marker in child output: {stdout}"));
+        fps.push(stdout[at + 3..at + 19].to_string());
+    }
+    assert_eq!(
+        fps[0], fps[1],
+        "sub-quadratic loss output differs between RAYON_NUM_THREADS=1 and 4"
+    );
+    let here = format!("{:016x}", subq_fingerprint());
     assert_eq!(fps[0], here, "parent fingerprint differs from children");
 }

@@ -100,6 +100,14 @@ impl GreedySelector {
             // Marginal-gain evaluation (Alg. 2, lines 5-7). Parallelism only
             // pays once the per-step work amortises rayon's fork/join cost;
             // on small graphs the serial loop is several times faster.
+            //
+            // Deterministic tie-break: on equal gain the LOWEST node id wins.
+            // `pick_best` is associative and order-insensitive for distinct
+            // ids, and the rayon stand-in reduces sequentially in item order,
+            // so the argmax — and with it the whole selection — is
+            // bit-identical across `RAYON_NUM_THREADS` (regression test:
+            // `thread_invariance.rs`). Sub-quadratic loss strategies rely on
+            // this when re-selecting negatives every epoch.
             let pick_best = |a: (usize, f64), b: (usize, f64)| {
                 if b.1 > a.1 || (b.1 == a.1 && b.0 < a.0) {
                     b
