@@ -5,6 +5,10 @@
 #   1. cargo fmt --check          — formatting
 #   2. cargo clippy -D warnings   — lints across the whole workspace
 #   3. cargo test -q              — unit, integration, and property tests
+#   3b. scalar-fallback goldens   — the determinism suites re-run with
+#                                   E2GCL_KERNEL_CONFIG=scalar so the
+#                                   non-SIMD fallback keeps reproducing the
+#                                   committed scalar fingerprints
 #   4. grep lint                  — no .unwrap()/panic! in non-test library
 #                                   code of the crates that run training
 #                                   (use .expect("reason") or a TrainError)
@@ -25,9 +29,14 @@
 #   9. kernel bench smoke         — kernel_bench --quick runs the smallest
 #                                   shape of every blocked GEMM kernel and
 #                                   fails if any is slower than 0.8x its
-#                                   scalar reference or if the committed
+#                                   scalar reference, if the committed
 #                                   BENCH_kernels.json doesn't parse / shows
-#                                   a recorded speedup below 0.8x; it also
+#                                   a recorded speedup below 0.8x, or if
+#                                   this run's GFLOP/s drops >20% below a
+#                                   committed entry with matching (kernel,
+#                                   shape, dispatch path) — committed simd
+#                                   baselines from a path the host can't
+#                                   run are skipped with a message; it also
 #                                   measures the sub-quadratic loss kernels
 #                                   at n=65536 and fails if smallneg(k=256)
 #                                   fwd+bwd exceeds 25% of the projected
@@ -72,6 +81,13 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 
 echo "==> cargo test -q"
 cargo test -q --workspace --offline
+
+echo "==> scalar-fallback goldens: E2GCL_KERNEL_CONFIG=scalar determinism suites"
+# The default run above validates the goldens for the host's dispatch path
+# (avx2 where available). Forcing the scalar path here proves the fallback
+# kernels still reproduce all committed scalar fingerprints (DESIGN.md §16).
+E2GCL_KERNEL_CONFIG=scalar cargo test -q --offline -p e2gcl \
+    --test golden_determinism --test loss_strategy_determinism
 
 echo "==> lint: no .unwrap()/panic! in non-test library code"
 # Test modules in this codebase are trailing `#[cfg(test)] mod tests` blocks,
@@ -161,7 +177,7 @@ clean_q=$(target/release/e2gcl-cli query --artifact "$clean_artifact" --node 0 -
 [ "$resumed_q" = "$clean_q" ]                  # resume converged on the clean answers
 rm -f "$crash_artifact" "$crash_artifact.corrupt" "$crash_ckpt" "$clean_artifact"
 
-echo "==> kernel bench smoke: blocked kernels vs scalar reference + loss n-scaling gate + recorded baseline"
+echo "==> kernel bench smoke: scalar/blocked/simd tiers + loss n-scaling gate + committed-baseline perf regression"
 cargo run --release --offline -q -p e2gcl-bench --bin kernel_bench -- --quick
 test -s target/bench-results/kernel_bench_quick.json
 

@@ -2,11 +2,24 @@
 //! GEMM kernels (`matmul`, `transpose_matmul`, `matmul_transpose`), SpMM,
 //! end-to-end `info_nce_with`, and one GRACE epoch.
 //!
-//! Every kernel is measured twice per shape: once through the library's
-//! blocked micro-kernels (`e2gcl-linalg` / `e2gcl-nn`) and once through a
-//! serial single-accumulator scalar reference that replicates the pre-PR
-//! kernels bit-for-bit in structure. The speedup column is therefore a
-//! same-machine, same-run comparison against the old code path.
+//! Every kernel is measured three times per shape (DESIGN.md §16):
+//!
+//! * `scalar` — a serial single-accumulator reference replicating the
+//!   pre-PR-4 kernels bit-for-bit in structure,
+//! * `blocked` — the library's blocked micro-kernels forced onto the
+//!   scalar dispatch path (`Selection::SCALAR`), i.e. the pre-dispatch
+//!   code path, and
+//! * `simd` — the library under the *active* dispatch selection (AVX2+FMA
+//!   with autotuned tiles where the host supports it; identical to
+//!   `blocked` on scalar-only hosts).
+//!
+//! Full mode first runs the autotuner ([`e2gcl_linalg::tune::ensure`]),
+//! persisting `kernel_tune.json` at the repo root, then measures under the
+//! tuned selection; `E2GCL_KERNEL_CONFIG` overrides this (no tuning).
+//! Detected CPU features, the dispatch path, selection source, and active
+//! tile configuration are printed up front (captured into
+//! `bench-logs/kernel_bench.log`) and recorded in `BENCH_kernels.json` —
+//! top-level under `hardware`, and per entry as `dispatch`.
 //!
 //! ```sh
 //! cargo run -p e2gcl-bench --bin kernel_bench --release              # full sweep
@@ -16,16 +29,20 @@
 //! Full mode writes `BENCH_kernels.json` at the repo root (machine-readable
 //! perf trajectory, tracked in git). Quick mode runs only the smallest
 //! shape, writes to `target/bench-results/`, and **fails** (non-zero exit)
-//! if the blocked kernels measure slower than `0.8x` the scalar reference
-//! or if the committed `BENCH_kernels.json` is missing, unparsable, or
-//! records a blocked/scalar ratio below `0.8x`.
+//! if the blocked kernels measure slower than `0.8x` the scalar reference,
+//! if the committed `BENCH_kernels.json` is missing, unparsable, or records
+//! a blocked/scalar ratio below `0.8x`, or if this run's GFLOP/s drops more
+//! than 20% below a committed entry with matching (kernel, shape, dispatch
+//! path). Committed `simd` baselines recorded on a path this host cannot
+//! run are skipped with an explicit message, never failed.
 
 use e2gcl::models::grace::GraceModel;
 use e2gcl::prelude::*;
 use e2gcl_bench::flags::FlagSet;
 use e2gcl_bench::report;
 use e2gcl_graph::{CsrGraph, SparseMatrix};
-use e2gcl_linalg::{ops, Matrix};
+use e2gcl_linalg::dispatch::{self, TileConfig};
+use e2gcl_linalg::{ops, tune, Matrix, Selection};
 use e2gcl_nn::loss::{self, InfoNceScratch};
 use e2gcl_nn::{ContrastiveLoss, LocalizedInfoNce, Neighborhoods, SmallNegInfoNce};
 use serde::Serialize;
@@ -33,6 +50,11 @@ use std::time::Instant;
 
 /// Minimum acceptable blocked/scalar throughput ratio in quick (CI) mode.
 const MIN_RATIO: f32 = 0.8;
+
+/// Quick-mode regression gate: this run's GFLOP/s must be at least this
+/// fraction of the committed value for matching (kernel, shape, dispatch)
+/// entries — i.e. fail on a >20% throughput drop.
+const MAX_DROP_RATIO: f64 = 0.8;
 
 /// Quick-mode gate: small-negative-set fwd+bwd at [`GATE_N`] must cost at
 /// most this fraction of the full quadratic kernel at the same n (the full
@@ -237,6 +259,22 @@ fn time_best<F: FnMut() -> f32>(reps: usize, mut f: F) -> (f64, f32) {
     (best, sink)
 }
 
+/// Detected hardware + the selection every `simd` measurement ran under.
+/// Serialised at the top of `BENCH_kernels.json` so committed numbers are
+/// attributable to a concrete CPU feature set and tile configuration.
+#[derive(Serialize)]
+struct HardwareInfo {
+    cpu_features: Vec<String>,
+    /// Dispatch path of the `simd` tier (`scalar` | `avx2`).
+    dispatch_path: String,
+    /// Where the selection came from: autotuned this run, a loaded
+    /// `kernel_tune.json`, an `E2GCL_KERNEL_CONFIG` override, or defaults.
+    selection_source: String,
+    tall_tiles: TileConfig,
+    square_tiles: TileConfig,
+    spmm_tiles: TileConfig,
+}
+
 #[derive(Serialize)]
 struct GemmEntry {
     kernel: String,
@@ -247,12 +285,18 @@ struct GemmEntry {
     /// Reduction length.
     k: usize,
     reps: usize,
+    /// Dispatch path of the `simd` columns (`scalar` | `avx2`).
+    dispatch: String,
     scalar_ms: f64,
     blocked_ms: f64,
+    simd_ms: f64,
     scalar_gflops: f64,
     blocked_gflops: f64,
+    simd_gflops: f64,
     /// blocked/scalar throughput ratio.
     speedup: f64,
+    /// simd/scalar throughput ratio.
+    simd_speedup: f64,
 }
 
 #[derive(Serialize)]
@@ -261,11 +305,15 @@ struct SpmmEntry {
     d: usize,
     nnz: usize,
     reps: usize,
+    dispatch: String,
     scalar_ms: f64,
     blocked_ms: f64,
+    simd_ms: f64,
     scalar_gflops: f64,
     blocked_gflops: f64,
+    simd_gflops: f64,
     speedup: f64,
+    simd_speedup: f64,
 }
 
 #[derive(Serialize)]
@@ -273,9 +321,12 @@ struct InfoNceEntry {
     n: usize,
     d: usize,
     reps: usize,
+    dispatch: String,
     scalar_ms: f64,
     blocked_ms: f64,
+    simd_ms: f64,
     speedup: f64,
+    simd_speedup: f64,
 }
 
 #[derive(Clone, Serialize)]
@@ -288,6 +339,8 @@ struct LossScalingEntry {
     /// size for localized, n (every other row) for full.
     k: usize,
     reps: usize,
+    /// Dispatch path the strategy ran under.
+    dispatch: String,
     /// Fused forward+backward wall time (loss + both gradients).
     fwd_bwd_ms: f64,
     /// True when the time was projected by n² scaling from the largest
@@ -301,6 +354,7 @@ struct GraceEntry {
     dataset: String,
     nodes: usize,
     epochs: usize,
+    dispatch: String,
     total_ms: f64,
     ms_per_epoch: f64,
 }
@@ -309,6 +363,7 @@ struct GraceEntry {
 struct KernelBenchDump {
     name: String,
     mode: String,
+    hardware: HardwareInfo,
     gemm: Vec<GemmEntry>,
     spmm: Vec<SpmmEntry>,
     info_nce: Vec<InfoNceEntry>,
@@ -316,7 +371,27 @@ struct KernelBenchDump {
     grace_epoch: Option<GraceEntry>,
 }
 
-fn gemm_case(kernel: &str, n: usize, d: usize, reps: usize, ref_reps: usize) -> GemmEntry {
+/// Times `f` once per tier: under the forced-scalar selection (`blocked`)
+/// and under `active` (`simd`). When `active` *is* the scalar path the two
+/// tiers are the same code, so the blocked numbers are reused.
+fn two_tier<F: FnMut() -> f32>(active: Selection, reps: usize, mut f: F) -> (f64, f64) {
+    let (blocked_ms, _) = dispatch::with_selection(Selection::SCALAR, || time_best(reps, &mut f));
+    let simd_ms = if active.path == dispatch::DispatchPath::Scalar {
+        blocked_ms
+    } else {
+        dispatch::with_selection(active, || time_best(reps, &mut f)).0
+    };
+    (blocked_ms, simd_ms)
+}
+
+fn gemm_case(
+    kernel: &str,
+    n: usize,
+    d: usize,
+    reps: usize,
+    ref_reps: usize,
+    active: Selection,
+) -> GemmEntry {
     let (a, b, m_out, n_out, k) = match kernel {
         // X(n x d) * W(d x d): the layer-forward shape.
         "matmul" => (rand_matrix(n, d, 1), rand_matrix(d, d, 2), n, d, d),
@@ -330,7 +405,7 @@ fn gemm_case(kernel: &str, n: usize, d: usize, reps: usize, ref_reps: usize) -> 
         }
     };
     let flops = 2.0 * m_out as f64 * n_out as f64 * k as f64;
-    let (blocked_ms, _) = time_best(reps, || match kernel {
+    let (blocked_ms, simd_ms) = two_tier(active, reps, || match kernel {
         "matmul" => a.matmul(&b).get(0, 0),
         "transpose_matmul" => a.transpose_matmul(&b).get(0, 0),
         _ => a.matmul_transpose(&b).get(0, 0),
@@ -346,11 +421,15 @@ fn gemm_case(kernel: &str, n: usize, d: usize, reps: usize, ref_reps: usize) -> 
         n: n_out,
         k,
         reps,
+        dispatch: active.path.as_str().to_string(),
         scalar_ms,
         blocked_ms,
+        simd_ms,
         scalar_gflops: flops / (scalar_ms * 1e6),
         blocked_gflops: flops / (blocked_ms * 1e6),
+        simd_gflops: flops / (simd_ms * 1e6),
         speedup: scalar_ms / blocked_ms,
+        simd_speedup: scalar_ms / simd_ms,
     }
 }
 
@@ -366,40 +445,55 @@ fn synthetic_sparse(n: usize, degree: usize) -> SparseMatrix {
     SparseMatrix::from_triplets(n, n, &triplets)
 }
 
-fn spmm_case(n: usize, d: usize, reps: usize) -> SpmmEntry {
+fn spmm_case(n: usize, d: usize, reps: usize, active: Selection) -> SpmmEntry {
     let s = synthetic_sparse(n, 16);
     let x = rand_matrix(n, d, 7);
     let flops = 2.0 * s.nnz() as f64 * d as f64;
-    let (blocked_ms, _) = time_best(reps, || s.spmm(&x).get(0, 0));
+    let (blocked_ms, simd_ms) = two_tier(active, reps, || s.spmm(&x).get(0, 0));
     let (scalar_ms, _) = time_best(reps, || ref_spmm(&s, &x).get(0, 0));
     SpmmEntry {
         n,
         d,
         nnz: s.nnz(),
         reps,
+        dispatch: active.path.as_str().to_string(),
         scalar_ms,
         blocked_ms,
+        simd_ms,
         scalar_gflops: flops / (scalar_ms * 1e6),
         blocked_gflops: flops / (blocked_ms * 1e6),
+        simd_gflops: flops / (simd_ms * 1e6),
         speedup: scalar_ms / blocked_ms,
+        simd_speedup: scalar_ms / simd_ms,
     }
 }
 
-fn info_nce_case(n: usize, d: usize, reps: usize, ref_reps: usize) -> InfoNceEntry {
+fn info_nce_case(
+    n: usize,
+    d: usize,
+    reps: usize,
+    ref_reps: usize,
+    active: Selection,
+) -> InfoNceEntry {
     let z1 = rand_matrix(n, d, 8);
     let z2 = rand_matrix(n, d, 9);
     let mut scratch = InfoNceScratch::default();
-    // Warm the scratch so the blocked measurement is the steady-state path.
+    // Warm the scratch so both library tiers measure the steady-state path.
     let _ = loss::info_nce_with(&z1, &z2, 0.5, &mut scratch);
-    let (blocked_ms, _) = time_best(reps, || loss::info_nce_with(&z1, &z2, 0.5, &mut scratch));
+    let (blocked_ms, simd_ms) = two_tier(active, reps, || {
+        loss::info_nce_with(&z1, &z2, 0.5, &mut scratch)
+    });
     let (scalar_ms, _) = time_best(ref_reps, || ref_info_nce(&z1, &z2, 0.5).0);
     InfoNceEntry {
         n,
         d,
         reps,
+        dispatch: active.path.as_str().to_string(),
         scalar_ms,
         blocked_ms,
+        simd_ms,
         speedup: scalar_ms / blocked_ms,
+        simd_speedup: scalar_ms / simd_ms,
     }
 }
 
@@ -407,18 +501,21 @@ fn info_nce_case(n: usize, d: usize, reps: usize, ref_reps: usize) -> InfoNceEnt
 // Contrastive-loss n-scaling sweep (DESIGN.md §15)
 // ---------------------------------------------------------------------------
 
-fn full_loss_case(n: usize, d: usize, reps: usize) -> LossScalingEntry {
+fn full_loss_case(n: usize, d: usize, reps: usize, active: Selection) -> LossScalingEntry {
     let z1 = rand_matrix(n, d, 12);
     let z2 = rand_matrix(n, d, 13);
     let mut s = InfoNceScratch::default();
-    let _ = loss::info_nce_with(&z1, &z2, 0.5, &mut s);
-    let (fwd_bwd_ms, _) = time_best(reps, || loss::info_nce_with(&z1, &z2, 0.5, &mut s));
+    let fwd_bwd_ms = dispatch::with_selection(active, || {
+        let _ = loss::info_nce_with(&z1, &z2, 0.5, &mut s);
+        time_best(reps, || loss::info_nce_with(&z1, &z2, 0.5, &mut s)).0
+    });
     LossScalingEntry {
         strategy: "full".to_string(),
         n,
         d,
         k: n,
         reps,
+        dispatch: active.path.as_str().to_string(),
         fwd_bwd_ms,
         projected: false,
     }
@@ -435,12 +532,19 @@ fn full_loss_projection(base: &LossScalingEntry, n: usize) -> LossScalingEntry {
         d: base.d,
         k: n,
         reps: 0,
+        dispatch: base.dispatch.clone(),
         fwd_bwd_ms: base.fwd_bwd_ms * ratio,
         projected: true,
     }
 }
 
-fn smallneg_loss_case(n: usize, d: usize, k: usize, reps: usize) -> LossScalingEntry {
+fn smallneg_loss_case(
+    n: usize,
+    d: usize,
+    k: usize,
+    reps: usize,
+    active: Selection,
+) -> LossScalingEntry {
     let z1 = rand_matrix(n, d, 12);
     let z2 = rand_matrix(n, d, 13);
     let k = k.min(n).max(1);
@@ -448,20 +552,29 @@ fn smallneg_loss_case(n: usize, d: usize, k: usize, reps: usize) -> LossScalingE
     let negatives: Vec<usize> = (0..k).map(|i| i * n / k).collect();
     let mut strat = SmallNegInfoNce::new(0.5);
     strat.set_negatives(&negatives);
-    let _ = strat.compute(&z1, &z2);
-    let (fwd_bwd_ms, _) = time_best(reps, || strat.compute(&z1, &z2));
+    let fwd_bwd_ms = dispatch::with_selection(active, || {
+        let _ = strat.compute(&z1, &z2);
+        time_best(reps, || strat.compute(&z1, &z2)).0
+    });
     LossScalingEntry {
         strategy: "smallneg".to_string(),
         n,
         d,
         k,
         reps,
+        dispatch: active.path.as_str().to_string(),
         fwd_bwd_ms,
         projected: false,
     }
 }
 
-fn localized_loss_case(n: usize, d: usize, degree: usize, reps: usize) -> LossScalingEntry {
+fn localized_loss_case(
+    n: usize,
+    d: usize,
+    degree: usize,
+    reps: usize,
+    active: Selection,
+) -> LossScalingEntry {
     // Ring lattice: v connected to v±1..±(degree/2), so every 1-hop
     // neighbourhood has exactly `degree` negatives.
     let half = (degree / 2).max(1);
@@ -477,14 +590,17 @@ fn localized_loss_case(n: usize, d: usize, degree: usize, reps: usize) -> LossSc
     let z1 = rand_matrix(n, d, 12);
     let z2 = rand_matrix(n, d, 13);
     let mut strat = LocalizedInfoNce::new(0.5, nb);
-    let _ = strat.compute(&z1, &z2);
-    let (fwd_bwd_ms, _) = time_best(reps, || strat.compute(&z1, &z2));
+    let fwd_bwd_ms = dispatch::with_selection(active, || {
+        let _ = strat.compute(&z1, &z2);
+        time_best(reps, || strat.compute(&z1, &z2)).0
+    });
     LossScalingEntry {
         strategy: "localized".to_string(),
         n,
         d,
         k,
         reps,
+        dispatch: active.path.as_str().to_string(),
         fwd_bwd_ms,
         projected: false,
     }
@@ -492,23 +608,24 @@ fn localized_loss_case(n: usize, d: usize, degree: usize, reps: usize) -> LossSc
 
 fn print_loss_scaling(entries: &[LossScalingEntry]) {
     println!(
-        "{:<10} {:>8} {:>5} {:>6} {:>13}",
-        "strategy", "n", "d", "k", "fwd+bwd(ms)"
+        "{:<10} {:>8} {:>5} {:>6} {:>8} {:>13}",
+        "strategy", "n", "d", "k", "disp", "fwd+bwd(ms)"
     );
     for e in entries {
         println!(
-            "{:<10} {:>8} {:>5} {:>6} {:>13.2}{}",
+            "{:<10} {:>8} {:>5} {:>6} {:>8} {:>13.2}{}",
             e.strategy,
             e.n,
             e.d,
             e.k,
+            e.dispatch,
             e.fwd_bwd_ms,
             if e.projected { "  (projected n²)" } else { "" }
         );
     }
 }
 
-fn grace_epoch_case() -> Option<GraceEntry> {
+fn grace_epoch_case(active: Selection) -> Option<GraceEntry> {
     let ds = match spec("cora-sim") {
         Ok(s) => s,
         Err(e) => {
@@ -524,13 +641,16 @@ fn grace_epoch_case() -> Option<GraceEntry> {
     };
     let model = GraceModel::grace();
     let t = Instant::now();
-    let out = model.pretrain(&data.graph, &data.features, &cfg, &mut SeedRng::new(11));
+    let out = dispatch::with_selection(active, || {
+        model.pretrain(&data.graph, &data.features, &cfg, &mut SeedRng::new(11))
+    });
     let total_ms = t.elapsed().as_secs_f64() * 1e3;
     match out {
         Ok(_) => Some(GraceEntry {
             dataset: data.name.clone(),
             nodes: data.num_nodes(),
             epochs,
+            dispatch: active.path.as_str().to_string(),
             total_ms,
             ms_per_epoch: total_ms / epochs as f64,
         }),
@@ -545,12 +665,42 @@ fn grace_epoch_case() -> Option<GraceEntry> {
 // Quick-mode CI checks
 // ---------------------------------------------------------------------------
 
-/// The subset of `BENCH_kernels.json` the CI gate inspects (extra fields in
-/// the file are ignored by deserialisation).
+/// The subset of `BENCH_kernels.json` the CI gates inspect (extra fields in
+/// the file are ignored by deserialisation). Optional fields keep the gate
+/// tolerant of baselines committed before the dispatch PR.
+#[derive(serde::Deserialize)]
+struct BaselineHardware {
+    #[serde(default)]
+    cpu_features: Vec<String>,
+    #[serde(default)]
+    dispatch_path: String,
+}
+
 #[derive(serde::Deserialize)]
 struct BaselineGemm {
     kernel: String,
+    m: usize,
+    n: usize,
+    k: usize,
     speedup: f64,
+    #[serde(default)]
+    dispatch: Option<String>,
+    #[serde(default)]
+    blocked_gflops: Option<f64>,
+    #[serde(default)]
+    simd_gflops: Option<f64>,
+}
+
+#[derive(serde::Deserialize)]
+struct BaselineSpmm {
+    n: usize,
+    d: usize,
+    #[serde(default)]
+    dispatch: Option<String>,
+    #[serde(default)]
+    blocked_gflops: Option<f64>,
+    #[serde(default)]
+    simd_gflops: Option<f64>,
 }
 
 #[derive(serde::Deserialize)]
@@ -562,7 +712,11 @@ struct BaselineLoss {
 
 #[derive(serde::Deserialize)]
 struct BaselineDump {
+    #[serde(default)]
+    hardware: Option<BaselineHardware>,
     gemm: Vec<BaselineGemm>,
+    #[serde(default)]
+    spmm: Vec<BaselineSpmm>,
     #[serde(default)]
     loss_scaling: Vec<BaselineLoss>,
 }
@@ -571,7 +725,8 @@ struct BaselineDump {
 /// recorded gemm speedup must be at least [`MIN_RATIO`], and the recorded
 /// loss n-scaling sweep must show the small-negative-set kernel scaling
 /// sub-quadratically (n=8192 → n=65536 within [`SMALLNEG_SCALING_MAX`]×).
-fn check_committed_baseline(path: &str) -> Result<(), String> {
+/// Returns the parsed baseline for the throughput-regression gate.
+fn check_committed_baseline(path: &str) -> Result<BaselineDump, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let dump: BaselineDump =
         serde_json::from_str(&text).map_err(|e| format!("{path} does not parse: {e}"))?;
@@ -601,26 +756,126 @@ fn check_committed_baseline(path: &str) -> Result<(), String> {
             small / base
         ));
     }
-    Ok(())
+    Ok(dump)
+}
+
+/// The throughput-regression gate (DESIGN.md §16): this run's GFLOP/s must
+/// stay within [`MAX_DROP_RATIO`] of every committed entry that matches on
+/// kernel, shape, and dispatch path. Committed `simd` numbers recorded on a
+/// dispatch path this host does not run are reported in `skips`, not
+/// failed: the baseline stays meaningful on weaker CI hosts.
+fn check_perf_vs_committed(
+    run: &KernelBenchDump,
+    base: &BaselineDump,
+) -> (Vec<String>, Vec<String>) {
+    let mut failures = Vec::new();
+    let mut skips = Vec::new();
+    if let Some(hw) = &base.hardware {
+        let host = dispatch::detected_features();
+        let missing: Vec<&str> = hw
+            .cpu_features
+            .iter()
+            .map(String::as_str)
+            .filter(|f| !host.contains(f))
+            .collect();
+        if !missing.is_empty() {
+            skips.push(format!(
+                "committed baseline was recorded with cpu features [{}] this host lacks \
+                 [{}]; `{}`-path comparisons are skipped",
+                hw.cpu_features.join(" "),
+                missing.join(" "),
+                hw.dispatch_path
+            ));
+        }
+    }
+    let mut gate = |label: String, dispatch_match: bool, committed: Option<f64>, measured: f64| {
+        let Some(committed) = committed else { return };
+        if !dispatch_match {
+            skips.push(format!(
+                "{label}: committed on a dispatch path this host does not run — skipped"
+            ));
+            return;
+        }
+        if measured < committed * MAX_DROP_RATIO {
+            failures.push(format!(
+                "{label}: {measured:.2} GF/s is a >20% drop from committed {committed:.2} GF/s"
+            ));
+        }
+    };
+    for b in &base.gemm {
+        let Some(e) = run
+            .gemm
+            .iter()
+            .find(|e| e.kernel == b.kernel && e.m == b.m && e.n == b.n && e.k == b.k)
+        else {
+            continue;
+        };
+        let shape = format!("{} m={} n={} k={}", b.kernel, b.m, b.n, b.k);
+        gate(
+            format!("{shape} [blocked]"),
+            true,
+            b.blocked_gflops,
+            e.blocked_gflops,
+        );
+        let committed_disp = b.dispatch.as_deref().unwrap_or("scalar");
+        gate(
+            format!("{shape} [simd:{committed_disp}]"),
+            committed_disp == e.dispatch,
+            b.simd_gflops,
+            e.simd_gflops,
+        );
+    }
+    for b in &base.spmm {
+        let Some(e) = run.spmm.iter().find(|e| e.n == b.n && e.d == b.d) else {
+            continue;
+        };
+        let shape = format!("spmm n={} d={}", b.n, b.d);
+        gate(
+            format!("{shape} [blocked]"),
+            true,
+            b.blocked_gflops,
+            e.blocked_gflops,
+        );
+        let committed_disp = b.dispatch.as_deref().unwrap_or("scalar");
+        gate(
+            format!("{shape} [simd:{committed_disp}]"),
+            committed_disp == e.dispatch,
+            b.simd_gflops,
+            e.simd_gflops,
+        );
+    }
+    (failures, skips)
 }
 
 fn print_gemm_table(entries: &[GemmEntry]) {
     println!(
-        "{:<18} {:>6} {:>6} {:>6} {:>11} {:>11} {:>10} {:>10} {:>8}",
-        "kernel", "m", "n", "k", "scalar(ms)", "blocked(ms)", "sc GF/s", "bl GF/s", "speedup"
+        "{:<18} {:>6} {:>6} {:>6} {:>11} {:>11} {:>9} {:>8} {:>8} {:>9} {:>7}",
+        "kernel",
+        "m",
+        "n",
+        "k",
+        "scalar(ms)",
+        "blocked(ms)",
+        "simd(ms)",
+        "sc GF/s",
+        "bl GF/s",
+        "simd GF/s",
+        "disp"
     );
     for e in entries {
         println!(
-            "{:<18} {:>6} {:>6} {:>6} {:>11.2} {:>11.2} {:>10.2} {:>10.2} {:>7.2}x",
+            "{:<18} {:>6} {:>6} {:>6} {:>11.2} {:>11.2} {:>9.2} {:>8.2} {:>8.2} {:>9.2} {:>7}",
             e.kernel,
             e.m,
             e.n,
             e.k,
             e.scalar_ms,
             e.blocked_ms,
+            e.simd_ms,
             e.scalar_gflops,
             e.blocked_gflops,
-            e.speedup
+            e.simd_gflops,
+            e.dispatch
         );
     }
 }
@@ -667,6 +922,53 @@ fn main() {
     let mode = if quick { "quick" } else { "full" };
     println!("kernel_bench — mode: {mode}");
 
+    // Resolve the selection the `simd` tier runs under. An explicit
+    // E2GCL_KERNEL_CONFIG always wins (and suppresses tuning); otherwise
+    // full mode autotunes (persisting kernel_tune.json at the repo root)
+    // and quick mode uses the library's normal resolution, which loads the
+    // committed kernel_tune.json when present.
+    if let Some(err) = dispatch::startup_error() {
+        eprintln!("kernel_bench: {err}\n{}", dispatch::CONFIG_USAGE);
+        std::process::exit(2);
+    }
+    for ev in dispatch::startup_events() {
+        println!("[dispatch] {ev}");
+    }
+    let (active, source) = if std::env::var(dispatch::CONFIG_ENV).is_ok() || quick {
+        (dispatch::active_selection(), dispatch::active_source())
+    } else {
+        let outcome = tune::ensure(dispatch::TUNE_FILE_DEFAULT);
+        for ev in &outcome.events {
+            println!("[tune] {ev}");
+        }
+        let src = if outcome.tuned_now {
+            format!("autotuned this run -> {}", dispatch::TUNE_FILE_DEFAULT)
+        } else {
+            format!("loaded {}", dispatch::TUNE_FILE_DEFAULT)
+        };
+        (outcome.tune.selection(), src)
+    };
+    let hardware = HardwareInfo {
+        cpu_features: dispatch::detected_features()
+            .into_iter()
+            .map(str::to_string)
+            .collect(),
+        dispatch_path: active.path.as_str().to_string(),
+        selection_source: source,
+        tall_tiles: active.tall,
+        square_tiles: active.square,
+        spmm_tiles: active.spmm,
+    };
+    println!(
+        "cpu features: [{}]\ndispatch: {} (source: {})\ntiles: tall={:?} square={:?} spmm={:?}",
+        hardware.cpu_features.join(" "),
+        hardware.dispatch_path,
+        hardware.selection_source,
+        hardware.tall_tiles,
+        hardware.square_tiles,
+        hardware.spmm_tiles
+    );
+
     let shapes: Vec<(usize, usize)> = if quick {
         vec![(512, 64)]
     } else {
@@ -701,7 +1003,7 @@ fn main() {
                 4
             };
             let ref_reps = if n >= 8192 { 1 } else { reps.min(2) };
-            gemm.push(gemm_case(kernel, n, d, reps, ref_reps));
+            gemm.push(gemm_case(kernel, n, d, reps, ref_reps, active));
         }
     }
     println!("\n=== dense GEMM kernels ===");
@@ -709,13 +1011,23 @@ fn main() {
 
     let spmm: Vec<SpmmEntry> = spmm_shapes
         .iter()
-        .map(|&(n, d)| spmm_case(n, d, if quick { 3 } else { 4 }))
+        .map(|&(n, d)| spmm_case(n, d, if quick { 3 } else { 4 }, active))
         .collect();
     println!("\n=== SpMM (avg degree 16) ===");
     for e in &spmm {
         println!(
-            "n={:<6} d={:<4} nnz={:<8} scalar {:>8.2} ms / blocked {:>8.2} ms  ({:.2} -> {:.2} GF/s, {:.2}x)",
-            e.n, e.d, e.nnz, e.scalar_ms, e.blocked_ms, e.scalar_gflops, e.blocked_gflops, e.speedup
+            "n={:<6} d={:<4} nnz={:<8} scalar {:>8.2} ms / blocked {:>8.2} ms / simd {:>8.2} ms  \
+             ({:.2} -> {:.2} -> {:.2} GF/s, {})",
+            e.n,
+            e.d,
+            e.nnz,
+            e.scalar_ms,
+            e.blocked_ms,
+            e.simd_ms,
+            e.scalar_gflops,
+            e.blocked_gflops,
+            e.simd_gflops,
+            e.dispatch
         );
     }
 
@@ -723,14 +1035,15 @@ fn main() {
         .iter()
         .map(|&(n, d)| {
             let reps = if quick || n >= 2048 { 2 } else { 3 };
-            info_nce_case(n, d, reps, if n >= 2048 { 1 } else { 2 })
+            info_nce_case(n, d, reps, if n >= 2048 { 1 } else { 2 }, active)
         })
         .collect();
     println!("\n=== info_nce_with end to end ===");
     for e in &info_nce {
         println!(
-            "n={:<6} d={:<4} scalar {:>9.2} ms / blocked {:>9.2} ms  ({:.2}x)",
-            e.n, e.d, e.scalar_ms, e.blocked_ms, e.speedup
+            "n={:<6} d={:<4} scalar {:>9.2} ms / blocked {:>9.2} ms / simd {:>9.2} ms  \
+             ({:.2}x -> {:.2}x, {})",
+            e.n, e.d, e.scalar_ms, e.blocked_ms, e.simd_ms, e.speedup, e.simd_speedup, e.dispatch
         );
     }
 
@@ -741,22 +1054,22 @@ fn main() {
     let loss_d = 64;
     if quick {
         if runs("full") {
-            let base = full_loss_case(8192, loss_d, 1);
+            let base = full_loss_case(8192, loss_d, 1, active);
             loss_scaling.push(full_loss_projection(&base, GATE_N));
             loss_scaling.push(base);
         }
         if runs("smallneg") {
-            loss_scaling.push(smallneg_loss_case(GATE_N, loss_d, neg_k, 2));
+            loss_scaling.push(smallneg_loss_case(GATE_N, loss_d, neg_k, 2, active));
         }
         if runs("localized") {
-            loss_scaling.push(localized_loss_case(GATE_N, loss_d, 16, 2));
+            loss_scaling.push(localized_loss_case(GATE_N, loss_d, 16, 2, active));
         }
     } else {
         let mut full_base: Option<LossScalingEntry> = None;
         for n in [2048usize, 8192, 16384, 65536] {
             if runs("full") {
                 if n <= 16384 {
-                    let e = full_loss_case(n, loss_d, if n >= 8192 { 1 } else { 2 });
+                    let e = full_loss_case(n, loss_d, if n >= 8192 { 1 } else { 2 }, active);
                     full_base = Some(e.clone());
                     loss_scaling.push(e);
                 } else if let Some(base) = &full_base {
@@ -764,10 +1077,10 @@ fn main() {
                 }
             }
             if runs("smallneg") {
-                loss_scaling.push(smallneg_loss_case(n, loss_d, neg_k, 2));
+                loss_scaling.push(smallneg_loss_case(n, loss_d, neg_k, 2, active));
             }
             if runs("localized") {
-                loss_scaling.push(localized_loss_case(n, loss_d, 16, 2));
+                loss_scaling.push(localized_loss_case(n, loss_d, 16, 2, active));
             }
         }
     }
@@ -776,17 +1089,22 @@ fn main() {
         print_loss_scaling(&loss_scaling);
     }
 
-    let grace_epoch = if quick { None } else { grace_epoch_case() };
+    let grace_epoch = if quick {
+        None
+    } else {
+        grace_epoch_case(active)
+    };
     if let Some(g) = &grace_epoch {
         println!(
-            "\n=== GRACE epoch ({} @ {} nodes) ===\n{} epochs in {:.1} ms -> {:.1} ms/epoch",
-            g.dataset, g.nodes, g.epochs, g.total_ms, g.ms_per_epoch
+            "\n=== GRACE epoch ({} @ {} nodes, {} path) ===\n{} epochs in {:.1} ms -> {:.1} ms/epoch",
+            g.dataset, g.nodes, g.dispatch, g.epochs, g.total_ms, g.ms_per_epoch
         );
     }
 
     let dump = KernelBenchDump {
         name: "kernel_bench".to_string(),
         mode: mode.to_string(),
+        hardware,
         gemm,
         spmm,
         info_nce,
@@ -836,18 +1154,32 @@ fn main() {
             eprintln!("FAIL: quick loss-scaling sweep missing its gate entries");
             failed = true;
         }
-        // CI gate 3: the committed trajectory file must parse and be
-        // self-consistent.
-        if let Err(e) = check_committed_baseline("BENCH_kernels.json") {
-            eprintln!("FAIL: {e}");
-            failed = true;
+        // CI gates 3+4: the committed trajectory file must parse and be
+        // self-consistent, and this run's throughput must not regress >20%
+        // against committed entries matching (kernel, shape, dispatch).
+        match check_committed_baseline("BENCH_kernels.json") {
+            Ok(baseline) => {
+                let (perf_failures, perf_skips) = check_perf_vs_committed(&dump, &baseline);
+                for s in &perf_skips {
+                    println!("SKIP: {s}");
+                }
+                for f in &perf_failures {
+                    eprintln!("FAIL: {f}");
+                    failed = true;
+                }
+            }
+            Err(e) => {
+                eprintln!("FAIL: {e}");
+                failed = true;
+            }
         }
         if failed {
             std::process::exit(1);
         }
         println!(
             "quick-mode checks passed (blocked >= {MIN_RATIO}x scalar; smallneg <= \
-             {SMALLNEG_GATE_FRACTION}x full at n={GATE_N}; BENCH_kernels.json ok)"
+             {SMALLNEG_GATE_FRACTION}x full at n={GATE_N}; BENCH_kernels.json ok; \
+             no >20% GFLOP/s regression vs committed)"
         );
     } else {
         match serde_json::to_string_pretty(&dump) {

@@ -801,3 +801,55 @@ pub fn serve_bench(argv: &[String]) -> i32 {
         Ok(0)
     })())
 }
+
+/// `e2gcl kernels` — report the dense-kernel dispatch state: detected CPU
+/// features, the active dispatch path and tile configuration, where the
+/// selection came from (`E2GCL_KERNEL_CONFIG`, a `kernel_tune.json`, or
+/// detected defaults), and any resolution events (quarantined corrupt tune
+/// files, ignored feature mismatches). With `--tune <path>` it first runs
+/// the autotuner and persists the winning configuration to `<path>`.
+pub fn kernels(argv: &[String]) -> i32 {
+    run_or_usage((|| {
+        let args = Args::parse(argv)?;
+        use e2gcl_linalg::{dispatch, tune};
+        println!(
+            "cpu features:  [{}]",
+            dispatch::detected_features().join(" ")
+        );
+        let tune_path = args.get("tune", "");
+        if !tune_path.is_empty() {
+            let out = tune::ensure(&tune_path);
+            for ev in &out.events {
+                println!("[tune] {ev}");
+            }
+            println!(
+                "{} {}: path={} tall={:?} square={:?} spmm={:?}",
+                if out.tuned_now {
+                    "autotuned and wrote"
+                } else {
+                    "loaded valid"
+                },
+                tune_path,
+                out.tune.path,
+                out.tune.tall,
+                out.tune.square,
+                out.tune.spmm
+            );
+            println!(
+                "(a tune file takes effect when the process starts from its \
+                 directory or via E2GCL_KERNEL_CONFIG={tune_path})"
+            );
+        }
+        for ev in dispatch::startup_events() {
+            println!("[dispatch] {ev}");
+        }
+        let sel = dispatch::active_selection();
+        println!("dispatch path: {}", sel.path.as_str());
+        println!("source:        {}", dispatch::active_source());
+        println!(
+            "tiles:         tall={:?} square={:?} spmm={:?}",
+            sel.tall, sel.square, sel.spmm
+        );
+        Ok(0)
+    })())
+}

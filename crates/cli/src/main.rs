@@ -10,6 +10,7 @@
 //! e2gcl query     --artifact model.e2gcl [...] top-k similarity over an artifact
 //! e2gcl build-index --artifact model.e2gcl     build + save a deterministic IVF index
 //! e2gcl serve-bench [...]                      batch-serving latency percentiles
+//! e2gcl kernels [--tune kernel_tune.json]      kernel dispatch state / autotuner
 //! ```
 //!
 //! Options accept both `--flag value` and `--flag=value`.
@@ -18,6 +19,15 @@ mod args;
 mod commands;
 
 fn main() {
+    // Fail fast on an invalid E2GCL_KERNEL_CONFIG (unknown value, missing or
+    // corrupt tune file, feature mismatch) instead of silently running on
+    // the fallback kernels. Implicit ./kernel_tune.json problems are
+    // non-fatal: they are quarantined/ignored and reported by `kernels`.
+    if let Some(err) = e2gcl_linalg::dispatch::startup_error() {
+        eprintln!("e2gcl: kernel config error: {err}");
+        eprintln!("{}", e2gcl_linalg::dispatch::CONFIG_USAGE);
+        std::process::exit(2);
+    }
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let code = match argv.first().map(String::as_str) {
         Some("datasets") => commands::datasets(),
@@ -31,6 +41,7 @@ fn main() {
         Some("query") => commands::query(&argv[1..]),
         Some("build-index") => commands::build_index(&argv[1..]),
         Some("serve-bench") => commands::serve_bench(&argv[1..]),
+        Some("kernels") => commands::kernels(&argv[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print_usage();
             0
@@ -63,7 +74,13 @@ COMMANDS:
     query       answer top-k similarity queries against a saved artifact
     build-index build a deterministic IVF ANN index over an artifact's store
     serve-bench measure batch-serving latency percentiles (p50/p95/p99)
+    kernels     show dense-kernel dispatch state (CPU features, path, tiles)
     help        show this message
+
+ENVIRONMENT:
+    E2GCL_KERNEL_CONFIG  scalar | avx2 | <path to kernel_tune.json> — forces
+                         the dense-kernel dispatch path; unset probes
+                         ./kernel_tune.json, else detected defaults
 
 COMMON OPTIONS (accepted as `--flag value` or `--flag=value`):
     --dataset <name>     dataset analog (default cora-sim; see `e2gcl datasets`)
@@ -149,6 +166,11 @@ SERVE-BENCH:
     --queue-cap <n>      bounded admission queue + high-water mark (default 32)
     --deadline-us <n>    per-request deadline budget, 0 = none (default 0)
     --inductive-fail-every <n>  inject a persistent inductive fault on every
-                         n-th query to exercise degradation (default 7)"
+                         n-th query to exercise degradation (default 7)
+
+KERNELS:
+    --tune <path>        run the kernel autotuner and persist the winning
+                         tile configuration to <path> (corrupt files are
+                         quarantined to <path>.corrupt and re-tuned)"
     );
 }

@@ -143,6 +143,33 @@ impl SparseMatrix {
             return;
         }
         let xs = x.as_slice();
+        #[cfg(target_arch = "x86_64")]
+        {
+            // Selection captured on the calling thread (rayon workers are
+            // fresh OS threads with no thread-local dispatch override).
+            let sel = e2gcl_linalg::dispatch::current();
+            if sel.path == e2gcl_linalg::DispatchPath::Avx2 {
+                let grain = sel.spmm.grain as usize;
+                out.as_mut_slice()
+                    .par_chunks_mut(grain * d)
+                    .enumerate()
+                    .for_each(|(ci, chunk)| {
+                        for (i, out_row) in chunk.chunks_mut(d).enumerate() {
+                            let r = ci * grain + i;
+                            let lo = self.offsets[r];
+                            let hi = self.offsets[r + 1];
+                            e2gcl_linalg::simd::call::spmm_row(
+                                &self.col_indices[lo..hi],
+                                &self.values[lo..hi],
+                                xs,
+                                d,
+                                out_row,
+                            );
+                        }
+                    });
+                return;
+            }
+        }
         out.as_mut_slice()
             .par_chunks_mut(d)
             .enumerate()

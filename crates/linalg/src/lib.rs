@@ -9,11 +9,17 @@
 //! * Row-major `Vec<f32>` storage: node-representation matrices are tall and
 //!   thin (`|V| x d`), and every consumer walks them row-by-row.
 //! * Hot kernels ([`Matrix::matmul`]) parallelise over output rows with
-//!   rayon; everything else is simple scalar code that LLVM vectorises.
-//! * No `unsafe`.
+//!   rayon and route through [`dispatch`]: runtime-detected AVX2+FMA
+//!   micro-kernels ([`simd`]) with the scalar blocked path as fallback,
+//!   tile/grain shapes picked by a persisted autotuner ([`tune`]).
+//!   Everything else is simple scalar code that LLVM vectorises.
+//! * `unsafe` is confined to [`simd`]: `std::arch` intrinsics behind
+//!   runtime feature detection, pinned bitwise to safe scalar contract
+//!   models by proptests.
 
 pub mod activations;
 pub mod alloc_stats;
+pub mod dispatch;
 pub mod error;
 pub mod hash;
 pub mod init;
@@ -21,8 +27,11 @@ pub mod matrix;
 pub mod ops;
 pub mod pca;
 pub mod rng;
+pub mod simd;
 pub mod stats;
+pub mod tune;
 
+pub use dispatch::{DispatchPath, Selection};
 pub use error::TrainError;
 pub use matrix::Matrix;
 pub use rng::{RngState, SeedRng};

@@ -529,6 +529,23 @@ impl Matrix {
             return;
         }
         let b = &other.data;
+        #[cfg(target_arch = "x86_64")]
+        {
+            // Selection captured once here, on the calling thread: rayon
+            // workers are fresh OS threads with no thread-local override.
+            let sel = crate::dispatch::current();
+            if sel.path == crate::dispatch::DispatchPath::Avx2 {
+                let t = sel.tiles_for(self.rows, oc);
+                let cr = t.mm_mr as usize * t.grain as usize;
+                out.data
+                    .par_chunks_mut(cr * oc)
+                    .zip(self.data.par_chunks(cr * k))
+                    .for_each(|(out_chunk, a_chunk)| {
+                        crate::simd::call::mm_rows(a_chunk, b, out_chunk, k, oc, t.mm_mr, t.mm_nv);
+                    });
+                return;
+            }
+        }
         out.data
             .par_chunks_mut(MR * oc)
             .zip(self.data.par_chunks(MR * k))
@@ -574,6 +591,31 @@ impl Matrix {
         }
         let a = &self.data;
         let b = &other.data;
+        #[cfg(target_arch = "x86_64")]
+        {
+            let sel = crate::dispatch::current();
+            if sel.path == crate::dispatch::DispatchPath::Avx2 {
+                let t = sel.tiles_for(sc, oc);
+                let cr = t.mm_mr as usize * t.grain as usize;
+                out.data
+                    .par_chunks_mut(cr * oc)
+                    .enumerate()
+                    .for_each(|(tile, out_chunk)| {
+                        crate::simd::call::tm_rows(
+                            a,
+                            b,
+                            out_chunk,
+                            tile * cr,
+                            sc,
+                            oc,
+                            nrows,
+                            t.mm_mr,
+                            t.mm_nv,
+                        );
+                    });
+                return;
+            }
+        }
         out.data
             .par_chunks_mut(MR * oc)
             .enumerate()
@@ -619,6 +661,23 @@ impl Matrix {
             return;
         }
         let b = &other.data;
+        #[cfg(target_arch = "x86_64")]
+        {
+            let sel = crate::dispatch::current();
+            if sel.path == crate::dispatch::DispatchPath::Avx2 {
+                let t = sel.tiles_for(self.rows, on);
+                let cr = t.dot_mr as usize * t.grain as usize;
+                out.data
+                    .par_chunks_mut(cr * on)
+                    .zip(self.data.par_chunks(cr * k))
+                    .for_each(|(out_chunk, a_chunk)| {
+                        crate::simd::call::mt_rows(
+                            a_chunk, b, out_chunk, k, on, t.dot_mr, t.dot_nr,
+                        );
+                    });
+                return;
+            }
+        }
         out.data
             .par_chunks_mut(MR_DOT * on)
             .zip(self.data.par_chunks(MR_DOT * k))
@@ -631,10 +690,11 @@ impl Matrix {
     ///
     /// Bit-identical to `self.matmul_transpose(self)` but roughly half the
     /// work: only the upper triangle (including the diagonal) is computed
-    /// with the [`ops::lane_dot`] kernel, then mirrored across the diagonal.
-    /// The mirror is exact because `lane_dot(a, b)` and `lane_dot(b, a)`
-    /// produce identical bits (each partial product commutes; the summation
-    /// order is the same).
+    /// with the dispatched lane-dot kernel ([`ops::lane_dot`] on the scalar
+    /// path, [`crate::simd::model::lane_dot8`] on AVX2), then mirrored
+    /// across the diagonal. The mirror is exact because `lane_dot(a, b)`
+    /// and `lane_dot(b, a)` produce identical bits on either path (each
+    /// partial product commutes; the summation order is the same).
     pub fn syrk(&self) -> Matrix {
         let mut out = Matrix::zeros(self.rows, self.rows);
         self.syrk_impl(&mut out);
@@ -659,13 +719,40 @@ impl Matrix {
             return;
         }
         let a = &self.data;
-        // Upper triangle (j >= i), parallel over MR_DOT-row tiles.
-        out.data
-            .par_chunks_mut(MR_DOT * n)
-            .enumerate()
-            .for_each(|(tile, out_chunk)| {
-                syrk_block(a, out_chunk, tile * MR_DOT, k, n);
-            });
+        // Upper triangle (j >= i), parallel over row tiles.
+        #[allow(unused_mut)] // only assigned on x86_64
+        let mut done = false;
+        #[cfg(target_arch = "x86_64")]
+        {
+            let sel = crate::dispatch::current();
+            if sel.path == crate::dispatch::DispatchPath::Avx2 {
+                let t = sel.tiles_for(n, n);
+                let cr = t.dot_mr as usize * t.grain as usize;
+                out.data
+                    .par_chunks_mut(cr * n)
+                    .enumerate()
+                    .for_each(|(tile, out_chunk)| {
+                        crate::simd::call::syrk_rows(
+                            a,
+                            out_chunk,
+                            tile * cr,
+                            k,
+                            n,
+                            t.dot_mr,
+                            t.dot_nr,
+                        );
+                    });
+                done = true;
+            }
+        }
+        if !done {
+            out.data
+                .par_chunks_mut(MR_DOT * n)
+                .enumerate()
+                .for_each(|(tile, out_chunk)| {
+                    syrk_block(a, out_chunk, tile * MR_DOT, k, n);
+                });
+        }
         // Mirror into the strict lower triangle. Serial: it is a pure copy
         // (memory bound) and keeping it single-threaded avoids any write
         // ordering question.

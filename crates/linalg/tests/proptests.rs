@@ -1,6 +1,6 @@
 //! Property-based tests for the dense linear-algebra substrate.
 
-use e2gcl_linalg::{activations, ops, stats, Matrix, SeedRng};
+use e2gcl_linalg::{activations, dispatch, ops, stats, Matrix, SeedRng, Selection};
 use proptest::prelude::*;
 
 /// Strategy: a small matrix with bounded entries.
@@ -161,43 +161,45 @@ proptest! {
         prop_assert!(s.iter().all(|&i| i < n));
     }
 
-    /// The blocked `matmul` is bit-identical to the naive serial reference
-    /// at awkward shapes: each element keeps a single accumulator reduced
-    /// over k in ascending order, in the tile path and both tails.
+    /// The blocked scalar `matmul` is bit-identical to the naive serial
+    /// reference at awkward shapes: each element keeps a single accumulator
+    /// reduced over k in ascending order, in the tile path and both tails.
+    /// (Pinned to the scalar dispatch path: the AVX2 path has its own fused
+    /// contract, property-tested in `simd_contract.rs`.)
     #[test]
     fn blocked_matmul_bitwise_equals_naive(m in awkward_dim(), k in awkward_dim(),
                                            n in awkward_dim(), salt in any::<u64>()) {
         let a = dense(m, k, salt);
         let b = dense(k, n, salt ^ 1);
-        let got = a.matmul(&b);
+        let got = dispatch::with_selection(Selection::SCALAR, || a.matmul(&b));
         let expect = ref_matmul(&a, &b);
         for (x, y) in got.as_slice().iter().zip(expect.as_slice()) {
             prop_assert_eq!(x.to_bits(), y.to_bits(), "{}x{} * {}x{}", m, k, k, n);
         }
     }
 
-    /// Same bitwise contract for the blocked `transpose_matmul`.
+    /// Same bitwise contract for the blocked scalar `transpose_matmul`.
     #[test]
     fn blocked_transpose_matmul_bitwise_equals_naive(r in awkward_dim(), c in awkward_dim(),
                                                      n in awkward_dim(), salt in any::<u64>()) {
         let a = dense(r, c, salt);
         let b = dense(r, n, salt ^ 2);
-        let got = a.transpose_matmul(&b);
+        let got = dispatch::with_selection(Selection::SCALAR, || a.transpose_matmul(&b));
         let expect = ref_transpose_matmul(&a, &b);
         for (x, y) in got.as_slice().iter().zip(expect.as_slice()) {
             prop_assert_eq!(x.to_bits(), y.to_bits(), "{}x{} ^T * {}x{}", r, c, r, n);
         }
     }
 
-    /// The blocked `matmul_transpose` uses the multi-lane reduction: every
-    /// element must be bit-identical to `ops::lane_dot` of the operand rows
-    /// (its documented contract) and close to the plain serial dot.
+    /// The blocked scalar `matmul_transpose` uses the multi-lane reduction:
+    /// every element must be bit-identical to `ops::lane_dot` of the operand
+    /// rows (its documented contract) and close to the plain serial dot.
     #[test]
     fn blocked_matmul_transpose_matches_lane_dot(m in awkward_dim(), n in awkward_dim(),
                                                  k in awkward_dim(), salt in any::<u64>()) {
         let a = dense(m, k, salt);
         let b = dense(n, k, salt ^ 3);
-        let got = a.matmul_transpose(&b);
+        let got = dispatch::with_selection(Selection::SCALAR, || a.matmul_transpose(&b));
         for i in 0..m {
             for j in 0..n {
                 let lane = ops::lane_dot(a.row(i), b.row(j));

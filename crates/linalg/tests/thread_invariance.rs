@@ -1,14 +1,17 @@
-//! Thread-count invariance of the blocked GEMM kernels.
+//! Thread-count invariance of the dispatched GEMM kernels.
 //!
-//! Determinism contract (DESIGN.md §11): every kernel must produce bitwise
-//! identical output regardless of `RAYON_NUM_THREADS`. The vendored rayon
-//! stand-in reads that variable once per process, so each thread setting
-//! needs its own process: the test re-execs its own binary as a child per
-//! setting, each child prints an FNV-1a fingerprint of the kernel outputs,
-//! and the parent asserts all fingerprints match.
+//! Determinism contract (DESIGN.md §11, §16): every kernel must produce
+//! bitwise identical output regardless of `RAYON_NUM_THREADS`, on *each*
+//! dispatch path. The vendored rayon stand-in reads that variable once per
+//! process, so each (thread count, kernel config) pair needs its own
+//! process: the test re-execs its own binary as a child per combination,
+//! each child prints an FNV-1a fingerprint of the kernel outputs, and the
+//! parent asserts fingerprints match across thread counts within a config
+//! (and, on AVX2+FMA hosts, that the two configs legitimately differ —
+//! the per-path golden tables would be meaningless otherwise).
 
 use e2gcl_linalg::hash::Fnv1a64;
-use e2gcl_linalg::{Matrix, SeedRng};
+use e2gcl_linalg::{dispatch, Matrix, SeedRng};
 use std::process::Command;
 
 const CHILD_ENV: &str = "E2GCL_THREAD_INVARIANCE_CHILD";
@@ -44,6 +47,30 @@ fn compute_fingerprint() -> u64 {
     fingerprint(&[&mm, &tm, &mt, &sy])
 }
 
+/// Fingerprint from a re-exec'd child pinned to (`config`, `threads`).
+fn child_fingerprint(exe: &std::path::Path, config: &str, threads: &str) -> String {
+    let out = Command::new(exe)
+        .arg("kernels_bitwise_invariant_across_thread_counts")
+        .arg("--exact")
+        .arg("--nocapture")
+        .env(CHILD_ENV, "1")
+        .env("RAYON_NUM_THREADS", threads)
+        .env(dispatch::CONFIG_ENV, config)
+        .output()
+        .expect("spawn child test process");
+    assert!(
+        out.status.success(),
+        "child ({config}, {threads} threads) failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // With --nocapture the marker can share a line with libtest output.
+    let at = stdout
+        .find("FP:")
+        .unwrap_or_else(|| panic!("no FP marker in child output: {stdout}"));
+    stdout[at + 3..at + 19].to_string()
+}
+
 #[test]
 fn kernels_bitwise_invariant_across_thread_counts() {
     if std::env::var(CHILD_ENV).is_ok() {
@@ -51,33 +78,38 @@ fn kernels_bitwise_invariant_across_thread_counts() {
         return;
     }
     let exe = std::env::current_exe().expect("test binary path");
-    let mut fps = Vec::new();
-    for threads in ["1", "4"] {
-        let out = Command::new(&exe)
-            .arg("kernels_bitwise_invariant_across_thread_counts")
-            .arg("--exact")
-            .arg("--nocapture")
-            .env(CHILD_ENV, "1")
-            .env("RAYON_NUM_THREADS", threads)
-            .output()
-            .expect("spawn child test process");
-        assert!(
-            out.status.success(),
-            "child with {threads} threads failed: {}",
-            String::from_utf8_lossy(&out.stderr)
-        );
-        let stdout = String::from_utf8_lossy(&out.stdout);
-        // With --nocapture the marker can share a line with libtest output.
-        let at = stdout
-            .find("FP:")
-            .unwrap_or_else(|| panic!("no FP marker in child output: {stdout}"));
-        fps.push(stdout[at + 3..at + 19].to_string());
+    let mut configs = vec!["scalar"];
+    if dispatch::avx2_available() {
+        configs.push("avx2");
     }
-    assert_eq!(
-        fps[0], fps[1],
-        "kernel output differs between RAYON_NUM_THREADS=1 and 4"
-    );
-    // The in-process pool (whatever its size) must agree too.
+    let mut per_config = Vec::new();
+    for config in &configs {
+        let fp1 = child_fingerprint(&exe, config, "1");
+        let fp4 = child_fingerprint(&exe, config, "4");
+        assert_eq!(
+            fp1, fp4,
+            "[{config}] kernel output differs between RAYON_NUM_THREADS=1 and 4"
+        );
+        per_config.push(fp1);
+    }
+    if per_config.len() == 2 {
+        // The two dispatch paths have different reduction contracts; if
+        // they ever agreed the per-path golden split would be vestigial.
+        assert_ne!(
+            per_config[0], per_config[1],
+            "scalar and avx2 paths produced identical bits on this workload"
+        );
+    }
+    // The in-process pool (whatever its size and the ambient config) must
+    // agree with the matching child config.
     let here = format!("{:016x}", compute_fingerprint());
-    assert_eq!(fps[0], here, "parent fingerprint differs from children");
+    let ambient = match dispatch::current_path() {
+        dispatch::DispatchPath::Scalar => 0,
+        dispatch::DispatchPath::Avx2 => 1,
+    };
+    assert_eq!(
+        per_config[ambient.min(per_config.len() - 1)],
+        here,
+        "parent fingerprint differs from children"
+    );
 }

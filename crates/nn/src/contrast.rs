@@ -17,9 +17,11 @@
 //! All three kernels are bit-identical run-to-run and across
 //! `RAYON_NUM_THREADS`:
 //!
-//! * every similarity is an [`ops::lane_dot`] (directly, or via the
-//!   blocked [`Matrix::matmul_transpose_into`] whose element-level
-//!   contract *is* `lane_dot`);
+//! * every similarity is the *dispatched* lane-dot kernel
+//!   ([`e2gcl_linalg::dispatch`]: [`ops::lane_dot`] on the scalar path,
+//!   its 8-lane fused analogue on AVX2) — directly, or via the blocked
+//!   [`Matrix::matmul_transpose_into`] whose element-level contract *is*
+//!   that kernel, so bits are identical within a dispatch config;
 //! * parallel passes own disjoint rows/slices and read only shared
 //!   inputs, so any interleaving produces the same bits;
 //! * every cross-row reduction (loss sums, gradient scatters into
@@ -275,8 +277,12 @@ pub fn small_neg_info_nce_with(
     s.pos.resize(n, 0.0);
     {
         let (pos, u1, u2) = (&mut s.pos, &s.u1, &s.u2);
+        // Dispatch path captured on the calling thread: the similarities
+        // here must be bit-identical to the matmul_transpose elements
+        // above, and rayon workers don't inherit a thread-local override.
+        let kpath = e2gcl_linalg::dispatch::current_path();
         pos.par_iter_mut().enumerate().for_each(|(i, p)| {
-            *p = ops::lane_dot(u1.row(i), u2.row(i)) * inv_tau;
+            *p = kpath.lane_dot(u1.row(i), u2.row(i)) * inv_tau;
         });
     }
     // Anchor row -> its slot in the negative set (u32::MAX when absent).
@@ -629,6 +635,9 @@ pub fn localized_info_nce_with(
     let g_unit = scale * inv_tau;
     {
         let (u1, u2) = (&s.u1, &s.u2);
+        // Dispatch path captured before the parallel region (rayon workers
+        // don't inherit a thread-local override).
+        let kpath = e2gcl_linalg::dispatch::current_path();
         let e12s = split_by_offsets(&mut s.e12, &s.aoff);
         let e11s = split_by_offsets(&mut s.e11, &s.aoff);
         let e21s = split_by_offsets(&mut s.e21, &s.aoff);
@@ -643,14 +652,14 @@ pub fn localized_info_nce_with(
             .for_each(|((((((e12, e11), e21), e22), &i), l), c)| {
                 let ui1 = u1.row(i);
                 let ui2 = u2.row(i);
-                let p = ops::lane_dot(ui1, ui2) * inv_tau;
+                let p = kpath.lane_dot(ui1, ui2) * inv_tau;
                 let ns = nb.neighbors(i);
                 for (t, &jn) in ns.iter().enumerate() {
                     let j = jn as usize;
-                    e12[t] = ops::lane_dot(ui1, u2.row(j)) * inv_tau;
-                    e11[t] = ops::lane_dot(ui1, u1.row(j)) * inv_tau;
-                    e21[t] = ops::lane_dot(ui2, u1.row(j)) * inv_tau;
-                    e22[t] = ops::lane_dot(ui2, u2.row(j)) * inv_tau;
+                    e12[t] = kpath.lane_dot(ui1, u2.row(j)) * inv_tau;
+                    e11[t] = kpath.lane_dot(ui1, u1.row(j)) * inv_tau;
+                    e21[t] = kpath.lane_dot(ui2, u1.row(j)) * inv_tau;
+                    e22[t] = kpath.lane_dot(ui2, u2.row(j)) * inv_tau;
                 }
                 *l = 0.0;
                 *c = 0.0;

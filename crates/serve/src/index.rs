@@ -59,7 +59,7 @@
 use crate::artifact::{self, Cursor};
 use crate::store::{cosine_from_dot, EmbeddingStore, Hit, TopKCollector};
 use crate::{ArtifactError, ServeError};
-use e2gcl_linalg::ops::{lane_dot, lane_dot4};
+use e2gcl_linalg::dispatch;
 use e2gcl_linalg::{Matrix, SeedRng};
 use serde::Serialize;
 use std::path::Path;
@@ -374,15 +374,18 @@ impl IvfIndex {
     pub fn probe_lists(&self, query: &[f32]) -> Vec<usize> {
         let mut top = TopKCollector::new(self.config.nprobe.min(self.nlist()));
         // Register-tiled sweep: four centroid rows per step, remainder one
-        // at a time. `lane_dot4` is element-wise bit-identical to
-        // `lane_dot`, so the tiling cannot change which lists win.
+        // at a time, through the dispatched lane kernel
+        // ([`e2gcl_linalg::dispatch`]). On either dispatch path `lane_dot4`
+        // is element-wise bit-identical to that path's `lane_dot`, so the
+        // tiling cannot change which lists win.
+        let kpath = dispatch::current_path();
         let n = self.nlist();
         let cm = self.centroids.as_slice();
         let d = self.dim;
         let quads = n / 4;
         for q in 0..quads {
             let base = 4 * q * d;
-            let dots = lane_dot4(
+            let dots = kpath.lane_dot4(
                 query,
                 &cm[base..base + d],
                 &cm[base + d..base + 2 * d],
@@ -395,7 +398,7 @@ impl IvfIndex {
             }
         }
         for l in 4 * quads..n {
-            top.offer(l, lane_dot(self.centroids.row(l), query) + 0.0);
+            top.offer(l, kpath.lane_dot(self.centroids.row(l), query) + 0.0);
         }
         top.into_hits().into_iter().map(|(l, _)| l).collect()
     }
@@ -445,6 +448,7 @@ impl IvfIndex {
         // bitwise-identical hits, sequential memory, four rows per step.
         let qnorm = query.iter().map(|v| v * v).sum::<f32>().sqrt();
         let d = self.dim;
+        let kpath = dispatch::current_path();
         let mut top = TopKCollector::new(k);
         for &l in &lists {
             let lo = self.list_offsets[l] as usize;
@@ -452,7 +456,7 @@ impl IvfIndex {
             let mut i = lo;
             while i + 4 <= hi {
                 let base = i * d;
-                let dots = lane_dot4(
+                let dots = kpath.lane_dot4(
                     query,
                     &packed.rows[base..base + d],
                     &packed.rows[base + d..base + 2 * d],
@@ -467,7 +471,7 @@ impl IvfIndex {
             }
             for i in i..hi {
                 let row = &packed.rows[i * d..(i + 1) * d];
-                let score = cosine_from_dot(lane_dot(row, query), packed.norms[i], qnorm);
+                let score = cosine_from_dot(kpath.lane_dot(row, query), packed.norms[i], qnorm);
                 top.offer(self.node_ids[i] as usize, score);
             }
         }

@@ -87,13 +87,15 @@ impl TopKCollector {
 }
 
 /// The one cosine-normalisation expression in the serving stack, applied
-/// to a dot product with [`e2gcl_linalg::ops::lane_dot`] bit-semantics.
-/// Brute force scores rows in the store's matrix one at a time
-/// ([`cosine_from_parts`]); the IVF packed-list scan scores contiguous
-/// copies of the same rows four at a time via
-/// [`e2gcl_linalg::ops::lane_dot4`] — identical bits in, identical score
-/// bits out, because `lane_dot4` is element-wise bit-identical to
-/// `lane_dot` and this normalisation is shared.
+/// to a dot product with the dispatched lane-kernel bit-semantics
+/// ([`e2gcl_linalg::dispatch`]: `ops::lane_dot` on the scalar path, the
+/// 8-lane fused analogue on AVX2). Brute force scores rows in the store's
+/// matrix one at a time ([`cosine_from_parts`]); the IVF packed-list scan
+/// scores contiguous copies of the same rows four at a time via the
+/// dispatched `lane_dot4` — identical bits in, identical score bits out
+/// within a dispatch config, because each path's `lane_dot4` is
+/// element-wise bit-identical to its `lane_dot` and this normalisation is
+/// shared.
 ///
 /// Zero-denominator pairs score `0.0`; a computed `-0.0` is canonicalised
 /// to `+0.0` so numerically equal scores are equal under `total_cmp` too
@@ -107,12 +109,21 @@ pub(crate) fn cosine_from_dot(dot: f32, norm: f32, qnorm: f32) -> f32 {
     score + 0.0
 }
 
-/// Cosine of one row against the query: [`cosine_from_dot`] over a
-/// [`e2gcl_linalg::ops::lane_dot`] (four independent partial sums, fixed
-/// deterministic order — see its docs for the exact contract).
+/// Cosine of one row against the query: [`cosine_from_dot`] over the
+/// dispatched lane kernel for `kpath` (independent partial sums, fixed
+/// deterministic order — see the path's contract docs). The path is an
+/// explicit argument so parallel callers score with the path captured on
+/// the *calling* thread (rayon workers don't inherit a thread-local
+/// dispatch override).
 #[inline]
-pub(crate) fn cosine_from_parts(row: &[f32], norm: f32, query: &[f32], qnorm: f32) -> f32 {
-    cosine_from_dot(e2gcl_linalg::ops::lane_dot(row, query), norm, qnorm)
+pub(crate) fn cosine_from_parts(
+    kpath: e2gcl_linalg::DispatchPath,
+    row: &[f32],
+    norm: f32,
+    query: &[f32],
+    qnorm: f32,
+) -> f32 {
+    cosine_from_dot(kpath.lane_dot(row, query), norm, qnorm)
 }
 
 /// Frozen embeddings, indexed for serving.
@@ -185,8 +196,20 @@ impl EmbeddingStore {
     /// a node gets the bitwise-identical score on the brute-force and IVF
     /// paths.
     #[inline]
-    pub(crate) fn cosine_score(&self, node: usize, query: &[f32], qnorm: f32) -> f32 {
-        cosine_from_parts(self.embeddings.row(node), self.norms[node], query, qnorm)
+    pub(crate) fn cosine_score(
+        &self,
+        kpath: e2gcl_linalg::DispatchPath,
+        node: usize,
+        query: &[f32],
+        qnorm: f32,
+    ) -> f32 {
+        cosine_from_parts(
+            kpath,
+            self.embeddings.row(node),
+            self.norms[node],
+            query,
+            qnorm,
+        )
     }
 
     /// The `k` stored nodes most cosine-similar to `query`, best first;
@@ -220,6 +243,7 @@ impl EmbeddingStore {
             return Ok(Vec::new());
         }
         let qnorm = query.iter().map(|v| v * v).sum::<f32>().sqrt();
+        let kpath = e2gcl_linalg::dispatch::current_path();
         let mut top = TopKCollector::new(k);
         for node in candidates {
             if node >= self.len() {
@@ -228,7 +252,7 @@ impl EmbeddingStore {
                     num_nodes: self.len(),
                 });
             }
-            top.offer(node, self.cosine_score(node, query, qnorm));
+            top.offer(node, self.cosine_score(kpath, node, query, qnorm));
         }
         Ok(top.into_hits())
     }

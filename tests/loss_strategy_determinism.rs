@@ -7,10 +7,17 @@
 //! `RAYON_NUM_THREADS` by re-exec'ing itself under different pool sizes
 //! (the rayon stand-in fixes its pool per process).
 //!
-//! To (re)record after an intentional numeric change, run:
+//! Fingerprints are **per dispatch path** (DESIGN.md §16), like
+//! `golden_determinism.rs`: the table matching the active kernel path is
+//! validated, never silently regenerated. The re-exec children inherit
+//! `E2GCL_KERNEL_CONFIG`, so thread-invariance is proven for the same
+//! dispatched kernels the parent ran.
+//!
+//! To (re)record after an intentional numeric change, run (per path):
 //!
 //! ```text
-//! GOLDEN_PRINT=1 cargo test -q --test loss_strategy_determinism -- --nocapture
+//! GOLDEN_PRINT=1 E2GCL_KERNEL_CONFIG=scalar cargo test -q --test loss_strategy_determinism -- --nocapture
+//! GOLDEN_PRINT=1 E2GCL_KERNEL_CONFIG=avx2   cargo test -q --test loss_strategy_determinism -- --nocapture
 //! ```
 
 use e2gcl::durable::Fnv1a64;
@@ -96,7 +103,7 @@ fn cases() -> Vec<(&'static str, Box<dyn ContrastiveModel>, TrainConfig)> {
 /// Fingerprints recorded at introduction (PR 9). Any unintentional change
 /// is a determinism regression in the sub-quadratic kernels or in the
 /// per-epoch negative re-selection, not an update.
-const GOLDEN: &[(&str, u64)] = &[
+const GOLDEN_SCALAR: &[(&str, u64)] = &[
     ("grace-smallneg", 0x9dbd6fd2f7d24e57),
     ("grace-localized", 0x3d99ce4487401304),
     ("grace-smallneg-minibatch", 0xdcea1a90ef2a94d3),
@@ -104,6 +111,26 @@ const GOLDEN: &[(&str, u64)] = &[
     ("e2gcl-localized", 0x131fe52ed8ce4ac1),
     ("e2gcl-localized-minibatch", 0xe83a5206e54724aa),
 ];
+
+/// Recorded under `E2GCL_KERNEL_CONFIG=avx2` on the AVX2+FMA reference
+/// host for the kernel-dispatch PR (same per-path policy as
+/// `golden_determinism.rs`).
+const GOLDEN_AVX2: &[(&str, u64)] = &[
+    ("grace-smallneg", 0x84b61dc9cd033152),
+    ("grace-localized", 0x54a31d04c1953dbf),
+    ("grace-smallneg-minibatch", 0x45a103478d5756e3),
+    ("e2gcl-smallneg", 0x6d1dc5edda3e905a),
+    ("e2gcl-localized", 0xacd48a79a7098d72),
+    ("e2gcl-localized-minibatch", 0x7512bd514d38f672),
+];
+
+/// The golden table for the active dispatch path.
+fn golden_for_active_path() -> (&'static str, &'static [(&'static str, u64)]) {
+    match e2gcl_linalg::dispatch::current_path() {
+        e2gcl_linalg::DispatchPath::Scalar => ("scalar", GOLDEN_SCALAR),
+        e2gcl_linalg::DispatchPath::Avx2 => ("avx2", GOLDEN_AVX2),
+    }
+}
 
 fn all_fingerprints() -> Vec<(&'static str, u64)> {
     let data = NodeDataset::generate(&spec("cora-sim").expect("spec"), 0.05, 0);
@@ -133,16 +160,19 @@ fn strategy_fingerprints_are_bit_stable_across_thread_counts() {
         }
         return;
     }
-    // Golden pin (this process).
+    // Golden pin (this process), against the active dispatch path's table.
+    let (path_name, golden) = golden_for_active_path();
     let mut failures = Vec::new();
     for (name, fp) in &fps {
-        let expected = GOLDEN
+        let expected = golden
             .iter()
             .find(|(n, _)| n == name)
-            .unwrap_or_else(|| panic!("{name}: missing golden entry"))
+            .unwrap_or_else(|| panic!("{name}: missing golden entry for path {path_name}"))
             .1;
         if *fp != expected {
-            failures.push(format!("{name}: got {fp:#018x}, golden {expected:#018x}"));
+            failures.push(format!(
+                "{name} [{path_name}]: got {fp:#018x}, golden {expected:#018x}"
+            ));
         }
     }
     assert!(
